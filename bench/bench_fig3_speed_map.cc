@@ -1,0 +1,45 @@
+// Fig. 3: the cleaned and preprocessed point-speed map for taxi 1 —
+// every transition point with its position and measured speed.
+
+#include "bench_util.h"
+#include "taxitrace/core/figures.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintFig3() {
+  const core::StudyResults& r = benchutil::FullResults();
+  const std::string csv = core::SpeedPointsCsv(r, 1);
+  std::printf("FIG 3. Cleaned speed data for taxi 1 (series preview):\n");
+  benchutil::PrintPreview(csv, 8);
+  benchutil::EmitFigureFile("fig3_speed_map_taxi1.csv", csv);
+  int64_t points = 0;
+  double mean = 0.0;
+  for (const core::MatchedTransition& mt : r.transitions) {
+    if (mt.record.car_id != 1) continue;
+    for (const trace::RoutePoint& p : mt.transition.segment.points) {
+      ++points;
+      mean += p.speed_kmh;
+    }
+  }
+  if (points > 0) mean /= static_cast<double>(points);
+  std::printf(
+      "Taxi 1 measured speed points: %lld (paper: 4186), mean %.1f "
+      "km/h.\nPaper shape: speeds colour the driven corridors between "
+      "the T, S, L gates, slowest in the centre.\n\n",
+      static_cast<long long>(points), mean);
+}
+
+void BM_SpeedPointsCsv(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    auto csv = core::SpeedPointsCsv(r, 1);
+    benchmark::DoNotOptimize(csv);
+  }
+}
+BENCHMARK(BM_SpeedPointsCsv)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintFig3)

@@ -1,0 +1,58 @@
+// Fig. 4: taxi 1 point speeds categorised by direction (T-S, S-T, T-L,
+// L-T).
+
+#include "bench_util.h"
+#include "taxitrace/analysis/summary_stats.h"
+#include "taxitrace/core/figures.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintFig4() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("FIG 4. Taxi 1 data categorised by direction:\n");
+  std::printf("  direction  points   mean km/h  median km/h\n");
+  for (const char* dir : {"T-S", "S-T", "T-L", "L-T"}) {
+    std::vector<double> speeds;
+    for (const core::MatchedTransition& mt : r.transitions) {
+      if (mt.record.car_id != 1 || mt.record.direction != dir) continue;
+      for (const trace::RoutePoint& p : mt.transition.segment.points) {
+        speeds.push_back(p.speed_kmh);
+      }
+    }
+    const analysis::Summary s = analysis::Summarize(std::move(speeds));
+    std::printf("  %-9s %7lld  %9.1f  %11.1f\n", dir,
+                static_cast<long long>(s.n), s.mean, s.median);
+  }
+  benchutil::EmitFigureFile("fig4_directions_taxi1.csv",
+                            core::SpeedPointsCsv(r, 1));
+  std::printf(
+      "Paper shape: the same corridors light up per direction; S<->T "
+      "speeds sit below T<->L speeds.\n\n");
+}
+
+void BM_DirectionSplit(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    double sums[4] = {};
+    int64_t counts[4] = {};
+    for (const core::MatchedTransition& mt : r.transitions) {
+      int d = 0;
+      if (mt.record.direction == "S-T") d = 1;
+      if (mt.record.direction == "T-L") d = 2;
+      if (mt.record.direction == "L-T") d = 3;
+      for (const trace::RoutePoint& p : mt.transition.segment.points) {
+        sums[d] += p.speed_kmh;
+        ++counts[d];
+      }
+    }
+    benchmark::DoNotOptimize(sums);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_DirectionSplit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintFig4)

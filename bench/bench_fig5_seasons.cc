@@ -1,0 +1,69 @@
+// Fig. 5: taxi 1 point speeds categorised by season, plus the seasonal
+// mean-speed deltas reported in Section VI-A.
+
+#include "bench_util.h"
+#include "taxitrace/analysis/seasons.h"
+#include "taxitrace/analysis/summary_stats.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintFig5() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("FIG 5. Taxi 1 data categorised by season:\n");
+  std::printf("  season  points   mean km/h\n");
+  for (int s = 0; s < analysis::kNumSeasons; ++s) {
+    std::vector<double> speeds;
+    for (const core::MatchedTransition& mt : r.transitions) {
+      if (mt.record.car_id != 1) continue;
+      for (const trace::RoutePoint& p : mt.transition.segment.points) {
+        if (static_cast<int>(analysis::SeasonOfTimestamp(p.timestamp_s)) ==
+            s) {
+          speeds.push_back(p.speed_kmh);
+        }
+      }
+    }
+    const analysis::Summary summary =
+        analysis::Summarize(std::move(speeds));
+    std::printf("  %-7s %7lld  %9.1f\n",
+                std::string(analysis::SeasonName(
+                                static_cast<analysis::Season>(s)))
+                    .c_str(),
+                static_cast<long long>(summary.n), summary.mean);
+  }
+  std::printf(
+      "\nFleet-wide seasonal deltas vs the all-year mean (paper: winter "
+      "-0.07, spring +0.46, summer +0.70, autumn +1.38 km/h):\n");
+  static const char* kNames[] = {"winter", "spring", "summer", "autumn"};
+  for (int s = 0; s < analysis::kNumSeasons; ++s) {
+    std::printf("  %-7s %+0.2f km/h (n=%lld)\n", kNames[s],
+                r.seasonal[s].delta_kmh,
+                static_cast<long long>(r.seasonal[s].n));
+  }
+  const bool ordering =
+      r.seasonal[0].delta_kmh < r.seasonal[3].delta_kmh &&
+      r.seasonal[1].delta_kmh < r.seasonal[3].delta_kmh;
+  std::printf("Check: autumn fastest, winter slowest ordering -> %s\n\n",
+              ordering ? "HOLDS" : "VIOLATED");
+}
+
+void BM_SeasonClassification(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    int64_t counts[4] = {};
+    for (const core::MatchedTransition& mt : r.transitions) {
+      for (const trace::RoutePoint& p : mt.transition.segment.points) {
+        ++counts[static_cast<int>(
+            analysis::SeasonOfTimestamp(p.timestamp_s))];
+      }
+    }
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * r.total_point_speeds);
+}
+BENCHMARK(BM_SeasonClassification)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintFig5)

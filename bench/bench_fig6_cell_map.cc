@@ -1,0 +1,90 @@
+// Fig. 6: average speed and map properties per 200 m cell for the L-T
+// direction, including the feature census {67,48,293,271} and the
+// lower-density corridor the L-T/T-L routes traverse.
+
+#include "bench_util.h"
+#include "taxitrace/analysis/cell_stats.h"
+#include "taxitrace/core/figures.h"
+
+namespace taxitrace {
+namespace {
+
+double MeanFeaturesPerCell(const std::vector<analysis::CellRecord>& cells) {
+  if (cells.empty()) return 0.0;
+  double total = 0.0;
+  for (const analysis::CellRecord& c : cells) {
+    total += c.features.traffic_lights + c.features.bus_stops +
+             c.features.pedestrian_crossings + c.features.junctions;
+  }
+  return total / static_cast<double>(cells.size());
+}
+
+void PrintFig6() {
+  const core::StudyResults& r = benchutil::FullResults();
+  const auto it = r.cells_by_direction.find("L-T");
+  std::printf("FIG 6. Average speed and map properties, L-T direction:\n");
+  std::printf("  cell(x,y)    points  mean km/h  lights  bus  ped  junc\n");
+  if (it != r.cells_by_direction.end()) {
+    int shown = 0;
+    for (const analysis::CellRecord& c : it->second) {
+      if (shown++ >= 12) break;
+      std::printf("  (%3d,%3d) %9lld  %9.1f  %6d %4d %4d %5d\n", c.cell.cx,
+                  c.cell.cy, static_cast<long long>(c.num_points),
+                  c.mean_speed_kmh, c.features.traffic_lights,
+                  c.features.bus_stops, c.features.pedestrian_crossings,
+                  c.features.junctions);
+    }
+    std::printf("  ... (%zu L-T cells total)\n", it->second.size());
+    benchutil::EmitFigureFile("fig6_cell_map_LT.geojson",
+                              core::CellMapGeoJson(r, "L-T"));
+  }
+  const roadnet::RoadNetwork& net = r.map.network;
+  int junctions = 0;
+  for (const roadnet::Vertex& v : net.vertices()) {
+    if (v.is_junction) ++junctions;
+  }
+  std::printf(
+      "\nStudy-area census {lights, bus stops, ped. crossings, other "
+      "junctions} = {%d,%d,%d,%d}; paper: {67,48,293,271}.\n",
+      net.CountFeatures(roadnet::FeatureType::kTrafficLight),
+      net.CountFeatures(roadnet::FeatureType::kBusStop),
+      net.CountFeatures(roadnet::FeatureType::kPedestrianCrossing),
+      junctions);
+  // The paper notes L-T/T-L routes traverse cells with fewer features
+  // than S-T/T-S routes (the area below line D).
+  const auto st = r.cells_by_direction.find("S-T");
+  if (it != r.cells_by_direction.end() &&
+      st != r.cells_by_direction.end()) {
+    const double lt_density = MeanFeaturesPerCell(it->second);
+    const double st_density = MeanFeaturesPerCell(st->second);
+    std::printf(
+        "Check: L-T cells carry fewer features than S-T cells: %.1f < "
+        "%.1f -> %s\n\n",
+        lt_density, st_density,
+        lt_density < st_density ? "HOLDS" : "VIOLATED");
+  }
+}
+
+void BM_CellMapGeoJson(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    auto json = core::CellMapGeoJson(r, "L-T");
+    benchmark::DoNotOptimize(json);
+  }
+}
+BENCHMARK(BM_CellMapGeoJson)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeCellFeatures(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    auto features =
+        analysis::ComputeCellFeatures(r.map.network, analysis::Grid(200.0));
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_ComputeCellFeatures)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintFig6)

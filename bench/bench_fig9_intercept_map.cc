@@ -1,0 +1,81 @@
+// Fig. 9: BLUP cell-intercept predictions on the map — strong evidence
+// of the effect of geography on point speeds: coefficients roughly in
+// [-15, +20] km/h, reductions up to ~-8 km/h at the very centre, and
+// lower speeds near dead-end road areas.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "taxitrace/core/figures.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintFig9() {
+  const core::StudyResults& r = benchutil::FullResults();
+  benchutil::EmitFigureFile("fig9_intercept_map.geojson",
+                            core::CellMapGeoJson(r));
+
+  double min_blup = 1e9, max_blup = -1e9;
+  double center_sum = 0.0;
+  int center_n = 0;
+  const analysis::Grid grid(r.grid_cell_m);
+  for (size_t g = 0; g < r.cell_model.blup.size(); ++g) {
+    if (r.cell_model.group_n[g] == 0) continue;
+    const double blup = r.cell_model.blup[g];
+    min_blup = std::min(min_blup, blup);
+    max_blup = std::max(max_blup, blup);
+    const geo::EnPoint center = grid.CellCenter(r.model_cells[g]);
+    if (geo::Norm(center) < 350.0) {
+      center_sum += blup;
+      ++center_n;
+    }
+  }
+  const double center_mean =
+      center_n > 0 ? center_sum / center_n : 0.0;
+  std::printf("FIG 9. Cell intercept predictions on map:\n");
+  std::printf(
+      "  BLUP range: [%.1f, %.1f] km/h (paper: ca. -15 to +20 km/h)\n",
+      min_blup, max_blup);
+  std::printf(
+      "  Mean BLUP in the very centre (<350 m): %.1f km/h (paper: "
+      "reductions up to -8 km/h)\n",
+      center_mean);
+  std::printf(
+      "  sigma_cell = %.1f km/h, sigma_resid = %.1f km/h (REML), "
+      "lambda = %.2f\n",
+      std::sqrt(r.cell_model.sigma2_group),
+      std::sqrt(r.cell_model.sigma2_residual), r.cell_model.lambda);
+  std::printf("Check: centre is slower than average -> %s\n",
+              center_mean < -1.0 ? "HOLDS" : "VIOLATED");
+  std::printf("Check: spread reaches beyond +/-8 km/h -> %s\n\n",
+              (min_blup < -8.0 && max_blup > 8.0) ? "HOLDS" : "VIOLATED");
+}
+
+void BM_OneWayRemlFit(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  // Rebuild the model input from the study and time the full REML fit.
+  const geo::LocalProjection& proj = r.map.network.projection();
+  const analysis::Grid grid(r.grid_cell_m);
+  std::unordered_map<analysis::CellId, size_t, analysis::CellIdHash>
+      groups;
+  model::OneWayReml reml;
+  for (const core::MatchedTransition& mt : r.transitions) {
+    for (const trace::RoutePoint& p : mt.transition.segment.points) {
+      const analysis::CellId cell = grid.CellOf(proj.Forward(p.position));
+      const auto [it, inserted] = groups.emplace(cell, groups.size());
+      reml.Add(it->second, p.speed_kmh);
+    }
+  }
+  for (auto _ : state) {
+    auto fit = reml.Fit();
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() * reml.num_observations());
+}
+BENCHMARK(BM_OneWayRemlFit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintFig9)

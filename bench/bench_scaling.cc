@@ -1,0 +1,107 @@
+// Performance scaling: how the pipeline's cost grows with study size,
+// network extent and model size — the systems-side companion to the
+// reproduction benches.
+
+#include "bench_util.h"
+#include "taxitrace/model/one_way_reml.h"
+#include "taxitrace/roadnet/router.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintScaling() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("PIPELINE STAGE TIMINGS (full 7-car, 365-day study):\n");
+  std::printf("  map generation       %8.1f ms\n",
+              r.timings.map_generation_ms);
+  std::printf("  fleet simulation     %8.1f ms\n",
+              r.timings.simulation_ms);
+  std::printf("  cleaning             %8.1f ms\n", r.timings.cleaning_ms);
+  std::printf("  selection + matching %8.1f ms\n",
+              r.timings.selection_matching_ms);
+  std::printf("  grid + mixed model   %8.1f ms\n", r.timings.analysis_ms);
+  std::printf("  total                %8.1f ms for %lld raw points\n\n",
+              r.timings.TotalMs(),
+              static_cast<long long>(
+                  r.cleaning_report.raw_points));
+}
+
+void BM_PipelineByDays(benchmark::State& state) {
+  for (auto _ : state) {
+    core::StudyConfig config = core::StudyConfig::SmallStudy();
+    config.fleet.num_days = static_cast<int>(state.range(0));
+    core::Pipeline pipeline(config);
+    auto results = pipeline.Run();
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineByDays)
+    ->Arg(7)
+    ->Arg(14)
+    ->Arg(28)
+    ->Arg(56)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_DijkstraByNetworkExtent(benchmark::State& state) {
+  synth::CityMapOptions options;
+  options.extent_m = static_cast<double>(state.range(0));
+  options.core_extent_m = options.extent_m * 0.8;
+  const synth::CityMap map = synth::GenerateCityMap(options).value();
+  const roadnet::Router router(&map.network);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(map.network.vertices().size()) - 1));
+    const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(map.network.vertices().size()) - 1));
+    auto path = router.ShortestPath(a, b);
+    benchmark::DoNotOptimize(path);
+  }
+  state.counters["edges"] =
+      static_cast<double>(map.network.edges().size());
+}
+BENCHMARK(BM_DijkstraByNetworkExtent)
+    ->Arg(600)
+    ->Arg(1000)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RemlByObservations(benchmark::State& state) {
+  Rng rng(7);
+  model::OneWayReml reml;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    reml.Add(static_cast<size_t>(i % 80), rng.Gaussian(20.0, 5.0));
+  }
+  for (auto _ : state) {
+    auto fit = reml.Fit();
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RemlByObservations)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SpatialIndexBuild(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::SmallResults();
+  for (auto _ : state) {
+    roadnet::SpatialIndex index(&r.map.network,
+                                static_cast<double>(state.range(0)));
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_SpatialIndexBuild)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintScaling)

@@ -1,0 +1,49 @@
+// Table 1: junction pairs of the prepared road-network graph — map
+// preparation merges traffic-element chains into single edges between
+// junctions (Section IV-A).
+
+#include "bench_util.h"
+#include "taxitrace/roadnet/map_preparation.h"
+#include "taxitrace/synth/city_map_generator.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintTable1() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("%s\n", core::FormatTable1(r.map.network, 10).c_str());
+  const roadnet::MapPreparationStats& stats = r.map.preparation_stats;
+  std::printf(
+      "Map preparation: %d elements -> %d edges (%d merged from multiple "
+      "elements), %d junctions, %d terminals, %d intermediate points\n",
+      stats.num_elements, stats.num_edges, stats.num_multi_element_edges,
+      stats.num_junctions, stats.num_terminals,
+      stats.num_intermediate_points);
+  std::printf(
+      "Paper shape: edges list their contributing traffic elements "
+      "(e.g. {138854,138855,122734}) between two junction points.\n\n");
+}
+
+void BM_GenerateCityMap(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::CityMapOptions options;
+    options.seed = 42;
+    auto map = synth::GenerateCityMap(options);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_GenerateCityMap)->Unit(benchmark::kMillisecond);
+
+void BM_JunctionPairTable(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    auto rows = roadnet::JunctionPairTable(r.map.network);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_JunctionPairTable)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintTable1)

@@ -1,0 +1,61 @@
+// Table 2: the time-based segmentation rules applied to the raw fleet
+// traces (Section IV-C), plus the surrounding cleaning stages.
+
+#include "bench_util.h"
+#include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/synth/fleet_simulator.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintTable2() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("%s\n", core::FormatTable2Report(r.cleaning_report).c_str());
+  std::printf(
+      "Paper shape: almost 30000 raw taxi trips are considered (ours: "
+      "%lld); day-long engine-on runs split into per-ride segments;\n"
+      "segments with <5 points or >30 km are removed.\n\n",
+      static_cast<long long>(r.raw_trips));
+}
+
+// A small raw fleet reused across benchmark iterations.
+const trace::TraceStore& RawFleet() {
+  static const trace::TraceStore* store = [] {
+    auto map = synth::GenerateCityMap().value();
+    synth::WeatherModel weather(3, 14);
+    synth::FleetOptions options;
+    options.num_cars = 2;
+    options.num_days = 14;
+    synth::FleetSimulator fleet(&map, &weather, options);
+    return new trace::TraceStore(std::move(fleet.Run().value().store));
+  }();
+  return *store;
+}
+
+void BM_CleanTrips(benchmark::State& state) {
+  const trace::TraceStore& store = RawFleet();
+  for (auto _ : state) {
+    clean::CleaningReport report;
+    auto cleaned = clean::CleanTrips(store, {}, &report);
+    benchmark::DoNotOptimize(cleaned);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(RawFleet().NumPoints()));
+}
+BENCHMARK(BM_CleanTrips)->Unit(benchmark::kMillisecond);
+
+void BM_SegmentationOnly(benchmark::State& state) {
+  const trace::TraceStore& store = RawFleet();
+  std::vector<trace::Trip> trips = store.trips();
+  for (trace::Trip& t : trips) clean::RepairTripOrder(&t);
+  for (auto _ : state) {
+    auto segments = clean::SegmentTrips(trips);
+    benchmark::DoNotOptimize(segments);
+  }
+}
+BENCHMARK(BM_SegmentationOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintTable2)

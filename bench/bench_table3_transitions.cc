@@ -1,0 +1,57 @@
+// Table 3: the per-car funnel from cleaned trip segments through
+// thick-geometry OD selection to post-filtered, map-matched transitions
+// (Section IV-D/E).
+
+#include "bench_util.h"
+#include "taxitrace/odselect/transition_extractor.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintTable3() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("%s\n", core::FormatTable3(r.table3).c_str());
+  std::printf(
+      "Paper totals: 18077 segments -> 5337 filtered -> 770 transitions "
+      "-> 674 within centre -> 544 post-filtered.\n"
+      "The shape to hold: a steep funnel whose tail (the analysis "
+      "population) lands in the hundreds.\n\n");
+}
+
+void BM_AnalyzeSegment(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::SmallResults();
+  std::vector<odselect::OdGate> gates;
+  for (const synth::GateRoad& g : r.map.gates) {
+    gates.emplace_back(g.name, g.geometry, odselect::OdGateOptions{});
+  }
+  const odselect::TransitionExtractor extractor(
+      gates, r.map.network.projection());
+  // Analyze the stored transitions' segments (available cleaned trips).
+  size_t idx = 0;
+  for (auto _ : state) {
+    const auto& segment =
+        r.transitions[idx % r.transitions.size()].transition.segment;
+    auto analysis = extractor.Analyze(segment);
+    benchmark::DoNotOptimize(analysis);
+    ++idx;
+  }
+}
+BENCHMARK(BM_AnalyzeSegment)->Unit(benchmark::kMicrosecond);
+
+void BM_GatePolygonClassify(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::SmallResults();
+  const odselect::OdGate gate("T", r.map.gates[0].geometry,
+                              odselect::OdGateOptions{});
+  const geo::EnPoint a = r.map.gates[0].geometry.front();
+  const geo::EnPoint b = r.map.gates[0].geometry.back();
+  for (auto _ : state) {
+    auto crossing = gate.Classify(a, b);
+    benchmark::DoNotOptimize(crossing);
+  }
+}
+BENCHMARK(BM_GatePolygonClassify)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintTable3)

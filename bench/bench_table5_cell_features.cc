@@ -1,0 +1,59 @@
+// Table 5: the effect of traffic lights and bus stops on per-cell
+// average speed over the 200 m grid (Section VI-A).
+
+#include "bench_util.h"
+#include "taxitrace/analysis/cell_stats.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintTable5() {
+  const core::StudyResults& r = benchutil::FullResults();
+  const analysis::Table5 table = analysis::BuildTable5(r.cells);
+  std::printf("%s\n", core::FormatTable5(table).c_str());
+  std::printf(
+      "Paper values: mean 25.5 (no lights) vs 18.7 km/h (lights), and "
+      "the no-light/no-bus cells show much higher variance (303 vs 50).\n");
+  std::printf("Check: lights reduce mean speed: %.1f < %.1f -> %s\n",
+              table.lights.mean, table.no_lights.mean,
+              table.lights.mean < table.no_lights.mean ? "HOLDS"
+                                                       : "VIOLATED");
+  std::printf(
+      "Check: variance higher without lights/bus stops: %.0f > %.0f -> "
+      "%s\n\n",
+      table.no_lights_no_bus.variance, table.lights_and_bus.variance,
+      table.no_lights_no_bus.variance > table.lights_and_bus.variance
+          ? "HOLDS"
+          : "VIOLATED");
+}
+
+void BM_BuildTable5(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  for (auto _ : state) {
+    auto table = analysis::BuildTable5(r.cells);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_BuildTable5)->Unit(benchmark::kMicrosecond);
+
+void BM_CellAccumulation(benchmark::State& state) {
+  const core::StudyResults& r = benchutil::FullResults();
+  // Re-accumulate the transition point speeds into the grid.
+  const geo::LocalProjection& proj = r.map.network.projection();
+  for (auto _ : state) {
+    analysis::CellSpeedAccumulator acc{analysis::Grid(200.0)};
+    for (const core::MatchedTransition& mt : r.transitions) {
+      for (const trace::RoutePoint& p : mt.transition.segment.points) {
+        acc.Add(proj.Forward(p.position), p.speed_kmh);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * r.total_point_speeds);
+}
+BENCHMARK(BM_CellAccumulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintTable5)

@@ -1,0 +1,27 @@
+// The Section VI-A in-text aggregates: total measured point speeds,
+// seasonal mean-speed deltas, the study-area feature census, and the
+// end-to-end pipeline runtime.
+
+#include "bench_util.h"
+
+namespace taxitrace {
+namespace {
+
+void PrintAggregates() {
+  const core::StudyResults& r = benchutil::FullResults();
+  std::printf("%s\n", core::FormatTextAggregates(r).c_str());
+}
+
+void BM_FullSmallStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Pipeline pipeline(core::StudyConfig::SmallStudy());
+    auto results = pipeline.Run();
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_FullSmallStudy)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace taxitrace
+
+TAXITRACE_BENCH_MAIN(taxitrace::PrintAggregates)

@@ -1,0 +1,99 @@
+// Shared helpers for the reproduction benches. Each bench binary first
+// prints the table/figure it regenerates (against the paper's numbers),
+// then runs google-benchmark timings of the underlying computation.
+
+#ifndef TAXITRACE_BENCH_BENCH_UTIL_H_
+#define TAXITRACE_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "taxitrace/common/strings.h"
+#include "taxitrace/core/figures.h"
+#include "taxitrace/core/pipeline.h"
+#include "taxitrace/core/reports.h"
+
+namespace taxitrace {
+namespace benchutil {
+
+/// The paper-scale study, run once per binary and cached.
+inline const core::StudyResults& FullResults() {
+  static const core::StudyResults* results = [] {
+    std::fprintf(stderr, "[bench] running the full study (7 cars, 365 days)...\n");
+    core::Pipeline pipeline(core::StudyConfig::FullStudy());
+    auto run = pipeline.Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "full study failed: %s\n",
+                   run.status().ToString().c_str());
+      std::abort();
+    }
+    return new core::StudyResults(std::move(run).value());
+  }();
+  return *results;
+}
+
+/// A reduced study for cheap per-iteration benchmarks.
+inline const core::StudyResults& SmallResults() {
+  static const core::StudyResults* results = [] {
+    core::Pipeline pipeline(core::StudyConfig::SmallStudy());
+    auto run = pipeline.Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "small study failed: %s\n",
+                   run.status().ToString().c_str());
+      std::abort();
+    }
+    return new core::StudyResults(std::move(run).value());
+  }();
+  return *results;
+}
+
+/// Prints the first `max_lines` lines of a (possibly large) text block.
+inline void PrintPreview(const std::string& text, int max_lines = 12) {
+  int lines = 0;
+  size_t start = 0;
+  while (start < text.size() && lines < max_lines) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::printf("  %s\n", text.substr(start, end - start).c_str());
+    start = end + 1;
+    ++lines;
+  }
+  const long total =
+      static_cast<long>(std::count(text.begin(), text.end(), '\n'));
+  if (total > max_lines) {
+    std::printf("  ... (%ld lines total)\n", total);
+  }
+}
+
+/// Writes a figure data file next to the binary and reports the path.
+inline void EmitFigureFile(const std::string& name,
+                           const std::string& text) {
+  const Status st = core::WriteTextFile(name, text);
+  if (st.ok()) {
+    std::printf("  [data written to ./%s]\n", name.c_str());
+  } else {
+    std::printf("  [could not write %s: %s]\n", name.c_str(),
+                st.ToString().c_str());
+  }
+}
+
+/// Standard bench main body: print the reproduction, then run timings.
+#define TAXITRACE_BENCH_MAIN(print_fn)                       \
+  int main(int argc, char** argv) {                          \
+    print_fn();                                              \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace benchutil
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,110 @@
+// Hotspot / slow-cell discovery: the urban-computing scenario from the
+// paper's introduction. Joins the 200 m grid speeds with map features,
+// fits the random-intercept model, runs the hotspot detector to separate
+// feature-explained slow cells from crowd candidates, and exports a
+// GeoJSON layer for GIS inspection.
+//
+//   $ ./hotspot_grid [output.geojson]
+
+#include <cmath>
+#include <cstdio>
+
+#include "taxitrace/analysis/hotspot_detector.h"
+#include "taxitrace/core/figures.h"
+#include "taxitrace/core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace taxitrace;
+
+  core::Pipeline pipeline(core::StudyConfig::SmallStudy());
+  const Result<core::StudyResults> run = pipeline.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const core::StudyResults& results = *run;
+
+  const std::vector<analysis::DetectedHotspot> slow_cells =
+      analysis::DetectHotspots(results.cells);
+  std::printf("Slow cells (>= 1 sd below the overall cell mean):\n");
+  std::printf(
+      "  cell(x,y)   z-score  mean km/h  points  lights  bus  "
+      "explanation\n");
+  for (const analysis::DetectedHotspot& hit : slow_cells) {
+    std::printf("  (%3d,%3d)   %7.2f  %9.1f  %6lld  %6d %4d  %s\n",
+                hit.cell.cell.cx, hit.cell.cell.cy, hit.z_score,
+                hit.cell.mean_speed_kmh,
+                static_cast<long long>(hit.cell.num_points),
+                hit.cell.features.traffic_lights,
+                hit.cell.features.bus_stops,
+                hit.explained_by_features ? "static features"
+                                          : "CROWD CANDIDATE");
+  }
+
+  // Cross-check the crowd candidates against the simulation's planted
+  // pedestrian hotspots (a downstream user would check WiFi/footfall
+  // data here, as the paper's reference [29] did).
+  const std::vector<analysis::DetectedHotspot> candidates =
+      analysis::DetectCrowdCandidates(results.cells);
+  const analysis::Grid grid(results.grid_cell_m);
+  int confirmed = 0;
+  for (const analysis::DetectedHotspot& hit : candidates) {
+    const geo::EnPoint center = grid.CellCenter(hit.cell.cell);
+    for (const synth::Hotspot& h : results.map.hotspots) {
+      if (geo::Distance(center, h.center) < h.radius_m + 150.0) {
+        ++confirmed;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\n%zu crowd candidates; %d coincide with the simulation's planted "
+      "pedestrian hotspots.\nThe paper: low speeds in such cells reflect "
+      "real movements of people, not static map features.\n",
+      candidates.size(), confirmed);
+
+  // Fuse with the pedestrian-activity ("WiFi count") data: correlate
+  // each cell's model intercept with its midday crowd intensity. A
+  // negative correlation is the paper's crowdsourcing outlook realised.
+  {
+    std::vector<double> blups, crowds;
+    const double midday = 13.0 * 3600.0;
+    for (size_t g = 0; g < results.model_cells.size(); ++g) {
+      if (results.cell_model.group_n[g] < 10) continue;
+      blups.push_back(results.cell_model.blup[g]);
+      crowds.push_back(results.pedestrians.CrowdIntensityAt(
+          grid.CellCenter(results.model_cells[g]), midday));
+    }
+    double mb = 0, mc = 0;
+    for (size_t i = 0; i < blups.size(); ++i) {
+      mb += blups[i];
+      mc += crowds[i];
+    }
+    mb /= static_cast<double>(blups.size());
+    mc /= static_cast<double>(blups.size());
+    double sbc = 0, sbb = 0, scc = 0;
+    for (size_t i = 0; i < blups.size(); ++i) {
+      sbc += (blups[i] - mb) * (crowds[i] - mc);
+      sbb += (blups[i] - mb) * (blups[i] - mb);
+      scc += (crowds[i] - mc) * (crowds[i] - mc);
+    }
+    if (sbb > 0 && scc > 0) {
+      std::printf(
+          "\nCorrelation(cell intercept, midday pedestrian activity) = "
+          "%.2f over %zu cells — crowds depress speeds.\n",
+          sbc / std::sqrt(sbb * scc), blups.size());
+    }
+  }
+
+  const std::string path = argc > 1 ? argv[1] : "hotspot_cells.geojson";
+  const Status st =
+      core::WriteTextFile(path, core::CellMapGeoJson(results));
+  if (st.ok()) {
+    std::printf("\nCell layer written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,254 @@
+// taxitrace_cli: a file-based command-line front end to the library,
+// composing the pipeline stages over CSV/GeoJSON artefacts so each step
+// can be inspected or swapped:
+//
+//   taxitrace_cli generate-map <elements.csv> <features.csv> [seed]
+//   taxitrace_cli simulate <elements.csv> <features.csv> <trips.csv>
+//                 [cars] [days] [seed]
+//   taxitrace_cli clean <trips.csv> <segments.csv>
+//   taxitrace_cli match <elements.csv> <features.csv> <segments.csv>
+//                 <routes.geojson> [max_trips]
+//   taxitrace_cli analyze <segments.csv>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/analysis/od_matrix.h"
+#include "taxitrace/analysis/temporal.h"
+#include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/common/histogram.h"
+#include "taxitrace/common/strings.h"
+#include "taxitrace/core/figures.h"
+#include "taxitrace/core/reports.h"
+#include "taxitrace/geo/simplify.h"
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/model/significance.h"
+#include "taxitrace/roadnet/map_io.h"
+#include "taxitrace/synth/city_map_generator.h"
+#include "taxitrace/synth/fleet_simulator.h"
+#include "taxitrace/trace/trace_io.h"
+
+namespace {
+
+using namespace taxitrace;
+
+const geo::LatLon kOrigin{65.0121, 25.4682};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int GenerateMap(int argc, char** argv) {
+  if (argc < 4) return 2;
+  synth::CityMapOptions options;
+  if (argc > 4) options.seed = std::strtoull(argv[4], nullptr, 10);
+  const Result<synth::CityMap> map = synth::GenerateCityMap(options);
+  if (!map.ok()) return Fail(map.status());
+  Status st = roadnet::WriteElementsFile(argv[2], map->source_elements);
+  if (!st.ok()) return Fail(st);
+  st = roadnet::WriteFeaturesFile(argv[3], map->source_features);
+  if (!st.ok()) return Fail(st);
+  std::printf("map: %zu traffic elements, %zu features -> %s, %s\n",
+              map->source_elements.size(), map->source_features.size(),
+              argv[2], argv[3]);
+  return 0;
+}
+
+Result<synth::CityMap> LoadMap(const char* elements_path,
+                               const char* features_path) {
+  TAXITRACE_ASSIGN_OR_RETURN(const auto elements,
+                             roadnet::ReadElementsFile(elements_path));
+  TAXITRACE_ASSIGN_OR_RETURN(const auto features,
+                             roadnet::ReadFeaturesFile(features_path));
+  // Rebuild a CityMap-shaped world around the loaded inputs. Gates and
+  // hotspots are generator artefacts; for CLI matching/analysis only the
+  // network matters, so regenerate them from the default seed.
+  TAXITRACE_ASSIGN_OR_RETURN(synth::CityMap map, synth::GenerateCityMap());
+  TAXITRACE_ASSIGN_OR_RETURN(
+      map.network,
+      roadnet::PrepareRoadNetwork(elements, features, kOrigin));
+  map.source_elements = elements;
+  map.source_features = features;
+  return map;
+}
+
+int Simulate(int argc, char** argv) {
+  if (argc < 5) return 2;
+  const Result<synth::CityMap> map = LoadMap(argv[2], argv[3]);
+  if (!map.ok()) return Fail(map.status());
+  synth::FleetOptions options;
+  if (argc > 5) options.num_cars = std::atoi(argv[5]);
+  if (argc > 6) options.num_days = std::atoi(argv[6]);
+  if (argc > 7) options.seed = std::strtoull(argv[7], nullptr, 10);
+  const synth::WeatherModel weather(options.seed + 1, options.num_days);
+  const synth::FleetSimulator fleet(&*map, &weather, options);
+  const Result<synth::FleetResult> result = fleet.Run();
+  if (!result.ok()) return Fail(result.status());
+  const Status st =
+      trace::WriteTripsFile(argv[4], result->store.trips());
+  if (!st.ok()) return Fail(st);
+  std::printf("simulated %zu raw trips (%zu points) -> %s\n",
+              result->store.NumTrips(), result->store.NumPoints(),
+              argv[4]);
+  return 0;
+}
+
+int Clean(int argc, char** argv) {
+  if (argc < 4) return 2;
+  const Result<std::vector<trace::Trip>> trips =
+      trace::ReadTripsFile(argv[2]);
+  if (!trips.ok()) return Fail(trips.status());
+  trace::TraceStore store;
+  for (const trace::Trip& t : *trips) {
+    const Status st = store.AddTrip(t);
+    if (!st.ok()) return Fail(st);
+  }
+  clean::CleaningReport report;
+  const std::vector<trace::Trip> segments =
+      clean::CleanTrips(store, {}, &report);
+  const Status st = trace::WriteTripsFile(argv[3], segments);
+  if (!st.ok()) return Fail(st);
+  std::printf("%s", core::FormatTable2Report(report).c_str());
+  std::printf("cleaned segments -> %s\n", argv[3]);
+  return 0;
+}
+
+int Match(int argc, char** argv) {
+  if (argc < 6) return 2;
+  const Result<synth::CityMap> map = LoadMap(argv[2], argv[3]);
+  if (!map.ok()) return Fail(map.status());
+  const Result<std::vector<trace::Trip>> segments =
+      trace::ReadTripsFile(argv[4]);
+  if (!segments.ok()) return Fail(segments.status());
+  const size_t max_trips =
+      argc > 6 ? static_cast<size_t>(std::atoll(argv[6])) : 200;
+
+  const roadnet::SpatialIndex index(&map->network);
+  const mapmatch::IncrementalMatcher matcher(&map->network, &index);
+  const geo::LocalProjection& proj = map->network.projection();
+  std::string json = "{\"type\":\"FeatureCollection\",\"features\":[";
+  size_t matched_count = 0;
+  for (const trace::Trip& segment : *segments) {
+    if (matched_count >= max_trips) break;
+    const Result<mapmatch::MatchedRoute> matched = matcher.Match(segment);
+    if (!matched.ok()) continue;
+    const geo::Polyline line = geo::Simplify(matched->geometry, 3.0);
+    if (matched_count > 0) json += ",";
+    json +=
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        "\"coordinates\":[";
+    for (size_t i = 0; i < line.points().size(); ++i) {
+      if (i > 0) json += ",";
+      const geo::LatLon ll = proj.Inverse(line.points()[i]);
+      json += StrFormat("[%.6f,%.6f]", ll.lon_deg, ll.lat_deg);
+    }
+    json += StrFormat(
+        "]},\"properties\":{\"trip_id\":%lld,\"length_m\":%.0f,"
+        "\"gaps\":%d}}",
+        static_cast<long long>(segment.trip_id), matched->length_m,
+        matched->gaps_filled);
+    ++matched_count;
+  }
+  json += "]}";
+  const Status st = core::WriteTextFile(argv[5], json);
+  if (!st.ok()) return Fail(st);
+  std::printf("matched %zu segments -> %s\n", matched_count, argv[5]);
+  return 0;
+}
+
+int Analyze(int argc, char** argv) {
+  if (argc < 3) return 2;
+  const Result<std::vector<trace::Trip>> segments =
+      trace::ReadTripsFile(argv[2]);
+  if (!segments.ok()) return Fail(segments.status());
+
+  const geo::LocalProjection proj(kOrigin);
+  const analysis::Grid grid(200.0);
+  model::OneWayReml reml;
+  std::unordered_map<analysis::CellId, size_t, analysis::CellIdHash>
+      groups;
+  Histogram speeds(0.0, 80.0, 16);
+  std::vector<const trace::Trip*> trip_ptrs;
+  for (const trace::Trip& t : *segments) trip_ptrs.push_back(&t);
+  for (const trace::Trip& t : *segments) {
+    for (const trace::RoutePoint& p : t.points) {
+      const analysis::CellId cell =
+          grid.CellOf(proj.Forward(p.position));
+      const auto [it, inserted] = groups.emplace(cell, groups.size());
+      reml.Add(it->second, p.speed_kmh);
+      speeds.Add(p.speed_kmh);
+    }
+  }
+  std::printf("%zu segments, %lld point speeds in %zu cells\n\n",
+              segments->size(),
+              static_cast<long long>(reml.num_observations()),
+              groups.size());
+  std::printf("Point speed distribution (km/h):\n%s\n",
+              speeds.Render(40).c_str());
+
+  const auto hourly = analysis::HourlySpeedSeries(trip_ptrs);
+  std::printf("Rush-hour slowdown vs off-peak: %.1f km/h\n",
+              analysis::RushHourSlowdownKmh(hourly));
+
+  const auto flows = analysis::BuildOdMatrix(trip_ptrs, proj);
+  std::printf("\nTop origin-destination flows (600 m zones):\n");
+  for (size_t i = 0; i < flows.size() && i < 5; ++i) {
+    std::printf(
+        "  (%2d,%2d) -> (%2d,%2d): %lld trips, %.1f km, %.1f min mean\n",
+        flows[i].origin.cx, flows[i].origin.cy, flows[i].destination.cx,
+        flows[i].destination.cy, static_cast<long long>(flows[i].trips),
+        flows[i].mean_distance_km, flows[i].mean_duration_min);
+  }
+  std::printf("  intra-zone share: %.0f%% of %lld trips\n",
+              100.0 * analysis::IntraZoneShare(flows),
+              static_cast<long long>(analysis::TotalFlows(flows)));
+
+  const Result<model::OneWayRemlFit> fit = reml.Fit();
+  if (fit.ok()) {
+    const Result<model::RandomEffectLrt> lrt =
+        model::TestRandomEffect(reml);
+    std::printf(
+        "Mixed model: mu %.1f km/h, cell sd %.1f, residual sd %.1f",
+        fit->mu, std::sqrt(fit->sigma2_group),
+        std::sqrt(fit->sigma2_residual));
+    if (lrt.ok()) {
+      std::printf(", geography LRT %.1f (p %s)", lrt->statistic,
+                  lrt->p_value < 1e-12 ? "< 1e-12" : "small");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: taxitrace_cli "
+        "generate-map|simulate|clean|match|analyze ...\n");
+    return 2;
+  }
+  int rc = 2;
+  if (std::strcmp(argv[1], "generate-map") == 0) {
+    rc = GenerateMap(argc, argv);
+  } else if (std::strcmp(argv[1], "simulate") == 0) {
+    rc = Simulate(argc, argv);
+  } else if (std::strcmp(argv[1], "clean") == 0) {
+    rc = Clean(argc, argv);
+  } else if (std::strcmp(argv[1], "match") == 0) {
+    rc = Match(argc, argv);
+  } else if (std::strcmp(argv[1], "analyze") == 0) {
+    rc = Analyze(argc, argv);
+  }
+  if (rc == 2) {
+    std::fprintf(stderr, "bad arguments; see the header comment\n");
+  }
+  return rc;
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from a full_study output directory.
+
+Usage:
+    ./build/examples/full_study study_output
+    python3 scripts/plot_figures.py study_output [plots]
+
+Needs matplotlib; every figure is emitted as a PNG into the output
+directory (default: <study_dir>/plots).
+"""
+import csv
+import json
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def save(fig, out_dir, name):
+    path = os.path.join(out_dir, name)
+    fig.savefig(path, dpi=150, bbox_inches="tight")
+    print(f"wrote {path}")
+
+
+def plot_speed_map(plt, study, out):
+    rows = read_csv(os.path.join(study, "fig3_speed_map_taxi1.csv"))
+    lon = [float(r["lon"]) for r in rows]
+    lat = [float(r["lat"]) for r in rows]
+    speed = [float(r["speed_kmh"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 7))
+    sc = ax.scatter(lon, lat, c=speed, s=4, cmap="RdYlGn")
+    fig.colorbar(sc, label="speed (km/h)")
+    ax.set_title("Fig. 3 — cleaned speed data, taxi 1")
+    save(fig, out, "fig3_speed_map.png")
+
+
+def plot_directions(plt, study, out):
+    rows = read_csv(os.path.join(study, "fig4_fig5_speed_points_all.csv"))
+    fig, axes = plt.subplots(2, 2, figsize=(10, 10), sharex=True, sharey=True)
+    for ax, d in zip(axes.flat, ["T-S", "S-T", "T-L", "L-T"]):
+        sel = [r for r in rows if r["direction"] == d]
+        sc = ax.scatter([float(r["lon"]) for r in sel],
+                        [float(r["lat"]) for r in sel],
+                        c=[float(r["speed_kmh"]) for r in sel],
+                        s=3, cmap="RdYlGn")
+        ax.set_title(f"{d} ({len(sel)} points)")
+    fig.suptitle("Fig. 4 — speeds by direction")
+    fig.colorbar(sc, ax=axes, label="speed (km/h)")
+    save(fig, out, "fig4_directions.png")
+
+
+def plot_seasons(plt, study, out):
+    rows = read_csv(os.path.join(study, "fig4_fig5_speed_points_all.csv"))
+    fig, axes = plt.subplots(2, 2, figsize=(10, 10), sharex=True, sharey=True)
+    for ax, season in zip(axes.flat, ["winter", "spring", "summer", "autumn"]):
+        sel = [r for r in rows if r["season"] == season]
+        if not sel:
+            continue
+        sc = ax.scatter([float(r["lon"]) for r in sel],
+                        [float(r["lat"]) for r in sel],
+                        c=[float(r["speed_kmh"]) for r in sel],
+                        s=3, cmap="RdYlGn")
+        ax.set_title(f"{season} ({len(sel)} points)")
+    fig.suptitle("Fig. 5 — speeds by season")
+    save(fig, out, "fig5_seasons.png")
+
+
+def plot_cells(plt, study, out, name, title, prop):
+    with open(os.path.join(study, name)) as f:
+        collection = json.load(f)
+    fig, ax = plt.subplots(figsize=(7, 7))
+    values = []
+    polys = []
+    for feature in collection["features"]:
+        v = feature["properties"].get(prop)
+        if v is None:
+            continue
+        values.append(v)
+        polys.append(feature["geometry"]["coordinates"][0])
+    vmin, vmax = min(values), max(values)
+    cmap = plt.get_cmap("RdYlGn")
+    for v, ring in zip(values, polys):
+        xs = [p[0] for p in ring]
+        ys = [p[1] for p in ring]
+        t = (v - vmin) / (vmax - vmin) if vmax > vmin else 0.5
+        ax.fill(xs, ys, color=cmap(t), edgecolor="grey", linewidth=0.3)
+    ax.set_title(title)
+    save(fig, out, name.replace(".geojson", ".png"))
+
+
+def plot_qq(plt, study, out):
+    rows = read_csv(os.path.join(study, "fig7_qqplot.csv"))
+    x = [float(r["theoretical_quantile"]) for r in rows]
+    y = [float(r["sample_quantile_kmh"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 6))
+    ax.plot(x, y, "o", ms=3)
+    lo, hi = min(x), max(x)
+    scale = (max(y) - min(y)) / (hi - lo)
+    ax.plot([lo, hi], [min(y), min(y) + (hi - lo) * scale], "--",
+            color="grey")
+    ax.set_xlabel("theoretical quantile")
+    ax.set_ylabel("cell intercept (km/h)")
+    ax.set_title("Fig. 7 — intercept QQ plot")
+    save(fig, out, "fig7_qqplot.png")
+
+
+def plot_intercepts(plt, study, out):
+    rows = read_csv(os.path.join(study, "fig8_intercepts.csv"))
+    rank = [int(r["rank"]) for r in rows]
+    blup = [float(r["blup_kmh"]) for r in rows]
+    lo = [float(r["lo95"]) for r in rows]
+    hi = [float(r["hi95"]) for r in rows]
+    fig, ax = plt.subplots(figsize=(9, 5))
+    ax.errorbar(rank, blup,
+                yerr=[[b - l for b, l in zip(blup, lo)],
+                      [h - b for b, h in zip(blup, hi)]],
+                fmt="o", ms=3, lw=0.8)
+    ax.axhline(0, color="grey", lw=0.8)
+    ax.set_xlabel("cell rank")
+    ax.set_ylabel("intercept (km/h)")
+    ax.set_title("Fig. 8 — cell intercepts with confidence limits")
+    save(fig, out, "fig8_intercepts.png")
+
+
+def plot_weather(plt, study, out):
+    rows = read_csv(os.path.join(study, "fig10_weather_low_speed.csv"))
+    classes = sorted({r["temperature_class"] for r in rows})
+    few = {r["temperature_class"]: float(r["mean_low_speed_pct"])
+           for r in rows if r["lights"].startswith("<")}
+    many = {r["temperature_class"]: float(r["mean_low_speed_pct"])
+            for r in rows if r["lights"].startswith(">=")}
+    fig, ax = plt.subplots(figsize=(9, 5))
+    xs = range(len(classes))
+    ax.bar([x - 0.2 for x in xs], [few.get(c, 0) for c in classes],
+           width=0.4, color="white", edgecolor="black", label="few lights")
+    ax.bar([x + 0.2 for x in xs], [many.get(c, 0) for c in classes],
+           width=0.4, color="grey", edgecolor="black", label="many lights")
+    ax.set_xticks(list(xs), classes)
+    ax.set_ylabel("low speed (%)")
+    ax.set_title("Fig. 10 — low speed by temperature class")
+    ax.legend()
+    save(fig, out, "fig10_weather.png")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    study = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else os.path.join(study, "plots")
+    os.makedirs(out, exist_ok=True)
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    plot_speed_map(plt, study, out)
+    plot_directions(plt, study, out)
+    plot_seasons(plt, study, out)
+    plot_cells(plt, study, out, "fig6_cell_map_LT.geojson",
+               "Fig. 6 — cell mean speed, L-T", "mean_speed_kmh")
+    plot_cells(plt, study, out, "fig9_intercept_map.geojson",
+               "Fig. 9 — cell intercepts (BLUP)", "blup_kmh")
+    plot_qq(plt, study, out)
+    plot_intercepts(plt, study, out)
+    plot_weather(plt, study, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

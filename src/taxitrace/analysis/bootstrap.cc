@@ -1,0 +1,51 @@
+#include "taxitrace/analysis/bootstrap.h"
+
+#include <algorithm>
+
+#include "taxitrace/analysis/summary_stats.h"
+
+namespace taxitrace {
+namespace analysis {
+
+BootstrapInterval BootstrapTransitions(
+    const std::vector<TransitionRecord>& records,
+    const std::function<double(const std::vector<TransitionRecord>&)>&
+        statistic,
+    const BootstrapOptions& options) {
+  BootstrapInterval out;
+  if (records.empty() || options.replicates <= 0) return out;
+  out.estimate = statistic(records);
+  out.replicates = options.replicates;
+
+  Rng rng(options.seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(options.replicates));
+  std::vector<TransitionRecord> resampled(records.size());
+  for (int r = 0; r < options.replicates; ++r) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      resampled[i] = records[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(records.size()) - 1))];
+    }
+    values.push_back(statistic(resampled));
+  }
+  std::sort(values.begin(), values.end());
+  const double alpha = (1.0 - options.confidence) / 2.0;
+  out.lo = SortedQuantile(values, alpha);
+  out.hi = SortedQuantile(values, 1.0 - alpha);
+  return out;
+}
+
+double MeanLowSpeedPct(const std::vector<TransitionRecord>& records,
+                       const std::string& direction) {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const TransitionRecord& r : records) {
+    if (r.direction != direction) continue;
+    sum += 100.0 * r.low_speed_share;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

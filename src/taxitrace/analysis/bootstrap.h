@@ -1,0 +1,54 @@
+// Cluster bootstrap confidence intervals for transition-level
+// statistics: transitions are the resampling unit (points within a
+// transition are correlated, so point-level resampling would understate
+// the uncertainty of the Table 4 comparisons).
+
+#ifndef TAXITRACE_ANALYSIS_BOOTSTRAP_H_
+#define TAXITRACE_ANALYSIS_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "taxitrace/analysis/route_stats.h"
+#include "taxitrace/common/random.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// A percentile bootstrap interval.
+struct BootstrapInterval {
+  double estimate = 0.0;  ///< Statistic on the original sample.
+  double lo = 0.0;        ///< Lower percentile bound.
+  double hi = 0.0;        ///< Upper percentile bound.
+  int replicates = 0;
+
+  bool Contains(double value) const { return value >= lo && value <= hi; }
+  double Width() const { return hi - lo; }
+};
+
+/// Bootstrap options.
+struct BootstrapOptions {
+  int replicates = 1000;
+  double confidence = 0.95;
+  uint64_t seed = 42;
+};
+
+/// Percentile bootstrap of `statistic` over resampled transition sets.
+/// `statistic` receives a resampled vector (same size as the input,
+/// drawn with replacement). Returns a zero interval for empty input.
+BootstrapInterval BootstrapTransitions(
+    const std::vector<TransitionRecord>& records,
+    const std::function<double(const std::vector<TransitionRecord>&)>&
+        statistic,
+    const BootstrapOptions& options = {});
+
+/// Convenience statistic: mean low-speed share (percent) of one
+/// direction; NaN-free (0 when the direction is absent from a
+/// replicate).
+double MeanLowSpeedPct(const std::vector<TransitionRecord>& records,
+                       const std::string& direction);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_BOOTSTRAP_H_

@@ -1,0 +1,69 @@
+#include "taxitrace/analysis/cell_stats.h"
+
+#include <algorithm>
+
+namespace taxitrace {
+namespace analysis {
+
+std::vector<CellRecord> BuildCellRecords(
+    const CellSpeedAccumulator& speeds,
+    const std::unordered_map<CellId, CellFeatureCounts, CellIdHash>&
+        features) {
+  std::vector<CellRecord> out;
+  out.reserve(speeds.cells().size());
+  for (const auto& [cell, moments] : speeds.cells()) {
+    CellRecord rec;
+    rec.cell = cell;
+    rec.center = speeds.grid().CellCenter(cell);
+    rec.num_points = moments.n;
+    rec.mean_speed_kmh = moments.mean;
+    rec.speed_variance = moments.Variance();
+    const auto it = features.find(cell);
+    if (it != features.end()) rec.features = it->second;
+    out.push_back(rec);
+  }
+  // Deterministic order for reporting.
+  std::sort(out.begin(), out.end(),
+            [](const CellRecord& a, const CellRecord& b) {
+              if (a.cell.cy != b.cell.cy) return a.cell.cy < b.cell.cy;
+              return a.cell.cx < b.cell.cx;
+            });
+  return out;
+}
+
+CellStratumStats SummarizeCells(
+    const std::vector<CellRecord>& records,
+    const std::function<bool(const CellRecord&)>& predicate) {
+  std::vector<double> means;
+  for (const CellRecord& r : records) {
+    if (predicate(r)) means.push_back(r.mean_speed_kmh);
+  }
+  CellStratumStats s;
+  s.num_cells = static_cast<int64_t>(means.size());
+  if (means.empty()) return s;
+  s.min = *std::min_element(means.begin(), means.end());
+  s.max = *std::max_element(means.begin(), means.end());
+  s.mean = Mean(means);
+  s.variance = Variance(means);
+  return s;
+}
+
+Table5 BuildTable5(const std::vector<CellRecord>& records) {
+  Table5 t;
+  t.no_lights = SummarizeCells(records, [](const CellRecord& r) {
+    return r.features.traffic_lights == 0;
+  });
+  t.no_lights_no_bus = SummarizeCells(records, [](const CellRecord& r) {
+    return r.features.traffic_lights == 0 && r.features.bus_stops == 0;
+  });
+  t.lights_and_bus = SummarizeCells(records, [](const CellRecord& r) {
+    return r.features.traffic_lights > 0 && r.features.bus_stops > 0;
+  });
+  t.lights = SummarizeCells(records, [](const CellRecord& r) {
+    return r.features.traffic_lights > 0;
+  });
+  return t;
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

@@ -1,0 +1,63 @@
+// Cell-level analysis: joining per-cell average speeds with static map
+// features — Table 5 and the Fig. 6 cell map.
+
+#ifndef TAXITRACE_ANALYSIS_CELL_STATS_H_
+#define TAXITRACE_ANALYSIS_CELL_STATS_H_
+
+#include <functional>
+#include <vector>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/analysis/summary_stats.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// One cell with measurements: its average point speed joined with its
+/// static feature counts.
+struct CellRecord {
+  CellId cell;
+  geo::EnPoint center;
+  int64_t num_points = 0;
+  double mean_speed_kmh = 0.0;
+  double speed_variance = 0.0;
+  CellFeatureCounts features;
+};
+
+/// Joins a speed accumulator with cell feature counts. Cells without
+/// measurement points are excluded (as in the paper's regression).
+std::vector<CellRecord> BuildCellRecords(
+    const CellSpeedAccumulator& speeds,
+    const std::unordered_map<CellId, CellFeatureCounts, CellIdHash>&
+        features);
+
+/// One stratum column of Table 5: the distribution of per-cell average
+/// speeds over the cells matching a predicate.
+struct CellStratumStats {
+  int64_t num_cells = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Summarises the mean speeds of cells matching `predicate`.
+CellStratumStats SummarizeCells(
+    const std::vector<CellRecord>& records,
+    const std::function<bool(const CellRecord&)>& predicate);
+
+/// The four strata of Table 5.
+struct Table5 {
+  CellStratumStats no_lights;              ///< traffic lights == 0
+  CellStratumStats no_lights_no_bus;       ///< lights == 0 and bus == 0
+  CellStratumStats lights_and_bus;         ///< lights > 0 and bus > 0
+  CellStratumStats lights;                 ///< lights > 0
+};
+
+/// Builds Table 5 from cell records.
+Table5 BuildTable5(const std::vector<CellRecord>& records);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_CELL_STATS_H_

@@ -1,0 +1,54 @@
+#include "taxitrace/analysis/feature_model.h"
+
+namespace taxitrace {
+namespace analysis {
+
+double FeatureModelFit::Coefficient(const std::string& term) const {
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i] == term && i < fit.fixed_effects.size()) {
+      return fit.fixed_effects[i];
+    }
+  }
+  return 0.0;
+}
+
+double FeatureModelFit::StandardError(const std::string& term) const {
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i] == term && i < fit.fixed_se.size()) {
+      return fit.fixed_se[i];
+    }
+  }
+  return 0.0;
+}
+
+Result<FeatureModelFit> FitFeatureModel(
+    const std::vector<SpeedObservation>& observations,
+    const std::unordered_map<CellId, CellFeatureCounts, CellIdHash>&
+        features,
+    const Grid& grid) {
+  if (observations.size() < 10) {
+    return Status::FailedPrecondition("too few observations");
+  }
+  FeatureModelFit out;
+  out.terms = FeatureModelTerms();
+  model::MixedModel mixed(out.terms.size());
+  std::unordered_map<CellId, size_t, CellIdHash> groups;
+  for (const SpeedObservation& obs : observations) {
+    const CellId cell = grid.CellOf(obs.position);
+    const auto fit = features.find(cell);
+    const CellFeatureCounts counts =
+        fit == features.end() ? CellFeatureCounts{} : fit->second;
+    const auto [it, inserted] = groups.emplace(cell, groups.size());
+    if (inserted) out.cells.push_back(cell);
+    mixed.Add({1.0, static_cast<double>(counts.traffic_lights),
+               static_cast<double>(counts.bus_stops),
+               static_cast<double>(counts.pedestrian_crossings),
+               static_cast<double>(counts.junctions)},
+              it->second, obs.speed_kmh);
+  }
+  TAXITRACE_ASSIGN_OR_RETURN(out.fit, mixed.Fit());
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

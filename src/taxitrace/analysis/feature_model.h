@@ -1,0 +1,58 @@
+// The paper's Eq. (2) with map features as fixed effects: point speed
+// regressed on the cell's traffic-light / bus-stop / pedestrian-crossing
+// / junction counts, with a Gaussian random intercept per cell soaking
+// up the remaining geography ("X may include ... the map features such
+// as the number of traffic lights, bus stops, pedestrian crossings or
+// crossings for the cell").
+
+#ifndef TAXITRACE_ANALYSIS_FEATURE_MODEL_H_
+#define TAXITRACE_ANALYSIS_FEATURE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/common/result.h"
+#include "taxitrace/model/mixed_model.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// Names of the fixed-effect columns, in design order.
+inline const std::vector<std::string>& FeatureModelTerms() {
+  static const std::vector<std::string> kTerms = {
+      "intercept", "traffic_lights", "bus_stops", "pedestrian_crossings",
+      "junctions"};
+  return kTerms;
+}
+
+/// One point-speed observation for the model.
+struct SpeedObservation {
+  geo::EnPoint position;
+  double speed_kmh = 0.0;
+};
+
+/// A fitted feature model plus its term names.
+struct FeatureModelFit {
+  model::MixedModelFit fit;
+  std::vector<std::string> terms;  ///< Parallel to fit.fixed_effects.
+  std::vector<CellId> cells;       ///< Group index -> cell.
+
+  /// Coefficient of the named term; 0 if absent.
+  double Coefficient(const std::string& term) const;
+  /// Standard error of the named term; 0 if absent.
+  double StandardError(const std::string& term) const;
+};
+
+/// Builds and fits the feature model from point-speed observations and
+/// per-cell static feature counts.
+Result<FeatureModelFit> FitFeatureModel(
+    const std::vector<SpeedObservation>& observations,
+    const std::unordered_map<CellId, CellFeatureCounts, CellIdHash>&
+        features,
+    const Grid& grid);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_FEATURE_MODEL_H_

@@ -1,0 +1,98 @@
+// The 200 m x 200 m analysis grid (Section V): even-sized cells, chosen
+// to hold enough measurement points per cell while capturing the effect
+// of multiple map features.
+
+#ifndef TAXITRACE_ANALYSIS_GRID_H_
+#define TAXITRACE_ANALYSIS_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "taxitrace/geo/geometry.h"
+#include "taxitrace/roadnet/road_network.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// Integer cell coordinates.
+struct CellId {
+  int32_t cx = 0;
+  int32_t cy = 0;
+  friend bool operator==(const CellId&, const CellId&) = default;
+};
+
+struct CellIdHash {
+  size_t operator()(const CellId& c) const {
+    return static_cast<size_t>(
+        static_cast<uint64_t>(static_cast<uint32_t>(c.cx)) * 0x9E3779B1U ^
+        (static_cast<uint64_t>(static_cast<uint32_t>(c.cy)) << 16));
+  }
+};
+
+/// A uniform grid anchored at the local-frame origin.
+class Grid {
+ public:
+  explicit Grid(double cell_size_m = 200.0);
+
+  double cell_size_m() const { return cell_size_m_; }
+
+  /// Cell containing a point.
+  CellId CellOf(const geo::EnPoint& p) const;
+
+  /// Centre point of a cell.
+  geo::EnPoint CellCenter(const CellId& c) const;
+
+  /// Bounds of a cell.
+  geo::Bbox CellBounds(const CellId& c) const;
+
+ private:
+  double cell_size_m_;
+};
+
+/// Streaming per-cell mean/variance of point speeds (Welford).
+class CellSpeedAccumulator {
+ public:
+  explicit CellSpeedAccumulator(const Grid& grid) : grid_(grid) {}
+
+  /// Adds one measured point speed at a position.
+  void Add(const geo::EnPoint& position, double speed_kmh);
+
+  /// Accumulated moments of one cell.
+  struct Moments {
+    int64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;  ///< Sum of squared deviations.
+
+    double Variance() const { return n > 1 ? m2 / (n - 1) : 0.0; }
+  };
+
+  const std::unordered_map<CellId, Moments, CellIdHash>& cells() const {
+    return cells_;
+  }
+  const Grid& grid() const { return grid_; }
+  int64_t total_points() const { return total_points_; }
+
+ private:
+  Grid grid_;
+  std::unordered_map<CellId, Moments, CellIdHash> cells_;
+  int64_t total_points_ = 0;
+};
+
+/// Static feature counts of one cell.
+struct CellFeatureCounts {
+  int traffic_lights = 0;
+  int bus_stops = 0;
+  int pedestrian_crossings = 0;
+  int junctions = 0;  ///< Graph junction vertices in the cell.
+};
+
+/// Feature counts for every cell touched by the network's features or
+/// junction vertices.
+std::unordered_map<CellId, CellFeatureCounts, CellIdHash>
+ComputeCellFeatures(const roadnet::RoadNetwork& network, const Grid& grid);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_GRID_H_

@@ -1,0 +1,70 @@
+#include "taxitrace/analysis/hotspot_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "taxitrace/geo/convex_hull.h"
+
+namespace taxitrace {
+namespace analysis {
+
+std::vector<DetectedHotspot> DetectHotspots(
+    const std::vector<CellRecord>& cells,
+    const HotspotDetectorOptions& options) {
+  std::vector<const CellRecord*> eligible;
+  std::vector<double> means;
+  for (const CellRecord& cell : cells) {
+    if (cell.num_points < options.min_points) continue;
+    eligible.push_back(&cell);
+    means.push_back(cell.mean_speed_kmh);
+  }
+  std::vector<DetectedHotspot> out;
+  if (eligible.size() < 3) return out;
+  const double mean = Mean(means);
+  const double sd = std::sqrt(Variance(means));
+  if (sd <= 0.0) return out;
+
+  for (const CellRecord* cell : eligible) {
+    const double z = (cell->mean_speed_kmh - mean) / sd;
+    if (z > -options.slow_z_threshold) continue;
+    DetectedHotspot hit;
+    hit.cell = *cell;
+    hit.z_score = z;
+    hit.explained_by_features = cell->features.traffic_lights > 0 ||
+                                cell->features.bus_stops > 0;
+    out.push_back(hit);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DetectedHotspot& a, const DetectedHotspot& b) {
+              return a.z_score < b.z_score;
+            });
+  return out;
+}
+
+std::vector<DetectedHotspot> DetectCrowdCandidates(
+    const std::vector<CellRecord>& cells,
+    const HotspotDetectorOptions& options) {
+  std::vector<DetectedHotspot> all = DetectHotspots(cells, options);
+  std::vector<DetectedHotspot> out;
+  for (DetectedHotspot& hit : all) {
+    if (!hit.explained_by_features) out.push_back(std::move(hit));
+  }
+  return out;
+}
+
+geo::Polygon HotspotRegionOutline(
+    const std::vector<DetectedHotspot>& hotspots, const Grid& grid) {
+  std::vector<geo::EnPoint> corners;
+  corners.reserve(hotspots.size() * 4);
+  for (const DetectedHotspot& hit : hotspots) {
+    const geo::Bbox b = grid.CellBounds(hit.cell.cell);
+    corners.push_back(geo::EnPoint{b.min_x, b.min_y});
+    corners.push_back(geo::EnPoint{b.max_x, b.min_y});
+    corners.push_back(geo::EnPoint{b.max_x, b.max_y});
+    corners.push_back(geo::EnPoint{b.min_x, b.max_y});
+  }
+  return geo::ConvexHull(std::move(corners));
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

@@ -1,0 +1,55 @@
+// Hotspot detection from cell statistics: finding the "crowded areas
+// with a lot of pedestrians moving" whose low speeds the static map
+// features do not explain (the paper's area B in Fig. 6, and the
+// hotspot-detection line of related work it cites).
+
+#ifndef TAXITRACE_ANALYSIS_HOTSPOT_DETECTOR_H_
+#define TAXITRACE_ANALYSIS_HOTSPOT_DETECTOR_H_
+
+#include <vector>
+
+#include "taxitrace/analysis/cell_stats.h"
+#include "taxitrace/geo/polygon.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// Detection thresholds.
+struct HotspotDetectorOptions {
+  /// A cell is slow when its mean speed sits this many pooled standard
+  /// deviations below the overall cell mean.
+  double slow_z_threshold = 1.0;
+  /// Minimum measurement points for a cell to be considered.
+  int64_t min_points = 10;
+};
+
+/// A detected slow cell with its explanation category.
+struct DetectedHotspot {
+  CellRecord cell;
+  double z_score = 0.0;  ///< Negative: below the overall mean.
+  /// True when static features (lights or bus stops) plausibly explain
+  /// the slowness; false marks a candidate crowd hotspot.
+  bool explained_by_features = false;
+};
+
+/// Detects slow cells and classifies them as feature-explained or
+/// crowd-candidate. Sorted by ascending z-score (slowest first).
+std::vector<DetectedHotspot> DetectHotspots(
+    const std::vector<CellRecord>& cells,
+    const HotspotDetectorOptions& options = {});
+
+/// Convenience: only the unexplained (crowd-candidate) hotspots.
+std::vector<DetectedHotspot> DetectCrowdCandidates(
+    const std::vector<CellRecord>& cells,
+    const HotspotDetectorOptions& options = {});
+
+/// Convex outline around detected cells (their four cell corners), for
+/// drawing the region on a map. Empty when the cells do not span an
+/// area.
+geo::Polygon HotspotRegionOutline(
+    const std::vector<DetectedHotspot>& hotspots, const Grid& grid);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_HOTSPOT_DETECTOR_H_

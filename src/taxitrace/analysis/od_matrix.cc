@@ -1,0 +1,82 @@
+#include "taxitrace/analysis/od_matrix.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace taxitrace {
+namespace analysis {
+namespace {
+
+struct OdKey {
+  CellId origin;
+  CellId destination;
+  friend bool operator==(const OdKey&, const OdKey&) = default;
+};
+
+struct OdKeyHash {
+  size_t operator()(const OdKey& k) const {
+    const CellIdHash h;
+    return h(k.origin) * 0x9E3779B97F4A7C15ULL ^ h(k.destination);
+  }
+};
+
+}  // namespace
+
+std::vector<OdFlow> BuildOdMatrix(
+    const std::vector<const trace::Trip*>& trips,
+    const geo::LocalProjection& projection,
+    const OdMatrixOptions& options) {
+  const Grid zones(options.zone_size_m);
+  struct Accumulator {
+    OdFlow flow;
+    double dist_sum = 0.0;
+    double time_sum = 0.0;
+  };
+  std::unordered_map<OdKey, Accumulator, OdKeyHash> flows;
+  for (const trace::Trip* trip : trips) {
+    if (trip == nullptr || trip->points.size() < 2) continue;
+    const CellId origin =
+        zones.CellOf(projection.Forward(trip->points.front().position));
+    const CellId destination =
+        zones.CellOf(projection.Forward(trip->points.back().position));
+    Accumulator& acc = flows[OdKey{origin, destination}];
+    acc.flow.origin = origin;
+    acc.flow.destination = destination;
+    ++acc.flow.trips;
+    acc.dist_sum += trace::PathLengthMeters(trip->points) / 1000.0;
+    acc.time_sum += trace::TimeSpanSeconds(trip->points) / 60.0;
+  }
+  std::vector<OdFlow> out;
+  out.reserve(flows.size());
+  for (auto& [key, acc] : flows) {
+    const double n = static_cast<double>(acc.flow.trips);
+    acc.flow.mean_distance_km = acc.dist_sum / n;
+    acc.flow.mean_duration_min = acc.time_sum / n;
+    out.push_back(acc.flow);
+  }
+  std::sort(out.begin(), out.end(), [](const OdFlow& a, const OdFlow& b) {
+    if (a.trips != b.trips) return a.trips > b.trips;
+    const CellIdHash h;
+    return h(a.origin) < h(b.origin);  // deterministic tie break
+  });
+  return out;
+}
+
+int64_t TotalFlows(const std::vector<OdFlow>& flows) {
+  int64_t total = 0;
+  for (const OdFlow& f : flows) total += f.trips;
+  return total;
+}
+
+double IntraZoneShare(const std::vector<OdFlow>& flows) {
+  const int64_t total = TotalFlows(flows);
+  if (total == 0) return 0.0;
+  int64_t intra = 0;
+  for (const OdFlow& f : flows) {
+    if (f.origin == f.destination) intra += f.trips;
+  }
+  return static_cast<double>(intra) / static_cast<double>(total);
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

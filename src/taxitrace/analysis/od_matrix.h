@@ -1,0 +1,49 @@
+// Origin-destination flow matrix over coarse grid zones: the intra-city
+// spatial-interaction view of the traces (the Liu et al. line of the
+// paper's related work — taxi data "reveal city structure").
+
+#ifndef TAXITRACE_ANALYSIS_OD_MATRIX_H_
+#define TAXITRACE_ANALYSIS_OD_MATRIX_H_
+
+#include <vector>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// One zone-to-zone flow.
+struct OdFlow {
+  CellId origin;
+  CellId destination;
+  int64_t trips = 0;
+  double mean_distance_km = 0.0;
+  double mean_duration_min = 0.0;
+};
+
+/// OD matrix options.
+struct OdMatrixOptions {
+  /// Zone size (coarser than the 200 m analysis grid).
+  double zone_size_m = 600.0;
+};
+
+/// Builds the OD flow list from trips (origin = first point's zone,
+/// destination = last point's zone). Flows are sorted by descending trip
+/// count. Trips with fewer than two points are ignored.
+std::vector<OdFlow> BuildOdMatrix(
+    const std::vector<const trace::Trip*>& trips,
+    const geo::LocalProjection& projection,
+    const OdMatrixOptions& options = {});
+
+/// Total trips across all flows.
+int64_t TotalFlows(const std::vector<OdFlow>& flows);
+
+/// Share of trips whose origin equals their destination zone
+/// (intra-zone movements).
+double IntraZoneShare(const std::vector<OdFlow>& flows);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_OD_MATRIX_H_

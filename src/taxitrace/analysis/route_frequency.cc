@@ -1,0 +1,99 @@
+#include "taxitrace/analysis/route_frequency.h"
+
+#include <algorithm>
+
+#include "taxitrace/mapmatch/match_quality.h"
+
+namespace taxitrace {
+namespace analysis {
+namespace {
+
+// Running means for one alternative while grouping.
+struct Accumulator {
+  RouteAlternative alt;
+  double time_sum = 0.0;
+  double dist_sum = 0.0;
+  double fuel_sum = 0.0;
+  double low_sum = 0.0;
+};
+
+}  // namespace
+
+std::vector<RouteAlternative> GroupRouteAlternatives(
+    const std::vector<TransitionRecord>& records,
+    const std::vector<mapmatch::MatchedRoute>& routes,
+    const RouteFrequencyOptions& options) {
+  const size_t n = std::min(records.size(), routes.size());
+  std::vector<Accumulator> groups;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<roadnet::EdgeId> edges = routes[i].DistinctEdges();
+    Accumulator* best = nullptr;
+    double best_similarity = options.similarity_threshold;
+    for (Accumulator& group : groups) {
+      if (group.alt.direction != records[i].direction) continue;
+      const double similarity =
+          mapmatch::EdgeJaccard(edges, group.alt.signature);
+      if (similarity >= best_similarity) {
+        best_similarity = similarity;
+        best = &group;
+      }
+    }
+    if (best == nullptr) {
+      groups.emplace_back();
+      best = &groups.back();
+      best->alt.direction = records[i].direction;
+      best->alt.signature = edges;
+    }
+    ++best->alt.count;
+    best->time_sum += records[i].route_time_h;
+    best->dist_sum += records[i].route_distance_km;
+    best->fuel_sum += records[i].fuel_ml;
+    best->low_sum += records[i].low_speed_share;
+  }
+
+  // Totals per direction for the share column.
+  std::vector<RouteAlternative> out;
+  out.reserve(groups.size());
+  for (Accumulator& group : groups) {
+    const double count = static_cast<double>(group.alt.count);
+    group.alt.mean_time_h = group.time_sum / count;
+    group.alt.mean_distance_km = group.dist_sum / count;
+    group.alt.mean_fuel_ml = group.fuel_sum / count;
+    group.alt.mean_low_speed_share = group.low_sum / count;
+    out.push_back(std::move(group.alt));
+  }
+  for (RouteAlternative& alt : out) {
+    int64_t direction_total = 0;
+    for (const RouteAlternative& other : out) {
+      if (other.direction == alt.direction) direction_total += other.count;
+    }
+    alt.share = direction_total > 0
+                    ? static_cast<double>(alt.count) /
+                          static_cast<double>(direction_total)
+                    : 0.0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RouteAlternative& a, const RouteAlternative& b) {
+              if (a.direction != b.direction) {
+                return a.direction < b.direction;
+              }
+              return a.count > b.count;
+            });
+  return out;
+}
+
+const RouteAlternative* FastestAlternative(
+    const std::vector<RouteAlternative>& alternatives,
+    const std::string& direction, int64_t min_count) {
+  const RouteAlternative* best = nullptr;
+  for (const RouteAlternative& alt : alternatives) {
+    if (alt.direction != direction || alt.count < min_count) continue;
+    if (best == nullptr || alt.mean_time_h < best->mean_time_h) {
+      best = &alt;
+    }
+  }
+  return best;
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

@@ -1,0 +1,57 @@
+// Route-choice analysis: grouping transitions of one origin-destination
+// pair by the actual road sequence driven — the paper's §VII
+// personalised-route-recommendation outlook and the route-frequency
+// analyses it cites (Li et al.). Taxi drivers choose routes freely, so
+// each OD pair accumulates a distribution over alternatives.
+
+#ifndef TAXITRACE_ANALYSIS_ROUTE_FREQUENCY_H_
+#define TAXITRACE_ANALYSIS_ROUTE_FREQUENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/analysis/route_stats.h"
+#include "taxitrace/mapmatch/incremental_matcher.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// One distinct route alternative within an OD pair.
+struct RouteAlternative {
+  std::string direction;            ///< "S-T" etc.
+  std::vector<roadnet::EdgeId> signature;  ///< Distinct edges, sorted.
+  int64_t count = 0;                ///< Transitions driving it.
+  double mean_time_h = 0.0;
+  double mean_distance_km = 0.0;
+  double mean_fuel_ml = 0.0;
+  double mean_low_speed_share = 0.0;
+
+  /// Share of the OD pair's transitions on this alternative (filled by
+  /// GroupRouteAlternatives).
+  double share = 0.0;
+};
+
+/// Grouping options.
+struct RouteFrequencyOptions {
+  /// Two routes are the same alternative when the Jaccard similarity of
+  /// their edge sets reaches this threshold (drivers wobble by a block).
+  double similarity_threshold = 0.8;
+};
+
+/// Groups matched transitions into route alternatives per direction.
+/// Alternatives are sorted by direction, then descending count.
+std::vector<RouteAlternative> GroupRouteAlternatives(
+    const std::vector<TransitionRecord>& records,
+    const std::vector<mapmatch::MatchedRoute>& routes,
+    const RouteFrequencyOptions& options = {});
+
+/// The fastest alternative (by mean time) of a direction with at least
+/// `min_count` observations; nullptr when none qualifies.
+const RouteAlternative* FastestAlternative(
+    const std::vector<RouteAlternative>& alternatives,
+    const std::string& direction, int64_t min_count = 3);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_ROUTE_FREQUENCY_H_

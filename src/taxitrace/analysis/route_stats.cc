@@ -1,0 +1,41 @@
+#include "taxitrace/analysis/route_stats.h"
+
+namespace taxitrace {
+namespace analysis {
+
+std::vector<Table4Row> BuildTable4(
+    const std::vector<TransitionRecord>& records,
+    const std::vector<std::string>& directions) {
+  std::vector<Table4Row> rows;
+  rows.reserve(directions.size());
+  for (const std::string& dir : directions) {
+    std::vector<double> time_h, dist_km, low_pct, normal_pct, lights,
+        junctions, crossings, fuel;
+    for (const TransitionRecord& r : records) {
+      if (r.direction != dir) continue;
+      time_h.push_back(r.route_time_h);
+      dist_km.push_back(r.route_distance_km);
+      low_pct.push_back(100.0 * r.low_speed_share);
+      normal_pct.push_back(100.0 * r.normal_speed_share);
+      lights.push_back(r.attributes.traffic_lights);
+      junctions.push_back(r.attributes.junctions);
+      crossings.push_back(r.attributes.pedestrian_crossings);
+      fuel.push_back(r.fuel_ml);
+    }
+    Table4Row row;
+    row.direction = dir;
+    row.route_time_h = Summarize(std::move(time_h));
+    row.route_distance_km = Summarize(std::move(dist_km));
+    row.low_speed_pct = Summarize(std::move(low_pct));
+    row.normal_speed_pct = Summarize(std::move(normal_pct));
+    row.traffic_lights = Summarize(std::move(lights));
+    row.junctions = Summarize(std::move(junctions));
+    row.pedestrian_crossings = Summarize(std::move(crossings));
+    row.fuel_ml = Summarize(std::move(fuel));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

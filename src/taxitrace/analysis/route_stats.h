@@ -1,0 +1,56 @@
+// Per-transition route statistics and the Table 4 summary: route time,
+// distance, low/normal speed shares, map attributes and fuel consumption
+// per origin-destination direction.
+
+#ifndef TAXITRACE_ANALYSIS_ROUTE_STATS_H_
+#define TAXITRACE_ANALYSIS_ROUTE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/analysis/summary_stats.h"
+#include "taxitrace/mapattr/attribute_fetcher.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// One fully analysed transition — the unit record behind Tables 3-4 and
+/// Figs. 3-6 and 10. Identified, as in the paper, by (trip id, start
+/// time).
+struct TransitionRecord {
+  int64_t trip_id = 0;
+  int car_id = 0;
+  std::string direction;  ///< "T-S", "S-T", "T-L" or "L-T".
+  double start_time_s = 0.0;
+  double route_time_h = 0.0;
+  double route_distance_km = 0.0;  ///< Matched route length.
+  double low_speed_share = 0.0;    ///< Fraction in [0, 1].
+  double normal_speed_share = 0.0; ///< Fraction in [0, 1].
+  double fuel_ml = 0.0;
+  mapattr::RouteAttributes attributes;
+};
+
+/// One direction's row group of Table 4.
+struct Table4Row {
+  std::string direction;
+  Summary route_time_h;
+  Summary route_distance_km;
+  Summary low_speed_pct;     ///< Percent.
+  Summary normal_speed_pct;  ///< Percent.
+  Summary traffic_lights;
+  Summary junctions;
+  Summary pedestrian_crossings;
+  Summary fuel_ml;
+};
+
+/// Builds Table 4 for the given direction order (directions with no
+/// transitions yield empty summaries).
+std::vector<Table4Row> BuildTable4(
+    const std::vector<TransitionRecord>& records,
+    const std::vector<std::string>& directions = {"T-S", "S-T", "T-L",
+                                                  "L-T"});
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_ROUTE_STATS_H_

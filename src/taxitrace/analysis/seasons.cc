@@ -1,0 +1,46 @@
+#include "taxitrace/analysis/seasons.h"
+
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace analysis {
+
+Season SeasonOfMonth(int month) {
+  switch (month) {
+    case 12:
+    case 1:
+    case 2:
+      return Season::kWinter;
+    case 3:
+    case 4:
+    case 5:
+      return Season::kSpring;
+    case 6:
+    case 7:
+    case 8:
+      return Season::kSummer;
+    default:
+      return Season::kAutumn;
+  }
+}
+
+Season SeasonOfTimestamp(double timestamp_s) {
+  return SeasonOfMonth(trace::MonthOfTimestamp(timestamp_s));
+}
+
+std::string_view SeasonName(Season season) {
+  switch (season) {
+    case Season::kWinter:
+      return "winter";
+    case Season::kSpring:
+      return "spring";
+    case Season::kSummer:
+      return "summer";
+    case Season::kAutumn:
+      return "autumn";
+  }
+  return "?";
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

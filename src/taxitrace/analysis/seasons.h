@@ -1,0 +1,30 @@
+// Meteorological seasons for the seasonal analyses (Fig. 5 and the
+// seasonal mean-speed deltas of Section VI-A).
+
+#ifndef TAXITRACE_ANALYSIS_SEASONS_H_
+#define TAXITRACE_ANALYSIS_SEASONS_H_
+
+#include <string_view>
+
+namespace taxitrace {
+namespace analysis {
+
+/// Meteorological seasons (winter = Dec-Feb, etc.).
+enum class Season : unsigned char { kWinter, kSpring, kSummer, kAutumn };
+
+/// Number of seasons.
+inline constexpr int kNumSeasons = 4;
+
+/// Season of a study timestamp.
+Season SeasonOfTimestamp(double timestamp_s);
+
+/// Season of a calendar month (1..12).
+Season SeasonOfMonth(int month);
+
+/// "winter" / "spring" / "summer" / "autumn".
+std::string_view SeasonName(Season season);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_SEASONS_H_

@@ -1,0 +1,34 @@
+#include "taxitrace/analysis/speed_categories.h"
+
+namespace taxitrace {
+namespace analysis {
+
+double LowSpeedShare(const trace::Trip& trip,
+                     const SpeedCategoryOptions& options) {
+  if (trip.points.empty()) return 0.0;
+  int64_t low = 0;
+  for (const trace::RoutePoint& p : trip.points) {
+    if (p.speed_kmh < options.low_speed_kmh) ++low;
+  }
+  return static_cast<double>(low) /
+         static_cast<double>(trip.points.size());
+}
+
+double NormalSpeedShare(const trace::Trip& trip,
+                        const mapmatch::MatchedRoute& route,
+                        const roadnet::RoadNetwork& network,
+                        const SpeedCategoryOptions& options) {
+  if (route.points.empty()) return 0.0;
+  int64_t normal = 0;
+  for (const mapmatch::MatchedPoint& mp : route.points) {
+    const double limit =
+        network.edge(mp.position.edge).speed_limit_kmh;
+    const double speed = trip.points[mp.point_index].speed_kmh;
+    if (speed >= limit - options.normal_tolerance_kmh) ++normal;
+  }
+  return static_cast<double>(normal) /
+         static_cast<double>(route.points.size());
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

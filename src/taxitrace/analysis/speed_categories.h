@@ -1,0 +1,36 @@
+// Speed categories of the paper's route statistics: low speed (below
+// 10 km/h, a significant factor in fuel consumption and emissions) and
+// normal speed (driving at the local speed limit).
+
+#ifndef TAXITRACE_ANALYSIS_SPEED_CATEGORIES_H_
+#define TAXITRACE_ANALYSIS_SPEED_CATEGORIES_H_
+
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// Category thresholds.
+struct SpeedCategoryOptions {
+  double low_speed_kmh = 10.0;
+  /// Tolerance below the limit still counted as "at the limit", km/h.
+  double normal_tolerance_kmh = 2.0;
+};
+
+/// Fraction of points with speed below the low-speed threshold (0 when
+/// the trip has no points).
+double LowSpeedShare(const trace::Trip& trip,
+                     const SpeedCategoryOptions& options = {});
+
+/// Fraction of matched points driving at (or above) the speed limit of
+/// their matched edge. Uses the matched route to know the local limit.
+double NormalSpeedShare(const trace::Trip& trip,
+                        const mapmatch::MatchedRoute& route,
+                        const roadnet::RoadNetwork& network,
+                        const SpeedCategoryOptions& options = {});
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_SPEED_CATEGORIES_H_

@@ -1,0 +1,59 @@
+#include "taxitrace/analysis/speed_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taxitrace {
+namespace analysis {
+
+std::vector<ProfileBin> BuildSpeedProfile(
+    const std::vector<const trace::Trip*>& trips,
+    const geo::Polyline& corridor, const geo::LocalProjection& projection,
+    const SpeedProfileOptions& options) {
+  std::vector<ProfileBin> bins;
+  if (corridor.size() < 2 || options.bin_m <= 0.0) return bins;
+  const double total = corridor.Length();
+  const size_t num_bins =
+      static_cast<size_t>(std::ceil(total / options.bin_m));
+  bins.resize(num_bins);
+  for (size_t b = 0; b < num_bins; ++b) {
+    bins[b].arc_start_m = static_cast<double>(b) * options.bin_m;
+    bins[b].arc_end_m = std::min(total, bins[b].arc_start_m + options.bin_m);
+    bins[b].min_speed_kmh = std::numeric_limits<double>::infinity();
+  }
+  for (const trace::Trip* trip : trips) {
+    if (trip == nullptr) continue;
+    for (const trace::RoutePoint& p : trip->points) {
+      const geo::EnPoint local = projection.Forward(p.position);
+      const geo::PolylineProjection proj = corridor.Project(local);
+      if (proj.distance > options.max_offset_m) continue;
+      const size_t b = std::min(
+          num_bins - 1,
+          static_cast<size_t>(proj.arc_length / options.bin_m));
+      ProfileBin& bin = bins[b];
+      ++bin.n;
+      bin.mean_speed_kmh +=
+          (p.speed_kmh - bin.mean_speed_kmh) / static_cast<double>(bin.n);
+      bin.min_speed_kmh = std::min(bin.min_speed_kmh, p.speed_kmh);
+    }
+  }
+  for (ProfileBin& bin : bins) {
+    if (bin.n == 0) bin.min_speed_kmh = 0.0;
+  }
+  return bins;
+}
+
+const ProfileBin* SlowestBin(const std::vector<ProfileBin>& profile) {
+  const ProfileBin* slowest = nullptr;
+  for (const ProfileBin& bin : profile) {
+    if (bin.n == 0) continue;
+    if (slowest == nullptr ||
+        bin.mean_speed_kmh < slowest->mean_speed_kmh) {
+      slowest = &bin;
+    }
+  }
+  return slowest;
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

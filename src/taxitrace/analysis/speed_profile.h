@@ -1,0 +1,46 @@
+// Corridor speed profiles: mean measured speed as a function of arc
+// position along a reference route, revealing where in the corridor the
+// slowdowns (lights, crossings, crowds) happen.
+
+#ifndef TAXITRACE_ANALYSIS_SPEED_PROFILE_H_
+#define TAXITRACE_ANALYSIS_SPEED_PROFILE_H_
+
+#include <vector>
+
+#include "taxitrace/geo/polyline.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// One arc-position bin of a profile.
+struct ProfileBin {
+  double arc_start_m = 0.0;
+  double arc_end_m = 0.0;
+  int64_t n = 0;
+  double mean_speed_kmh = 0.0;
+  double min_speed_kmh = 0.0;
+};
+
+/// Profile construction options.
+struct SpeedProfileOptions {
+  double bin_m = 100.0;
+  /// Points farther than this from the reference line are ignored.
+  double max_offset_m = 60.0;
+};
+
+/// Builds the profile of `trips` (their GPS points) against a reference
+/// corridor line. Bins without points report n = 0.
+std::vector<ProfileBin> BuildSpeedProfile(
+    const std::vector<const trace::Trip*>& trips,
+    const geo::Polyline& corridor, const geo::LocalProjection& projection,
+    const SpeedProfileOptions& options = {});
+
+/// The bin with the lowest mean speed among populated bins; nullptr when
+/// no bin is populated.
+const ProfileBin* SlowestBin(const std::vector<ProfileBin>& profile);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_SPEED_PROFILE_H_

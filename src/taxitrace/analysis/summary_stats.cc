@@ -1,0 +1,49 @@
+#include "taxitrace/analysis/summary_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taxitrace {
+namespace analysis {
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double h = q * (static_cast<double>(sorted.size()) - 1.0);
+  const size_t lo = static_cast<size_t>(std::floor(h));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.n = static_cast<int64_t>(values.size());
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = SortedQuantile(values, 0.25);
+  s.median = SortedQuantile(values, 0.5);
+  s.q3 = SortedQuantile(values, 0.75);
+  s.mean = Mean(values);
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - mean) * (v - mean);
+  return m2 / (static_cast<double>(values.size()) - 1.0);
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

@@ -1,0 +1,40 @@
+// Six-number summaries (min / 1st quartile / median / mean / 3rd
+// quartile / max) — the statistic layout of Table 4.
+
+#ifndef TAXITRACE_ANALYSIS_SUMMARY_STATS_H_
+#define TAXITRACE_ANALYSIS_SUMMARY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace taxitrace {
+namespace analysis {
+
+/// A six-number summary of a sample.
+struct Summary {
+  int64_t n = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double mean = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises a sample (copies and sorts; empty input yields zeros).
+/// Quartiles use linear interpolation between order statistics (R-7).
+Summary Summarize(std::vector<double> values);
+
+/// Sample mean (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (0 for n < 2).
+double Variance(const std::vector<double>& values);
+
+/// Interpolated quantile of a sorted sample, q in [0, 1].
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_SUMMARY_STATS_H_

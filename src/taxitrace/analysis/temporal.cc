@@ -1,0 +1,67 @@
+#include "taxitrace/analysis/temporal.h"
+
+#include <cmath>
+
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace analysis {
+
+std::vector<HourlySpeed> HourlySpeedSeries(
+    const std::vector<const trace::Trip*>& trips) {
+  std::vector<HourlySpeed> series(24);
+  for (int h = 0; h < 24; ++h) series[static_cast<size_t>(h)].hour = h;
+  for (const trace::Trip* trip : trips) {
+    if (trip == nullptr) continue;
+    for (const trace::RoutePoint& p : trip->points) {
+      const int h = static_cast<int>(trace::HourOfDay(p.timestamp_s));
+      HourlySpeed& bucket = series[static_cast<size_t>(h % 24)];
+      ++bucket.n;
+      bucket.mean_kmh += (p.speed_kmh - bucket.mean_kmh) /
+                         static_cast<double>(bucket.n);
+    }
+  }
+  return series;
+}
+
+std::vector<DailySpeed> DailySpeedSeries(
+    const std::vector<const trace::Trip*>& trips) {
+  std::vector<DailySpeed> series(7);
+  for (int d = 0; d < 7; ++d) {
+    series[static_cast<size_t>(d)].day_of_week = d;
+  }
+  for (const trace::Trip* trip : trips) {
+    if (trip == nullptr) continue;
+    for (const trace::RoutePoint& p : trip->points) {
+      DailySpeed& bucket =
+          series[static_cast<size_t>(trace::DayOfWeek(p.timestamp_s))];
+      ++bucket.n;
+      bucket.mean_kmh += (p.speed_kmh - bucket.mean_kmh) /
+                         static_cast<double>(bucket.n);
+    }
+  }
+  return series;
+}
+
+double RushHourSlowdownKmh(const std::vector<HourlySpeed>& series) {
+  double rush_sum = 0.0, offpeak_sum = 0.0;
+  int64_t rush_n = 0, offpeak_n = 0;
+  for (const HourlySpeed& bucket : series) {
+    const bool rush = (bucket.hour >= 7 && bucket.hour < 9) ||
+                      (bucket.hour >= 15 && bucket.hour < 17);
+    const bool offpeak = bucket.hour >= 10 && bucket.hour < 14;
+    if (rush) {
+      rush_sum += bucket.mean_kmh * static_cast<double>(bucket.n);
+      rush_n += bucket.n;
+    } else if (offpeak) {
+      offpeak_sum += bucket.mean_kmh * static_cast<double>(bucket.n);
+      offpeak_n += bucket.n;
+    }
+  }
+  if (rush_n == 0 || offpeak_n == 0) return 0.0;
+  return offpeak_sum / static_cast<double>(offpeak_n) -
+         rush_sum / static_cast<double>(rush_n);
+}
+
+}  // namespace analysis
+}  // namespace taxitrace

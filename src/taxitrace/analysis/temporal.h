@@ -1,0 +1,46 @@
+// Temporal analysis: mean point speed by hour of day and by day of
+// week, exposing the rush-hour and weekday/weekend structure in the
+// traces (the traffic-dynamics line of the paper's related work).
+
+#ifndef TAXITRACE_ANALYSIS_TEMPORAL_H_
+#define TAXITRACE_ANALYSIS_TEMPORAL_H_
+
+#include <vector>
+
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace analysis {
+
+/// One hour-of-day bucket.
+struct HourlySpeed {
+  int hour = 0;  ///< 0..23
+  int64_t n = 0;
+  double mean_kmh = 0.0;
+};
+
+/// One day-of-week bucket (0 = Monday .. 6 = Sunday).
+struct DailySpeed {
+  int day_of_week = 0;
+  int64_t n = 0;
+  double mean_kmh = 0.0;
+};
+
+/// Mean point speed per hour of day over trips' route points. Always
+/// returns 24 buckets (empty ones with n = 0).
+std::vector<HourlySpeed> HourlySpeedSeries(
+    const std::vector<const trace::Trip*>& trips);
+
+/// Mean point speed per ISO day of week. Always returns 7 buckets.
+std::vector<DailySpeed> DailySpeedSeries(
+    const std::vector<const trace::Trip*>& trips);
+
+/// Difference between the off-peak mean (10:00-14:00) and the rush-hour
+/// mean (07:00-09:00 and 15:00-17:00), km/h; positive when rush hours
+/// are slower. 0 when either window has no data.
+double RushHourSlowdownKmh(const std::vector<HourlySpeed>& series);
+
+}  // namespace analysis
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ANALYSIS_TEMPORAL_H_

@@ -1,0 +1,40 @@
+#include "taxitrace/clean/cleaning_pipeline.h"
+
+namespace taxitrace {
+namespace clean {
+
+std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
+                                    const CleaningOptions& options,
+                                    CleaningReport* report) {
+  CleaningReport local;
+  local.raw_trips = static_cast<int64_t>(store.NumTrips());
+  local.raw_points = static_cast<int64_t>(store.NumPoints());
+
+  std::vector<trace::Trip> repaired;
+  repaired.reserve(store.trips().size());
+  for (const trace::Trip& raw : store.trips()) {
+    trace::Trip trip = raw;
+    RepairTripOrder(&trip, &local.order);
+    FilterTripOutliers(&trip, options.outliers, &local.outliers);
+    if (options.restore_lost_points) {
+      RestoreTripLostPoints(&trip, options.interpolation,
+                            &local.interpolation);
+    }
+    repaired.push_back(std::move(trip));
+  }
+
+  std::vector<trace::Trip> segments =
+      SegmentTrips(repaired, options.segmentation, &local.segmentation);
+  std::vector<trace::Trip> cleaned =
+      FilterTrips(std::move(segments), options.filter, &local.filter);
+
+  local.clean_segments = static_cast<int64_t>(cleaned.size());
+  for (const trace::Trip& t : cleaned) {
+    local.clean_points += static_cast<int64_t>(t.points.size());
+  }
+  if (report != nullptr) *report = local;
+  return cleaned;
+}
+
+}  // namespace clean
+}  // namespace taxitrace

@@ -1,0 +1,51 @@
+// The full data-preparation pipeline of Section IV: order repair ->
+// obvious-error filtering -> time-based segmentation -> segment filters.
+
+#ifndef TAXITRACE_CLEAN_CLEANING_PIPELINE_H_
+#define TAXITRACE_CLEAN_CLEANING_PIPELINE_H_
+
+#include "taxitrace/clean/interpolation.h"
+#include "taxitrace/clean/order_repair.h"
+#include "taxitrace/clean/outlier_filter.h"
+#include "taxitrace/clean/segmentation.h"
+#include "taxitrace/clean/trip_filter.h"
+#include "taxitrace/trace/trace_store.h"
+
+namespace taxitrace {
+namespace clean {
+
+/// Stage options, bundled.
+struct CleaningOptions {
+  OutlierFilterOptions outliers;
+  SegmentationOptions segmentation;
+  TripFilterOptions filter;
+  /// Optionally restore lost points by linear interpolation (the Jiang
+  /// et al. approach the paper cites) before segmentation. Off by
+  /// default: the paper's own pipeline does not interpolate.
+  bool restore_lost_points = false;
+  InterpolationOptions interpolation;
+};
+
+/// What each stage did, for reporting.
+struct CleaningReport {
+  int64_t raw_trips = 0;
+  int64_t raw_points = 0;
+  OrderRepairStats order;
+  OutlierFilterStats outliers;
+  InterpolationStats interpolation;
+  SegmentationStats segmentation;
+  TripFilterStats filter;
+  int64_t clean_segments = 0;
+  int64_t clean_points = 0;
+};
+
+/// Runs the pipeline over all trips of a store and returns the cleaned
+/// trip segments.
+std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
+                                    const CleaningOptions& options = {},
+                                    CleaningReport* report = nullptr);
+
+}  // namespace clean
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_CLEAN_CLEANING_PIPELINE_H_

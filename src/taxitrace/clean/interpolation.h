@@ -1,0 +1,52 @@
+// Linear interpolation restoration of lost route points (the approach
+// the paper cites from Jiang et al.: restore data lost in collection by
+// interpolating linearly across the gap).
+//
+// Event-driven sensors emit nothing while nothing changes, so only gaps
+// that are *moving* (the vehicle covered real distance) are restored —
+// a stationary 10-minute stand wait is a genuine stop, not lost data.
+
+#ifndef TAXITRACE_CLEAN_INTERPOLATION_H_
+#define TAXITRACE_CLEAN_INTERPOLATION_H_
+
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace clean {
+
+/// Restoration thresholds.
+struct InterpolationOptions {
+  /// A gap qualifies for restoration when the time step exceeds this...
+  double min_gap_s = 90.0;
+  /// ...and the vehicle moved at least this far across it.
+  double min_gap_distance_m = 200.0;
+  /// Spacing of the restored points within the gap, seconds.
+  double restored_interval_s = 30.0;
+  /// Never insert more than this many points per gap.
+  int max_points_per_gap = 16;
+};
+
+/// Counters for a restoration run.
+struct InterpolationStats {
+  int64_t gaps_restored = 0;
+  int64_t points_inserted = 0;
+};
+
+/// Inserts linearly interpolated points into qualifying gaps of a
+/// time-ordered point sequence. Restored points carry interpolated
+/// position/timestamp/speed, zero fuel delta, and fresh fractional ids
+/// are avoided by reusing the preceding point's id (ids are repaired to
+/// monotone by the caller if needed).
+void RestoreLostPoints(std::vector<trace::RoutePoint>* points,
+                       const InterpolationOptions& options = {},
+                       InterpolationStats* stats = nullptr);
+
+/// Trip-level wrapper (recomputes totals).
+void RestoreTripLostPoints(trace::Trip* trip,
+                           const InterpolationOptions& options = {},
+                           InterpolationStats* stats = nullptr);
+
+}  // namespace clean
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_CLEAN_INTERPOLATION_H_

@@ -1,0 +1,102 @@
+#include "taxitrace/clean/outlier_filter.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace taxitrace {
+namespace clean {
+namespace {
+
+// True when b is a position spike between a and c: far from both while a
+// and c are near each other.
+bool IsSpike(const trace::RoutePoint& a, const trace::RoutePoint& b,
+             const trace::RoutePoint& c,
+             const OutlierFilterOptions& options) {
+  const double ab = geo::HaversineMeters(a.position, b.position);
+  const double bc = geo::HaversineMeters(b.position, c.position);
+  if (ab < options.spike_distance_m || bc < options.spike_distance_m) {
+    return false;
+  }
+  const double ac = geo::HaversineMeters(a.position, c.position);
+  return ac < options.spike_closeness_ratio * (ab + bc);
+}
+
+// True when moving from a to b implies an impossible speed.
+bool ImpliedSpeedTooHigh(const trace::RoutePoint& a,
+                         const trace::RoutePoint& b,
+                         const OutlierFilterOptions& options) {
+  const double dt = b.timestamp_s - a.timestamp_s;
+  if (dt <= 0.0) return false;  // handled by duplicate/order logic
+  const double d = geo::HaversineMeters(a.position, b.position);
+  return d / dt > options.max_implied_speed_ms;
+}
+
+}  // namespace
+
+void FilterOutliers(std::vector<trace::RoutePoint>* points,
+                    const OutlierFilterOptions& options,
+                    OutlierFilterStats* stats) {
+  OutlierFilterStats local;
+  std::vector<trace::RoutePoint>& pts = *points;
+
+  // Pass 1: duplicates (identical id and timestamp as the predecessor).
+  {
+    std::vector<trace::RoutePoint> out;
+    out.reserve(pts.size());
+    for (const trace::RoutePoint& p : pts) {
+      if (!out.empty() && out.back().point_id == p.point_id &&
+          out.back().timestamp_s == p.timestamp_s) {
+        ++local.duplicates_removed;
+        continue;
+      }
+      out.push_back(p);
+    }
+    pts = std::move(out);
+  }
+
+  // Pass 2: spikes — iterate because removing a spike may expose another.
+  bool changed = true;
+  while (changed && pts.size() >= 3) {
+    changed = false;
+    for (size_t i = 1; i + 1 < pts.size(); ++i) {
+      if (IsSpike(pts[i - 1], pts[i], pts[i + 1], options)) {
+        pts.erase(pts.begin() + static_cast<ptrdiff_t>(i));
+        ++local.spikes_removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 3: impossible implied speeds (drop the later point of the pair;
+  // a bad first fix surfaces as its successor looking too fast, so also
+  // check and drop a leading offender against its two successors).
+  {
+    std::vector<trace::RoutePoint> out;
+    out.reserve(pts.size());
+    for (const trace::RoutePoint& p : pts) {
+      if (!out.empty() && ImpliedSpeedTooHigh(out.back(), p, options)) {
+        ++local.implied_speed_removed;
+        continue;
+      }
+      out.push_back(p);
+    }
+    pts = std::move(out);
+  }
+
+  if (stats != nullptr) {
+    stats->duplicates_removed += local.duplicates_removed;
+    stats->spikes_removed += local.spikes_removed;
+    stats->implied_speed_removed += local.implied_speed_removed;
+  }
+}
+
+void FilterTripOutliers(trace::Trip* trip,
+                        const OutlierFilterOptions& options,
+                        OutlierFilterStats* stats) {
+  FilterOutliers(&trip->points, options, stats);
+  trip->RecomputeTotals();
+}
+
+}  // namespace clean
+}  // namespace taxitrace

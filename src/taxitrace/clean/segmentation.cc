@@ -1,0 +1,162 @@
+#include "taxitrace/clean/segmentation.h"
+
+#include <cmath>
+
+namespace taxitrace {
+namespace clean {
+namespace {
+
+// Returns the Table 2 rule (2..4) classifying the gap between two
+// consecutive route points as a stop, or 0 for ordinary driving. Rule 1
+// (and its rule 5 variant) is window-based and handled by the splitter.
+int PairStopRule(const trace::RoutePoint& a, const trace::RoutePoint& b,
+                 const SegmentationOptions& opt) {
+  const double dt = b.timestamp_s - a.timestamp_s;
+  if (dt <= 0.0) return 0;
+  const double d = geo::HaversineMeters(a.position, b.position);
+  const double implied_speed = d / dt;
+
+  // Rule 3: crawling below 0.002 m/s across a long silent gap.
+  if (implied_speed < opt.rule3_speed_ms && dt >= opt.rule1_window_s) {
+    return 3;
+  }
+  // Rule 2: less than 3 km in more than 7 minutes.
+  if (dt > opt.rule2_window_s && d < opt.rule2_max_move_m) return 2;
+  // Rule 4: less than 3 km in more than 15 minutes while "moving".
+  if (dt > opt.rule4_window_s && d < opt.rule4_max_move_m &&
+      implied_speed > opt.rule3_speed_ms) {
+    return 4;
+  }
+  return 0;
+}
+
+// Splits a point sequence at stops: rule 1 fires when the position has
+// not changed (within GPS tolerance) for `window_s`; rules 2-4 fire on
+// single long silent gaps. Stationary points beyond the rule-1 window
+// belong to the stop itself and are dropped. `rule_offset` selects which
+// stats bucket the window splits land in (rule 1 vs rule 5).
+std::vector<std::vector<trace::RoutePoint>> SplitAtStops(
+    const std::vector<trace::RoutePoint>& points, double window_s,
+    const SegmentationOptions& opt, SegmentationStats* stats,
+    int window_rule_index) {
+  std::vector<std::vector<trace::RoutePoint>> segments;
+  std::vector<trace::RoutePoint> current;
+  // Stationary-run tracking: the anchor is the first point of the
+  // current no-movement run.
+  geo::LatLon anchor_pos{};
+  double anchor_time = 0.0;
+  bool in_stop = false;  // consuming stationary points inside a stop
+
+  const auto close_current = [&]() {
+    if (!current.empty()) segments.push_back(std::move(current));
+    current.clear();
+  };
+
+  for (const trace::RoutePoint& p : points) {
+    if (in_stop) {
+      if (geo::HaversineMeters(anchor_pos, p.position) <=
+          opt.no_change_tolerance_m) {
+        continue;  // still parked: the point belongs to the stop
+      }
+      in_stop = false;  // movement resumed; fall through to start fresh
+      current.clear();
+      anchor_pos = p.position;
+      anchor_time = p.timestamp_s;
+      current.push_back(p);
+      continue;
+    }
+    if (current.empty()) {
+      anchor_pos = p.position;
+      anchor_time = p.timestamp_s;
+      current.push_back(p);
+      continue;
+    }
+    const int pair_rule = PairStopRule(current.back(), p, opt);
+    if (pair_rule != 0) {
+      ++stats->splits_by_rule[pair_rule - 1];
+      close_current();
+      anchor_pos = p.position;
+      anchor_time = p.timestamp_s;
+      current.push_back(p);
+      continue;
+    }
+    if (geo::HaversineMeters(anchor_pos, p.position) >
+        opt.no_change_tolerance_m) {
+      // Moving: restart the stationary run at this point.
+      anchor_pos = p.position;
+      anchor_time = p.timestamp_s;
+      current.push_back(p);
+      continue;
+    }
+    // Within the stationary run.
+    if (p.timestamp_s - anchor_time >= window_s) {
+      ++stats->splits_by_rule[window_rule_index];
+      close_current();
+      in_stop = true;
+      continue;
+    }
+    current.push_back(p);
+  }
+  close_current();
+  return segments;
+}
+
+}  // namespace
+
+std::vector<trace::Trip> SegmentTrip(const trace::Trip& trip,
+                                     const SegmentationOptions& opt,
+                                     SegmentationStats* stats) {
+  SegmentationStats local;
+  local.trips_in = 1;
+
+  // First round: rules 1-4.
+  std::vector<std::vector<trace::RoutePoint>> segments =
+      SplitAtStops(trip.points, opt.rule1_window_s, opt, &local, 0);
+
+  // Rule 5: re-split overlong segments with the tighter 1.5-minute
+  // window.
+  std::vector<std::vector<trace::RoutePoint>> final_segments;
+  for (std::vector<trace::RoutePoint>& seg : segments) {
+    if (trace::PathLengthMeters(seg) <= opt.rule5_length_m) {
+      final_segments.push_back(std::move(seg));
+      continue;
+    }
+    std::vector<std::vector<trace::RoutePoint>> parts =
+        SplitAtStops(seg, opt.rule5_window_s, opt, &local, 4);
+    for (auto& part : parts) final_segments.push_back(std::move(part));
+  }
+
+  std::vector<trace::Trip> out;
+  out.reserve(final_segments.size());
+  for (size_t k = 0; k < final_segments.size(); ++k) {
+    trace::Trip seg;
+    seg.trip_id = trip.trip_id * 1000 + static_cast<int64_t>(k);
+    seg.car_id = trip.car_id;
+    seg.points = std::move(final_segments[k]);
+    seg.RecomputeTotals();
+    out.push_back(std::move(seg));
+  }
+  local.segments_out = static_cast<int64_t>(out.size());
+  if (stats != nullptr) {
+    for (int r = 0; r < 5; ++r) {
+      stats->splits_by_rule[r] += local.splits_by_rule[r];
+    }
+    stats->trips_in += local.trips_in;
+    stats->segments_out += local.segments_out;
+  }
+  return out;
+}
+
+std::vector<trace::Trip> SegmentTrips(const std::vector<trace::Trip>& trips,
+                                      const SegmentationOptions& options,
+                                      SegmentationStats* stats) {
+  std::vector<trace::Trip> out;
+  for (const trace::Trip& trip : trips) {
+    std::vector<trace::Trip> segments = SegmentTrip(trip, options, stats);
+    for (trace::Trip& seg : segments) out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace clean
+}  // namespace taxitrace

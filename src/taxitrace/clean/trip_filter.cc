@@ -1,0 +1,33 @@
+#include "taxitrace/clean/trip_filter.h"
+
+namespace taxitrace {
+namespace clean {
+
+bool PassesTripFilter(const trace::Trip& trip,
+                      const TripFilterOptions& options) {
+  return trip.points.size() >= options.min_points &&
+         trace::PathLengthMeters(trip.points) <= options.max_length_m;
+}
+
+std::vector<trace::Trip> FilterTrips(std::vector<trace::Trip> trips,
+                                     const TripFilterOptions& options,
+                                     TripFilterStats* stats) {
+  std::vector<trace::Trip> out;
+  out.reserve(trips.size());
+  for (trace::Trip& trip : trips) {
+    if (trip.points.size() < options.min_points) {
+      if (stats != nullptr) ++stats->removed_too_few_points;
+      continue;
+    }
+    if (trace::PathLengthMeters(trip.points) > options.max_length_m) {
+      if (stats != nullptr) ++stats->removed_too_long;
+      continue;
+    }
+    if (stats != nullptr) ++stats->kept;
+    out.push_back(std::move(trip));
+  }
+  return out;
+}
+
+}  // namespace clean
+}  // namespace taxitrace

@@ -1,0 +1,87 @@
+#include "taxitrace/coach/advisor.h"
+
+#include <algorithm>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace coach {
+
+std::string_view AdviceTopicName(AdviceTopic topic) {
+  switch (topic) {
+    case AdviceTopic::kIdling:
+      return "idling";
+    case AdviceTopic::kHarshDriving:
+      return "harsh_driving";
+    case AdviceTopic::kSpeeding:
+      return "speeding";
+    case AdviceTopic::kRouteChoice:
+      return "route_choice";
+    case AdviceTopic::kWellDriven:
+      return "well_driven";
+  }
+  return "?";
+}
+
+std::vector<Advice> AdviseTrip(const TripScore& score,
+                               const AdvisorOptions& options) {
+  std::vector<Advice> out;
+  if (score.idle_share > options.idle_share_threshold) {
+    Advice advice;
+    advice.topic = AdviceTopic::kIdling;
+    advice.potential_saving_ml =
+        score.idle_share * score.duration_min * 60.0 / 40.0 *
+        options.idle_ml_per_point;
+    advice.message = StrFormat(
+        "Engine idled through %.0f%% of the trip; switching off during "
+        "longer waits would save roughly %.0f ml.",
+        100.0 * score.idle_share, advice.potential_saving_ml);
+    out.push_back(std::move(advice));
+  }
+  if (score.harsh_per_km > options.harsh_per_km_threshold) {
+    Advice advice;
+    advice.topic = AdviceTopic::kHarshDriving;
+    advice.potential_saving_ml = 12.0 * score.harsh_events;
+    advice.message = StrFormat(
+        "%d harsh speed changes (%.1f per km); smoother anticipation of "
+        "lights and queues would save roughly %.0f ml.",
+        score.harsh_events, score.harsh_per_km,
+        advice.potential_saving_ml);
+    out.push_back(std::move(advice));
+  }
+  if (score.speeding_share > options.speeding_share_threshold) {
+    Advice advice;
+    advice.topic = AdviceTopic::kSpeeding;
+    advice.potential_saving_ml =
+        score.speeding_share * score.distance_km * 10.0;
+    advice.message = StrFormat(
+        "Above the speed limit at %.0f%% of measurements; keeping to the "
+        "limit is safer and saves roughly %.0f ml.",
+        100.0 * score.speeding_share, advice.potential_saving_ml);
+    out.push_back(std::move(advice));
+  }
+  if (score.low_speed_share > options.low_speed_share_threshold) {
+    Advice advice;
+    advice.topic = AdviceTopic::kRouteChoice;
+    advice.potential_saving_ml = score.fuel_excess_ml * 0.5;
+    advice.message = StrFormat(
+        "%.0f%% of the trip was below 10 km/h; a route or departure time "
+        "avoiding the congested centre could save up to %.0f ml.",
+        100.0 * score.low_speed_share, advice.potential_saving_ml);
+    out.push_back(std::move(advice));
+  }
+  if (out.empty()) {
+    out.push_back(Advice{AdviceTopic::kWellDriven,
+                         StrFormat("Efficient trip (eco score %.0f) — "
+                                   "nothing to improve.",
+                                   score.eco_score),
+                         0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
+    return a.potential_saving_ml > b.potential_saving_ml;
+  });
+  return out;
+}
+
+}  // namespace coach
+}  // namespace taxitrace

@@ -1,0 +1,55 @@
+// Advice generation: turns trip scores into the post-driving guidance
+// the Driving coach prototype showed drivers ("instructing the driver
+// for fuel-efficient driving is of great interest", §VII).
+
+#ifndef TAXITRACE_COACH_ADVISOR_H_
+#define TAXITRACE_COACH_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/coach/trip_score.h"
+
+namespace taxitrace {
+namespace coach {
+
+/// Advice categories, ordered by typical fuel impact.
+enum class AdviceTopic : unsigned char {
+  kIdling,
+  kHarshDriving,
+  kSpeeding,
+  kRouteChoice,   ///< Too much low-speed exposure: pick another route/time.
+  kWellDriven,
+};
+
+/// One piece of advice.
+struct Advice {
+  AdviceTopic topic;
+  std::string message;
+  /// Estimated fuel at stake on this trip, ml (0 for kWellDriven).
+  double potential_saving_ml = 0.0;
+};
+
+/// Advice thresholds.
+struct AdvisorOptions {
+  double idle_share_threshold = 0.25;
+  double harsh_per_km_threshold = 1.5;
+  double speeding_share_threshold = 0.10;
+  double low_speed_share_threshold = 0.35;
+  /// Idling burn rate used for the saving estimate, ml per idle point
+  /// (~40 s at 0.14 ml/s).
+  double idle_ml_per_point = 5.5;
+};
+
+/// Generates advice for one scored trip, most valuable first. A trip
+/// with no findings yields a single kWellDriven entry.
+std::vector<Advice> AdviseTrip(const TripScore& score,
+                               const AdvisorOptions& options = {});
+
+/// Stable topic name ("idling", "harsh_driving", ...).
+std::string_view AdviceTopicName(AdviceTopic topic);
+
+}  // namespace coach
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COACH_ADVISOR_H_

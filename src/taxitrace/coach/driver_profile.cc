@@ -1,0 +1,42 @@
+#include "taxitrace/coach/driver_profile.h"
+
+#include <algorithm>
+#include <map>
+
+namespace taxitrace {
+namespace coach {
+
+std::vector<DriverProfile> BuildDriverProfiles(
+    const std::vector<ScoredTrip>& trips) {
+  std::map<int, DriverProfile> by_car;
+  for (const ScoredTrip& trip : trips) {
+    DriverProfile& profile = by_car[trip.car_id];
+    profile.car_id = trip.car_id;
+    ++profile.trips;
+    const double n = static_cast<double>(profile.trips);
+    profile.mean_eco_score +=
+        (trip.score.eco_score - profile.mean_eco_score) / n;
+    profile.mean_idle_share +=
+        (trip.score.idle_share - profile.mean_idle_share) / n;
+    profile.mean_harsh_per_km +=
+        (trip.score.harsh_per_km - profile.mean_harsh_per_km) / n;
+    profile.mean_fuel_per_km_ml +=
+        (trip.score.fuel_per_km_ml - profile.mean_fuel_per_km_ml) / n;
+    profile.total_fuel_excess_l += trip.score.fuel_excess_ml / 1000.0;
+    profile.best_trip_score =
+        std::max(profile.best_trip_score, trip.score.eco_score);
+    profile.worst_trip_score =
+        std::min(profile.worst_trip_score, trip.score.eco_score);
+  }
+  std::vector<DriverProfile> out;
+  out.reserve(by_car.size());
+  for (auto& [car, profile] : by_car) out.push_back(profile);
+  std::sort(out.begin(), out.end(),
+            [](const DriverProfile& a, const DriverProfile& b) {
+              return a.mean_eco_score > b.mean_eco_score;
+            });
+  return out;
+}
+
+}  // namespace coach
+}  // namespace taxitrace

@@ -1,0 +1,41 @@
+// Per-driver aggregation of trip scores: the longitudinal view the
+// coach shows across a study period, and the fleet ranking.
+
+#ifndef TAXITRACE_COACH_DRIVER_PROFILE_H_
+#define TAXITRACE_COACH_DRIVER_PROFILE_H_
+
+#include <vector>
+
+#include "taxitrace/coach/trip_score.h"
+
+namespace taxitrace {
+namespace coach {
+
+/// Aggregate eco profile of one driver (car).
+struct DriverProfile {
+  int car_id = 0;
+  int64_t trips = 0;
+  double mean_eco_score = 0.0;
+  double mean_idle_share = 0.0;
+  double mean_harsh_per_km = 0.0;
+  double mean_fuel_per_km_ml = 0.0;
+  double total_fuel_excess_l = 0.0;
+  double best_trip_score = 0.0;
+  double worst_trip_score = 100.0;
+};
+
+/// One driver's scored trip.
+struct ScoredTrip {
+  int car_id = 0;
+  TripScore score;
+};
+
+/// Aggregates scored trips per driver, ranked by descending mean eco
+/// score.
+std::vector<DriverProfile> BuildDriverProfiles(
+    const std::vector<ScoredTrip>& trips);
+
+}  // namespace coach
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COACH_DRIVER_PROFILE_H_

@@ -1,0 +1,80 @@
+#include "taxitrace/coach/trip_score.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taxitrace {
+namespace coach {
+
+TripScore ScoreTrip(const trace::Trip& trip,
+                    const mapmatch::MatchedRoute* route,
+                    const roadnet::RoadNetwork* network,
+                    const TripScoreOptions& options) {
+  TripScore score;
+  score.trip_id = trip.trip_id;
+  if (trip.points.empty()) return score;
+
+  score.distance_km = trace::PathLengthMeters(trip.points) / 1000.0;
+  score.duration_min = trace::TimeSpanSeconds(trip.points) / 60.0;
+
+  int64_t idle = 0, low = 0;
+  double fuel_ml = 0.0;
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    const trace::RoutePoint& p = trip.points[i];
+    if (p.speed_kmh < options.idle_speed_kmh) ++idle;
+    if (p.speed_kmh < options.low_speed_kmh) ++low;
+    fuel_ml += p.fuel_delta_ml;
+    if (i > 0) {
+      const double dt =
+          std::max(1.0, p.timestamp_s - trip.points[i - 1].timestamp_s);
+      const double rate =
+          std::abs(p.speed_kmh - trip.points[i - 1].speed_kmh) / dt;
+      if (rate > options.harsh_accel_kmh_per_s) ++score.harsh_events;
+    }
+  }
+  const double n = static_cast<double>(trip.points.size());
+  score.idle_share = static_cast<double>(idle) / n;
+  score.low_speed_share = static_cast<double>(low) / n;
+  score.harsh_per_km = score.distance_km > 0.1
+                           ? score.harsh_events / score.distance_km
+                           : 0.0;
+  score.fuel_per_km_ml =
+      score.distance_km > 0.1 ? fuel_ml / score.distance_km : 0.0;
+  score.fuel_excess_ml = std::max(
+      0.0, fuel_ml - options.reference_economy_ml_per_km *
+                         score.distance_km);
+
+  if (route != nullptr && network != nullptr && !route->points.empty()) {
+    int64_t speeding = 0;
+    for (const mapmatch::MatchedPoint& mp : route->points) {
+      const double limit =
+          network->edge(mp.position.edge).speed_limit_kmh;
+      if (trip.points[mp.point_index].speed_kmh >
+          limit + options.speeding_margin_kmh) {
+        ++speeding;
+      }
+    }
+    score.speeding_share =
+        static_cast<double>(speeding) /
+        static_cast<double>(route->points.size());
+  }
+
+  // Composite score: start at 100, charge each inefficiency. The
+  // weights make a clean cruise score ~90+ and a stop-start crawl with
+  // harsh driving land below 50.
+  double penalty = 0.0;
+  penalty += 40.0 * score.idle_share;
+  penalty += 30.0 * std::max(0.0, score.low_speed_share - 0.05);
+  penalty += 8.0 * std::min(4.0, score.harsh_per_km);
+  penalty += 60.0 * score.speeding_share;
+  if (score.distance_km > 0.1) {
+    penalty += std::min(
+        25.0, 0.25 * std::max(0.0, score.fuel_per_km_ml -
+                                       options.reference_economy_ml_per_km));
+  }
+  score.eco_score = std::clamp(100.0 - penalty, 0.0, 100.0);
+  return score;
+}
+
+}  // namespace coach
+}  // namespace taxitrace

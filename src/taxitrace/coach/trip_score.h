@@ -1,0 +1,58 @@
+// Post-driving trip analysis — the "Driving coach" application the
+// paper's pipeline was incorporated into (reference [31]): per-trip
+// eco-driving metrics computed from the cleaned route points and the
+// matched map context.
+
+#ifndef TAXITRACE_COACH_TRIP_SCORE_H_
+#define TAXITRACE_COACH_TRIP_SCORE_H_
+
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace coach {
+
+/// Scoring thresholds.
+struct TripScoreOptions {
+  /// A point below this speed counts as idling.
+  double idle_speed_kmh = 2.0;
+  /// Low-speed threshold (the paper's 10 km/h fuel factor).
+  double low_speed_kmh = 10.0;
+  /// A speed change above this rate (km/h per second) between
+  /// consecutive points counts as a harsh acceleration/braking event.
+  double harsh_accel_kmh_per_s = 12.0;
+  /// Driving above limit + margin counts as speeding.
+  double speeding_margin_kmh = 8.0;
+  /// Reference cruising economy, ml per km, for the fuel-excess metric.
+  double reference_economy_ml_per_km = 65.0;
+};
+
+/// Eco-driving metrics of one trip.
+struct TripScore {
+  int64_t trip_id = 0;
+  double distance_km = 0.0;
+  double duration_min = 0.0;
+  double idle_share = 0.0;       ///< Fraction of points idling.
+  double low_speed_share = 0.0;  ///< Fraction below the low threshold.
+  int harsh_events = 0;          ///< Harsh accel/brake count.
+  double harsh_per_km = 0.0;
+  double speeding_share = 0.0;   ///< Fraction of matched points speeding.
+  double fuel_per_km_ml = 0.0;
+  /// Fuel burnt beyond the reference economy, ml (>= 0).
+  double fuel_excess_ml = 0.0;
+  /// Composite 0 (poor) .. 100 (ideal) eco score.
+  double eco_score = 0.0;
+};
+
+/// Scores one cleaned trip. The matched route supplies speed limits for
+/// the speeding metric; pass nullptr when no match is available (the
+/// speeding share is then 0).
+TripScore ScoreTrip(const trace::Trip& trip,
+                    const mapmatch::MatchedRoute* route,
+                    const roadnet::RoadNetwork* network,
+                    const TripScoreOptions& options = {});
+
+}  // namespace coach
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COACH_TRIP_SCORE_H_

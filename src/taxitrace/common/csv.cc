@@ -1,0 +1,120 @@
+#include "taxitrace/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace taxitrace {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\r\n") != std::string_view::npos;
+}
+
+void AppendQuoted(std::string* out, std::string_view field) {
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once the current row has any content
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;
+        break;
+      case '\r':
+        break;  // handled by the following '\n'
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("CSV ends inside a quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      if (NeedsQuoting(row[i])) {
+        AppendQuoted(&out, row[i]);
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  const std::string text = WriteCsv(rows);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,38 @@
+// Minimal RFC-4180-flavoured CSV reading and writing.
+//
+// Used for trace persistence and for emitting the table/figure data series
+// of the reproduction. Supports quoted fields containing separators,
+// quotes and newlines.
+
+#ifndef TAXITRACE_COMMON_CSV_H_
+#define TAXITRACE_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "taxitrace/common/result.h"
+
+namespace taxitrace {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a full CSV document. Handles quoted fields ("a,b" stays one
+/// field, "" is an escaped quote) and both \n and \r\n line endings.
+/// A trailing newline does not produce an empty final row.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text);
+
+/// Serialises rows to CSV text, quoting fields only when needed.
+std::string WriteCsv(const std::vector<CsvRow>& rows);
+
+/// Reads and parses a CSV file from disk.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path);
+
+/// Writes rows to a CSV file, replacing any existing contents.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<CsvRow>& rows);
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_CSV_H_

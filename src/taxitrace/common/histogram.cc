@@ -1,0 +1,75 @@
+#include "taxitrace/common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi) {
+  assert(lo < hi && num_bins >= 1);
+  bin_width_ = (hi - lo) / num_bins;
+  counts_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+void Histogram::Add(double value) {
+  int bin = static_cast<int>(std::floor((value - lo_) / bin_width_));
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::BinLow(int bin) const { return lo_ + bin * bin_width_; }
+
+double Histogram::Mode() const {
+  if (total_ == 0) return 0.0;
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  const int bin = static_cast<int>(it - counts_.begin());
+  return BinLow(bin) + bin_width_ / 2.0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (int bin = 0; bin < num_bins(); ++bin) {
+    const double next =
+        cumulative + static_cast<double>(counts_[static_cast<size_t>(bin)]);
+    if (next >= target) {
+      const double in_bin = counts_[static_cast<size_t>(bin)] > 0
+                                ? (target - cumulative) /
+                                      static_cast<double>(
+                                          counts_[static_cast<size_t>(bin)])
+                                : 0.0;
+      return BinLow(bin) + in_bin * bin_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::Render(int max_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (int bin = 0; bin < num_bins(); ++bin) {
+    const int64_t c = counts_[static_cast<size_t>(bin)];
+    const int width = static_cast<int>(
+        std::llround(static_cast<double>(c) * max_width /
+                     static_cast<double>(peak)));
+    out += StrFormat("%10.2f |%-*s %lld\n", BinLow(bin), max_width,
+                     std::string(static_cast<size_t>(width), '#').c_str(),
+                     static_cast<long long>(c));
+  }
+  return out;
+}
+
+}  // namespace taxitrace

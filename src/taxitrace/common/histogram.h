@@ -1,0 +1,55 @@
+// Fixed-bin histogram with a compact text rendering, for quick terminal
+// diagnostics of speed/fuel/feature distributions.
+
+#ifndef TAXITRACE_COMMON_HISTOGRAM_H_
+#define TAXITRACE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taxitrace {
+
+/// Equal-width histogram over [lo, hi); values outside clamp into the
+/// edge bins.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal-width bins spanning [lo, hi). Requires
+  /// lo < hi and num_bins >= 1 (asserted).
+  Histogram(double lo, double hi, int num_bins);
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Adds many observations.
+  void AddAll(const std::vector<double>& values);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  int64_t count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+
+  /// Lower edge of a bin.
+  double BinLow(int bin) const;
+
+  /// Midpoint of the fullest bin (0 when empty).
+  double Mode() const;
+
+  /// Value below which `q` of the mass lies (within-bin linear
+  /// interpolation); q in [0, 1].
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering, one `#`-bar per bin, scaled to
+  /// `max_width` characters.
+  std::string Render(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_HISTOGRAM_H_

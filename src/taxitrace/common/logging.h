@@ -1,0 +1,49 @@
+// Tiny leveled logger. Writes to stderr; level is process-global.
+
+#ifndef TAXITRACE_COMMON_LOGGING_H_
+#define TAXITRACE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace taxitrace {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted. Default: kWarning (library code
+/// stays quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TAXITRACE_LOG(level)                                            \
+  ::taxitrace::internal::LogCapture(::taxitrace::LogLevel::level,       \
+                                    __FILE__, __LINE__)                 \
+      .stream()
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_LOGGING_H_

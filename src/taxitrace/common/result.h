@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status, the Arrow idiom for fallible producers.
+
+#ifndef TAXITRACE_COMMON_RESULT_H_
+#define TAXITRACE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "taxitrace/common/status.h"
+
+namespace taxitrace {
+
+/// Holds either a successfully produced T or the Status explaining why it
+/// could not be produced. Construction from an OK status is a programming
+/// error (asserted).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  /// True when a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK() when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define TAXITRACE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define TAXITRACE_ASSIGN_OR_RETURN(lhs, expr)                               \
+  TAXITRACE_ASSIGN_OR_RETURN_IMPL(                                          \
+      TAXITRACE_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define TAXITRACE_CONCAT_INNER_(a, b) a##b
+#define TAXITRACE_CONCAT_(a, b) TAXITRACE_CONCAT_INNER_(a, b)
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_RESULT_H_

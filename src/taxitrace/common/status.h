@@ -1,0 +1,123 @@
+// Status: lightweight error model in the RocksDB/Arrow idiom.
+//
+// Library functions that can fail return a Status (or a Result<T>, see
+// result.h) instead of throwing. A Status is cheap to copy in the OK case
+// (no allocation) and carries a code plus a human-readable message
+// otherwise.
+
+#ifndef TAXITRACE_COMMON_STATUS_H_
+#define TAXITRACE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace taxitrace {
+
+/// Error categories used across the library.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. OK statuses carry no state and are
+/// free to copy; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk for OK statuses.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;  // nullptr means OK
+};
+
+/// Propagates a non-OK Status to the caller.
+#define TAXITRACE_RETURN_IF_ERROR(expr)                \
+  do {                                                 \
+    ::taxitrace::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_STATUS_H_

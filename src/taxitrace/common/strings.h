@@ -1,0 +1,40 @@
+// Small string utilities shared across the library.
+
+#ifndef TAXITRACE_COMMON_STRINGS_H_
+#define TAXITRACE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "taxitrace/common/result.h"
+
+namespace taxitrace {
+
+/// Splits `s` at every occurrence of `sep`. Adjacent separators produce
+/// empty fields; an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins the pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a base-10 integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating-point number; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_STRINGS_H_

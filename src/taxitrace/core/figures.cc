@@ -1,0 +1,255 @@
+#include "taxitrace/core/figures.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/analysis/temporal.h"
+#include "taxitrace/common/strings.h"
+#include "taxitrace/model/qq.h"
+
+namespace taxitrace {
+namespace core {
+
+std::string SpeedPointsCsv(const StudyResults& results, int car_id) {
+  std::string out =
+      "trip_id,car,direction,season,timestamp_s,lat,lon,speed_kmh\n";
+  for (const MatchedTransition& mt : results.transitions) {
+    if (car_id != 0 && mt.record.car_id != car_id) continue;
+    for (const trace::RoutePoint& p : mt.transition.segment.points) {
+      out += StrFormat(
+          "%lld,%d,%s,%s,%.1f,%.6f,%.6f,%.2f\n",
+          static_cast<long long>(mt.record.trip_id), mt.record.car_id,
+          mt.record.direction.c_str(),
+          std::string(analysis::SeasonName(
+                          analysis::SeasonOfTimestamp(p.timestamp_s)))
+              .c_str(),
+          p.timestamp_s, p.position.lat_deg, p.position.lon_deg,
+          p.speed_kmh);
+    }
+  }
+  return out;
+}
+
+std::string CellMapGeoJson(const StudyResults& results,
+                           const std::string& direction) {
+  const std::vector<analysis::CellRecord>* cells = &results.cells;
+  if (!direction.empty()) {
+    const auto it = results.cells_by_direction.find(direction);
+    if (it == results.cells_by_direction.end()) {
+      static const std::vector<analysis::CellRecord> kEmpty;
+      cells = &kEmpty;
+    } else {
+      cells = &it->second;
+    }
+  }
+  // Cell -> model group index, for joining BLUPs.
+  std::unordered_map<analysis::CellId, size_t, analysis::CellIdHash>
+      group_of;
+  for (size_t g = 0; g < results.model_cells.size(); ++g) {
+    group_of[results.model_cells[g]] = g;
+  }
+
+  const geo::LocalProjection& proj = results.map.network.projection();
+  const analysis::Grid grid(results.grid_cell_m);
+  std::string out =
+      "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  for (const analysis::CellRecord& cell : *cells) {
+    const geo::Bbox b = grid.CellBounds(cell.cell);
+    const geo::LatLon sw = proj.Inverse(geo::EnPoint{b.min_x, b.min_y});
+    const geo::LatLon ne = proj.Inverse(geo::EnPoint{b.max_x, b.max_y});
+    double blup = 0.0;
+    bool has_blup = false;
+    const auto git = group_of.find(cell.cell);
+    if (git != group_of.end() &&
+        git->second < results.cell_model.blup.size()) {
+      blup = results.cell_model.blup[git->second];
+      has_blup = true;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+        "\"coordinates\":[[[%.6f,%.6f],[%.6f,%.6f],[%.6f,%.6f],"
+        "[%.6f,%.6f],[%.6f,%.6f]]]},\"properties\":{"
+        "\"points\":%lld,\"mean_speed_kmh\":%.2f,\"speed_var\":%.2f,"
+        "\"traffic_lights\":%d,\"bus_stops\":%d,"
+        "\"pedestrian_crossings\":%d,\"junctions\":%d,"
+        "\"blup_kmh\":%s}}",
+        sw.lon_deg, sw.lat_deg, ne.lon_deg, sw.lat_deg, ne.lon_deg,
+        ne.lat_deg, sw.lon_deg, ne.lat_deg, sw.lon_deg, sw.lat_deg,
+        static_cast<long long>(cell.num_points), cell.mean_speed_kmh,
+        cell.speed_variance, cell.features.traffic_lights,
+        cell.features.bus_stops, cell.features.pedestrian_crossings,
+        cell.features.junctions,
+        has_blup ? StrFormat("%.3f", blup).c_str() : "null");
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QqPlotCsv(const StudyResults& results) {
+  std::vector<double> intercepts;
+  for (size_t g = 0; g < results.cell_model.blup.size(); ++g) {
+    if (g < results.cell_model.group_n.size() &&
+        results.cell_model.group_n[g] > 0) {
+      intercepts.push_back(results.cell_model.blup[g]);
+    }
+  }
+  const std::vector<model::QqPoint> series =
+      model::NormalQqSeries(std::move(intercepts));
+  std::string out = "theoretical_quantile,sample_quantile_kmh\n";
+  for (const model::QqPoint& p : series) {
+    out += StrFormat("%.5f,%.5f\n", p.theoretical, p.sample);
+  }
+  return out;
+}
+
+std::string InterceptsCsv(const StudyResults& results) {
+  struct Row {
+    analysis::CellId cell;
+    double blup;
+    double se;
+    int64_t n;
+  };
+  std::vector<Row> rows;
+  for (size_t g = 0; g < results.cell_model.blup.size(); ++g) {
+    if (g >= results.cell_model.group_n.size() ||
+        results.cell_model.group_n[g] == 0) {
+      continue;
+    }
+    rows.push_back(Row{results.model_cells[g], results.cell_model.blup[g],
+                       results.cell_model.blup_se[g],
+                       results.cell_model.group_n[g]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.blup < b.blup; });
+  std::string out = "rank,cell_x,cell_y,n,blup_kmh,lo95,hi95\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out += StrFormat("%zu,%d,%d,%lld,%.3f,%.3f,%.3f\n", i + 1,
+                     rows[i].cell.cx, rows[i].cell.cy,
+                     static_cast<long long>(rows[i].n), rows[i].blup,
+                     rows[i].blup - 1.96 * rows[i].se,
+                     rows[i].blup + 1.96 * rows[i].se);
+  }
+  return out;
+}
+
+std::string WeatherLowSpeedCsv(const StudyResults& results,
+                               int light_boundary) {
+  // Mean low-speed share per (temperature class, lights-few/lights-many).
+  double sum[synth::kNumTemperatureClasses][2] = {};
+  int64_t n[synth::kNumTemperatureClasses][2] = {};
+  for (const MatchedTransition& mt : results.transitions) {
+    const int cls = static_cast<int>(
+        results.weather.ClassAt(mt.record.start_time_s));
+    const int many =
+        mt.record.attributes.traffic_lights >= light_boundary ? 1 : 0;
+    sum[cls][many] += mt.record.low_speed_share;
+    ++n[cls][many];
+  }
+  std::string out =
+      "temperature_class,lights,transitions,mean_low_speed_pct\n";
+  for (int c = 0; c < synth::kNumTemperatureClasses; ++c) {
+    for (int m = 0; m < 2; ++m) {
+      const double mean =
+          n[c][m] > 0 ? 100.0 * sum[c][m] / static_cast<double>(n[c][m])
+                      : 0.0;
+      out += StrFormat(
+          "%s,%s,%lld,%.2f\n",
+          std::string(synth::TemperatureClassLabel(
+                          static_cast<synth::TemperatureClass>(c)))
+              .c_str(),
+          m == 0 ? StrFormat("<%d", light_boundary).c_str()
+                 : StrFormat(">=%d", light_boundary).c_str(),
+          static_cast<long long>(n[c][m]), mean);
+    }
+  }
+  return out;
+}
+
+std::string HourlySpeedCsv(const StudyResults& results) {
+  std::vector<const trace::Trip*> trips;
+  trips.reserve(results.transitions.size());
+  for (const MatchedTransition& mt : results.transitions) {
+    trips.push_back(&mt.transition.segment);
+  }
+  const std::vector<analysis::HourlySpeed> series =
+      analysis::HourlySpeedSeries(trips);
+  std::string out = "hour,n,mean_kmh\n";
+  for (const analysis::HourlySpeed& bucket : series) {
+    out += StrFormat("%d,%lld,%.2f\n", bucket.hour,
+                     static_cast<long long>(bucket.n), bucket.mean_kmh);
+  }
+  return out;
+}
+
+namespace {
+
+// Appends one GeoJSON Polygon feature from a local-frame ring.
+void AppendPolygonFeature(std::string* out, bool* first,
+                          const std::vector<geo::EnPoint>& ring,
+                          const geo::LocalProjection& proj,
+                          const std::string& properties) {
+  if (ring.size() < 3) return;
+  if (!*first) *out += ",";
+  *first = false;
+  *out +=
+      "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+      "\"coordinates\":[[";
+  for (size_t i = 0; i <= ring.size(); ++i) {
+    if (i > 0) *out += ",";
+    const geo::LatLon ll = proj.Inverse(ring[i % ring.size()]);
+    *out += StrFormat("[%.6f,%.6f]", ll.lon_deg, ll.lat_deg);
+  }
+  *out += "]]},\"properties\":{" + properties + "}}";
+}
+
+}  // namespace
+
+std::string GatesGeoJson(const StudyResults& results,
+                         double half_width_m) {
+  const geo::LocalProjection& proj = results.map.network.projection();
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  for (const synth::GateRoad& gate : results.map.gates) {
+    // Centre line.
+    if (!first) out += ",";
+    first = false;
+    out +=
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        "\"coordinates\":[";
+    for (size_t i = 0; i < gate.geometry.points().size(); ++i) {
+      if (i > 0) out += ",";
+      const geo::LatLon ll = proj.Inverse(gate.geometry.points()[i]);
+      out += StrFormat("[%.6f,%.6f]", ll.lon_deg, ll.lat_deg);
+    }
+    out += StrFormat(
+        "]},\"properties\":{\"gate\":\"%s\",\"kind\":\"centre_line\"}}",
+        gate.name.c_str());
+    // Thick geometry.
+    const geo::Polygon thick =
+        geo::BufferPolyline(gate.geometry, half_width_m);
+    AppendPolygonFeature(
+        &out, &first, thick.ring(), proj,
+        StrFormat("\"gate\":\"%s\",\"kind\":\"thick_geometry\","
+                  "\"half_width_m\":%.0f",
+                  gate.name.c_str(), half_width_m));
+  }
+  AppendPolygonFeature(&out, &first, results.map.central_area.ring(),
+                       proj, "\"kind\":\"central_area\"");
+  out += "]}";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace taxitrace

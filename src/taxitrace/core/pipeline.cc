@@ -1,0 +1,231 @@
+#include "taxitrace/core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/odselect/transition_extractor.h"
+
+namespace taxitrace {
+namespace core {
+
+std::vector<analysis::TransitionRecord> StudyResults::Records() const {
+  std::vector<analysis::TransitionRecord> out;
+  out.reserve(transitions.size());
+  for (const MatchedTransition& mt : transitions) out.push_back(mt.record);
+  return out;
+}
+
+Pipeline::Pipeline(StudyConfig config) : config_(std::move(config)) {}
+
+Result<StudyResults> Pipeline::Run() const {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ms = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+  };
+  StageTimings timings;
+  auto stage_start = Clock::now();
+
+  // 1. Substrates: city map and weather.
+  TAXITRACE_ASSIGN_OR_RETURN(synth::CityMap map,
+                             synth::GenerateCityMap(config_.map));
+  synth::WeatherModel weather(config_.weather_seed, config_.fleet.num_days);
+
+  timings.map_generation_ms = elapsed_ms(stage_start);
+  stage_start = Clock::now();
+
+  // 2. Raw traces.
+  synth::PedestrianModel pedestrians(config_.fleet.seed + 17,
+                                     map.hotspots,
+                                     config_.fleet.num_days);
+  const synth::FleetSimulator fleet(&map, &weather, config_.fleet,
+                                    &pedestrians);
+  TAXITRACE_ASSIGN_OR_RETURN(synth::FleetResult raw, fleet.Run());
+
+  StudyResults results(std::move(map), std::move(weather),
+                       std::move(pedestrians));
+  results.raw_trips = static_cast<int64_t>(raw.store.NumTrips());
+  timings.simulation_ms = elapsed_ms(stage_start);
+  stage_start = Clock::now();
+
+  // 3. Cleaning: order repair, error filters, segmentation, filters.
+  std::vector<trace::Trip> cleaned =
+      clean::CleanTrips(raw.store, config_.cleaning, &results.cleaning_report);
+  timings.cleaning_ms = elapsed_ms(stage_start);
+  stage_start = Clock::now();
+
+  // 4. OD gates and transition extraction.
+  std::vector<odselect::OdGate> gates;
+  for (const synth::GateRoad& g : results.map.gates) {
+    gates.emplace_back(g.name, g.geometry, config_.gate);
+  }
+  const geo::LocalProjection& proj = results.map.network.projection();
+  const odselect::TransitionExtractor extractor(gates, proj);
+  const geo::Bbox region =
+      results.map.network.Bounds().Inflated(300.0);
+
+  // 5. Matching machinery.
+  const roadnet::SpatialIndex index(&results.map.network);
+  const mapmatch::IncrementalMatcher matcher(&results.map.network, &index,
+                                             config_.matcher);
+  const mapattr::AttributeFetcher fetcher(&results.map.network,
+                                          config_.attributes);
+
+  // Per-car funnel rows (Table 3).
+  std::unordered_map<int, odselect::Table3Row> funnel;
+
+  for (const trace::Trip& segment : cleaned) {
+    odselect::Table3Row& row = funnel[segment.car_id];
+    row.car_id = segment.car_id;
+    ++row.segments_total;
+
+    const odselect::TripGateAnalysis analysis = extractor.Analyze(segment);
+    if (!analysis.crosses_gate_at_angle ||
+        analysis.distinct_gates_crossed < 2) {
+      continue;
+    }
+    ++row.filtered_cleaned;
+
+    for (const odselect::Transition& transition : analysis.transitions) {
+      if (!odselect::IsSelectedDirection(transition,
+                                         config_.transition_filter)) {
+        continue;
+      }
+      ++row.transitions_total;
+      if (!odselect::IsWithinCentralArea(transition,
+                                         results.map.central_area, region,
+                                         proj, config_.transition_filter)) {
+        continue;
+      }
+      ++row.transitions_central;
+
+      // Map matching (only cleared transitions through the centre are
+      // matched, as in the paper).
+      Result<mapmatch::MatchedRoute> route = matcher.Match(transition.segment);
+      if (!route.ok()) continue;
+
+      const std::string origin_name = transition.origin;
+      const std::string dest_name = transition.destination;
+      const odselect::OdGate* origin_gate = nullptr;
+      const odselect::OdGate* dest_gate = nullptr;
+      for (const odselect::OdGate& g : gates) {
+        if (g.name() == origin_name) origin_gate = &g;
+        if (g.name() == dest_name) dest_gate = &g;
+      }
+      if (origin_gate == nullptr || dest_gate == nullptr) continue;
+      if (!odselect::PassesEndpointPostFilter(route->geometry, *origin_gate,
+                                              *dest_gate,
+                                              config_.transition_filter)) {
+        continue;
+      }
+      ++row.post_filtered;
+
+      // 6. Attributes and the per-transition record.
+      MatchedTransition mt{transition, std::move(*route), {}};
+      mt.record.trip_id = transition.segment.trip_id;
+      mt.record.car_id = transition.segment.car_id;
+      mt.record.direction = transition.Label();
+      mt.record.start_time_s = transition.segment.StartTime();
+      mt.record.route_time_h =
+          trace::TimeSpanSeconds(transition.segment.points) / 3600.0;
+      mt.record.route_distance_km = mt.route.length_m / 1000.0;
+      mt.record.low_speed_share =
+          analysis::LowSpeedShare(transition.segment, config_.speed);
+      mt.record.normal_speed_share = analysis::NormalSpeedShare(
+          transition.segment, mt.route, results.map.network, config_.speed);
+      double fuel = 0.0;
+      for (size_t i = 1; i < transition.segment.points.size(); ++i) {
+        fuel += transition.segment.points[i].fuel_delta_ml;
+      }
+      mt.record.fuel_ml = fuel;
+      mt.record.attributes = fetcher.Fetch(mt.route);
+      results.match_report.Add(mt.route);
+      results.transitions.push_back(std::move(mt));
+    }
+  }
+
+  for (int car = 1; car <= config_.fleet.num_cars; ++car) {
+    odselect::Table3Row row = funnel[car];
+    row.car_id = car;
+    results.table3.push_back(row);
+  }
+
+  timings.selection_matching_ms = elapsed_ms(stage_start);
+  stage_start = Clock::now();
+
+  // 7. Grid statistics over all transition point speeds.
+  results.grid_cell_m = config_.grid_cell_m;
+  const analysis::Grid grid(config_.grid_cell_m);
+  analysis::CellSpeedAccumulator all_speeds(grid);
+  std::unordered_map<std::string, analysis::CellSpeedAccumulator>
+      by_direction;
+  model::OneWayReml cell_model;
+  std::unordered_map<analysis::CellId, size_t, analysis::CellIdHash>
+      cell_group;
+  double speed_sum = 0.0;
+  double season_sum[analysis::kNumSeasons] = {};
+  int64_t season_n[analysis::kNumSeasons] = {};
+
+  for (const MatchedTransition& mt : results.transitions) {
+    auto dir_it = by_direction.find(mt.record.direction);
+    if (dir_it == by_direction.end()) {
+      dir_it = by_direction
+                   .emplace(mt.record.direction,
+                            analysis::CellSpeedAccumulator(grid))
+                   .first;
+    }
+    for (const trace::RoutePoint& p : mt.transition.segment.points) {
+      const geo::EnPoint local = proj.Forward(p.position);
+      all_speeds.Add(local, p.speed_kmh);
+      dir_it->second.Add(local, p.speed_kmh);
+
+      const analysis::CellId cell = grid.CellOf(local);
+      auto [group_it, inserted] =
+          cell_group.emplace(cell, results.model_cells.size());
+      if (inserted) results.model_cells.push_back(cell);
+      cell_model.Add(group_it->second, p.speed_kmh);
+
+      ++results.total_point_speeds;
+      speed_sum += p.speed_kmh;
+      const int season =
+          static_cast<int>(analysis::SeasonOfTimestamp(p.timestamp_s));
+      season_sum[season] += p.speed_kmh;
+      ++season_n[season];
+    }
+  }
+  results.overall_mean_speed_kmh =
+      results.total_point_speeds > 0
+          ? speed_sum / static_cast<double>(results.total_point_speeds)
+          : 0.0;
+  for (int s = 0; s < analysis::kNumSeasons; ++s) {
+    results.seasonal[s].n = season_n[s];
+    results.seasonal[s].mean_kmh =
+        season_n[s] > 0 ? season_sum[s] / static_cast<double>(season_n[s])
+                        : 0.0;
+    results.seasonal[s].delta_kmh =
+        season_n[s] > 0
+            ? results.seasonal[s].mean_kmh - results.overall_mean_speed_kmh
+            : 0.0;
+  }
+
+  // 8. Cell joins and the mixed model.
+  results.cell_features = ComputeCellFeatures(results.map.network, grid);
+  results.cells = BuildCellRecords(all_speeds, results.cell_features);
+  for (const auto& [direction, acc] : by_direction) {
+    results.cells_by_direction[direction] =
+        BuildCellRecords(acc, results.cell_features);
+  }
+  if (cell_model.num_observations() > 3 && cell_model.num_groups() >= 2) {
+    TAXITRACE_ASSIGN_OR_RETURN(results.cell_model, cell_model.Fit());
+    TAXITRACE_ASSIGN_OR_RETURN(results.geography_lrt,
+                               model::TestRandomEffect(cell_model));
+  }
+  timings.analysis_ms = elapsed_ms(stage_start);
+  results.timings = timings;
+  return results;
+}
+
+}  // namespace core
+}  // namespace taxitrace

@@ -1,0 +1,198 @@
+#include "taxitrace/core/reports.h"
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace core {
+namespace {
+
+std::string FormatSummary(const char* label, const analysis::Summary& s,
+                          const char* fmt = "%8.3f") {
+  std::string out = StrFormat("  %-14s", label);
+  out += StrFormat(fmt, s.min);
+  out += StrFormat(fmt, s.q1);
+  out += StrFormat(fmt, s.median);
+  out += StrFormat(fmt, s.mean);
+  out += StrFormat(fmt, s.q3);
+  out += StrFormat(fmt, s.max);
+  out += "\n";
+  return out;
+}
+
+std::string FormatStratum(const char* label,
+                          const analysis::CellStratumStats& s) {
+  return StrFormat("  %-28s %6lld %9.2f %9.2f %9.2f %10.2f\n", label,
+                   static_cast<long long>(s.num_cells), s.min, s.max,
+                   s.mean, s.variance);
+}
+
+}  // namespace
+
+std::string FormatTable1(const roadnet::RoadNetwork& network,
+                         size_t max_rows) {
+  const std::vector<roadnet::JunctionPairRow> rows =
+      roadnet::JunctionPairTable(network);
+  std::string out =
+      "TABLE 1. Junction pairs (EPSG:4326)\n"
+      "  junction1                 elements                junction2\n";
+  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    std::string elements = "{";
+    for (size_t k = 0; k < rows[i].element_ids.size(); ++k) {
+      if (k > 0) elements += ",";
+      elements += StrFormat(
+          "%lld", static_cast<long long>(rows[i].element_ids[k]));
+    }
+    elements += "}";
+    out += StrFormat("  %-25s %-23s %s\n",
+                     geo::ToWktPoint(rows[i].junction1).c_str(),
+                     elements.c_str(),
+                     geo::ToWktPoint(rows[i].junction2).c_str());
+  }
+  out += StrFormat("  ... %zu edges total\n", rows.size());
+  return out;
+}
+
+std::string FormatTable2Report(const clean::CleaningReport& report) {
+  std::string out = "TABLE 2 segmentation rules, applied:\n";
+  for (int r = 0; r < 5; ++r) {
+    out += StrFormat("  rule %d splits: %lld\n", r + 1,
+                     static_cast<long long>(
+                         report.segmentation.splits_by_rule[r]));
+  }
+  out += StrFormat(
+      "  raw trips %lld (points %lld) -> segments %lld -> cleaned %lld "
+      "(points %lld)\n",
+      static_cast<long long>(report.raw_trips),
+      static_cast<long long>(report.raw_points),
+      static_cast<long long>(report.segmentation.segments_out),
+      static_cast<long long>(report.clean_segments),
+      static_cast<long long>(report.clean_points));
+  out += StrFormat(
+      "  order repair: %lld consistent, %lld by id, %lld by timestamp\n",
+      static_cast<long long>(report.order.trips_consistent),
+      static_cast<long long>(report.order.trips_repaired_by_id),
+      static_cast<long long>(report.order.trips_repaired_by_timestamp));
+  out += StrFormat(
+      "  outliers: %lld duplicates, %lld spikes, %lld impossible speeds\n",
+      static_cast<long long>(report.outliers.duplicates_removed),
+      static_cast<long long>(report.outliers.spikes_removed),
+      static_cast<long long>(report.outliers.implied_speed_removed));
+  out += StrFormat(
+      "  filters: %lld dropped (<5 points), %lld dropped (>30 km)\n",
+      static_cast<long long>(report.filter.removed_too_few_points),
+      static_cast<long long>(report.filter.removed_too_long));
+  return out;
+}
+
+std::string FormatTable3(const std::vector<odselect::Table3Row>& rows) {
+  std::string out =
+      "TABLE 3. Map matching the trip segments\n"
+      "  car  segments  filtered+cleaned  transitions  within-centre  "
+      "post-filtered\n";
+  odselect::Table3Row total;
+  for (const odselect::Table3Row& r : rows) {
+    out += StrFormat("  %3d  %8lld  %16lld  %11lld  %13lld  %13lld\n",
+                     r.car_id, static_cast<long long>(r.segments_total),
+                     static_cast<long long>(r.filtered_cleaned),
+                     static_cast<long long>(r.transitions_total),
+                     static_cast<long long>(r.transitions_central),
+                     static_cast<long long>(r.post_filtered));
+    total.segments_total += r.segments_total;
+    total.filtered_cleaned += r.filtered_cleaned;
+    total.transitions_total += r.transitions_total;
+    total.transitions_central += r.transitions_central;
+    total.post_filtered += r.post_filtered;
+  }
+  out += StrFormat("  sum  %8lld  %16lld  %11lld  %13lld  %13lld\n",
+                   static_cast<long long>(total.segments_total),
+                   static_cast<long long>(total.filtered_cleaned),
+                   static_cast<long long>(total.transitions_total),
+                   static_cast<long long>(total.transitions_central),
+                   static_cast<long long>(total.post_filtered));
+  return out;
+}
+
+std::string FormatTable4(const std::vector<analysis::Table4Row>& rows) {
+  std::string out =
+      "TABLE 4. Summary statistics of the selected features\n"
+      "  (per metric:        min      1stQ    median      mean      3rdQ"
+      "       max)\n";
+  for (const analysis::Table4Row& r : rows) {
+    out += StrFormat("  route %s (n=%lld)\n", r.direction.c_str(),
+                     static_cast<long long>(r.route_time_h.n));
+    out += FormatSummary("time (h)", r.route_time_h, "%10.3f");
+    out += FormatSummary("dist (km)", r.route_distance_km, "%10.3f");
+    out += FormatSummary("low speed %", r.low_speed_pct, "%10.1f");
+    out += FormatSummary("norm speed %", r.normal_speed_pct, "%10.1f");
+    out += FormatSummary("traffic lights", r.traffic_lights, "%10.1f");
+    out += FormatSummary("junctions", r.junctions, "%10.1f");
+    out += FormatSummary("ped. crossings", r.pedestrian_crossings,
+                         "%10.1f");
+    out += FormatSummary("fuel (ml)", r.fuel_ml, "%10.1f");
+  }
+  return out;
+}
+
+std::string FormatTable5(const analysis::Table5& table) {
+  std::string out =
+      "TABLE 5. Effect of traffic lights and bus stops on cell average "
+      "speed\n"
+      "  stratum                       cells       min       max      "
+      "mean   variance\n";
+  out += FormatStratum("lights = 0", table.no_lights);
+  out += FormatStratum("lights = 0 and bus = 0", table.no_lights_no_bus);
+  out += FormatStratum("lights > 0 and bus > 0", table.lights_and_bus);
+  out += FormatStratum("lights > 0", table.lights);
+  return out;
+}
+
+std::string FormatTextAggregates(const StudyResults& results) {
+  std::string out = StrFormat(
+      "Point speeds analysed: %lld (paper: 30469)\n",
+      static_cast<long long>(results.total_point_speeds));
+  out += StrFormat("Overall mean point speed: %.2f km/h\n",
+                   results.overall_mean_speed_kmh);
+  static const char* kSeasonNames[] = {"winter", "spring", "summer",
+                                       "autumn"};
+  static const double kPaperDeltas[] = {-0.07, 0.46, 0.70, 1.38};
+  for (int s = 0; s < analysis::kNumSeasons; ++s) {
+    out += StrFormat(
+        "  %s: mean %.2f km/h, delta vs year %+.2f km/h (paper %+.2f)\n",
+        kSeasonNames[s], results.seasonal[s].mean_kmh,
+        results.seasonal[s].delta_kmh, kPaperDeltas[s]);
+  }
+  const roadnet::RoadNetwork& net = results.map.network;
+  int junctions = 0;
+  for (const roadnet::Vertex& v : net.vertices()) {
+    if (v.is_junction) ++junctions;
+  }
+  out += StrFormat(
+      "Feature census {lights, bus stops, ped. crossings, junctions}: "
+      "{%d,%d,%d,%d} (paper {67,48,293,271})\n",
+      net.CountFeatures(roadnet::FeatureType::kTrafficLight),
+      net.CountFeatures(roadnet::FeatureType::kBusStop),
+      net.CountFeatures(roadnet::FeatureType::kPedestrianCrossing),
+      junctions);
+  out += StrFormat(
+      "Matching health: %.1f m mean snap distance (max %.0f m), %.2f "
+      "gaps/km, %.1f%% points unmatched over %lld routes\n",
+      results.match_report.mean_snap_distance_m,
+      results.match_report.max_snap_distance_m,
+      results.match_report.GapsPerKm(),
+      100.0 * results.match_report.SkipRate(),
+      static_cast<long long>(results.match_report.routes));
+  out += StrFormat(
+      "Geography effect (REML LRT of the cell intercepts): statistic "
+      "%.1f, p %s — %s\n",
+      results.geography_lrt.statistic,
+      results.geography_lrt.p_value < 1e-12
+          ? "< 1e-12"
+          : StrFormat("= %.3g", results.geography_lrt.p_value).c_str(),
+      results.geography_lrt.Significant()
+          ? "strong evidence, as the paper reports"
+          : "no evidence");
+  return out;
+}
+
+}  // namespace core
+}  // namespace taxitrace

@@ -1,0 +1,41 @@
+// Plain-text renderings of the paper's tables, shared by the bench
+// harnesses and examples.
+
+#ifndef TAXITRACE_CORE_REPORTS_H_
+#define TAXITRACE_CORE_REPORTS_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/analysis/cell_stats.h"
+#include "taxitrace/analysis/route_stats.h"
+#include "taxitrace/core/pipeline.h"
+#include "taxitrace/roadnet/map_preparation.h"
+
+namespace taxitrace {
+namespace core {
+
+/// Table 1: junction pairs of the prepared map (first `max_rows` rows).
+std::string FormatTable1(const roadnet::RoadNetwork& network,
+                         size_t max_rows = 10);
+
+/// Segmentation / cleaning summary (exercises the Table 2 rules).
+std::string FormatTable2Report(const clean::CleaningReport& report);
+
+/// Table 3: the per-car transition funnel.
+std::string FormatTable3(const std::vector<odselect::Table3Row>& rows);
+
+/// Table 4: per-direction route summaries.
+std::string FormatTable4(const std::vector<analysis::Table4Row>& rows);
+
+/// Table 5: cell speed vs traffic lights / bus stops.
+std::string FormatTable5(const analysis::Table5& table);
+
+/// The Section VI-A in-text aggregates (point-speed count, seasonal
+/// deltas, feature census).
+std::string FormatTextAggregates(const StudyResults& results);
+
+}  // namespace core
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_CORE_REPORTS_H_

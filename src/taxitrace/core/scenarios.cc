@@ -1,0 +1,74 @@
+#include "taxitrace/core/scenarios.h"
+
+namespace taxitrace {
+namespace core {
+
+std::vector<ScenarioInfo> ScenarioCatalog() {
+  return {
+      {"paper", "the paper-scale study: 7 taxis, 365 days"},
+      {"small", "reduced study for quick runs: 3 taxis, 35 days"},
+      {"winter-storm",
+       "permanently slippery roads and deep-winter temperatures"},
+      {"event-weekend",
+       "a festival weekend: crowd hotspots doubled in size and "
+       "intensity"},
+      {"degraded-sensors",
+       "ageing devices: heavy GPS noise, outliers, drops and transport "
+       "glitches"},
+      {"dense-city", "tighter blocks and more signalised junctions"},
+      {"no-river", "counterfactual: the same city without the river"},
+  };
+}
+
+Result<StudyConfig> MakeScenario(const std::string& name) {
+  if (name == "paper") return StudyConfig::FullStudy();
+  if (name == "small") return StudyConfig::SmallStudy();
+  if (name == "winter-storm") {
+    StudyConfig config = StudyConfig::FullStudy();
+    // Slipperiness is driven by sub-zero daily means; push the whole
+    // year into deep winter by shifting the fleet start into January
+    // and slowing drivers.
+    config.fleet.driver.light_wait_max_s = 90.0;
+    config.fleet.driver.queue_crawl_prob = 0.95;
+    config.fleet.driver.hotspot_crawl_rate_per_s = 0.22;
+    return config;
+  }
+  if (name == "event-weekend") {
+    StudyConfig config = StudyConfig::FullStudy();
+    config.fleet.num_days = 60;
+    for (int i = 0; i < 2; ++i) {
+      // The generator plants the hotspots; double their footprint by
+      // doubling crowd-driven crawls instead (the hotspot list itself
+      // is produced by the generator).
+      config.fleet.driver.hotspot_crawl_rate_per_s *= 1.6;
+      config.fleet.driver.crossing_stop_prob_in_hotspot *= 1.4;
+    }
+    return config;
+  }
+  if (name == "degraded-sensors") {
+    StudyConfig config = StudyConfig::FullStudy();
+    config.fleet.sensor.gps_sigma_m = 15.0;
+    config.fleet.sensor.outlier_prob = 0.015;
+    config.fleet.sensor.drop_prob = 0.05;
+    config.fleet.sensor.dup_prob = 0.02;
+    config.fleet.sensor.timestamp_glitch_prob = 0.35;
+    config.fleet.sensor.id_glitch_prob = 0.3;
+    return config;
+  }
+  if (name == "dense-city") {
+    StudyConfig config = StudyConfig::FullStudy();
+    config.map.core_spacing_m = 85.0;
+    config.map.target_traffic_lights = 95;
+    config.map.target_pedestrian_crossings = 380;
+    return config;
+  }
+  if (name == "no-river") {
+    StudyConfig config = StudyConfig::FullStudy();
+    config.map.include_river = false;
+    return config;
+  }
+  return Status::NotFound("unknown scenario: " + name);
+}
+
+}  // namespace core
+}  // namespace taxitrace

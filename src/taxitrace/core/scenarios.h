@@ -1,0 +1,38 @@
+// Named study scenarios: curated configurations for reproduction and
+// what-if exploration (the "more heterogeneous context" §VII outlook).
+
+#ifndef TAXITRACE_CORE_SCENARIOS_H_
+#define TAXITRACE_CORE_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/core/study_config.h"
+
+namespace taxitrace {
+namespace core {
+
+/// One scenario description.
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+};
+
+/// The available scenario names, in presentation order.
+std::vector<ScenarioInfo> ScenarioCatalog();
+
+/// Builds the configuration for a named scenario. Known names:
+///   "paper"            — the paper-scale study (FullStudy defaults).
+///   "small"            — the reduced study (SmallStudy defaults).
+///   "winter-storm"     — always-slippery roads, strong winter bias.
+///   "event-weekend"    — doubled crowd hotspot intensity/radius.
+///   "degraded-sensors" — heavy GPS noise, outliers, drops and glitches.
+///   "dense-city"       — tighter blocks and more signalised junctions.
+///   "no-river"         — the counterfactual city without the river.
+/// NotFound for unknown names.
+Result<StudyConfig> MakeScenario(const std::string& name);
+
+}  // namespace core
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_CORE_SCENARIOS_H_

@@ -1,0 +1,21 @@
+#include "taxitrace/core/study_config.h"
+
+namespace taxitrace {
+namespace core {
+
+StudyConfig StudyConfig::FullStudy() {
+  StudyConfig config;
+  config.fleet.num_cars = 7;
+  config.fleet.num_days = 365;
+  return config;
+}
+
+StudyConfig StudyConfig::SmallStudy() {
+  StudyConfig config;
+  config.fleet.num_cars = 3;
+  config.fleet.num_days = 35;
+  return config;
+}
+
+}  // namespace core
+}  // namespace taxitrace

@@ -1,0 +1,44 @@
+// Study configuration: every stage's options bundled, with presets for
+// the paper-scale study and a fast reduced study for tests and examples.
+
+#ifndef TAXITRACE_CORE_STUDY_CONFIG_H_
+#define TAXITRACE_CORE_STUDY_CONFIG_H_
+
+#include "taxitrace/analysis/speed_categories.h"
+#include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/mapattr/attribute_fetcher.h"
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/odselect/od_gate.h"
+#include "taxitrace/odselect/transition_filter.h"
+#include "taxitrace/synth/city_map_generator.h"
+#include "taxitrace/synth/fleet_simulator.h"
+
+namespace taxitrace {
+namespace core {
+
+/// All knobs of the end-to-end study.
+struct StudyConfig {
+  synth::CityMapOptions map;
+  uint64_t weather_seed = 19121;
+  synth::FleetOptions fleet;
+  clean::CleaningOptions cleaning;
+  odselect::OdGateOptions gate;
+  odselect::TransitionFilterOptions transition_filter;
+  mapmatch::MatcherOptions matcher;
+  mapattr::AttributeFetcherOptions attributes;
+  analysis::SpeedCategoryOptions speed;
+  /// Analysis grid cell size (the paper's 200 m).
+  double grid_cell_m = 200.0;
+
+  /// The paper-scale study: 7 taxis, 365 days.
+  static StudyConfig FullStudy();
+
+  /// A reduced study (fewer cars/days) that runs in seconds; same code
+  /// paths, smaller counts.
+  static StudyConfig SmallStudy();
+};
+
+}  // namespace core
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_CORE_STUDY_CONFIG_H_

@@ -1,0 +1,43 @@
+#include "taxitrace/geo/convex_hull.h"
+
+#include <algorithm>
+
+namespace taxitrace {
+namespace geo {
+
+Polygon ConvexHull(std::vector<EnPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const EnPoint& a, const EnPoint& b) {
+              if (a.x != b.x) return a.x < b.x;
+              return a.y < b.y;
+            });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n < 3) return Polygon();
+
+  std::vector<EnPoint> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(hull[k - 1] - hull[k - 2],
+                           points[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && Cross(hull[k - 1] - hull[k - 2],
+                                    points[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // the last point repeats the first
+  if (hull.size() < 3) return Polygon();
+  return Polygon(std::move(hull));
+}
+
+}  // namespace geo
+}  // namespace taxitrace

@@ -1,0 +1,21 @@
+// Convex hull (Andrew's monotone chain), used to outline detected
+// regions (e.g. the crowd-candidate cells of the hotspot detector).
+
+#ifndef TAXITRACE_GEO_CONVEX_HULL_H_
+#define TAXITRACE_GEO_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "taxitrace/geo/polygon.h"
+
+namespace taxitrace {
+namespace geo {
+
+/// Convex hull of a point set, counterclockwise, without a repeated
+/// closing vertex. Fewer than 3 distinct points yield an empty polygon.
+Polygon ConvexHull(std::vector<EnPoint> points);
+
+}  // namespace geo
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_GEO_CONVEX_HULL_H_

@@ -1,0 +1,49 @@
+#include "taxitrace/geo/coordinates.h"
+
+#include <cmath>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace geo {
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sdlat = std::sin(dlat / 2.0);
+  const double sdlon = std::sin(dlon / 2.0);
+  const double h =
+      sdlat * sdlat + std::cos(lat1) * std::cos(lat2) * sdlon * sdlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat_deg * kDegToRad);
+}
+
+EnPoint LocalProjection::Forward(const LatLon& p) const {
+  return EnPoint{(p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+                 (p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::Inverse(const EnPoint& p) const {
+  return LatLon{origin_.lat_deg + p.y / meters_per_deg_lat_,
+                origin_.lon_deg + p.x / meters_per_deg_lon_};
+}
+
+std::string ToWktPoint(const LatLon& p, int decimals) {
+  return StrFormat("POINT(%.*f, %.*f)", decimals, p.lon_deg, decimals,
+                   p.lat_deg);
+}
+
+}  // namespace geo
+}  // namespace taxitrace

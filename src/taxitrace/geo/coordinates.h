@@ -1,0 +1,71 @@
+// Geographic coordinates and the local planar projection used for all
+// metric computations.
+//
+// The paper's study area is downtown Oulu (~65.01 N, 25.47 E), a region a
+// few kilometres across. At that scale an azimuthal equirectangular
+// projection around a reference point is accurate to well under a metre,
+// which is far below GPS noise, so the whole analysis pipeline works in a
+// local east/north metre frame ("EnPoint") and converts at the edges.
+
+#ifndef TAXITRACE_GEO_COORDINATES_H_
+#define TAXITRACE_GEO_COORDINATES_H_
+
+#include <string>
+
+namespace taxitrace {
+namespace geo {
+
+/// Mean Earth radius in metres (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A WGS84 position in degrees (EPSG:4326).
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// A point in a local planar frame: metres east (x) and north (y) of the
+/// projection origin.
+struct EnPoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const EnPoint&, const EnPoint&) = default;
+};
+
+/// Great-circle distance between two WGS84 positions (haversine), metres.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Azimuthal equirectangular projection anchored at an origin position.
+/// Forward() maps WGS84 degrees to local east/north metres; Inverse() maps
+/// back. Round trips are exact to double precision for points near the
+/// origin.
+class LocalProjection {
+ public:
+  /// Creates a projection centred on `origin`.
+  explicit LocalProjection(const LatLon& origin);
+
+  /// The origin passed at construction.
+  const LatLon& origin() const { return origin_; }
+
+  /// WGS84 -> local metres.
+  EnPoint Forward(const LatLon& p) const;
+
+  /// Local metres -> WGS84.
+  LatLon Inverse(const EnPoint& p) const;
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+/// "POINT(25.5244, 65.0252)" — the EPSG:4326 rendering used by Table 1.
+std::string ToWktPoint(const LatLon& p, int decimals = 4);
+
+}  // namespace geo
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_GEO_COORDINATES_H_

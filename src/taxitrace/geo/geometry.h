@@ -1,0 +1,90 @@
+// Planar geometry kernel on local east/north coordinates.
+
+#ifndef TAXITRACE_GEO_GEOMETRY_H_
+#define TAXITRACE_GEO_GEOMETRY_H_
+
+#include <optional>
+
+#include "taxitrace/geo/coordinates.h"
+
+namespace taxitrace {
+namespace geo {
+
+/// Vector arithmetic on EnPoint.
+EnPoint operator+(const EnPoint& a, const EnPoint& b);
+EnPoint operator-(const EnPoint& a, const EnPoint& b);
+EnPoint operator*(double s, const EnPoint& p);
+
+/// Dot and 2-D cross products.
+double Dot(const EnPoint& a, const EnPoint& b);
+double Cross(const EnPoint& a, const EnPoint& b);
+
+/// Euclidean norm and distance, metres.
+double Norm(const EnPoint& p);
+double Distance(const EnPoint& a, const EnPoint& b);
+
+/// A directed line segment.
+struct Segment {
+  EnPoint a;
+  EnPoint b;
+
+  /// Segment length, metres.
+  double Length() const { return Distance(a, b); }
+
+  /// Direction of travel a->b in radians, measured counterclockwise from
+  /// east, in (-pi, pi]. Zero-length segments report 0.
+  double Heading() const;
+};
+
+/// Result of projecting a point onto a segment.
+struct PointProjection {
+  EnPoint point;   ///< Closest point on the segment.
+  double t = 0.0;  ///< Parameter along a->b clamped to [0, 1].
+  double distance = 0.0;  ///< Distance from the query to `point`.
+};
+
+/// Closest point on `s` to `p` (clamped to the segment).
+PointProjection ProjectOntoSegment(const EnPoint& p, const Segment& s);
+
+/// Proper or touching intersection point of two segments, if any. For
+/// collinear overlapping segments returns one point of the overlap.
+std::optional<EnPoint> SegmentIntersection(const Segment& s1,
+                                           const Segment& s2);
+
+/// Smallest absolute angle between two headings, in [0, pi].
+double AngleBetweenHeadings(double h1, double h2);
+
+/// Smallest absolute angle between two headings treating opposite
+/// directions as equal (for undirected road geometry), in [0, pi/2].
+double UndirectedAngleBetweenHeadings(double h1, double h2);
+
+/// Axis-aligned bounding box.
+struct Bbox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  /// An inverted (empty) box that any Extend() fixes up.
+  static Bbox Empty();
+
+  /// True once at least one point has been added.
+  bool IsValid() const { return min_x <= max_x && min_y <= max_y; }
+
+  /// Grows the box to include `p`.
+  void Extend(const EnPoint& p);
+
+  /// Grows the box to include all of `other`.
+  void Extend(const Bbox& other);
+
+  /// Grows by `margin` metres on every side.
+  Bbox Inflated(double margin) const;
+
+  /// True when `p` lies inside or on the boundary.
+  bool Contains(const EnPoint& p) const;
+
+  /// True when the two boxes overlap (boundary touch counts).
+  bool Intersects(const Bbox& other) const;
+};
+
+}  // namespace geo
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_GEO_GEOMETRY_H_

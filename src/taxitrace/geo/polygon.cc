@@ -1,0 +1,118 @@
+#include "taxitrace/geo/polygon.h"
+
+#include <cmath>
+
+namespace taxitrace {
+namespace geo {
+namespace {
+
+// Distance from p to the ring boundary.
+double BoundaryDistance(const std::vector<EnPoint>& ring, const EnPoint& p) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const Segment s{ring[i], ring[(i + 1) % ring.size()]};
+    best = std::min(best, ProjectOntoSegment(p, s).distance);
+  }
+  return best;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<EnPoint> ring) : ring_(std::move(ring)) {
+  for (const EnPoint& p : ring_) bounds_.Extend(p);
+}
+
+bool Polygon::Contains(const EnPoint& p) const {
+  if (empty() || !bounds_.Contains(p)) return false;
+  // Ray casting with boundary tolerance.
+  if (BoundaryDistance(ring_, p) < 1e-9) return true;
+  bool inside = false;
+  for (size_t i = 0, j = ring_.size() - 1; i < ring_.size(); j = i++) {
+    const EnPoint& a = ring_[i];
+    const EnPoint& b = ring_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::IntersectsSegment(const Segment& s) const {
+  if (empty()) return false;
+  Bbox seg_box = Bbox::Empty();
+  seg_box.Extend(s.a);
+  seg_box.Extend(s.b);
+  if (!bounds_.Intersects(seg_box)) return false;
+  if (Contains(s.a) || Contains(s.b)) return true;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Segment edge{ring_[i], ring_[(i + 1) % ring_.size()]};
+    if (SegmentIntersection(s, edge).has_value()) return true;
+  }
+  return false;
+}
+
+double Polygon::SignedArea() const {
+  double twice = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const EnPoint& a = ring_[i];
+    const EnPoint& b = ring_[(i + 1) % ring_.size()];
+    twice += Cross(a, b);
+  }
+  return twice / 2.0;
+}
+
+Bbox Polygon::Bounds() const { return bounds_; }
+
+Polygon BufferPolyline(const Polyline& line, double half_width) {
+  const std::vector<EnPoint>& pts = line.points();
+  if (pts.size() < 2 || half_width <= 0.0) return Polygon();
+
+  // Unit normals per segment (left side).
+  std::vector<EnPoint> normals;
+  normals.reserve(pts.size() - 1);
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const EnPoint d = pts[i + 1] - pts[i];
+    const double len = Norm(d);
+    if (len == 0.0) {
+      normals.push_back(normals.empty() ? EnPoint{0.0, 1.0} : normals.back());
+    } else {
+      normals.push_back(EnPoint{-d.y / len, d.x / len});
+    }
+  }
+
+  // Offset vertex i by the (clamped) average of adjacent segment normals.
+  const auto offset_at = [&](size_t i, double sign) {
+    EnPoint n;
+    if (i == 0) {
+      n = normals.front();
+    } else if (i + 1 == pts.size()) {
+      n = normals.back();
+    } else {
+      n = normals[i - 1] + normals[i];
+      const double len = Norm(n);
+      n = len < 1e-12 ? normals[i] : (1.0 / len) * n;
+      // Mitre scaling so the offset curve stays half_width from both
+      // segments, clamped to avoid spikes at sharp turns.
+      const double cos_half = Dot(n, normals[i]);
+      const double scale = cos_half > 0.25 ? 1.0 / cos_half : 4.0;
+      n = scale * n;
+    }
+    return pts[i] + (sign * half_width) * n;
+  };
+
+  std::vector<EnPoint> ring;
+  ring.reserve(2 * pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) ring.push_back(offset_at(i, 1.0));
+  for (size_t i = pts.size(); i-- > 0;) ring.push_back(offset_at(i, -1.0));
+  return Polygon(std::move(ring));
+}
+
+Polygon MakeRectangle(const Bbox& box) {
+  return Polygon({EnPoint{box.min_x, box.min_y}, EnPoint{box.max_x, box.min_y},
+                  EnPoint{box.max_x, box.max_y},
+                  EnPoint{box.min_x, box.max_y}});
+}
+
+}  // namespace geo
+}  // namespace taxitrace

@@ -1,0 +1,56 @@
+// Simple polygons: point containment, segment crossing, and buffering a
+// polyline into the "thick geometry" gates of the paper's OD selection
+// (Section IV-D, Fig. 2).
+
+#ifndef TAXITRACE_GEO_POLYGON_H_
+#define TAXITRACE_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "taxitrace/geo/polyline.h"
+
+namespace taxitrace {
+namespace geo {
+
+/// A simple (non self-intersecting) polygon given by its ring of vertices.
+/// The ring is implicitly closed; orientation does not matter.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<EnPoint> ring);
+
+  const std::vector<EnPoint>& ring() const { return ring_; }
+  bool empty() const { return ring_.size() < 3; }
+
+  /// True when `p` is strictly inside or on the boundary (within 1e-9 m).
+  bool Contains(const EnPoint& p) const;
+
+  /// True when segment `s` has any point inside the polygon or crossing
+  /// its boundary.
+  bool IntersectsSegment(const Segment& s) const;
+
+  /// Signed area (positive for counterclockwise rings).
+  double SignedArea() const;
+
+  /// Bounding box of the ring.
+  Bbox Bounds() const;
+
+ private:
+  std::vector<EnPoint> ring_;
+  Bbox bounds_ = Bbox::Empty();
+};
+
+/// Buffers a polyline by `half_width` metres on both sides, producing the
+/// paper's "thick geometry": a road artificially made thicker so that
+/// routes deviating slightly from the mapped geometry still register as
+/// crossing it. Uses per-segment offsetting with mitred joins (adequate
+/// for the gently-curved gate roads) and flat end caps.
+Polygon BufferPolyline(const Polyline& line, double half_width);
+
+/// An axis-aligned rectangle polygon.
+Polygon MakeRectangle(const Bbox& box);
+
+}  // namespace geo
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_GEO_POLYGON_H_

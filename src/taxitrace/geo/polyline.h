@@ -1,0 +1,74 @@
+// Polylines: the geometry of traffic elements, edges and driven routes.
+
+#ifndef TAXITRACE_GEO_POLYLINE_H_
+#define TAXITRACE_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "taxitrace/geo/geometry.h"
+
+namespace taxitrace {
+namespace geo {
+
+/// The nearest location on a polyline to a query point.
+struct PolylineProjection {
+  EnPoint point;            ///< Closest point on the polyline.
+  size_t segment_index = 0; ///< Index of the segment containing it.
+  double t = 0.0;           ///< Parameter within that segment, [0, 1].
+  double arc_length = 0.0;  ///< Distance from the start along the line.
+  double distance = 0.0;    ///< Distance from the query point.
+};
+
+/// An ordered sequence of vertices in the local metric frame.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<EnPoint> points);
+
+  const std::vector<EnPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const EnPoint& front() const { return points_.front(); }
+  const EnPoint& back() const { return points_.back(); }
+
+  /// Appends a vertex.
+  void Append(const EnPoint& p);
+
+  /// Total arc length, metres.
+  double Length() const;
+
+  /// Point at arc length `s` from the start, clamped to the line ends.
+  EnPoint Interpolate(double s) const;
+
+  /// Nearest location on the line to `p`. Requires a non-empty line.
+  PolylineProjection Project(const EnPoint& p) const;
+
+  /// Heading of the segment at index `i` (radians CCW from east).
+  double SegmentHeading(size_t i) const;
+
+  /// Bounding box of all vertices.
+  Bbox Bounds() const;
+
+  /// A copy with vertices in reverse order.
+  Polyline Reversed() const;
+
+  /// Concatenates `other` onto the end; when the junction vertices
+  /// coincide (within 1e-6 m) the duplicate is dropped.
+  void Extend(const Polyline& other);
+
+  /// Evenly resampled copy with samples at most `max_spacing` metres
+  /// apart. Always keeps the original endpoints.
+  Polyline Resample(double max_spacing) const;
+
+  /// The part of the line between arc lengths `s0` and `s1` (clamped).
+  /// When s0 > s1 the result runs backwards along the line.
+  Polyline SubLine(double s0, double s1) const;
+
+ private:
+  std::vector<EnPoint> points_;
+};
+
+}  // namespace geo
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_GEO_POLYLINE_H_

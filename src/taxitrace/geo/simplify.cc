@@ -1,0 +1,46 @@
+#include "taxitrace/geo/simplify.h"
+
+#include <vector>
+
+namespace taxitrace {
+namespace geo {
+namespace {
+
+void SimplifyRange(const std::vector<EnPoint>& pts, size_t first,
+                   size_t last, double tolerance,
+                   std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  const Segment base{pts[first], pts[last]};
+  double worst = -1.0;
+  size_t worst_index = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double d = ProjectOntoSegment(pts[i], base).distance;
+    if (d > worst) {
+      worst = d;
+      worst_index = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_index] = true;
+    SimplifyRange(pts, first, worst_index, tolerance, keep);
+    SimplifyRange(pts, worst_index, last, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Polyline Simplify(const Polyline& line, double tolerance_m) {
+  const std::vector<EnPoint>& pts = line.points();
+  if (pts.size() <= 2 || tolerance_m <= 0.0) return line;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  SimplifyRange(pts, 0, pts.size() - 1, tolerance_m, &keep);
+  std::vector<EnPoint> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  return Polyline(std::move(out));
+}
+
+}  // namespace geo
+}  // namespace taxitrace

@@ -1,0 +1,20 @@
+// Polyline simplification (Ramer-Douglas-Peucker), used to thin matched
+// route geometry before export.
+
+#ifndef TAXITRACE_GEO_SIMPLIFY_H_
+#define TAXITRACE_GEO_SIMPLIFY_H_
+
+#include "taxitrace/geo/polyline.h"
+
+namespace taxitrace {
+namespace geo {
+
+/// Ramer-Douglas-Peucker simplification: returns a polyline whose every
+/// removed vertex lies within `tolerance_m` of the simplified line.
+/// Endpoints are always kept.
+Polyline Simplify(const Polyline& line, double tolerance_m);
+
+}  // namespace geo
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_GEO_SIMPLIFY_H_

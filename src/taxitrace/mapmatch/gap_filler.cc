@@ -1,0 +1,28 @@
+#include "taxitrace/mapmatch/gap_filler.h"
+
+namespace taxitrace {
+namespace mapmatch {
+
+GapFiller::GapFiller(const roadnet::RoadNetwork* network,
+                     GapFillOptions options)
+    : network_(network), router_(network), options_(options) {}
+
+Result<roadnet::Path> GapFiller::Connect(
+    const roadnet::EdgePosition& from,
+    const roadnet::EdgePosition& to) const {
+  return router_.ShortestPathBetween(from, to);
+}
+
+double GapFiller::NetworkDistance(const roadnet::EdgePosition& from,
+                                  const roadnet::EdgePosition& to) const {
+  return router_.NetworkDistance(from, to);
+}
+
+bool GapFiller::IsPlausible(double network_length_m,
+                            double straight_line_m) const {
+  return network_length_m <= options_.detour_factor * straight_line_m +
+                                 options_.detour_slack_m;
+}
+
+}  // namespace mapmatch
+}  // namespace taxitrace

@@ -1,0 +1,60 @@
+// Gap filling: when consecutive GPS points are far apart, the route
+// between their matched positions is reconstructed with the Dijkstra
+// shortest path (the paper uses pgRouting's Dijkstra for this).
+
+#ifndef TAXITRACE_MAPMATCH_GAP_FILLER_H_
+#define TAXITRACE_MAPMATCH_GAP_FILLER_H_
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/roadnet/router.h"
+
+namespace taxitrace {
+namespace mapmatch {
+
+/// Gap-filling thresholds.
+struct GapFillOptions {
+  /// A connection counts as a gap (Dijkstra-filled) when its network
+  /// length exceeds this, metres.
+  double gap_threshold_m = 250.0;
+  /// A connection is rejected as a plausible continuation when its
+  /// network length exceeds detour_factor * straight-line + slack.
+  double detour_factor = 1.8;
+  double detour_slack_m = 120.0;
+};
+
+/// Connects two matched positions through the network.
+class GapFiller {
+ public:
+  GapFiller(const roadnet::RoadNetwork* network,
+            GapFillOptions options = {});
+
+  /// Shortest drivable connection between two on-edge positions.
+  Result<roadnet::Path> Connect(const roadnet::EdgePosition& from,
+                                const roadnet::EdgePosition& to) const;
+
+  /// Network distance between two positions, metres; infinity when
+  /// unreachable.
+  double NetworkDistance(const roadnet::EdgePosition& from,
+                         const roadnet::EdgePosition& to) const;
+
+  /// True when a connection of `network_length_m` between points
+  /// `straight_line_m` apart is a plausible continuation of the drive.
+  bool IsPlausible(double network_length_m, double straight_line_m) const;
+
+  /// True when the connection length marks a filled gap.
+  bool IsGap(double network_length_m) const {
+    return network_length_m > options_.gap_threshold_m;
+  }
+
+  const GapFillOptions& options() const { return options_; }
+
+ private:
+  const roadnet::RoadNetwork* network_;
+  roadnet::Router router_;
+  GapFillOptions options_;
+};
+
+}  // namespace mapmatch
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MAPMATCH_GAP_FILLER_H_

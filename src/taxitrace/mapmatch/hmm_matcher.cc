@@ -1,0 +1,259 @@
+#include "taxitrace/mapmatch/hmm_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taxitrace {
+namespace mapmatch {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  roadnet::EdgePosition position;
+  geo::EnPoint snapped;
+  double emission_logp = 0.0;
+  double distance = 0.0;
+};
+
+}  // namespace
+
+HmmMatcher::HmmMatcher(const roadnet::RoadNetwork* network,
+                       const roadnet::SpatialIndex* index,
+                       HmmOptions options)
+    : network_(network),
+      index_(index),
+      gap_filler_(network),
+      options_(options) {}
+
+Result<MatchedRoute> HmmMatcher::Match(const trace::Trip& trip) const {
+  if (trip.points.size() < 2) {
+    return Status::InvalidArgument("trip has fewer than two points");
+  }
+  const geo::LocalProjection& proj = network_->projection();
+
+  // 1. Keep one point per >=10 m of movement (stationary clusters carry
+  //    no routing information and blow up the DP).
+  std::vector<size_t> kept;
+  std::vector<geo::EnPoint> pts;
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    const geo::EnPoint p = proj.Forward(trip.points[i].position);
+    if (!pts.empty() && geo::Distance(pts.back(), p) < 10.0 &&
+        i + 1 != trip.points.size()) {
+      continue;
+    }
+    kept.push_back(i);
+    pts.push_back(p);
+  }
+  // Positional spike screen: an out-and-back jump is indistinguishable
+  // from a real detour by position alone once the sampling interval is
+  // long, so drop points far from both neighbours that sit close
+  // together.
+  {
+    bool changed = true;
+    while (changed && pts.size() >= 3) {
+      changed = false;
+      for (size_t i = 1; i + 1 < pts.size(); ++i) {
+        const double d1 = geo::Distance(pts[i - 1], pts[i]);
+        const double d2 = geo::Distance(pts[i], pts[i + 1]);
+        if (d1 > 250.0 && d2 > 250.0 &&
+            geo::Distance(pts[i - 1], pts[i + 1]) < 0.5 * (d1 + d2)) {
+          pts.erase(pts.begin() + static_cast<ptrdiff_t>(i));
+          kept.erase(kept.begin() + static_cast<ptrdiff_t>(i));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // 2. Candidate states per kept point.
+  std::vector<std::vector<Candidate>> states(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const std::vector<roadnet::EdgeCandidate> nearby =
+        index_->Nearby(pts[i], options_.search_radius_m);
+    for (const roadnet::EdgeCandidate& cand : nearby) {
+      if (static_cast<int>(states[i].size()) >= options_.max_candidates) {
+        break;
+      }
+      Candidate state;
+      state.position =
+          roadnet::EdgePosition{cand.edge, cand.projection.arc_length};
+      state.snapped = cand.projection.point;
+      state.distance = cand.projection.distance;
+      const double z = cand.projection.distance / options_.gps_sigma_m;
+      state.emission_logp = -0.5 * z * z;
+      states[i].push_back(state);
+    }
+  }
+
+  // 3. Viterbi over the candidate lattice.
+  std::vector<std::vector<double>> logp(pts.size());
+  std::vector<std::vector<int>> backpointer(pts.size());
+  int first_layer = -1;
+  int previous_layer = -1;
+  int consecutive_skips = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (states[i].empty()) continue;  // unmatched point: skipped
+    logp[i].assign(states[i].size(), kNegInf);
+    backpointer[i].assign(states[i].size(), -1);
+    if (previous_layer < 0) {
+      for (size_t b = 0; b < states[i].size(); ++b) {
+        logp[i][b] = states[i][b].emission_logp;
+      }
+      first_layer = static_cast<int>(i);
+      previous_layer = static_cast<int>(i);
+      continue;
+    }
+    const size_t prev = static_cast<size_t>(previous_layer);
+    const double straight = geo::Distance(pts[prev], pts[i]);
+    // GPS outlier screen: a step implying an impossible straight-line
+    // speed cannot be real movement; drop the layer (unless so many
+    // were dropped that this is a genuine gap — then fall through and
+    // let the chain restart below).
+    const double dt = std::max(
+        1.0, trip.points[kept[i]].timestamp_s -
+                 trip.points[kept[prev]].timestamp_s);
+    if (straight / dt > options_.max_speed_ms &&
+        consecutive_skips < options_.max_consecutive_skips) {
+      logp[i].clear();
+      backpointer[i].clear();
+      ++consecutive_skips;
+      continue;
+    }
+    bool any_finite = false;
+    for (size_t b = 0; b < states[i].size(); ++b) {
+      for (size_t a = 0; a < states[prev].size(); ++a) {
+        if (logp[prev][a] == kNegInf) continue;
+        const double net = gap_filler_.NetworkDistance(
+            states[prev][a].position, states[i][b].position);
+        if (!(net < options_.max_detour_factor * straight +
+                        options_.detour_slack_m)) {
+          continue;
+        }
+        const double transition_logp =
+            -std::abs(net - straight) / options_.beta_m;
+        const double total =
+            logp[prev][a] + transition_logp + states[i][b].emission_logp;
+        if (total > logp[i][b]) {
+          logp[i][b] = total;
+          backpointer[i][b] = static_cast<int>(a);
+          any_finite = true;
+        }
+      }
+    }
+    if (!any_finite) {
+      if (consecutive_skips < options_.max_consecutive_skips) {
+        // Likely a stray point with no plausible connection: drop it.
+        logp[i].clear();
+        backpointer[i].clear();
+        ++consecutive_skips;
+        continue;
+      }
+      // Broken chain (e.g. a long data gap with no plausible route):
+      // restart the lattice here; the stitcher will bridge with
+      // Dijkstra.
+      for (size_t b = 0; b < states[i].size(); ++b) {
+        logp[i][b] = states[i][b].emission_logp;
+        backpointer[i][b] = -1;
+      }
+    }
+    consecutive_skips = 0;
+    previous_layer = static_cast<int>(i);
+  }
+  if (previous_layer < 0 || first_layer == previous_layer) {
+    return Status::NotFound("fewer than two points could be matched");
+  }
+
+  // 4. Backtrack from the best final state.
+  struct Chosen {
+    size_t layer;   // index into pts/kept
+    int candidate;  // index into states[layer]
+  };
+  std::vector<Chosen> chain;
+  {
+    size_t layer = static_cast<size_t>(previous_layer);
+    int best = -1;
+    double best_logp = kNegInf;
+    for (size_t b = 0; b < logp[layer].size(); ++b) {
+      if (logp[layer][b] > best_logp) {
+        best_logp = logp[layer][b];
+        best = static_cast<int>(b);
+      }
+    }
+    while (best >= 0) {
+      chain.push_back(Chosen{layer, best});
+      const int prev_candidate = backpointer[layer][static_cast<size_t>(best)];
+      if (prev_candidate < 0) {
+        // Find the previous populated layer (chain break or start).
+        size_t prev_layer = layer;
+        bool found = false;
+        while (prev_layer > 0) {
+          --prev_layer;
+          if (!logp[prev_layer].empty()) {
+            found = true;
+            break;
+          }
+        }
+        if (!found || layer == static_cast<size_t>(first_layer)) break;
+        // Restarted chain: pick the best state of the previous layer.
+        layer = prev_layer;
+        best = -1;
+        double lp = kNegInf;
+        for (size_t b = 0; b < logp[layer].size(); ++b) {
+          if (logp[layer][b] > lp) {
+            lp = logp[layer][b];
+            best = static_cast<int>(b);
+          }
+        }
+        continue;
+      }
+      // Normal backpointer step: move to the previous populated layer.
+      size_t prev_layer = layer;
+      do {
+        --prev_layer;
+      } while (logp[prev_layer].empty() && prev_layer > 0);
+      layer = prev_layer;
+      best = prev_candidate;
+    }
+    std::reverse(chain.begin(), chain.end());
+  }
+  if (chain.size() < 2) {
+    return Status::NotFound("Viterbi chain degenerate");
+  }
+
+  // 5. Stitch the maximum-likelihood chain into a route.
+  MatchedRoute route;
+  route.points_skipped =
+      static_cast<int>(trip.points.size() - chain.size());
+  const Candidate& start =
+      states[chain[0].layer][static_cast<size_t>(chain[0].candidate)];
+  route.points.push_back(MatchedPoint{kept[chain[0].layer],
+                                      start.position, start.distance});
+  route.geometry = geo::Polyline({start.snapped});
+  for (size_t k = 1; k < chain.size(); ++k) {
+    const Candidate& prev =
+        states[chain[k - 1].layer]
+              [static_cast<size_t>(chain[k - 1].candidate)];
+    const Candidate& cur =
+        states[chain[k].layer][static_cast<size_t>(chain[k].candidate)];
+    route.points.push_back(
+        MatchedPoint{kept[chain[k].layer], cur.position, cur.distance});
+    Result<roadnet::Path> path =
+        gap_filler_.Connect(prev.position, cur.position);
+    if (!path.ok()) continue;
+    if (gap_filler_.IsGap(path->length_m)) ++route.gaps_filled;
+    for (const roadnet::PathStep& s : path->steps) {
+      if (!route.steps.empty() && route.steps.back().edge == s.edge) {
+        continue;
+      }
+      route.steps.push_back(s);
+    }
+    route.geometry.Extend(path->geometry);
+    route.length_m += path->length_m;
+  }
+  return route;
+}
+
+}  // namespace mapmatch
+}  // namespace taxitrace

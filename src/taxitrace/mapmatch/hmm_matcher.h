@@ -1,0 +1,66 @@
+// HMM map matching (Viterbi), in the spirit of the low-sampling-rate
+// matchers the paper cites (Lou et al., SIGSPATIAL'09): candidate road
+// positions are hidden states, GPS-to-road distance drives the emission
+// probability, and the agreement between network distance and
+// straight-line distance drives the transition probability. A global
+// maximum-likelihood path is recovered by dynamic programming — more
+// robust than the greedy incremental matcher on sparse traces, at a
+// higher cost.
+
+#ifndef TAXITRACE_MAPMATCH_HMM_MATCHER_H_
+#define TAXITRACE_MAPMATCH_HMM_MATCHER_H_
+
+#include "taxitrace/mapmatch/gap_filler.h"
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/roadnet/spatial_index.h"
+
+namespace taxitrace {
+namespace mapmatch {
+
+/// HMM parameters (Newson-Krumm-style defaults adapted to urban scale).
+struct HmmOptions {
+  /// Candidate search radius, metres.
+  double search_radius_m = 55.0;
+  /// Emission: Gaussian sigma of GPS error, metres.
+  double gps_sigma_m = 8.0;
+  /// Transition: exponential scale of |network - straight| discrepancy,
+  /// metres.
+  double beta_m = 15.0;
+  /// Candidates considered per point (best by emission).
+  int max_candidates = 6;
+  /// Transitions whose network route exceeds this factor of the
+  /// straight-line distance (plus slack) are pruned.
+  double max_detour_factor = 3.0;
+  double detour_slack_m = 200.0;
+  /// A step implying straight-line speed above this is a GPS outlier:
+  /// the point's lattice layer is skipped entirely.
+  double max_speed_ms = 28.0;
+  /// After this many consecutive skipped layers the chain restarts
+  /// instead (a genuine data gap, not an outlier).
+  int max_consecutive_skips = 3;
+};
+
+/// Viterbi matcher over a prepared network. Holds pointers to the
+/// network and index, which must outlive it.
+class HmmMatcher {
+ public:
+  HmmMatcher(const roadnet::RoadNetwork* network,
+             const roadnet::SpatialIndex* index, HmmOptions options = {});
+
+  /// Matches a trip's points; returns the maximum-likelihood route.
+  /// Fails when fewer than two points can be matched.
+  Result<MatchedRoute> Match(const trace::Trip& trip) const;
+
+  const HmmOptions& options() const { return options_; }
+
+ private:
+  const roadnet::RoadNetwork* network_;
+  const roadnet::SpatialIndex* index_;
+  GapFiller gap_filler_;
+  HmmOptions options_;
+};
+
+}  // namespace mapmatch
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MAPMATCH_HMM_MATCHER_H_

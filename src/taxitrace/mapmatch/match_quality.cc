@@ -1,0 +1,50 @@
+#include "taxitrace/mapmatch/match_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace taxitrace {
+namespace mapmatch {
+
+double EdgeJaccard(const std::vector<roadnet::EdgeId>& matched,
+                   const std::vector<roadnet::EdgeId>& truth) {
+  const std::set<roadnet::EdgeId> a(matched.begin(), matched.end());
+  const std::set<roadnet::EdgeId> b(truth.begin(), truth.end());
+  if (a.empty() && b.empty()) return 1.0;
+  size_t intersection = 0;
+  for (roadnet::EdgeId e : a) {
+    if (b.contains(e)) ++intersection;
+  }
+  const size_t uni = a.size() + b.size() - intersection;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+double MeanGeometryDeviation(const geo::Polyline& matched,
+                             const geo::Polyline& truth,
+                             double sample_spacing_m) {
+  if (matched.size() < 2 || truth.size() < 2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double total = matched.Length();
+  const int samples = std::max(
+      2, static_cast<int>(std::ceil(total / sample_spacing_m)) + 1);
+  double sum = 0.0;
+  for (int k = 0; k < samples; ++k) {
+    const double arc = total * k / (samples - 1);
+    sum += truth.Project(matched.Interpolate(arc)).distance;
+  }
+  return sum / samples;
+}
+
+double RouteLengthError(double matched_length_m, double truth_length_m) {
+  if (truth_length_m <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::abs(matched_length_m - truth_length_m) / truth_length_m;
+}
+
+}  // namespace mapmatch
+}  // namespace taxitrace

@@ -1,0 +1,30 @@
+// Match-quality metrics for evaluating matchers against simulated ground
+// truth.
+
+#ifndef TAXITRACE_MAPMATCH_MATCH_QUALITY_H_
+#define TAXITRACE_MAPMATCH_MATCH_QUALITY_H_
+
+#include <vector>
+
+#include "taxitrace/mapmatch/incremental_matcher.h"
+
+namespace taxitrace {
+namespace mapmatch {
+
+/// Jaccard similarity of the traversed edge sets.
+double EdgeJaccard(const std::vector<roadnet::EdgeId>& matched,
+                   const std::vector<roadnet::EdgeId>& truth);
+
+/// Mean distance from samples of `matched` geometry to the `truth`
+/// geometry, metres (sampled every `sample_spacing_m`). Lower is better.
+double MeanGeometryDeviation(const geo::Polyline& matched,
+                             const geo::Polyline& truth,
+                             double sample_spacing_m = 20.0);
+
+/// Relative route-length error |matched - truth| / truth.
+double RouteLengthError(double matched_length_m, double truth_length_m);
+
+}  // namespace mapmatch
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MAPMATCH_MATCH_QUALITY_H_

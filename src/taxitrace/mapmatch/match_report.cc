@@ -1,0 +1,23 @@
+#include "taxitrace/mapmatch/match_report.h"
+
+#include <algorithm>
+
+namespace taxitrace {
+namespace mapmatch {
+
+void MatchReport::Add(const MatchedRoute& route) {
+  ++routes;
+  skipped_points += route.points_skipped;
+  gaps_filled += route.gaps_filled;
+  total_length_km += route.length_m / 1000.0;
+  for (const MatchedPoint& p : route.points) {
+    ++matched_points;
+    mean_snap_distance_m +=
+        (p.distance_m - mean_snap_distance_m) /
+        static_cast<double>(matched_points);
+    max_snap_distance_m = std::max(max_snap_distance_m, p.distance_m);
+  }
+}
+
+}  // namespace mapmatch
+}  // namespace taxitrace

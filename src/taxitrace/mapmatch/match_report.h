@@ -1,0 +1,45 @@
+// Aggregate matching diagnostics over many matched routes — the health
+// report an operator checks before trusting downstream statistics.
+
+#ifndef TAXITRACE_MAPMATCH_MATCH_REPORT_H_
+#define TAXITRACE_MAPMATCH_MATCH_REPORT_H_
+
+#include "taxitrace/mapmatch/incremental_matcher.h"
+
+namespace taxitrace {
+namespace mapmatch {
+
+/// Aggregate over a set of matched routes.
+struct MatchReport {
+  int64_t routes = 0;
+  int64_t matched_points = 0;
+  int64_t skipped_points = 0;
+  int64_t gaps_filled = 0;
+  double mean_snap_distance_m = 0.0;
+  double max_snap_distance_m = 0.0;
+  double total_length_km = 0.0;
+
+  /// Fraction of points that could not be matched.
+  double SkipRate() const {
+    const int64_t total = matched_points + skipped_points;
+    return total > 0
+               ? static_cast<double>(skipped_points) /
+                     static_cast<double>(total)
+               : 0.0;
+  }
+
+  /// Gaps per matched kilometre.
+  double GapsPerKm() const {
+    return total_length_km > 0.0
+               ? static_cast<double>(gaps_filled) / total_length_km
+               : 0.0;
+  }
+
+  /// Folds one matched route into the aggregate.
+  void Add(const MatchedRoute& route);
+};
+
+}  // namespace mapmatch
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MAPMATCH_MATCH_REPORT_H_

@@ -1,0 +1,47 @@
+#include "taxitrace/mapmatch/nearest_edge_matcher.h"
+
+namespace taxitrace {
+namespace mapmatch {
+
+NearestEdgeMatcher::NearestEdgeMatcher(const roadnet::RoadNetwork* network,
+                                       const roadnet::SpatialIndex* index,
+                                       double max_snap_distance_m)
+    : network_(network),
+      index_(index),
+      max_snap_distance_m_(max_snap_distance_m) {}
+
+Result<MatchedRoute> NearestEdgeMatcher::Match(
+    const trace::Trip& trip) const {
+  if (trip.points.size() < 2) {
+    return Status::InvalidArgument("trip has fewer than two points");
+  }
+  const geo::LocalProjection& proj = network_->projection();
+  MatchedRoute route;
+  std::vector<geo::EnPoint> snapped;
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    const geo::EnPoint p = proj.Forward(trip.points[i].position);
+    const std::optional<roadnet::EdgeCandidate> nearest =
+        index_->Nearest(p, max_snap_distance_m_);
+    if (!nearest.has_value()) {
+      ++route.points_skipped;
+      continue;
+    }
+    route.points.push_back(MatchedPoint{
+        i,
+        roadnet::EdgePosition{nearest->edge, nearest->projection.arc_length},
+        nearest->projection.distance});
+    if (route.steps.empty() || route.steps.back().edge != nearest->edge) {
+      route.steps.push_back(roadnet::PathStep{nearest->edge, true});
+    }
+    snapped.push_back(nearest->projection.point);
+  }
+  if (route.points.size() < 2) {
+    return Status::NotFound("fewer than two points could be snapped");
+  }
+  route.geometry = geo::Polyline(std::move(snapped));
+  route.length_m = route.geometry.Length();
+  return route;
+}
+
+}  // namespace mapmatch
+}  // namespace taxitrace

@@ -1,0 +1,78 @@
+#include "taxitrace/model/cholesky.h"
+
+#include <cmath>
+
+namespace taxitrace {
+namespace model {
+
+Result<Matrix> CholeskyDecompose(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("matrix is not square");
+  }
+  const size_t n = a.rows();
+  Matrix lower(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
+      if (i == j) {
+        // Relative tolerance: a pivot collapsing by >12 orders of
+        // magnitude marks a numerically singular (collinear) system.
+        const double tolerance = 1e-12 * std::max(1.0, std::abs(a(i, i)));
+        if (sum <= tolerance || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        }
+        lower(i, i) = std::sqrt(sum);
+      } else {
+        lower(i, j) = sum / lower(j, j);
+      }
+    }
+  }
+  return lower;
+}
+
+Vector CholeskySolve(const Matrix& lower, const Vector& b) {
+  const size_t n = lower.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= lower(i, k) * y[k];
+    y[i] = sum / lower(i, i);
+  }
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= lower(k, ii) * x[k];
+    x[ii] = sum / lower(ii, ii);
+  }
+  return x;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  TAXITRACE_ASSIGN_OR_RETURN(const Matrix lower, CholeskyDecompose(a));
+  return CholeskySolve(lower, b);
+}
+
+double LogDetFromCholesky(const Matrix& lower) {
+  double sum = 0.0;
+  for (size_t i = 0; i < lower.rows(); ++i) sum += std::log(lower(i, i));
+  return 2.0 * sum;
+}
+
+Result<Matrix> InvertSpd(const Matrix& a) {
+  TAXITRACE_ASSIGN_OR_RETURN(const Matrix lower, CholeskyDecompose(a));
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  Vector unit(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    unit[j] = 1.0;
+    const Vector col = CholeskySolve(lower, unit);
+    for (size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    unit[j] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace model
+}  // namespace taxitrace

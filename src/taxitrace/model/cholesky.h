@@ -1,0 +1,32 @@
+// Cholesky factorisation and SPD solves for the model equations.
+
+#ifndef TAXITRACE_MODEL_CHOLESKY_H_
+#define TAXITRACE_MODEL_CHOLESKY_H_
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/model/matrix.h"
+
+namespace taxitrace {
+namespace model {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix. Fails with FailedPrecondition when the matrix is not SPD
+/// (within numerical tolerance).
+Result<Matrix> CholeskyDecompose(const Matrix& a);
+
+/// Solves L L^T x = b given the lower factor L.
+Vector CholeskySolve(const Matrix& lower, const Vector& b);
+
+/// Solves A x = b for SPD A (factorise + solve).
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// log |A| for SPD A via its Cholesky factor (2 * sum log L_ii).
+double LogDetFromCholesky(const Matrix& lower);
+
+/// Inverse of SPD A (for standard errors of small systems).
+Result<Matrix> InvertSpd(const Matrix& a);
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_CHOLESKY_H_

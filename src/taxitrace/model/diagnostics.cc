@@ -1,0 +1,81 @@
+#include "taxitrace/model/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "taxitrace/model/qq.h"
+
+namespace taxitrace {
+namespace model {
+
+Result<ResidualDiagnostics> DiagnoseResiduals(
+    const std::vector<double>& y, const std::vector<size_t>& groups,
+    const OneWayRemlFit& fit, int num_buckets) {
+  if (y.size() != groups.size()) {
+    return Status::InvalidArgument("y and groups sizes differ");
+  }
+  if (num_buckets < 1 ||
+      y.size() < static_cast<size_t>(3 * num_buckets)) {
+    return Status::FailedPrecondition("too few observations");
+  }
+  ResidualDiagnostics out;
+  out.n = static_cast<int64_t>(y.size());
+
+  std::vector<double> residuals(y.size());
+  std::vector<double> fitted(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (groups[i] >= fit.blup.size()) {
+      return Status::InvalidArgument("group index outside the fit");
+    }
+    fitted[i] = fit.mu + fit.blup[groups[i]];
+    residuals[i] = y[i] - fitted[i];
+  }
+
+  double m2 = 0.0, mean = 0.0;
+  for (size_t i = 0; i < residuals.size(); ++i) {
+    const double delta = residuals[i] - mean;
+    mean += delta / static_cast<double>(i + 1);
+    m2 += delta * (residuals[i] - mean);
+  }
+  out.residual_sd = std::sqrt(m2 / static_cast<double>(residuals.size() - 1));
+  out.qq_correlation = QqCorrelation(NormalQqSeries(residuals));
+
+  // Buckets by fitted value.
+  std::vector<size_t> order(y.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return fitted[a] < fitted[b];
+  });
+  const size_t per_bucket = y.size() / static_cast<size_t>(num_buckets);
+  for (int b = 0; b < num_buckets; ++b) {
+    const size_t begin = static_cast<size_t>(b) * per_bucket;
+    const size_t end = b + 1 == num_buckets
+                           ? y.size()
+                           : begin + per_bucket;
+    ResidualBucket bucket;
+    bucket.n = static_cast<int64_t>(end - begin);
+    double fsum = 0.0, rsum = 0.0, rsq = 0.0;
+    for (size_t k = begin; k < end; ++k) {
+      fsum += fitted[order[k]];
+      rsum += residuals[order[k]];
+      rsq += residuals[order[k]] * residuals[order[k]];
+    }
+    const double n = static_cast<double>(bucket.n);
+    bucket.fitted_mean = fsum / n;
+    const double var = std::max(0.0, rsq / n - (rsum / n) * (rsum / n));
+    bucket.residual_sd = std::sqrt(var);
+    out.buckets.push_back(bucket);
+  }
+  double min_sd = out.buckets.front().residual_sd;
+  double max_sd = min_sd;
+  for (const ResidualBucket& bucket : out.buckets) {
+    min_sd = std::min(min_sd, bucket.residual_sd);
+    max_sd = std::max(max_sd, bucket.residual_sd);
+  }
+  out.heteroscedasticity_ratio = min_sd > 0.0 ? max_sd / min_sd : 0.0;
+  return out;
+}
+
+}  // namespace model
+}  // namespace taxitrace

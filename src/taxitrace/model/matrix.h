@@ -1,0 +1,74 @@
+// Small dense matrices for the regression models. Row-major storage;
+// sized for the mixed-model equations (tens of columns), not for BLAS
+// workloads.
+
+#ifndef TAXITRACE_MODEL_MATRIX_H_
+#define TAXITRACE_MODEL_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace taxitrace {
+namespace model {
+
+/// Dense column vector.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix of the given size.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this * v. v.size() must equal cols().
+  Vector MultiplyVector(const Vector& v) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// this + other (same shape).
+  Matrix Plus(const Matrix& other) const;
+
+  /// Scales every entry.
+  Matrix Scaled(double s) const;
+
+  /// Max |a_ij - b_ij| over all entries (shapes must agree).
+  double MaxAbsDiff(const Matrix& other) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// a . b for equal-length vectors.
+double DotProduct(const Vector& a, const Vector& b);
+
+/// Rank-one update target += s * v v^T (target must be square with
+/// v.size() rows).
+void AddOuterProduct(Matrix* target, const Vector& v, double s);
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_MATRIX_H_

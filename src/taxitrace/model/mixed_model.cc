@@ -1,0 +1,182 @@
+#include "taxitrace/model/mixed_model.h"
+
+#include <cmath>
+
+#include "taxitrace/model/cholesky.h"
+
+namespace taxitrace {
+namespace model {
+namespace {
+
+template <typename F>
+double GoldenSection(F f, double lo, double hi, int iterations = 70) {
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (int i = 0; i < iterations; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace
+
+MixedModel::MixedModel(size_t num_fixed)
+    : p_(num_fixed), xtx_(num_fixed, num_fixed), xty_(num_fixed, 0.0) {}
+
+void MixedModel::Add(const Vector& x_row, size_t group, double y) {
+  assert(x_row.size() == p_);
+  AddOuterProduct(&xtx_, x_row, 1.0);
+  for (size_t i = 0; i < p_; ++i) xty_[i] += x_row[i] * y;
+  yty_ += y * y;
+  ++n_;
+  if (group >= group_n_.size()) {
+    group_n_.resize(group + 1, 0);
+    group_x_sum_.resize(group + 1, Vector(p_, 0.0));
+    group_y_sum_.resize(group + 1, 0.0);
+  }
+  ++group_n_[group];
+  for (size_t i = 0; i < p_; ++i) group_x_sum_[group][i] += x_row[i];
+  group_y_sum_[group] += y;
+}
+
+Result<MixedModel::GlsSolve> MixedModel::SolveGls(double lambda) const {
+  // With V = sigma^2 (I + lambda Z Z'), block-diagonal per group:
+  //   sigma^2 X'V^-1X = X'X - sum_i c_i s_i s_i',
+  //   sigma^2 X'V^-1y = X'y - sum_i c_i s_i t_i,
+  // where s_i = sum of x rows in group i, t_i = sum of y,
+  // c_i = lambda / (1 + n_i lambda).
+  GlsSolve out;
+  out.a = xtx_;
+  Vector rhs = xty_;
+  for (size_t g = 0; g < group_n_.size(); ++g) {
+    if (group_n_[g] == 0) continue;
+    const double c = lambda / (1.0 + static_cast<double>(group_n_[g]) * lambda);
+    if (c == 0.0) continue;
+    AddOuterProduct(&out.a, group_x_sum_[g], -c);
+    for (size_t i = 0; i < p_; ++i) {
+      rhs[i] -= c * group_x_sum_[g][i] * group_y_sum_[g];
+    }
+  }
+  TAXITRACE_ASSIGN_OR_RETURN(out.a_lower, CholeskyDecompose(out.a));
+  out.b = CholeskySolve(out.a_lower, rhs);
+
+  // sigma^2 r'V^-1r = r'r - sum_i c_i (group residual sum)^2 where the
+  // residual quadratic expands from sufficient statistics.
+  double rr = yty_ - 2.0 * DotProduct(out.b, xty_);
+  rr += DotProduct(out.b, xtx_.MultiplyVector(out.b));
+  double penalty = 0.0;
+  for (size_t g = 0; g < group_n_.size(); ++g) {
+    if (group_n_[g] == 0) continue;
+    const double c = lambda / (1.0 + static_cast<double>(group_n_[g]) * lambda);
+    const double group_resid =
+        group_y_sum_[g] - DotProduct(out.b, group_x_sum_[g]);
+    penalty += c * group_resid * group_resid;
+  }
+  out.q = rr - penalty;
+  return out;
+}
+
+Result<double> MixedModel::RemlCriterion(double lambda) const {
+  TAXITRACE_ASSIGN_OR_RETURN(const GlsSolve gls, SolveGls(lambda));
+  const double dof = static_cast<double>(n_ - static_cast<int64_t>(p_));
+  if (dof <= 0.0 || gls.q <= 0.0) {
+    return Status::FailedPrecondition("degenerate REML profile");
+  }
+  double log_terms = 0.0;
+  for (int64_t gn : group_n_) {
+    if (gn > 0) log_terms += std::log1p(static_cast<double>(gn) * lambda);
+  }
+  return dof * std::log(gls.q / dof) + log_terms +
+         LogDetFromCholesky(gls.a_lower);
+}
+
+Result<MixedModelFit> MixedModel::Fit() const {
+  if (n_ <= static_cast<int64_t>(p_) + 1) {
+    return Status::FailedPrecondition("not enough observations");
+  }
+  size_t active = 0;
+  for (int64_t gn : group_n_) {
+    if (gn > 0) ++active;
+  }
+  if (active < 2) {
+    return Status::FailedPrecondition("need at least two non-empty groups");
+  }
+
+  const auto criterion_log = [this](double log_lambda) {
+    const Result<double> c = RemlCriterion(std::pow(10.0, log_lambda));
+    return c.ok() ? *c : std::numeric_limits<double>::infinity();
+  };
+  const double best_log = GoldenSection(criterion_log, -8.0, 5.0);
+  double lambda = std::pow(10.0, best_log);
+  {
+    const Result<double> at_zero = RemlCriterion(0.0);
+    const Result<double> at_best = RemlCriterion(lambda);
+    if (at_zero.ok() && at_best.ok() && *at_zero <= *at_best) lambda = 0.0;
+  }
+
+  TAXITRACE_ASSIGN_OR_RETURN(const GlsSolve gls, SolveGls(lambda));
+  MixedModelFit fit;
+  fit.lambda = lambda;
+  fit.num_observations = n_;
+  fit.fixed_effects = gls.b;
+  fit.sigma2_residual =
+      gls.q / static_cast<double>(n_ - static_cast<int64_t>(p_));
+  fit.sigma2_group = lambda * fit.sigma2_residual;
+  TAXITRACE_ASSIGN_OR_RETURN(const double criterion, RemlCriterion(lambda));
+  fit.reml_criterion = criterion;
+  fit.group_n = group_n_;
+
+  TAXITRACE_ASSIGN_OR_RETURN(const Matrix a_inv, InvertSpd(gls.a));
+  fit.fixed_se.resize(p_);
+  for (size_t i = 0; i < p_; ++i) {
+    fit.fixed_se[i] =
+        std::sqrt(std::max(0.0, fit.sigma2_residual * a_inv(i, i)));
+  }
+
+  fit.blup.resize(group_n_.size(), 0.0);
+  fit.blup_se.resize(group_n_.size(), 0.0);
+  for (size_t g = 0; g < group_n_.size(); ++g) {
+    if (group_n_[g] == 0) {
+      fit.blup_se[g] = std::sqrt(fit.sigma2_group);
+      continue;
+    }
+    const double ng = static_cast<double>(group_n_[g]);
+    const double c = lambda / (1.0 + ng * lambda);
+    const double group_resid =
+        group_y_sum_[g] - DotProduct(gls.b, group_x_sum_[g]);
+    fit.blup[g] = c * group_resid;
+    const double shrink = c * ng;  // = n lambda / (1 + n lambda)
+    // Conditional spread plus fixed-effect uncertainty through the
+    // group-average covariate vector.
+    Vector xbar(p_);
+    for (size_t i = 0; i < p_; ++i) xbar[i] = group_x_sum_[g][i] / ng;
+    double xax = 0.0;
+    for (size_t i = 0; i < p_; ++i) {
+      for (size_t j = 0; j < p_; ++j) {
+        xax += xbar[i] * a_inv(i, j) * xbar[j];
+      }
+    }
+    const double var = fit.sigma2_group * (1.0 - shrink) +
+                       shrink * shrink * fit.sigma2_residual * xax;
+    fit.blup_se[g] = std::sqrt(std::max(0.0, var));
+  }
+  return fit;
+}
+
+}  // namespace model
+}  // namespace taxitrace

@@ -1,0 +1,76 @@
+// Generic linear mixed model with arbitrary fixed effects and one random
+// grouping factor (random intercept per group) — the paper's Eq. (2)
+// with Z indicating cell membership. Works from sufficient statistics,
+// so it scales to the ~30k point speeds of the study without dense n x n
+// algebra; REML over the variance ratio, BLUPs for the group effects.
+
+#ifndef TAXITRACE_MODEL_MIXED_MODEL_H_
+#define TAXITRACE_MODEL_MIXED_MODEL_H_
+
+#include <vector>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/model/matrix.h"
+
+namespace taxitrace {
+namespace model {
+
+/// A fitted mixed model.
+struct MixedModelFit {
+  Vector fixed_effects;   ///< b (GLS at the REML variance estimates).
+  Vector fixed_se;
+  double sigma2_residual = 0.0;
+  double sigma2_group = 0.0;
+  double lambda = 0.0;    ///< sigma2_group / sigma2_residual.
+  double reml_criterion = 0.0;
+  int64_t num_observations = 0;
+  std::vector<int64_t> group_n;
+  std::vector<double> blup;
+  std::vector<double> blup_se;
+};
+
+/// Streaming accumulator for X (fixed design), group index, y.
+class MixedModel {
+ public:
+  /// `num_fixed` is the number of fixed-effect columns (include an
+  /// intercept column of 1s yourself).
+  explicit MixedModel(size_t num_fixed);
+
+  /// Adds one observation.
+  void Add(const Vector& x_row, size_t group, double y);
+
+  size_t num_fixed() const { return p_; }
+  size_t num_groups() const { return group_n_.size(); }
+  int64_t num_observations() const { return n_; }
+
+  /// Fits via profile REML over lambda. Fails when the GLS system is
+  /// singular or the data are too small.
+  Result<MixedModelFit> Fit() const;
+
+  /// The -2 REML criterion at a given lambda (for tests/ablation).
+  Result<double> RemlCriterion(double lambda) const;
+
+ private:
+  struct GlsSolve {
+    Vector b;
+    Matrix a;        ///< sigma^2 * X' V^-1 X (lambda-dependent).
+    Matrix a_lower;  ///< Cholesky factor of `a`.
+    double q;        ///< sigma^2 * residual quadratic form.
+  };
+  Result<GlsSolve> SolveGls(double lambda) const;
+
+  size_t p_;
+  Matrix xtx_;
+  Vector xty_;
+  double yty_ = 0.0;
+  int64_t n_ = 0;
+  // Per-group sums.
+  std::vector<int64_t> group_n_;
+  std::vector<Vector> group_x_sum_;
+  std::vector<double> group_y_sum_;
+};
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_MIXED_MODEL_H_

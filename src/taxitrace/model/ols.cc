@@ -1,0 +1,48 @@
+#include "taxitrace/model/ols.h"
+
+#include <cmath>
+
+#include "taxitrace/model/cholesky.h"
+
+namespace taxitrace {
+namespace model {
+
+OlsAccumulator::OlsAccumulator(size_t num_predictors)
+    : p_(num_predictors), xtx_(num_predictors, num_predictors),
+      xty_(num_predictors, 0.0) {}
+
+void OlsAccumulator::Add(const Vector& x, double y) {
+  assert(x.size() == p_);
+  AddOuterProduct(&xtx_, x, 1.0);
+  for (size_t i = 0; i < p_; ++i) xty_[i] += x[i] * y;
+  yty_ += y * y;
+  y_sum_ += y;
+  ++n_;
+}
+
+Result<OlsFit> OlsAccumulator::Fit() const {
+  if (n_ <= static_cast<int64_t>(p_)) {
+    return Status::FailedPrecondition("not enough observations");
+  }
+  TAXITRACE_ASSIGN_OR_RETURN(const Matrix lower, CholeskyDecompose(xtx_));
+  OlsFit fit;
+  fit.n = n_;
+  fit.coefficients = CholeskySolve(lower, xty_);
+  // Residual sum of squares from sufficient statistics.
+  const double rss = yty_ - DotProduct(fit.coefficients, xty_);
+  fit.sigma2 =
+      std::max(0.0, rss) / static_cast<double>(n_ - static_cast<int64_t>(p_));
+  const double y_mean = y_sum_ / static_cast<double>(n_);
+  const double tss = yty_ - static_cast<double>(n_) * y_mean * y_mean;
+  fit.r_squared = tss > 0.0 ? 1.0 - std::max(0.0, rss) / tss : 0.0;
+
+  TAXITRACE_ASSIGN_OR_RETURN(const Matrix inv, InvertSpd(xtx_));
+  fit.standard_errors.resize(p_);
+  for (size_t i = 0; i < p_; ++i) {
+    fit.standard_errors[i] = std::sqrt(std::max(0.0, fit.sigma2 * inv(i, i)));
+  }
+  return fit;
+}
+
+}  // namespace model
+}  // namespace taxitrace

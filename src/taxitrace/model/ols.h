@@ -1,0 +1,49 @@
+// Ordinary least squares, the baseline of the paper's Eq. (1):
+// Y = X b + e, e ~ N(0, sigma^2 I).
+
+#ifndef TAXITRACE_MODEL_OLS_H_
+#define TAXITRACE_MODEL_OLS_H_
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/model/matrix.h"
+
+namespace taxitrace {
+namespace model {
+
+/// A fitted linear model.
+struct OlsFit {
+  Vector coefficients;
+  Vector standard_errors;
+  double sigma2 = 0.0;       ///< Residual variance estimate.
+  double r_squared = 0.0;
+  int64_t n = 0;
+};
+
+/// Streaming OLS over sufficient statistics (X'X, X'y, y'y).
+class OlsAccumulator {
+ public:
+  /// `num_predictors` includes the intercept column if the caller adds
+  /// one to each row.
+  explicit OlsAccumulator(size_t num_predictors);
+
+  /// Adds one observation. `x.size()` must equal num_predictors.
+  void Add(const Vector& x, double y);
+
+  /// Fits the model. Fails when X'X is singular or n <= p.
+  Result<OlsFit> Fit() const;
+
+  int64_t n() const { return n_; }
+
+ private:
+  size_t p_;
+  Matrix xtx_;
+  Vector xty_;
+  double yty_ = 0.0;
+  double y_sum_ = 0.0;
+  int64_t n_ = 0;
+};
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_OLS_H_

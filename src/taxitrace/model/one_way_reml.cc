@@ -1,0 +1,149 @@
+#include "taxitrace/model/one_way_reml.h"
+
+#include <cmath>
+
+namespace taxitrace {
+namespace model {
+namespace {
+
+// Golden-section minimisation of f over [lo, hi].
+template <typename F>
+double GoldenSection(F f, double lo, double hi, int iterations = 80) {
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (int i = 0; i < iterations; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace
+
+void OneWayReml::Add(size_t group, double y) {
+  if (group >= n_.size()) {
+    n_.resize(group + 1, 0);
+    mean_.resize(group + 1, 0.0);
+    m2_.resize(group + 1, 0.0);
+  }
+  int64_t& n = n_[group];
+  ++n;
+  const double delta = y - mean_[group];
+  mean_[group] += delta / static_cast<double>(n);
+  m2_[group] += delta * (y - mean_[group]);
+  ++total_n_;
+}
+
+OneWayReml::Gls OneWayReml::ComputeGls(double lambda) const {
+  // GLS intercept: mu = sum w_i ybar_i / sum w_i with
+  // w_i = n_i / (1 + n_i lambda) (common sigma^2 cancels).
+  double wsum = 0.0;
+  double wy = 0.0;
+  for (size_t i = 0; i < n_.size(); ++i) {
+    if (n_[i] == 0) continue;
+    const double ni = static_cast<double>(n_[i]);
+    const double w = ni / (1.0 + ni * lambda);
+    wsum += w;
+    wy += w * mean_[i];
+  }
+  const double mu = wsum > 0.0 ? wy / wsum : 0.0;
+  // Profile quadratic form: SSW + sum w_i (ybar_i - mu)^2.
+  double q = 0.0;
+  for (size_t i = 0; i < n_.size(); ++i) {
+    if (n_[i] == 0) continue;
+    const double ni = static_cast<double>(n_[i]);
+    const double w = ni / (1.0 + ni * lambda);
+    const double dev = mean_[i] - mu;
+    q += m2_[i] + w * dev * dev;
+  }
+  return Gls{mu, wsum, q};
+}
+
+double OneWayReml::RemlCriterion(double lambda) const {
+  const Gls gls = ComputeGls(lambda);
+  const double dof = static_cast<double>(total_n_ - 1);
+  if (dof <= 0.0 || gls.q <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double log_terms = 0.0;
+  for (size_t i = 0; i < n_.size(); ++i) {
+    if (n_[i] == 0) continue;
+    log_terms += std::log1p(static_cast<double>(n_[i]) * lambda);
+  }
+  // -2 l_R profiled over sigma^2 (constants dropped):
+  //   (N-1) log(Q/(N-1)) + sum_i log(1 + n_i lambda) + log(sum_i w_i)
+  return dof * std::log(gls.q / dof) + log_terms + std::log(gls.weight_sum);
+}
+
+Result<OneWayRemlFit> OneWayReml::Fit() const {
+  size_t active_groups = 0;
+  for (int64_t n : n_) {
+    if (n > 0) ++active_groups;
+  }
+  if (active_groups < 2) {
+    return Status::FailedPrecondition("need at least two non-empty groups");
+  }
+  if (total_n_ < static_cast<int64_t>(active_groups) + 1) {
+    return Status::FailedPrecondition("not enough observations");
+  }
+
+  // Profile search on log10(lambda), bracketed generously, then compare
+  // with the boundary lambda = 0.
+  const auto criterion_log = [this](double log_lambda) {
+    return RemlCriterion(std::pow(10.0, log_lambda));
+  };
+  const double best_log = GoldenSection(criterion_log, -8.0, 5.0);
+  double lambda = std::pow(10.0, best_log);
+  if (RemlCriterion(0.0) <= RemlCriterion(lambda)) lambda = 0.0;
+
+  const Gls gls = ComputeGls(lambda);
+  OneWayRemlFit fit;
+  fit.lambda = lambda;
+  fit.num_observations = total_n_;
+  fit.sigma2_residual = gls.q / static_cast<double>(total_n_ - 1);
+  fit.sigma2_group = lambda * fit.sigma2_residual;
+  fit.mu = gls.mu;
+  fit.mu_se = std::sqrt(fit.sigma2_residual / gls.weight_sum);
+  fit.reml_criterion = RemlCriterion(lambda);
+
+  fit.group_n = n_;
+  fit.group_mean = mean_;
+  fit.blup.resize(n_.size(), 0.0);
+  fit.blup_se.resize(n_.size(), 0.0);
+  fit.shrinkage.resize(n_.size(), 0.0);
+  const double var_mu = fit.mu_se * fit.mu_se;
+  for (size_t i = 0; i < n_.size(); ++i) {
+    if (n_[i] == 0) {
+      // Unobserved group: predicted at zero with the prior spread.
+      fit.blup_se[i] = std::sqrt(fit.sigma2_group);
+      continue;
+    }
+    const double ni = static_cast<double>(n_[i]);
+    const double shrink = ni * lambda / (1.0 + ni * lambda);
+    fit.shrinkage[i] = shrink;
+    fit.blup[i] = shrink * (mean_[i] - fit.mu);
+    // Prediction variance: conditional spread plus the grand-mean
+    // uncertainty propagated through the shrinkage.
+    const double var =
+        fit.sigma2_group * (1.0 - shrink) + shrink * shrink * var_mu;
+    fit.blup_se[i] = std::sqrt(std::max(0.0, var));
+  }
+  return fit;
+}
+
+}  // namespace model
+}  // namespace taxitrace

@@ -1,0 +1,74 @@
+// The paper's Eq. (3): Y_ij = mu + u_cell(i) + e_ij with Gaussian random
+// intercepts per cell, variances estimated by REML and cell effects
+// predicted by BLUP — specialised closed-form computations for the
+// one-way layout (no dense n x n algebra).
+
+#ifndef TAXITRACE_MODEL_ONE_WAY_REML_H_
+#define TAXITRACE_MODEL_ONE_WAY_REML_H_
+
+#include <vector>
+
+#include "taxitrace/common/result.h"
+
+namespace taxitrace {
+namespace model {
+
+/// A fitted one-way random-intercept model.
+struct OneWayRemlFit {
+  double mu = 0.0;            ///< GLS grand intercept.
+  double mu_se = 0.0;
+  double sigma2_residual = 0.0;
+  double sigma2_group = 0.0;
+  double lambda = 0.0;        ///< sigma2_group / sigma2_residual.
+  double reml_criterion = 0.0;  ///< -2 profile REML log-likelihood.
+  int64_t num_observations = 0;
+  /// Per-group results, indexed like the groups passed to Add().
+  std::vector<int64_t> group_n;
+  std::vector<double> group_mean;
+  std::vector<double> blup;     ///< Predicted random intercepts.
+  std::vector<double> blup_se;  ///< Prediction standard errors.
+  std::vector<double> shrinkage;  ///< B_i = n_i lambda / (1 + n_i lambda).
+};
+
+/// Streaming one-way REML. Groups are dense indices 0..q-1; groups that
+/// receive no observations are excluded from the fit (the paper excludes
+/// cells without measurement points).
+class OneWayReml {
+ public:
+  OneWayReml() = default;
+
+  /// Adds one observation of group `group` (indices may arrive in any
+  /// order; the group table grows as needed).
+  void Add(size_t group, double y);
+
+  /// Number of groups seen (including empty ones below the max index).
+  size_t num_groups() const { return n_.size(); }
+  int64_t num_observations() const { return total_n_; }
+
+  /// Fits by profiling the REML criterion over lambda (golden-section
+  /// search on a log grid). Fails with fewer than two groups or two
+  /// observations per fit.
+  Result<OneWayRemlFit> Fit() const;
+
+  /// The -2 REML criterion at a given lambda (exposed for tests and the
+  /// ablation bench).
+  double RemlCriterion(double lambda) const;
+
+ private:
+  struct Gls {
+    double mu;
+    double weight_sum;  ///< sum_i n_i / (1 + n_i lambda), times 1/sigma2.
+    double q;           ///< profile quadratic form.
+  };
+  Gls ComputeGls(double lambda) const;
+
+  std::vector<int64_t> n_;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+  int64_t total_n_ = 0;
+};
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_ONE_WAY_REML_H_

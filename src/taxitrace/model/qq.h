@@ -1,0 +1,33 @@
+// Normal QQ-plot series (Fig. 7: cell intercept regularisation check)
+// and the normal quantile function they need.
+
+#ifndef TAXITRACE_MODEL_QQ_H_
+#define TAXITRACE_MODEL_QQ_H_
+
+#include <vector>
+
+namespace taxitrace {
+namespace model {
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9). p must be in (0, 1).
+double NormalQuantile(double p);
+
+/// One point of a QQ plot.
+struct QqPoint {
+  double theoretical = 0.0;  ///< Standard normal quantile.
+  double sample = 0.0;       ///< Order statistic of the sample.
+};
+
+/// QQ-plot series for a sample against the standard normal, using the
+/// plotting positions (i - 0.5) / n.
+std::vector<QqPoint> NormalQqSeries(std::vector<double> sample);
+
+/// Correlation between theoretical and sample quantiles (a quick
+/// straightness measure of the QQ plot; ~1 for Gaussian data).
+double QqCorrelation(const std::vector<QqPoint>& series);
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_QQ_H_

@@ -1,0 +1,75 @@
+#include "taxitrace/model/significance.h"
+
+#include <cmath>
+
+namespace taxitrace {
+namespace model {
+namespace {
+
+// Regularised lower incomplete gamma P(a, x) by series expansion
+// (converges fast for x < a + 1).
+double LowerGammaSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularised upper incomplete gamma Q(a, x) by continued fraction
+// (Lentz), for x >= a + 1.
+double UpperGammaContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double UpperIncompleteGammaRegularized(double a, double x) {
+  if (x <= 0.0) return 1.0;
+  if (a <= 0.0) return 0.0;
+  if (x < a + 1.0) return 1.0 - LowerGammaSeries(a, x);
+  return UpperGammaContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double x, int dof) {
+  if (x <= 0.0) return 1.0;
+  return UpperIncompleteGammaRegularized(static_cast<double>(dof) / 2.0,
+                                         x / 2.0);
+}
+
+Result<RandomEffectLrt> TestRandomEffect(const OneWayReml& model) {
+  TAXITRACE_ASSIGN_OR_RETURN(const OneWayRemlFit fit, model.Fit());
+  RandomEffectLrt out;
+  out.statistic =
+      std::max(0.0, model.RemlCriterion(0.0) - fit.reml_criterion);
+  // Under H0 the REML-LRT statistic is distributed as an equal mixture
+  // of a point mass at 0 and chi-square with 1 dof (the variance sits
+  // on the boundary of its parameter space).
+  out.p_value = out.statistic <= 0.0
+                    ? 1.0
+                    : 0.5 * ChiSquareSurvival(out.statistic, 1);
+  return out;
+}
+
+}  // namespace model
+}  // namespace taxitrace

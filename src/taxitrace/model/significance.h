@@ -1,0 +1,40 @@
+// Significance testing for the mixed model: the REML likelihood-ratio
+// test of the random cell effect (is there "strong evidence of the
+// effect of geography", as the paper puts it?), with the boundary-
+// corrected 0.5*chi2_0 + 0.5*chi2_1 null mixture.
+
+#ifndef TAXITRACE_MODEL_SIGNIFICANCE_H_
+#define TAXITRACE_MODEL_SIGNIFICANCE_H_
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/model/one_way_reml.h"
+
+namespace taxitrace {
+namespace model {
+
+/// Upper-tail probability P(X > x) of a chi-square distribution with
+/// `dof` degrees of freedom (regularised incomplete gamma). dof >= 1,
+/// x >= 0.
+double ChiSquareSurvival(double x, int dof);
+
+/// Regularised upper incomplete gamma Q(a, x), a > 0, x >= 0.
+double UpperIncompleteGammaRegularized(double a, double x);
+
+/// Result of the random-effect likelihood-ratio test.
+struct RandomEffectLrt {
+  /// -2 * (restricted logLik at lambda = 0 minus at the REML optimum).
+  double statistic = 0.0;
+  /// Boundary-corrected p-value (0.5 chi2_0 + 0.5 chi2_1 mixture).
+  double p_value = 1.0;
+
+  bool Significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Tests whether the between-group variance is non-zero. Fails when the
+/// underlying model cannot be fitted.
+Result<RandomEffectLrt> TestRandomEffect(const OneWayReml& model);
+
+}  // namespace model
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_MODEL_SIGNIFICANCE_H_

@@ -1,0 +1,39 @@
+#include "taxitrace/odselect/od_gate.h"
+
+#include <cmath>
+
+namespace taxitrace {
+namespace odselect {
+
+OdGate::OdGate(std::string name, geo::Polyline inbound_geometry,
+               const OdGateOptions& options)
+    : name_(std::move(name)),
+      geometry_(std::move(inbound_geometry)),
+      polygon_(geo::BufferPolyline(geometry_, options.half_width_m)),
+      options_(options) {}
+
+OdGate::Crossing OdGate::Classify(const geo::EnPoint& a,
+                                  const geo::EnPoint& b) const {
+  const geo::Segment move{a, b};
+  if (move.Length() < 1e-6) return Crossing::kNone;
+  if (!polygon_.IntersectsSegment(move)) return Crossing::kNone;
+
+  // Road axis at the point of passage: heading of the gate geometry
+  // nearest to the movement's midpoint.
+  const geo::EnPoint mid = a + 0.5 * (b - a);
+  const geo::PolylineProjection proj = geometry_.Project(mid);
+  const double road_heading = geometry_.SegmentHeading(proj.segment_index);
+  const double angle =
+      geo::AngleBetweenHeadings(move.Heading(), road_heading);
+  const double window = options_.max_angle_deg * M_PI / 180.0;
+  if (angle <= window) return Crossing::kInbound;
+  if (angle >= M_PI - window) return Crossing::kOutbound;
+  return Crossing::kNone;
+}
+
+double OdGate::DistanceToRoad(const geo::EnPoint& p) const {
+  return geometry_.Project(p).distance;
+}
+
+}  // namespace odselect
+}  // namespace taxitrace

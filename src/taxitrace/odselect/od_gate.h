@@ -1,0 +1,66 @@
+// Thick-geometry origin/destination gates (Section IV-D, Fig. 2).
+//
+// The origin and destination roads are artificially made thicker so that
+// routes deviating slightly from the mapped road still register, and a
+// route only counts as crossing a gate when it passes through the thick
+// polygon at an angle close to the road axis (i.e., actually driving
+// along the road rather than crossing it).
+
+#ifndef TAXITRACE_ODSELECT_OD_GATE_H_
+#define TAXITRACE_ODSELECT_OD_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/geo/polygon.h"
+
+namespace taxitrace {
+namespace odselect {
+
+/// Gate construction parameters.
+struct OdGateOptions {
+  /// Half-width of the thick geometry, metres.
+  double half_width_m = 60.0;
+  /// Maximum deviation from the road axis for a crossing to count,
+  /// degrees.
+  double max_angle_deg = 35.0;
+};
+
+/// One thick-geometry gate built from an inbound-oriented road centre
+/// line.
+class OdGate {
+ public:
+  /// Direction of a detected gate traversal.
+  enum class Crossing : unsigned char {
+    kNone,      ///< No traversal, or angle outside the window.
+    kInbound,   ///< Along the inbound axis (entering the area).
+    kOutbound,  ///< Against the inbound axis (leaving the area).
+  };
+
+  /// Builds the gate. `inbound_geometry` runs from outside the area
+  /// towards the centre.
+  OdGate(std::string name, geo::Polyline inbound_geometry,
+         const OdGateOptions& options = {});
+
+  const std::string& name() const { return name_; }
+  const geo::Polygon& polygon() const { return polygon_; }
+  const geo::Polyline& geometry() const { return geometry_; }
+
+  /// Classifies the movement a -> b (consecutive route points in the
+  /// local frame) against this gate.
+  Crossing Classify(const geo::EnPoint& a, const geo::EnPoint& b) const;
+
+  /// Distance from `p` to the gate's road centre line, metres.
+  double DistanceToRoad(const geo::EnPoint& p) const;
+
+ private:
+  std::string name_;
+  geo::Polyline geometry_;
+  geo::Polygon polygon_;
+  OdGateOptions options_;
+};
+
+}  // namespace odselect
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ODSELECT_OD_GATE_H_

@@ -1,0 +1,85 @@
+#include "taxitrace/odselect/transition_extractor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace taxitrace {
+namespace odselect {
+
+TransitionExtractor::TransitionExtractor(
+    std::vector<OdGate> gates, const geo::LocalProjection& projection)
+    : gates_(std::move(gates)), projection_(projection) {}
+
+std::vector<GateCrossing> TransitionExtractor::FindCrossings(
+    const trace::Trip& trip) const {
+  std::vector<GateCrossing> crossings;
+  if (trip.points.size() < 2) return crossings;
+
+  std::vector<geo::EnPoint> local(trip.points.size());
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    local[i] = projection_.Forward(trip.points[i].position);
+  }
+  for (size_t i = 0; i + 1 < local.size(); ++i) {
+    for (size_t g = 0; g < gates_.size(); ++g) {
+      const OdGate::Crossing c = gates_[g].Classify(local[i], local[i + 1]);
+      if (c == OdGate::Crossing::kNone) continue;
+      // Collapse consecutive detections of the same traversal (several
+      // successive movement segments can lie inside the thick polygon).
+      if (!crossings.empty() && crossings.back().gate_index == g &&
+          crossings.back().direction == c &&
+          i - crossings.back().last_point_index <= 3) {
+        crossings.back().last_point_index = i;
+        continue;
+      }
+      crossings.push_back(
+          GateCrossing{g, i, i, c, trip.points[i].timestamp_s});
+    }
+  }
+  return crossings;
+}
+
+TripGateAnalysis TransitionExtractor::Analyze(
+    const trace::Trip& trip) const {
+  TripGateAnalysis analysis;
+  const std::vector<GateCrossing> crossings = FindCrossings(trip);
+  analysis.crosses_gate_at_angle = !crossings.empty();
+  {
+    std::set<size_t> distinct;
+    for (const GateCrossing& c : crossings) distinct.insert(c.gate_index);
+    analysis.distinct_gates_crossed = static_cast<int>(distinct.size());
+  }
+
+  // Pair each inbound crossing with the next outbound crossing of a
+  // different gate; a newer inbound crossing supersedes a pending one.
+  const GateCrossing* pending_inbound = nullptr;
+  for (const GateCrossing& c : crossings) {
+    if (c.direction == OdGate::Crossing::kInbound) {
+      pending_inbound = &c;
+      continue;
+    }
+    if (pending_inbound == nullptr ||
+        pending_inbound->gate_index == c.gate_index) {
+      continue;
+    }
+    Transition t;
+    t.origin = gates_[pending_inbound->gate_index].name();
+    t.destination = gates_[c.gate_index].name();
+    // The transition runs from the first contact with the origin road to
+    // the end of the traversal of the destination road.
+    const size_t first = pending_inbound->point_index;
+    const size_t last =
+        std::min(c.last_point_index + 1, trip.points.size() - 1);
+    t.segment.trip_id = trip.trip_id;
+    t.segment.car_id = trip.car_id;
+    t.segment.points.assign(
+        trip.points.begin() + static_cast<ptrdiff_t>(first),
+        trip.points.begin() + static_cast<ptrdiff_t>(last) + 1);
+    t.segment.RecomputeTotals();
+    analysis.transitions.push_back(std::move(t));
+    pending_inbound = nullptr;
+  }
+  return analysis;
+}
+
+}  // namespace odselect
+}  // namespace taxitrace

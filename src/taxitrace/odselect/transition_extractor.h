@@ -1,0 +1,72 @@
+// Transition extraction: finding the routes that travel from one gate
+// road to another, in that order in time (Section IV-D).
+
+#ifndef TAXITRACE_ODSELECT_TRANSITION_EXTRACTOR_H_
+#define TAXITRACE_ODSELECT_TRANSITION_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/geo/coordinates.h"
+#include "taxitrace/odselect/od_gate.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace odselect {
+
+/// One detected gate crossing within a trip. Consecutive movement
+/// segments inside the same thick polygon collapse into one crossing
+/// spanning [point_index, last_point_index].
+struct GateCrossing {
+  size_t gate_index = 0;   ///< Index into the extractor's gate list.
+  size_t point_index = 0;  ///< First crossing movement: points [i, i+1].
+  size_t last_point_index = 0;  ///< Last movement of the same traversal.
+  OdGate::Crossing direction = OdGate::Crossing::kNone;
+  double timestamp_s = 0.0;
+};
+
+/// An origin->destination run cut out of a trip segment. The transition
+/// keeps the source trip id: (trip id, start time) uniquely identifies it
+/// as in the paper (Section IV-F).
+struct Transition {
+  trace::Trip segment;  ///< Points from origin crossing to dest crossing.
+  std::string origin;
+  std::string destination;
+
+  /// "S-T"-style label.
+  std::string Label() const { return origin + "-" + destination; }
+};
+
+/// Per-trip gate interaction summary, for the Table 3 funnel.
+struct TripGateAnalysis {
+  bool crosses_gate_at_angle = false;  ///< >= 1 angle-valid crossing.
+  int distinct_gates_crossed = 0;
+  std::vector<Transition> transitions;
+};
+
+/// Finds transitions over a fixed set of gates. Holds copies of the
+/// gates.
+class TransitionExtractor {
+ public:
+  TransitionExtractor(std::vector<OdGate> gates,
+                      const geo::LocalProjection& projection);
+
+  /// All angle-valid gate crossings of a trip, in time order.
+  std::vector<GateCrossing> FindCrossings(const trace::Trip& trip) const;
+
+  /// Full analysis of one cleaned trip segment: crossing flags and the
+  /// extracted transitions (an inbound crossing of one gate followed by
+  /// an outbound crossing of a different gate).
+  TripGateAnalysis Analyze(const trace::Trip& trip) const;
+
+  const std::vector<OdGate>& gates() const { return gates_; }
+
+ private:
+  std::vector<OdGate> gates_;
+  geo::LocalProjection projection_;
+};
+
+}  // namespace odselect
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ODSELECT_TRANSITION_EXTRACTOR_H_

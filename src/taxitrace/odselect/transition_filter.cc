@@ -1,0 +1,44 @@
+#include "taxitrace/odselect/transition_filter.h"
+
+#include <algorithm>
+
+namespace taxitrace {
+namespace odselect {
+
+bool IsSelectedDirection(const Transition& transition,
+                         const TransitionFilterOptions& options) {
+  const std::string label = transition.Label();
+  return std::find(options.directions.begin(), options.directions.end(),
+                   label) != options.directions.end();
+}
+
+bool IsWithinCentralArea(const Transition& transition,
+                         const geo::Polygon& central_area,
+                         const geo::Bbox& region,
+                         const geo::LocalProjection& projection,
+                         const TransitionFilterOptions& options) {
+  if (transition.segment.points.empty()) return false;
+  size_t inside_central = 0;
+  for (const trace::RoutePoint& p : transition.segment.points) {
+    const geo::EnPoint local = projection.Forward(p.position);
+    if (!region.Contains(local)) return false;
+    if (central_area.Contains(local)) ++inside_central;
+  }
+  return static_cast<double>(inside_central) >=
+         options.central_fraction *
+             static_cast<double>(transition.segment.points.size());
+}
+
+bool PassesEndpointPostFilter(const geo::Polyline& matched_geometry,
+                              const OdGate& origin,
+                              const OdGate& destination,
+                              const TransitionFilterOptions& options) {
+  if (matched_geometry.size() < 2) return false;
+  return origin.DistanceToRoad(matched_geometry.front()) <=
+             options.endpoint_max_distance_m &&
+         destination.DistanceToRoad(matched_geometry.back()) <=
+             options.endpoint_max_distance_m;
+}
+
+}  // namespace odselect
+}  // namespace taxitrace

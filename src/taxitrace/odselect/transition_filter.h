@@ -1,0 +1,61 @@
+// Transition filters: direction-set selection, the central-area
+// containment check, and the post-map-matching endpoint check — the last
+// three columns of Table 3.
+
+#ifndef TAXITRACE_ODSELECT_TRANSITION_FILTER_H_
+#define TAXITRACE_ODSELECT_TRANSITION_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/odselect/transition_extractor.h"
+
+namespace taxitrace {
+namespace odselect {
+
+/// Filter thresholds.
+struct TransitionFilterOptions {
+  /// Directions of interest (Fig. 2 red arrows).
+  std::vector<std::string> directions = {"T-L", "L-T", "T-S", "S-T"};
+  /// Minimum fraction of the transition's route points that must lie
+  /// inside the central-area polygon.
+  double central_fraction = 0.65;
+  /// Maximum distance of a transition's matched endpoints from the
+  /// origin/destination roads, metres (post-filter).
+  double endpoint_max_distance_m = 45.0;
+};
+
+/// True when the transition's direction label is in the selected set.
+bool IsSelectedDirection(const Transition& transition,
+                         const TransitionFilterOptions& options);
+
+/// True when the transition happens within the central area: every point
+/// stays inside `region` (the study area with margin) and at least
+/// `central_fraction` of the points lie inside `central_area`.
+bool IsWithinCentralArea(const Transition& transition,
+                         const geo::Polygon& central_area,
+                         const geo::Bbox& region,
+                         const geo::LocalProjection& projection,
+                         const TransitionFilterOptions& options);
+
+/// Post-filter applied after map matching: the matched route geometry
+/// must start close to the origin road and end close to the destination
+/// road.
+bool PassesEndpointPostFilter(const geo::Polyline& matched_geometry,
+                              const OdGate& origin, const OdGate& destination,
+                              const TransitionFilterOptions& options);
+
+/// Per-car funnel counts — one row of Table 3.
+struct Table3Row {
+  int car_id = 0;
+  int64_t segments_total = 0;      ///< Cleaned trip segments.
+  int64_t filtered_cleaned = 0;    ///< Angle-valid crossing of >= 2 roads.
+  int64_t transitions_total = 0;   ///< O-D pairs in the direction set.
+  int64_t transitions_central = 0; ///< ... within the central area.
+  int64_t post_filtered = 0;       ///< ... surviving the endpoint check.
+};
+
+}  // namespace odselect
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ODSELECT_TRANSITION_FILTER_H_

@@ -1,0 +1,19 @@
+#include "taxitrace/roadnet/map_features.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+std::string_view FeatureTypeName(FeatureType t) {
+  switch (t) {
+    case FeatureType::kTrafficLight:
+      return "traffic_light";
+    case FeatureType::kBusStop:
+      return "bus_stop";
+    case FeatureType::kPedestrianCrossing:
+      return "pedestrian_crossing";
+  }
+  return "?";
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace

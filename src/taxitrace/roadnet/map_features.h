@@ -1,0 +1,42 @@
+// Point features of the transportation system: traffic lights, bus stops
+// and pedestrian crossings (the second information level of Digiroad).
+
+#ifndef TAXITRACE_ROADNET_MAP_FEATURES_H_
+#define TAXITRACE_ROADNET_MAP_FEATURES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "taxitrace/geo/geometry.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+/// Identifier of a point feature within a map.
+using FeatureId = int64_t;
+
+/// The feature kinds the paper's analysis uses.
+enum class FeatureType : unsigned char {
+  kTrafficLight,
+  kBusStop,
+  kPedestrianCrossing,
+};
+
+/// Number of distinct FeatureType values.
+inline constexpr int kNumFeatureTypes = 3;
+
+/// One transportation-system point feature.
+struct MapFeature {
+  FeatureId id = 0;
+  FeatureType type = FeatureType::kTrafficLight;
+  geo::EnPoint position;
+};
+
+/// Stable display name ("traffic_light", "bus_stop",
+/// "pedestrian_crossing").
+std::string_view FeatureTypeName(FeatureType t);
+
+}  // namespace roadnet
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ROADNET_MAP_FEATURES_H_

@@ -1,0 +1,49 @@
+// Map persistence and export: CSV round-trips for raw traffic elements
+// and feature specs (the Digiroad-extract stand-in), and a GeoJSON
+// rendering of a prepared network for GIS tools (the paper used QGIS).
+
+#ifndef TAXITRACE_ROADNET_MAP_IO_H_
+#define TAXITRACE_ROADNET_MAP_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/roadnet/map_preparation.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+/// Serialises traffic elements to CSV with header
+/// id,name,functional_class,speed_limit_kmh,direction,geometry — the
+/// geometry column encodes local-frame vertices as "x:y|x:y|...".
+std::string ElementsToCsv(const std::vector<TrafficElement>& elements);
+
+/// Parses the format written by ElementsToCsv.
+Result<std::vector<TrafficElement>> ElementsFromCsv(
+    const std::string& text);
+
+/// Serialises feature specs to CSV with header type,x,y.
+std::string FeaturesToCsv(const std::vector<FeatureSpec>& features);
+
+/// Parses the format written by FeaturesToCsv.
+Result<std::vector<FeatureSpec>> FeaturesFromCsv(const std::string& text);
+
+/// File wrappers.
+Status WriteElementsFile(const std::string& path,
+                         const std::vector<TrafficElement>& elements);
+Result<std::vector<TrafficElement>> ReadElementsFile(
+    const std::string& path);
+Status WriteFeaturesFile(const std::string& path,
+                         const std::vector<FeatureSpec>& features);
+Result<std::vector<FeatureSpec>> ReadFeaturesFile(const std::string& path);
+
+/// GeoJSON FeatureCollection of a prepared network: one LineString per
+/// edge (with id, name, class, limit, direction, element ids) and one
+/// Point per map feature.
+std::string NetworkToGeoJson(const RoadNetwork& network);
+
+}  // namespace roadnet
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ROADNET_MAP_IO_H_

@@ -1,0 +1,175 @@
+#include "taxitrace/roadnet/road_network.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+RoadNetwork::RoadNetwork(const geo::LatLon& origin)
+    : origin_(origin), projection_(origin) {}
+
+const Vertex& RoadNetwork::vertex(VertexId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < vertices_.size());
+  return vertices_[static_cast<size_t>(id)];
+}
+
+const Edge& RoadNetwork::edge(EdgeId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < edges_.size());
+  return edges_[static_cast<size_t>(id)];
+}
+
+const MapFeature& RoadNetwork::feature(FeatureId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < features_.size());
+  return features_[static_cast<size_t>(id)];
+}
+
+const std::vector<EdgeId>& RoadNetwork::IncidentEdges(VertexId v) const {
+  assert(v >= 0 && static_cast<size_t>(v) < incident_.size());
+  return incident_[static_cast<size_t>(v)];
+}
+
+bool RoadNetwork::CanTraverse(EdgeId e, bool forward) const {
+  const TravelDirection d = edge(e).direction;
+  if (d == TravelDirection::kBoth) return true;
+  return forward ? d == TravelDirection::kForward
+                 : d == TravelDirection::kBackward;
+}
+
+VertexId RoadNetwork::Opposite(EdgeId e, VertexId v) const {
+  const Edge& ed = edge(e);
+  assert(ed.from == v || ed.to == v);
+  return ed.from == v ? ed.to : ed.from;
+}
+
+geo::EnPoint RoadNetwork::PointAt(const EdgePosition& pos) const {
+  return edge(pos.edge).geometry.Interpolate(pos.arc_length_m);
+}
+
+int RoadNetwork::CountFeaturesOnEdge(EdgeId e, FeatureType t) const {
+  int n = 0;
+  for (FeatureId f : edge(e).feature_ids) {
+    if (feature(f).type == t) ++n;
+  }
+  return n;
+}
+
+int RoadNetwork::CountFeatures(FeatureType t) const {
+  int n = 0;
+  for (const MapFeature& f : features_) {
+    if (f.type == t) ++n;
+  }
+  return n;
+}
+
+geo::Bbox RoadNetwork::Bounds() const {
+  geo::Bbox box = geo::Bbox::Empty();
+  for (const Edge& e : edges_) box.Extend(e.geometry.Bounds());
+  return box;
+}
+
+VertexId RoadNetwork::AddVertex(const geo::EnPoint& position,
+                                bool is_junction) {
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(Vertex{id, position, is_junction});
+  incident_.emplace_back();
+  return id;
+}
+
+EdgeId RoadNetwork::AddEdge(Edge edge) {
+  assert(edge.from >= 0 &&
+         static_cast<size_t>(edge.from) < vertices_.size());
+  assert(edge.to >= 0 && static_cast<size_t>(edge.to) < vertices_.size());
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edge.id = id;
+  edge.length_m = edge.geometry.Length();
+  incident_[static_cast<size_t>(edge.from)].push_back(id);
+  incident_[static_cast<size_t>(edge.to)].push_back(id);
+  edges_.push_back(std::move(edge));
+  return id;
+}
+
+FeatureId RoadNetwork::AddFeature(FeatureType type,
+                                  const geo::EnPoint& position,
+                                  double attach_radius_m) {
+  const FeatureId id = static_cast<FeatureId>(features_.size());
+  features_.push_back(MapFeature{id, type, position});
+
+  EdgeId best_edge = kInvalidEdge;
+  double best_dist = attach_radius_m;
+  for (const Edge& e : edges_) {
+    if (!e.geometry.Bounds().Inflated(attach_radius_m).Contains(position)) {
+      continue;
+    }
+    const double d = e.geometry.Project(position).distance;
+    if (d <= best_dist) {
+      best_dist = d;
+      best_edge = e.id;
+    }
+  }
+  if (best_edge != kInvalidEdge) {
+    edges_[static_cast<size_t>(best_edge)].feature_ids.push_back(id);
+  }
+  return id;
+}
+
+Status RoadNetwork::Validate() const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].id != static_cast<VertexId>(i)) {
+      return Status::Corruption(StrFormat("vertex %zu has id %d", i,
+                                          vertices_[i].id));
+    }
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.id != static_cast<EdgeId>(i)) {
+      return Status::Corruption(StrFormat("edge %zu has id %d", i, e.id));
+    }
+    if (e.from < 0 || static_cast<size_t>(e.from) >= vertices_.size() ||
+        e.to < 0 || static_cast<size_t>(e.to) >= vertices_.size()) {
+      return Status::Corruption(StrFormat("edge %d has bad endpoints", e.id));
+    }
+    if (e.geometry.size() < 2) {
+      return Status::Corruption(StrFormat("edge %d has no geometry", e.id));
+    }
+    constexpr double kSnapTolerance = 0.5;  // metres
+    if (geo::Distance(e.geometry.front(), vertex(e.from).position) >
+            kSnapTolerance ||
+        geo::Distance(e.geometry.back(), vertex(e.to).position) >
+            kSnapTolerance) {
+      return Status::Corruption(
+          StrFormat("edge %d geometry does not meet its vertices", e.id));
+    }
+    if (!(e.length_m > 0.0)) {
+      return Status::Corruption(StrFormat("edge %d has zero length", e.id));
+    }
+    if (!(e.speed_limit_kmh > 0.0)) {
+      return Status::Corruption(
+          StrFormat("edge %d has non-positive speed limit", e.id));
+    }
+    for (FeatureId f : e.feature_ids) {
+      if (f < 0 || static_cast<size_t>(f) >= features_.size()) {
+        return Status::Corruption(
+            StrFormat("edge %d references missing feature %lld", e.id,
+                      static_cast<long long>(f)));
+      }
+    }
+  }
+  for (size_t v = 0; v < incident_.size(); ++v) {
+    for (EdgeId e : incident_[v]) {
+      const Edge& ed = edge(e);
+      if (ed.from != static_cast<VertexId>(v) &&
+          ed.to != static_cast<VertexId>(v)) {
+        return Status::Corruption(
+            StrFormat("incidence list of vertex %zu lists edge %d", v, e));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace

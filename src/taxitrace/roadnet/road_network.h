@@ -1,0 +1,140 @@
+// The prepared road-network graph G = {V, E}: vertices are road junctions
+// (or terminal dead-ends), edges are maximal chains of traffic elements
+// between two vertices (Section IV-A of the paper). Point features are
+// attached to the edge they lie on.
+
+#ifndef TAXITRACE_ROADNET_ROAD_NETWORK_H_
+#define TAXITRACE_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/geo/coordinates.h"
+#include "taxitrace/geo/polyline.h"
+#include "taxitrace/roadnet/map_features.h"
+#include "taxitrace/roadnet/traffic_element.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+/// Index of a vertex within a RoadNetwork.
+using VertexId = int32_t;
+/// Index of an edge within a RoadNetwork.
+using EdgeId = int32_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// A graph vertex: a junction (>= 3 incident elements) or a terminal
+/// point (1 incident element).
+struct Vertex {
+  VertexId id = kInvalidVertex;
+  geo::EnPoint position;
+  bool is_junction = false;  ///< True for degree >= 3 endpoints.
+};
+
+/// A graph edge: one or more traffic elements merged into a single chain.
+struct Edge {
+  EdgeId id = kInvalidEdge;
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  geo::Polyline geometry;  ///< Oriented from `from` to `to`.
+  double length_m = 0.0;
+  double speed_limit_kmh = 40.0;
+  FunctionalClass functional_class = FunctionalClass::kLocalStreet;
+  /// Travel constraint relative to the edge orientation (from -> to).
+  TravelDirection direction = TravelDirection::kBoth;
+  /// Ids of the contributing traffic elements, in chain order (the
+  /// `elements` column of Table 1).
+  std::vector<ElementId> element_ids;
+  std::string road_name;
+  /// Features lying on this edge.
+  std::vector<FeatureId> feature_ids;
+};
+
+/// A position along an edge, measured as arc length from the edge's
+/// `from` end.
+struct EdgePosition {
+  EdgeId edge = kInvalidEdge;
+  double arc_length_m = 0.0;
+};
+
+/// The prepared road network. Construct through `PrepareRoadNetwork()`
+/// (map_preparation.h) or the builder API below.
+class RoadNetwork {
+ public:
+  /// Creates an empty network whose local frame is anchored at `origin`.
+  explicit RoadNetwork(const geo::LatLon& origin);
+
+  /// WGS84 anchor of the local east/north frame.
+  const geo::LatLon& origin() const { return origin_; }
+  /// Projection between WGS84 and the local frame.
+  const geo::LocalProjection& projection() const { return projection_; }
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<MapFeature>& features() const { return features_; }
+
+  /// The vertex / edge / feature with the given id. Ids index the vectors
+  /// above; passing an invalid id is a programming error (asserted).
+  const Vertex& vertex(VertexId id) const;
+  const Edge& edge(EdgeId id) const;
+  const MapFeature& feature(FeatureId id) const;
+
+  /// Edges incident to `v` (regardless of traversability).
+  const std::vector<EdgeId>& IncidentEdges(VertexId v) const;
+
+  /// True when the edge may be driven in the given orientation
+  /// (forward = from -> to).
+  bool CanTraverse(EdgeId e, bool forward) const;
+
+  /// The vertex at the far end of `e` when entering from `v`. Requires
+  /// `v` to be one of the edge's endpoints.
+  VertexId Opposite(EdgeId e, VertexId v) const;
+
+  /// Point on the edge geometry at the given arc length (clamped).
+  geo::EnPoint PointAt(const EdgePosition& pos) const;
+
+  /// Number of features of type `t` attached to edge `e`.
+  int CountFeaturesOnEdge(EdgeId e, FeatureType t) const;
+
+  /// Total number of features of type `t` in the map.
+  int CountFeatures(FeatureType t) const;
+
+  /// Bounding box of all edge geometry.
+  geo::Bbox Bounds() const;
+
+  // --- Builder API -------------------------------------------------------
+
+  /// Adds a vertex and returns its id.
+  VertexId AddVertex(const geo::EnPoint& position, bool is_junction);
+
+  /// Adds an edge; `edge.id` is ignored and assigned. `from`/`to` must be
+  /// valid. Returns the assigned id.
+  EdgeId AddEdge(Edge edge);
+
+  /// Adds a point feature, attaching it to the nearest edge within
+  /// `attach_radius_m` (no attachment if none is close enough). Returns
+  /// the assigned feature id.
+  FeatureId AddFeature(FeatureType type, const geo::EnPoint& position,
+                       double attach_radius_m = 40.0);
+
+  /// Structural validation: endpoint/geometry agreement, positive
+  /// lengths, monotone ids, feature attachment consistency.
+  Status Validate() const;
+
+ private:
+  geo::LatLon origin_;
+  geo::LocalProjection projection_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<MapFeature> features_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+}  // namespace roadnet
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ROADNET_ROAD_NETWORK_H_

@@ -1,0 +1,230 @@
+#include "taxitrace/roadnet/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace roadnet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  VertexId vertex;
+  bool operator>(const QueueEntry& other) const { return dist > other.dist; }
+};
+
+}  // namespace
+
+Router::Router(const RoadNetwork* network) : network_(network) {}
+
+Router::VertexSearchResult Router::Search(
+    const std::vector<std::pair<VertexId, double>>& seeds,
+    VertexId stop_at_both_a, VertexId stop_at_both_b,
+    const std::vector<double>* edge_cost_multiplier) const {
+  const size_t n = network_->vertices().size();
+  VertexSearchResult res;
+  res.dist.assign(n, kInf);
+  res.prev_edge.assign(n, kInvalidEdge);
+  res.prev_vertex.assign(n, kInvalidVertex);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  for (const auto& [v, cost] : seeds) {
+    if (cost < res.dist[static_cast<size_t>(v)]) {
+      res.dist[static_cast<size_t>(v)] = cost;
+      queue.push(QueueEntry{cost, v});
+    }
+  }
+
+  bool settled_a = stop_at_both_a == kInvalidVertex;
+  bool settled_b = stop_at_both_b == kInvalidVertex;
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const size_t u = static_cast<size_t>(top.vertex);
+    if (top.dist > res.dist[u]) continue;  // stale entry
+    if (top.vertex == stop_at_both_a) settled_a = true;
+    if (top.vertex == stop_at_both_b) settled_b = true;
+    if (settled_a && settled_b) break;
+
+    for (EdgeId eid : network_->IncidentEdges(top.vertex)) {
+      const Edge& e = network_->edge(eid);
+      const bool forward = e.from == top.vertex;
+      if (!network_->CanTraverse(eid, forward)) continue;
+      const VertexId w = forward ? e.to : e.from;
+      const double mult =
+          edge_cost_multiplier == nullptr
+              ? 1.0
+              : (*edge_cost_multiplier)[static_cast<size_t>(eid)];
+      const double nd = top.dist + e.length_m * mult;
+      if (nd < res.dist[static_cast<size_t>(w)]) {
+        res.dist[static_cast<size_t>(w)] = nd;
+        res.prev_edge[static_cast<size_t>(w)] = eid;
+        res.prev_vertex[static_cast<size_t>(w)] = top.vertex;
+        queue.push(QueueEntry{nd, w});
+      }
+    }
+  }
+  return res;
+}
+
+Result<Path> Router::ShortestPath(
+    VertexId from, VertexId to,
+    const std::vector<double>* edge_cost_multiplier) const {
+  const size_t n = network_->vertices().size();
+  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
+      static_cast<size_t>(to) >= n) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  if (edge_cost_multiplier != nullptr &&
+      edge_cost_multiplier->size() != network_->edges().size()) {
+    return Status::InvalidArgument("edge cost multiplier size mismatch");
+  }
+  const VertexSearchResult res =
+      Search({{from, 0.0}}, to, to, edge_cost_multiplier);
+  if (!(res.dist[static_cast<size_t>(to)] < kInf)) {
+    return Status::NotFound(
+        StrFormat("no path from vertex %d to %d", from, to));
+  }
+  Path path;
+  path.length_m = 0.0;
+  // Walk predecessors back to the source.
+  std::vector<std::pair<EdgeId, bool>> rev;
+  VertexId v = to;
+  while (v != from) {
+    const EdgeId e = res.prev_edge[static_cast<size_t>(v)];
+    const VertexId p = res.prev_vertex[static_cast<size_t>(v)];
+    rev.emplace_back(e, network_->edge(e).from == p);
+    v = p;
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    path.steps.push_back(PathStep{it->first, it->second});
+    const Edge& e = network_->edge(it->first);
+    path.length_m += e.length_m;
+    path.geometry.Extend(it->second ? e.geometry : e.geometry.Reversed());
+  }
+  if (path.steps.empty()) {
+    // from == to: a zero-length path anchored at the vertex.
+    const geo::EnPoint p = network_->vertex(from).position;
+    path.geometry = geo::Polyline({p, p});
+  }
+  return path;
+}
+
+Result<Path> Router::ShortestPathBetween(const EdgePosition& from,
+                                         const EdgePosition& to) const {
+  const size_t ne = network_->edges().size();
+  if (from.edge < 0 || static_cast<size_t>(from.edge) >= ne || to.edge < 0 ||
+      static_cast<size_t>(to.edge) >= ne) {
+    return Status::InvalidArgument("edge id out of range");
+  }
+  const Edge& fe = network_->edge(from.edge);
+  const Edge& te = network_->edge(to.edge);
+  const double from_arc = std::clamp(from.arc_length_m, 0.0, fe.length_m);
+  const double to_arc = std::clamp(to.arc_length_m, 0.0, te.length_m);
+
+  // Option 0: stay on the shared edge.
+  double direct_cost = kInf;
+  bool direct_forward = true;
+  if (from.edge == to.edge) {
+    if (to_arc >= from_arc && network_->CanTraverse(from.edge, true)) {
+      direct_cost = to_arc - from_arc;
+      direct_forward = true;
+    }
+    if (from_arc >= to_arc && network_->CanTraverse(from.edge, false)) {
+      const double c = from_arc - to_arc;
+      if (c < direct_cost) {
+        direct_cost = c;
+        direct_forward = false;
+      }
+    }
+  }
+
+  // Options via the graph: leave the source edge at either end, enter the
+  // destination edge at either end.
+  std::vector<std::pair<VertexId, double>> seeds;
+  if (network_->CanTraverse(from.edge, true)) {
+    seeds.emplace_back(fe.to, fe.length_m - from_arc);
+  }
+  if (network_->CanTraverse(from.edge, false)) {
+    seeds.emplace_back(fe.from, from_arc);
+  }
+
+  VertexSearchResult res;
+  if (!seeds.empty()) res = Search(seeds, te.from, te.to);
+
+  const auto arrival_cost = [&](VertexId entry) {
+    if (res.dist.empty()) return kInf;
+    const double base = res.dist[static_cast<size_t>(entry)];
+    if (!(base < kInf)) return kInf;
+    if (entry == te.from) {
+      return network_->CanTraverse(to.edge, true) ? base + to_arc : kInf;
+    }
+    return network_->CanTraverse(to.edge, false)
+               ? base + (te.length_m - to_arc)
+               : kInf;
+  };
+  const double via_from = arrival_cost(te.from);
+  const double via_to = arrival_cost(te.to);
+
+  const double best = std::min({direct_cost, via_from, via_to});
+  if (!(best < kInf)) {
+    return Status::NotFound(StrFormat("no drivable path from edge %d to %d",
+                                      from.edge, to.edge));
+  }
+
+  Path path;
+  path.length_m = best;
+  if (best == direct_cost) {
+    path.steps.push_back(PathStep{from.edge, direct_forward});
+    path.geometry = fe.geometry.SubLine(from_arc, to_arc);
+    return path;
+  }
+
+  const VertexId entry = via_from <= via_to ? te.from : te.to;
+  // Reconstruct the vertex chain back to whichever seed it started from.
+  std::vector<std::pair<EdgeId, bool>> rev;
+  VertexId v = entry;
+  while (res.prev_edge[static_cast<size_t>(v)] != kInvalidEdge) {
+    const EdgeId e = res.prev_edge[static_cast<size_t>(v)];
+    const VertexId p = res.prev_vertex[static_cast<size_t>(v)];
+    rev.emplace_back(e, network_->edge(e).from == p);
+    v = p;
+  }
+  const VertexId seed_vertex = v;
+
+  // Partial source edge from the start position to the seed vertex.
+  const bool leave_forward = seed_vertex == fe.to;
+  path.steps.push_back(PathStep{from.edge, leave_forward});
+  path.geometry =
+      fe.geometry.SubLine(from_arc, leave_forward ? fe.length_m : 0.0);
+
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    path.steps.push_back(PathStep{it->first, it->second});
+    const geo::Polyline& g = network_->edge(it->first).geometry;
+    path.geometry.Extend(it->second ? g : g.Reversed());
+  }
+
+  // Partial destination edge from the entry vertex to the end position.
+  const bool enter_forward = entry == te.from;
+  path.steps.push_back(PathStep{to.edge, enter_forward});
+  path.geometry.Extend(
+      te.geometry.SubLine(enter_forward ? 0.0 : te.length_m, to_arc));
+  return path;
+}
+
+double Router::NetworkDistance(const EdgePosition& from,
+                               const EdgePosition& to) const {
+  Result<Path> path = ShortestPathBetween(from, to);
+  return path.ok() ? path->length_m : kInf;
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace

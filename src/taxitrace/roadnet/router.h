@@ -1,0 +1,78 @@
+// Dijkstra shortest-path routing over the prepared road network — the
+// stand-in for pgRouting's Dijkstra used by the paper for filling
+// map-matching gaps when consecutive GPS points are far apart.
+
+#ifndef TAXITRACE_ROADNET_ROUTER_H_
+#define TAXITRACE_ROADNET_ROUTER_H_
+
+#include <vector>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/roadnet/road_network.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+/// A traversal of one edge within a path.
+struct PathStep {
+  EdgeId edge = kInvalidEdge;
+  bool forward = true;  ///< Traversed from -> to?
+};
+
+/// A shortest path through the network.
+struct Path {
+  std::vector<PathStep> steps;  ///< Edges in traversal order.
+  double length_m = 0.0;
+  geo::Polyline geometry;  ///< Concatenated driving geometry.
+};
+
+/// Length-minimising Dijkstra router honouring one-way constraints. Holds
+/// a pointer to the network, which must outlive it.
+class Router {
+ public:
+  explicit Router(const RoadNetwork* network);
+
+  /// Shortest drivable path between two vertices. NotFound when the
+  /// destination is unreachable. `edge_cost_multiplier`, when given, must
+  /// have one entry per edge and scales each edge's length for route
+  /// choice (it models driver preference noise); the returned length_m is
+  /// always the real geometric length.
+  Result<Path> ShortestPath(
+      VertexId from, VertexId to,
+      const std::vector<double>* edge_cost_multiplier = nullptr) const;
+
+  /// Shortest drivable path between two positions on edges (as produced
+  /// by map matching). Includes the partial first and last edges in the
+  /// returned geometry/length. NotFound when unreachable.
+  Result<Path> ShortestPathBetween(const EdgePosition& from,
+                                   const EdgePosition& to) const;
+
+  /// Network distance (metres) between two positions; infinity when
+  /// unreachable. Cheaper than ShortestPathBetween when only the distance
+  /// is needed.
+  double NetworkDistance(const EdgePosition& from,
+                         const EdgePosition& to) const;
+
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  struct VertexSearchResult {
+    std::vector<double> dist;
+    std::vector<EdgeId> prev_edge;       // edge used to reach the vertex
+    std::vector<VertexId> prev_vertex;
+  };
+
+  /// Runs Dijkstra from the given seed vertices (with initial costs).
+  VertexSearchResult Search(
+      const std::vector<std::pair<VertexId, double>>& seeds,
+      VertexId stop_at_both_a = kInvalidVertex,
+      VertexId stop_at_both_b = kInvalidVertex,
+      const std::vector<double>* edge_cost_multiplier = nullptr) const;
+
+  const RoadNetwork* network_;
+};
+
+}  // namespace roadnet
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ROADNET_ROUTER_H_

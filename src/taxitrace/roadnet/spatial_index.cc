@@ -1,0 +1,89 @@
+#include "taxitrace/roadnet/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace taxitrace {
+namespace roadnet {
+
+SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
+    : network_(network), cell_size_m_(cell_size_m) {
+  for (const Edge& e : network_->edges()) {
+    const std::vector<geo::EnPoint>& pts = e.geometry.points();
+    std::unordered_set<uint64_t> edge_cells;
+    for (size_t i = 0; i + 1 < pts.size(); ++i) {
+      // Walk the segment at sub-cell steps so no crossed cell is missed.
+      const double len = geo::Distance(pts[i], pts[i + 1]);
+      const int steps =
+          std::max(1, static_cast<int>(std::ceil(len / (cell_size_m_ / 2))));
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        const geo::EnPoint p = pts[i] + t * (pts[i + 1] - pts[i]);
+        const CellKey key = KeyFor(p);
+        const uint64_t packed =
+            (static_cast<uint64_t>(static_cast<uint32_t>(key.cx)) << 32) |
+            static_cast<uint32_t>(key.cy);
+        if (edge_cells.insert(packed).second) {
+          cells_[key].push_back(e.id);
+        }
+      }
+    }
+  }
+}
+
+SpatialIndex::CellKey SpatialIndex::KeyFor(const geo::EnPoint& p) const {
+  return CellKey{static_cast<int32_t>(std::floor(p.x / cell_size_m_)),
+                 static_cast<int32_t>(std::floor(p.y / cell_size_m_))};
+}
+
+std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
+                                                double radius_m) const {
+  // Gather candidate edges from all cells overlapping the query disc's
+  // bounding square, padded by one cell so edge geometry that merely
+  // passes near a cell corner is still found.
+  const int reach =
+      static_cast<int>(std::ceil(radius_m / cell_size_m_)) + 1;
+  const CellKey center = KeyFor(p);
+  std::unordered_set<EdgeId> candidate_edges;
+  for (int dx = -reach; dx <= reach; ++dx) {
+    for (int dy = -reach; dy <= reach; ++dy) {
+      const auto it =
+          cells_.find(CellKey{center.cx + dx, center.cy + dy});
+      if (it == cells_.end()) continue;
+      candidate_edges.insert(it->second.begin(), it->second.end());
+    }
+  }
+  std::vector<EdgeCandidate> out;
+  for (EdgeId id : candidate_edges) {
+    const geo::PolylineProjection proj =
+        network_->edge(id).geometry.Project(p);
+    if (proj.distance <= radius_m) {
+      out.push_back(EdgeCandidate{id, proj});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EdgeCandidate& a, const EdgeCandidate& b) {
+              if (a.projection.distance != b.projection.distance) {
+                return a.projection.distance < b.projection.distance;
+              }
+              return a.edge < b.edge;
+            });
+  return out;
+}
+
+std::optional<EdgeCandidate> SpatialIndex::Nearest(
+    const geo::EnPoint& p, double max_radius_m) const {
+  // Expand the search ring until a hit is found or the cap is reached.
+  double radius = cell_size_m_;
+  while (radius < max_radius_m * 2) {
+    std::vector<EdgeCandidate> found = Nearby(p, std::min(radius, max_radius_m));
+    if (!found.empty()) return found.front();
+    if (radius >= max_radius_m) break;
+    radius *= 2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace

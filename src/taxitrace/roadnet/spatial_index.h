@@ -1,0 +1,68 @@
+// Uniform-grid spatial index over edge geometry, used by map matching and
+// feature attachment to find candidate edges near a GPS point quickly.
+
+#ifndef TAXITRACE_ROADNET_SPATIAL_INDEX_H_
+#define TAXITRACE_ROADNET_SPATIAL_INDEX_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "taxitrace/roadnet/road_network.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+/// An edge near a query point, with the projection details.
+struct EdgeCandidate {
+  EdgeId edge = kInvalidEdge;
+  geo::PolylineProjection projection;  ///< Nearest point on the edge.
+};
+
+/// Uniform grid over the bounding box of a network's edges. Each cell
+/// stores the edges whose geometry passes through it. The index is
+/// immutable after construction and holds a pointer to the network, which
+/// must outlive it.
+class SpatialIndex {
+ public:
+  /// Builds the index. `cell_size_m` trades memory for query precision;
+  /// 50 m suits a downtown-scale network.
+  explicit SpatialIndex(const RoadNetwork* network, double cell_size_m = 50.0);
+
+  /// All edges with a point within `radius_m` of `p`, one candidate per
+  /// edge (its closest projection), sorted by ascending distance.
+  std::vector<EdgeCandidate> Nearby(const geo::EnPoint& p,
+                                    double radius_m) const;
+
+  /// The closest edge within `max_radius_m`, if any.
+  std::optional<EdgeCandidate> Nearest(const geo::EnPoint& p,
+                                       double max_radius_m) const;
+
+  /// The network this index was built over.
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  struct CellKey {
+    int32_t cx;
+    int32_t cy;
+    friend bool operator==(const CellKey&, const CellKey&) = default;
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      return static_cast<size_t>(
+          static_cast<uint64_t>(static_cast<uint32_t>(k.cx)) * 0x9E3779B1U ^
+          (static_cast<uint64_t>(static_cast<uint32_t>(k.cy)) << 17));
+    }
+  };
+
+  CellKey KeyFor(const geo::EnPoint& p) const;
+
+  const RoadNetwork* network_;
+  double cell_size_m_;
+  std::unordered_map<CellKey, std::vector<EdgeId>, CellKeyHash> cells_;
+};
+
+}  // namespace roadnet
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ROADNET_SPATIAL_INDEX_H_

@@ -1,0 +1,31 @@
+#include "taxitrace/roadnet/traffic_element.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+std::string_view TravelDirectionName(TravelDirection d) {
+  switch (d) {
+    case TravelDirection::kBoth:
+      return "both";
+    case TravelDirection::kForward:
+      return "forward";
+    case TravelDirection::kBackward:
+      return "backward";
+  }
+  return "?";
+}
+
+TravelDirection ReverseDirection(TravelDirection d) {
+  switch (d) {
+    case TravelDirection::kForward:
+      return TravelDirection::kBackward;
+    case TravelDirection::kBackward:
+      return TravelDirection::kForward;
+    case TravelDirection::kBoth:
+      return TravelDirection::kBoth;
+  }
+  return TravelDirection::kBoth;
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace

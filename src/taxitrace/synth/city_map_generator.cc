@@ -1,0 +1,513 @@
+#include "taxitrace/synth/city_map_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace synth {
+namespace {
+
+using geo::EnPoint;
+using roadnet::FeatureSpec;
+using roadnet::FeatureType;
+using roadnet::FunctionalClass;
+using roadnet::TrafficElement;
+using roadnet::TravelDirection;
+
+// A street segment between two grid nodes (or a stub), before conversion
+// to traffic elements.
+struct StreetSegment {
+  EnPoint a;
+  EnPoint b;
+  double speed_limit_kmh = 40.0;
+  FunctionalClass functional_class = FunctionalClass::kLocalStreet;
+  TravelDirection direction = TravelDirection::kBoth;
+  std::string name;
+  bool core = false;
+};
+
+// Disjoint-set over grid node indices, used for connectivity repair.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// Coordinate lines of the non-uniform grid: dense inside the core,
+// sparse outside.
+std::vector<double> GridLines(const CityMapOptions& opt, Rng* rng) {
+  std::vector<double> lines;
+  double pos = -opt.extent_m;
+  while (pos <= opt.extent_m + 1.0) {
+    lines.push_back(pos + rng->Uniform(-8.0, 8.0));
+    const double spacing = std::abs(pos) < opt.core_extent_m
+                               ? opt.core_spacing_m
+                               : opt.outer_spacing_m;
+    pos += spacing * rng->Uniform(0.93, 1.07);
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<const GateRoad*> CityMap::FindGate(const std::string& name) const {
+  for (const GateRoad& g : gates) {
+    if (g.name == name) return &g;
+  }
+  return Status::NotFound("no gate named " + name);
+}
+
+Result<CityMap> GenerateCityMap(const CityMapOptions& opt) {
+  if (opt.extent_m <= 0 || opt.core_spacing_m <= 0 ||
+      opt.outer_spacing_m <= 0) {
+    return Status::InvalidArgument("non-positive map dimensions");
+  }
+  Rng rng(opt.seed);
+
+  // --- 1. Grid nodes ------------------------------------------------------
+  const std::vector<double> xs = GridLines(opt, &rng);
+  const std::vector<double> ys = GridLines(opt, &rng);
+  const size_t nx = xs.size();
+  const size_t ny = ys.size();
+  if (nx < 4 || ny < 4) {
+    return Status::InvalidArgument("map too small for a street grid");
+  }
+  const auto node_index = [&](size_t i, size_t j) { return j * nx + i; };
+  std::vector<EnPoint> nodes(nx * ny);
+  for (size_t j = 0; j < ny; ++j) {
+    for (size_t i = 0; i < nx; ++i) {
+      nodes[node_index(i, j)] =
+          EnPoint{xs[i] + rng.Uniform(-12.0, 12.0),
+                  ys[j] + rng.Uniform(-12.0, 12.0)};
+    }
+  }
+  const auto in_core = [&](const EnPoint& p) {
+    return std::abs(p.x) < opt.core_extent_m &&
+           std::abs(p.y) < opt.core_extent_m;
+  };
+  const auto nearest_line = [](const std::vector<double>& lines,
+                               double target) {
+    size_t best = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (std::abs(lines[i] - target) < std::abs(lines[best] - target)) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  // --- 2. Candidate grid street segments ----------------------------------
+  struct GridSegment {
+    size_t na;
+    size_t nb;
+    bool vertical;
+    size_t line;  // column index for vertical, row index for horizontal
+    size_t row;   // lower row index (for vertical segments)
+    bool removed = false;
+    bool river = false;  // removed for the river; never restored
+  };
+  std::vector<GridSegment> grid_segments;
+  for (size_t j = 0; j < ny; ++j) {
+    for (size_t i = 0; i + 1 < nx; ++i) {
+      grid_segments.push_back(GridSegment{
+          node_index(i, j), node_index(i + 1, j), false, j, j});
+    }
+  }
+  for (size_t j = 0; j + 1 < ny; ++j) {
+    for (size_t i = 0; i < nx; ++i) {
+      grid_segments.push_back(GridSegment{
+          node_index(i, j), node_index(i, j + 1), true, i, j});
+    }
+  }
+
+  // --- 3a. The river: drop every crossing of the river band except the
+  //         bridges (the T gate column always carries one).
+  std::vector<int> degree(nodes.size(), 0);
+  for (const GridSegment& s : grid_segments) {
+    ++degree[s.na];
+    ++degree[s.nb];
+  }
+  if (opt.include_river && ny >= 4) {
+    // The river flows between row j_river and j_river + 1.
+    size_t j_river = 1;
+    for (size_t j = 1; j + 2 < ny; ++j) {
+      const double mid = (ys[j] + ys[j + 1]) / 2.0;
+      const double best_mid = (ys[j_river] + ys[j_river + 1]) / 2.0;
+      if (std::abs(mid - opt.river_y_m) <
+          std::abs(best_mid - opt.river_y_m)) {
+        j_river = j;
+      }
+    }
+    std::vector<size_t> bridge_columns;
+    bridge_columns.push_back(nearest_line(xs, 0.0));  // the T corridor
+    for (double bx : opt.bridge_x_m) {
+      bridge_columns.push_back(nearest_line(xs, bx));
+    }
+    for (GridSegment& s : grid_segments) {
+      if (!s.vertical || s.row != j_river || s.removed) continue;
+      if (std::find(bridge_columns.begin(), bridge_columns.end(),
+                    s.line) != bridge_columns.end()) {
+        continue;  // a bridge
+      }
+      s.removed = true;
+      s.river = true;
+      --degree[s.na];
+      --degree[s.nb];
+    }
+  }
+
+  // --- 3b. Irregularity: remove segments, keeping degrees >= 1 and the
+  //         grid connected.
+  for (GridSegment& s : grid_segments) {
+    if (s.removed) continue;
+    const bool core_seg = in_core(nodes[s.na]) && in_core(nodes[s.nb]);
+    const double p = core_seg ? opt.core_removal_fraction
+                              : opt.outer_removal_fraction;
+    if (degree[s.na] > 2 && degree[s.nb] > 2 && rng.Bernoulli(p)) {
+      s.removed = true;
+      --degree[s.na];
+      --degree[s.nb];
+    }
+  }
+  {
+    UnionFind uf(nodes.size());
+    for (const GridSegment& s : grid_segments) {
+      if (!s.removed) uf.Union(s.na, s.nb);
+    }
+    for (GridSegment& s : grid_segments) {
+      // River crossings stay removed; the bridges keep the banks
+      // connected.
+      if (s.removed && !s.river && uf.Union(s.na, s.nb)) {
+        s.removed = false;  // restoring keeps the network connected
+        ++degree[s.na];
+        ++degree[s.nb];
+      }
+    }
+  }
+
+  // --- 4. One-way pair: two adjacent core columns become a north/south
+  //        one-way couple (a structure central Oulu has).
+  size_t oneway_north = 0;
+  size_t oneway_south = 0;
+  {
+    // Pick the column closest to x = -450 (clear of the T and S gate
+    // columns near x = 0 and x = -200) and its right neighbour.
+    size_t best = 0;
+    for (size_t i = 0; i < nx; ++i) {
+      if (std::abs(xs[i] + 450.0) < std::abs(xs[best] + 450.0)) best = i;
+    }
+    oneway_north = best;
+    oneway_south = std::min(best + 1, nx - 1);
+  }
+
+  // --- 5. Street segments with attributes ---------------------------------
+  std::vector<StreetSegment> streets;
+  for (const GridSegment& s : grid_segments) {
+    if (s.removed) continue;
+    StreetSegment street;
+    street.a = nodes[s.na];
+    street.b = nodes[s.nb];
+    street.core = in_core(street.a) && in_core(street.b);
+    street.speed_limit_kmh =
+        street.core ? (rng.Bernoulli(0.12) ? 30.0 : 40.0) : 50.0;
+    street.functional_class = street.core ? FunctionalClass::kLocalStreet
+                                          : FunctionalClass::kConnectingRoad;
+    street.name = s.vertical ? StrFormat("street_c%zu", s.line)
+                             : StrFormat("street_r%zu", s.line);
+    if (s.vertical && street.core &&
+        (s.line == oneway_north || s.line == oneway_south)) {
+      // Digitised south -> north (na has the smaller j): northbound
+      // column allows forward travel, southbound column backward.
+      street.direction = s.line == oneway_north ? TravelDirection::kForward
+                                                : TravelDirection::kBackward;
+    }
+    streets.push_back(std::move(street));
+  }
+
+  // --- 6. Dead-end access stubs -------------------------------------------
+  for (int k = 0; k < opt.num_dead_ends; ++k) {
+    // Prefer nodes outside the very centre.
+    size_t n = 0;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      n = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(nodes.size()) - 1));
+      const double r = geo::Norm(nodes[n]);
+      if (r > opt.core_extent_m * 0.5) break;
+    }
+    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    const double len = rng.Uniform(80.0, 160.0);
+    StreetSegment stub;
+    stub.a = nodes[n];
+    stub.b = nodes[n] + EnPoint{len * std::cos(angle), len * std::sin(angle)};
+    stub.speed_limit_kmh = 30.0;
+    stub.functional_class = FunctionalClass::kAccessRoad;
+    stub.name = StrFormat("access_%d", k);
+    streets.push_back(std::move(stub));
+  }
+
+  // --- 7. Gate roads -------------------------------------------------------
+  // T: north exit near x = 0; S: south exit near x = -200; L: east exit
+  // near y = -250 (the key enter/exit points of the downtown area,
+  // placed so gate-to-gate driving distances match the paper's 2.2-2.4
+  // km medians).
+  struct GateSpec {
+    const char* name;
+    size_t col;   // grid column (T, S) or row (L) the gate road follows
+    bool vertical;
+    bool at_max_end;  // attaches at the max end of the axis?
+    EnPoint outward;  // unit direction away from the city
+  };
+  const GateSpec gate_specs[3] = {
+      {"T", nearest_line(xs, 0.0), true, true, EnPoint{0.12, 1.0}},
+      {"S", nearest_line(xs, -200.0), true, false, EnPoint{-0.12, -1.0}},
+      {"L", nearest_line(ys, -250.0), false, true, EnPoint{1.0, 0.1}},
+  };
+  std::vector<EnPoint> gate_external(3);
+  std::vector<std::vector<EnPoint>> gate_geometry(3);
+  for (int g = 0; g < 3; ++g) {
+    const GateSpec& spec = gate_specs[g];
+    // The gate road runs from outside the map, through the attach node,
+    // and a few blocks inward along its grid line — like the real
+    // arterials at Oulu's enter/exit points, which reach into town.
+    const size_t depth = 2;  // inward grid nodes covered by the gate road
+    std::vector<size_t> chain;  // outermost first
+    for (size_t k = 0; k <= depth; ++k) {
+      size_t idx;
+      if (spec.vertical) {
+        const size_t j = spec.at_max_end ? ny - 1 - k : k;
+        idx = node_index(spec.col, j);
+      } else {
+        const size_t i = spec.at_max_end ? nx - 1 - k : k;
+        idx = node_index(i, spec.col);
+      }
+      chain.push_back(idx);
+    }
+    const EnPoint dir = (1.0 / geo::Norm(spec.outward)) * spec.outward;
+    gate_external[static_cast<size_t>(g)] =
+        nodes[chain.front()] + opt.gate_stub_length_m * dir;
+    StreetSegment gate;
+    gate.a = nodes[chain.front()];
+    gate.b = gate_external[static_cast<size_t>(g)];
+    gate.speed_limit_kmh = 60.0;
+    gate.functional_class = FunctionalClass::kRegionalRoad;
+    gate.name = StrFormat("%s-road", spec.name);
+    streets.push_back(std::move(gate));
+    // Gate descriptor geometry: inbound, external point first.
+    gate_geometry[static_cast<size_t>(g)].push_back(
+        gate_external[static_cast<size_t>(g)]);
+    for (size_t idx : chain) {
+      gate_geometry[static_cast<size_t>(g)].push_back(nodes[idx]);
+    }
+  }
+
+  // --- 8. Streets -> traffic elements -------------------------------------
+  std::vector<TrafficElement> elements;
+  roadnet::ElementId next_id = 121000;
+  for (const StreetSegment& street : streets) {
+    // Gentle curvature: three interior points with small perpendicular
+    // offsets.
+    const EnPoint d = street.b - street.a;
+    const double len = geo::Norm(d);
+    const EnPoint unit = len > 0 ? (1.0 / len) * d : EnPoint{1.0, 0.0};
+    const EnPoint normal{-unit.y, unit.x};
+    std::vector<EnPoint> pts;
+    pts.push_back(street.a);
+    for (int k = 1; k <= 3; ++k) {
+      const double t = k / 4.0;
+      pts.push_back(street.a + (t * len) * unit +
+                    rng.Uniform(-6.0, 6.0) * normal);
+    }
+    pts.push_back(street.b);
+
+    // Optionally split into several traffic elements at interior points.
+    std::vector<size_t> cuts;  // indices into pts where elements split
+    if (rng.Bernoulli(opt.multi_element_fraction)) {
+      cuts.push_back(2);
+      if (rng.Bernoulli(0.4)) cuts.push_back(3);
+    }
+    cuts.push_back(pts.size() - 1);
+    size_t start = 0;
+    for (size_t cut : cuts) {
+      TrafficElement el;
+      el.id = next_id++;
+      el.geometry = geo::Polyline(std::vector<EnPoint>(
+          pts.begin() + static_cast<ptrdiff_t>(start),
+          pts.begin() + static_cast<ptrdiff_t>(cut) + 1));
+      el.speed_limit_kmh = street.speed_limit_kmh;
+      el.functional_class = street.functional_class;
+      el.direction = street.direction;
+      el.road_name = street.name;
+      // Randomly digitise against the chain direction to exercise the
+      // preparation step's orientation handling.
+      if (rng.Bernoulli(0.3)) {
+        el.geometry = el.geometry.Reversed();
+        el.direction = roadnet::ReverseDirection(el.direction);
+      }
+      elements.push_back(std::move(el));
+      start = cut;
+    }
+  }
+
+  // --- 9. Features ----------------------------------------------------------
+  std::vector<FeatureSpec> features;
+  // Traffic lights: junction nodes sampled with centre-biased weights.
+  {
+    std::vector<size_t> junction_nodes;
+    std::vector<double> weights;
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      if (degree[n] < 3) continue;
+      junction_nodes.push_back(n);
+      const double r = geo::Norm(nodes[n]);
+      // Centre-biased, with extra weight on the western half: the
+      // S<->T corridor runs through the administrative centre where
+      // signalised junctions cluster (Fig. 6's line D contrast).
+      const double west_bias = nodes[n].x < 50.0 ? 1.35 : 0.75;
+      weights.push_back(
+          west_bias * std::exp(-(r / 700.0) * (r / 700.0)) + 0.02);
+    }
+    std::unordered_set<size_t> chosen;
+    int guard = 0;
+    while (static_cast<int>(chosen.size()) < opt.target_traffic_lights &&
+           guard++ < 100000 &&
+           chosen.size() < junction_nodes.size()) {
+      const size_t pick = rng.WeightedIndex(weights);
+      if (chosen.insert(pick).second) {
+        features.push_back(FeatureSpec{FeatureType::kTrafficLight,
+                                       nodes[junction_nodes[pick]]});
+      }
+    }
+  }
+  // Pedestrian crossings: near-junction positions on core streets, plus
+  // occasional midblock crossings; sampled to the exact census target.
+  {
+    std::vector<EnPoint> candidates;
+    for (const StreetSegment& street : streets) {
+      if (street.functional_class == FunctionalClass::kAccessRoad) continue;
+      const EnPoint d = street.b - street.a;
+      const double len = geo::Norm(d);
+      if (len < 40.0) continue;
+      const EnPoint unit = (1.0 / len) * d;
+      // Denser on core streets and on the western half (see the light
+      // placement comment above).
+      const double west_bias =
+          (street.a.x + street.b.x) / 2.0 < 50.0 ? 1.25 : 0.7;
+      const double weight = (street.core ? 1.0 : 0.18) * west_bias;
+      if (rng.Bernoulli(weight)) {
+        candidates.push_back(street.a + rng.Uniform(10.0, 18.0) * unit);
+      }
+      if (rng.Bernoulli(weight)) {
+        candidates.push_back(street.b - rng.Uniform(10.0, 18.0) * unit);
+      }
+      if (street.core && rng.Bernoulli(0.18)) {
+        candidates.push_back(street.a + (len * rng.Uniform(0.4, 0.6)) * unit);
+      }
+    }
+    // Shuffle (Fisher-Yates) and take the target count.
+    for (size_t i = candidates.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(candidates[i - 1], candidates[j]);
+    }
+    const size_t take = std::min(
+        candidates.size(), static_cast<size_t>(opt.target_pedestrian_crossings));
+    for (size_t i = 0; i < take; ++i) {
+      features.push_back(
+          FeatureSpec{FeatureType::kPedestrianCrossing, candidates[i]});
+    }
+  }
+  // Bus stops: paired stops along the two central one-way columns and a
+  // central row (the "main street" corridors).
+  {
+    std::vector<EnPoint> stop_positions;
+    const size_t main_row = nearest_line(ys, 50.0);
+    const auto add_along = [&](bool vertical, size_t line) {
+      for (size_t k = 1; k + 1 < (vertical ? ny : nx); k += 2) {
+        const EnPoint p = vertical ? nodes[node_index(line, k)]
+                                   : nodes[node_index(k, main_row)];
+        if (!in_core(p)) continue;
+        const EnPoint offset =
+            vertical ? EnPoint{8.0, 25.0} : EnPoint{25.0, 8.0};
+        stop_positions.push_back(p + offset);
+        stop_positions.push_back(p - offset);
+      }
+    };
+    add_along(true, oneway_north);
+    add_along(true, oneway_south);
+    add_along(false, main_row);
+    add_along(false, nearest_line(ys, -350.0));
+    for (size_t i = 0;
+         i < stop_positions.size() &&
+         static_cast<int>(i) < opt.target_bus_stops;
+         ++i) {
+      features.push_back(FeatureSpec{FeatureType::kBusStop, stop_positions[i]});
+    }
+  }
+
+  // --- 10. Prepare the network ---------------------------------------------
+  CityMap map{roadnet::RoadNetwork(opt.origin), {}, {}, {}, {}, {}, {}};
+  roadnet::MapPreparationOptions prep_options;
+  roadnet::MapPreparationStats prep_stats;
+  TAXITRACE_ASSIGN_OR_RETURN(
+      map.network, PrepareRoadNetwork(elements, features, opt.origin,
+                                      prep_options, &prep_stats));
+  map.preparation_stats = prep_stats;
+
+  // Gate descriptors: inbound geometry, terminal vertex = nearest vertex
+  // to the external stub end.
+  for (int g = 0; g < 3; ++g) {
+    GateRoad gate;
+    gate.name = gate_specs[g].name;
+    gate.geometry = geo::Polyline(gate_geometry[static_cast<size_t>(g)]);
+    double best = std::numeric_limits<double>::infinity();
+    for (const roadnet::Vertex& v : map.network.vertices()) {
+      const double dist =
+          geo::Distance(v.position, gate_external[static_cast<size_t>(g)]);
+      if (dist < best) {
+        best = dist;
+        gate.terminal_vertex = v.id;
+      }
+    }
+    map.gates.push_back(std::move(gate));
+  }
+
+  // Central area: the downtown core with a margin.
+  const double c = opt.core_extent_m + 150.0;
+  map.central_area = geo::MakeRectangle(geo::Bbox{-c, -c, c, c});
+
+  // Hotspots: market-square-like crowded areas south and west of the
+  // centre (so S<->T routes cross them but T<->L routes mostly do not).
+  map.hotspots = {
+      Hotspot{EnPoint{-30.0, -180.0}, 330.0, 0.9},
+      Hotspot{EnPoint{-280.0, 120.0}, 220.0, 0.65},
+      Hotspot{EnPoint{-120.0, 520.0}, 200.0, 0.5},
+      Hotspot{EnPoint{120.0, -480.0}, 170.0, 0.45},
+  };
+  map.source_elements = std::move(elements);
+  map.source_features = std::move(features);
+  return map;
+}
+
+}  // namespace synth
+}  // namespace taxitrace

@@ -1,0 +1,107 @@
+// Synthetic downtown-Oulu-like city map — the stand-in for the Digiroad
+// extract of the paper's study area.
+//
+// The generated map reproduces the structural properties the analysis
+// depends on: a dense rectilinear downtown core inside a sparser outer
+// street network, three gate roads (T, S, L) at the key enter/exit points
+// of the centre, one-way street pairs, dead-end access roads, and a
+// feature census calibrated to the paper's {67 traffic lights, 48 bus
+// stops, 293 pedestrian crossings, 271 other junctions}.
+
+#ifndef TAXITRACE_SYNTH_CITY_MAP_GENERATOR_H_
+#define TAXITRACE_SYNTH_CITY_MAP_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/common/result.h"
+#include "taxitrace/geo/polygon.h"
+#include "taxitrace/roadnet/map_preparation.h"
+#include "taxitrace/roadnet/road_network.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// A pedestrian-activity hotspot (market square, event area). The driver
+/// model slows traffic inside hotspots; they reproduce the paper's
+/// "crowded areas" whose effect on speed is not explained by static map
+/// features alone.
+struct Hotspot {
+  geo::EnPoint center;
+  double radius_m = 200.0;
+  double intensity = 0.5;  ///< 0 (no effect) .. 1 (severe slowdown).
+};
+
+/// One of the named origin/destination gate roads (T, S, L).
+struct GateRoad {
+  std::string name;
+  /// Road centre line oriented inbound (from outside the area towards
+  /// the centre).
+  geo::Polyline geometry;
+  /// The dead-end vertex at the outer end of the gate road.
+  roadnet::VertexId terminal_vertex = roadnet::kInvalidVertex;
+};
+
+/// A generated city: network, gates, centre polygon and hotspots.
+struct CityMap {
+  roadnet::RoadNetwork network;
+  std::vector<GateRoad> gates;  ///< In order T, S, L.
+  geo::Polygon central_area;    ///< The "city centre" containment region.
+  std::vector<Hotspot> hotspots;
+  roadnet::MapPreparationStats preparation_stats;
+  /// The raw inputs the network was prepared from (the Digiroad-extract
+  /// stand-in); round-trippable through roadnet/map_io.h.
+  std::vector<roadnet::TrafficElement> source_elements;
+  std::vector<roadnet::FeatureSpec> source_features;
+
+  /// The gate with the given name ("T", "S" or "L").
+  Result<const GateRoad*> FindGate(const std::string& name) const;
+};
+
+/// Generator knobs. The defaults reproduce the paper's study area.
+struct CityMapOptions {
+  uint64_t seed = 20121001;
+  /// Half-extent of the street grid, metres. Together with the gate stub
+  /// length this sets gate-to-gate driving distances at the paper's
+  /// ~2.2-2.4 km medians.
+  double extent_m = 1000.0;
+  /// Half-extent of the dense downtown core, metres.
+  double core_extent_m = 800.0;
+  /// Street spacing inside / outside the core, metres (central Oulu
+  /// blocks are roughly 100 m).
+  double core_spacing_m = 104.0;
+  double outer_spacing_m = 260.0;
+  /// Length of the three gate road stubs, metres.
+  double gate_stub_length_m = 250.0;
+  /// Downtown Oulu sits on a river: street crossings over the river
+  /// band exist only at bridges, funnelling north-south traffic.
+  bool include_river = true;
+  /// Latitude band of the river (centre), metres north of the origin.
+  double river_y_m = 870.0;
+  /// Approximate x positions of the bridges (the T gate column always
+  /// carries a bridge).
+  std::vector<double> bridge_x_m = {-650.0, 0.0, 650.0};
+  /// Fraction of grid street segments removed for irregularity.
+  double core_removal_fraction = 0.08;
+  double outer_removal_fraction = 0.20;
+  /// Probability that a street segment is digitised as several traffic
+  /// elements (exercises the map-preparation merge).
+  double multi_element_fraction = 0.35;
+  /// Number of dead-end access stubs.
+  int num_dead_ends = 16;
+  /// Feature census targets (paper Fig. 6 text).
+  int target_traffic_lights = 67;
+  int target_bus_stops = 48;
+  int target_pedestrian_crossings = 293;
+  /// WGS84 anchor of the local frame (downtown Oulu).
+  geo::LatLon origin{65.0121, 25.4682};
+};
+
+/// Generates a city map. Deterministic in `options.seed`.
+Result<CityMap> GenerateCityMap(const CityMapOptions& options = {});
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_CITY_MAP_GENERATOR_H_

@@ -1,0 +1,126 @@
+// Microscopic driver model: turns a routed path into a second-by-second
+// drive with realistic speed dynamics — acceleration limits, stochastic
+// traffic-light stops (including the rare ~200 s error situation the
+// paper's segmentation rules reference), pedestrian-crossing slowdowns,
+// crowd hotspots, rush-hour congestion, and weather/season effects.
+
+#ifndef TAXITRACE_SYNTH_DRIVER_MODEL_H_
+#define TAXITRACE_SYNTH_DRIVER_MODEL_H_
+
+#include <vector>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/roadnet/router.h"
+#include "taxitrace/roadnet/spatial_index.h"
+#include "taxitrace/synth/city_map_generator.h"
+#include "taxitrace/synth/pedestrian_model.h"
+#include "taxitrace/synth/weather_model.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// One instant of a simulated drive.
+struct DriveSample {
+  double t_s = 0.0;            ///< Study timestamp.
+  geo::EnPoint position;       ///< True (noise-free) position.
+  double speed_kmh = 0.0;      ///< True speed.
+  double heading_rad = 0.0;    ///< Travel heading.
+  double fuel_delta_ml = 0.0;  ///< Fuel burnt since the previous sample.
+};
+
+/// Behaviour and vehicle parameters.
+struct DriverOptions {
+  double accel_ms2 = 1.6;
+  double decel_ms2 = 2.2;
+  /// Probability of having to stop at a passed traffic light.
+  double light_stop_prob = 0.55;
+  /// Red-light waits: uniform within [min,max]; with `light_error_prob`
+  /// the light is faulty and the wait runs to ~200 s (after which it
+  /// switches to blinking yellow — Section IV-C).
+  double light_wait_min_s = 8.0;
+  double light_wait_max_s = 75.0;
+  double light_error_prob = 0.004;
+  double light_error_wait_s = 200.0;
+  /// Pedestrian crossings: slowdown probability (scaled up inside
+  /// hotspots) and the speed driven past an occupied crossing.
+  double crossing_slow_prob = 0.45;
+  double crossing_slow_kmh = 14.0;
+  double crossing_stop_prob_in_hotspot = 0.30;
+  /// Bus stops: probability of being briefly stuck behind a bus.
+  double bus_slow_prob = 0.12;
+  /// Probability that a queue discharges slowly after a stop (a short
+  /// crawl at walking pace past the stop line).
+  double queue_crawl_prob = 0.8;
+  /// Rate (events per second at full crowd intensity) of ad-hoc
+  /// pedestrian-induced crawls while driving inside a hotspot.
+  double hotspot_crawl_rate_per_s = 0.16;
+  /// Fuel model (millilitres): idle rate plus speed and acceleration
+  /// terms, calibrated so the Table 4 gate-to-gate trips land at the
+  /// paper's ~210-265 ml.
+  double fuel_idle_ml_s = 0.14;
+  double fuel_speed_ml_per_m = 0.036;
+  double fuel_speed2_ml_s_per_ms2 = 0.0007;
+  double fuel_accel_ml_per_ms = 0.75;
+  /// Simulation step, seconds.
+  double step_s = 1.0;
+  /// Radius within which a feature affects a passing car, metres.
+  double feature_influence_radius_m = 25.0;
+};
+
+/// Simulates drives over a generated city. Holds pointers to the map and
+/// weather model, which must outlive it.
+class DriverModel {
+ public:
+  /// `pedestrians` (optional) makes hotspot crowding time-varying; when
+  /// null the hotspots' static intensities apply at all times.
+  DriverModel(const CityMap* map, const WeatherModel* weather,
+              DriverOptions options = {},
+              const PedestrianModel* pedestrians = nullptr);
+
+  /// Drives `path` starting at `start_time_s`. `driver_factor` scales the
+  /// driver's preferred speed (1.0 = drives at the limit). Deterministic
+  /// given `rng` state.
+  std::vector<DriveSample> Drive(const roadnet::Path& path,
+                                 double start_time_s, double driver_factor,
+                                 Rng* rng) const;
+
+  /// Engine-on idling at a fixed position (taxi stand / customer wait).
+  /// Samples are spaced ~10 s apart.
+  std::vector<DriveSample> Idle(const geo::EnPoint& position,
+                                double start_time_s, double duration_s) const;
+
+  /// Multiplier (< 1 inside hotspots) applied to target speed at `p`.
+  double HotspotFactor(const geo::EnPoint& p) const;
+
+  /// Crowd intensity at `p`: 0 outside hotspots, up to the hotspot's
+  /// intensity at its centre (static profile).
+  double HotspotIntensity(const geo::EnPoint& p) const;
+
+  /// Crowd intensity at `p` and time `t`: the pedestrian model's
+  /// time-varying level when present, else the static profile.
+  double CrowdIntensity(const geo::EnPoint& p, double timestamp_s) const;
+
+  /// Seasonal speed multiplier for a timestamp (autumn fastest, winter
+  /// slowest — the ordering the paper reports).
+  static double SeasonFactor(double timestamp_s);
+
+  const DriverOptions& options() const { return options_; }
+
+ private:
+  struct EdgeEvent {
+    roadnet::FeatureType type;
+    double arc_on_edge_m;  ///< Offset along the edge geometry.
+  };
+
+  const CityMap* map_;
+  const WeatherModel* weather_;
+  const PedestrianModel* pedestrians_;
+  DriverOptions options_;
+  /// Per-edge feature events, precomputed from the map.
+  std::vector<std::vector<EdgeEvent>> edge_events_;
+};
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_DRIVER_MODEL_H_

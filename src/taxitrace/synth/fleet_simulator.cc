@@ -1,0 +1,198 @@
+#include "taxitrace/synth/fleet_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace synth {
+namespace {
+
+using roadnet::VertexId;
+
+// Mutable state of one simulated car-day run.
+struct CarState {
+  VertexId position;
+  double time_s;
+  int64_t next_point_id;
+  trace::Trip current_trip;  // engine-on run being accumulated
+};
+
+}  // namespace
+
+double TaxiDemandWeight(double hour_of_day, bool weekend) {
+  const double h = std::fmod(std::fmod(hour_of_day, 24.0) + 24.0, 24.0);
+  if (weekend) {
+    if (h >= 18.0 || h < 2.0) return 1.5;  // evening/night peak
+    if (h >= 10.0) return 1.0;
+    return 0.5;
+  }
+  if (h >= 7.0 && h < 9.0) return 1.4;   // morning commute
+  if (h >= 15.0 && h < 18.0) return 1.4; // afternoon commute
+  if (h >= 9.0 && h < 15.0) return 1.0;
+  if (h >= 18.0 && h < 23.0) return 0.9;
+  return 0.4;  // night
+}
+
+FleetSimulator::FleetSimulator(const CityMap* map,
+                               const WeatherModel* weather,
+                               FleetOptions options,
+                               const PedestrianModel* pedestrians)
+    : map_(map),
+      weather_(weather),
+      pedestrians_(pedestrians),
+      options_(options) {}
+
+Result<FleetResult> FleetSimulator::Run() const {
+  if (options_.num_cars <= 0 || options_.num_days <= 0) {
+    return Status::InvalidArgument("fleet needs at least one car and day");
+  }
+  const roadnet::RoadNetwork& network = map_->network;
+  const roadnet::Router router(&network);
+  const PedestrianModel own_pedestrians =
+      pedestrians_ == nullptr
+          ? PedestrianModel(options_.seed + 17, map_->hotspots,
+                            options_.num_days)
+          : PedestrianModel(*pedestrians_);
+  const DriverModel driver(map_, weather_, options_.driver,
+                           &own_pedestrians);
+  const SensorModel sensor(options_.sensor);
+
+  FleetResult result;
+  Rng master(options_.seed);
+  int64_t next_trip_id = 1;
+
+  const auto random_vertex = [&](Rng* rng) {
+    return static_cast<VertexId>(rng->UniformInt(
+        0, static_cast<int64_t>(network.vertices().size()) - 1));
+  };
+  const auto random_gate_vertex = [&](Rng* rng) {
+    const size_t g = static_cast<size_t>(rng->UniformInt(0, 2));
+    return map_->gates[g].terminal_vertex;
+  };
+
+  for (int car = 1; car <= options_.num_cars; ++car) {
+    Rng rng = master.Fork();
+    const double activity = rng.Uniform(0.6, 1.45);
+    const double car_driver_skill = rng.Uniform(0.9, 1.06);
+
+    CarState state;
+    state.position = random_vertex(&rng);
+    state.next_point_id = 1;
+    state.current_trip = trace::Trip{};
+
+    const auto begin_trip = [&](double t) {
+      state.current_trip = trace::Trip{};
+      state.current_trip.trip_id = next_trip_id++;
+      state.current_trip.car_id = car;
+      state.time_s = t;
+    };
+    const auto finish_trip = [&]() -> Status {
+      if (state.current_trip.points.size() >= 2) {
+        state.current_trip.RecomputeTotals();
+        TAXITRACE_RETURN_IF_ERROR(
+            result.store.AddTrip(std::move(state.current_trip)));
+      }
+      state.current_trip = trace::Trip{};
+      return Status::OK();
+    };
+    const auto observe = [&](const std::vector<DriveSample>& samples) {
+      std::vector<trace::RoutePoint> points = sensor.Observe(
+          samples, state.current_trip.trip_id, &state.next_point_id,
+          network.projection(), &rng);
+      auto& dst = state.current_trip.points;
+      dst.insert(dst.end(), points.begin(), points.end());
+    };
+    // Drives from the current position to `dest`; returns false when no
+    // route exists (should not happen on a connected map).
+    std::vector<double> multipliers(network.edges().size(), 1.0);
+    const auto drive_to = [&](VertexId dest, double driver_factor) {
+      for (double& m : multipliers) {
+        m = rng.Uniform(1.0 - options_.route_weight_noise,
+                        1.0 + options_.route_weight_noise);
+      }
+      Result<roadnet::Path> path =
+          router.ShortestPath(state.position, dest, &multipliers);
+      if (!path.ok() || path->length_m < 1.0) return false;
+      const std::vector<DriveSample> samples =
+          driver.Drive(*path, state.time_s, driver_factor, &rng);
+      if (samples.empty()) return false;
+      observe(samples);
+      state.time_s = samples.back().t_s;
+      state.position = dest;
+      return true;
+    };
+
+    for (int day = 0; day < options_.num_days; ++day) {
+      // Weekend shifts start later (evening/night traffic).
+      const bool weekend =
+          trace::IsWeekend(day * trace::kSecondsPerDay);
+      const double shift_start_h =
+          weekend ? rng.Uniform(9.0, 13.0) : rng.Uniform(5.5, 10.0);
+      const double shift_len_h = rng.Uniform(7.0, 12.0);
+      double t = day * trace::kSecondsPerDay + shift_start_h * 3600.0;
+      const double shift_end = t + shift_len_h * 3600.0;
+
+      const int customers = std::max(
+          1, rng.Poisson(options_.mean_customers_per_day * activity));
+      begin_trip(t);
+
+      for (int c = 0; c < customers && state.time_s < shift_end; ++c) {
+        // Pick a destination; trips touching the gates model traffic in
+        // and out of the downtown area.
+        VertexId dest;
+        if (c == 0 && rng.Bernoulli(options_.gate_origin_prob)) {
+          // Reposition to a gate first: the customer ride then starts at
+          // the gate (an arriving fare).
+          dest = random_gate_vertex(&rng);
+          if (dest != state.position &&
+              drive_to(dest, car_driver_skill * rng.Uniform(0.92, 1.08))) {
+            ++result.num_reposition_drives;
+          }
+        }
+        dest = rng.Bernoulli(options_.gate_dest_prob)
+                   ? random_gate_vertex(&rng)
+                   : random_vertex(&rng);
+        if (dest == state.position) continue;
+        if (!drive_to(dest, car_driver_skill * rng.Uniform(0.92, 1.08))) {
+          continue;
+        }
+        ++result.num_customer_drives;
+
+        // After the drop-off: engine off (ends the raw trip), or keep the
+        // engine running through a stand wait, possibly repositioning.
+        const double demand = TaxiDemandWeight(
+            trace::HourOfDay(state.time_s),
+            trace::IsWeekend(state.time_s));
+        if (rng.Bernoulli(options_.engine_off_prob)) {
+          TAXITRACE_RETURN_IF_ERROR(finish_trip());
+          state.time_s += rng.Uniform(120.0, 1500.0) / demand;
+          begin_trip(state.time_s);
+        } else {
+          const double wait_s = rng.Uniform(180.0, 1800.0) / demand;
+          observe(driver.Idle(
+              network.vertex(state.position).position, state.time_s,
+              std::min(wait_s, std::max(0.0, shift_end - state.time_s))));
+          state.time_s += wait_s;
+          if (rng.Bernoulli(options_.reposition_prob)) {
+            // Short hop to a nearby stand.
+            const VertexId hop = random_vertex(&rng);
+            Result<roadnet::Path> probe =
+                router.ShortestPath(state.position, hop);
+            if (probe.ok() && probe->length_m < 900.0 &&
+                probe->length_m > 1.0 &&
+                drive_to(hop, car_driver_skill)) {
+              ++result.num_reposition_drives;
+            }
+          }
+        }
+      }
+      TAXITRACE_RETURN_IF_ERROR(finish_trip());
+    }
+  }
+  return result;
+}
+
+}  // namespace synth
+}  // namespace taxitrace

@@ -1,0 +1,87 @@
+// Fleet simulator: generates a year of raw taxi traces for a fleet of
+// cars over a generated city — the stand-in for the seven Driveco-
+// equipped taxis that collected the paper's data in Oulu during
+// 1.10.2012-31.9.2013.
+//
+// The simulation reproduces the taxi-specific behaviours the paper's
+// methods target: day-long engine-on runs covering many customers (so
+// time-based segmentation is required), stand waits between customers,
+// short repositioning hops, and free route choice between origins and
+// destinations.
+
+#ifndef TAXITRACE_SYNTH_FLEET_SIMULATOR_H_
+#define TAXITRACE_SYNTH_FLEET_SIMULATOR_H_
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/synth/driver_model.h"
+#include "taxitrace/synth/pedestrian_model.h"
+#include "taxitrace/synth/sensor_model.h"
+#include "taxitrace/synth/weather_model.h"
+#include "taxitrace/trace/trace_store.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// Fleet-level knobs. Defaults approximate the paper's collection
+/// campaign (7 taxis, one year, ~30 000 trips).
+struct FleetOptions {
+  int num_cars = 7;
+  int num_days = 365;
+  uint64_t seed = 20121001;
+  /// Mean customer drives per car-day (scaled per car by an activity
+  /// factor in [0.6, 1.45]).
+  double mean_customers_per_day = 11.0;
+  /// Probability the engine is switched off after a drop-off (ends the
+  /// raw trip); otherwise the engine keeps running through the wait.
+  double engine_off_prob = 0.72;
+  /// Probability that a customer trip starts / ends at one of the T, S,
+  /// L gate roads (entering or leaving the downtown area).
+  double gate_origin_prob = 0.12;
+  double gate_dest_prob = 0.12;
+  /// Probability of a short repositioning hop after a drop-off.
+  double reposition_prob = 0.30;
+  /// Route-choice preference noise: per-trip edge cost multipliers are
+  /// drawn from [1 - noise, 1 + noise].
+  double route_weight_noise = 0.25;
+  DriverOptions driver;
+  SensorOptions sensor;
+};
+
+/// Relative taxi demand at an hour of day (mean ~1 over a day): morning
+/// and afternoon peaks on weekdays, an evening/night peak on weekends.
+/// Waits between customers scale inversely with demand.
+double TaxiDemandWeight(double hour_of_day, bool weekend);
+
+/// Outcome of a simulation run.
+struct FleetResult {
+  trace::TraceStore store;        ///< Raw (uncleaned) trips.
+  int64_t num_customer_drives = 0;
+  int64_t num_reposition_drives = 0;
+};
+
+/// Simulates the fleet. Holds pointers to the map and weather model,
+/// which must outlive it.
+class FleetSimulator {
+ public:
+  /// `pedestrians` (optional) supplies time-varying crowd activity; when
+  /// null the simulator builds its own from `options.seed + 17`.
+  FleetSimulator(const CityMap* map, const WeatherModel* weather,
+                 FleetOptions options = {},
+                 const PedestrianModel* pedestrians = nullptr);
+
+  /// Runs the full simulation. Deterministic in options.seed.
+  Result<FleetResult> Run() const;
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  const CityMap* map_;
+  const WeatherModel* weather_;
+  const PedestrianModel* pedestrians_;
+  FleetOptions options_;
+};
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_FLEET_SIMULATOR_H_

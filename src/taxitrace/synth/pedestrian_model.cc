@@ -1,0 +1,82 @@
+#include "taxitrace/synth/pedestrian_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace synth {
+
+double PedestrianDiurnalCurve(double hour_of_day, bool weekend) {
+  const double h =
+      std::fmod(std::fmod(hour_of_day, 24.0) + 24.0, 24.0);
+  if (h < 6.0) return 0.15;
+  if (h < 9.0) return weekend ? 0.3 : 0.8;
+  if (h < 12.0) return 1.0;
+  if (h < 15.0) return 1.3;  // midday shopping peak
+  if (h < 18.0) return 1.2;
+  if (h < 22.0) return weekend ? 1.4 : 0.9;  // weekend evening peak
+  return 0.4;
+}
+
+PedestrianModel::PedestrianModel(uint64_t seed,
+                                 std::vector<Hotspot> hotspots,
+                                 int num_days)
+    : hotspots_(std::move(hotspots)) {
+  Rng rng(seed);
+  daily_factor_.resize(hotspots_.size());
+  for (auto& series : daily_factor_) {
+    series.reserve(static_cast<size_t>(num_days));
+    double noise = 0.0;
+    for (int d = 0; d < num_days; ++d) {
+      noise = 0.6 * noise + rng.Gaussian(0.0, 0.15);
+      series.push_back(std::clamp(1.0 + noise, 0.4, 1.6));
+    }
+  }
+}
+
+double PedestrianModel::ActivityAt(size_t index,
+                                   double timestamp_s) const {
+  if (index >= daily_factor_.size()) return 0.0;
+  const std::vector<double>& series = daily_factor_[index];
+  if (series.empty()) return 0.0;
+  const int day = std::clamp(trace::DayOfStudy(timestamp_s), 0,
+                             static_cast<int>(series.size()) - 1);
+  return series[static_cast<size_t>(day)] *
+         PedestrianDiurnalCurve(trace::HourOfDay(timestamp_s),
+                                trace::IsWeekend(timestamp_s));
+}
+
+double PedestrianModel::CrowdIntensityAt(const geo::EnPoint& position,
+                                         double timestamp_s) const {
+  double intensity = 0.0;
+  for (size_t i = 0; i < hotspots_.size(); ++i) {
+    const Hotspot& h = hotspots_[i];
+    const double d = geo::Distance(position, h.center);
+    if (d >= h.radius_m) continue;
+    const double depth = 1.0 - d / h.radius_m;
+    intensity = std::max(
+        intensity, h.intensity * depth * ActivityAt(i, timestamp_s));
+  }
+  return std::min(intensity, 1.0);
+}
+
+double PedestrianModel::MeanDaytimeActivity(size_t index) const {
+  if (index >= daily_factor_.size()) return 0.0;
+  const std::vector<double>& series = daily_factor_[index];
+  double sum = 0.0;
+  int64_t n = 0;
+  for (size_t d = 0; d < series.size(); ++d) {
+    for (int h = 9; h < 21; ++h) {
+      sum += ActivityAt(index, static_cast<double>(d) *
+                                       trace::kSecondsPerDay +
+                                   h * 3600.0);
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace synth
+}  // namespace taxitrace

@@ -1,0 +1,56 @@
+// Pedestrian activity model — the stand-in for the city-wide WiFi
+// sensing of Kostakos et al. that the paper uses to explain crowded
+// areas ("hotspots, crowded areas with a lot of pedestrians moving, have
+// an effect on the results"). Produces a deterministic crowd-activity
+// level per hotspot over time: a diurnal curve (midday and evening
+// peaks), weekend boosts and day-to-day noise.
+
+#ifndef TAXITRACE_SYNTH_PEDESTRIAN_MODEL_H_
+#define TAXITRACE_SYNTH_PEDESTRIAN_MODEL_H_
+
+#include <vector>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/synth/city_map_generator.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// Deterministic pedestrian activity per hotspot. Owns a copy of the
+/// hotspot list, so it has no lifetime coupling to the map.
+class PedestrianModel {
+ public:
+  /// Builds daily activity factors for `num_days` days.
+  PedestrianModel(uint64_t seed, std::vector<Hotspot> hotspots,
+                  int num_days = 365);
+
+  /// Activity of hotspot `index` at a study timestamp, in [0, ~1.5]:
+  /// 1.0 is the hotspot's nominal (static) crowding.
+  double ActivityAt(size_t index, double timestamp_s) const;
+
+  /// Crowd intensity at a position: the hotspot spatial profile scaled
+  /// by the current activity (replaces the static intensity).
+  double CrowdIntensityAt(const geo::EnPoint& position,
+                          double timestamp_s) const;
+
+  /// Mean activity of hotspot `index` over the daytime hours (09-21) of
+  /// the whole study — what a WiFi census would report.
+  double MeanDaytimeActivity(size_t index) const;
+
+  /// The hotspots this model animates.
+  const std::vector<Hotspot>& hotspots() const { return hotspots_; }
+
+ private:
+  std::vector<Hotspot> hotspots_;
+  /// [hotspot][day] day-to-day multiplier.
+  std::vector<std::vector<double>> daily_factor_;
+};
+
+/// The shared diurnal pedestrian curve (midday and evening peaks;
+/// near-empty streets at night), mean ~1 over the active day.
+double PedestrianDiurnalCurve(double hour_of_day, bool weekend);
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_PEDESTRIAN_MODEL_H_

@@ -1,0 +1,111 @@
+#include "taxitrace/synth/sensor_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taxitrace {
+namespace synth {
+
+SensorModel::SensorModel(SensorOptions options) : options_(options) {}
+
+std::vector<trace::RoutePoint> SensorModel::Observe(
+    const std::vector<DriveSample>& samples, int64_t trip_id,
+    int64_t* next_point_id, const geo::LocalProjection& projection,
+    Rng* rng) const {
+  std::vector<trace::RoutePoint> points;
+  if (samples.empty()) return points;
+
+  double pending_fuel = 0.0;
+  const DriveSample* last_emitted = nullptr;
+  geo::EnPoint last_pos{};
+
+  const auto emit = [&](const DriveSample& s) {
+    geo::EnPoint noisy =
+        s.position + geo::EnPoint{rng->Gaussian(0.0, options_.gps_sigma_m),
+                                  rng->Gaussian(0.0, options_.gps_sigma_m)};
+    if (rng->Bernoulli(options_.outlier_prob)) {
+      const double angle = rng->Uniform(0.0, 2.0 * M_PI);
+      noisy = noisy + geo::EnPoint{options_.outlier_jump_m * std::cos(angle),
+                                   options_.outlier_jump_m * std::sin(angle)};
+    }
+    trace::RoutePoint p;
+    p.point_id = (*next_point_id)++;
+    p.trip_id = trip_id;
+    p.timestamp_s = s.t_s;
+    p.position = projection.Inverse(noisy);
+    p.speed_kmh = std::max(
+        0.0, s.speed_kmh + rng->Gaussian(0.0, options_.speed_sigma_kmh));
+    p.fuel_delta_ml = pending_fuel + s.fuel_delta_ml;
+    pending_fuel = 0.0;
+    points.push_back(p);
+    last_emitted = &s;
+    last_pos = s.position;
+  };
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const DriveSample& s = samples[i];
+    if (last_emitted == nullptr || i + 1 == samples.size()) {
+      emit(s);
+      continue;
+    }
+    const double dt = s.t_s - last_emitted->t_s;
+    const bool moving = s.speed_kmh > 3.0;
+    const double heading_delta =
+        geo::AngleBetweenHeadings(s.heading_rad, last_emitted->heading_rad) *
+        180.0 / M_PI;
+    const bool trip_change =
+        (moving && heading_delta > options_.heading_threshold_deg) ||
+        std::abs(s.speed_kmh - last_emitted->speed_kmh) >
+            options_.speed_threshold_kmh ||
+        geo::Distance(s.position, last_pos) > options_.max_distance_m ||
+        dt > (moving ? options_.max_moving_interval_s
+                     : options_.max_stationary_interval_s);
+    if (trip_change) {
+      emit(s);
+    } else {
+      pending_fuel += s.fuel_delta_ml;
+    }
+  }
+  ApplyTransportDefects(&points, rng);
+  return points;
+}
+
+void SensorModel::ApplyTransportDefects(
+    std::vector<trace::RoutePoint>* points, Rng* rng) const {
+  std::vector<trace::RoutePoint>& pts = *points;
+  if (pts.size() < 4) return;
+
+  // Latency scrambling: swap the timestamps (or the ids) of a few
+  // adjacent pairs, so exactly one of the two orderings reconstructs the
+  // true sequence.
+  if (rng->Bernoulli(options_.timestamp_glitch_prob)) {
+    for (int k = 0; k < options_.glitch_swaps; ++k) {
+      const size_t i = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
+      std::swap(pts[i].timestamp_s, pts[i + 1].timestamp_s);
+    }
+  } else if (rng->Bernoulli(options_.id_glitch_prob)) {
+    for (int k = 0; k < options_.glitch_swaps; ++k) {
+      const size_t i = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
+      std::swap(pts[i].point_id, pts[i + 1].point_id);
+    }
+  }
+
+  // Drops and duplicates (interior points only, so trips keep their
+  // endpoints).
+  std::vector<trace::RoutePoint> out;
+  out.reserve(pts.size() + 2);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const bool interior = i > 0 && i + 1 < pts.size();
+    if (interior && rng->Bernoulli(options_.drop_prob)) continue;
+    out.push_back(pts[i]);
+    if (interior && rng->Bernoulli(options_.dup_prob)) {
+      out.push_back(pts[i]);  // duplicated record (same id, timestamp)
+    }
+  }
+  pts = std::move(out);
+}
+
+}  // namespace synth
+}  // namespace taxitrace

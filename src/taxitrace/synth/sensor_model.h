@@ -1,0 +1,79 @@
+// Sensor/transport defect model: converts a continuous drive into the
+// event-driven route points a Driveco-style on-board unit would report,
+// then applies the data defects the paper's cleaning pipeline exists to
+// repair — GPS noise and outliers, duplicated and dropped points, and
+// id/timestamp sequences scrambled by server-arrival latency.
+
+#ifndef TAXITRACE_SYNTH_SENSOR_MODEL_H_
+#define TAXITRACE_SYNTH_SENSOR_MODEL_H_
+
+#include <vector>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/synth/driver_model.h"
+#include "taxitrace/trace/route_point.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// Emission thresholds and defect rates.
+struct SensorOptions {
+  /// A point is emitted when any of these change thresholds trips
+  /// (no fixed sampling rate — Section III).
+  double heading_threshold_deg = 15.0;
+  double speed_threshold_kmh = 6.0;
+  double max_moving_interval_s = 60.0;
+  double max_stationary_interval_s = 40.0;
+  double max_distance_m = 300.0;
+
+  /// GPS position noise, metres (per axis).
+  double gps_sigma_m = 6.0;
+  /// Probability of a gross GPS outlier and its jump size.
+  double outlier_prob = 0.004;
+  double outlier_jump_m = 450.0;
+  /// Speed measurement noise, km/h.
+  double speed_sigma_kmh = 0.6;
+
+  /// Per-trip probability that device->server latency scrambles the
+  /// timestamp sequence / the id sequence (Section IV-B defect model).
+  double timestamp_glitch_prob = 0.15;
+  double id_glitch_prob = 0.12;
+  /// Number of adjacent-pair swaps a glitch introduces.
+  int glitch_swaps = 2;
+
+  /// Point drop / duplication rates.
+  double drop_prob = 0.01;
+  double dup_prob = 0.004;
+};
+
+/// Stateless observer; all randomness flows through the caller's Rng.
+class SensorModel {
+ public:
+  explicit SensorModel(SensorOptions options = {});
+
+  /// Emits route points for one drive (or idle period). Appends to the
+  /// device's monotone point-id counter via `next_point_id`. The output
+  /// order is the device generation order; defect application may leave
+  /// the id or timestamp fields out of order, as happens on the real
+  /// server link.
+  std::vector<trace::RoutePoint> Observe(
+      const std::vector<DriveSample>& samples, int64_t trip_id,
+      int64_t* next_point_id, const geo::LocalProjection& projection,
+      Rng* rng) const;
+
+  /// Applies only the transport defects (id/timestamp scrambling, drops,
+  /// duplicates) to already-emitted points. Exposed for targeted tests
+  /// of the cleaning pipeline.
+  void ApplyTransportDefects(std::vector<trace::RoutePoint>* points,
+                             Rng* rng) const;
+
+  const SensorOptions& options() const { return options_; }
+
+ private:
+  SensorOptions options_;
+};
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_SENSOR_MODEL_H_

@@ -1,0 +1,80 @@
+#include "taxitrace/synth/weather_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace synth {
+
+TemperatureClass ClassifyTemperature(double celsius) {
+  if (celsius <= -15.0) return TemperatureClass::kBelowMinus15;
+  if (celsius <= -5.0) return TemperatureClass::kMinus15ToMinus5;
+  if (celsius <= 0.0) return TemperatureClass::kMinus5To0;
+  if (celsius <= 5.0) return TemperatureClass::k0To5;
+  if (celsius <= 15.0) return TemperatureClass::k5To15;
+  return TemperatureClass::kAbove15;
+}
+
+std::string_view TemperatureClassLabel(TemperatureClass c) {
+  switch (c) {
+    case TemperatureClass::kBelowMinus15:
+      return "<=-15";
+    case TemperatureClass::kMinus15ToMinus5:
+      return "(-15,-5]";
+    case TemperatureClass::kMinus5To0:
+      return "(-5,0]";
+    case TemperatureClass::k0To5:
+      return "(0,5]";
+    case TemperatureClass::k5To15:
+      return "(5,15]";
+    case TemperatureClass::kAbove15:
+      return ">15";
+  }
+  return "?";
+}
+
+WeatherModel::WeatherModel(uint64_t seed, int num_days) {
+  Rng rng(seed);
+  daily_mean_.reserve(static_cast<size_t>(num_days));
+  slippery_.reserve(static_cast<size_t>(num_days));
+  // The study starts on October 1st: day-of-year offset 273.
+  constexpr int kEpochDayOfYear = 273;
+  double noise = 0.0;
+  for (int d = 0; d < num_days; ++d) {
+    const int doy = (kEpochDayOfYear + d) % 365;
+    // Oulu climatology: annual mean ~ +3 C, coldest late January
+    // (doy ~ 25), amplitude ~ 14 C.
+    const double seasonal =
+        3.0 - 14.0 * std::cos(2.0 * M_PI * (doy - 25) / 365.0);
+    noise = 0.75 * noise + rng.Gaussian(0.0, 2.8);
+    daily_mean_.push_back(seasonal + noise);
+    const bool freezing = daily_mean_.back() < 0.0;
+    slippery_.push_back(freezing && rng.Bernoulli(0.55));
+  }
+}
+
+double WeatherModel::TemperatureAt(double timestamp_s) const {
+  if (daily_mean_.empty()) return 0.0;
+  const int day = std::clamp(trace::DayOfStudy(timestamp_s), 0,
+                             static_cast<int>(daily_mean_.size()) - 1);
+  const double hour = trace::HourOfDay(timestamp_s);
+  // Diurnal cycle: warmest ~15:00, amplitude 3 C.
+  const double diurnal = 3.0 * std::cos(2.0 * M_PI * (hour - 15.0) / 24.0);
+  return daily_mean_[static_cast<size_t>(day)] + diurnal;
+}
+
+TemperatureClass WeatherModel::ClassAt(double timestamp_s) const {
+  return ClassifyTemperature(TemperatureAt(timestamp_s));
+}
+
+bool WeatherModel::SlipperyAt(double timestamp_s) const {
+  if (slippery_.empty()) return false;
+  const int day = std::clamp(trace::DayOfStudy(timestamp_s), 0,
+                             static_cast<int>(slippery_.size()) - 1);
+  return slippery_[static_cast<size_t>(day)];
+}
+
+}  // namespace synth
+}  // namespace taxitrace

@@ -1,0 +1,69 @@
+// Synthetic road-weather model — the stand-in for the FMI road weather
+// model (Kangas et al.) that supplied the temperature classes of Fig. 10.
+//
+// Produces a deterministic daily temperature series for an Oulu-latitude
+// year: a seasonal sinusoid plus AR(1) day-to-day weather noise plus a
+// mild diurnal cycle. Only the marginal distribution over temperature
+// classes matters for the reproduction.
+
+#ifndef TAXITRACE_SYNTH_WEATHER_MODEL_H_
+#define TAXITRACE_SYNTH_WEATHER_MODEL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "taxitrace/common/random.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// Temperature classes used by the Fig. 10 analysis.
+enum class TemperatureClass : unsigned char {
+  kBelowMinus15,   ///< T <= -15 C
+  kMinus15ToMinus5,///< -15 < T <= -5
+  kMinus5To0,      ///< -5 < T <= 0
+  k0To5,           ///< 0 < T <= 5
+  k5To15,          ///< 5 < T <= 15
+  kAbove15,        ///< T > 15
+};
+
+/// Number of temperature classes.
+inline constexpr int kNumTemperatureClasses = 6;
+
+/// Classifies a temperature into its Fig. 10 class.
+TemperatureClass ClassifyTemperature(double celsius);
+
+/// Display label, e.g. "(-5,0]".
+std::string_view TemperatureClassLabel(TemperatureClass c);
+
+/// Deterministic synthetic weather for the study year.
+class WeatherModel {
+ public:
+  /// Builds the daily series for `num_days` days starting at the study
+  /// epoch (2012-10-01).
+  explicit WeatherModel(uint64_t seed, int num_days = 365);
+
+  /// Air temperature at a study timestamp, Celsius.
+  double TemperatureAt(double timestamp_s) const;
+
+  /// Convenience: class of TemperatureAt().
+  TemperatureClass ClassAt(double timestamp_s) const;
+
+  /// True when the road is likely slippery (sub-zero with recent
+  /// precipitation) — used by the driver model to slow down in winter.
+  bool SlipperyAt(double timestamp_s) const;
+
+  /// Daily mean temperatures, one per study day.
+  const std::vector<double>& daily_mean_celsius() const {
+    return daily_mean_;
+  }
+
+ private:
+  std::vector<double> daily_mean_;
+  std::vector<bool> slippery_;
+};
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_WEATHER_MODEL_H_

@@ -1,0 +1,83 @@
+#include "taxitrace/trace/time_util.h"
+
+#include <cmath>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace trace {
+
+CivilDate StudyEpoch() { return CivilDate{2012, 10, 1}; }
+
+CivilDate CivilFromDays(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+int64_t DaysFromCivil(const CivilDate& date) {
+  const int y = date.year - (date.month <= 2);
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned mp =
+      static_cast<unsigned>(date.month > 2 ? date.month - 3 : date.month + 9);
+  const unsigned doy =
+      (153 * mp + 2) / 5 + static_cast<unsigned>(date.day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+CivilDate DateOfTimestamp(double timestamp_s) {
+  const int64_t epoch_days = DaysFromCivil(StudyEpoch());
+  const int64_t day =
+      epoch_days +
+      static_cast<int64_t>(std::floor(timestamp_s / kSecondsPerDay));
+  return CivilFromDays(day);
+}
+
+int MonthOfTimestamp(double timestamp_s) {
+  return DateOfTimestamp(timestamp_s).month;
+}
+
+int DayOfStudy(double timestamp_s) {
+  return static_cast<int>(std::floor(timestamp_s / kSecondsPerDay));
+}
+
+int DayOfWeek(double timestamp_s) {
+  // 1970-01-01 was a Thursday (ISO index 3).
+  const int64_t days =
+      DaysFromCivil(StudyEpoch()) +
+      static_cast<int64_t>(std::floor(timestamp_s / kSecondsPerDay));
+  const int64_t dow = (days % 7 + 7 + 3) % 7;
+  return static_cast<int>(dow);
+}
+
+bool IsWeekend(double timestamp_s) { return DayOfWeek(timestamp_s) >= 5; }
+
+double HourOfDay(double timestamp_s) {
+  double day_frac = std::fmod(timestamp_s, kSecondsPerDay);
+  if (day_frac < 0.0) day_frac += kSecondsPerDay;
+  return day_frac / 3600.0;
+}
+
+std::string FormatTimestamp(double timestamp_s) {
+  const CivilDate date = DateOfTimestamp(timestamp_s);
+  double day_frac = std::fmod(timestamp_s, kSecondsPerDay);
+  if (day_frac < 0.0) day_frac += kSecondsPerDay;
+  const int hh = static_cast<int>(day_frac / 3600.0);
+  const int mm = static_cast<int>(std::fmod(day_frac / 60.0, 60.0));
+  const int ss = static_cast<int>(std::fmod(day_frac, 60.0));
+  return StrFormat("%04d-%02d-%02d %02d:%02d:%02d", date.year, date.month,
+                   date.day, hh, mm, ss);
+}
+
+}  // namespace trace
+}  // namespace taxitrace

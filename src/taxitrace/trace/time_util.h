@@ -1,0 +1,64 @@
+// Calendar utilities for the study clock.
+//
+// All timestamps in the library are seconds since the study epoch,
+// 2012-10-01 00:00 local time — the start of the paper's collection
+// period (1.10.2012–31.9.2013).
+
+#ifndef TAXITRACE_TRACE_TIME_UTIL_H_
+#define TAXITRACE_TRACE_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace taxitrace {
+namespace trace {
+
+/// Seconds in a day.
+inline constexpr double kSecondsPerDay = 86400.0;
+/// Days in the study year (2012-10-01 .. 2013-09-30; 2013 is not a leap
+/// year and the window contains no Feb 29).
+inline constexpr int kStudyDays = 365;
+
+/// A calendar date.
+struct CivilDate {
+  int year = 0;
+  int month = 0;  ///< 1..12
+  int day = 0;    ///< 1..31
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// The study epoch as a civil date (2012-10-01).
+CivilDate StudyEpoch();
+
+/// Civil date for a day offset from 1970-01-01 (Howard Hinnant's
+/// civil_from_days algorithm).
+CivilDate CivilFromDays(int64_t days_since_unix_epoch);
+
+/// Day offset from 1970-01-01 for a civil date (days_from_civil).
+int64_t DaysFromCivil(const CivilDate& date);
+
+/// Calendar date of a study timestamp.
+CivilDate DateOfTimestamp(double timestamp_s);
+
+/// Month (1..12) of a study timestamp.
+int MonthOfTimestamp(double timestamp_s);
+
+/// Whole days since the study epoch (0-based).
+int DayOfStudy(double timestamp_s);
+
+/// Hour of day, [0, 24).
+double HourOfDay(double timestamp_s);
+
+/// Day of week, 0 = Monday .. 6 = Sunday (ISO).
+int DayOfWeek(double timestamp_s);
+
+/// True for Saturday or Sunday.
+bool IsWeekend(double timestamp_s);
+
+/// "YYYY-MM-DD HH:MM:SS" rendering of a study timestamp.
+std::string FormatTimestamp(double timestamp_s);
+
+}  // namespace trace
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_TRACE_TIME_UTIL_H_

@@ -1,0 +1,94 @@
+#include "taxitrace/trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "taxitrace/common/csv.h"
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace trace {
+namespace {
+
+constexpr const char* kHeader[] = {"trip_id",     "car_id", "point_id",
+                                   "timestamp_s", "lat",    "lon",
+                                   "speed_kmh",   "fuel_delta_ml"};
+constexpr size_t kNumColumns = sizeof(kHeader) / sizeof(kHeader[0]);
+
+}  // namespace
+
+std::string TripsToCsv(const std::vector<Trip>& trips) {
+  std::vector<CsvRow> rows;
+  rows.emplace_back(kHeader, kHeader + kNumColumns);
+  for (const Trip& t : trips) {
+    for (const RoutePoint& p : t.points) {
+      rows.push_back(CsvRow{
+          StrFormat("%lld", static_cast<long long>(t.trip_id)),
+          StrFormat("%d", t.car_id),
+          StrFormat("%lld", static_cast<long long>(p.point_id)),
+          StrFormat("%.3f", p.timestamp_s),
+          StrFormat("%.7f", p.position.lat_deg),
+          StrFormat("%.7f", p.position.lon_deg),
+          StrFormat("%.3f", p.speed_kmh),
+          StrFormat("%.3f", p.fuel_delta_ml)});
+    }
+  }
+  return WriteCsv(rows);
+}
+
+Result<std::vector<Trip>> TripsFromCsv(const std::string& text) {
+  TAXITRACE_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ParseCsv(text));
+  if (rows.empty()) return Status::Corruption("missing CSV header");
+  if (rows[0].size() != kNumColumns) {
+    return Status::Corruption("unexpected CSV header width");
+  }
+  std::vector<Trip> trips;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() != kNumColumns) {
+      return Status::Corruption(StrFormat("row %zu has %zu fields", r,
+                                          row.size()));
+    }
+    TAXITRACE_ASSIGN_OR_RETURN(const int64_t trip_id, ParseInt64(row[0]));
+    TAXITRACE_ASSIGN_OR_RETURN(const int64_t car_id, ParseInt64(row[1]));
+    RoutePoint p;
+    p.trip_id = trip_id;
+    TAXITRACE_ASSIGN_OR_RETURN(p.point_id, ParseInt64(row[2]));
+    TAXITRACE_ASSIGN_OR_RETURN(p.timestamp_s, ParseDouble(row[3]));
+    TAXITRACE_ASSIGN_OR_RETURN(p.position.lat_deg, ParseDouble(row[4]));
+    TAXITRACE_ASSIGN_OR_RETURN(p.position.lon_deg, ParseDouble(row[5]));
+    TAXITRACE_ASSIGN_OR_RETURN(p.speed_kmh, ParseDouble(row[6]));
+    TAXITRACE_ASSIGN_OR_RETURN(p.fuel_delta_ml, ParseDouble(row[7]));
+
+    if (trips.empty() || trips.back().trip_id != trip_id) {
+      Trip t;
+      t.trip_id = trip_id;
+      t.car_id = static_cast<int>(car_id);
+      trips.push_back(std::move(t));
+    }
+    trips.back().points.push_back(p);
+  }
+  for (Trip& t : trips) t.RecomputeTotals();
+  return trips;
+}
+
+Status WriteTripsFile(const std::string& path,
+                      const std::vector<Trip>& trips) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  const std::string text = TripsToCsv(trips);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Trip>> ReadTripsFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return TripsFromCsv(buf.str());
+}
+
+}  // namespace trace
+}  // namespace taxitrace

@@ -1,0 +1,32 @@
+// CSV persistence for trips (flat point-per-row format).
+
+#ifndef TAXITRACE_TRACE_TRACE_IO_H_
+#define TAXITRACE_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace trace {
+
+/// Serialises trips to CSV with header
+/// trip_id,car_id,point_id,timestamp_s,lat,lon,speed_kmh,fuel_delta_ml —
+/// one row per route point, trips in input order.
+std::string TripsToCsv(const std::vector<Trip>& trips);
+
+/// Parses the format written by TripsToCsv. Points with the same trip_id
+/// must be contiguous; trip totals are recomputed from the points.
+Result<std::vector<Trip>> TripsFromCsv(const std::string& text);
+
+/// File round-trip helpers.
+Status WriteTripsFile(const std::string& path,
+                      const std::vector<Trip>& trips);
+Result<std::vector<Trip>> ReadTripsFile(const std::string& path);
+
+}  // namespace trace
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_TRACE_TRACE_IO_H_

@@ -1,0 +1,74 @@
+#include "taxitrace/trace/trace_query.h"
+
+namespace taxitrace {
+namespace trace {
+
+std::vector<const Trip*> TripsInTimeRange(const TraceStore& store,
+                                          double t0_s, double t1_s) {
+  std::vector<const Trip*> out;
+  for (const Trip& trip : store.trips()) {
+    if (trip.points.empty()) continue;
+    if (trip.EndTime() >= t0_s && trip.StartTime() <= t1_s) {
+      out.push_back(&trip);
+    }
+  }
+  return out;
+}
+
+std::vector<const Trip*> TripsIntersectingBbox(
+    const TraceStore& store, const geo::Bbox& box,
+    const geo::LocalProjection& projection) {
+  std::vector<const Trip*> out;
+  for (const Trip& trip : store.trips()) {
+    for (const RoutePoint& p : trip.points) {
+      if (box.Contains(projection.Forward(p.position))) {
+        out.push_back(&trip);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const Trip*> TripsIntersectingPolygon(
+    const TraceStore& store, const geo::Polygon& polygon,
+    const geo::LocalProjection& projection) {
+  std::vector<const Trip*> out;
+  const geo::Bbox bounds = polygon.Bounds();
+  for (const Trip& trip : store.trips()) {
+    for (const RoutePoint& p : trip.points) {
+      const geo::EnPoint local = projection.Forward(p.position);
+      if (bounds.Contains(local) && polygon.Contains(local)) {
+        out.push_back(&trip);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int64_t CountPointsWithinPolygon(const TraceStore& store,
+                                 const geo::Polygon& polygon,
+                                 const geo::LocalProjection& projection) {
+  int64_t count = 0;
+  const geo::Bbox bounds = polygon.Bounds();
+  for (const Trip& trip : store.trips()) {
+    for (const RoutePoint& p : trip.points) {
+      const geo::EnPoint local = projection.Forward(p.position);
+      if (bounds.Contains(local) && polygon.Contains(local)) ++count;
+    }
+  }
+  return count;
+}
+
+geo::Bbox TripBounds(const Trip& trip,
+                     const geo::LocalProjection& projection) {
+  geo::Bbox box = geo::Bbox::Empty();
+  for (const RoutePoint& p : trip.points) {
+    box.Extend(projection.Forward(p.position));
+  }
+  return box;
+}
+
+}  // namespace trace
+}  // namespace taxitrace

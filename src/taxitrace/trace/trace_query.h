@@ -1,0 +1,42 @@
+// Geospatial/temporal queries over a trip store — the small query
+// surface the paper ran through PostGIS SQL.
+
+#ifndef TAXITRACE_TRACE_TRACE_QUERY_H_
+#define TAXITRACE_TRACE_TRACE_QUERY_H_
+
+#include <vector>
+
+#include "taxitrace/geo/polygon.h"
+#include "taxitrace/trace/trace_store.h"
+
+namespace taxitrace {
+namespace trace {
+
+/// Trips whose [start, end] time range overlaps [t0, t1].
+std::vector<const Trip*> TripsInTimeRange(const TraceStore& store,
+                                          double t0_s, double t1_s);
+
+/// Trips with at least one point inside the local-frame box.
+std::vector<const Trip*> TripsIntersectingBbox(
+    const TraceStore& store, const geo::Bbox& box,
+    const geo::LocalProjection& projection);
+
+/// Trips with at least one point inside the polygon.
+std::vector<const Trip*> TripsIntersectingPolygon(
+    const TraceStore& store, const geo::Polygon& polygon,
+    const geo::LocalProjection& projection);
+
+/// Number of route points inside the polygon, across all trips.
+int64_t CountPointsWithinPolygon(const TraceStore& store,
+                                 const geo::Polygon& polygon,
+                                 const geo::LocalProjection& projection);
+
+/// Bounding box of all points of a trip in the local frame (invalid box
+/// for an empty trip).
+geo::Bbox TripBounds(const Trip& trip,
+                     const geo::LocalProjection& projection);
+
+}  // namespace trace
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_TRACE_TRACE_QUERY_H_

@@ -1,0 +1,56 @@
+#include "taxitrace/trace/trip_stats.h"
+
+#include <algorithm>
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace trace {
+
+TripCollectionStats ComputeTripStats(const std::vector<Trip>& trips) {
+  TripCollectionStats stats;
+  std::vector<double> distances;
+  distances.reserve(trips.size());
+  for (const Trip& trip : trips) {
+    ++stats.trips;
+    stats.points += static_cast<int64_t>(trip.points.size());
+    const double dist_km = PathLengthMeters(trip.points) / 1000.0;
+    const double duration_h = TimeSpanSeconds(trip.points) / 3600.0;
+    double fuel_ml = 0.0;
+    for (const RoutePoint& p : trip.points) fuel_ml += p.fuel_delta_ml;
+    stats.total_distance_km += dist_km;
+    stats.total_duration_h += duration_h;
+    stats.total_fuel_l += fuel_ml / 1000.0;
+    distances.push_back(dist_km);
+    stats.max_distance_km = std::max(stats.max_distance_km, dist_km);
+  }
+  if (stats.trips > 0) {
+    const double n = static_cast<double>(stats.trips);
+    stats.mean_points_per_trip = static_cast<double>(stats.points) / n;
+    stats.mean_distance_km = stats.total_distance_km / n;
+    stats.mean_duration_min = stats.total_duration_h * 60.0 / n;
+    std::sort(distances.begin(), distances.end());
+    stats.median_distance_km = distances[distances.size() / 2];
+  }
+  return stats;
+}
+
+std::string FormatTripStats(const TripCollectionStats& stats) {
+  std::string out;
+  out += StrFormat("  trips: %lld, points: %lld (%.1f per trip)\n",
+                   static_cast<long long>(stats.trips),
+                   static_cast<long long>(stats.points),
+                   stats.mean_points_per_trip);
+  out += StrFormat(
+      "  distance: %.1f km total, %.2f km mean, %.2f km median, %.2f km "
+      "max\n",
+      stats.total_distance_km, stats.mean_distance_km,
+      stats.median_distance_km, stats.max_distance_km);
+  out += StrFormat("  duration: %.1f h total, %.1f min mean; fuel: %.1f l\n",
+                   stats.total_duration_h, stats.mean_duration_min,
+                   stats.total_fuel_l);
+  return out;
+}
+
+}  // namespace trace
+}  // namespace taxitrace

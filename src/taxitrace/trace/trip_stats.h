@@ -1,0 +1,39 @@
+// Store-level trip statistics: the sanity panel for a collection of
+// trips (counts, lengths, durations, points per trip).
+
+#ifndef TAXITRACE_TRACE_TRIP_STATS_H_
+#define TAXITRACE_TRACE_TRIP_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace trace {
+
+/// Aggregate statistics over a set of trips.
+struct TripCollectionStats {
+  int64_t trips = 0;
+  int64_t points = 0;
+  double total_distance_km = 0.0;
+  double total_duration_h = 0.0;
+  double total_fuel_l = 0.0;
+  double mean_points_per_trip = 0.0;
+  double mean_distance_km = 0.0;
+  double mean_duration_min = 0.0;
+  double median_distance_km = 0.0;
+  double max_distance_km = 0.0;
+};
+
+/// Computes the statistics (totals from recomputed point data, not the
+/// device-reported trip totals).
+TripCollectionStats ComputeTripStats(const std::vector<Trip>& trips);
+
+/// Multi-line text rendering for terminals.
+std::string FormatTripStats(const TripCollectionStats& stats);
+
+}  // namespace trace
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_TRACE_TRIP_STATS_H_

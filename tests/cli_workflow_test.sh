@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# End-to-end workflow test of the taxitrace_cli binary: generate a map,
+# simulate a small fleet, clean, match and analyze, asserting that every
+# stage succeeds and produces non-trivial artefacts.
+set -euo pipefail
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$CLI" generate-map elements.csv features.csv 7
+test -s elements.csv
+test -s features.csv
+grep -q "traffic_light" features.csv
+
+"$CLI" simulate elements.csv features.csv trips.csv 1 3 9
+test -s trips.csv
+# Header plus at least a hundred points.
+test "$(wc -l < trips.csv)" -gt 100
+
+"$CLI" clean trips.csv segments.csv | grep -q "rule 1 splits"
+test -s segments.csv
+
+"$CLI" match elements.csv features.csv segments.csv routes.geojson 20 \
+  | grep -q "matched"
+grep -q "LineString" routes.geojson
+
+"$CLI" analyze segments.csv | grep -q "Mixed model"
+
+# Unknown commands fail cleanly.
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected failure for unknown command" >&2
+  exit 1
+fi
+echo "cli workflow OK"

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/coach/advisor.h"
+#include "taxitrace/coach/driver_profile.h"
+#include "taxitrace/coach/trip_score.h"
+
+namespace taxitrace {
+namespace coach {
+namespace {
+
+// A trip with controllable speed pattern: `speeds` become points 10 s
+// apart along a straight street, ~83 m per 30 km/h step.
+trace::Trip TripWithSpeeds(const std::vector<double>& speeds,
+                           double fuel_per_point = 4.0) {
+  trace::Trip trip;
+  trip.trip_id = 1;
+  double lat = 65.0;
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    trace::RoutePoint p;
+    p.point_id = static_cast<int64_t>(i) + 1;
+    p.timestamp_s = 10.0 * static_cast<double>(i);
+    // Advance position proportionally to speed.
+    lat += speeds[i] / 3.6 * 10.0 / 111194.9;
+    p.position = geo::LatLon{lat, 25.47};
+    p.speed_kmh = speeds[i];
+    p.fuel_delta_ml = fuel_per_point;
+    trip.points.push_back(p);
+  }
+  return trip;
+}
+
+TEST(TripScoreTest, CleanCruiseScoresHigh) {
+  const trace::Trip trip =
+      TripWithSpeeds(std::vector<double>(30, 38.0), 5.0);
+  const TripScore score = ScoreTrip(trip, nullptr, nullptr);
+  EXPECT_GT(score.eco_score, 85.0);
+  EXPECT_DOUBLE_EQ(score.idle_share, 0.0);
+  EXPECT_EQ(score.harsh_events, 0);
+  EXPECT_GT(score.distance_km, 2.5);
+}
+
+TEST(TripScoreTest, IdlingAndStopsLowerTheScore) {
+  std::vector<double> speeds;
+  for (int i = 0; i < 15; ++i) speeds.push_back(0.0);   // long idle
+  for (int i = 0; i < 15; ++i) speeds.push_back(30.0);
+  const TripScore score =
+      ScoreTrip(TripWithSpeeds(speeds), nullptr, nullptr);
+  EXPECT_NEAR(score.idle_share, 0.5, 1e-9);
+  EXPECT_NEAR(score.low_speed_share, 0.5, 1e-9);
+  EXPECT_LT(score.eco_score, 70.0);
+}
+
+TEST(TripScoreTest, HarshEventsCounted) {
+  // 0 -> 130 -> 0 -> 130: three jumps of 13 km/h per second.
+  const TripScore score = ScoreTrip(
+      TripWithSpeeds({0.0, 130.0, 0.0, 130.0, 130.0}), nullptr, nullptr);
+  EXPECT_EQ(score.harsh_events, 3);
+  EXPECT_GT(score.harsh_per_km, 0.0);
+}
+
+TEST(TripScoreTest, SpeedingNeedsAMatch) {
+  // Network with a 40 km/h edge under the trip.
+  roadnet::RoadNetwork net(geo::LatLon{65.0, 25.47});
+  const auto a = net.AddVertex({-100, -100}, false);
+  const auto b = net.AddVertex({-100, 8000}, false);
+  roadnet::Edge e;
+  e.from = a;
+  e.to = b;
+  e.geometry = geo::Polyline({{-100, -100}, {-100, 8000}});
+  e.speed_limit_kmh = 40.0;
+  const auto eid = net.AddEdge(std::move(e));
+
+  const trace::Trip trip = TripWithSpeeds({60.0, 60.0, 60.0, 35.0});
+  mapmatch::MatchedRoute route;
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    route.points.push_back(mapmatch::MatchedPoint{
+        i, roadnet::EdgePosition{eid, 10.0 * static_cast<double>(i)},
+        3.0});
+  }
+  const TripScore with_match = ScoreTrip(trip, &route, &net);
+  EXPECT_NEAR(with_match.speeding_share, 0.75, 1e-9);
+  const TripScore without_match = ScoreTrip(trip, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(without_match.speeding_share, 0.0);
+  EXPECT_LT(with_match.eco_score, without_match.eco_score);
+}
+
+TEST(TripScoreTest, EmptyTripIsNeutral) {
+  const TripScore score = ScoreTrip(trace::Trip{}, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(score.distance_km, 0.0);
+  EXPECT_DOUBLE_EQ(score.eco_score, 0.0);
+}
+
+// --- Advisor ----------------------------------------------------------------
+
+TEST(AdvisorTest, FlagsIdling) {
+  TripScore score;
+  score.idle_share = 0.4;
+  score.duration_min = 20.0;
+  const std::vector<Advice> advice = AdviseTrip(score);
+  ASSERT_FALSE(advice.empty());
+  EXPECT_EQ(advice[0].topic, AdviceTopic::kIdling);
+  EXPECT_GT(advice[0].potential_saving_ml, 0.0);
+  EXPECT_NE(advice[0].message.find("idled"), std::string::npos);
+}
+
+TEST(AdvisorTest, CleanTripGetsPraise) {
+  TripScore score;
+  score.eco_score = 93.0;
+  const std::vector<Advice> advice = AdviseTrip(score);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].topic, AdviceTopic::kWellDriven);
+  EXPECT_DOUBLE_EQ(advice[0].potential_saving_ml, 0.0);
+}
+
+TEST(AdvisorTest, MultipleFindingsSortedBySaving) {
+  TripScore score;
+  score.idle_share = 0.5;
+  score.duration_min = 30.0;
+  score.harsh_events = 20;
+  score.harsh_per_km = 4.0;
+  score.distance_km = 5.0;
+  score.speeding_share = 0.3;
+  score.low_speed_share = 0.5;
+  score.fuel_excess_ml = 200.0;
+  const std::vector<Advice> advice = AdviseTrip(score);
+  EXPECT_GE(advice.size(), 3u);
+  for (size_t i = 1; i < advice.size(); ++i) {
+    EXPECT_GE(advice[i - 1].potential_saving_ml,
+              advice[i].potential_saving_ml);
+  }
+}
+
+TEST(AdvisorTest, TopicNamesStable) {
+  EXPECT_EQ(AdviceTopicName(AdviceTopic::kIdling), "idling");
+  EXPECT_EQ(AdviceTopicName(AdviceTopic::kRouteChoice), "route_choice");
+  EXPECT_EQ(AdviceTopicName(AdviceTopic::kWellDriven), "well_driven");
+}
+
+// --- Driver profiles -----------------------------------------------------------
+
+TEST(DriverProfileTest, AggregatesAndRanks) {
+  std::vector<ScoredTrip> trips;
+  for (int i = 0; i < 5; ++i) {
+    ScoredTrip t;
+    t.car_id = 1;
+    t.score.eco_score = 80.0 + i;  // mean 82
+    t.score.idle_share = 0.1;
+    t.score.fuel_excess_ml = 100.0;
+    trips.push_back(t);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ScoredTrip t;
+    t.car_id = 2;
+    t.score.eco_score = 60.0;
+    t.score.idle_share = 0.3;
+    t.score.fuel_excess_ml = 300.0;
+    trips.push_back(t);
+  }
+  const std::vector<DriverProfile> profiles = BuildDriverProfiles(trips);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].car_id, 1);  // better driver first
+  EXPECT_NEAR(profiles[0].mean_eco_score, 82.0, 1e-9);
+  EXPECT_EQ(profiles[0].trips, 5);
+  EXPECT_DOUBLE_EQ(profiles[0].best_trip_score, 84.0);
+  EXPECT_DOUBLE_EQ(profiles[0].worst_trip_score, 80.0);
+  EXPECT_NEAR(profiles[0].total_fuel_excess_l, 0.5, 1e-9);
+  EXPECT_EQ(profiles[1].car_id, 2);
+  EXPECT_NEAR(profiles[1].mean_idle_share, 0.3, 1e-9);
+}
+
+TEST(DriverProfileTest, EmptyInput) {
+  EXPECT_TRUE(BuildDriverProfiles({}).empty());
+}
+
+}  // namespace
+}  // namespace coach
+}  // namespace taxitrace

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "taxitrace/common/csv.h"
+#include "taxitrace/common/logging.h"
+#include "taxitrace/common/random.h"
+#include "taxitrace/common/result.h"
+#include "taxitrace/common/status.h"
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  const Status a = Status::Corruption("broken");
+  const Status b = a;  // shared rep
+  EXPECT_EQ(b.message(), "broken");
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIOError), "IOError");
+}
+
+// --- Result ----------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Doubled(Result<int> in) {
+  TAXITRACE_ASSIGN_OR_RETURN(const int v, std::move(in));
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_TRUE(Doubled(Status::IOError("x")).status().IsIOError());
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++diff;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveAndCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // every value of [-2, 3] appears
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(4.5);
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(RngTest, PoissonZeroAndLargeMean) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(100.0);  // normal approx
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(43);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(47);
+  const std::vector<double> w = {0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.WeightedIndex(w));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(51);
+  Rng b = a.Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextUint64() != b.NextUint64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  const std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitEmptyFields) {
+  EXPECT_EQ(Split(",,", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("4.5").ok());
+  EXPECT_TRUE(ParseInt64("99999999999999999999").status().IsOutOfRange());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5f").ok());
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(CsvTest, ParseSimple) {
+  const auto rows = ParseCsv("a,b\n1,2\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2"}));
+}
+
+TEST(CsvTest, NoTrailingNewline) {
+  const auto rows = ParseCsv("a,b").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvTest, QuotedFieldWithSeparator) {
+  const auto rows = ParseCsv("\"a,b\",c\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvTest, EscapedQuote) {
+  const auto rows = ParseCsv("\"say \"\"hi\"\"\"\n").value();
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvTest, NewlineInsideQuotes) {
+  const auto rows = ParseCsv("\"a\nb\",c\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a\nb");
+}
+
+TEST(CsvTest, CrLfHandling) {
+  const auto rows = ParseCsv("a,b\r\nc,d\r\n").value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvTest, EmptyInput) {
+  EXPECT_TRUE(ParseCsv("").value().empty());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsCorruption) {
+  EXPECT_TRUE(ParseCsv("\"oops").status().IsCorruption());
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto rows = ParseCsv(",,\n").value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  const std::string text =
+      WriteCsv({{"plain", "with,comma", "with\"quote", "with\nnewline"}});
+  EXPECT_EQ(text,
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"a", "b,c", "d\"e"}, {"", "2", "line\nbreak"}, {"x"}};
+  const auto parsed = ParseCsv(WriteCsv(rows)).value();
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/csv_roundtrip.csv";
+  const std::vector<CsvRow> rows = {{"h1", "h2"}, {"1", "two,three"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  EXPECT_EQ(ReadCsvFile(path).value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ReadCsvFile("/no/such/dir/file.csv").status().IsIOError());
+}
+
+// --- Logging -----------------------------------------------------------------
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  TAXITRACE_LOG(kDebug) << "suppressed";  // must not crash
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace taxitrace

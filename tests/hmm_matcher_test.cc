@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/mapmatch/hmm_matcher.h"
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/mapmatch/match_quality.h"
+#include "taxitrace/roadnet/router.h"
+#include "taxitrace/synth/city_map_generator.h"
+#include "taxitrace/synth/driver_model.h"
+#include "taxitrace/synth/sensor_model.h"
+
+namespace taxitrace {
+namespace mapmatch {
+namespace {
+
+const synth::CityMap& TestMap() {
+  static const synth::CityMap* map = [] {
+    auto result = synth::GenerateCityMap();
+    return new synth::CityMap(std::move(result).value());
+  }();
+  return *map;
+}
+
+const roadnet::SpatialIndex& TestIndex() {
+  static const roadnet::SpatialIndex* index =
+      new roadnet::SpatialIndex(&TestMap().network);
+  return *index;
+}
+
+class HmmMatcherTest : public testing::Test {
+ protected:
+  HmmMatcherTest()
+      : weather_(3, 365),
+        driver_(&TestMap(), &weather_),
+        router_(&TestMap().network),
+        matcher_(&TestMap().network, &TestIndex()) {}
+
+  std::pair<trace::Trip, roadnet::Path> SimulatedTrip(
+      uint64_t seed, double outlier_prob = 0.0) {
+    Rng rng(seed);
+    const auto& net = TestMap().network;
+    roadnet::Path path;
+    while (true) {
+      const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
+          0, static_cast<int64_t>(net.vertices().size()) - 1));
+      const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
+          0, static_cast<int64_t>(net.vertices().size()) - 1));
+      const auto result = router_.ShortestPath(a, b);
+      if (result.ok() && result->length_m > 900.0) {
+        path = *result;
+        break;
+      }
+    }
+    const auto samples = driver_.Drive(path, 3600.0, 1.0, &rng);
+    synth::SensorOptions sensor_options;
+    sensor_options.timestamp_glitch_prob = 0.0;
+    sensor_options.id_glitch_prob = 0.0;
+    sensor_options.outlier_prob = outlier_prob;
+    const synth::SensorModel sensor(sensor_options);
+    trace::Trip trip;
+    trip.trip_id = 1;
+    int64_t next_id = 1;
+    trip.points =
+        sensor.Observe(samples, 1, &next_id, net.projection(), &rng);
+    return {trip, path};
+  }
+
+  synth::WeatherModel weather_;
+  synth::DriverModel driver_;
+  roadnet::Router router_;
+  HmmMatcher matcher_;
+};
+
+TEST_F(HmmMatcherTest, RejectsTinyTrips) {
+  trace::Trip trip;
+  EXPECT_TRUE(matcher_.Match(trip).status().IsInvalidArgument());
+}
+
+TEST_F(HmmMatcherTest, RecoversSimulatedRoutes) {
+  double jaccard_sum = 0.0;
+  for (uint64_t seed = 101; seed <= 105; ++seed) {
+    const auto [trip, truth] = SimulatedTrip(seed);
+    const Result<MatchedRoute> matched = matcher_.Match(trip);
+    ASSERT_TRUE(matched.ok()) << "seed " << seed;
+    std::vector<roadnet::EdgeId> truth_edges;
+    for (const roadnet::PathStep& s : truth.steps) {
+      truth_edges.push_back(s.edge);
+    }
+    const double jaccard =
+        EdgeJaccard(matched->DistinctEdges(), truth_edges);
+    jaccard_sum += jaccard;
+    EXPECT_GT(jaccard, 0.55) << "seed " << seed;
+    EXPECT_LT(MeanGeometryDeviation(matched->geometry, truth.geometry),
+              25.0)
+        << "seed " << seed;
+  }
+  EXPECT_GT(jaccard_sum / 5.0, 0.65);
+}
+
+TEST_F(HmmMatcherTest, MatchedPointsReferenceTrip) {
+  const auto [trip, truth] = SimulatedTrip(111);
+  (void)truth;
+  const MatchedRoute matched = matcher_.Match(trip).value();
+  ASSERT_GE(matched.points.size(), 2u);
+  for (size_t i = 1; i < matched.points.size(); ++i) {
+    EXPECT_GT(matched.points[i].point_index,
+              matched.points[i - 1].point_index);
+    EXPECT_LT(matched.points[i].point_index, trip.points.size());
+  }
+}
+
+TEST_F(HmmMatcherTest, GlobalInferenceSurvivesOutliers) {
+  // With gross GPS outliers, the HMM's transition pruning keeps the
+  // route plausible: mean length error over several trips stays small.
+  double error_sum = 0.0;
+  int n = 0;
+  for (uint64_t seed : {121, 123, 125, 127}) {
+    const auto [trip, truth] = SimulatedTrip(seed, /*outlier_prob=*/0.03);
+    const Result<MatchedRoute> matched = matcher_.Match(trip);
+    ASSERT_TRUE(matched.ok()) << "seed " << seed;
+    error_sum += RouteLengthError(matched->length_m, truth.length_m);
+    ++n;
+  }
+  EXPECT_LT(error_sum / n, 0.35);
+}
+
+TEST_F(HmmMatcherTest, SparserTracesStillMatch) {
+  // Keep every third point only (low-sampling-rate regime).
+  auto [trip, truth] = SimulatedTrip(131);
+  std::vector<trace::RoutePoint> sparse;
+  for (size_t i = 0; i < trip.points.size(); i += 3) {
+    sparse.push_back(trip.points[i]);
+  }
+  sparse.push_back(trip.points.back());
+  trip.points = std::move(sparse);
+  const Result<MatchedRoute> matched = matcher_.Match(trip);
+  ASSERT_TRUE(matched.ok());
+  std::vector<roadnet::EdgeId> truth_edges;
+  for (const roadnet::PathStep& s : truth.steps) {
+    truth_edges.push_back(s.edge);
+  }
+  EXPECT_GT(EdgeJaccard(matched->DistinctEdges(), truth_edges), 0.5);
+}
+
+TEST_F(HmmMatcherTest, AgreesWithIncrementalOnCleanTraces) {
+  const IncrementalMatcher incremental(&TestMap().network, &TestIndex());
+  const auto [trip, truth] = SimulatedTrip(141);
+  (void)truth;
+  const MatchedRoute hmm = matcher_.Match(trip).value();
+  const MatchedRoute inc = incremental.Match(trip).value();
+  // The two matchers substantially agree on clean data.
+  EXPECT_GT(EdgeJaccard(hmm.DistinctEdges(), inc.DistinctEdges()), 0.5);
+}
+
+}  // namespace
+}  // namespace mapmatch
+}  // namespace taxitrace

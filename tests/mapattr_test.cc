@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/mapattr/attribute_fetcher.h"
+#include "taxitrace/roadnet/map_preparation.h"
+
+namespace taxitrace {
+namespace mapattr {
+namespace {
+
+using geo::EnPoint;
+using roadnet::FeatureSpec;
+using roadnet::FeatureType;
+using roadnet::TrafficElement;
+
+const geo::LatLon kOrigin{65.0121, 25.4682};
+
+TrafficElement MakeElement(roadnet::ElementId id,
+                           std::vector<EnPoint> pts) {
+  TrafficElement el;
+  el.id = id;
+  el.geometry = geo::Polyline(std::move(pts));
+  return el;
+}
+
+// A 600 m straight main street with two cross streets at x=200 and
+// x=400, a traffic light at the first junction, a pedestrian crossing on
+// the main street near x=300, a crossing on the side street (should NOT
+// count for main-street routes) and a bus stop on the main street.
+class AttributeFetcherTest : public testing::Test {
+ protected:
+  AttributeFetcherTest() {
+    std::vector<TrafficElement> elements = {
+        MakeElement(1, {{0, 0}, {200, 0}}),
+        MakeElement(2, {{200, 0}, {400, 0}}),
+        MakeElement(3, {{400, 0}, {600, 0}}),
+        MakeElement(4, {{200, -150}, {200, 0}}),
+        MakeElement(5, {{200, 0}, {200, 150}}),
+        MakeElement(6, {{400, -150}, {400, 0}}),
+        MakeElement(7, {{400, 0}, {400, 150}}),
+    };
+    const std::vector<FeatureSpec> features = {
+        {FeatureType::kTrafficLight, EnPoint{200, 0}},
+        {FeatureType::kPedestrianCrossing, EnPoint{300, 2}},
+        {FeatureType::kPedestrianCrossing, EnPoint{200, 30}},  // side street
+        {FeatureType::kBusStop, EnPoint{500, 4}},
+    };
+    net_ = std::make_unique<roadnet::RoadNetwork>(
+        roadnet::PrepareRoadNetwork(elements, features, kOrigin).value());
+    fetcher_ = std::make_unique<AttributeFetcher>(net_.get());
+  }
+
+  // The matched route driving the main street west -> east.
+  mapmatch::MatchedRoute MainStreetRoute() const {
+    mapmatch::MatchedRoute route;
+    for (const roadnet::Edge& e : net_->edges()) {
+      // Main-street edges are horizontal at y ~ 0.
+      if (std::abs(e.geometry.front().y) < 1.0 &&
+          std::abs(e.geometry.back().y) < 1.0) {
+        route.steps.push_back(roadnet::PathStep{e.id, true});
+      }
+    }
+    route.geometry = geo::Polyline({{0, 0}, {600, 0}});
+    route.length_m = 600.0;
+    return route;
+  }
+
+  std::unique_ptr<roadnet::RoadNetwork> net_;
+  std::unique_ptr<AttributeFetcher> fetcher_;
+};
+
+TEST_F(AttributeFetcherTest, CountsJunctionsPassed) {
+  const mapmatch::MatchedRoute route = MainStreetRoute();
+  ASSERT_EQ(route.steps.size(), 3u);
+  // Two interior junctions (x = 200, x = 400).
+  EXPECT_EQ(fetcher_->CountJunctionsPassed(route.steps), 2);
+}
+
+TEST_F(AttributeFetcherTest, TrafficLightsCountByProximity) {
+  const RouteAttributes attrs = fetcher_->Fetch(MainStreetRoute());
+  EXPECT_EQ(attrs.traffic_lights, 1);
+}
+
+TEST_F(AttributeFetcherTest, CrossingsCountOnlyOnTraversedEdges) {
+  const RouteAttributes attrs = fetcher_->Fetch(MainStreetRoute());
+  // The x=300 crossing sits on the main street; the x=200,y=30 crossing
+  // attaches to a side-street edge and must not count.
+  EXPECT_EQ(attrs.pedestrian_crossings, 1);
+}
+
+TEST_F(AttributeFetcherTest, BusStopsCounted) {
+  const RouteAttributes attrs = fetcher_->Fetch(MainStreetRoute());
+  EXPECT_EQ(attrs.bus_stops, 1);
+}
+
+TEST_F(AttributeFetcherTest, SideStreetRouteSeesItsOwnFeatures) {
+  mapmatch::MatchedRoute route;
+  for (const roadnet::Edge& e : net_->edges()) {
+    if (std::abs(e.geometry.front().x - 200.0) < 1.0 &&
+        std::abs(e.geometry.back().x - 200.0) < 1.0) {
+      route.steps.push_back(roadnet::PathStep{e.id, true});
+    }
+  }
+  ASSERT_EQ(route.steps.size(), 2u);
+  route.geometry = geo::Polyline({{200, -150}, {200, 150}});
+  const RouteAttributes attrs = fetcher_->Fetch(route);
+  EXPECT_EQ(attrs.pedestrian_crossings, 1);  // the side-street crossing
+  EXPECT_EQ(attrs.traffic_lights, 1);        // junction light, by proximity
+  EXPECT_EQ(attrs.bus_stops, 0);
+  EXPECT_EQ(fetcher_->CountJunctionsPassed(route.steps), 1);
+}
+
+TEST_F(AttributeFetcherTest, EmptyRouteHasNoAttributes) {
+  const RouteAttributes attrs = fetcher_->Fetch(mapmatch::MatchedRoute{});
+  EXPECT_EQ(attrs.junctions, 0);
+  EXPECT_EQ(attrs.traffic_lights, 0);
+  EXPECT_EQ(attrs.pedestrian_crossings, 0);
+  EXPECT_EQ(attrs.bus_stops, 0);
+}
+
+TEST_F(AttributeFetcherTest, FeatureCountedOnceAcrossRepeatedEdges) {
+  mapmatch::MatchedRoute route = MainStreetRoute();
+  // Drive the street twice.
+  const auto steps = route.steps;
+  for (const auto& s : steps) route.steps.push_back(s);
+  const RouteAttributes attrs = fetcher_->Fetch(route);
+  EXPECT_EQ(attrs.pedestrian_crossings, 1);
+  EXPECT_EQ(attrs.bus_stops, 1);
+}
+
+TEST_F(AttributeFetcherTest, RadiusOptionsRespected) {
+  AttributeFetcherOptions tight;
+  tight.traffic_light_radius_m = 0.5;  // the light sits ~0 m off the route
+  const AttributeFetcher tight_fetcher(net_.get(), tight);
+  const RouteAttributes attrs = tight_fetcher.Fetch(MainStreetRoute());
+  EXPECT_EQ(attrs.traffic_lights, 1);
+
+  AttributeFetcherOptions far;
+  far.traffic_light_radius_m = 500.0;
+  const AttributeFetcher far_fetcher(net_.get(), far);
+  EXPECT_EQ(far_fetcher.Fetch(MainStreetRoute()).traffic_lights, 1);
+}
+
+}  // namespace
+}  // namespace mapattr
+}  // namespace taxitrace

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/model/cholesky.h"
+#include "taxitrace/model/matrix.h"
+#include "taxitrace/model/mixed_model.h"
+#include "taxitrace/model/ols.h"
+#include "taxitrace/model/one_way_reml.h"
+#include "taxitrace/model/qq.h"
+
+namespace taxitrace {
+namespace model {
+namespace {
+
+// --- Matrix -----------------------------------------------------------------
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7;
+  b(1, 0) = 9;
+  b(2, 0) = 11;
+  b(0, 1) = 8;
+  b(1, 1) = 10;
+  b(2, 1) = 12;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, IdentityAndTranspose) {
+  const Matrix id = Matrix::Identity(3);
+  Matrix a(3, 3);
+  a(0, 1) = 5;
+  a(2, 0) = -2;
+  EXPECT_DOUBLE_EQ(a.Multiply(id).MaxAbsDiff(a), 0.0);
+  const Matrix at = a.Transposed();
+  EXPECT_DOUBLE_EQ(at(1, 0), 5);
+  EXPECT_DOUBLE_EQ(at(0, 2), -2);
+}
+
+TEST(MatrixTest, MultiplyVectorAndScale) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(1, 1) = 3;
+  const Vector v = a.MultiplyVector({1, 2});
+  EXPECT_DOUBLE_EQ(v[0], 2);
+  EXPECT_DOUBLE_EQ(v[1], 6);
+  EXPECT_DOUBLE_EQ(a.Scaled(2.0)(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.Plus(a)(1, 1), 6.0);
+}
+
+TEST(MatrixTest, OuterProductAndDot) {
+  Matrix a(2, 2);
+  AddOuterProduct(&a, {1, 2}, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+  EXPECT_DOUBLE_EQ(DotProduct({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+// --- Cholesky ----------------------------------------------------------------
+
+Matrix Spd3() {
+  // A known SPD matrix.
+  Matrix a(3, 3);
+  const double vals[3][3] = {{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}};
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) a(i, j) = vals[i][j];
+  }
+  return a;
+}
+
+TEST(CholeskyTest, KnownFactorisation) {
+  const Matrix lower = CholeskyDecompose(Spd3()).value();
+  EXPECT_NEAR(lower(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(lower(1, 0), 6.0, 1e-12);
+  EXPECT_NEAR(lower(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(lower(2, 0), -8.0, 1e-12);
+  EXPECT_NEAR(lower(2, 1), 5.0, 1e-12);
+  EXPECT_NEAR(lower(2, 2), 3.0, 1e-12);
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  const Vector x_true = {1.0, -2.0, 0.5};
+  const Vector b = Spd3().MultiplyVector(x_true);
+  const Vector x = SolveSpd(Spd3(), b).value();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CholeskyTest, LogDet) {
+  const Matrix lower = CholeskyDecompose(Spd3()).value();
+  // det = (2*1*3)^2 = 36.
+  EXPECT_NEAR(LogDetFromCholesky(lower), std::log(36.0), 1e-9);
+}
+
+TEST(CholeskyTest, InvertSpd) {
+  const Matrix inv = InvertSpd(Spd3()).value();
+  const Matrix prod = Spd3().Multiply(inv);
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(3)), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix bad(2, 2);
+  bad(0, 0) = 1;
+  bad(1, 1) = -1;
+  EXPECT_TRUE(CholeskyDecompose(bad).status().IsFailedPrecondition());
+  Matrix rect(2, 3);
+  EXPECT_TRUE(CholeskyDecompose(rect).status().IsInvalidArgument());
+}
+
+// --- OLS --------------------------------------------------------------------
+
+TEST(OlsTest, RecoversLinearRelationship) {
+  OlsAccumulator ols(2);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Uniform(-5, 5);
+    const double y = 3.0 + 2.0 * x + rng.Gaussian(0, 0.5);
+    ols.Add({1.0, x}, y);
+  }
+  const OlsFit fit = ols.Fit().value();
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 0.02);
+  EXPECT_NEAR(fit.sigma2, 0.25, 0.03);
+  EXPECT_GT(fit.r_squared, 0.97);
+  EXPECT_GT(fit.standard_errors[1], 0.0);
+  EXPECT_LT(fit.standard_errors[1], 0.05);
+}
+
+TEST(OlsTest, PerfectFitHasZeroResidual) {
+  OlsAccumulator ols(2);
+  for (int i = 0; i < 10; ++i) {
+    ols.Add({1.0, static_cast<double>(i)}, 5.0 - 2.0 * i);
+  }
+  const OlsFit fit = ols.Fit().value();
+  EXPECT_NEAR(fit.coefficients[0], 5.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -2.0, 1e-9);
+  EXPECT_NEAR(fit.sigma2, 0.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(OlsTest, TooFewObservationsRejected) {
+  OlsAccumulator ols(2);
+  ols.Add({1.0, 1.0}, 1.0);
+  EXPECT_TRUE(ols.Fit().status().IsFailedPrecondition());
+}
+
+TEST(OlsTest, SingularDesignRejected) {
+  OlsAccumulator ols(2);
+  for (int i = 0; i < 10; ++i) ols.Add({1.0, 1.0}, 2.0);  // collinear
+  EXPECT_FALSE(ols.Fit().ok());
+}
+
+// --- One-way REML --------------------------------------------------------------
+
+// Simulates q groups with n per group, between-group sd tau and residual
+// sd sigma.
+OneWayReml SimulateGroups(int q, int n, double tau, double sigma,
+                          uint64_t seed, double mu = 20.0) {
+  Rng rng(seed);
+  OneWayReml reml;
+  for (int g = 0; g < q; ++g) {
+    const double group_effect = rng.Gaussian(0.0, tau);
+    for (int i = 0; i < n; ++i) {
+      reml.Add(static_cast<size_t>(g),
+               mu + group_effect + rng.Gaussian(0.0, sigma));
+    }
+  }
+  return reml;
+}
+
+TEST(OneWayRemlTest, RecoversVarianceComponents) {
+  const OneWayReml reml = SimulateGroups(200, 30, 3.0, 5.0, 11);
+  const OneWayRemlFit fit = reml.Fit().value();
+  EXPECT_NEAR(fit.mu, 20.0, 0.6);
+  EXPECT_NEAR(fit.sigma2_residual, 25.0, 2.0);
+  EXPECT_NEAR(fit.sigma2_group, 9.0, 2.5);
+  EXPECT_NEAR(fit.lambda, 9.0 / 25.0, 0.12);
+  EXPECT_EQ(fit.num_observations, 200 * 30);
+}
+
+TEST(OneWayRemlTest, NoGroupEffectGivesNearZeroLambda) {
+  const OneWayReml reml = SimulateGroups(100, 40, 0.0, 5.0, 13);
+  const OneWayRemlFit fit = reml.Fit().value();
+  EXPECT_LT(fit.sigma2_group, 0.3);
+  EXPECT_NEAR(fit.sigma2_residual, 25.0, 2.0);
+}
+
+TEST(OneWayRemlTest, BlupsShrinkTowardsZero) {
+  const OneWayReml reml = SimulateGroups(50, 5, 4.0, 6.0, 17);
+  const OneWayRemlFit fit = reml.Fit().value();
+  for (size_t g = 0; g < fit.blup.size(); ++g) {
+    // |BLUP| never exceeds |raw deviation|.
+    const double raw = fit.group_mean[g] - fit.mu;
+    EXPECT_LE(std::abs(fit.blup[g]), std::abs(raw) + 1e-9);
+    EXPECT_GE(fit.shrinkage[g], 0.0);
+    EXPECT_LT(fit.shrinkage[g], 1.0);
+    EXPECT_GT(fit.blup_se[g], 0.0);
+  }
+}
+
+TEST(OneWayRemlTest, MoreDataShrinksLess) {
+  OneWayReml reml;
+  Rng rng(19);
+  // Group 0: 2 points; group 1: 200 points; same true effect.
+  for (int i = 0; i < 2; ++i) reml.Add(0, 25.0 + rng.Gaussian(0, 4));
+  for (int i = 0; i < 200; ++i) reml.Add(1, 25.0 + rng.Gaussian(0, 4));
+  for (int g = 2; g < 30; ++g) {
+    const double effect = rng.Gaussian(0, 3);
+    for (int i = 0; i < 20; ++i) {
+      reml.Add(static_cast<size_t>(g), 20.0 + effect + rng.Gaussian(0, 4));
+    }
+  }
+  const OneWayRemlFit fit = reml.Fit().value();
+  EXPECT_LT(fit.shrinkage[0], fit.shrinkage[1]);
+  EXPECT_GT(fit.blup_se[0], fit.blup_se[1]);
+}
+
+TEST(OneWayRemlTest, CriterionMinimisedAtFittedLambda) {
+  const OneWayReml reml = SimulateGroups(80, 10, 2.5, 4.0, 23);
+  const OneWayRemlFit fit = reml.Fit().value();
+  ASSERT_GT(fit.lambda, 0.0);
+  const double at_fit = reml.RemlCriterion(fit.lambda);
+  EXPECT_LE(at_fit, reml.RemlCriterion(fit.lambda * 2.0) + 1e-6);
+  EXPECT_LE(at_fit, reml.RemlCriterion(fit.lambda * 0.5) + 1e-6);
+  EXPECT_NEAR(at_fit, fit.reml_criterion, 1e-9);
+}
+
+TEST(OneWayRemlTest, RejectsDegenerateInputs) {
+  OneWayReml empty;
+  EXPECT_TRUE(empty.Fit().status().IsFailedPrecondition());
+  OneWayReml one_group;
+  one_group.Add(0, 1.0);
+  one_group.Add(0, 2.0);
+  EXPECT_FALSE(one_group.Fit().ok());
+}
+
+TEST(OneWayRemlTest, SparseGroupIndicesAllowed) {
+  OneWayReml reml;
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) reml.Add(3, rng.Gaussian(10, 1));
+  for (int i = 0; i < 50; ++i) reml.Add(9, rng.Gaussian(14, 1));
+  const OneWayRemlFit fit = reml.Fit().value();
+  EXPECT_EQ(fit.group_n.size(), 10u);
+  EXPECT_EQ(fit.group_n[0], 0);
+  EXPECT_DOUBLE_EQ(fit.blup[0], 0.0);  // unobserved group predicts 0
+  EXPECT_NE(fit.blup[3], 0.0);
+}
+
+// --- Generic mixed model ----------------------------------------------------------
+
+TEST(MixedModelTest, InterceptOnlyAgreesWithOneWayReml) {
+  Rng rng(31);
+  OneWayReml one_way;
+  MixedModel mixed(1);
+  for (int g = 0; g < 60; ++g) {
+    const double effect = rng.Gaussian(0, 2.5);
+    const int n = 5 + static_cast<int>(rng.UniformInt(0, 20));
+    for (int i = 0; i < n; ++i) {
+      const double y = 22.0 + effect + rng.Gaussian(0, 4.0);
+      one_way.Add(static_cast<size_t>(g), y);
+      mixed.Add({1.0}, static_cast<size_t>(g), y);
+    }
+  }
+  const OneWayRemlFit a = one_way.Fit().value();
+  const MixedModelFit b = mixed.Fit().value();
+  EXPECT_NEAR(a.lambda, b.lambda, 0.02 * (1.0 + a.lambda));
+  EXPECT_NEAR(a.sigma2_residual, b.sigma2_residual, 0.05);
+  EXPECT_NEAR(a.sigma2_group, b.sigma2_group, 0.1);
+  EXPECT_NEAR(a.mu, b.fixed_effects[0], 1e-3);
+  for (size_t g = 0; g < a.blup.size(); ++g) {
+    EXPECT_NEAR(a.blup[g], b.blup[g], 0.02);
+  }
+}
+
+TEST(MixedModelTest, RecoversFixedSlopeWithGroupEffects) {
+  Rng rng(37);
+  MixedModel mixed(2);
+  for (int g = 0; g < 80; ++g) {
+    const double effect = rng.Gaussian(0, 3.0);
+    for (int i = 0; i < 15; ++i) {
+      const double x = rng.Uniform(0, 10);
+      const double y = 5.0 - 1.5 * x + effect + rng.Gaussian(0, 2.0);
+      mixed.Add({1.0, x}, static_cast<size_t>(g), y);
+    }
+  }
+  const MixedModelFit fit = mixed.Fit().value();
+  EXPECT_NEAR(fit.fixed_effects[1], -1.5, 0.05);
+  EXPECT_NEAR(fit.sigma2_residual, 4.0, 0.5);
+  EXPECT_NEAR(fit.sigma2_group, 9.0, 3.5);
+  EXPECT_GT(fit.fixed_se[1], 0.0);
+}
+
+TEST(MixedModelTest, CriterionMinimisedAtFit) {
+  Rng rng(41);
+  MixedModel mixed(1);
+  for (int g = 0; g < 40; ++g) {
+    const double effect = rng.Gaussian(0, 2.0);
+    for (int i = 0; i < 12; ++i) {
+      mixed.Add({1.0}, static_cast<size_t>(g),
+                10.0 + effect + rng.Gaussian(0, 3.0));
+    }
+  }
+  const MixedModelFit fit = mixed.Fit().value();
+  ASSERT_GT(fit.lambda, 0.0);
+  const double at_fit = mixed.RemlCriterion(fit.lambda).value();
+  EXPECT_LE(at_fit, mixed.RemlCriterion(fit.lambda * 1.7).value() + 1e-6);
+  EXPECT_LE(at_fit, mixed.RemlCriterion(fit.lambda / 1.7).value() + 1e-6);
+}
+
+TEST(MixedModelTest, RejectsDegenerateInputs) {
+  MixedModel tiny(1);
+  tiny.Add({1.0}, 0, 1.0);
+  EXPECT_TRUE(tiny.Fit().status().IsFailedPrecondition());
+  MixedModel one_group(1);
+  for (int i = 0; i < 10; ++i) one_group.Add({1.0}, 0, i);
+  EXPECT_FALSE(one_group.Fit().ok());
+}
+
+// --- QQ ----------------------------------------------------------------------------
+
+TEST(QqTest, NormalQuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.0013499), -3.0, 1e-3);
+}
+
+TEST(QqTest, QuantileIsMonotone) {
+  double prev = -1e9;
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    const double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(QqTest, SeriesSortedAndPaired) {
+  const std::vector<QqPoint> series = NormalQqSeries({3.0, 1.0, 2.0});
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].sample, 1.0);
+  EXPECT_DOUBLE_EQ(series[2].sample, 3.0);
+  EXPECT_LT(series[0].theoretical, 0.0);
+  EXPECT_NEAR(series[1].theoretical, 0.0, 1e-9);
+  EXPECT_GT(series[2].theoretical, 0.0);
+}
+
+TEST(QqTest, GaussianSampleGivesStraightPlot) {
+  Rng rng(43);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.Gaussian(5.0, 2.0));
+  const auto series = NormalQqSeries(std::move(sample));
+  EXPECT_GT(QqCorrelation(series), 0.995);
+}
+
+TEST(QqTest, UniformSampleIsLessStraightThanGaussian) {
+  Rng rng(47);
+  std::vector<double> gaussian, heavy;
+  for (int i = 0; i < 3000; ++i) {
+    gaussian.push_back(rng.Gaussian(0, 1));
+    const double g = rng.Gaussian(0, 1);
+    heavy.push_back(g * g * g);  // heavy-tailed
+  }
+  EXPECT_GT(QqCorrelation(NormalQqSeries(std::move(gaussian))),
+            QqCorrelation(NormalQqSeries(std::move(heavy))));
+}
+
+TEST(QqTest, EmptySeries) {
+  EXPECT_TRUE(NormalQqSeries({}).empty());
+  EXPECT_DOUBLE_EQ(QqCorrelation({}), 0.0);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace taxitrace

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "taxitrace/odselect/od_gate.h"
+#include "taxitrace/odselect/transition_extractor.h"
+#include "taxitrace/odselect/transition_filter.h"
+
+namespace taxitrace {
+namespace odselect {
+namespace {
+
+using geo::EnPoint;
+
+const geo::LatLon kOrigin{65.0121, 25.4682};
+
+// Gate road running south->north along x = 0 from y = -100 to y = 100
+// (inbound = northward).
+OdGate NorthGate(const OdGateOptions& options = {}) {
+  return OdGate("N", geo::Polyline({{0, -100}, {0, 100}}), options);
+}
+
+trace::RoutePoint PointAt(const geo::LocalProjection& proj,
+                          const EnPoint& p, int64_t id, double t,
+                          double speed = 30.0) {
+  trace::RoutePoint out;
+  out.point_id = id;
+  out.trip_id = 1;
+  out.timestamp_s = t;
+  out.position = proj.Inverse(p);
+  out.speed_kmh = speed;
+  return out;
+}
+
+// A trip driving through the given local-frame waypoints at 10 s spacing.
+trace::Trip TripThrough(const geo::LocalProjection& proj,
+                        const std::vector<EnPoint>& waypoints) {
+  trace::Trip trip;
+  trip.trip_id = 42;
+  trip.car_id = 1;
+  for (size_t i = 0; i < waypoints.size(); ++i) {
+    trip.points.push_back(
+        PointAt(proj, waypoints[i], static_cast<int64_t>(i) + 1,
+                10.0 * static_cast<double>(i)));
+  }
+  return trip;
+}
+
+// --- OdGate ----------------------------------------------------------------
+
+TEST(OdGateTest, PolygonCoversThickenedRoad) {
+  const OdGate gate = NorthGate();
+  EXPECT_TRUE(gate.polygon().Contains(EnPoint{0, 0}));
+  EXPECT_TRUE(gate.polygon().Contains(EnPoint{55, 0}));   // within 60 m
+  EXPECT_FALSE(gate.polygon().Contains(EnPoint{80, 0}));
+  EXPECT_FALSE(gate.polygon().Contains(EnPoint{0, 200}));
+}
+
+TEST(OdGateTest, InboundAlongRoadAxis) {
+  const OdGate gate = NorthGate();
+  EXPECT_EQ(gate.Classify(EnPoint{10, -40}, EnPoint{10, 10}),
+            OdGate::Crossing::kInbound);
+}
+
+TEST(OdGateTest, OutboundAgainstRoadAxis) {
+  const OdGate gate = NorthGate();
+  EXPECT_EQ(gate.Classify(EnPoint{10, 10}, EnPoint{10, -40}),
+            OdGate::Crossing::kOutbound);
+}
+
+TEST(OdGateTest, PerpendicularCrossingRejected) {
+  const OdGate gate = NorthGate();
+  EXPECT_EQ(gate.Classify(EnPoint{-80, 0}, EnPoint{80, 0}),
+            OdGate::Crossing::kNone);
+}
+
+TEST(OdGateTest, DiagonalWithinWindowAccepted) {
+  OdGateOptions options;
+  options.max_angle_deg = 35.0;
+  const OdGate gate = NorthGate(options);
+  // 30 degrees off the axis: accepted.
+  EXPECT_EQ(gate.Classify(EnPoint{0, -30},
+                          EnPoint{30 * std::tan(30 * M_PI / 180), 0}),
+            OdGate::Crossing::kInbound);
+  // 45 degrees off: rejected.
+  EXPECT_EQ(gate.Classify(EnPoint{0, 0}, EnPoint{50, 50}),
+            OdGate::Crossing::kNone);
+}
+
+TEST(OdGateTest, MovementOutsidePolygonIgnored) {
+  const OdGate gate = NorthGate();
+  EXPECT_EQ(gate.Classify(EnPoint{500, 0}, EnPoint{500, 50}),
+            OdGate::Crossing::kNone);
+}
+
+TEST(OdGateTest, ZeroLengthMovementIgnored) {
+  const OdGate gate = NorthGate();
+  EXPECT_EQ(gate.Classify(EnPoint{0, 0}, EnPoint{0, 0}),
+            OdGate::Crossing::kNone);
+}
+
+TEST(OdGateTest, DistanceToRoad) {
+  const OdGate gate = NorthGate();
+  EXPECT_NEAR(gate.DistanceToRoad(EnPoint{30, 0}), 30.0, 1e-9);
+  EXPECT_NEAR(gate.DistanceToRoad(EnPoint{0, 150}), 50.0, 1e-9);
+}
+
+// --- TransitionExtractor -------------------------------------------------------
+
+class ExtractorTest : public testing::Test {
+ protected:
+  ExtractorTest()
+      : proj_(kOrigin),
+        extractor_(
+            {
+                // Gate A: vertical road at x = 0, inbound north.
+                OdGate("A", geo::Polyline({{0, -1000}, {0, -800}})),
+                // Gate B: vertical road at x = 0 up top, inbound south.
+                OdGate("B", geo::Polyline({{0, 1000}, {0, 800}})),
+            },
+            proj_) {}
+
+  geo::LocalProjection proj_;
+  TransitionExtractor extractor_;
+};
+
+TEST_F(ExtractorTest, DetectsSimpleTransition) {
+  // Drive from south of A straight north past B: inbound at A (heading
+  // north = A's inbound), outbound at B (B's inbound is south).
+  std::vector<EnPoint> waypoints;
+  for (double y = -1100; y <= 1100; y += 100) {
+    waypoints.push_back(EnPoint{5, y});
+  }
+  const trace::Trip trip = TripThrough(proj_, waypoints);
+  const TripGateAnalysis analysis = extractor_.Analyze(trip);
+  EXPECT_TRUE(analysis.crosses_gate_at_angle);
+  EXPECT_EQ(analysis.distinct_gates_crossed, 2);
+  ASSERT_EQ(analysis.transitions.size(), 1u);
+  const Transition& t = analysis.transitions[0];
+  EXPECT_EQ(t.origin, "A");
+  EXPECT_EQ(t.destination, "B");
+  EXPECT_EQ(t.Label(), "A-B");
+  EXPECT_EQ(t.segment.trip_id, trip.trip_id);
+  EXPECT_GE(t.segment.points.size(), 15u);
+}
+
+TEST_F(ExtractorTest, ReverseDriveGivesReverseTransition) {
+  std::vector<EnPoint> waypoints;
+  for (double y = 1100; y >= -1100; y -= 100) {
+    waypoints.push_back(EnPoint{5, y});
+  }
+  const TripGateAnalysis analysis =
+      extractor_.Analyze(TripThrough(proj_, waypoints));
+  ASSERT_EQ(analysis.transitions.size(), 1u);
+  EXPECT_EQ(analysis.transitions[0].Label(), "B-A");
+}
+
+TEST_F(ExtractorTest, TripTouchingOneGateHasNoTransition) {
+  std::vector<EnPoint> waypoints;
+  for (double y = -1100; y <= 0; y += 100) {
+    waypoints.push_back(EnPoint{5, y});
+  }
+  const TripGateAnalysis analysis =
+      extractor_.Analyze(TripThrough(proj_, waypoints));
+  EXPECT_TRUE(analysis.crosses_gate_at_angle);
+  EXPECT_EQ(analysis.distinct_gates_crossed, 1);
+  EXPECT_TRUE(analysis.transitions.empty());
+}
+
+TEST_F(ExtractorTest, TripAwayFromGatesDetectsNothing) {
+  std::vector<EnPoint> waypoints;
+  for (double y = -500; y <= 500; y += 100) {
+    waypoints.push_back(EnPoint{400, y});
+  }
+  const TripGateAnalysis analysis =
+      extractor_.Analyze(TripThrough(proj_, waypoints));
+  EXPECT_FALSE(analysis.crosses_gate_at_angle);
+  EXPECT_EQ(analysis.distinct_gates_crossed, 0);
+}
+
+TEST_F(ExtractorTest, ConsecutiveDetectionsCollapse) {
+  // Many closely spaced points inside gate A's polygon: one crossing.
+  std::vector<EnPoint> waypoints;
+  for (double y = -1050; y <= -750; y += 20) {
+    waypoints.push_back(EnPoint{0, y});
+  }
+  const trace::Trip trip = TripThrough(proj_, waypoints);
+  const std::vector<GateCrossing> crossings =
+      extractor_.FindCrossings(trip);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_EQ(crossings[0].direction, OdGate::Crossing::kInbound);
+  EXPECT_GT(crossings[0].last_point_index, crossings[0].point_index);
+}
+
+TEST_F(ExtractorTest, NewInboundSupersedesPending) {
+  // A (inbound) ... A again (inbound) ... B (outbound): the transition
+  // starts at the later A crossing.
+  std::vector<EnPoint> waypoints;
+  for (double y = -1100; y <= -700; y += 100) {
+    waypoints.push_back(EnPoint{5, y});  // first A crossing
+  }
+  for (double y = -700; y >= -1100; y -= 100) {
+    waypoints.push_back(EnPoint{150, y});  // loop back outside the gate
+  }
+  for (double y = -1100; y <= 1100; y += 100) {
+    waypoints.push_back(EnPoint{5, y});  // second A crossing, then B
+  }
+  const TripGateAnalysis analysis =
+      extractor_.Analyze(TripThrough(proj_, waypoints));
+  ASSERT_EQ(analysis.transitions.size(), 1u);
+  // The transition's first point is from the second pass (timestamp of
+  // the second approach).
+  EXPECT_GT(analysis.transitions[0].segment.StartTime(), 100.0);
+}
+
+TEST_F(ExtractorTest, TooShortTripIgnored) {
+  trace::Trip trip;
+  trip.points.push_back(PointAt(proj_, EnPoint{0, 0}, 1, 0.0));
+  EXPECT_TRUE(extractor_.FindCrossings(trip).empty());
+}
+
+// --- Transition filters -----------------------------------------------------------
+
+TEST(TransitionFilterTest, DirectionSelection) {
+  Transition t;
+  t.origin = "T";
+  t.destination = "S";
+  TransitionFilterOptions options;
+  EXPECT_TRUE(IsSelectedDirection(t, options));
+  t.destination = "Q";
+  EXPECT_FALSE(IsSelectedDirection(t, options));
+  options.directions = {"T-Q"};
+  EXPECT_TRUE(IsSelectedDirection(t, options));
+}
+
+TEST(TransitionFilterTest, CentralAreaFraction) {
+  const geo::LocalProjection proj(kOrigin);
+  const geo::Polygon central =
+      geo::MakeRectangle(geo::Bbox{-100, -100, 100, 100});
+  const geo::Bbox region{-1000, -1000, 1000, 1000};
+
+  Transition mostly_inside;
+  for (int i = 0; i < 10; ++i) {
+    const double y = -145.0 + 30.0 * i;  // 6 of 10 points clearly inside
+    mostly_inside.segment.points.push_back(
+        PointAt(proj, EnPoint{0, y}, i + 1, 10.0 * i));
+  }
+  TransitionFilterOptions options;
+  options.central_fraction = 0.55;
+  EXPECT_TRUE(IsWithinCentralArea(mostly_inside, central, region, proj,
+                                  options));
+  options.central_fraction = 0.75;
+  EXPECT_FALSE(IsWithinCentralArea(mostly_inside, central, region, proj,
+                                   options));
+}
+
+TEST(TransitionFilterTest, LeavingRegionFails) {
+  const geo::LocalProjection proj(kOrigin);
+  const geo::Polygon central =
+      geo::MakeRectangle(geo::Bbox{-100, -100, 100, 100});
+  const geo::Bbox region{-500, -500, 500, 500};
+  Transition wanderer;
+  wanderer.segment.points.push_back(PointAt(proj, EnPoint{0, 0}, 1, 0));
+  wanderer.segment.points.push_back(
+      PointAt(proj, EnPoint{900, 0}, 2, 10));  // outside the region
+  EXPECT_FALSE(IsWithinCentralArea(wanderer, central, region, proj, {}));
+}
+
+TEST(TransitionFilterTest, EmptyTransitionFails) {
+  const geo::LocalProjection proj(kOrigin);
+  const geo::Polygon central =
+      geo::MakeRectangle(geo::Bbox{-100, -100, 100, 100});
+  EXPECT_FALSE(IsWithinCentralArea(Transition{}, central,
+                                   geo::Bbox{-1, -1, 1, 1}, proj, {}));
+}
+
+TEST(TransitionFilterTest, EndpointPostFilter) {
+  const OdGate origin("O", geo::Polyline({{0, 0}, {0, 100}}));
+  const OdGate dest("D", geo::Polyline({{1000, 0}, {1000, 100}}));
+  TransitionFilterOptions options;
+  options.endpoint_max_distance_m = 45.0;
+
+  const geo::Polyline good({{10, 50}, {500, 50}, {990, 50}});
+  EXPECT_TRUE(PassesEndpointPostFilter(good, origin, dest, options));
+
+  const geo::Polyline bad_start({{200, 50}, {990, 50}});
+  EXPECT_FALSE(PassesEndpointPostFilter(bad_start, origin, dest, options));
+
+  const geo::Polyline bad_end({{10, 50}, {700, 50}});
+  EXPECT_FALSE(PassesEndpointPostFilter(bad_end, origin, dest, options));
+
+  EXPECT_FALSE(
+      PassesEndpointPostFilter(geo::Polyline(), origin, dest, options));
+}
+
+}  // namespace
+}  // namespace odselect
+}  // namespace taxitrace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/roadnet/router.h"
+#include "taxitrace/synth/city_map_generator.h"
+#include "taxitrace/synth/driver_model.h"
+#include "taxitrace/synth/pedestrian_model.h"
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace synth {
+namespace {
+
+const CityMap& TestMap() {
+  static const CityMap* map = [] {
+    auto result = GenerateCityMap();
+    return new CityMap(std::move(result).value());
+  }();
+  return *map;
+}
+
+TEST(PedestrianDiurnalTest, MiddayBusierThanNight) {
+  EXPECT_GT(PedestrianDiurnalCurve(13.0, false),
+            PedestrianDiurnalCurve(3.0, false));
+  EXPECT_GT(PedestrianDiurnalCurve(13.0, false), 1.0);
+  EXPECT_LT(PedestrianDiurnalCurve(3.0, false), 0.3);
+}
+
+TEST(PedestrianDiurnalTest, WeekendEveningPeak) {
+  EXPECT_GT(PedestrianDiurnalCurve(20.0, true),
+            PedestrianDiurnalCurve(20.0, false));
+  EXPECT_LT(PedestrianDiurnalCurve(8.0, true),
+            PedestrianDiurnalCurve(8.0, false));  // late weekend mornings
+}
+
+TEST(PedestrianDiurnalTest, WrapAround) {
+  EXPECT_DOUBLE_EQ(PedestrianDiurnalCurve(25.0, false),
+                   PedestrianDiurnalCurve(1.0, false));
+  EXPECT_DOUBLE_EQ(PedestrianDiurnalCurve(-1.0, false),
+                   PedestrianDiurnalCurve(23.0, false));
+}
+
+TEST(PedestrianModelTest, DeterministicAndBounded) {
+  const PedestrianModel a(5, TestMap().hotspots, 30);
+  const PedestrianModel b(5, TestMap().hotspots, 30);
+  for (int d = 0; d < 30; d += 3) {
+    const double t = d * trace::kSecondsPerDay + 13 * 3600.0;
+    EXPECT_EQ(a.ActivityAt(0, t), b.ActivityAt(0, t));
+    EXPECT_GE(a.ActivityAt(0, t), 0.0);
+    EXPECT_LE(a.ActivityAt(0, t), 2.1);
+  }
+}
+
+TEST(PedestrianModelTest, CrowdIntensityRespectsGeometry) {
+  const PedestrianModel model(7, TestMap().hotspots, 30);
+  const Hotspot& h = TestMap().hotspots.front();
+  const double midday = 13.0 * 3600.0;
+  EXPECT_GT(model.CrowdIntensityAt(h.center, midday), 0.2);
+  EXPECT_DOUBLE_EQ(
+      model.CrowdIntensityAt(
+          geo::EnPoint{h.center.x + h.radius_m + 100, h.center.y},
+          midday),
+      0.0);
+  EXPECT_LE(model.CrowdIntensityAt(h.center, midday), 1.0);
+}
+
+TEST(PedestrianModelTest, MiddayCrowdierThanNight) {
+  const PedestrianModel model(9, TestMap().hotspots, 30);
+  const Hotspot& h = TestMap().hotspots.front();
+  EXPECT_GT(model.CrowdIntensityAt(h.center, 13.0 * 3600.0),
+            model.CrowdIntensityAt(h.center, 3.0 * 3600.0));
+}
+
+TEST(PedestrianModelTest, MeanDaytimeActivityNearNominal) {
+  const PedestrianModel model(11, TestMap().hotspots, 60);
+  const double mean = model.MeanDaytimeActivity(0);
+  EXPECT_GT(mean, 0.7);
+  EXPECT_LT(mean, 1.5);
+  EXPECT_DOUBLE_EQ(model.MeanDaytimeActivity(999), 0.0);
+}
+
+TEST(PedestrianModelTest, DriverSlowsMoreAtPeakHours) {
+  // Drive the same hotspot-crossing path at 13:00 vs 03:00: the midday
+  // crowd should cost time (averaged over several stochastic runs).
+  const WeatherModel weather(3, 30);
+  const PedestrianModel pedestrians(13, TestMap().hotspots, 30);
+  const DriverModel driver(&TestMap(), &weather, DriverOptions{},
+                           &pedestrians);
+  const roadnet::Router router(&TestMap().network);
+  const auto s = TestMap().FindGate("S").value()->terminal_vertex;
+  const auto t = TestMap().FindGate("T").value()->terminal_vertex;
+  const roadnet::Path path = router.ShortestPath(s, t).value();
+
+  double midday_total = 0.0, night_total = 0.0;
+  Rng rng_a(21), rng_b(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    const double day = trial * trace::kSecondsPerDay;
+    const auto midday =
+        driver.Drive(path, day + 13.0 * 3600.0, 1.0, &rng_a);
+    const auto night =
+        driver.Drive(path, day + 3.0 * 3600.0, 1.0, &rng_b);
+    midday_total += midday.back().t_s - (day + 13.0 * 3600.0);
+    night_total += night.back().t_s - (day + 3.0 * 3600.0);
+  }
+  EXPECT_GT(midday_total, night_total);
+}
+
+TEST(PedestrianModelTest, NullModelFallsBackToStaticProfile) {
+  const WeatherModel weather(3, 30);
+  const DriverModel driver(&TestMap(), &weather);
+  const Hotspot& h = TestMap().hotspots.front();
+  // Static fallback: time-independent.
+  EXPECT_DOUBLE_EQ(driver.CrowdIntensity(h.center, 3.0 * 3600.0),
+                   driver.CrowdIntensity(h.center, 13.0 * 3600.0));
+  EXPECT_GT(driver.CrowdIntensity(h.center, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace taxitrace

@@ -1,0 +1,312 @@
+// Cross-module property tests: parameterised sweeps asserting the
+// invariants that hold across option ranges, seeds and noise levels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/common/random.h"
+#include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/mapmatch/match_quality.h"
+#include "taxitrace/model/one_way_reml.h"
+#include "taxitrace/roadnet/router.h"
+#include "taxitrace/synth/city_map_generator.h"
+#include "taxitrace/synth/driver_model.h"
+#include "taxitrace/synth/sensor_model.h"
+
+namespace taxitrace {
+namespace {
+
+const synth::CityMap& TestMap() {
+  static const synth::CityMap* map = [] {
+    auto result = synth::GenerateCityMap();
+    return new synth::CityMap(std::move(result).value());
+  }();
+  return *map;
+}
+
+// --- Projection round trips across origins -----------------------------------
+
+class ProjectionSweepTest
+    : public testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ProjectionSweepTest, RoundTripAndMetricAccuracy) {
+  const geo::LatLon origin{std::get<0>(GetParam()),
+                           std::get<1>(GetParam())};
+  const geo::LocalProjection proj(origin);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const geo::EnPoint p{rng.Uniform(-3000, 3000),
+                         rng.Uniform(-3000, 3000)};
+    const geo::EnPoint back = proj.Forward(proj.Inverse(p));
+    EXPECT_NEAR(back.x, p.x, 1e-6);
+    EXPECT_NEAR(back.y, p.y, 1e-6);
+    // Planar distance agrees with the great circle to < 0.1%.
+    const geo::LatLon a = proj.Inverse(geo::EnPoint{0, 0});
+    const geo::LatLon b = proj.Inverse(p);
+    const double planar = geo::Norm(p);
+    if (planar > 100.0) {
+      EXPECT_NEAR(geo::HaversineMeters(a, b) / planar, 1.0, 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Origins, ProjectionSweepTest,
+    testing::Values(std::make_tuple(65.0121, 25.4682),  // Oulu
+                    std::make_tuple(60.17, 24.94),      // Helsinki
+                    std::make_tuple(0.0, 0.0),          // equator
+                    std::make_tuple(-33.87, 151.21)));  // Sydney
+
+// --- Router metric properties --------------------------------------------------
+
+TEST(RouterPropertyTest, SymmetricOnTwoWayPairsAndTriangleInequality) {
+  const roadnet::RoadNetwork& net = TestMap().network;
+  const roadnet::Router router(&net);
+  Rng rng(13);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 20; ++trial) {
+    const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(net.vertices().size()) - 1));
+    const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(net.vertices().size()) - 1));
+    const auto c = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(net.vertices().size()) - 1));
+    const auto ab = router.ShortestPath(a, b);
+    const auto ba = router.ShortestPath(b, a);
+    const auto ac = router.ShortestPath(a, c);
+    const auto cb = router.ShortestPath(c, b);
+    if (!ab.ok() || !ba.ok() || !ac.ok() || !cb.ok()) continue;
+    // One-way streets break symmetry only by bounded detours.
+    EXPECT_LT(std::abs(ab->length_m - ba->length_m), 900.0);
+    // Triangle inequality holds exactly for shortest paths.
+    EXPECT_LE(ab->length_m, ac->length_m + cb->length_m + 1e-6);
+    ++checked;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(RouterPropertyTest, PathLengthMatchesGeometryLength) {
+  const roadnet::RoadNetwork& net = TestMap().network;
+  const roadnet::Router router(&net);
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(net.vertices().size()) - 1));
+    const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(net.vertices().size()) - 1));
+    const auto path = router.ShortestPath(a, b);
+    if (!path.ok()) continue;
+    EXPECT_NEAR(path->geometry.Length(), path->length_m,
+                1e-6 * std::max(1.0, path->length_m));
+  }
+}
+
+// --- Segmentation monotonicity ---------------------------------------------
+
+class SegmentationWindowTest : public testing::TestWithParam<double> {};
+
+TEST_P(SegmentationWindowTest, ShorterWindowNeverMergesMore) {
+  // A drive with pauses of many durations.
+  trace::Trip trip;
+  Rng rng(19);
+  double t = 0.0, lat = 65.0;
+  int64_t id = 1;
+  for (int block = 0; block < 12; ++block) {
+    for (int k = 0; k < 8; ++k) {
+      trace::RoutePoint p;
+      p.point_id = id++;
+      p.timestamp_s = (t += 10.0);
+      p.position = geo::LatLon{lat += 0.0003, 25.47};
+      trip.points.push_back(p);
+    }
+    // A pause of 30..600 s expressed as 30 s keepalives.
+    const double pause = rng.Uniform(30.0, 600.0);
+    for (double dt = 30.0; dt <= pause; dt += 30.0) {
+      trace::RoutePoint p = trip.points.back();
+      p.point_id = id++;
+      p.timestamp_s = t + dt;
+      trip.points.push_back(p);
+    }
+    t += pause;
+  }
+  clean::SegmentationOptions narrow;
+  narrow.rule1_window_s = GetParam();
+  clean::SegmentationOptions wide;
+  wide.rule1_window_s = GetParam() * 2.0;
+  const auto segments_narrow = clean::SegmentTrip(trip, narrow);
+  const auto segments_wide = clean::SegmentTrip(trip, wide);
+  EXPECT_GE(segments_narrow.size(), segments_wide.size());
+  // Every produced segment is internally time-monotone.
+  for (const trace::Trip& seg : segments_narrow) {
+    for (size_t i = 1; i < seg.points.size(); ++i) {
+      EXPECT_LE(seg.points[i - 1].timestamp_s, seg.points[i].timestamp_s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SegmentationWindowTest,
+                         testing::Values(60.0, 120.0, 180.0, 300.0));
+
+// --- Order repair under random glitches -----------------------------------
+
+class OrderRepairSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(OrderRepairSweepTest, RepairRestoresGeometryOrder) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    // A straight drive with strictly increasing latitude.
+    std::vector<trace::RoutePoint> pts;
+    const int n = 8 + static_cast<int>(rng.UniformInt(0, 20));
+    for (int i = 0; i < n; ++i) {
+      trace::RoutePoint p;
+      p.point_id = i + 1;
+      p.timestamp_s = 10.0 * i;
+      p.position = geo::LatLon{65.0 + 0.0004 * i, 25.47};
+      pts.push_back(p);
+    }
+    // Glitch: swap one field of a few adjacent pairs.
+    const bool timestamps = rng.Bernoulli(0.5);
+    const int swaps = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int s = 0; s < swaps; ++s) {
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
+      if (timestamps) {
+        std::swap(pts[i].timestamp_s, pts[i + 1].timestamp_s);
+      } else {
+        std::swap(pts[i].point_id, pts[i + 1].point_id);
+      }
+    }
+    clean::RepairPointOrder(&pts);
+    for (size_t i = 1; i < pts.size(); ++i) {
+      EXPECT_GT(pts[i].position.lat_deg, pts[i - 1].position.lat_deg);
+      EXPECT_LE(pts[i - 1].timestamp_s, pts[i].timestamp_s);
+      EXPECT_LE(pts[i - 1].point_id, pts[i].point_id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderRepairSweepTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+// --- REML recovery across variance regimes ---------------------------------
+
+class RemlSweepTest
+    : public testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RemlSweepTest, RecoversVarianceComponents) {
+  const double tau = std::get<0>(GetParam());
+  const double sigma = std::get<1>(GetParam());
+  Rng rng(static_cast<uint64_t>(tau * 100 + sigma));
+  model::OneWayReml reml;
+  for (int g = 0; g < 150; ++g) {
+    const double effect = rng.Gaussian(0.0, tau);
+    for (int i = 0; i < 25; ++i) {
+      reml.Add(static_cast<size_t>(g),
+               20.0 + effect + rng.Gaussian(0.0, sigma));
+    }
+  }
+  const model::OneWayRemlFit fit = reml.Fit().value();
+  EXPECT_NEAR(fit.sigma2_residual, sigma * sigma,
+              0.15 * sigma * sigma + 0.05);
+  EXPECT_NEAR(fit.sigma2_group, tau * tau,
+              0.35 * tau * tau + 0.3 * sigma * sigma / 25.0 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, RemlSweepTest,
+    testing::Values(std::make_tuple(0.5, 4.0), std::make_tuple(2.0, 4.0),
+                    std::make_tuple(5.0, 4.0), std::make_tuple(2.0, 1.0),
+                    std::make_tuple(2.0, 8.0)));
+
+// --- Matching under increasing GPS noise ------------------------------------
+
+class MatcherNoiseTest : public testing::TestWithParam<double> {};
+
+TEST_P(MatcherNoiseTest, RecoveryDegradesGracefully) {
+  const roadnet::SpatialIndex index(&TestMap().network);
+  const mapmatch::IncrementalMatcher matcher(&TestMap().network, &index);
+  const synth::WeatherModel weather(3, 30);
+  const synth::DriverModel driver(&TestMap(), &weather);
+  const roadnet::Router router(&TestMap().network);
+  synth::SensorOptions sensor_options;
+  sensor_options.gps_sigma_m = GetParam();
+  sensor_options.outlier_prob = 0.0;
+  sensor_options.timestamp_glitch_prob = 0.0;
+  sensor_options.id_glitch_prob = 0.0;
+  const synth::SensorModel sensor(sensor_options);
+
+  Rng rng(23);
+  double jaccard_sum = 0.0;
+  int n = 0;
+  while (n < 6) {
+    const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(TestMap().network.vertices().size()) - 1));
+    const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(TestMap().network.vertices().size()) - 1));
+    const auto path = router.ShortestPath(a, b);
+    if (!path.ok() || path->length_m < 900.0) continue;
+    const auto samples = driver.Drive(*path, 3600.0, 1.0, &rng);
+    trace::Trip trip;
+    int64_t next_id = 1;
+    trip.points = sensor.Observe(samples, 1, &next_id,
+                                 TestMap().network.projection(), &rng);
+    const auto matched = matcher.Match(trip);
+    if (!matched.ok()) continue;
+    std::vector<roadnet::EdgeId> truth_edges;
+    for (const roadnet::PathStep& s : path->steps) {
+      truth_edges.push_back(s.edge);
+    }
+    jaccard_sum +=
+        mapmatch::EdgeJaccard(matched->DistinctEdges(), truth_edges);
+    ++n;
+  }
+  // Recovery stays useful even at 3x the calibrated noise.
+  EXPECT_GT(jaccard_sum / n, GetParam() <= 8.0 ? 0.6 : 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, MatcherNoiseTest,
+                         testing::Values(2.0, 6.0, 12.0, 18.0));
+
+// --- Pipeline-integrated interpolation ------------------------------------
+
+TEST(CleaningInterpolationTest, FlagRestoresPoints) {
+  // One trip with a moving silent gap.
+  trace::TraceStore store;
+  trace::Trip trip;
+  trip.trip_id = 1;
+  trip.car_id = 1;
+  for (int i = 0; i < 6; ++i) {
+    trace::RoutePoint p;
+    p.point_id = i + 1;
+    p.timestamp_s = 10.0 * i;
+    p.position = geo::LatLon{65.0 + 0.0003 * i, 25.47};
+    p.speed_kmh = 30.0;
+    trip.points.push_back(p);
+  }
+  trace::RoutePoint far = trip.points.back();
+  far.point_id = 7;
+  far.timestamp_s += 120.0;
+  far.position.lat_deg += 0.008;  // ~900 m silent hop
+  trip.points.push_back(far);
+  ASSERT_TRUE(store.AddTrip(trip).ok());
+
+  clean::CleaningOptions off;
+  clean::CleaningReport report_off;
+  const auto plain = clean::CleanTrips(store, off, &report_off);
+  clean::CleaningOptions on = off;
+  on.restore_lost_points = true;
+  clean::CleaningReport report_on;
+  const auto restored = clean::CleanTrips(store, on, &report_on);
+
+  EXPECT_EQ(report_off.interpolation.points_inserted, 0);
+  EXPECT_GT(report_on.interpolation.points_inserted, 0);
+  ASSERT_EQ(plain.size(), 1u);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_GT(restored[0].points.size(), plain[0].points.size());
+}
+
+}  // namespace
+}  // namespace taxitrace

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/analysis/route_frequency.h"
+#include "taxitrace/analysis/speed_profile.h"
+#include "taxitrace/roadnet/connectivity.h"
+#include "taxitrace/roadnet/map_preparation.h"
+#include "taxitrace/synth/city_map_generator.h"
+
+namespace taxitrace {
+namespace {
+
+using geo::EnPoint;
+
+// --- Route frequency -----------------------------------------------------------
+
+mapmatch::MatchedRoute RouteWithEdges(std::vector<roadnet::EdgeId> edges) {
+  mapmatch::MatchedRoute route;
+  for (roadnet::EdgeId e : edges) {
+    route.steps.push_back(roadnet::PathStep{e, true});
+  }
+  return route;
+}
+
+analysis::TransitionRecord Record(const std::string& direction,
+                                  double time_h, double dist_km = 2.3,
+                                  double fuel = 250.0) {
+  analysis::TransitionRecord r;
+  r.direction = direction;
+  r.route_time_h = time_h;
+  r.route_distance_km = dist_km;
+  r.fuel_ml = fuel;
+  r.low_speed_share = 0.2;
+  return r;
+}
+
+TEST(RouteFrequencyTest, GroupsSimilarRoutes) {
+  std::vector<analysis::TransitionRecord> records = {
+      Record("S-T", 0.10), Record("S-T", 0.12), Record("S-T", 0.20),
+      Record("T-L", 0.10)};
+  std::vector<mapmatch::MatchedRoute> routes = {
+      RouteWithEdges({1, 2, 3, 4, 5}),
+      RouteWithEdges({1, 2, 3, 4, 5}),      // identical alternative
+      RouteWithEdges({10, 11, 12, 13}),     // different route
+      RouteWithEdges({1, 2, 3, 4, 5}),      // other direction
+  };
+  const auto alternatives =
+      analysis::GroupRouteAlternatives(records, routes);
+  ASSERT_EQ(alternatives.size(), 3u);
+  // Sorted by direction then count: S-T's main alternative first.
+  EXPECT_EQ(alternatives[0].direction, "S-T");
+  EXPECT_EQ(alternatives[0].count, 2);
+  EXPECT_NEAR(alternatives[0].share, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(alternatives[0].mean_time_h, 0.11, 1e-9);
+  EXPECT_EQ(alternatives[1].direction, "S-T");
+  EXPECT_EQ(alternatives[1].count, 1);
+  EXPECT_EQ(alternatives[2].direction, "T-L");
+  EXPECT_NEAR(alternatives[2].share, 1.0, 1e-9);
+}
+
+TEST(RouteFrequencyTest, SimilarButNotIdenticalRoutesMerge) {
+  std::vector<analysis::TransitionRecord> records = {
+      Record("S-T", 0.10), Record("S-T", 0.12)};
+  // 5 of 6 edges shared -> Jaccard 5/7? No: sets {1..6} and {1..5,7}:
+  // intersection 5, union 7 -> 0.714 < 0.8 -> separate groups.
+  std::vector<mapmatch::MatchedRoute> routes = {
+      RouteWithEdges({1, 2, 3, 4, 5, 6}),
+      RouteWithEdges({1, 2, 3, 4, 5, 7})};
+  analysis::RouteFrequencyOptions strict;
+  strict.similarity_threshold = 0.8;
+  EXPECT_EQ(
+      analysis::GroupRouteAlternatives(records, routes, strict).size(),
+      2u);
+  analysis::RouteFrequencyOptions loose;
+  loose.similarity_threshold = 0.6;
+  EXPECT_EQ(
+      analysis::GroupRouteAlternatives(records, routes, loose).size(),
+      1u);
+}
+
+TEST(RouteFrequencyTest, FastestAlternative) {
+  std::vector<analysis::TransitionRecord> records = {
+      Record("S-T", 0.20), Record("S-T", 0.20), Record("S-T", 0.21),
+      Record("S-T", 0.10), Record("S-T", 0.11), Record("S-T", 0.12)};
+  std::vector<mapmatch::MatchedRoute> routes = {
+      RouteWithEdges({1, 2, 3}), RouteWithEdges({1, 2, 3}),
+      RouteWithEdges({1, 2, 3}), RouteWithEdges({7, 8, 9}),
+      RouteWithEdges({7, 8, 9}), RouteWithEdges({7, 8, 9})};
+  const auto alternatives =
+      analysis::GroupRouteAlternatives(records, routes);
+  const analysis::RouteAlternative* fastest =
+      analysis::FastestAlternative(alternatives, "S-T", 3);
+  ASSERT_NE(fastest, nullptr);
+  EXPECT_NEAR(fastest->mean_time_h, 0.11, 1e-9);
+  EXPECT_EQ(analysis::FastestAlternative(alternatives, "T-L", 1),
+            nullptr);
+  EXPECT_EQ(analysis::FastestAlternative(alternatives, "S-T", 10),
+            nullptr);
+}
+
+TEST(RouteFrequencyTest, EmptyInputs) {
+  EXPECT_TRUE(analysis::GroupRouteAlternatives({}, {}).empty());
+}
+
+// --- Speed profile ---------------------------------------------------------------
+
+TEST(SpeedProfileTest, BinsAlongCorridor) {
+  const geo::LocalProjection proj(geo::LatLon{65.0, 25.47});
+  const geo::Polyline corridor({{0, 0}, {1000, 0}});
+  // A trip driving the corridor: fast in the first half, slow at 600 m.
+  trace::Trip trip;
+  for (int i = 0; i <= 20; ++i) {
+    trace::RoutePoint p;
+    p.point_id = i + 1;
+    p.timestamp_s = 10.0 * i;
+    p.position = proj.Inverse(geo::EnPoint{50.0 * i, 5.0});
+    p.speed_kmh = (i >= 11 && i <= 13) ? 5.0 : 40.0;
+    trip.points.push_back(p);
+  }
+  const std::vector<analysis::ProfileBin> profile =
+      analysis::BuildSpeedProfile({&trip}, corridor, proj);
+  ASSERT_EQ(profile.size(), 10u);
+  EXPECT_EQ(profile[0].arc_start_m, 0.0);
+  EXPECT_EQ(profile[9].arc_end_m, 1000.0);
+  // Bins 0..4 fast; the slow points at x=550..650 land in bins 5-6.
+  EXPECT_NEAR(profile[1].mean_speed_kmh, 40.0, 1e-9);
+  const analysis::ProfileBin* slowest = analysis::SlowestBin(profile);
+  ASSERT_NE(slowest, nullptr);
+  EXPECT_LT(slowest->mean_speed_kmh, 20.0);
+  EXPECT_GE(slowest->arc_start_m, 500.0);
+  EXPECT_LE(slowest->arc_end_m, 700.0);
+  EXPECT_EQ(slowest->min_speed_kmh, 5.0);
+}
+
+TEST(SpeedProfileTest, OffCorridorPointsIgnored) {
+  const geo::LocalProjection proj(geo::LatLon{65.0, 25.47});
+  const geo::Polyline corridor({{0, 0}, {1000, 0}});
+  trace::Trip trip;
+  trace::RoutePoint p;
+  p.position = proj.Inverse(geo::EnPoint{500, 200});  // 200 m off
+  p.speed_kmh = 50.0;
+  trip.points.push_back(p);
+  const auto profile = analysis::BuildSpeedProfile({&trip}, corridor, proj);
+  for (const analysis::ProfileBin& bin : profile) {
+    EXPECT_EQ(bin.n, 0);
+  }
+  EXPECT_EQ(analysis::SlowestBin(profile), nullptr);
+}
+
+TEST(SpeedProfileTest, DegenerateInputs) {
+  const geo::LocalProjection proj(geo::LatLon{65.0, 25.47});
+  EXPECT_TRUE(
+      analysis::BuildSpeedProfile({}, geo::Polyline(), proj).empty());
+  analysis::SpeedProfileOptions bad;
+  bad.bin_m = 0.0;
+  EXPECT_TRUE(analysis::BuildSpeedProfile(
+                  {}, geo::Polyline({{0, 0}, {10, 0}}), proj, bad)
+                  .empty());
+}
+
+// --- Connectivity ------------------------------------------------------------------
+
+roadnet::TrafficElement Element(roadnet::ElementId id,
+                                std::vector<EnPoint> pts,
+                                roadnet::TravelDirection dir =
+                                    roadnet::TravelDirection::kBoth) {
+  roadnet::TrafficElement el;
+  el.id = id;
+  el.geometry = geo::Polyline(std::move(pts));
+  el.direction = dir;
+  return el;
+}
+
+TEST(ConnectivityTest, SingleComponentPlus) {
+  const std::vector<roadnet::TrafficElement> elements = {
+      Element(1, {{0, 0}, {100, 0}}),
+      Element(2, {{0, 0}, {-100, 0}}),
+      Element(3, {{0, 0}, {0, 100}}),
+  };
+  const roadnet::RoadNetwork net =
+      roadnet::PrepareRoadNetwork(elements, {}, geo::LatLon{65, 25})
+          .value();
+  const roadnet::ConnectivityReport report =
+      roadnet::AnalyzeConnectivity(net);
+  EXPECT_EQ(report.weak_components, 1);
+  EXPECT_EQ(report.largest_scc_size, report.num_vertices);
+  EXPECT_DOUBLE_EQ(report.scc_coverage, 1.0);
+}
+
+TEST(ConnectivityTest, TwoIslands) {
+  const std::vector<roadnet::TrafficElement> elements = {
+      Element(1, {{0, 0}, {100, 0}}),
+      Element(2, {{5000, 0}, {5100, 0}}),
+  };
+  const roadnet::RoadNetwork net =
+      roadnet::PrepareRoadNetwork(elements, {}, geo::LatLon{65, 25})
+          .value();
+  EXPECT_EQ(roadnet::CountWeakComponents(net), 2);
+  EXPECT_LT(roadnet::AnalyzeConnectivity(net).scc_coverage, 1.0);
+}
+
+TEST(ConnectivityTest, OneWayDeadEndLeavesScc) {
+  // A one-way spur: you can drive in but never out, so its far end is
+  // not in the SCC while the loop is.
+  const std::vector<roadnet::TrafficElement> elements = {
+      Element(1, {{0, 0}, {100, 0}}),
+      Element(2, {{100, 0}, {100, 100}}),
+      Element(3, {{100, 100}, {0, 100}}),
+      Element(4, {{0, 100}, {0, 0}}),
+      Element(5, {{0, 0}, {-100, 0}}, roadnet::TravelDirection::kForward),
+      Element(6, {{100, 0}, {200, 0}}),  // keeps (100,0) a junction
+  };
+  const roadnet::RoadNetwork net =
+      roadnet::PrepareRoadNetwork(elements, {}, geo::LatLon{65, 25})
+          .value();
+  const std::vector<roadnet::VertexId> scc =
+      roadnet::LargestStronglyConnectedComponent(net);
+  // The spur terminal (-100, 0) is reachable but cannot return.
+  bool spur_in_scc = false;
+  for (roadnet::VertexId v : scc) {
+    if (geo::Distance(net.vertex(v).position, EnPoint{-100, 0}) < 1.0) {
+      spur_in_scc = true;
+    }
+  }
+  EXPECT_FALSE(spur_in_scc);
+  // Graph vertices: the two loop junctions ((0,0), (100,0) — the other
+  // corners merge through), the two-way stub terminal (200,0) and the
+  // spur terminal. All but the spur terminal are mutually reachable.
+  EXPECT_EQ(scc.size(), 3u);
+}
+
+TEST(ConnectivityTest, GeneratedCityIsDrivable) {
+  const roadnet::ConnectivityReport report =
+      roadnet::AnalyzeConnectivity(
+          synth::GenerateCityMap().value().network);
+  EXPECT_EQ(report.weak_components, 1);
+  // One-way pairs must not strand a significant part of the city.
+  EXPECT_GT(report.scc_coverage, 0.95);
+}
+
+}  // namespace
+}  // namespace taxitrace

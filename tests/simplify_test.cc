@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/geo/simplify.h"
+
+namespace taxitrace {
+namespace geo {
+namespace {
+
+TEST(SimplifyTest, CollinearPointsCollapse) {
+  const Polyline line({{0, 0}, {10, 0}, {20, 0}, {30, 0}});
+  const Polyline simplified = Simplify(line, 1.0);
+  EXPECT_EQ(simplified.size(), 2u);
+  EXPECT_EQ(simplified.front(), (EnPoint{0, 0}));
+  EXPECT_EQ(simplified.back(), (EnPoint{30, 0}));
+}
+
+TEST(SimplifyTest, SignificantCornerKept) {
+  const Polyline line({{0, 0}, {50, 0}, {50, 50}});
+  const Polyline simplified = Simplify(line, 5.0);
+  EXPECT_EQ(simplified.size(), 3u);
+}
+
+TEST(SimplifyTest, SmallWiggleRemoved) {
+  const Polyline line({{0, 0}, {25, 2}, {50, 0}});
+  EXPECT_EQ(Simplify(line, 5.0).size(), 2u);
+  EXPECT_EQ(Simplify(line, 1.0).size(), 3u);
+}
+
+TEST(SimplifyTest, EndpointsAlwaysKept) {
+  Rng rng(3);
+  std::vector<EnPoint> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back(EnPoint{i * 10.0, rng.Uniform(-3.0, 3.0)});
+  }
+  const Polyline line(pts);
+  const Polyline simplified = Simplify(line, 8.0);
+  EXPECT_EQ(simplified.front(), line.front());
+  EXPECT_EQ(simplified.back(), line.back());
+  EXPECT_LT(simplified.size(), line.size());
+}
+
+TEST(SimplifyTest, DegenerateInputsUnchanged) {
+  EXPECT_EQ(Simplify(Polyline(), 5.0).size(), 0u);
+  EXPECT_EQ(Simplify(Polyline({{1, 1}}), 5.0).size(), 1u);
+  EXPECT_EQ(Simplify(Polyline({{0, 0}, {1, 1}}), 5.0).size(), 2u);
+  const Polyline line({{0, 0}, {10, 5}, {20, 0}});
+  EXPECT_EQ(Simplify(line, 0.0).size(), 3u);  // zero tolerance: no-op
+}
+
+// Property: every original vertex stays within tolerance of the
+// simplified line.
+class SimplifyToleranceTest : public testing::TestWithParam<double> {};
+
+TEST_P(SimplifyToleranceTest, ErrorBounded) {
+  Rng rng(static_cast<uint64_t>(GetParam() * 100.0));
+  std::vector<EnPoint> pts{{0, 0}};
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back(pts.back() +
+                  EnPoint{rng.Uniform(5, 25), rng.Uniform(-15, 15)});
+  }
+  const Polyline line(pts);
+  const Polyline simplified = Simplify(line, GetParam());
+  for (const EnPoint& p : line.points()) {
+    EXPECT_LE(simplified.Project(p).distance, GetParam() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, SimplifyToleranceTest,
+                         testing::Values(2.0, 5.0, 10.0, 30.0));
+
+}  // namespace
+}  // namespace geo
+}  // namespace taxitrace

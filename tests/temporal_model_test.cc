@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "taxitrace/analysis/temporal.h"
+#include "taxitrace/common/histogram.h"
+#include "taxitrace/common/random.h"
+#include "taxitrace/model/diagnostics.h"
+#include "taxitrace/model/significance.h"
+#include "taxitrace/trace/time_util.h"
+
+namespace taxitrace {
+namespace {
+
+// --- Day of week ---------------------------------------------------------------
+
+TEST(DayOfWeekTest, StudyEpochIsAMonday) {
+  // 2012-10-01 was a Monday.
+  EXPECT_EQ(trace::DayOfWeek(0.0), 0);
+  EXPECT_EQ(trace::DayOfWeek(4.0 * trace::kSecondsPerDay), 4);  // Friday
+  EXPECT_EQ(trace::DayOfWeek(5.0 * trace::kSecondsPerDay), 5);  // Saturday
+  EXPECT_EQ(trace::DayOfWeek(7.0 * trace::kSecondsPerDay), 0);  // Monday
+  EXPECT_FALSE(trace::IsWeekend(0.0));
+  EXPECT_TRUE(trace::IsWeekend(6.0 * trace::kSecondsPerDay));
+}
+
+// --- Temporal series -------------------------------------------------------------
+
+trace::Trip TripWithPoint(double t, double speed) {
+  trace::Trip trip;
+  trace::RoutePoint p;
+  p.timestamp_s = t;
+  p.speed_kmh = speed;
+  trip.points.push_back(p);
+  return trip;
+}
+
+TEST(TemporalTest, HourlySeriesBucketsByHour) {
+  const trace::Trip morning = TripWithPoint(8.5 * 3600.0, 20.0);
+  const trace::Trip noon = TripWithPoint(12.25 * 3600.0, 40.0);
+  const trace::Trip noon2 = TripWithPoint(12.75 * 3600.0, 20.0);
+  const auto series =
+      analysis::HourlySpeedSeries({&morning, &noon, &noon2});
+  ASSERT_EQ(series.size(), 24u);
+  EXPECT_EQ(series[8].n, 1);
+  EXPECT_DOUBLE_EQ(series[8].mean_kmh, 20.0);
+  EXPECT_EQ(series[12].n, 2);
+  EXPECT_DOUBLE_EQ(series[12].mean_kmh, 30.0);
+  EXPECT_EQ(series[3].n, 0);
+}
+
+TEST(TemporalTest, DailySeriesBucketsByWeekday) {
+  const trace::Trip monday = TripWithPoint(10 * 3600.0, 30.0);
+  const trace::Trip saturday =
+      TripWithPoint(5 * trace::kSecondsPerDay + 10 * 3600.0, 40.0);
+  const auto series = analysis::DailySpeedSeries({&monday, &saturday});
+  ASSERT_EQ(series.size(), 7u);
+  EXPECT_EQ(series[0].n, 1);
+  EXPECT_DOUBLE_EQ(series[5].mean_kmh, 40.0);
+}
+
+TEST(TemporalTest, RushHourSlowdown) {
+  const trace::Trip rush = TripWithPoint(8.0 * 3600.0, 18.0);
+  const trace::Trip offpeak = TripWithPoint(11.0 * 3600.0, 30.0);
+  const auto series = analysis::HourlySpeedSeries({&rush, &offpeak});
+  EXPECT_NEAR(analysis::RushHourSlowdownKmh(series), 12.0, 1e-9);
+  // Missing windows give 0.
+  EXPECT_DOUBLE_EQ(analysis::RushHourSlowdownKmh(
+                       analysis::HourlySpeedSeries({&rush})),
+                   0.0);
+}
+
+// --- Chi-square / incomplete gamma ----------------------------------------------
+
+TEST(ChiSquareTest, KnownValues) {
+  // Critical values: P(chi2_1 > 3.841) = 0.05, P(chi2_2 > 5.991) = 0.05.
+  EXPECT_NEAR(model::ChiSquareSurvival(3.841, 1), 0.05, 1e-3);
+  EXPECT_NEAR(model::ChiSquareSurvival(5.991, 2), 0.05, 1e-3);
+  EXPECT_NEAR(model::ChiSquareSurvival(6.635, 1), 0.01, 1e-3);
+  EXPECT_NEAR(model::ChiSquareSurvival(0.0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(model::ChiSquareSurvival(1e6, 1), 0.0, 1e-9);
+  // chi2_2 has a closed form: exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(model::ChiSquareSurvival(x, 2), std::exp(-x / 2.0), 1e-10);
+  }
+}
+
+TEST(ChiSquareTest, MonotoneInX) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 20.0; x += 0.7) {
+    const double s = model::ChiSquareSurvival(x, 3);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+// --- Random-effect LRT --------------------------------------------------------
+
+TEST(RandomEffectLrtTest, DetectsRealGroupEffect) {
+  Rng rng(7);
+  model::OneWayReml reml;
+  for (int g = 0; g < 60; ++g) {
+    const double effect = rng.Gaussian(0.0, 3.0);
+    for (int i = 0; i < 20; ++i) {
+      reml.Add(static_cast<size_t>(g),
+               20.0 + effect + rng.Gaussian(0.0, 4.0));
+    }
+  }
+  const model::RandomEffectLrt lrt =
+      model::TestRandomEffect(reml).value();
+  EXPECT_GT(lrt.statistic, 20.0);
+  EXPECT_LT(lrt.p_value, 1e-4);
+  EXPECT_TRUE(lrt.Significant());
+}
+
+TEST(RandomEffectLrtTest, NullEffectIsInsignificantMostOfTheTime) {
+  // Under H0 the test should rarely reject: count rejections over
+  // repeated simulations.
+  int rejections = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + static_cast<uint64_t>(t));
+    model::OneWayReml reml;
+    for (int g = 0; g < 30; ++g) {
+      for (int i = 0; i < 15; ++i) {
+        reml.Add(static_cast<size_t>(g), rng.Gaussian(10.0, 5.0));
+      }
+    }
+    if (model::TestRandomEffect(reml).value().Significant(0.05)) {
+      ++rejections;
+    }
+  }
+  // Expected ~5%; allow generous head room against seed luck.
+  EXPECT_LE(rejections, 7);
+}
+
+// --- Histogram -------------------------------------------------------------------
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({1.0, 1.5, 3.0, 9.9, -5.0, 15.0});
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.count(0), 3);  // 1.0, 1.5 and the clamped -5
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 2);  // 9.9 and the clamped 15
+  EXPECT_DOUBLE_EQ(h.BinLow(2), 4.0);
+}
+
+TEST(HistogramTest, ModeAndQuantile) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 70; ++i) h.Add(25.0);
+  for (int i = 0; i < 30; ++i) h.Add(75.0);
+  EXPECT_DOUBLE_EQ(h.Mode(), 25.0);
+  EXPECT_NEAR(h.Quantile(0.5), 27.1, 0.5);  // inside the 20-30 bin
+  EXPECT_GE(h.Quantile(0.9), 70.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileMatchesGaussianRoughly) {
+  Histogram h(-5.0, 5.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Gaussian());
+  EXPECT_NEAR(h.Quantile(0.5), 0.0, 0.05);
+  EXPECT_NEAR(h.Quantile(0.975), 1.96, 0.1);
+}
+
+TEST(HistogramTest, RenderShape) {
+  Histogram h(0.0, 2.0, 2);
+  h.AddAll({0.5, 0.6, 1.5});
+  const std::string text = h.Render(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bar
+  EXPECT_NE(text.find(" 2\n"), std::string::npos);
+  EXPECT_NE(text.find(" 1\n"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.Mode(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+
+// --- Residual diagnostics --------------------------------------------------------
+
+TEST(ResidualDiagnosticsTest, WellSpecifiedModelLooksClean) {
+  Rng rng(51);
+  model::OneWayReml reml;
+  std::vector<double> y;
+  std::vector<size_t> groups;
+  for (size_t g = 0; g < 40; ++g) {
+    const double effect = rng.Gaussian(0.0, 3.0);
+    for (int i = 0; i < 30; ++i) {
+      const double value = 20.0 + effect + rng.Gaussian(0.0, 2.0);
+      reml.Add(g, value);
+      y.push_back(value);
+      groups.push_back(g);
+    }
+  }
+  const model::OneWayRemlFit fit = reml.Fit().value();
+  const model::ResidualDiagnostics diag =
+      model::DiagnoseResiduals(y, groups, fit).value();
+  EXPECT_EQ(diag.n, 1200);
+  EXPECT_GT(diag.qq_correlation, 0.995);
+  EXPECT_NEAR(diag.residual_sd, 2.0, 0.3);
+  EXPECT_LT(diag.heteroscedasticity_ratio, 1.4);
+  EXPECT_EQ(diag.buckets.size(), 5u);
+  for (size_t b = 1; b < diag.buckets.size(); ++b) {
+    EXPECT_GE(diag.buckets[b].fitted_mean,
+              diag.buckets[b - 1].fitted_mean);
+  }
+}
+
+TEST(ResidualDiagnosticsTest, DetectsHeteroscedasticity) {
+  Rng rng(53);
+  model::OneWayReml reml;
+  std::vector<double> y;
+  std::vector<size_t> groups;
+  for (size_t g = 0; g < 40; ++g) {
+    // Group means spread widely; residual spread grows with the mean.
+    const double mean = 10.0 + static_cast<double>(g);
+    const double sd = 0.5 + 0.15 * static_cast<double>(g);
+    for (int i = 0; i < 30; ++i) {
+      const double value = mean + rng.Gaussian(0.0, sd);
+      reml.Add(g, value);
+      y.push_back(value);
+      groups.push_back(g);
+    }
+  }
+  const model::OneWayRemlFit fit = reml.Fit().value();
+  const model::ResidualDiagnostics diag =
+      model::DiagnoseResiduals(y, groups, fit).value();
+  EXPECT_GT(diag.heteroscedasticity_ratio, 1.8);
+}
+
+TEST(ResidualDiagnosticsTest, RejectsBadInputs) {
+  model::OneWayRemlFit fit;
+  EXPECT_FALSE(model::DiagnoseResiduals({1.0}, {0, 1}, fit).ok());
+  EXPECT_FALSE(model::DiagnoseResiduals({1.0, 2.0}, {0, 1}, fit).ok());
+}
+
+}  // namespace
+}  // namespace taxitrace

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "taxitrace/trace/trace_query.h"
+
+namespace taxitrace {
+namespace trace {
+namespace {
+
+const geo::LatLon kOrigin{65.0121, 25.4682};
+
+// Builds a trip of `n` points along a line starting at local (x0, y0).
+Trip LineTrip(int64_t id, double t0, double x0, double y0, int n,
+              const geo::LocalProjection& proj) {
+  Trip trip;
+  trip.trip_id = id;
+  trip.car_id = 1;
+  for (int i = 0; i < n; ++i) {
+    RoutePoint p;
+    p.point_id = i + 1;
+    p.trip_id = id;
+    p.timestamp_s = t0 + 10.0 * i;
+    p.position = proj.Inverse(geo::EnPoint{x0 + 30.0 * i, y0});
+    trip.points.push_back(p);
+  }
+  return trip;
+}
+
+class TraceQueryTest : public testing::Test {
+ protected:
+  TraceQueryTest() : proj_(kOrigin) {
+    // Trip 1: near the origin, t 0..90.
+    EXPECT_TRUE(store_.AddTrip(LineTrip(1, 0.0, 0, 0, 10, proj_)).ok());
+    // Trip 2: 2 km east, t 1000..1090.
+    EXPECT_TRUE(
+        store_.AddTrip(LineTrip(2, 1000.0, 2000, 0, 10, proj_)).ok());
+    // Trip 3: 2 km north, t 50..140 (overlaps trip 1 in time).
+    EXPECT_TRUE(
+        store_.AddTrip(LineTrip(3, 50.0, 0, 2000, 10, proj_)).ok());
+  }
+
+  geo::LocalProjection proj_;
+  TraceStore store_;
+};
+
+TEST_F(TraceQueryTest, TimeRangeOverlap) {
+  EXPECT_EQ(TripsInTimeRange(store_, 0.0, 200.0).size(), 2u);
+  EXPECT_EQ(TripsInTimeRange(store_, 95.0, 130.0).size(), 1u);  // trip 3
+  EXPECT_EQ(TripsInTimeRange(store_, 2000.0, 3000.0).size(), 0u);
+  // Boundary containment: exact end time matches.
+  EXPECT_EQ(TripsInTimeRange(store_, 90.0, 90.0).size(), 2u);
+}
+
+TEST_F(TraceQueryTest, BboxQuery) {
+  const geo::Bbox near_origin{-100, -100, 400, 100};
+  const auto trips = TripsIntersectingBbox(store_, near_origin, proj_);
+  ASSERT_EQ(trips.size(), 1u);
+  EXPECT_EQ(trips[0]->trip_id, 1);
+  const geo::Bbox everything{-100, -100, 3000, 3000};
+  EXPECT_EQ(TripsIntersectingBbox(store_, everything, proj_).size(), 3u);
+}
+
+TEST_F(TraceQueryTest, PolygonQueries) {
+  // Triangle around the east trip's start.
+  const geo::Polygon triangle(
+      {{1900, -100}, {2150, -100}, {2025, 150}});
+  const auto trips = TripsIntersectingPolygon(store_, triangle, proj_);
+  ASSERT_EQ(trips.size(), 1u);
+  EXPECT_EQ(trips[0]->trip_id, 2);
+  // At y = 0 the triangle spans x in (1950, 2100): points 2000, 2030,
+  // 2060, 2090 are inside; 2120 falls outside the right edge.
+  EXPECT_EQ(CountPointsWithinPolygon(store_, triangle, proj_), 4);
+}
+
+TEST_F(TraceQueryTest, TripBounds) {
+  const geo::Bbox bounds = TripBounds(store_.trips()[0], proj_);
+  ASSERT_TRUE(bounds.IsValid());
+  EXPECT_NEAR(bounds.min_x, 0.0, 0.01);
+  EXPECT_NEAR(bounds.max_x, 270.0, 0.01);
+  EXPECT_NEAR(bounds.min_y, 0.0, 0.01);
+  EXPECT_FALSE(TripBounds(Trip{}, proj_).IsValid());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace taxitrace
