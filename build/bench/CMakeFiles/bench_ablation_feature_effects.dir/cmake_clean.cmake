@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_feature_effects.dir/bench_ablation_feature_effects.cc.o"
+  "CMakeFiles/bench_ablation_feature_effects.dir/bench_ablation_feature_effects.cc.o.d"
+  "bench_ablation_feature_effects"
+  "bench_ablation_feature_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_feature_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

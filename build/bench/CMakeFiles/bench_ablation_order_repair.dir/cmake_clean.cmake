@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_order_repair.dir/bench_ablation_order_repair.cc.o"
+  "CMakeFiles/bench_ablation_order_repair.dir/bench_ablation_order_repair.cc.o.d"
+  "bench_ablation_order_repair"
+  "bench_ablation_order_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_order_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reml.dir/bench_ablation_reml.cc.o"
+  "CMakeFiles/bench_ablation_reml.dir/bench_ablation_reml.cc.o.d"
+  "bench_ablation_reml"
+  "bench_ablation_reml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

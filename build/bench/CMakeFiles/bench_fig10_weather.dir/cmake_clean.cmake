@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_weather.dir/bench_fig10_weather.cc.o"
+  "CMakeFiles/bench_fig10_weather.dir/bench_fig10_weather.cc.o.d"
+  "bench_fig10_weather"
+  "bench_fig10_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

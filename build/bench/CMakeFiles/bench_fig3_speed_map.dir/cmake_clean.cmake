@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_speed_map.dir/bench_fig3_speed_map.cc.o"
+  "CMakeFiles/bench_fig3_speed_map.dir/bench_fig3_speed_map.cc.o.d"
+  "bench_fig3_speed_map"
+  "bench_fig3_speed_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_speed_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

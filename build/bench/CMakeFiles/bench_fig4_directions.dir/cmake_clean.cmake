@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_directions.dir/bench_fig4_directions.cc.o"
+  "CMakeFiles/bench_fig4_directions.dir/bench_fig4_directions.cc.o.d"
+  "bench_fig4_directions"
+  "bench_fig4_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

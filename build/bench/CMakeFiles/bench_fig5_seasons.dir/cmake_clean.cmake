@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_seasons.dir/bench_fig5_seasons.cc.o"
+  "CMakeFiles/bench_fig5_seasons.dir/bench_fig5_seasons.cc.o.d"
+  "bench_fig5_seasons"
+  "bench_fig5_seasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_seasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cell_map.dir/bench_fig6_cell_map.cc.o"
+  "CMakeFiles/bench_fig6_cell_map.dir/bench_fig6_cell_map.cc.o.d"
+  "bench_fig6_cell_map"
+  "bench_fig6_cell_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cell_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_qqplot.dir/bench_fig7_qqplot.cc.o"
+  "CMakeFiles/bench_fig7_qqplot.dir/bench_fig7_qqplot.cc.o.d"
+  "bench_fig7_qqplot"
+  "bench_fig7_qqplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qqplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_intercepts.dir/bench_fig8_intercepts.cc.o"
+  "CMakeFiles/bench_fig8_intercepts.dir/bench_fig8_intercepts.cc.o.d"
+  "bench_fig8_intercepts"
+  "bench_fig8_intercepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_intercepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

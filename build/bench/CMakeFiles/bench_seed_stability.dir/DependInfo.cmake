@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_seed_stability.cc" "bench/CMakeFiles/bench_seed_stability.dir/bench_seed_stability.cc.o" "gcc" "bench/CMakeFiles/bench_seed_stability.dir/bench_seed_stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_clean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_odselect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapattr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_coach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seed_stability.dir/bench_seed_stability.cc.o"
+  "CMakeFiles/bench_seed_stability.dir/bench_seed_stability.cc.o.d"
+  "bench_seed_stability"
+  "bench_seed_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

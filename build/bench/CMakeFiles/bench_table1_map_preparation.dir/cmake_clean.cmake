@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_map_preparation.dir/bench_table1_map_preparation.cc.o"
+  "CMakeFiles/bench_table1_map_preparation.dir/bench_table1_map_preparation.cc.o.d"
+  "bench_table1_map_preparation"
+  "bench_table1_map_preparation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_map_preparation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_segmentation.dir/bench_table2_segmentation.cc.o"
+  "CMakeFiles/bench_table2_segmentation.dir/bench_table2_segmentation.cc.o.d"
+  "bench_table2_segmentation"
+  "bench_table2_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_transitions.dir/bench_table3_transitions.cc.o"
+  "CMakeFiles/bench_table3_transitions.dir/bench_table3_transitions.cc.o.d"
+  "bench_table3_transitions"
+  "bench_table3_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_aggregates.dir/bench_text_aggregates.cc.o"
+  "CMakeFiles/bench_text_aggregates.dir/bench_text_aggregates.cc.o.d"
+  "bench_text_aggregates"
+  "bench_text_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

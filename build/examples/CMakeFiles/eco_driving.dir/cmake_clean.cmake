@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_driving.dir/eco_driving.cc.o"
+  "CMakeFiles/eco_driving.dir/eco_driving.cc.o.d"
+  "eco_driving"
+  "eco_driving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

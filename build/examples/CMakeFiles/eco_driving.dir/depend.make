@@ -1,0 +1,2 @@
+# Empty dependencies file for eco_driving.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_grid.dir/hotspot_grid.cc.o"
+  "CMakeFiles/hotspot_grid.dir/hotspot_grid.cc.o.d"
+  "hotspot_grid"
+  "hotspot_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

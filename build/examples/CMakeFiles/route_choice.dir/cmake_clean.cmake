@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_choice.dir/route_choice.cc.o"
+  "CMakeFiles/route_choice.dir/route_choice.cc.o.d"
+  "route_choice"
+  "route_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for route_choice.
+# This may be replaced when dependencies are built.

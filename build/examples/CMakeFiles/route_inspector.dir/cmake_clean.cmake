@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_inspector.dir/route_inspector.cc.o"
+  "CMakeFiles/route_inspector.dir/route_inspector.cc.o.d"
+  "route_inspector"
+  "route_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for route_inspector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for route_inspector.
+# This may be replaced when dependencies are built.

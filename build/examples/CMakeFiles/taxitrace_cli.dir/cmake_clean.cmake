@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_cli.dir/taxitrace_cli.cc.o"
+  "CMakeFiles/taxitrace_cli.dir/taxitrace_cli.cc.o.d"
+  "taxitrace_cli"
+  "taxitrace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

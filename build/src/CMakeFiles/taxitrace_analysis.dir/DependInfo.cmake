@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/analysis/bootstrap.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/bootstrap.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/bootstrap.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/cell_stats.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/cell_stats.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/cell_stats.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/feature_model.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/feature_model.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/feature_model.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/grid.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/grid.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/grid.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/hotspot_detector.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/hotspot_detector.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/hotspot_detector.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/od_matrix.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/od_matrix.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/od_matrix.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/route_frequency.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_frequency.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_frequency.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/route_stats.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_stats.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_stats.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/seasons.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/seasons.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/seasons.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/speed_categories.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_categories.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_categories.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/speed_profile.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_profile.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_profile.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/summary_stats.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/summary_stats.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/summary_stats.cc.o.d"
+  "/root/repo/src/taxitrace/analysis/temporal.cc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/temporal.cc.o" "gcc" "src/CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapattr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

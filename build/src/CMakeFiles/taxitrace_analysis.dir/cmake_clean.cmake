@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/bootstrap.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/bootstrap.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/cell_stats.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/cell_stats.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/feature_model.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/feature_model.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/grid.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/grid.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/hotspot_detector.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/hotspot_detector.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/od_matrix.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/od_matrix.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_frequency.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_frequency.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_stats.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/route_stats.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/seasons.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/seasons.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_categories.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_categories.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_profile.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/speed_profile.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/summary_stats.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/summary_stats.cc.o.d"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/temporal.cc.o"
+  "CMakeFiles/taxitrace_analysis.dir/taxitrace/analysis/temporal.cc.o.d"
+  "libtaxitrace_analysis.a"
+  "libtaxitrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/clean/cleaning_pipeline.cc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/cleaning_pipeline.cc.o" "gcc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/cleaning_pipeline.cc.o.d"
+  "/root/repo/src/taxitrace/clean/interpolation.cc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/interpolation.cc.o" "gcc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/interpolation.cc.o.d"
+  "/root/repo/src/taxitrace/clean/order_repair.cc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/order_repair.cc.o" "gcc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/order_repair.cc.o.d"
+  "/root/repo/src/taxitrace/clean/outlier_filter.cc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/outlier_filter.cc.o" "gcc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/outlier_filter.cc.o.d"
+  "/root/repo/src/taxitrace/clean/segmentation.cc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/segmentation.cc.o" "gcc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/segmentation.cc.o.d"
+  "/root/repo/src/taxitrace/clean/trip_filter.cc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/trip_filter.cc.o" "gcc" "src/CMakeFiles/taxitrace_clean.dir/taxitrace/clean/trip_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/cleaning_pipeline.cc.o"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/cleaning_pipeline.cc.o.d"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/interpolation.cc.o"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/interpolation.cc.o.d"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/order_repair.cc.o"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/order_repair.cc.o.d"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/outlier_filter.cc.o"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/outlier_filter.cc.o.d"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/segmentation.cc.o"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/segmentation.cc.o.d"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/trip_filter.cc.o"
+  "CMakeFiles/taxitrace_clean.dir/taxitrace/clean/trip_filter.cc.o.d"
+  "libtaxitrace_clean.a"
+  "libtaxitrace_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/coach/advisor.cc" "src/CMakeFiles/taxitrace_coach.dir/taxitrace/coach/advisor.cc.o" "gcc" "src/CMakeFiles/taxitrace_coach.dir/taxitrace/coach/advisor.cc.o.d"
+  "/root/repo/src/taxitrace/coach/driver_profile.cc" "src/CMakeFiles/taxitrace_coach.dir/taxitrace/coach/driver_profile.cc.o" "gcc" "src/CMakeFiles/taxitrace_coach.dir/taxitrace/coach/driver_profile.cc.o.d"
+  "/root/repo/src/taxitrace/coach/trip_score.cc" "src/CMakeFiles/taxitrace_coach.dir/taxitrace/coach/trip_score.cc.o" "gcc" "src/CMakeFiles/taxitrace_coach.dir/taxitrace/coach/trip_score.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_coach.dir/taxitrace/coach/advisor.cc.o"
+  "CMakeFiles/taxitrace_coach.dir/taxitrace/coach/advisor.cc.o.d"
+  "CMakeFiles/taxitrace_coach.dir/taxitrace/coach/driver_profile.cc.o"
+  "CMakeFiles/taxitrace_coach.dir/taxitrace/coach/driver_profile.cc.o.d"
+  "CMakeFiles/taxitrace_coach.dir/taxitrace/coach/trip_score.cc.o"
+  "CMakeFiles/taxitrace_coach.dir/taxitrace/coach/trip_score.cc.o.d"
+  "libtaxitrace_coach.a"
+  "libtaxitrace_coach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_coach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

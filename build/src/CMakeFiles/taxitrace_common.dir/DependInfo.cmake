@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/common/csv.cc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/csv.cc.o" "gcc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/csv.cc.o.d"
+  "/root/repo/src/taxitrace/common/histogram.cc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/histogram.cc.o" "gcc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/histogram.cc.o.d"
+  "/root/repo/src/taxitrace/common/logging.cc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/logging.cc.o" "gcc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/logging.cc.o.d"
+  "/root/repo/src/taxitrace/common/random.cc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/random.cc.o" "gcc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/random.cc.o.d"
+  "/root/repo/src/taxitrace/common/status.cc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/status.cc.o" "gcc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/status.cc.o.d"
+  "/root/repo/src/taxitrace/common/strings.cc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/strings.cc.o" "gcc" "src/CMakeFiles/taxitrace_common.dir/taxitrace/common/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/csv.cc.o"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/csv.cc.o.d"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/histogram.cc.o"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/histogram.cc.o.d"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/logging.cc.o"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/logging.cc.o.d"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/random.cc.o"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/random.cc.o.d"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/status.cc.o"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/status.cc.o.d"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/strings.cc.o"
+  "CMakeFiles/taxitrace_common.dir/taxitrace/common/strings.cc.o.d"
+  "libtaxitrace_common.a"
+  "libtaxitrace_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

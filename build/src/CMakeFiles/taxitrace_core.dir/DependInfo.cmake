@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/core/figures.cc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/figures.cc.o" "gcc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/figures.cc.o.d"
+  "/root/repo/src/taxitrace/core/pipeline.cc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/pipeline.cc.o" "gcc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/pipeline.cc.o.d"
+  "/root/repo/src/taxitrace/core/reports.cc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/reports.cc.o" "gcc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/reports.cc.o.d"
+  "/root/repo/src/taxitrace/core/scenarios.cc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/scenarios.cc.o" "gcc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/scenarios.cc.o.d"
+  "/root/repo/src/taxitrace/core/study_config.cc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/study_config.cc.o" "gcc" "src/CMakeFiles/taxitrace_core.dir/taxitrace/core/study_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_clean.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_odselect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapattr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_coach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

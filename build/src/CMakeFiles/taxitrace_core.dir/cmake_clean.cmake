@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/figures.cc.o"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/figures.cc.o.d"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/pipeline.cc.o"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/pipeline.cc.o.d"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/reports.cc.o"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/reports.cc.o.d"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/scenarios.cc.o"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/scenarios.cc.o.d"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/study_config.cc.o"
+  "CMakeFiles/taxitrace_core.dir/taxitrace/core/study_config.cc.o.d"
+  "libtaxitrace_core.a"
+  "libtaxitrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

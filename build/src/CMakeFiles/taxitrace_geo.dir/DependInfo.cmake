@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/geo/convex_hull.cc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/convex_hull.cc.o" "gcc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/convex_hull.cc.o.d"
+  "/root/repo/src/taxitrace/geo/coordinates.cc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/coordinates.cc.o" "gcc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/coordinates.cc.o.d"
+  "/root/repo/src/taxitrace/geo/geometry.cc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/geometry.cc.o" "gcc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/geometry.cc.o.d"
+  "/root/repo/src/taxitrace/geo/polygon.cc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polygon.cc.o" "gcc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polygon.cc.o.d"
+  "/root/repo/src/taxitrace/geo/polyline.cc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polyline.cc.o" "gcc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polyline.cc.o.d"
+  "/root/repo/src/taxitrace/geo/simplify.cc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/simplify.cc.o" "gcc" "src/CMakeFiles/taxitrace_geo.dir/taxitrace/geo/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/convex_hull.cc.o"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/convex_hull.cc.o.d"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/coordinates.cc.o"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/coordinates.cc.o.d"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/geometry.cc.o"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/geometry.cc.o.d"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polygon.cc.o"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polygon.cc.o.d"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polyline.cc.o"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/polyline.cc.o.d"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/simplify.cc.o"
+  "CMakeFiles/taxitrace_geo.dir/taxitrace/geo/simplify.cc.o.d"
+  "libtaxitrace_geo.a"
+  "libtaxitrace_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/mapattr/attribute_fetcher.cc" "src/CMakeFiles/taxitrace_mapattr.dir/taxitrace/mapattr/attribute_fetcher.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapattr.dir/taxitrace/mapattr/attribute_fetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

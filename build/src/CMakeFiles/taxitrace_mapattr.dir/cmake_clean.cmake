@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_mapattr.dir/taxitrace/mapattr/attribute_fetcher.cc.o"
+  "CMakeFiles/taxitrace_mapattr.dir/taxitrace/mapattr/attribute_fetcher.cc.o.d"
+  "libtaxitrace_mapattr.a"
+  "libtaxitrace_mapattr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_mapattr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/mapmatch/candidates.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/candidates.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/candidates.cc.o.d"
+  "/root/repo/src/taxitrace/mapmatch/gap_filler.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/gap_filler.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/gap_filler.cc.o.d"
+  "/root/repo/src/taxitrace/mapmatch/hmm_matcher.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/hmm_matcher.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/hmm_matcher.cc.o.d"
+  "/root/repo/src/taxitrace/mapmatch/incremental_matcher.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/incremental_matcher.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/incremental_matcher.cc.o.d"
+  "/root/repo/src/taxitrace/mapmatch/match_quality.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_quality.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_quality.cc.o.d"
+  "/root/repo/src/taxitrace/mapmatch/match_report.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_report.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_report.cc.o.d"
+  "/root/repo/src/taxitrace/mapmatch/nearest_edge_matcher.cc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/nearest_edge_matcher.cc.o" "gcc" "src/CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/nearest_edge_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/candidates.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/candidates.cc.o.d"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/gap_filler.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/gap_filler.cc.o.d"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/hmm_matcher.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/hmm_matcher.cc.o.d"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/incremental_matcher.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/incremental_matcher.cc.o.d"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_quality.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_quality.cc.o.d"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_report.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/match_report.cc.o.d"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/nearest_edge_matcher.cc.o"
+  "CMakeFiles/taxitrace_mapmatch.dir/taxitrace/mapmatch/nearest_edge_matcher.cc.o.d"
+  "libtaxitrace_mapmatch.a"
+  "libtaxitrace_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taxitrace_mapmatch.
+# This may be replaced when dependencies are built.

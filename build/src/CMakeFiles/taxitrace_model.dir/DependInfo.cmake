@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/model/cholesky.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/cholesky.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/cholesky.cc.o.d"
+  "/root/repo/src/taxitrace/model/diagnostics.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/diagnostics.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/diagnostics.cc.o.d"
+  "/root/repo/src/taxitrace/model/matrix.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/matrix.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/matrix.cc.o.d"
+  "/root/repo/src/taxitrace/model/mixed_model.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/mixed_model.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/mixed_model.cc.o.d"
+  "/root/repo/src/taxitrace/model/ols.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/ols.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/ols.cc.o.d"
+  "/root/repo/src/taxitrace/model/one_way_reml.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/one_way_reml.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/one_way_reml.cc.o.d"
+  "/root/repo/src/taxitrace/model/qq.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/qq.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/qq.cc.o.d"
+  "/root/repo/src/taxitrace/model/significance.cc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/significance.cc.o" "gcc" "src/CMakeFiles/taxitrace_model.dir/taxitrace/model/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

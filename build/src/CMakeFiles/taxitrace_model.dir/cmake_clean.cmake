@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/cholesky.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/cholesky.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/diagnostics.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/diagnostics.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/matrix.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/matrix.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/mixed_model.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/mixed_model.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/ols.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/ols.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/one_way_reml.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/one_way_reml.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/qq.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/qq.cc.o.d"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/significance.cc.o"
+  "CMakeFiles/taxitrace_model.dir/taxitrace/model/significance.cc.o.d"
+  "libtaxitrace_model.a"
+  "libtaxitrace_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/odselect/od_gate.cc" "src/CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/od_gate.cc.o" "gcc" "src/CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/od_gate.cc.o.d"
+  "/root/repo/src/taxitrace/odselect/transition_extractor.cc" "src/CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_extractor.cc.o" "gcc" "src/CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_extractor.cc.o.d"
+  "/root/repo/src/taxitrace/odselect/transition_filter.cc" "src/CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_filter.cc.o" "gcc" "src/CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

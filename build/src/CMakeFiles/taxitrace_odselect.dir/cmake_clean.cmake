@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/od_gate.cc.o"
+  "CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/od_gate.cc.o.d"
+  "CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_extractor.cc.o"
+  "CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_extractor.cc.o.d"
+  "CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_filter.cc.o"
+  "CMakeFiles/taxitrace_odselect.dir/taxitrace/odselect/transition_filter.cc.o.d"
+  "libtaxitrace_odselect.a"
+  "libtaxitrace_odselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_odselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

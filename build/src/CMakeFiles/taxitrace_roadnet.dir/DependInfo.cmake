@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/roadnet/connectivity.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/connectivity.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/connectivity.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/map_features.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_features.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_features.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/map_io.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_io.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_io.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/map_preparation.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_preparation.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_preparation.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/road_network.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/road_network.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/road_network.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/router.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/router.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/router.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/spatial_index.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/spatial_index.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/spatial_index.cc.o.d"
+  "/root/repo/src/taxitrace/roadnet/traffic_element.cc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/traffic_element.cc.o" "gcc" "src/CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/traffic_element.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/connectivity.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/connectivity.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_features.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_features.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_io.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_io.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_preparation.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/map_preparation.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/road_network.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/road_network.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/router.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/router.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/spatial_index.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/spatial_index.cc.o.d"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/traffic_element.cc.o"
+  "CMakeFiles/taxitrace_roadnet.dir/taxitrace/roadnet/traffic_element.cc.o.d"
+  "libtaxitrace_roadnet.a"
+  "libtaxitrace_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/synth/city_map_generator.cc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/city_map_generator.cc.o" "gcc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/city_map_generator.cc.o.d"
+  "/root/repo/src/taxitrace/synth/driver_model.cc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/driver_model.cc.o" "gcc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/driver_model.cc.o.d"
+  "/root/repo/src/taxitrace/synth/fleet_simulator.cc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/fleet_simulator.cc.o" "gcc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/fleet_simulator.cc.o.d"
+  "/root/repo/src/taxitrace/synth/pedestrian_model.cc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/pedestrian_model.cc.o" "gcc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/pedestrian_model.cc.o.d"
+  "/root/repo/src/taxitrace/synth/sensor_model.cc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/sensor_model.cc.o" "gcc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/sensor_model.cc.o.d"
+  "/root/repo/src/taxitrace/synth/weather_model.cc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/weather_model.cc.o" "gcc" "src/CMakeFiles/taxitrace_synth.dir/taxitrace/synth/weather_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

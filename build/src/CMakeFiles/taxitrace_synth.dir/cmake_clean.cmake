@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/city_map_generator.cc.o"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/city_map_generator.cc.o.d"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/driver_model.cc.o"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/driver_model.cc.o.d"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/fleet_simulator.cc.o"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/fleet_simulator.cc.o.d"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/pedestrian_model.cc.o"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/pedestrian_model.cc.o.d"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/sensor_model.cc.o"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/sensor_model.cc.o.d"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/weather_model.cc.o"
+  "CMakeFiles/taxitrace_synth.dir/taxitrace/synth/weather_model.cc.o.d"
+  "libtaxitrace_synth.a"
+  "libtaxitrace_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

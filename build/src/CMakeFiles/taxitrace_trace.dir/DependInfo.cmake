@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxitrace/trace/route_point.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/route_point.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/route_point.cc.o.d"
+  "/root/repo/src/taxitrace/trace/time_util.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/time_util.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/time_util.cc.o.d"
+  "/root/repo/src/taxitrace/trace/trace_io.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_io.cc.o.d"
+  "/root/repo/src/taxitrace/trace/trace_query.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_query.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_query.cc.o.d"
+  "/root/repo/src/taxitrace/trace/trace_store.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_store.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_store.cc.o.d"
+  "/root/repo/src/taxitrace/trace/trip.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip.cc.o.d"
+  "/root/repo/src/taxitrace/trace/trip_stats.cc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip_stats.cc.o" "gcc" "src/CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/taxitrace_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taxitrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/route_point.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/route_point.cc.o.d"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/time_util.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/time_util.cc.o.d"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_io.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_io.cc.o.d"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_query.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_query.cc.o.d"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_store.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trace_store.cc.o.d"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip.cc.o.d"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip_stats.cc.o"
+  "CMakeFiles/taxitrace_trace.dir/taxitrace/trace/trip_stats.cc.o.d"
+  "libtaxitrace_trace.a"
+  "libtaxitrace_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxitrace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

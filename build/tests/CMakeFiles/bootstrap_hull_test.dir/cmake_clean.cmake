@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_hull_test.dir/bootstrap_hull_test.cc.o"
+  "CMakeFiles/bootstrap_hull_test.dir/bootstrap_hull_test.cc.o.d"
+  "bootstrap_hull_test"
+  "bootstrap_hull_test.pdb"
+  "bootstrap_hull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_hull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

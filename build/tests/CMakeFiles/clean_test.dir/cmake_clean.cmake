@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_test.dir/clean_test.cc.o"
+  "CMakeFiles/clean_test.dir/clean_test.cc.o.d"
+  "clean_test"
+  "clean_test.pdb"
+  "clean_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

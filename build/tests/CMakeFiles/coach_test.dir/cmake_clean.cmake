@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coach_test.dir/coach_test.cc.o"
+  "CMakeFiles/coach_test.dir/coach_test.cc.o.d"
+  "coach_test"
+  "coach_test.pdb"
+  "coach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

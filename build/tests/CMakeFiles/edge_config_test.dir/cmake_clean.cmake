@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_config_test.dir/edge_config_test.cc.o"
+  "CMakeFiles/edge_config_test.dir/edge_config_test.cc.o.d"
+  "edge_config_test"
+  "edge_config_test.pdb"
+  "edge_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

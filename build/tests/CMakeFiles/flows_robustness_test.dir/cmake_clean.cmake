@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flows_robustness_test.dir/flows_robustness_test.cc.o"
+  "CMakeFiles/flows_robustness_test.dir/flows_robustness_test.cc.o.d"
+  "flows_robustness_test"
+  "flows_robustness_test.pdb"
+  "flows_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flows_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

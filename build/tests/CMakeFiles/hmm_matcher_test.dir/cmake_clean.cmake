@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_matcher_test.dir/hmm_matcher_test.cc.o"
+  "CMakeFiles/hmm_matcher_test.dir/hmm_matcher_test.cc.o.d"
+  "hmm_matcher_test"
+  "hmm_matcher_test.pdb"
+  "hmm_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

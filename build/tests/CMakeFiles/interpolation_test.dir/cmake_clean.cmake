@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolation_test.dir/interpolation_test.cc.o"
+  "CMakeFiles/interpolation_test.dir/interpolation_test.cc.o.d"
+  "interpolation_test"
+  "interpolation_test.pdb"
+  "interpolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_io_test.dir/map_io_test.cc.o"
+  "CMakeFiles/map_io_test.dir/map_io_test.cc.o.d"
+  "map_io_test"
+  "map_io_test.pdb"
+  "map_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

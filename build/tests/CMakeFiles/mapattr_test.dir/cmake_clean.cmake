@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapattr_test.dir/mapattr_test.cc.o"
+  "CMakeFiles/mapattr_test.dir/mapattr_test.cc.o.d"
+  "mapattr_test"
+  "mapattr_test.pdb"
+  "mapattr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapattr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapmatch_test.dir/mapmatch_test.cc.o"
+  "CMakeFiles/mapmatch_test.dir/mapmatch_test.cc.o.d"
+  "mapmatch_test"
+  "mapmatch_test.pdb"
+  "mapmatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

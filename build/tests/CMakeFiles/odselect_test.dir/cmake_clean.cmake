@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odselect_test.dir/odselect_test.cc.o"
+  "CMakeFiles/odselect_test.dir/odselect_test.cc.o.d"
+  "odselect_test"
+  "odselect_test.pdb"
+  "odselect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odselect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedestrian_test.dir/pedestrian_test.cc.o"
+  "CMakeFiles/pedestrian_test.dir/pedestrian_test.cc.o.d"
+  "pedestrian_test"
+  "pedestrian_test.pdb"
+  "pedestrian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedestrian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_test.dir/roadnet_test.cc.o"
+  "CMakeFiles/roadnet_test.dir/roadnet_test.cc.o.d"
+  "roadnet_test"
+  "roadnet_test.pdb"
+  "roadnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

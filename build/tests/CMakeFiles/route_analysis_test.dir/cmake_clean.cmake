@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_analysis_test.dir/route_analysis_test.cc.o"
+  "CMakeFiles/route_analysis_test.dir/route_analysis_test.cc.o.d"
+  "route_analysis_test"
+  "route_analysis_test.pdb"
+  "route_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_model_test.dir/temporal_model_test.cc.o"
+  "CMakeFiles/temporal_model_test.dir/temporal_model_test.cc.o.d"
+  "temporal_model_test"
+  "temporal_model_test.pdb"
+  "temporal_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

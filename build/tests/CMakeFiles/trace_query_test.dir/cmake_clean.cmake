@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_query_test.dir/trace_query_test.cc.o"
+  "CMakeFiles/trace_query_test.dir/trace_query_test.cc.o.d"
+  "trace_query_test"
+  "trace_query_test.pdb"
+  "trace_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
