@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the taxitrace sources using the repo .clang-tidy.
+
+Drives clang-tidy from the compile database (configure with
+CMAKE_EXPORT_COMPILE_COMMANDS, which the root CMakeLists enables by
+default) so every translation unit is checked with its real flags:
+
+    cmake -B build -S .
+    python3 scripts/run_clang_tidy.py            # checks src/
+    python3 scripts/run_clang_tidy.py src/taxitrace/mapmatch
+
+Exit status: 0 when clean, 1 when clang-tidy reported diagnostics,
+2 on setup errors. When no clang-tidy binary is available (for example
+in the minimal build container) the gate is skipped with exit 0 — the
+authoritative run is the CI static-analysis job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+# Newest first; plain "clang-tidy" wins when present.
+CLANG_TIDY_CANDIDATES = ["clang-tidy"] + [
+    f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang_tidy() -> str | None:
+    override = os.environ.get("CLANG_TIDY")
+    if override:
+        # An explicit override that does not resolve is a user error,
+        # not a reason to silently skip the gate.
+        if not shutil.which(override):
+            print(f"run_clang_tidy: CLANG_TIDY={override} not found",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return override
+    for name in CLANG_TIDY_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def compile_db_sources(build_dir: Path) -> list[Path]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: {db_path} not found; configure with "
+              "cmake -B build -S . first", file=sys.stderr)
+        raise SystemExit(2)
+    with db_path.open(encoding="utf-8") as fh:
+        entries = json.load(fh)
+    return sorted({
+        (Path(e["directory"]) / e["file"]).resolve() for e in entries})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to sources under these paths "
+                             "(default: src/)")
+    parser.add_argument("-p", "--build-dir", type=Path, default=None,
+                        help="build directory holding compile_commands.json "
+                             "(default: <repo>/build)")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2,
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the full report to this file")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggested fixes (serialises the run)")
+    args = parser.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    build_dir = (args.build_dir or repo_root / "build").resolve()
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("run_clang_tidy: no clang-tidy binary found (set CLANG_TIDY "
+              "or install one); skipping — the static-analysis CI job is "
+              "the authoritative gate", file=sys.stderr)
+        return 0
+
+    filters = [(repo_root / p).resolve() if not Path(p).is_absolute()
+               else Path(p).resolve()
+               for p in (args.paths or ["src"])]
+    sources = [s for s in compile_db_sources(build_dir)
+               if any(s.is_relative_to(f) for f in filters)]
+    if not sources:
+        print("run_clang_tidy: no sources matched under "
+              f"{[str(f) for f in filters]}", file=sys.stderr)
+        return 2
+
+    base_cmd = [clang_tidy, "-p", str(build_dir), "--quiet"]
+    if args.fix:
+        base_cmd.append("--fix")
+        args.jobs = 1  # concurrent fixers race on shared headers
+
+    def run_one(source: Path) -> tuple[Path, int, str]:
+        proc = subprocess.run(
+            base_cmd + [str(source)], cwd=repo_root,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        # "N warnings generated" on stderr is bookkeeping, not findings.
+        lines = [l for l in proc.stdout.splitlines()
+                 if not l.endswith("warnings generated.")
+                 and not l.endswith("warning generated.")]
+        return source, proc.returncode, "\n".join(lines).strip()
+
+    failures = 0
+    report_chunks: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, rc, text in pool.map(run_one, sources):
+            rel = source.relative_to(repo_root)
+            if rc != 0 or text:
+                failures += 1
+                chunk = f"== {rel}\n{text or f'(exit {rc})'}"
+                print(chunk)
+                report_chunks.append(chunk)
+            else:
+                print(f"ok {rel}", file=sys.stderr)
+
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        header = (f"clang-tidy ({clang_tidy}) over {len(sources)} sources, "
+                  f"{failures} with diagnostics\n")
+        args.output.write_text(
+            header + "\n\n".join(report_chunks) + "\n", encoding="utf-8")
+
+    print(f"run_clang_tidy: {len(sources)} sources, "
+          f"{failures} with diagnostics", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

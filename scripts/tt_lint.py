@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Repo-idiom linter for the taxitrace tree.
+
+Greps src/taxitrace/ for patterns the codebase has banned:
+
+  bare-assert       assert( in library code. Asserts compile away in
+                    Release; invariants must use TT_CHECK / TT_DCHECK
+                    from taxitrace/common/check.h.
+  result-ok-status  Constructing a Result from Status::OK(). A Result
+                    either holds a value or a *non-OK* status; this is
+                    a TT_CHECK abort at runtime — catch it in review.
+  ignored-status    Calling a Status-returning function as a bare
+                    statement. [[nodiscard]] catches this at compile
+                    time for by-value returns; the linter also covers
+                    code that is not compiled on every platform.
+  include-path      #include "..." in src/ that does not use the
+                    canonical taxitrace/... path form.
+
+A finding can be suppressed on its line with: // tt-lint: allow(<rule>)
+
+Exit status: 0 when clean, 1 when findings were printed, 2 on usage
+errors. Runs as a ctest entry (tt_lint) and as a CI step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SRC_SUFFIXES = {".h", ".cc"}
+
+ALLOW_RE = re.compile(r"//\s*tt-lint:\s*allow\(([a-z-]+)\)")
+
+BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+RESULT_OK_RE = re.compile(r"Result<[^;]*Status::OK\(\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Declarations like:  Status Foo(...  /  [[nodiscard]] Status Foo(...
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+)?Status\s+(\w+)\s*\(")
+# Call statement:  optional receiver chain, then Name(...);  with no
+# assignment, return, or macro wrapping on the line.
+CALL_STMT_TEMPLATE = r"^\s*(?:[\w\]\)]+(?:\.|->|::))*{name}\s*\("
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string literals so the
+    pattern rules do not fire on prose or log messages."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+def collect_status_functions(files: list[Path]) -> set[str]:
+    """Names of functions declared to return Status in src/ headers."""
+    names: set[str] = set()
+    for path in files:
+        if path.suffix != ".h":
+            continue
+        # Status's own factory functions (OK, NotFound, ...) are value
+        # producers, not fallible calls.
+        if path.name == "status.h" and path.parent.name == "common":
+            continue
+        for line in path.read_text(encoding="utf-8").splitlines():
+            m = STATUS_DECL_RE.match(line)
+            if m:
+                names.add(m.group(1))
+    names -= {"OK", "Status"}
+    return names
+
+
+def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
+    findings = []
+    rel = path.relative_to(repo_root)
+    in_block_comment = False
+    prev_code_line = ""
+    is_check_header = rel.as_posix() == "src/taxitrace/common/check.h"
+    for lineno, raw in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        allowed = set(ALLOW_RE.findall(raw))
+
+        # Track /* ... */ blocks coarsely (the tree uses // comments).
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+        # The include rule needs the quoted path, so it runs on the raw
+        # line before string literals are stripped.
+        include_m = INCLUDE_RE.match(raw)
+        line = strip_comments_and_strings(raw)
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+            line = line.split("/*")[0]
+
+        def report(rule: str, message: str) -> None:
+            if rule not in allowed:
+                findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+        if (BARE_ASSERT_RE.search(line) and "static_assert" not in line
+                and not is_check_header):
+            report("bare-assert",
+                   "bare assert() in library code; use TT_CHECK or "
+                   "TT_DCHECK (taxitrace/common/check.h)")
+
+        if RESULT_OK_RE.search(line):
+            report("result-ok-status",
+                   "Result constructed from Status::OK(); a Result holds "
+                   "a value or a non-OK status")
+
+        if include_m and not include_m.group(1).startswith("taxitrace/"):
+            report("include-path",
+                   f'#include "{include_m.group(1)}" does not use the '
+                   'taxitrace/... path form')
+
+        stripped = line.strip()
+        # A line continuing a previous expression (assignment, argument
+        # list, ternary, ...) is not a bare statement.
+        is_continuation = bool(prev_code_line) and \
+            prev_code_line[-1] in "=(,?:+-|&<>"
+        if stripped.endswith(";") and "=" not in stripped \
+                and not is_continuation \
+                and not stripped.startswith("return") \
+                and "TT_CHECK_OK" not in stripped \
+                and "RETURN_IF_ERROR" not in stripped \
+                and "(void)" not in stripped:
+            for name in status_fns:
+                if re.match(CALL_STMT_TEMPLATE.format(name=re.escape(name)),
+                            stripped):
+                    report("ignored-status",
+                           f"return value of Status-returning {name}() "
+                           "is ignored")
+                    break
+        if stripped:
+            prev_code_line = stripped
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/taxitrace under the repo root)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: inferred)")
+    args = parser.parse_args()
+
+    repo_root = args.root.resolve()
+    targets = [Path(p).resolve() for p in args.paths] or \
+        [repo_root / "src" / "taxitrace"]
+
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(p for p in sorted(target.rglob("*"))
+                         if p.suffix in SRC_SUFFIXES)
+        elif target.is_file():
+            files.append(target)
+        else:
+            print(f"tt_lint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    status_fns = collect_status_functions(files)
+
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path, status_fns, repo_root))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"tt_lint: {len(findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"tt_lint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,10 @@ struct BootstrapInterval {
   double hi = 0.0;        ///< Upper percentile bound.
   int replicates = 0;
 
-  bool Contains(double value) const { return value >= lo && value <= hi; }
-  double Width() const { return hi - lo; }
+  [[nodiscard]] bool Contains(double value) const {
+    return value >= lo && value <= hi;
+  }
+  [[nodiscard]] double Width() const { return hi - lo; }
 };
 
 /// Bootstrap options.

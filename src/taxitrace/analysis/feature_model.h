@@ -39,9 +39,9 @@ struct FeatureModelFit {
   std::vector<CellId> cells;       ///< Group index -> cell.
 
   /// Coefficient of the named term; 0 if absent.
-  double Coefficient(const std::string& term) const;
+  [[nodiscard]] double Coefficient(const std::string& term) const;
   /// Standard error of the named term; 0 if absent.
-  double StandardError(const std::string& term) const;
+  [[nodiscard]] double StandardError(const std::string& term) const;
 };
 
 /// Builds and fits the feature model from point-speed observations and

@@ -35,16 +35,16 @@ class Grid {
  public:
   explicit Grid(double cell_size_m = 200.0);
 
-  double cell_size_m() const { return cell_size_m_; }
+  [[nodiscard]] double cell_size_m() const { return cell_size_m_; }
 
   /// Cell containing a point.
-  CellId CellOf(const geo::EnPoint& p) const;
+  [[nodiscard]] CellId CellOf(const geo::EnPoint& p) const;
 
   /// Centre point of a cell.
-  geo::EnPoint CellCenter(const CellId& c) const;
+  [[nodiscard]] geo::EnPoint CellCenter(const CellId& c) const;
 
   /// Bounds of a cell.
-  geo::Bbox CellBounds(const CellId& c) const;
+  [[nodiscard]] geo::Bbox CellBounds(const CellId& c) const;
 
  private:
   double cell_size_m_;
@@ -64,14 +64,15 @@ class CellSpeedAccumulator {
     double mean = 0.0;
     double m2 = 0.0;  ///< Sum of squared deviations.
 
-    double Variance() const { return n > 1 ? m2 / (n - 1) : 0.0; }
+    [[nodiscard]] double Variance() const { return n > 1 ? m2 / (n - 1) : 0.0; }
   };
 
+  [[nodiscard]]
   const std::unordered_map<CellId, Moments, CellIdHash>& cells() const {
     return cells_;
   }
-  const Grid& grid() const { return grid_; }
-  int64_t total_points() const { return total_points_; }
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] int64_t total_points() const { return total_points_; }
 
  private:
   Grid grid_;

@@ -1,0 +1,22 @@
+#include "taxitrace/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace taxitrace {
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 std::string_view detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "TT_CHECK failed: %s at %s:%d\n", expr, file, line);
+  } else {
+    std::fprintf(stderr, "TT_CHECK failed: %s at %s:%d: %.*s\n", expr, file,
+                 line, static_cast<int>(detail.size()), detail.data());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace taxitrace

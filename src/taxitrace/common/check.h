@@ -1,0 +1,81 @@
+// Checked invariants: TT_CHECK and friends.
+//
+// Unlike assert(), TT_CHECK is active in every build type. The pipeline's
+// whole purpose is reliable information extraction; an invariant that is
+// only enforced in Debug builds is not an invariant. A failed check prints
+// the expression, file:line and an optional message to stderr, then aborts
+// so sanitizers and core dumps capture the exact failure point.
+//
+//   TT_CHECK(cond)            abort unless cond, all build types
+//   TT_CHECK_MSG(cond, msg)   same, with an extra explanatory message
+//   TT_CHECK_OK(status)       abort unless the Status expression is ok()
+//   TT_DCHECK(cond)           TT_CHECK in Debug, compiled out otherwise —
+//                             reserved for per-element hot-path checks
+
+#ifndef TAXITRACE_COMMON_CHECK_H_
+#define TAXITRACE_COMMON_CHECK_H_
+
+#include <string>
+#include <string_view>
+
+namespace taxitrace {
+namespace internal {
+
+/// Prints "TT_CHECK failed: <expr> at <file>:<line>[: <detail>]" to stderr
+/// and aborts. Out of line so the fast path stays a single branch.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              std::string_view detail);
+
+/// Failure detail for TT_CHECK_OK: works for Status (ToString) and
+/// Result<T> (status().ToString()) without including either header.
+template <typename T>
+std::string StatusDetail(const T& v) {
+  if constexpr (requires { v.ToString(); }) {
+    return v.ToString();
+  } else {
+    return v.status().ToString();
+  }
+}
+
+}  // namespace internal
+}  // namespace taxitrace
+
+#define TT_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::taxitrace::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    }                                                                    \
+  } while (false)
+
+#define TT_CHECK_MSG(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::taxitrace::internal::CheckFailed(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+/// Checks that a Status (or Result) expression is ok(); reports its
+/// ToString()/status() message on failure. Evaluates the expression once.
+#define TT_CHECK_OK(expr)                                                    \
+  do {                                                                       \
+    const auto& _tt_st = (expr);                                             \
+    if (!_tt_st.ok()) {                                                      \
+      ::taxitrace::internal::CheckFailed(                                    \
+          #expr " is OK", __FILE__, __LINE__,                                \
+          ::taxitrace::internal::StatusDetail(_tt_st));                      \
+    }                                                                        \
+  } while (false)
+
+#ifndef NDEBUG
+#define TT_DCHECK(cond) TT_CHECK(cond)
+#define TT_DCHECK_MSG(cond, msg) TT_CHECK_MSG(cond, msg)
+#else
+#define TT_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#define TT_DCHECK_MSG(cond, msg) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // TAXITRACE_COMMON_CHECK_H_

@@ -1,16 +1,16 @@
 #include "taxitrace/common/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "taxitrace/common/check.h"
 #include "taxitrace/common/strings.h"
 
 namespace taxitrace {
 
 Histogram::Histogram(double lo, double hi, int num_bins)
     : lo_(lo), hi_(hi) {
-  assert(lo < hi && num_bins >= 1);
+  TT_CHECK(lo < hi && num_bins >= 1);
   bin_width_ = (hi - lo) / num_bins;
   counts_.assign(static_cast<size_t>(num_bins), 0);
 }

@@ -24,23 +24,27 @@ class Histogram {
   /// Adds many observations.
   void AddAll(const std::vector<double>& values);
 
-  int num_bins() const { return static_cast<int>(counts_.size()); }
-  int64_t total() const { return total_; }
-  int64_t count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  [[nodiscard]] int num_bins() const {
+    return static_cast<int>(counts_.size());
+  }
+  [[nodiscard]] int64_t total() const { return total_; }
+  [[nodiscard]] int64_t count(int bin) const {
+    return counts_[static_cast<size_t>(bin)];
+  }
 
   /// Lower edge of a bin.
-  double BinLow(int bin) const;
+  [[nodiscard]] double BinLow(int bin) const;
 
   /// Midpoint of the fullest bin (0 when empty).
-  double Mode() const;
+  [[nodiscard]] double Mode() const;
 
   /// Value below which `q` of the mass lies (within-bin linear
   /// interpolation); q in [0, 1].
-  double Quantile(double q) const;
+  [[nodiscard]] double Quantile(double q) const;
 
   /// Multi-line ASCII rendering, one `#`-bar per bin, scaled to
   /// `max_width` characters.
-  std::string Render(int max_width = 50) const;
+  [[nodiscard]] std::string Render(int max_width = 50) const;
 
  private:
   double lo_;

@@ -3,19 +3,20 @@
 #ifndef TAXITRACE_COMMON_RESULT_H_
 #define TAXITRACE_COMMON_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "taxitrace/common/check.h"
 #include "taxitrace/common/status.h"
 
 namespace taxitrace {
 
 /// Holds either a successfully produced T or the Status explaining why it
 /// could not be produced. Construction from an OK status is a programming
-/// error (asserted).
+/// error, and dereferencing a failed Result aborts with a diagnostic in
+/// every build type — there is no UB path through this class.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result.
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -23,38 +24,46 @@ class Result {
   /// Constructs a failed result from a non-OK status.
   Result(Status status)  // NOLINT(runtime/explicit)
       : rep_(std::move(status)) {
-    assert(!std::get<Status>(rep_).ok() &&
-           "Result constructed from OK status");
+    TT_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                 "Result constructed from OK status");
   }
 
   /// True when a value is present.
-  bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// The status: OK() when a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(rep_);
   }
 
-  /// The contained value. Requires ok().
+  /// The contained value. Aborts (in all build types) when !ok().
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(rep_);
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(rep_);
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::get<T>(std::move(rep_));
   }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
  private:
+  void CheckHoldsValue() const {
+    if (!ok()) {
+      internal::CheckFailed("Result::ok()", __FILE__, __LINE__,
+                            std::get<Status>(rep_).ToString());
+    }
+  }
+
   std::variant<T, Status> rep_;
 };
 

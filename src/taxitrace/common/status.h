@@ -32,8 +32,9 @@ enum class StatusCode : unsigned char {
 std::string_view StatusCodeName(StatusCode code);
 
 /// Result of an operation that can fail. OK statuses carry no state and are
-/// free to copy; error statuses carry a message.
-class Status {
+/// free to copy; error statuses carry a message. Marked [[nodiscard]] so a
+/// dropped error status is a compile error, not a silent data-quality bug.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -70,30 +71,40 @@ class Status {
   }
 
   /// True when the operation succeeded.
-  bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
 
   /// The status code; kOk for OK statuses.
-  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
 
   /// The error message; empty for OK statuses.
-  const std::string& message() const {
+  [[nodiscard]] const std::string& message() const {
     static const std::string kEmpty;
     return rep_ ? rep_->message : kEmpty;
   }
 
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
-  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
-  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
-  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
-  bool IsIOError() const { return code() == StatusCode::kIOError; }
-  bool IsFailedPrecondition() const {
+  [[nodiscard]] bool IsNotFound() const {
+    return code() == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsOutOfRange() const {
+    return code() == StatusCode::kOutOfRange;
+  }
+  [[nodiscard]] bool IsCorruption() const {
+    return code() == StatusCode::kCorruption;
+  }
+  [[nodiscard]] bool IsIOError() const {
+    return code() == StatusCode::kIOError;
+  }
+  [[nodiscard]] bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code() && a.message() == b.message();

@@ -36,7 +36,7 @@ struct StageTimings {
   double selection_matching_ms = 0.0;
   double analysis_ms = 0.0;
 
-  double TotalMs() const {
+  [[nodiscard]] double TotalMs() const {
     return map_generation_ms + simulation_ms + cleaning_ms +
            selection_matching_ms + analysis_ms;
   }
@@ -105,7 +105,7 @@ struct StudyResults {
   StageTimings timings;
 
   /// All transition records (convenience view over `transitions`).
-  std::vector<analysis::TransitionRecord> Records() const;
+  [[nodiscard]] std::vector<analysis::TransitionRecord> Records() const;
 };
 
 /// Runs the study.
@@ -116,7 +116,7 @@ class Pipeline {
   /// Executes every stage. Deterministic in the config seeds.
   Result<StudyResults> Run() const;
 
-  const StudyConfig& config() const { return config_; }
+  [[nodiscard]] const StudyConfig& config() const { return config_; }
 
  private:
   StudyConfig config_;

@@ -48,13 +48,13 @@ class LocalProjection {
   explicit LocalProjection(const LatLon& origin);
 
   /// The origin passed at construction.
-  const LatLon& origin() const { return origin_; }
+  [[nodiscard]] const LatLon& origin() const { return origin_; }
 
   /// WGS84 -> local metres.
-  EnPoint Forward(const LatLon& p) const;
+  [[nodiscard]] EnPoint Forward(const LatLon& p) const;
 
   /// Local metres -> WGS84.
-  LatLon Inverse(const EnPoint& p) const;
+  [[nodiscard]] LatLon Inverse(const EnPoint& p) const;
 
  private:
   LatLon origin_;

@@ -29,11 +29,11 @@ struct Segment {
   EnPoint b;
 
   /// Segment length, metres.
-  double Length() const { return Distance(a, b); }
+  [[nodiscard]] double Length() const { return Distance(a, b); }
 
   /// Direction of travel a->b in radians, measured counterclockwise from
   /// east, in (-pi, pi]. Zero-length segments report 0.
-  double Heading() const;
+  [[nodiscard]] double Heading() const;
 };
 
 /// Result of projecting a point onto a segment.
@@ -66,7 +66,9 @@ struct Bbox {
   static Bbox Empty();
 
   /// True once at least one point has been added.
-  bool IsValid() const { return min_x <= max_x && min_y <= max_y; }
+  [[nodiscard]] bool IsValid() const {
+    return min_x <= max_x && min_y <= max_y;
+  }
 
   /// Grows the box to include `p`.
   void Extend(const EnPoint& p);
@@ -75,13 +77,13 @@ struct Bbox {
   void Extend(const Bbox& other);
 
   /// Grows by `margin` metres on every side.
-  Bbox Inflated(double margin) const;
+  [[nodiscard]] Bbox Inflated(double margin) const;
 
   /// True when `p` lies inside or on the boundary.
-  bool Contains(const EnPoint& p) const;
+  [[nodiscard]] bool Contains(const EnPoint& p) const;
 
   /// True when the two boxes overlap (boundary touch counts).
-  bool Intersects(const Bbox& other) const;
+  [[nodiscard]] bool Intersects(const Bbox& other) const;
 };
 
 }  // namespace geo

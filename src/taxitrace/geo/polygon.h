@@ -19,21 +19,21 @@ class Polygon {
   Polygon() = default;
   explicit Polygon(std::vector<EnPoint> ring);
 
-  const std::vector<EnPoint>& ring() const { return ring_; }
-  bool empty() const { return ring_.size() < 3; }
+  [[nodiscard]] const std::vector<EnPoint>& ring() const { return ring_; }
+  [[nodiscard]] bool empty() const { return ring_.size() < 3; }
 
   /// True when `p` is strictly inside or on the boundary (within 1e-9 m).
-  bool Contains(const EnPoint& p) const;
+  [[nodiscard]] bool Contains(const EnPoint& p) const;
 
   /// True when segment `s` has any point inside the polygon or crossing
   /// its boundary.
-  bool IntersectsSegment(const Segment& s) const;
+  [[nodiscard]] bool IntersectsSegment(const Segment& s) const;
 
   /// Signed area (positive for counterclockwise rings).
-  double SignedArea() const;
+  [[nodiscard]] double SignedArea() const;
 
   /// Bounding box of the ring.
-  Bbox Bounds() const;
+  [[nodiscard]] Bbox Bounds() const;
 
  private:
   std::vector<EnPoint> ring_;

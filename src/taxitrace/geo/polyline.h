@@ -25,32 +25,32 @@ class Polyline {
   Polyline() = default;
   explicit Polyline(std::vector<EnPoint> points);
 
-  const std::vector<EnPoint>& points() const { return points_; }
-  bool empty() const { return points_.empty(); }
-  size_t size() const { return points_.size(); }
-  const EnPoint& front() const { return points_.front(); }
-  const EnPoint& back() const { return points_.back(); }
+  [[nodiscard]] const std::vector<EnPoint>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] size_t size() const { return points_.size(); }
+  [[nodiscard]] const EnPoint& front() const { return points_.front(); }
+  [[nodiscard]] const EnPoint& back() const { return points_.back(); }
 
   /// Appends a vertex.
   void Append(const EnPoint& p);
 
   /// Total arc length, metres.
-  double Length() const;
+  [[nodiscard]] double Length() const;
 
   /// Point at arc length `s` from the start, clamped to the line ends.
-  EnPoint Interpolate(double s) const;
+  [[nodiscard]] EnPoint Interpolate(double s) const;
 
   /// Nearest location on the line to `p`. Requires a non-empty line.
-  PolylineProjection Project(const EnPoint& p) const;
+  [[nodiscard]] PolylineProjection Project(const EnPoint& p) const;
 
   /// Heading of the segment at index `i` (radians CCW from east).
-  double SegmentHeading(size_t i) const;
+  [[nodiscard]] double SegmentHeading(size_t i) const;
 
   /// Bounding box of all vertices.
-  Bbox Bounds() const;
+  [[nodiscard]] Bbox Bounds() const;
 
   /// A copy with vertices in reverse order.
-  Polyline Reversed() const;
+  [[nodiscard]] Polyline Reversed() const;
 
   /// Concatenates `other` onto the end; when the junction vertices
   /// coincide (within 1e-6 m) the duplicate is dropped.
@@ -58,11 +58,11 @@ class Polyline {
 
   /// Evenly resampled copy with samples at most `max_spacing` metres
   /// apart. Always keeps the original endpoints.
-  Polyline Resample(double max_spacing) const;
+  [[nodiscard]] Polyline Resample(double max_spacing) const;
 
   /// The part of the line between arc lengths `s0` and `s1` (clamped).
   /// When s0 > s1 the result runs backwards along the line.
-  Polyline SubLine(double s0, double s1) const;
+  [[nodiscard]] Polyline SubLine(double s0, double s1) const;
 
  private:
   std::vector<EnPoint> points_;

@@ -38,10 +38,12 @@ class AttributeFetcher {
   /// Counts attributes along a matched route: junctions from the
   /// traversed edge sequence, point features by proximity to the driven
   /// geometry (each feature at most once).
+  [[nodiscard]]
   RouteAttributes Fetch(const mapmatch::MatchedRoute& route) const;
 
   /// Junctions passed through by an edge-step sequence (interior
   /// vertices between consecutive steps that are true junctions).
+  [[nodiscard]]
   int CountJunctionsPassed(const std::vector<roadnet::PathStep>& steps) const;
 
  private:

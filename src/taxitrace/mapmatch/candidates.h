@@ -30,7 +30,9 @@ struct MatchCandidate {
   double distance_score = 0.0;
   double heading_score = 0.0;
 
-  double TotalScore() const { return distance_score + heading_score; }
+  [[nodiscard]] double TotalScore() const {
+    return distance_score + heading_score;
+  }
 };
 
 /// Distance score mu_d - a * d^n (may go negative for far candidates).

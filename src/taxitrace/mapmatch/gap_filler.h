@@ -39,14 +39,15 @@ class GapFiller {
 
   /// True when a connection of `network_length_m` between points
   /// `straight_line_m` apart is a plausible continuation of the drive.
+  [[nodiscard]]
   bool IsPlausible(double network_length_m, double straight_line_m) const;
 
   /// True when the connection length marks a filled gap.
-  bool IsGap(double network_length_m) const {
+  [[nodiscard]] bool IsGap(double network_length_m) const {
     return network_length_m > options_.gap_threshold_m;
   }
 
-  const GapFillOptions& options() const { return options_; }
+  [[nodiscard]] const GapFillOptions& options() const { return options_; }
 
  private:
   const roadnet::RoadNetwork* network_;

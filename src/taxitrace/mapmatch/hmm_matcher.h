@@ -51,7 +51,7 @@ class HmmMatcher {
   /// Fails when fewer than two points can be matched.
   Result<MatchedRoute> Match(const trace::Trip& trip) const;
 
-  const HmmOptions& options() const { return options_; }
+  [[nodiscard]] const HmmOptions& options() const { return options_; }
 
  private:
   const roadnet::RoadNetwork* network_;

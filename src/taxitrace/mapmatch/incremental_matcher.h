@@ -35,7 +35,7 @@ struct MatchedRoute {
   int points_skipped = 0;   ///< Points with no candidate in range.
 
   /// Distinct edge ids traversed.
-  std::vector<roadnet::EdgeId> DistinctEdges() const;
+  [[nodiscard]] std::vector<roadnet::EdgeId> DistinctEdges() const;
 };
 
 /// Matcher configuration.
@@ -56,7 +56,7 @@ class IncrementalMatcher {
   /// points can be matched at all.
   Result<MatchedRoute> Match(const trace::Trip& trip) const;
 
-  const MatcherOptions& options() const { return options_; }
+  [[nodiscard]] const MatcherOptions& options() const { return options_; }
 
  private:
   const roadnet::RoadNetwork* network_;

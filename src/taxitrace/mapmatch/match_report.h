@@ -20,7 +20,7 @@ struct MatchReport {
   double total_length_km = 0.0;
 
   /// Fraction of points that could not be matched.
-  double SkipRate() const {
+  [[nodiscard]] double SkipRate() const {
     const int64_t total = matched_points + skipped_points;
     return total > 0
                ? static_cast<double>(skipped_points) /
@@ -29,7 +29,7 @@ struct MatchReport {
   }
 
   /// Gaps per matched kilometre.
-  double GapsPerKm() const {
+  [[nodiscard]] double GapsPerKm() const {
     return total_length_km > 0.0
                ? static_cast<double>(gaps_filled) / total_length_km
                : 0.0;

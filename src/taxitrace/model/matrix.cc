@@ -13,7 +13,7 @@ Matrix Matrix::Identity(size_t n) {
 }
 
 Matrix Matrix::Multiply(const Matrix& other) const {
-  assert(cols_ == other.rows_);
+  TT_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {
@@ -28,7 +28,7 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 }
 
 Vector Matrix::MultiplyVector(const Vector& v) const {
-  assert(v.size() == cols_);
+  TT_CHECK(v.size() == cols_);
   Vector out(rows_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     double sum = 0.0;
@@ -47,7 +47,7 @@ Matrix Matrix::Transposed() const {
 }
 
 Matrix Matrix::Plus(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  TT_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out = *this;
   for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
   return out;
@@ -60,7 +60,7 @@ Matrix Matrix::Scaled(double s) const {
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  TT_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   double best = 0.0;
   for (size_t i = 0; i < data_.size(); ++i) {
     best = std::max(best, std::abs(data_[i] - other.data_[i]));
@@ -69,14 +69,14 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
 }
 
 double DotProduct(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  TT_CHECK(a.size() == b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
 }
 
 void AddOuterProduct(Matrix* target, const Vector& v, double s) {
-  assert(target->rows() == v.size() && target->cols() == v.size());
+  TT_CHECK(target->rows() == v.size() && target->cols() == v.size());
   for (size_t i = 0; i < v.size(); ++i) {
     if (v[i] == 0.0) continue;
     for (size_t j = 0; j < v.size(); ++j) {

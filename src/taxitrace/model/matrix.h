@@ -5,9 +5,10 @@
 #ifndef TAXITRACE_MODEL_MATRIX_H_
 #define TAXITRACE_MODEL_MATRIX_H_
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "taxitrace/common/check.h"
 
 namespace taxitrace {
 namespace model {
@@ -25,35 +26,35 @@ class Matrix {
   /// Identity matrix of the given size.
   static Matrix Identity(size_t n);
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
 
   double& operator()(size_t r, size_t c) {
-    assert(r < rows_ && c < cols_);
+    TT_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   double operator()(size_t r, size_t c) const {
-    assert(r < rows_ && c < cols_);
+    TT_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
 
   /// this * other. Dimensions must agree.
-  Matrix Multiply(const Matrix& other) const;
+  [[nodiscard]] Matrix Multiply(const Matrix& other) const;
 
   /// this * v. v.size() must equal cols().
-  Vector MultiplyVector(const Vector& v) const;
+  [[nodiscard]] Vector MultiplyVector(const Vector& v) const;
 
   /// Transposed copy.
-  Matrix Transposed() const;
+  [[nodiscard]] Matrix Transposed() const;
 
   /// this + other (same shape).
-  Matrix Plus(const Matrix& other) const;
+  [[nodiscard]] Matrix Plus(const Matrix& other) const;
 
   /// Scales every entry.
-  Matrix Scaled(double s) const;
+  [[nodiscard]] Matrix Scaled(double s) const;
 
   /// Max |a_ij - b_ij| over all entries (shapes must agree).
-  double MaxAbsDiff(const Matrix& other) const;
+  [[nodiscard]] double MaxAbsDiff(const Matrix& other) const;
 
  private:
   size_t rows_ = 0;

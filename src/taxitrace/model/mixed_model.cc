@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "taxitrace/common/check.h"
 #include "taxitrace/model/cholesky.h"
 
 namespace taxitrace {
@@ -39,7 +40,7 @@ MixedModel::MixedModel(size_t num_fixed)
     : p_(num_fixed), xtx_(num_fixed, num_fixed), xty_(num_fixed, 0.0) {}
 
 void MixedModel::Add(const Vector& x_row, size_t group, double y) {
-  assert(x_row.size() == p_);
+  TT_CHECK(x_row.size() == p_);
   AddOuterProduct(&xtx_, x_row, 1.0);
   for (size_t i = 0; i < p_; ++i) xty_[i] += x_row[i] * y;
   yty_ += y * y;

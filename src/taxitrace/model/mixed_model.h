@@ -39,9 +39,9 @@ class MixedModel {
   /// Adds one observation.
   void Add(const Vector& x_row, size_t group, double y);
 
-  size_t num_fixed() const { return p_; }
-  size_t num_groups() const { return group_n_.size(); }
-  int64_t num_observations() const { return n_; }
+  [[nodiscard]] size_t num_fixed() const { return p_; }
+  [[nodiscard]] size_t num_groups() const { return group_n_.size(); }
+  [[nodiscard]] int64_t num_observations() const { return n_; }
 
   /// Fits via profile REML over lambda. Fails when the GLS system is
   /// singular or the data are too small.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "taxitrace/common/check.h"
 #include "taxitrace/model/cholesky.h"
 
 namespace taxitrace {
@@ -12,7 +13,7 @@ OlsAccumulator::OlsAccumulator(size_t num_predictors)
       xty_(num_predictors, 0.0) {}
 
 void OlsAccumulator::Add(const Vector& x, double y) {
-  assert(x.size() == p_);
+  TT_CHECK(x.size() == p_);
   AddOuterProduct(&xtx_, x, 1.0);
   for (size_t i = 0; i < p_; ++i) xty_[i] += x[i] * y;
   yty_ += y * y;

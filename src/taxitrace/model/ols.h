@@ -32,7 +32,7 @@ class OlsAccumulator {
   /// Fits the model. Fails when X'X is singular or n <= p.
   Result<OlsFit> Fit() const;
 
-  int64_t n() const { return n_; }
+  [[nodiscard]] int64_t n() const { return n_; }
 
  private:
   size_t p_;

@@ -42,8 +42,8 @@ class OneWayReml {
   void Add(size_t group, double y);
 
   /// Number of groups seen (including empty ones below the max index).
-  size_t num_groups() const { return n_.size(); }
-  int64_t num_observations() const { return total_n_; }
+  [[nodiscard]] size_t num_groups() const { return n_.size(); }
+  [[nodiscard]] int64_t num_observations() const { return total_n_; }
 
   /// Fits by profiling the REML criterion over lambda (golden-section
   /// search on a log grid). Fails with fewer than two groups or two
@@ -52,7 +52,7 @@ class OneWayReml {
 
   /// The -2 REML criterion at a given lambda (exposed for tests and the
   /// ablation bench).
-  double RemlCriterion(double lambda) const;
+  [[nodiscard]] double RemlCriterion(double lambda) const;
 
  private:
   struct Gls {
@@ -60,7 +60,7 @@ class OneWayReml {
     double weight_sum;  ///< sum_i n_i / (1 + n_i lambda), times 1/sigma2.
     double q;           ///< profile quadratic form.
   };
-  Gls ComputeGls(double lambda) const;
+  [[nodiscard]] Gls ComputeGls(double lambda) const;
 
   std::vector<int64_t> n_;
   std::vector<double> mean_;

@@ -27,7 +27,9 @@ struct RandomEffectLrt {
   /// Boundary-corrected p-value (0.5 chi2_0 + 0.5 chi2_1 mixture).
   double p_value = 1.0;
 
-  bool Significant(double alpha = 0.05) const { return p_value < alpha; }
+  [[nodiscard]] bool Significant(double alpha = 0.05) const {
+    return p_value < alpha;
+  }
 };
 
 /// Tests whether the between-group variance is non-zero. Fails when the

@@ -42,16 +42,17 @@ class OdGate {
   OdGate(std::string name, geo::Polyline inbound_geometry,
          const OdGateOptions& options = {});
 
-  const std::string& name() const { return name_; }
-  const geo::Polygon& polygon() const { return polygon_; }
-  const geo::Polyline& geometry() const { return geometry_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const geo::Polygon& polygon() const { return polygon_; }
+  [[nodiscard]] const geo::Polyline& geometry() const { return geometry_; }
 
   /// Classifies the movement a -> b (consecutive route points in the
   /// local frame) against this gate.
+  [[nodiscard]]
   Crossing Classify(const geo::EnPoint& a, const geo::EnPoint& b) const;
 
   /// Distance from `p` to the gate's road centre line, metres.
-  double DistanceToRoad(const geo::EnPoint& p) const;
+  [[nodiscard]] double DistanceToRoad(const geo::EnPoint& p) const;
 
  private:
   std::string name_;

@@ -34,7 +34,7 @@ struct Transition {
   std::string destination;
 
   /// "S-T"-style label.
-  std::string Label() const { return origin + "-" + destination; }
+  [[nodiscard]] std::string Label() const { return origin + "-" + destination; }
 };
 
 /// Per-trip gate interaction summary, for the Table 3 funnel.
@@ -52,14 +52,15 @@ class TransitionExtractor {
                       const geo::LocalProjection& projection);
 
   /// All angle-valid gate crossings of a trip, in time order.
+  [[nodiscard]]
   std::vector<GateCrossing> FindCrossings(const trace::Trip& trip) const;
 
   /// Full analysis of one cleaned trip segment: crossing flags and the
   /// extracted transitions (an inbound crossing of one gate followed by
   /// an outbound crossing of a different gate).
-  TripGateAnalysis Analyze(const trace::Trip& trip) const;
+  [[nodiscard]] TripGateAnalysis Analyze(const trace::Trip& trip) const;
 
-  const std::vector<OdGate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<OdGate>& gates() const { return gates_; }
 
  private:
   std::vector<OdGate> gates_;

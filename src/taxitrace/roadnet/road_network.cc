@@ -1,9 +1,9 @@
 #include "taxitrace/roadnet/road_network.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "taxitrace/common/check.h"
 #include "taxitrace/common/strings.h"
 
 namespace taxitrace {
@@ -13,22 +13,22 @@ RoadNetwork::RoadNetwork(const geo::LatLon& origin)
     : origin_(origin), projection_(origin) {}
 
 const Vertex& RoadNetwork::vertex(VertexId id) const {
-  assert(id >= 0 && static_cast<size_t>(id) < vertices_.size());
+  TT_DCHECK(id >= 0 && static_cast<size_t>(id) < vertices_.size());
   return vertices_[static_cast<size_t>(id)];
 }
 
 const Edge& RoadNetwork::edge(EdgeId id) const {
-  assert(id >= 0 && static_cast<size_t>(id) < edges_.size());
+  TT_DCHECK(id >= 0 && static_cast<size_t>(id) < edges_.size());
   return edges_[static_cast<size_t>(id)];
 }
 
 const MapFeature& RoadNetwork::feature(FeatureId id) const {
-  assert(id >= 0 && static_cast<size_t>(id) < features_.size());
+  TT_DCHECK(id >= 0 && static_cast<size_t>(id) < features_.size());
   return features_[static_cast<size_t>(id)];
 }
 
 const std::vector<EdgeId>& RoadNetwork::IncidentEdges(VertexId v) const {
-  assert(v >= 0 && static_cast<size_t>(v) < incident_.size());
+  TT_DCHECK(v >= 0 && static_cast<size_t>(v) < incident_.size());
   return incident_[static_cast<size_t>(v)];
 }
 
@@ -41,7 +41,7 @@ bool RoadNetwork::CanTraverse(EdgeId e, bool forward) const {
 
 VertexId RoadNetwork::Opposite(EdgeId e, VertexId v) const {
   const Edge& ed = edge(e);
-  assert(ed.from == v || ed.to == v);
+  TT_DCHECK(ed.from == v || ed.to == v);
   return ed.from == v ? ed.to : ed.from;
 }
 
@@ -80,9 +80,9 @@ VertexId RoadNetwork::AddVertex(const geo::EnPoint& position,
 }
 
 EdgeId RoadNetwork::AddEdge(Edge edge) {
-  assert(edge.from >= 0 &&
-         static_cast<size_t>(edge.from) < vertices_.size());
-  assert(edge.to >= 0 && static_cast<size_t>(edge.to) < vertices_.size());
+  TT_CHECK(edge.from >= 0 &&
+           static_cast<size_t>(edge.from) < vertices_.size());
+  TT_CHECK(edge.to >= 0 && static_cast<size_t>(edge.to) < vertices_.size());
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edge.id = id;
   edge.length_m = edge.geometry.Length();

@@ -69,42 +69,48 @@ class RoadNetwork {
   explicit RoadNetwork(const geo::LatLon& origin);
 
   /// WGS84 anchor of the local east/north frame.
-  const geo::LatLon& origin() const { return origin_; }
+  [[nodiscard]] const geo::LatLon& origin() const { return origin_; }
   /// Projection between WGS84 and the local frame.
-  const geo::LocalProjection& projection() const { return projection_; }
+  [[nodiscard]] const geo::LocalProjection& projection() const {
+    return projection_;
+  }
 
-  const std::vector<Vertex>& vertices() const { return vertices_; }
-  const std::vector<Edge>& edges() const { return edges_; }
-  const std::vector<MapFeature>& features() const { return features_; }
+  [[nodiscard]] const std::vector<Vertex>& vertices() const {
+    return vertices_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<MapFeature>& features() const {
+    return features_;
+  }
 
   /// The vertex / edge / feature with the given id. Ids index the vectors
-  /// above; passing an invalid id is a programming error (asserted).
-  const Vertex& vertex(VertexId id) const;
-  const Edge& edge(EdgeId id) const;
-  const MapFeature& feature(FeatureId id) const;
+  /// above; passing an invalid id is a programming error (TT_DCHECK'd).
+  [[nodiscard]] const Vertex& vertex(VertexId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+  [[nodiscard]] const MapFeature& feature(FeatureId id) const;
 
   /// Edges incident to `v` (regardless of traversability).
-  const std::vector<EdgeId>& IncidentEdges(VertexId v) const;
+  [[nodiscard]] const std::vector<EdgeId>& IncidentEdges(VertexId v) const;
 
   /// True when the edge may be driven in the given orientation
   /// (forward = from -> to).
-  bool CanTraverse(EdgeId e, bool forward) const;
+  [[nodiscard]] bool CanTraverse(EdgeId e, bool forward) const;
 
   /// The vertex at the far end of `e` when entering from `v`. Requires
   /// `v` to be one of the edge's endpoints.
-  VertexId Opposite(EdgeId e, VertexId v) const;
+  [[nodiscard]] VertexId Opposite(EdgeId e, VertexId v) const;
 
   /// Point on the edge geometry at the given arc length (clamped).
-  geo::EnPoint PointAt(const EdgePosition& pos) const;
+  [[nodiscard]] geo::EnPoint PointAt(const EdgePosition& pos) const;
 
   /// Number of features of type `t` attached to edge `e`.
-  int CountFeaturesOnEdge(EdgeId e, FeatureType t) const;
+  [[nodiscard]] int CountFeaturesOnEdge(EdgeId e, FeatureType t) const;
 
   /// Total number of features of type `t` in the map.
-  int CountFeatures(FeatureType t) const;
+  [[nodiscard]] int CountFeatures(FeatureType t) const;
 
   /// Bounding box of all edge geometry.
-  geo::Bbox Bounds() const;
+  [[nodiscard]] geo::Bbox Bounds() const;
 
   // --- Builder API -------------------------------------------------------
 

@@ -53,7 +53,7 @@ class Router {
   double NetworkDistance(const EdgePosition& from,
                          const EdgePosition& to) const;
 
-  const RoadNetwork& network() const { return *network_; }
+  [[nodiscard]] const RoadNetwork& network() const { return *network_; }
 
  private:
   struct VertexSearchResult {

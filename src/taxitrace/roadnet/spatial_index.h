@@ -39,7 +39,7 @@ class SpatialIndex {
                                        double max_radius_m) const;
 
   /// The network this index was built over.
-  const RoadNetwork& network() const { return *network_; }
+  [[nodiscard]] const RoadNetwork& network() const { return *network_; }
 
  private:
   struct CellKey {
@@ -55,7 +55,7 @@ class SpatialIndex {
     }
   };
 
-  CellKey KeyFor(const geo::EnPoint& p) const;
+  [[nodiscard]] CellKey KeyFor(const geo::EnPoint& p) const;
 
   const RoadNetwork* network_;
   double cell_size_m_;

@@ -44,7 +44,7 @@ struct TrafficElement {
   std::string road_name;
 
   /// Length of the centre-line geometry, metres.
-  double LengthMeters() const { return geometry.Length(); }
+  [[nodiscard]] double LengthMeters() const { return geometry.Length(); }
 };
 
 /// Stable name for a travel direction ("both"/"forward"/"backward").

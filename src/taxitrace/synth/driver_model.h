@@ -90,21 +90,22 @@ class DriverModel {
                                 double start_time_s, double duration_s) const;
 
   /// Multiplier (< 1 inside hotspots) applied to target speed at `p`.
-  double HotspotFactor(const geo::EnPoint& p) const;
+  [[nodiscard]] double HotspotFactor(const geo::EnPoint& p) const;
 
   /// Crowd intensity at `p`: 0 outside hotspots, up to the hotspot's
   /// intensity at its centre (static profile).
-  double HotspotIntensity(const geo::EnPoint& p) const;
+  [[nodiscard]] double HotspotIntensity(const geo::EnPoint& p) const;
 
   /// Crowd intensity at `p` and time `t`: the pedestrian model's
   /// time-varying level when present, else the static profile.
+  [[nodiscard]]
   double CrowdIntensity(const geo::EnPoint& p, double timestamp_s) const;
 
   /// Seasonal speed multiplier for a timestamp (autumn fastest, winter
   /// slowest — the ordering the paper reports).
   static double SeasonFactor(double timestamp_s);
 
-  const DriverOptions& options() const { return options_; }
+  [[nodiscard]] const DriverOptions& options() const { return options_; }
 
  private:
   struct EdgeEvent {

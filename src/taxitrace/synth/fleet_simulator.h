@@ -72,7 +72,7 @@ class FleetSimulator {
   /// Runs the full simulation. Deterministic in options.seed.
   Result<FleetResult> Run() const;
 
-  const FleetOptions& options() const { return options_; }
+  [[nodiscard]] const FleetOptions& options() const { return options_; }
 
  private:
   const CityMap* map_;

@@ -26,7 +26,7 @@ class PedestrianModel {
 
   /// Activity of hotspot `index` at a study timestamp, in [0, ~1.5]:
   /// 1.0 is the hotspot's nominal (static) crowding.
-  double ActivityAt(size_t index, double timestamp_s) const;
+  [[nodiscard]] double ActivityAt(size_t index, double timestamp_s) const;
 
   /// Crowd intensity at a position: the hotspot spatial profile scaled
   /// by the current activity (replaces the static intensity).
@@ -35,10 +35,12 @@ class PedestrianModel {
 
   /// Mean activity of hotspot `index` over the daytime hours (09-21) of
   /// the whole study — what a WiFi census would report.
-  double MeanDaytimeActivity(size_t index) const;
+  [[nodiscard]] double MeanDaytimeActivity(size_t index) const;
 
   /// The hotspots this model animates.
-  const std::vector<Hotspot>& hotspots() const { return hotspots_; }
+  [[nodiscard]] const std::vector<Hotspot>& hotspots() const {
+    return hotspots_;
+  }
 
  private:
   std::vector<Hotspot> hotspots_;

@@ -67,7 +67,7 @@ class SensorModel {
   void ApplyTransportDefects(std::vector<trace::RoutePoint>* points,
                              Rng* rng) const;
 
-  const SensorOptions& options() const { return options_; }
+  [[nodiscard]] const SensorOptions& options() const { return options_; }
 
  private:
   SensorOptions options_;

@@ -44,17 +44,17 @@ class WeatherModel {
   explicit WeatherModel(uint64_t seed, int num_days = 365);
 
   /// Air temperature at a study timestamp, Celsius.
-  double TemperatureAt(double timestamp_s) const;
+  [[nodiscard]] double TemperatureAt(double timestamp_s) const;
 
   /// Convenience: class of TemperatureAt().
-  TemperatureClass ClassAt(double timestamp_s) const;
+  [[nodiscard]] TemperatureClass ClassAt(double timestamp_s) const;
 
   /// True when the road is likely slippery (sub-zero with recent
   /// precipitation) — used by the driver model to slow down in winter.
-  bool SlipperyAt(double timestamp_s) const;
+  [[nodiscard]] bool SlipperyAt(double timestamp_s) const;
 
   /// Daily mean temperatures, one per study day.
-  const std::vector<double>& daily_mean_celsius() const {
+  [[nodiscard]] const std::vector<double>& daily_mean_celsius() const {
     return daily_mean_;
   }
 

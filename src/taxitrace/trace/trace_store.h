@@ -22,19 +22,19 @@ class TraceStore {
   Status AddTrip(Trip trip);
 
   /// All trips in insertion order.
-  const std::vector<Trip>& trips() const { return trips_; }
+  [[nodiscard]] const std::vector<Trip>& trips() const { return trips_; }
 
   /// Number of stored trips.
-  size_t NumTrips() const { return trips_.size(); }
+  [[nodiscard]] size_t NumTrips() const { return trips_.size(); }
 
   /// Total number of route points across all trips.
-  size_t NumPoints() const;
+  [[nodiscard]] size_t NumPoints() const;
 
   /// Trips of one car, in insertion order.
-  std::vector<const Trip*> TripsForCar(int car_id) const;
+  [[nodiscard]] std::vector<const Trip*> TripsForCar(int car_id) const;
 
   /// Distinct car ids present, ascending.
-  std::vector<int> CarIds() const;
+  [[nodiscard]] std::vector<int> CarIds() const;
 
   /// Looks up a trip by id.
   Result<const Trip*> FindTrip(int64_t trip_id) const;

@@ -23,10 +23,10 @@ struct Trip {
   double total_fuel_ml = 0.0;
 
   /// Start/end time of the trip (from the first/last point; 0 if empty).
-  double StartTime() const {
+  [[nodiscard]] double StartTime() const {
     return points.empty() ? 0.0 : points.front().timestamp_s;
   }
-  double EndTime() const {
+  [[nodiscard]] double EndTime() const {
     return points.empty() ? 0.0 : points.back().timestamp_s;
   }
 

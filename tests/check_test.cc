@@ -1,0 +1,145 @@
+// Death tests for the checked-invariant facility (TT_CHECK and friends)
+// and for the fail-fast behaviour of Result<T> in every build type.
+
+#include "taxitrace/common/check.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/common/status.h"
+
+namespace taxitrace {
+namespace {
+
+// --- TT_CHECK --------------------------------------------------------------
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TT_CHECK(1 + 1 == 2);
+  TT_CHECK_MSG(true, "never printed");
+  TT_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailedCheckReportsExpressionAndLocation) {
+  EXPECT_DEATH(TT_CHECK(2 + 2 == 5),
+               "TT_CHECK failed: 2 \\+ 2 == 5 at .*check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgAppendsDetail) {
+  EXPECT_DEATH(TT_CHECK_MSG(false, "grid must be non-empty"),
+               "TT_CHECK failed: false at .*:[0-9]+: grid must be non-empty");
+}
+
+TEST(CheckDeathTest, CheckOkReportsStatusMessage) {
+  EXPECT_DEATH(TT_CHECK_OK(Status::IOError("disk on fire")),
+               "is OK at .*:[0-9]+: IOError: disk on fire");
+}
+
+TEST(CheckDeathTest, CheckOkAcceptsFailedResult) {
+  const Result<int> r = Status::NotFound("no such edge");
+  EXPECT_DEATH(TT_CHECK_OK(r), "NotFound: no such edge");
+}
+
+TEST(CheckTest, CheckOkEvaluatesExpressionOnce) {
+  int calls = 0;
+  const auto produce = [&calls]() {
+    ++calls;
+    return Status::OK();
+  };
+  TT_CHECK_OK(produce());
+  EXPECT_EQ(calls, 1);
+}
+
+// TT_DCHECK is TT_CHECK in Debug and compiled out in Release; either way
+// a passing condition must be silent and side-effect-free to rely on.
+TEST(CheckTest, DcheckPassesSilently) {
+  TT_DCHECK(true);
+  TT_DCHECK_MSG(true, "unused");
+  SUCCEED();
+}
+
+// --- Result fail-fast ------------------------------------------------------
+
+TEST(ResultDeathTest, ValueOnFailedResultAborts) {
+  const Result<int> r = Status::NotFound("vertex 42");
+  // Must abort with the underlying status in the diagnostic — in Release
+  // builds too; a compiled-away assert here would be silent UB.
+  EXPECT_DEATH(r.value(), "TT_CHECK failed: Result::ok\\(\\) at "
+                          ".*result\\.h:[0-9]+: NotFound: vertex 42");
+}
+
+TEST(ResultDeathTest, DereferenceOnFailedResultAborts) {
+  Result<std::string> r = Status::Corruption("truncated row");
+  EXPECT_DEATH(*r, "Corruption: truncated row");
+}
+
+TEST(ResultDeathTest, ArrowOnFailedResultAborts) {
+  Result<std::vector<int>> r = Status::OutOfRange("past end");
+  EXPECT_DEATH((void)r->size(), "OutOfRange: past end");
+}
+
+TEST(ResultDeathTest, MovedValueOnFailedResultAborts) {
+  EXPECT_DEATH(
+      {
+        Result<std::string> r = Status::IOError("short read");
+        std::string s = std::move(r).value();
+        (void)s;
+      },
+      "IOError: short read");
+}
+
+TEST(ResultDeathTest, ConstructionFromOkStatusAborts) {
+  // A Result must hold a value or a *non-OK* status; passing OK would
+  // leave it claiming failure with no explanation.
+  EXPECT_DEATH(
+      {
+        Status ok = Status::OK();  // tt-lint: allow(result-ok-status)
+        Result<int> r(std::move(ok));
+      },
+      "Result constructed from OK status");
+}
+
+// --- Result value paths stay intact ----------------------------------------
+
+TEST(ResultTest, ValueAndStatusOnSuccess) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("taxi");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "taxi");
+}
+
+TEST(ResultTest, FailedResultExposesStatus) {
+  const Result<int> r = Status::FailedPrecondition("not matched yet");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+  EXPECT_EQ(r.status().message(), "not matched yet");
+}
+
+// Result<Status>-style edge case: the value type itself has ok(); make
+// sure the wrapper's ok() refers to the wrapper, not the payload. A
+// Result holding a *non-OK* Status as its value is still ok().
+TEST(ResultTest, ResultWhoseValueLooksLikeAStatus) {
+  struct Probe {
+    Status inner;
+    bool ok() const { return inner.ok(); }
+  };
+  Result<Probe> r = Probe{Status::NotFound("payload, not failure")};
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_TRUE(r.value().inner.IsNotFound());
+}
+
+}  // namespace
+}  // namespace taxitrace
