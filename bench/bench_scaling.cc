@@ -2,6 +2,9 @@
 // network extent and model size — the systems-side companion to the
 // reproduction benches.
 
+#include <string>
+#include <thread>
+
 #include "bench_util.h"
 #include "taxitrace/model/one_way_reml.h"
 #include "taxitrace/roadnet/router.h"
@@ -9,22 +12,99 @@
 namespace taxitrace {
 namespace {
 
-void PrintScaling() {
-  const core::StudyResults& r = benchutil::FullResults();
-  std::printf("PIPELINE STAGE TIMINGS (full 7-car, 365-day study):\n");
+void PrintStageTimings(const char* label, const core::StudyResults& r) {
+  std::printf("PIPELINE STAGE TIMINGS (%s):\n", label);
   std::printf("  map generation       %8.1f ms\n",
               r.timings.map_generation_ms);
-  std::printf("  fleet simulation     %8.1f ms\n",
-              r.timings.simulation_ms);
-  std::printf("  cleaning             %8.1f ms\n", r.timings.cleaning_ms);
-  std::printf("  selection + matching %8.1f ms\n",
-              r.timings.selection_matching_ms);
+  std::printf("  fleet simulation     %8.1f ms  (%d threads)\n",
+              r.timings.simulation_ms, r.timings.simulation_threads);
+  std::printf("  cleaning             %8.1f ms  (%d threads)\n",
+              r.timings.cleaning_ms, r.timings.cleaning_threads);
+  std::printf("  selection + matching %8.1f ms  (%d threads)\n",
+              r.timings.selection_matching_ms,
+              r.timings.selection_matching_threads);
   std::printf("  grid + mixed model   %8.1f ms\n", r.timings.analysis_ms);
   std::printf("  total                %8.1f ms for %lld raw points\n\n",
               r.timings.TotalMs(),
               static_cast<long long>(
                   r.cleaning_report.raw_points));
 }
+
+std::string RunJson(const core::StudyResults& r, int configured_threads) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "    {\"threads\": %d, \"workers\": %d,\n"
+      "     \"map_generation_ms\": %.2f, \"simulation_ms\": %.2f,\n"
+      "     \"cleaning_ms\": %.2f, \"selection_matching_ms\": %.2f,\n"
+      "     \"analysis_ms\": %.2f, \"total_ms\": %.2f}",
+      configured_threads, r.timings.simulation_threads,
+      r.timings.map_generation_ms, r.timings.simulation_ms,
+      r.timings.cleaning_ms, r.timings.selection_matching_ms,
+      r.timings.analysis_ms, r.timings.TotalMs());
+  return buf;
+}
+
+// The perf trajectory of record: serial vs parallel full-study stage
+// timings, machine-readable so successive PRs can be compared.
+void PrintScaling() {
+  core::StudyConfig serial_config = core::StudyConfig::FullStudy();
+  serial_config.num_threads = 0;
+  const core::StudyResults serial =
+      benchutil::RunStudyOrExit(serial_config, "serial full study");
+  PrintStageTimings("full 7-car, 365-day study, serial", serial);
+
+  core::StudyConfig parallel_config = core::StudyConfig::FullStudy();
+  parallel_config.num_threads = -1;  // TAXITRACE_THREADS / all hardware
+  const core::StudyResults parallel =
+      benchutil::RunStudyOrExit(parallel_config, "parallel full study");
+  PrintStageTimings("full 7-car, 365-day study, parallel", parallel);
+
+  const double speedup =
+      parallel.timings.TotalMs() > 0.0
+          ? serial.timings.TotalMs() / parallel.timings.TotalMs()
+          : 0.0;
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"taxitrace-bench-pipeline/1\",\n";
+  json += "  \"study\": {\"cars\": 7, \"days\": 365},\n";
+  char line[256];
+  std::snprintf(
+      line, sizeof line, "  \"hardware_threads\": %u,\n",
+      std::thread::hardware_concurrency());  // tt-lint: allow(raw-thread)
+  json += line;
+  std::snprintf(line, sizeof line, "  \"raw_points\": %lld,\n",
+                static_cast<long long>(serial.cleaning_report.raw_points));
+  json += line;
+  json += "  \"runs\": [\n";
+  json += RunJson(serial, 0) + ",\n";
+  json += RunJson(parallel, -1) + "\n";
+  json += "  ],\n";
+  std::snprintf(line, sizeof line,
+                "  \"parallel_speedup_total\": %.3f\n", speedup);
+  json += line;
+  json += "}\n";
+  benchutil::EmitFigureFile("BENCH_pipeline.json", json);
+  std::printf("  parallel speedup (total wall-clock): %.2fx on %d workers\n\n",
+              speedup, parallel.timings.simulation_threads);
+}
+
+void BM_PipelineByThreads(benchmark::State& state) {
+  core::StudyConfig config = core::StudyConfig::SmallStudy();
+  config.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Pipeline pipeline(config);
+    auto results = pipeline.Run();
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_PipelineByThreads)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineByDays(benchmark::State& state) {
   for (auto _ : state) {

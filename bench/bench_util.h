@@ -20,35 +20,39 @@
 namespace taxitrace {
 namespace benchutil {
 
-/// The paper-scale study, run once per binary and cached.
-inline const core::StudyResults& FullResults() {
-  static const core::StudyResults* results = [] {
-    std::fprintf(stderr, "[bench] running the full study (7 cars, 365 days)...\n");
-    core::Pipeline pipeline(core::StudyConfig::FullStudy());
-    auto run = pipeline.Run();
-    if (!run.ok()) {
-      std::fprintf(stderr, "full study failed: %s\n",
-                   run.status().ToString().c_str());
-      std::abort();
-    }
-    return new core::StudyResults(std::move(run).value());
-  }();
-  return *results;
+/// Runs a study, or reports the failure and exits the bench binary with
+/// a non-zero status (no abort(), no core dump — a failed study is an
+/// environment problem, not a bug to trap).
+inline core::StudyResults RunStudyOrExit(const core::StudyConfig& config,
+                                         const char* label) {
+  core::Pipeline pipeline(config);
+  auto run = pipeline.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", label,
+                 run.status().ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  return std::move(run).value();
 }
 
-/// A reduced study for cheap per-iteration benchmarks.
-inline const core::StudyResults& SmallResults() {
-  static const core::StudyResults* results = [] {
-    core::Pipeline pipeline(core::StudyConfig::SmallStudy());
-    auto run = pipeline.Run();
-    if (!run.ok()) {
-      std::fprintf(stderr, "small study failed: %s\n",
-                   run.status().ToString().c_str());
-      std::abort();
-    }
-    return new core::StudyResults(std::move(run).value());
+/// The paper-scale study. Intentionally cached for the life of the
+/// process in a function-local static: every bench and reproduction
+/// printer in one binary shares a single ~seconds-long run.
+inline const core::StudyResults& FullResults() {
+  static const core::StudyResults results = [] {
+    std::fprintf(stderr,
+                 "[bench] running the full study (7 cars, 365 days)...\n");
+    return RunStudyOrExit(core::StudyConfig::FullStudy(), "full study");
   }();
-  return *results;
+  return results;
+}
+
+/// A reduced study for cheap per-iteration benchmarks. Same intentional
+/// static-lifetime cache as FullResults().
+inline const core::StudyResults& SmallResults() {
+  static const core::StudyResults results =
+      RunStudyOrExit(core::StudyConfig::SmallStudy(), "small study");
+  return results;
 }
 
 /// Prints the first `max_lines` lines of a (possibly large) text block.

@@ -15,6 +15,10 @@ Greps src/taxitrace/ for patterns the codebase has banned:
                     code that is not compiled on every platform.
   include-path      #include "..." in src/ that does not use the
                     canonical taxitrace/... path form.
+  raw-thread        std::thread / std::jthread / std::async outside
+                    taxitrace/common/executor.*. All parallelism goes
+                    through the Executor so the determinism contract
+                    (ordered merges, derived RNG streams) holds.
 
 A finding can be suppressed on its line with: // tt-lint: allow(<rule>)
 
@@ -34,6 +38,7 @@ SRC_SUFFIXES = {".h", ".cc"}
 ALLOW_RE = re.compile(r"//\s*tt-lint:\s*allow\(([a-z-]+)\)")
 
 BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+RAW_THREAD_RE = re.compile(r"std::(thread|jthread|async)\b")
 RESULT_OK_RE = re.compile(r"Result<[^;]*Status::OK\(\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
@@ -77,6 +82,10 @@ def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
     in_block_comment = False
     prev_code_line = ""
     is_check_header = rel.as_posix() == "src/taxitrace/common/check.h"
+    is_executor = rel.as_posix() in (
+        "src/taxitrace/common/executor.h",
+        "src/taxitrace/common/executor.cc",
+    )
     for lineno, raw in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
         allowed = set(ALLOW_RE.findall(raw))
@@ -103,6 +112,12 @@ def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
             report("bare-assert",
                    "bare assert() in library code; use TT_CHECK or "
                    "TT_DCHECK (taxitrace/common/check.h)")
+
+        if RAW_THREAD_RE.search(line) and not is_executor:
+            report("raw-thread",
+                   "raw std::thread/std::async; use the Executor "
+                   "(taxitrace/common/executor.h) so parallel stages "
+                   "stay deterministic")
 
         if RESULT_OK_RE.search(line):
             report("result-ok-status",

@@ -1,32 +1,88 @@
 #include "taxitrace/clean/cleaning_pipeline.h"
 
+#include "taxitrace/common/check.h"
+
 namespace taxitrace {
 namespace clean {
+namespace {
+
+// What cleaning one raw trip produced: its surviving segments plus the
+// per-stage counter deltas. Deltas are summed (all counters are plain
+// integers) and segments concatenated in store order, which reproduces
+// the serial pipeline's output exactly.
+struct TripCleanOutput {
+  std::vector<trace::Trip> segments;
+  OrderRepairStats order;
+  OutlierFilterStats outliers;
+  InterpolationStats interpolation;
+  SegmentationStats segmentation;
+  TripFilterStats filter;
+};
+
+TripCleanOutput CleanOneTrip(const trace::Trip& raw,
+                             const CleaningOptions& options) {
+  TripCleanOutput out;
+  trace::Trip trip = raw;
+  RepairTripOrder(&trip, &out.order);
+  FilterTripOutliers(&trip, options.outliers, &out.outliers);
+  if (options.restore_lost_points) {
+    RestoreTripLostPoints(&trip, options.interpolation,
+                          &out.interpolation);
+  }
+  std::vector<trace::Trip> segments =
+      SegmentTrip(trip, options.segmentation, &out.segmentation);
+  out.segments =
+      FilterTrips(std::move(segments), options.filter, &out.filter);
+  return out;
+}
+
+}  // namespace
 
 std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
                                     const CleaningOptions& options,
-                                    CleaningReport* report) {
+                                    CleaningReport* report,
+                                    const Executor* executor) {
   CleaningReport local;
   local.raw_trips = static_cast<int64_t>(store.NumTrips());
   local.raw_points = static_cast<int64_t>(store.NumPoints());
 
-  std::vector<trace::Trip> repaired;
-  repaired.reserve(store.trips().size());
-  for (const trace::Trip& raw : store.trips()) {
-    trace::Trip trip = raw;
-    RepairTripOrder(&trip, &local.order);
-    FilterTripOutliers(&trip, options.outliers, &local.outliers);
-    if (options.restore_lost_points) {
-      RestoreTripLostPoints(&trip, options.interpolation,
-                            &local.interpolation);
-    }
-    repaired.push_back(std::move(trip));
-  }
+  const std::vector<trace::Trip>& raw = store.trips();
+  std::vector<TripCleanOutput> outputs(raw.size());
+  const Executor& ex = executor != nullptr ? *executor : Executor::Serial();
+  TT_CHECK_OK(ex.ParallelFor(
+      0, static_cast<int64_t>(raw.size()), [&](int64_t i) -> Status {
+        outputs[static_cast<size_t>(i)] =
+            CleanOneTrip(raw[static_cast<size_t>(i)], options);
+        return Status::OK();
+      }));
 
-  std::vector<trace::Trip> segments =
-      SegmentTrips(repaired, options.segmentation, &local.segmentation);
-  std::vector<trace::Trip> cleaned =
-      FilterTrips(std::move(segments), options.filter, &local.filter);
+  std::vector<trace::Trip> cleaned;
+  for (TripCleanOutput& out : outputs) {
+    local.order.trips_consistent += out.order.trips_consistent;
+    local.order.trips_repaired_by_id += out.order.trips_repaired_by_id;
+    local.order.trips_repaired_by_timestamp +=
+        out.order.trips_repaired_by_timestamp;
+    local.outliers.duplicates_removed += out.outliers.duplicates_removed;
+    local.outliers.spikes_removed += out.outliers.spikes_removed;
+    local.outliers.implied_speed_removed +=
+        out.outliers.implied_speed_removed;
+    local.interpolation.gaps_restored += out.interpolation.gaps_restored;
+    local.interpolation.points_inserted +=
+        out.interpolation.points_inserted;
+    for (int r = 0; r < 5; ++r) {
+      local.segmentation.splits_by_rule[r] +=
+          out.segmentation.splits_by_rule[r];
+    }
+    local.segmentation.trips_in += out.segmentation.trips_in;
+    local.segmentation.segments_out += out.segmentation.segments_out;
+    local.filter.removed_too_few_points +=
+        out.filter.removed_too_few_points;
+    local.filter.removed_too_long += out.filter.removed_too_long;
+    local.filter.kept += out.filter.kept;
+    for (trace::Trip& seg : out.segments) {
+      cleaned.push_back(std::move(seg));
+    }
+  }
 
   local.clean_segments = static_cast<int64_t>(cleaned.size());
   for (const trace::Trip& t : cleaned) {

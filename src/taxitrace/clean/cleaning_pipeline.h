@@ -5,6 +5,7 @@
 #define TAXITRACE_CLEAN_CLEANING_PIPELINE_H_
 
 #include "taxitrace/clean/interpolation.h"
+#include "taxitrace/common/executor.h"
 #include "taxitrace/clean/order_repair.h"
 #include "taxitrace/clean/outlier_filter.h"
 #include "taxitrace/clean/segmentation.h"
@@ -41,9 +42,15 @@ struct CleaningReport {
 
 /// Runs the pipeline over all trips of a store and returns the cleaned
 /// trip segments.
+///
+/// Every stage is per-trip, so the work fans out over the store's trips
+/// when `executor` has worker threads; per-trip outputs are merged in
+/// store order (segments and every report counter), making the result
+/// byte-identical at any thread count. A null `executor` runs serially.
 std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
                                     const CleaningOptions& options = {},
-                                    CleaningReport* report = nullptr);
+                                    CleaningReport* report = nullptr,
+                                    const Executor* executor = nullptr);
 
 }  // namespace clean
 }  // namespace taxitrace

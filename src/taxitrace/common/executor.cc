@@ -1,0 +1,146 @@
+#include "taxitrace/common/executor.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace taxitrace {
+namespace {
+
+// Shared state of one ParallelFor batch. Workers claim indices from
+// `next`; the submitting thread waits on `done_cv` until `remaining`
+// drains. The mutex orders every worker's writes (including the
+// caller-owned output slots the worker functions fill) before the
+// caller's wake-up, which is what makes the merge step race-free.
+struct LoopState {
+  std::atomic<int64_t> next;
+  int64_t end = 0;
+  const std::function<Status(int64_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t remaining = 0;      // indices not yet finished
+  int64_t error_index = -1;   // lowest failing index so far
+  Status error;
+
+  void RunOneClaimLoop() {
+    for (;;) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      Status st = (*fn)(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!st.ok() && (error_index < 0 || i < error_index)) {
+        error_index = i;
+        error = std::move(st);
+      }
+      if (--remaining == 0) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+Executor::Executor(int num_threads) {
+  if (num_threads < 0) num_threads = 0;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+Status Executor::ParallelFor(
+    int64_t begin, int64_t end,
+    const std::function<Status(int64_t)>& fn) const {
+  if (begin >= end) return Status::OK();
+
+  if (workers_.empty()) {
+    // Serial fallback: same index order, same error contract.
+    int64_t error_index = -1;
+    Status error;
+    for (int64_t i = begin; i < end; ++i) {
+      Status st = fn(i);
+      if (!st.ok() && error_index < 0) {
+        error_index = i;
+        error = std::move(st);
+      }
+    }
+    return error_index < 0 ? Status::OK() : error;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+  state->remaining = end - begin;
+
+  // One claim-loop job per worker is enough: each keeps pulling indices
+  // until the range drains, so idle workers never wait on busy ones.
+  const int64_t jobs = std::min<int64_t>(
+      static_cast<int64_t>(workers_.size()), end - begin);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t j = 0; j < jobs; ++j) {
+      queue_.emplace_back([state] { state->RunOneClaimLoop(); });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
+  return state->error_index < 0 ? Status::OK() : state->error;
+}
+
+Status Executor::RunTasks(
+    const std::vector<std::function<Status()>>& tasks) const {
+  return ParallelFor(0, static_cast<int64_t>(tasks.size()),
+                     [&tasks](int64_t i) {
+                       return tasks[static_cast<size_t>(i)]();
+                     });
+}
+
+int Executor::ResolveThreadCount(int requested) {
+  if (requested >= 0) return requested;
+  if (const char* env = std::getenv("TAXITRACE_THREADS");
+      env != nullptr && *env != '\0') {
+    errno = 0;
+    char* parse_end = nullptr;
+    const long value = std::strtol(env, &parse_end, 10);
+    if (errno == 0 && parse_end != nullptr && *parse_end == '\0' &&
+        value >= 0 && value <= std::numeric_limits<int>::max()) {
+      return static_cast<int>(value);
+    }
+    // Malformed values fall through to the hardware default.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+const Executor& Executor::Serial() {
+  static const Executor serial(0);
+  return serial;
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,82 @@
+// Fixed-size worker pool behind every parallel stage in the library.
+//
+// All concurrency in taxitrace flows through this executor (the repo
+// linter bans raw std::thread / std::async elsewhere), which keeps the
+// threading model auditable in one place. The contract the pipeline
+// relies on: an Executor never changes *what* is computed, only *where*
+// — callers shard their work into order-independent units, run them via
+// ParallelFor, and merge the per-unit outputs in index order, so results
+// are byte-identical at any thread count, including the serial fallback.
+
+#ifndef TAXITRACE_COMMON_EXECUTOR_H_
+#define TAXITRACE_COMMON_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "taxitrace/common/status.h"
+
+namespace taxitrace {
+
+/// A fixed pool of worker threads with an index-loop and task-batch API.
+///
+/// `Executor(0)` creates no threads: every call runs inline on the
+/// caller, which is the deterministic serial fallback (`TAXITRACE_THREADS=0`).
+/// With n > 0 workers the caller blocks until the batch completes; the
+/// pool is reused across calls and joined on destruction.
+class Executor {
+ public:
+  /// Creates `num_threads` workers (clamped at 0). 0 = run inline.
+  explicit Executor(int num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Number of pool threads; 0 means every call executes serially
+  /// inline.
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Runs `fn(i)` for every i in [begin, end), distributing indices over
+  /// the pool, and blocks until all of them finished. Every index runs
+  /// even after a failure, so the returned status — the error of the
+  /// *lowest* failing index — does not depend on scheduling.
+  Status ParallelFor(int64_t begin, int64_t end,
+                     const std::function<Status(int64_t)>& fn) const;
+
+  /// Runs a batch of heterogeneous tasks (task-submission form of
+  /// ParallelFor). Same completion and error contract.
+  Status RunTasks(const std::vector<std::function<Status()>>& tasks) const;
+
+  /// Resolves a requested thread count to an actual one:
+  ///   requested >= 0  -> used as-is (0 = serial),
+  ///   requested  < 0  -> the TAXITRACE_THREADS environment variable if
+  ///                      set to a valid non-negative integer, else all
+  ///                      hardware threads.
+  static int ResolveThreadCount(int requested);
+
+  /// A process-wide 0-thread executor for call sites that take an
+  /// optional `const Executor*` and received none.
+  static const Executor& Serial();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_cv_;
+  mutable std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_COMMON_EXECUTOR_H_

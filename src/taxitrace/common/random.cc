@@ -121,4 +121,11 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t state = seed;
+  state = SplitMix64(&state) ^ (a + 0xD1B54A32D192ED03ULL);
+  state = SplitMix64(&state) ^ (b + 0x8CB92BA72F3D8DD7ULL);
+  return SplitMix64(&state);
+}
+
 }  // namespace taxitrace

@@ -65,6 +65,14 @@ class Rng {
   double spare_gaussian_ = 0.0;
 };
 
+/// Derives a well-mixed seed for the named substream `(seed, a, b)` by
+/// chaining splitmix64 over the three inputs. Unlike `Fork()`, the
+/// result depends only on the arguments — never on how many draws some
+/// other stream made first — which is what lets sharded simulations
+/// (e.g. one shard per car and day) produce bit-identical output at any
+/// execution order or thread count.
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b);
+
 }  // namespace taxitrace
 
 #endif  // TAXITRACE_COMMON_RANDOM_H_

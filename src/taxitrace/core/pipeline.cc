@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "taxitrace/analysis/grid.h"
 #include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/common/executor.h"
 #include "taxitrace/odselect/transition_extractor.h"
 
 namespace taxitrace {
@@ -28,6 +30,13 @@ Result<StudyResults> Pipeline::Run() const {
   StageTimings timings;
   auto stage_start = Clock::now();
 
+  // One worker pool for every parallel stage. 0 threads = serial
+  // inline execution; either way the merged outputs are byte-identical.
+  const Executor executor(Executor::ResolveThreadCount(config_.num_threads));
+  timings.simulation_threads = executor.num_threads();
+  timings.cleaning_threads = executor.num_threads();
+  timings.selection_matching_threads = executor.num_threads();
+
   // 1. Substrates: city map and weather.
   TAXITRACE_ASSIGN_OR_RETURN(synth::CityMap map,
                              synth::GenerateCityMap(config_.map));
@@ -42,7 +51,7 @@ Result<StudyResults> Pipeline::Run() const {
                                      config_.fleet.num_days);
   const synth::FleetSimulator fleet(&map, &weather, config_.fleet,
                                     &pedestrians);
-  TAXITRACE_ASSIGN_OR_RETURN(synth::FleetResult raw, fleet.Run());
+  TAXITRACE_ASSIGN_OR_RETURN(synth::FleetResult raw, fleet.Run(&executor));
 
   StudyResults results(std::move(map), std::move(weather),
                        std::move(pedestrians));
@@ -52,7 +61,8 @@ Result<StudyResults> Pipeline::Run() const {
 
   // 3. Cleaning: order repair, error filters, segmentation, filters.
   std::vector<trace::Trip> cleaned =
-      clean::CleanTrips(raw.store, config_.cleaning, &results.cleaning_report);
+      clean::CleanTrips(raw.store, config_.cleaning, &results.cleaning_report,
+                        &executor);
   timings.cleaning_ms = elapsed_ms(stage_start);
   stage_start = Clock::now();
 
@@ -73,74 +83,110 @@ Result<StudyResults> Pipeline::Run() const {
   const mapattr::AttributeFetcher fetcher(&results.map.network,
                                           config_.attributes);
 
-  // Per-car funnel rows (Table 3).
+  // Gate lookup by name, built once (the per-transition linear scan over
+  // gates was O(gates x transitions)).
+  std::unordered_map<std::string, const odselect::OdGate*> gate_by_name;
+  for (const odselect::OdGate& g : gates) gate_by_name.emplace(g.name(), &g);
+
+  // Selection + matching fans out over the cleaned trips: every segment
+  // is independent given the shared read-only machinery above. Each
+  // worker fills its segment's slot with ordered matched transitions
+  // plus Table 3 funnel deltas; the slots are then merged in cleaned
+  // order (== trip id order), so the funnel, the match report's running
+  // mean, and the transition list are byte-identical at any thread
+  // count.
+  struct SegmentMatchOutput {
+    int64_t filtered_cleaned = 0;
+    int64_t transitions_total = 0;
+    int64_t transitions_central = 0;
+    int64_t post_filtered = 0;
+    std::vector<MatchedTransition> transitions;
+  };
+  std::vector<SegmentMatchOutput> match_outputs(cleaned.size());
+
+  TAXITRACE_RETURN_IF_ERROR(executor.ParallelFor(
+      0, static_cast<int64_t>(cleaned.size()), [&](int64_t i) -> Status {
+        const trace::Trip& segment = cleaned[static_cast<size_t>(i)];
+        SegmentMatchOutput& out = match_outputs[static_cast<size_t>(i)];
+
+        const odselect::TripGateAnalysis analysis =
+            extractor.Analyze(segment);
+        if (!analysis.crosses_gate_at_angle ||
+            analysis.distinct_gates_crossed < 2) {
+          return Status::OK();
+        }
+        ++out.filtered_cleaned;
+
+        for (const odselect::Transition& transition : analysis.transitions) {
+          if (!odselect::IsSelectedDirection(transition,
+                                             config_.transition_filter)) {
+            continue;
+          }
+          ++out.transitions_total;
+          if (!odselect::IsWithinCentralArea(transition,
+                                             results.map.central_area,
+                                             region, proj,
+                                             config_.transition_filter)) {
+            continue;
+          }
+          ++out.transitions_central;
+
+          // Map matching (only cleared transitions through the centre
+          // are matched, as in the paper).
+          Result<mapmatch::MatchedRoute> route =
+              matcher.Match(transition.segment);
+          if (!route.ok()) continue;
+
+          const auto origin_it = gate_by_name.find(transition.origin);
+          const auto dest_it = gate_by_name.find(transition.destination);
+          if (origin_it == gate_by_name.end() ||
+              dest_it == gate_by_name.end()) {
+            continue;
+          }
+          if (!odselect::PassesEndpointPostFilter(
+                  route->geometry, *origin_it->second, *dest_it->second,
+                  config_.transition_filter)) {
+            continue;
+          }
+          ++out.post_filtered;
+
+          // 6. Attributes and the per-transition record.
+          MatchedTransition mt{transition, std::move(*route), {}};
+          mt.record.trip_id = transition.segment.trip_id;
+          mt.record.car_id = transition.segment.car_id;
+          mt.record.direction = transition.Label();
+          mt.record.start_time_s = transition.segment.StartTime();
+          mt.record.route_time_h =
+              trace::TimeSpanSeconds(transition.segment.points) / 3600.0;
+          mt.record.route_distance_km = mt.route.length_m / 1000.0;
+          mt.record.low_speed_share =
+              analysis::LowSpeedShare(transition.segment, config_.speed);
+          mt.record.normal_speed_share = analysis::NormalSpeedShare(
+              transition.segment, mt.route, results.map.network,
+              config_.speed);
+          double fuel = 0.0;
+          for (size_t k = 1; k < transition.segment.points.size(); ++k) {
+            fuel += transition.segment.points[k].fuel_delta_ml;
+          }
+          mt.record.fuel_ml = fuel;
+          mt.record.attributes = fetcher.Fetch(mt.route);
+          out.transitions.push_back(std::move(mt));
+        }
+        return Status::OK();
+      }));
+
+  // Per-car funnel rows (Table 3), folded in cleaned order.
   std::unordered_map<int, odselect::Table3Row> funnel;
-
-  for (const trace::Trip& segment : cleaned) {
-    odselect::Table3Row& row = funnel[segment.car_id];
-    row.car_id = segment.car_id;
+  for (size_t i = 0; i < cleaned.size(); ++i) {
+    odselect::Table3Row& row = funnel[cleaned[i].car_id];
+    row.car_id = cleaned[i].car_id;
     ++row.segments_total;
-
-    const odselect::TripGateAnalysis analysis = extractor.Analyze(segment);
-    if (!analysis.crosses_gate_at_angle ||
-        analysis.distinct_gates_crossed < 2) {
-      continue;
-    }
-    ++row.filtered_cleaned;
-
-    for (const odselect::Transition& transition : analysis.transitions) {
-      if (!odselect::IsSelectedDirection(transition,
-                                         config_.transition_filter)) {
-        continue;
-      }
-      ++row.transitions_total;
-      if (!odselect::IsWithinCentralArea(transition,
-                                         results.map.central_area, region,
-                                         proj, config_.transition_filter)) {
-        continue;
-      }
-      ++row.transitions_central;
-
-      // Map matching (only cleared transitions through the centre are
-      // matched, as in the paper).
-      Result<mapmatch::MatchedRoute> route = matcher.Match(transition.segment);
-      if (!route.ok()) continue;
-
-      const std::string origin_name = transition.origin;
-      const std::string dest_name = transition.destination;
-      const odselect::OdGate* origin_gate = nullptr;
-      const odselect::OdGate* dest_gate = nullptr;
-      for (const odselect::OdGate& g : gates) {
-        if (g.name() == origin_name) origin_gate = &g;
-        if (g.name() == dest_name) dest_gate = &g;
-      }
-      if (origin_gate == nullptr || dest_gate == nullptr) continue;
-      if (!odselect::PassesEndpointPostFilter(route->geometry, *origin_gate,
-                                              *dest_gate,
-                                              config_.transition_filter)) {
-        continue;
-      }
-      ++row.post_filtered;
-
-      // 6. Attributes and the per-transition record.
-      MatchedTransition mt{transition, std::move(*route), {}};
-      mt.record.trip_id = transition.segment.trip_id;
-      mt.record.car_id = transition.segment.car_id;
-      mt.record.direction = transition.Label();
-      mt.record.start_time_s = transition.segment.StartTime();
-      mt.record.route_time_h =
-          trace::TimeSpanSeconds(transition.segment.points) / 3600.0;
-      mt.record.route_distance_km = mt.route.length_m / 1000.0;
-      mt.record.low_speed_share =
-          analysis::LowSpeedShare(transition.segment, config_.speed);
-      mt.record.normal_speed_share = analysis::NormalSpeedShare(
-          transition.segment, mt.route, results.map.network, config_.speed);
-      double fuel = 0.0;
-      for (size_t i = 1; i < transition.segment.points.size(); ++i) {
-        fuel += transition.segment.points[i].fuel_delta_ml;
-      }
-      mt.record.fuel_ml = fuel;
-      mt.record.attributes = fetcher.Fetch(mt.route);
+    SegmentMatchOutput& out = match_outputs[i];
+    row.filtered_cleaned += out.filtered_cleaned;
+    row.transitions_total += out.transitions_total;
+    row.transitions_central += out.transitions_central;
+    row.post_filtered += out.post_filtered;
+    for (MatchedTransition& mt : out.transitions) {
       results.match_report.Add(mt.route);
       results.transitions.push_back(std::move(mt));
     }

@@ -28,13 +28,18 @@ struct MatchedTransition {
   analysis::TransitionRecord record;
 };
 
-/// Wall-clock cost of each pipeline stage, milliseconds.
+/// Wall-clock cost of each pipeline stage, milliseconds, plus the
+/// worker-thread count each parallel stage ran with (0 = serial).
 struct StageTimings {
   double map_generation_ms = 0.0;
   double simulation_ms = 0.0;
   double cleaning_ms = 0.0;
   double selection_matching_ms = 0.0;
   double analysis_ms = 0.0;
+
+  int simulation_threads = 0;
+  int cleaning_threads = 0;
+  int selection_matching_threads = 0;
 
   [[nodiscard]] double TotalMs() const {
     return map_generation_ms + simulation_ms + cleaning_ms +

@@ -30,6 +30,12 @@ struct StudyConfig {
   /// Analysis grid cell size (the paper's 200 m).
   double grid_cell_m = 200.0;
 
+  /// Worker threads for the parallel stages (simulation, cleaning,
+  /// selection + matching): 0 = serial, -1 = resolve from the
+  /// TAXITRACE_THREADS environment variable (else all hardware
+  /// threads). Results are byte-identical at any value.
+  int num_threads = -1;
+
   /// The paper-scale study: 7 taxis, 365 days.
   static StudyConfig FullStudy();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "taxitrace/common/check.h"
 #include "taxitrace/trace/time_util.h"
 
 namespace taxitrace {
@@ -11,6 +12,15 @@ namespace {
 
 using roadnet::VertexId;
 
+// Id allocation strides. Each (car, day) shard draws its trip ids from
+// [shard * kTripIdStride, ...) and its point ids (per car) from
+// [day * kPointIdStride, ...), so ids are unique and ascend in shard
+// order without any cross-shard coordination. A car-day cannot come
+// near either bound (a shift holds at most a few dozen customer rides
+// and a few thousand sensor events); TT_CHECKs below enforce it.
+constexpr int64_t kTripIdStride = 4096;
+constexpr int64_t kPointIdStride = 1 << 20;
+
 // Mutable state of one simulated car-day run.
 struct CarState {
   VertexId position;
@@ -18,6 +28,172 @@ struct CarState {
   int64_t next_point_id;
   trace::Trip current_trip;  // engine-on run being accumulated
 };
+
+// Everything a shard needs; all pointees are shared, read-only, and
+// outlive the simulation.
+struct ShardContext {
+  const CityMap* map;
+  const roadnet::RoadNetwork* network;
+  const roadnet::Router* router;
+  const DriverModel* driver;
+  const SensorModel* sensor;
+  const FleetOptions* options;
+};
+
+// What one (car, day) shard produces; merged in shard order.
+struct ShardOutput {
+  std::vector<trace::Trip> trips;
+  int64_t num_customer_drives = 0;
+  int64_t num_reposition_drives = 0;
+};
+
+// Simulates one car on one day. Pure function of (context, car, day):
+// all randomness comes from streams derived from (seed, car, day), so
+// shards can run in any order on any thread.
+ShardOutput SimulateCarDay(const ShardContext& ctx, int car, int day) {
+  const FleetOptions& options = *ctx.options;
+  const roadnet::RoadNetwork& network = *ctx.network;
+  ShardOutput out;
+
+  // Car-level traits must not vary by day: they come from the car's own
+  // stream (substream 0; day shards use day + 1).
+  Rng car_rng(MixSeed(options.seed, static_cast<uint64_t>(car), 0));
+  const double activity = car_rng.Uniform(0.6, 1.45);
+  const double car_driver_skill = car_rng.Uniform(0.9, 1.06);
+
+  Rng rng(MixSeed(options.seed, static_cast<uint64_t>(car),
+                  static_cast<uint64_t>(day) + 1));
+
+  const int64_t shard =
+      static_cast<int64_t>(car - 1) * options.num_days + day;
+  const int64_t trip_id_base = shard * kTripIdStride;
+  int64_t trips_begun = 0;
+
+  const auto random_vertex = [&](Rng* r) {
+    return static_cast<VertexId>(r->UniformInt(
+        0, static_cast<int64_t>(network.vertices().size()) - 1));
+  };
+  const auto random_gate_vertex = [&](Rng* r) {
+    const size_t g = static_cast<size_t>(r->UniformInt(0, 2));
+    return ctx.map->gates[g].terminal_vertex;
+  };
+
+  CarState state;
+  // Each day starts at a fresh random vertex: the overnight
+  // repositioning between shifts, and what makes days independent.
+  state.position = random_vertex(&rng);
+  state.next_point_id = static_cast<int64_t>(day) * kPointIdStride + 1;
+  state.current_trip = trace::Trip{};
+
+  const auto begin_trip = [&](double t) {
+    state.current_trip = trace::Trip{};
+    state.current_trip.trip_id = trip_id_base + ++trips_begun;
+    state.current_trip.car_id = car;
+    state.time_s = t;
+  };
+  const auto finish_trip = [&]() {
+    if (state.current_trip.points.size() >= 2) {
+      state.current_trip.RecomputeTotals();
+      out.trips.push_back(std::move(state.current_trip));
+    }
+    state.current_trip = trace::Trip{};
+  };
+  const auto observe = [&](const std::vector<DriveSample>& samples) {
+    std::vector<trace::RoutePoint> points = ctx.sensor->Observe(
+        samples, state.current_trip.trip_id, &state.next_point_id,
+        network.projection(), &rng);
+    auto& dst = state.current_trip.points;
+    dst.insert(dst.end(), points.begin(), points.end());
+  };
+  // Drives from the current position to `dest`; returns false when no
+  // route exists (should not happen on a connected map).
+  std::vector<double> multipliers(network.edges().size(), 1.0);
+  const auto drive_to = [&](VertexId dest, double driver_factor) {
+    for (double& m : multipliers) {
+      m = rng.Uniform(1.0 - options.route_weight_noise,
+                      1.0 + options.route_weight_noise);
+    }
+    Result<roadnet::Path> path =
+        ctx.router->ShortestPath(state.position, dest, &multipliers);
+    if (!path.ok() || path->length_m < 1.0) return false;
+    const std::vector<DriveSample> samples =
+        ctx.driver->Drive(*path, state.time_s, driver_factor, &rng);
+    if (samples.empty()) return false;
+    observe(samples);
+    state.time_s = samples.back().t_s;
+    state.position = dest;
+    return true;
+  };
+
+  // Weekend shifts start later (evening/night traffic).
+  const bool weekend = trace::IsWeekend(day * trace::kSecondsPerDay);
+  const double shift_start_h =
+      weekend ? rng.Uniform(9.0, 13.0) : rng.Uniform(5.5, 10.0);
+  const double shift_len_h = rng.Uniform(7.0, 12.0);
+  double t = day * trace::kSecondsPerDay + shift_start_h * 3600.0;
+  const double shift_end = t + shift_len_h * 3600.0;
+
+  const int customers = std::max(
+      1, rng.Poisson(options.mean_customers_per_day * activity));
+  begin_trip(t);
+
+  for (int c = 0; c < customers && state.time_s < shift_end; ++c) {
+    // Pick a destination; trips touching the gates model traffic in
+    // and out of the downtown area.
+    VertexId dest;
+    if (c == 0 && rng.Bernoulli(options.gate_origin_prob)) {
+      // Reposition to a gate first: the customer ride then starts at
+      // the gate (an arriving fare).
+      dest = random_gate_vertex(&rng);
+      if (dest != state.position &&
+          drive_to(dest, car_driver_skill * rng.Uniform(0.92, 1.08))) {
+        ++out.num_reposition_drives;
+      }
+    }
+    dest = rng.Bernoulli(options.gate_dest_prob)
+               ? random_gate_vertex(&rng)
+               : random_vertex(&rng);
+    if (dest == state.position) continue;
+    if (!drive_to(dest, car_driver_skill * rng.Uniform(0.92, 1.08))) {
+      continue;
+    }
+    ++out.num_customer_drives;
+
+    // After the drop-off: engine off (ends the raw trip), or keep the
+    // engine running through a stand wait, possibly repositioning.
+    const double demand = TaxiDemandWeight(
+        trace::HourOfDay(state.time_s),
+        trace::IsWeekend(state.time_s));
+    if (rng.Bernoulli(options.engine_off_prob)) {
+      finish_trip();
+      state.time_s += rng.Uniform(120.0, 1500.0) / demand;
+      begin_trip(state.time_s);
+    } else {
+      const double wait_s = rng.Uniform(180.0, 1800.0) / demand;
+      observe(ctx.driver->Idle(
+          network.vertex(state.position).position, state.time_s,
+          std::min(wait_s, std::max(0.0, shift_end - state.time_s))));
+      state.time_s += wait_s;
+      if (rng.Bernoulli(options.reposition_prob)) {
+        // Short hop to a nearby stand.
+        const VertexId hop = random_vertex(&rng);
+        Result<roadnet::Path> probe =
+            ctx.router->ShortestPath(state.position, hop);
+        if (probe.ok() && probe->length_m < 900.0 &&
+            probe->length_m > 1.0 &&
+            drive_to(hop, car_driver_skill)) {
+          ++out.num_reposition_drives;
+        }
+      }
+    }
+  }
+  finish_trip();
+
+  TT_CHECK(trips_begun < kTripIdStride);
+  TT_CHECK(state.next_point_id <=
+           (static_cast<int64_t>(day) + 1) * kPointIdStride);
+  return out;
+}
 
 }  // namespace
 
@@ -44,7 +220,7 @@ FleetSimulator::FleetSimulator(const CityMap* map,
       pedestrians_(pedestrians),
       options_(options) {}
 
-Result<FleetResult> FleetSimulator::Run() const {
+Result<FleetResult> FleetSimulator::Run(const Executor* executor) const {
   if (options_.num_cars <= 0 || options_.num_days <= 0) {
     return Status::InvalidArgument("fleet needs at least one car and day");
   }
@@ -58,137 +234,30 @@ Result<FleetResult> FleetSimulator::Run() const {
   const DriverModel driver(map_, weather_, options_.driver,
                            &own_pedestrians);
   const SensorModel sensor(options_.sensor);
+  const ShardContext ctx{map_, &network, &router, &driver, &sensor,
+                         &options_};
 
+  const int64_t num_shards =
+      static_cast<int64_t>(options_.num_cars) * options_.num_days;
+  std::vector<ShardOutput> outputs(static_cast<size_t>(num_shards));
+  const Executor& ex = executor != nullptr ? *executor : Executor::Serial();
+  TAXITRACE_RETURN_IF_ERROR(ex.ParallelFor(
+      0, num_shards, [&](int64_t shard) -> Status {
+        const int car = 1 + static_cast<int>(shard / options_.num_days);
+        const int day = static_cast<int>(shard % options_.num_days);
+        outputs[static_cast<size_t>(shard)] = SimulateCarDay(ctx, car, day);
+        return Status::OK();
+      }));
+
+  // Deterministic merge in shard order (car-major, day-ascending): the
+  // store's insertion order, trip ids, and counters are independent of
+  // how the shards were scheduled.
   FleetResult result;
-  Rng master(options_.seed);
-  int64_t next_trip_id = 1;
-
-  const auto random_vertex = [&](Rng* rng) {
-    return static_cast<VertexId>(rng->UniformInt(
-        0, static_cast<int64_t>(network.vertices().size()) - 1));
-  };
-  const auto random_gate_vertex = [&](Rng* rng) {
-    const size_t g = static_cast<size_t>(rng->UniformInt(0, 2));
-    return map_->gates[g].terminal_vertex;
-  };
-
-  for (int car = 1; car <= options_.num_cars; ++car) {
-    Rng rng = master.Fork();
-    const double activity = rng.Uniform(0.6, 1.45);
-    const double car_driver_skill = rng.Uniform(0.9, 1.06);
-
-    CarState state;
-    state.position = random_vertex(&rng);
-    state.next_point_id = 1;
-    state.current_trip = trace::Trip{};
-
-    const auto begin_trip = [&](double t) {
-      state.current_trip = trace::Trip{};
-      state.current_trip.trip_id = next_trip_id++;
-      state.current_trip.car_id = car;
-      state.time_s = t;
-    };
-    const auto finish_trip = [&]() -> Status {
-      if (state.current_trip.points.size() >= 2) {
-        state.current_trip.RecomputeTotals();
-        TAXITRACE_RETURN_IF_ERROR(
-            result.store.AddTrip(std::move(state.current_trip)));
-      }
-      state.current_trip = trace::Trip{};
-      return Status::OK();
-    };
-    const auto observe = [&](const std::vector<DriveSample>& samples) {
-      std::vector<trace::RoutePoint> points = sensor.Observe(
-          samples, state.current_trip.trip_id, &state.next_point_id,
-          network.projection(), &rng);
-      auto& dst = state.current_trip.points;
-      dst.insert(dst.end(), points.begin(), points.end());
-    };
-    // Drives from the current position to `dest`; returns false when no
-    // route exists (should not happen on a connected map).
-    std::vector<double> multipliers(network.edges().size(), 1.0);
-    const auto drive_to = [&](VertexId dest, double driver_factor) {
-      for (double& m : multipliers) {
-        m = rng.Uniform(1.0 - options_.route_weight_noise,
-                        1.0 + options_.route_weight_noise);
-      }
-      Result<roadnet::Path> path =
-          router.ShortestPath(state.position, dest, &multipliers);
-      if (!path.ok() || path->length_m < 1.0) return false;
-      const std::vector<DriveSample> samples =
-          driver.Drive(*path, state.time_s, driver_factor, &rng);
-      if (samples.empty()) return false;
-      observe(samples);
-      state.time_s = samples.back().t_s;
-      state.position = dest;
-      return true;
-    };
-
-    for (int day = 0; day < options_.num_days; ++day) {
-      // Weekend shifts start later (evening/night traffic).
-      const bool weekend =
-          trace::IsWeekend(day * trace::kSecondsPerDay);
-      const double shift_start_h =
-          weekend ? rng.Uniform(9.0, 13.0) : rng.Uniform(5.5, 10.0);
-      const double shift_len_h = rng.Uniform(7.0, 12.0);
-      double t = day * trace::kSecondsPerDay + shift_start_h * 3600.0;
-      const double shift_end = t + shift_len_h * 3600.0;
-
-      const int customers = std::max(
-          1, rng.Poisson(options_.mean_customers_per_day * activity));
-      begin_trip(t);
-
-      for (int c = 0; c < customers && state.time_s < shift_end; ++c) {
-        // Pick a destination; trips touching the gates model traffic in
-        // and out of the downtown area.
-        VertexId dest;
-        if (c == 0 && rng.Bernoulli(options_.gate_origin_prob)) {
-          // Reposition to a gate first: the customer ride then starts at
-          // the gate (an arriving fare).
-          dest = random_gate_vertex(&rng);
-          if (dest != state.position &&
-              drive_to(dest, car_driver_skill * rng.Uniform(0.92, 1.08))) {
-            ++result.num_reposition_drives;
-          }
-        }
-        dest = rng.Bernoulli(options_.gate_dest_prob)
-                   ? random_gate_vertex(&rng)
-                   : random_vertex(&rng);
-        if (dest == state.position) continue;
-        if (!drive_to(dest, car_driver_skill * rng.Uniform(0.92, 1.08))) {
-          continue;
-        }
-        ++result.num_customer_drives;
-
-        // After the drop-off: engine off (ends the raw trip), or keep the
-        // engine running through a stand wait, possibly repositioning.
-        const double demand = TaxiDemandWeight(
-            trace::HourOfDay(state.time_s),
-            trace::IsWeekend(state.time_s));
-        if (rng.Bernoulli(options_.engine_off_prob)) {
-          TAXITRACE_RETURN_IF_ERROR(finish_trip());
-          state.time_s += rng.Uniform(120.0, 1500.0) / demand;
-          begin_trip(state.time_s);
-        } else {
-          const double wait_s = rng.Uniform(180.0, 1800.0) / demand;
-          observe(driver.Idle(
-              network.vertex(state.position).position, state.time_s,
-              std::min(wait_s, std::max(0.0, shift_end - state.time_s))));
-          state.time_s += wait_s;
-          if (rng.Bernoulli(options_.reposition_prob)) {
-            // Short hop to a nearby stand.
-            const VertexId hop = random_vertex(&rng);
-            Result<roadnet::Path> probe =
-                router.ShortestPath(state.position, hop);
-            if (probe.ok() && probe->length_m < 900.0 &&
-                probe->length_m > 1.0 &&
-                drive_to(hop, car_driver_skill)) {
-              ++result.num_reposition_drives;
-            }
-          }
-        }
-      }
-      TAXITRACE_RETURN_IF_ERROR(finish_trip());
+  for (ShardOutput& out : outputs) {
+    result.num_customer_drives += out.num_customer_drives;
+    result.num_reposition_drives += out.num_reposition_drives;
+    for (trace::Trip& trip : out.trips) {
+      TAXITRACE_RETURN_IF_ERROR(result.store.AddTrip(std::move(trip)));
     }
   }
   return result;

@@ -12,6 +12,7 @@
 #ifndef TAXITRACE_SYNTH_FLEET_SIMULATOR_H_
 #define TAXITRACE_SYNTH_FLEET_SIMULATOR_H_
 
+#include "taxitrace/common/executor.h"
 #include "taxitrace/common/result.h"
 #include "taxitrace/synth/driver_model.h"
 #include "taxitrace/synth/pedestrian_model.h"
@@ -70,7 +71,19 @@ class FleetSimulator {
                  const PedestrianModel* pedestrians = nullptr);
 
   /// Runs the full simulation. Deterministic in options.seed.
-  Result<FleetResult> Run() const;
+  ///
+  /// The work is sharded into one unit per (car, day); every shard's
+  /// randomness comes from the stream `MixSeed(seed, car, day + 1)`
+  /// (car-level traits from `MixSeed(seed, car, 0)`), and shard outputs
+  /// are merged in (car, day) order, so the stored trips are
+  /// bit-identical at any thread count. `executor == nullptr` (or a
+  /// 0-thread executor) runs the shards serially, in shard order.
+  ///
+  /// Trip ids and point ids are allocated per shard from disjoint,
+  /// (car, day)-ascending ranges: trip ids are unique fleet-wide and
+  /// point ids stay strictly increasing per car across the whole
+  /// campaign, as the real device counters would be.
+  Result<FleetResult> Run(const Executor* executor = nullptr) const;
 
   [[nodiscard]] const FleetOptions& options() const { return options_; }
 

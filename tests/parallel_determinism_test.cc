@@ -1,0 +1,167 @@
+// The parallel pipeline's contract: StudyResults is byte-identical at
+// any thread count, including the serial (0-thread) fallback. These
+// tests run the small study serially once, then at several worker
+// counts, and compare exact values — doubles included, since the
+// ordered merges are required to reproduce the serial fold order.
+
+#include <gtest/gtest.h>
+
+#include "taxitrace/common/check.h"
+#include "taxitrace/core/pipeline.h"
+
+namespace taxitrace {
+namespace {
+
+core::StudyResults RunWithThreads(int num_threads) {
+  core::StudyConfig config = core::StudyConfig::SmallStudy();
+  config.num_threads = num_threads;
+  core::Pipeline pipeline(config);
+  auto run = pipeline.Run();
+  TT_CHECK_OK(run.status());
+  return std::move(run).value();
+}
+
+const core::StudyResults& SerialReference() {
+  static const core::StudyResults reference = RunWithThreads(0);
+  return reference;
+}
+
+void ExpectIdenticalResults(const core::StudyResults& a,
+                            const core::StudyResults& b) {
+  // Simulation output.
+  EXPECT_EQ(a.raw_trips, b.raw_trips);
+
+  // Cleaning report, every counter.
+  const clean::CleaningReport& ca = a.cleaning_report;
+  const clean::CleaningReport& cb = b.cleaning_report;
+  EXPECT_EQ(ca.raw_trips, cb.raw_trips);
+  EXPECT_EQ(ca.raw_points, cb.raw_points);
+  EXPECT_EQ(ca.order.trips_consistent, cb.order.trips_consistent);
+  EXPECT_EQ(ca.order.trips_repaired_by_id, cb.order.trips_repaired_by_id);
+  EXPECT_EQ(ca.order.trips_repaired_by_timestamp,
+            cb.order.trips_repaired_by_timestamp);
+  EXPECT_EQ(ca.outliers.duplicates_removed, cb.outliers.duplicates_removed);
+  EXPECT_EQ(ca.outliers.spikes_removed, cb.outliers.spikes_removed);
+  EXPECT_EQ(ca.outliers.implied_speed_removed,
+            cb.outliers.implied_speed_removed);
+  EXPECT_EQ(ca.interpolation.gaps_restored, cb.interpolation.gaps_restored);
+  EXPECT_EQ(ca.interpolation.points_inserted,
+            cb.interpolation.points_inserted);
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(ca.segmentation.splits_by_rule[r],
+              cb.segmentation.splits_by_rule[r]);
+  }
+  EXPECT_EQ(ca.segmentation.trips_in, cb.segmentation.trips_in);
+  EXPECT_EQ(ca.segmentation.segments_out, cb.segmentation.segments_out);
+  EXPECT_EQ(ca.filter.removed_too_few_points,
+            cb.filter.removed_too_few_points);
+  EXPECT_EQ(ca.filter.removed_too_long, cb.filter.removed_too_long);
+  EXPECT_EQ(ca.filter.kept, cb.filter.kept);
+  EXPECT_EQ(ca.clean_segments, cb.clean_segments);
+  EXPECT_EQ(ca.clean_points, cb.clean_points);
+
+  // Table 3 funnel.
+  ASSERT_EQ(a.table3.size(), b.table3.size());
+  for (size_t i = 0; i < a.table3.size(); ++i) {
+    EXPECT_EQ(a.table3[i].car_id, b.table3[i].car_id);
+    EXPECT_EQ(a.table3[i].segments_total, b.table3[i].segments_total);
+    EXPECT_EQ(a.table3[i].filtered_cleaned, b.table3[i].filtered_cleaned);
+    EXPECT_EQ(a.table3[i].transitions_total, b.table3[i].transitions_total);
+    EXPECT_EQ(a.table3[i].transitions_central,
+              b.table3[i].transitions_central);
+    EXPECT_EQ(a.table3[i].post_filtered, b.table3[i].post_filtered);
+  }
+
+  // Matched transitions: same population, same order, same records.
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  for (size_t i = 0; i < a.transitions.size(); ++i) {
+    const core::MatchedTransition& ta = a.transitions[i];
+    const core::MatchedTransition& tb = b.transitions[i];
+    EXPECT_EQ(ta.record.trip_id, tb.record.trip_id);
+    EXPECT_EQ(ta.record.car_id, tb.record.car_id);
+    EXPECT_EQ(ta.record.direction, tb.record.direction);
+    EXPECT_EQ(ta.record.start_time_s, tb.record.start_time_s);
+    EXPECT_EQ(ta.record.route_time_h, tb.record.route_time_h);
+    EXPECT_EQ(ta.record.route_distance_km, tb.record.route_distance_km);
+    EXPECT_EQ(ta.record.low_speed_share, tb.record.low_speed_share);
+    EXPECT_EQ(ta.record.normal_speed_share, tb.record.normal_speed_share);
+    EXPECT_EQ(ta.record.fuel_ml, tb.record.fuel_ml);
+    EXPECT_EQ(ta.route.length_m, tb.route.length_m);
+    EXPECT_EQ(ta.route.steps.size(), tb.route.steps.size());
+    EXPECT_EQ(ta.transition.segment.points.size(),
+              tb.transition.segment.points.size());
+  }
+
+  // Grid joins.
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].cell, b.cells[i].cell);
+    EXPECT_EQ(a.cells[i].num_points, b.cells[i].num_points);
+    EXPECT_EQ(a.cells[i].mean_speed_kmh, b.cells[i].mean_speed_kmh);
+    EXPECT_EQ(a.cells[i].speed_variance, b.cells[i].speed_variance);
+  }
+  EXPECT_EQ(a.cells_by_direction.size(), b.cells_by_direction.size());
+  for (const auto& [direction, cells] : a.cells_by_direction) {
+    const auto it = b.cells_by_direction.find(direction);
+    ASSERT_NE(it, b.cells_by_direction.end()) << direction;
+    EXPECT_EQ(cells.size(), it->second.size()) << direction;
+  }
+
+  // Mixed model: the REML fit folds observations in merged trip order,
+  // so even its doubles must agree exactly.
+  EXPECT_EQ(a.cell_model.mu, b.cell_model.mu);
+  EXPECT_EQ(a.cell_model.lambda, b.cell_model.lambda);
+  EXPECT_EQ(a.cell_model.sigma2_group, b.cell_model.sigma2_group);
+  EXPECT_EQ(a.cell_model.sigma2_residual, b.cell_model.sigma2_residual);
+  EXPECT_EQ(a.cell_model.num_observations, b.cell_model.num_observations);
+  EXPECT_EQ(a.cell_model.blup, b.cell_model.blup);
+  ASSERT_EQ(a.model_cells.size(), b.model_cells.size());
+  for (size_t i = 0; i < a.model_cells.size(); ++i) {
+    EXPECT_EQ(a.model_cells[i], b.model_cells[i]);
+  }
+  EXPECT_EQ(a.geography_lrt.statistic, b.geography_lrt.statistic);
+  EXPECT_EQ(a.geography_lrt.p_value, b.geography_lrt.p_value);
+
+  // Match report, including its order-dependent running mean.
+  EXPECT_EQ(a.match_report.routes, b.match_report.routes);
+  EXPECT_EQ(a.match_report.matched_points, b.match_report.matched_points);
+  EXPECT_EQ(a.match_report.skipped_points, b.match_report.skipped_points);
+  EXPECT_EQ(a.match_report.gaps_filled, b.match_report.gaps_filled);
+  EXPECT_EQ(a.match_report.mean_snap_distance_m,
+            b.match_report.mean_snap_distance_m);
+  EXPECT_EQ(a.match_report.max_snap_distance_m,
+            b.match_report.max_snap_distance_m);
+  EXPECT_EQ(a.match_report.total_length_km, b.match_report.total_length_km);
+
+  // Point-speed aggregates.
+  EXPECT_EQ(a.total_point_speeds, b.total_point_speeds);
+  EXPECT_EQ(a.overall_mean_speed_kmh, b.overall_mean_speed_kmh);
+  for (int s = 0; s < analysis::kNumSeasons; ++s) {
+    EXPECT_EQ(a.seasonal[s].n, b.seasonal[s].n);
+    EXPECT_EQ(a.seasonal[s].mean_kmh, b.seasonal[s].mean_kmh);
+    EXPECT_EQ(a.seasonal[s].delta_kmh, b.seasonal[s].delta_kmh);
+  }
+}
+
+TEST(ParallelDeterminismTest, OneWorkerMatchesSerial) {
+  ExpectIdenticalResults(SerialReference(), RunWithThreads(1));
+}
+
+TEST(ParallelDeterminismTest, TwoWorkersMatchSerial) {
+  ExpectIdenticalResults(SerialReference(), RunWithThreads(2));
+}
+
+TEST(ParallelDeterminismTest, EightWorkersMatchSerial) {
+  ExpectIdenticalResults(SerialReference(), RunWithThreads(8));
+}
+
+TEST(ParallelDeterminismTest, ThreadCountsAreRecorded) {
+  const core::StudyResults results = RunWithThreads(2);
+  EXPECT_EQ(results.timings.simulation_threads, 2);
+  EXPECT_EQ(results.timings.cleaning_threads, 2);
+  EXPECT_EQ(results.timings.selection_matching_threads, 2);
+  EXPECT_EQ(SerialReference().timings.simulation_threads, 0);
+}
+
+}  // namespace
+}  // namespace taxitrace
