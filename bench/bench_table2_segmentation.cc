@@ -36,7 +36,7 @@ void BM_CleanTrips(benchmark::State& state) {
   const trace::TraceStore& store = RawFleet();
   for (auto _ : state) {
     clean::CleaningReport report;
-    auto cleaned = clean::CleanTrips(store, {}, &report);
+    auto cleaned = clean::CleanTrips(store, {}, &report).value();
     benchmark::DoNotOptimize(cleaned);
   }
   state.SetItemsProcessed(state.iterations() *

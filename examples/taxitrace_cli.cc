@@ -109,8 +109,10 @@ int Clean(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
   }
   clean::CleaningReport report;
-  const std::vector<trace::Trip> segments =
+  const Result<std::vector<trace::Trip>> cleaned =
       clean::CleanTrips(store, {}, &report);
+  if (!cleaned.ok()) return Fail(cleaned.status());
+  const std::vector<trace::Trip>& segments = *cleaned;
   const Status st = trace::WriteTripsFile(argv[3], segments);
   if (!st.ok()) return Fail(st);
   std::printf("%s", core::FormatTable2Report(report).c_str());

@@ -19,6 +19,10 @@ Greps src/taxitrace/ for patterns the codebase has banned:
                     taxitrace/common/executor.*. All parallelism goes
                     through the Executor so the determinism contract
                     (ordered merges, derived RNG streams) holds.
+  unregistered-test A tests/*.cc file that tests/CMakeLists.txt never
+                    references: the test compiles on nobody's machine
+                    and silently never runs. (Repo-level rule; not
+                    suppressable on a line.)
 
 A finding can be suppressed on its line with: // tt-lint: allow(<rule>)
 
@@ -153,6 +157,23 @@ def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
     return findings
 
 
+def check_test_registration(repo_root: Path) -> list[str]:
+    """Every tests/*.cc must be referenced by tests/CMakeLists.txt."""
+    tests_dir = repo_root / "tests"
+    cmake = tests_dir / "CMakeLists.txt"
+    if not cmake.is_file():
+        return []
+    cmake_text = cmake.read_text(encoding="utf-8")
+    findings = []
+    for source in sorted(tests_dir.glob("*.cc")):
+        if source.name not in cmake_text:
+            findings.append(
+                f"tests/{source.name}: [unregistered-test] test source is "
+                "not referenced by tests/CMakeLists.txt, so it never "
+                "builds or runs")
+    return findings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*",
@@ -183,6 +204,7 @@ def main() -> int:
     findings: list[str] = []
     for path in files:
         findings.extend(lint_file(path, status_fns, repo_root))
+    findings.extend(check_test_registration(repo_root))
 
     for finding in findings:
         print(finding)

@@ -1,7 +1,5 @@
 #include "taxitrace/clean/cleaning_pipeline.h"
 
-#include "taxitrace/common/check.h"
-
 namespace taxitrace {
 namespace clean {
 namespace {
@@ -17,12 +15,20 @@ struct TripCleanOutput {
   InterpolationStats interpolation;
   SegmentationStats segmentation;
   TripFilterStats filter;
+  fault::FaultReport faults;
 };
 
 TripCleanOutput CleanOneTrip(const trace::Trip& raw,
                              const CleaningOptions& options) {
   TripCleanOutput out;
   trace::Trip trip = raw;
+  SanitizeTrip(&trip, options.sanitize, &out.faults);
+  if (options.sanitize.enabled && trip.points.empty()) {
+    // Injected empty trips (and trips whose every point was dropped)
+    // end here; the regular stages would only pass the emptiness along.
+    ++out.faults.trips_dropped_empty;
+    return out;
+  }
   RepairTripOrder(&trip, &out.order);
   FilterTripOutliers(&trip, options.outliers, &out.outliers);
   if (options.restore_lost_points) {
@@ -38,10 +44,10 @@ TripCleanOutput CleanOneTrip(const trace::Trip& raw,
 
 }  // namespace
 
-std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
-                                    const CleaningOptions& options,
-                                    CleaningReport* report,
-                                    const Executor* executor) {
+Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
+                                            const CleaningOptions& options,
+                                            CleaningReport* report,
+                                            const Executor* executor) {
   CleaningReport local;
   local.raw_trips = static_cast<int64_t>(store.NumTrips());
   local.raw_points = static_cast<int64_t>(store.NumPoints());
@@ -49,7 +55,7 @@ std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
   const std::vector<trace::Trip>& raw = store.trips();
   std::vector<TripCleanOutput> outputs(raw.size());
   const Executor& ex = executor != nullptr ? *executor : Executor::Serial();
-  TT_CHECK_OK(ex.ParallelFor(
+  TAXITRACE_RETURN_IF_ERROR(ex.ParallelFor(
       0, static_cast<int64_t>(raw.size()), [&](int64_t i) -> Status {
         outputs[static_cast<size_t>(i)] =
             CleanOneTrip(raw[static_cast<size_t>(i)], options);
@@ -79,6 +85,7 @@ std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
         out.filter.removed_too_few_points;
     local.filter.removed_too_long += out.filter.removed_too_long;
     local.filter.kept += out.filter.kept;
+    local.faults.Add(out.faults);
     for (trace::Trip& seg : out.segments) {
       cleaned.push_back(std::move(seg));
     }

@@ -8,8 +8,11 @@
 #include "taxitrace/common/executor.h"
 #include "taxitrace/clean/order_repair.h"
 #include "taxitrace/clean/outlier_filter.h"
+#include "taxitrace/clean/sanitize.h"
 #include "taxitrace/clean/segmentation.h"
 #include "taxitrace/clean/trip_filter.h"
+#include "taxitrace/common/result.h"
+#include "taxitrace/fault/fault_report.h"
 #include "taxitrace/trace/trace_store.h"
 
 namespace taxitrace {
@@ -25,6 +28,10 @@ struct CleaningOptions {
   /// default: the paper's own pipeline does not interpolate.
   bool restore_lost_points = false;
   InterpolationOptions interpolation;
+  /// Malformed-point gate, run before every other stage. Disabled by
+  /// default (the fault-free pipeline is unchanged); enabled by
+  /// core::Pipeline when a FaultPlan is active.
+  SanitizeOptions sanitize;
 };
 
 /// What each stage did, for reporting.
@@ -36,6 +43,10 @@ struct CleaningReport {
   InterpolationStats interpolation;
   SegmentationStats segmentation;
   TripFilterStats filter;
+  /// Malformed input dropped by the sanitiser (and, when the pipeline
+  /// routes traces through a corrupted CSV file, by the lenient
+  /// reader). All zero on a fault-free run.
+  fault::FaultReport faults;
   int64_t clean_segments = 0;
   int64_t clean_points = 0;
 };
@@ -47,10 +58,12 @@ struct CleaningReport {
 /// when `executor` has worker threads; per-trip outputs are merged in
 /// store order (segments and every report counter), making the result
 /// byte-identical at any thread count. A null `executor` runs serially.
-std::vector<trace::Trip> CleanTrips(const trace::TraceStore& store,
-                                    const CleaningOptions& options = {},
-                                    CleaningReport* report = nullptr,
-                                    const Executor* executor = nullptr);
+///
+/// Fails only on executor errors; malformed input never fails the call
+/// — the sanitiser drops it and accounts for it in `report->faults`.
+Result<std::vector<trace::Trip>> CleanTrips(
+    const trace::TraceStore& store, const CleaningOptions& options = {},
+    CleaningReport* report = nullptr, const Executor* executor = nullptr);
 
 }  // namespace clean
 }  // namespace taxitrace

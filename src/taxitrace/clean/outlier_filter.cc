@@ -54,34 +54,45 @@ void FilterOutliers(std::vector<trace::RoutePoint>* points,
     pts = std::move(out);
   }
 
-  // Pass 2: spikes — iterate because removing a spike may expose another.
-  bool changed = true;
-  while (changed && pts.size() >= 3) {
-    changed = false;
-    for (size_t i = 1; i + 1 < pts.size(); ++i) {
-      if (IsSpike(pts[i - 1], pts[i], pts[i + 1], options)) {
-        pts.erase(pts.begin() + static_cast<ptrdiff_t>(i));
-        ++local.spikes_removed;
-        changed = true;
-        break;
-      }
-    }
-  }
+  // Passes 2+3 iterate to a joint fixpoint: dropping an implied-speed
+  // offender changes its neighbours' adjacency, which can expose a spike
+  // the earlier scan could not see (e.g. a cluster of displaced points
+  // where each shielded the next), and vice versa.
+  bool round_changed = true;
+  while (round_changed) {
+    round_changed = false;
 
-  // Pass 3: impossible implied speeds (drop the later point of the pair;
-  // a bad first fix surfaces as its successor looking too fast, so also
-  // check and drop a leading offender against its two successors).
-  {
-    std::vector<trace::RoutePoint> out;
-    out.reserve(pts.size());
-    for (const trace::RoutePoint& p : pts) {
-      if (!out.empty() && ImpliedSpeedTooHigh(out.back(), p, options)) {
-        ++local.implied_speed_removed;
-        continue;
+    // Spikes — iterate because removing a spike may expose another.
+    bool changed = true;
+    while (changed && pts.size() >= 3) {
+      changed = false;
+      for (size_t i = 1; i + 1 < pts.size(); ++i) {
+        if (IsSpike(pts[i - 1], pts[i], pts[i + 1], options)) {
+          pts.erase(pts.begin() + static_cast<ptrdiff_t>(i));
+          ++local.spikes_removed;
+          changed = true;
+          round_changed = true;
+          break;
+        }
       }
-      out.push_back(p);
     }
-    pts = std::move(out);
+
+    // Impossible implied speeds (drop the later point of the pair; a bad
+    // first fix surfaces as its successor looking too fast, so also
+    // check and drop a leading offender against its two successors).
+    {
+      std::vector<trace::RoutePoint> out;
+      out.reserve(pts.size());
+      for (const trace::RoutePoint& p : pts) {
+        if (!out.empty() && ImpliedSpeedTooHigh(out.back(), p, options)) {
+          ++local.implied_speed_removed;
+          round_changed = true;
+          continue;
+        }
+        out.push_back(p);
+      }
+      pts = std::move(out);
+    }
   }
 
   if (stats != nullptr) {

@@ -1,0 +1,84 @@
+#include "taxitrace/clean/sanitize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace taxitrace {
+namespace clean {
+namespace {
+
+bool AllFieldsFinite(const trace::RoutePoint& p) {
+  return std::isfinite(p.timestamp_s) && std::isfinite(p.position.lat_deg) &&
+         std::isfinite(p.position.lon_deg) && std::isfinite(p.speed_kmh) &&
+         std::isfinite(p.fuel_delta_ml);
+}
+
+double MedianTimestamp(const std::vector<trace::RoutePoint>& points) {
+  std::vector<double> ts;
+  ts.reserve(points.size());
+  for (const trace::RoutePoint& p : points) ts.push_back(p.timestamp_s);
+  const auto mid = ts.begin() + static_cast<ptrdiff_t>(ts.size() / 2);
+  std::nth_element(ts.begin(), mid, ts.end());
+  return *mid;
+}
+
+}  // namespace
+
+void SanitizeTrip(trace::Trip* trip, const SanitizeOptions& options,
+                  fault::FaultReport* report) {
+  if (!options.enabled || trip->points.empty()) return;
+
+  const size_t before = trip->points.size();
+  std::vector<trace::RoutePoint> kept;
+  kept.reserve(before);
+  for (const trace::RoutePoint& p : trip->points) {
+    if (!AllFieldsFinite(p)) {
+      ++report->points_dropped_nonfinite;
+      continue;
+    }
+    if (p.trip_id != trip->trip_id) {
+      ++report->points_dropped_foreign;
+      continue;
+    }
+    if (p.speed_kmh < 0.0) {
+      ++report->points_dropped_negative_speed;
+      continue;
+    }
+    if (options.has_region &&
+        (p.position.lat_deg < options.lat_min_deg ||
+         p.position.lat_deg > options.lat_max_deg ||
+         p.position.lon_deg < options.lon_min_deg ||
+         p.position.lon_deg > options.lon_max_deg)) {
+      ++report->points_dropped_out_of_region;
+      continue;
+    }
+    kept.push_back(p);
+  }
+
+  // The clock-jump gate needs a reference time, so it runs on the
+  // survivors of the field checks: the median of a mostly-sane trip is
+  // robust to the jumped minority.
+  if (options.max_median_offset_s > 0.0 && !kept.empty()) {
+    const double median = MedianTimestamp(kept);
+    std::vector<trace::RoutePoint> in_window;
+    in_window.reserve(kept.size());
+    for (const trace::RoutePoint& p : kept) {
+      if (std::fabs(p.timestamp_s - median) > options.max_median_offset_s) {
+        ++report->points_dropped_clock_jump;
+        continue;
+      }
+      in_window.push_back(p);
+    }
+    kept = std::move(in_window);
+  }
+
+  if (kept.size() != before) {
+    trip->points = std::move(kept);
+    trip->RecomputeTotals();
+  }
+}
+
+}  // namespace clean
+}  // namespace taxitrace

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "taxitrace/common/strings.h"
+
 namespace taxitrace {
 namespace {
 
@@ -79,6 +81,61 @@ Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
   }
   if (field_started || !field.empty() || !row.empty()) {
     end_row();
+  }
+  return rows;
+}
+
+Result<std::vector<CsvRow>> ParseCsvChecked(std::string_view text,
+                                            size_t expected_columns) {
+  TAXITRACE_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ParseCsv(text));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != expected_columns) {
+      return Status::Corruption(StrFormat(
+          "CSV row %zu has %zu fields, expected %zu", r, rows[r].size(),
+          expected_columns));
+    }
+  }
+  return rows;
+}
+
+std::vector<CsvRow> ParseCsvLenient(std::string_view text) {
+  std::vector<CsvRow> rows;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = end + 1;
+    if (line.empty()) continue;
+
+    CsvRow row;
+    std::string field;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field.push_back('"');
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field.push_back(c);
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        row.push_back(std::move(field));
+        field.clear();
+      } else {
+        field.push_back(c);
+      }
+    }
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
   }
   return rows;
 }

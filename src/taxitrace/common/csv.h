@@ -23,6 +23,21 @@ using CsvRow = std::vector<std::string>;
 /// A trailing newline does not produce an empty final row.
 Result<std::vector<CsvRow>> ParseCsv(std::string_view text);
 
+/// ParseCsv plus width validation: every row (header included) must
+/// have exactly `expected_columns` fields, otherwise the parse fails
+/// with the offending row number and its field count. Use this instead
+/// of ParseCsv whenever the document has a fixed schema — a short row
+/// otherwise surfaces much later as a confusing empty-field error.
+Result<std::vector<CsvRow>> ParseCsvChecked(std::string_view text,
+                                            size_t expected_columns);
+
+/// Line-oriented, never-failing parse for corrupted input: each input
+/// line becomes one row (quoting is honoured within a line; a quote
+/// left open at the end of a line only poisons that line, not the
+/// document). Callers are expected to validate each row themselves and
+/// drop the bad ones — see trace::TripsFromCsvLenient.
+std::vector<CsvRow> ParseCsvLenient(std::string_view text);
+
 /// Serialises rows to CSV text, quoting fields only when needed.
 std::string WriteCsv(const std::vector<CsvRow>& rows);
 

@@ -7,7 +7,9 @@
 #include "taxitrace/analysis/grid.h"
 #include "taxitrace/clean/cleaning_pipeline.h"
 #include "taxitrace/common/executor.h"
+#include "taxitrace/fault/fault_injector.h"
 #include "taxitrace/odselect/transition_extractor.h"
+#include "taxitrace/trace/trace_io.h"
 
 namespace taxitrace {
 namespace core {
@@ -55,14 +57,66 @@ Result<StudyResults> Pipeline::Run() const {
 
   StudyResults results(std::move(map), std::move(weather),
                        std::move(pedestrians));
+
+  // 2.5. Fault injection (skipped entirely on a fault-free plan, so the
+  // default configuration runs the exact pre-harness pipeline). The
+  // injection itself is serial and draws per trip id / per CSV row, so
+  // the corrupted store is identical at any thread count.
+  clean::CleaningOptions cleaning_options = config_.cleaning;
+  fault::FaultReport injected;
+  if (config_.faults.Any()) {
+    const fault::FaultInjector injector(config_.faults);
+    std::vector<trace::Trip> trips = raw.store.trips();
+    injector.CorruptTrips(&trips, &injected);
+    if (config_.faults.AnyFileFaults()) {
+      // Route the traces through their file format: serialise, corrupt
+      // rows, and read back with the lenient parser that drops what it
+      // cannot understand.
+      const std::string csv =
+          injector.CorruptCsv(trace::TripsToCsv(trips), &injected);
+      trace::TraceIoStats io_stats;
+      TAXITRACE_ASSIGN_OR_RETURN(trips,
+                                 trace::TripsFromCsvLenient(csv, &io_stats));
+      injected.rows_dropped_malformed += io_stats.rows_dropped_malformed;
+      injected.rows_dropped_non_utf8 += io_stats.rows_dropped_non_utf8;
+    }
+    TAXITRACE_ASSIGN_OR_RETURN(
+        raw.store,
+        fault::RebuildStoreDroppingDuplicates(std::move(trips), &injected));
+
+    // Corrupted input calls for the sanitiser, including a geographic
+    // gate built from the road network's bounds. The 5 km inflation
+    // dwarfs legitimate GPS scatter (sensor outliers jump ~450 m), so
+    // only truly wild fixes — swapped coordinates, garbage parses —
+    // fall outside.
+    clean::SanitizeOptions& sanitize = cleaning_options.sanitize;
+    sanitize.enabled = true;
+    sanitize.has_region = true;
+    const geo::Bbox gate_box =
+        results.map.network.Bounds().Inflated(5000.0);
+    const geo::LocalProjection& net_proj =
+        results.map.network.projection();
+    const geo::LatLon lo =
+        net_proj.Inverse(geo::EnPoint{gate_box.min_x, gate_box.min_y});
+    const geo::LatLon hi =
+        net_proj.Inverse(geo::EnPoint{gate_box.max_x, gate_box.max_y});
+    sanitize.lat_min_deg = std::min(lo.lat_deg, hi.lat_deg);
+    sanitize.lat_max_deg = std::max(lo.lat_deg, hi.lat_deg);
+    sanitize.lon_min_deg = std::min(lo.lon_deg, hi.lon_deg);
+    sanitize.lon_max_deg = std::max(lo.lon_deg, hi.lon_deg);
+  }
+
   results.raw_trips = static_cast<int64_t>(raw.store.NumTrips());
   timings.simulation_ms = elapsed_ms(stage_start);
   stage_start = Clock::now();
 
-  // 3. Cleaning: order repair, error filters, segmentation, filters.
-  std::vector<trace::Trip> cleaned =
-      clean::CleanTrips(raw.store, config_.cleaning, &results.cleaning_report,
-                        &executor);
+  // 3. Cleaning: sanitiser (when faulted), order repair, error filters,
+  // segmentation, filters.
+  TAXITRACE_ASSIGN_OR_RETURN(
+      std::vector<trace::Trip> cleaned,
+      clean::CleanTrips(raw.store, cleaning_options,
+                        &results.cleaning_report, &executor));
+  results.cleaning_report.faults.Add(injected);
   timings.cleaning_ms = elapsed_ms(stage_start);
   stage_start = Clock::now();
 

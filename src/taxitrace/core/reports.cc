@@ -194,5 +194,80 @@ std::string FormatTextAggregates(const StudyResults& results) {
   return out;
 }
 
+std::string StudyDigestJson(const StudyResults& results) {
+  std::string out = "{\n";
+  bool first = true;
+  const auto count = [&](const char* key, int64_t value) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat("  \"%s\": %lld", key, static_cast<long long>(value));
+  };
+  const auto real = [&](const char* key, double value) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat("  \"%s\": %.9g", key, value);
+  };
+
+  count("raw_trips", results.raw_trips);
+  const clean::CleaningReport& cr = results.cleaning_report;
+  count("raw_points", cr.raw_points);
+  count("order_trips_consistent", cr.order.trips_consistent);
+  count("order_trips_repaired_by_id", cr.order.trips_repaired_by_id);
+  count("order_trips_repaired_by_timestamp",
+        cr.order.trips_repaired_by_timestamp);
+  count("outlier_duplicates_removed", cr.outliers.duplicates_removed);
+  count("outlier_spikes_removed", cr.outliers.spikes_removed);
+  count("outlier_implied_speed_removed", cr.outliers.implied_speed_removed);
+  count("interpolation_points_inserted", cr.interpolation.points_inserted);
+  for (int rule = 0; rule < 5; ++rule) {
+    count(StrFormat("segmentation_splits_rule%d", rule + 1).c_str(),
+          cr.segmentation.splits_by_rule[rule]);
+  }
+  count("filter_removed_too_few_points", cr.filter.removed_too_few_points);
+  count("filter_removed_too_long", cr.filter.removed_too_long);
+  count("clean_segments", cr.clean_segments);
+  count("clean_points", cr.clean_points);
+  count("faults_injected_total", cr.faults.TotalInjected());
+  count("faults_dropped_total", cr.faults.TotalDropped());
+
+  for (const odselect::Table3Row& row : results.table3) {
+    const std::string prefix = StrFormat("car%d_", row.car_id);
+    count((prefix + "segments_total").c_str(), row.segments_total);
+    count((prefix + "filtered_cleaned").c_str(), row.filtered_cleaned);
+    count((prefix + "transitions_total").c_str(), row.transitions_total);
+    count((prefix + "transitions_central").c_str(),
+          row.transitions_central);
+    count((prefix + "post_filtered").c_str(), row.post_filtered);
+  }
+
+  count("transitions", static_cast<int64_t>(results.transitions.size()));
+  count("cells", static_cast<int64_t>(results.cells.size()));
+  count("total_point_speeds", results.total_point_speeds);
+  real("overall_mean_speed_kmh", results.overall_mean_speed_kmh);
+  for (int s = 0; s < analysis::kNumSeasons; ++s) {
+    count(StrFormat("season%d_n", s).c_str(), results.seasonal[s].n);
+    real(StrFormat("season%d_mean_kmh", s).c_str(),
+         results.seasonal[s].mean_kmh);
+  }
+
+  count("match_routes", results.match_report.routes);
+  count("match_matched_points", results.match_report.matched_points);
+  count("match_skipped_points", results.match_report.skipped_points);
+  count("match_gaps_filled", results.match_report.gaps_filled);
+  real("match_mean_snap_distance_m",
+       results.match_report.mean_snap_distance_m);
+  real("match_total_length_km", results.match_report.total_length_km);
+
+  real("cell_model_mu", results.cell_model.mu);
+  real("cell_model_sigma2_group", results.cell_model.sigma2_group);
+  real("cell_model_sigma2_residual", results.cell_model.sigma2_residual);
+  count("cell_model_num_observations",
+        results.cell_model.num_observations);
+  real("geography_lrt_statistic", results.geography_lrt.statistic);
+
+  out += "\n}\n";
+  return out;
+}
+
 }  // namespace core
 }  // namespace taxitrace

@@ -35,6 +35,13 @@ std::string FormatTable5(const analysis::Table5& table);
 /// deltas, feature census).
 std::string FormatTextAggregates(const StudyResults& results);
 
+/// A compact JSON digest of a study run: every funnel count plus the
+/// key model doubles rounded through "%.9g" (stable across platforms
+/// and compilers, unlike full-precision prints). The golden regression
+/// test compares this digest against tests/golden/study_small.json;
+/// regenerate that file intentionally with scripts/update_golden.py.
+std::string StudyDigestJson(const StudyResults& results);
+
 }  // namespace core
 }  // namespace taxitrace
 

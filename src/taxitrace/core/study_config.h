@@ -6,6 +6,7 @@
 
 #include "taxitrace/analysis/speed_categories.h"
 #include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/fault/fault_plan.h"
 #include "taxitrace/mapattr/attribute_fetcher.h"
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/odselect/od_gate.h"
@@ -29,6 +30,12 @@ struct StudyConfig {
   analysis::SpeedCategoryOptions speed;
   /// Analysis grid cell size (the paper's 200 m).
   double grid_cell_m = 200.0;
+
+  /// Fault-injection plan applied to the raw traces between simulation
+  /// and cleaning. All probabilities default to zero (no injection, no
+  /// extra work); any nonzero probability also enables the cleaning
+  /// sanitiser so the corrupted study still runs end to end.
+  fault::FaultPlan faults;
 
   /// Worker threads for the parallel stages (simulation, cleaning,
   /// selection + matching): 0 = serial, -1 = resolve from the

@@ -1,0 +1,66 @@
+// FaultInjector: deterministic corruption of raw traces.
+//
+// The injector applies a FaultPlan at two boundaries:
+//
+//   * CorruptTrips — point- and trip-level faults on in-memory trips.
+//     Every trip draws from its own Rng seeded with
+//     MixSeed(plan.seed, trip_id, kTripSalt), so the set of faults is a
+//     pure function of (plan, input) regardless of thread count.
+//   * CorruptCsv — file-level faults on serialized trace CSV. Every
+//     data row draws from MixSeed(plan.seed, row_index, kRowSalt).
+//
+// The helpers at the bottom are the graceful counterparts on the
+// consuming side: rebuilding a TraceStore while counting (instead of
+// aborting on) duplicate trip ids.
+
+#ifndef TAXITRACE_FAULT_FAULT_INJECTOR_H_
+#define TAXITRACE_FAULT_FAULT_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/fault/fault_plan.h"
+#include "taxitrace/fault/fault_report.h"
+#include "taxitrace/trace/trace_store.h"
+#include "taxitrace/trace/trip.h"
+
+namespace taxitrace {
+namespace fault {
+
+/// Applies a FaultPlan to traces. Stateless apart from the plan; all
+/// randomness is derived per trip / per row via MixSeed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Corrupts `trips` in place with the plan's point- and trip-level
+  /// fault classes, recording what was injected in `report`.
+  /// Duplicated trips are appended after the originals; interleaved
+  /// trips donate their leading points (which keep their original
+  /// trip_id) to the previous trip in the list.
+  void CorruptTrips(std::vector<trace::Trip>* trips,
+                    FaultReport* report) const;
+
+  /// Corrupts serialized trace CSV (as written by trace::TripsToCsv)
+  /// with the plan's file-level fault classes, one decision per data
+  /// row. The header row is never touched.
+  [[nodiscard]] std::string CorruptCsv(const std::string& csv,
+                                       FaultReport* report) const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Builds a TraceStore from `trips`, dropping trips whose id is already
+/// present (counted in report->trips_dropped_duplicate_id) instead of
+/// failing. Any other store error propagates.
+Result<trace::TraceStore> RebuildStoreDroppingDuplicates(
+    std::vector<trace::Trip> trips, FaultReport* report);
+
+}  // namespace fault
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_FAULT_FAULT_INJECTOR_H_

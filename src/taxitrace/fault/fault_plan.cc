@@ -1,0 +1,37 @@
+#include "taxitrace/fault/fault_plan.h"
+
+namespace taxitrace {
+namespace fault {
+
+FaultPlan FaultPlan::Uniform(double rate) {
+  FaultPlan plan;
+  plan.nan_coord_prob = rate;
+  plan.clock_jump_prob = rate;
+  plan.negative_speed_prob = rate;
+  plan.swap_coord_prob = rate;
+  plan.duplicate_trip_prob = rate;
+  plan.empty_trip_prob = rate;
+  plan.single_point_trip_prob = rate;
+  plan.interleave_trip_prob = rate;
+  plan.truncate_row_prob = rate;
+  plan.wrong_columns_prob = rate;
+  plan.junk_bytes_prob = rate;
+  return plan;
+}
+
+bool FaultPlan::Any() const { return AnyTraceFaults() || AnyFileFaults(); }
+
+bool FaultPlan::AnyTraceFaults() const {
+  return nan_coord_prob > 0.0 || clock_jump_prob > 0.0 ||
+         negative_speed_prob > 0.0 || swap_coord_prob > 0.0 ||
+         duplicate_trip_prob > 0.0 || empty_trip_prob > 0.0 ||
+         single_point_trip_prob > 0.0 || interleave_trip_prob > 0.0;
+}
+
+bool FaultPlan::AnyFileFaults() const {
+  return truncate_row_prob > 0.0 || wrong_columns_prob > 0.0 ||
+         junk_bytes_prob > 0.0;
+}
+
+}  // namespace fault
+}  // namespace taxitrace

@@ -1,0 +1,81 @@
+#include "taxitrace/fault/fault_report.h"
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace fault {
+
+void FaultReport::Add(const FaultReport& other) {
+  injected_nan_coords += other.injected_nan_coords;
+  injected_clock_jumps += other.injected_clock_jumps;
+  injected_negative_speeds += other.injected_negative_speeds;
+  injected_swapped_coords += other.injected_swapped_coords;
+  injected_duplicated_trips += other.injected_duplicated_trips;
+  injected_emptied_trips += other.injected_emptied_trips;
+  injected_single_point_trips += other.injected_single_point_trips;
+  injected_interleaved_trips += other.injected_interleaved_trips;
+  injected_truncated_rows += other.injected_truncated_rows;
+  injected_wrong_column_rows += other.injected_wrong_column_rows;
+  injected_junk_rows += other.injected_junk_rows;
+  rows_dropped_malformed += other.rows_dropped_malformed;
+  rows_dropped_non_utf8 += other.rows_dropped_non_utf8;
+  trips_dropped_duplicate_id += other.trips_dropped_duplicate_id;
+  trips_dropped_empty += other.trips_dropped_empty;
+  points_dropped_nonfinite += other.points_dropped_nonfinite;
+  points_dropped_foreign += other.points_dropped_foreign;
+  points_dropped_negative_speed += other.points_dropped_negative_speed;
+  points_dropped_out_of_region += other.points_dropped_out_of_region;
+  points_dropped_clock_jump += other.points_dropped_clock_jump;
+}
+
+int64_t FaultReport::TotalInjected() const {
+  return injected_nan_coords + injected_clock_jumps +
+         injected_negative_speeds + injected_swapped_coords +
+         injected_duplicated_trips + injected_emptied_trips +
+         injected_single_point_trips + injected_interleaved_trips +
+         injected_truncated_rows + injected_wrong_column_rows +
+         injected_junk_rows;
+}
+
+int64_t FaultReport::TotalDropped() const {
+  return rows_dropped_malformed + rows_dropped_non_utf8 +
+         trips_dropped_duplicate_id + trips_dropped_empty +
+         points_dropped_nonfinite + points_dropped_foreign +
+         points_dropped_negative_speed + points_dropped_out_of_region +
+         points_dropped_clock_jump;
+}
+
+std::string FaultReport::ToString() const {
+  std::string out;
+  auto line = [&out](const char* name, int64_t value) {
+    if (value != 0) {
+      out += StrFormat("  %-28s %lld\n", name, (long long)value);
+    }
+  };
+  out += "injected:\n";
+  line("nan_coords", injected_nan_coords);
+  line("clock_jumps", injected_clock_jumps);
+  line("negative_speeds", injected_negative_speeds);
+  line("swapped_coords", injected_swapped_coords);
+  line("duplicated_trips", injected_duplicated_trips);
+  line("emptied_trips", injected_emptied_trips);
+  line("single_point_trips", injected_single_point_trips);
+  line("interleaved_trips", injected_interleaved_trips);
+  line("truncated_rows", injected_truncated_rows);
+  line("wrong_column_rows", injected_wrong_column_rows);
+  line("junk_rows", injected_junk_rows);
+  out += "dropped:\n";
+  line("rows_malformed", rows_dropped_malformed);
+  line("rows_non_utf8", rows_dropped_non_utf8);
+  line("trips_duplicate_id", trips_dropped_duplicate_id);
+  line("trips_empty", trips_dropped_empty);
+  line("points_nonfinite", points_dropped_nonfinite);
+  line("points_foreign", points_dropped_foreign);
+  line("points_negative_speed", points_dropped_negative_speed);
+  line("points_out_of_region", points_dropped_out_of_region);
+  line("points_clock_jump", points_dropped_clock_jump);
+  return out;
+}
+
+}  // namespace fault
+}  // namespace taxitrace

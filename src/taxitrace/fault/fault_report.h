@@ -1,0 +1,74 @@
+// Per-fault-class accounting for the fault-injection harness.
+//
+// A FaultReport has two sides. The `injected_*` counters are written by
+// the FaultInjector and say what was deliberately corrupted; the
+// remaining counters are written by the consumers (trace_io's lenient
+// parser, the store rebuild, the cleaning sanitiser) and say what was
+// dropped while degrading gracefully. The two sides do not have to
+// match one-for-one — a truncated CSV row can still parse, a NaN
+// coordinate is always caught — but together they make the loss along
+// the raw-trace path auditable instead of silent.
+
+#ifndef TAXITRACE_FAULT_FAULT_REPORT_H_
+#define TAXITRACE_FAULT_FAULT_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace taxitrace {
+namespace fault {
+
+/// Counters per fault class, merged additively across pipeline stages
+/// and worker shards (all fields are plain integers, so parallel
+/// cleaning merges them in store order exactly like the cleaning
+/// report's own counters).
+struct FaultReport {
+  // -- Injected by the FaultInjector ---------------------------------
+  // Point-level.
+  int64_t injected_nan_coords = 0;       ///< NaN/Inf lat or lon.
+  int64_t injected_clock_jumps = 0;      ///< timestamp shifted +-12 h.
+  int64_t injected_negative_speeds = 0;  ///< speed forced below zero.
+  int64_t injected_swapped_coords = 0;   ///< lat and lon exchanged.
+  // Trip-level.
+  int64_t injected_duplicated_trips = 0;    ///< trip id emitted twice.
+  int64_t injected_emptied_trips = 0;       ///< all points removed.
+  int64_t injected_single_point_trips = 0;  ///< truncated to one point.
+  int64_t injected_interleaved_trips = 0;   ///< points spliced into the
+                                            ///< neighbouring car stream.
+  // File-level (per CSV data row).
+  int64_t injected_truncated_rows = 0;     ///< row cut mid-field.
+  int64_t injected_wrong_column_rows = 0;  ///< column added or removed.
+  int64_t injected_junk_rows = 0;          ///< non-UTF8 bytes in a field.
+
+  // -- Dropped by the graceful-degradation paths ---------------------
+  int64_t rows_dropped_malformed = 0;  ///< wrong width / unparsable field
+                                       ///< (trace_io lenient parse).
+  int64_t rows_dropped_non_utf8 = 0;   ///< non-text bytes in a field.
+  int64_t trips_dropped_duplicate_id = 0;  ///< store rejected the id.
+  int64_t trips_dropped_empty = 0;         ///< no points at cleaning.
+  int64_t points_dropped_nonfinite = 0;    ///< NaN/Inf field.
+  int64_t points_dropped_foreign = 0;      ///< point's trip id does not
+                                           ///< match its trip.
+  int64_t points_dropped_negative_speed = 0;
+  int64_t points_dropped_out_of_region = 0;  ///< fix outside the study
+                                             ///< region (swapped coords).
+  int64_t points_dropped_clock_jump = 0;  ///< timestamp far from the
+                                          ///< trip median.
+
+  /// Adds every counter of `other` into this report.
+  void Add(const FaultReport& other);
+
+  /// Sum of the injected_* counters.
+  [[nodiscard]] int64_t TotalInjected() const;
+
+  /// Sum of the dropped counters.
+  [[nodiscard]] int64_t TotalDropped() const;
+
+  /// One counter per line, for logs and reports.
+  [[nodiscard]] std::string ToString() const;
+};
+
+}  // namespace fault
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_FAULT_FAULT_REPORT_H_

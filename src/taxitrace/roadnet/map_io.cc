@@ -83,16 +83,12 @@ std::string ElementsToCsv(const std::vector<TrafficElement>& elements) {
 Result<std::vector<TrafficElement>> ElementsFromCsv(
     const std::string& text) {
   TAXITRACE_ASSIGN_OR_RETURN(const std::vector<CsvRow> rows,
-                             ParseCsv(text));
-  if (rows.empty() || rows[0].size() != 6) {
-    return Status::Corruption("bad elements CSV header");
+                             ParseCsvChecked(text, 6));
+  if (rows.empty()) {
+    return Status::Corruption("missing elements CSV header");
   }
   std::vector<TrafficElement> out;
   for (size_t r = 1; r < rows.size(); ++r) {
-    if (rows[r].size() != 6) {
-      return Status::Corruption(StrFormat("row %zu has %zu fields", r,
-                                          rows[r].size()));
-    }
     TrafficElement el;
     TAXITRACE_ASSIGN_OR_RETURN(el.id, ParseInt64(rows[r][0]));
     el.road_name = rows[r][1];
@@ -123,15 +119,12 @@ std::string FeaturesToCsv(const std::vector<FeatureSpec>& features) {
 
 Result<std::vector<FeatureSpec>> FeaturesFromCsv(const std::string& text) {
   TAXITRACE_ASSIGN_OR_RETURN(const std::vector<CsvRow> rows,
-                             ParseCsv(text));
-  if (rows.empty() || rows[0].size() != 3) {
-    return Status::Corruption("bad features CSV header");
+                             ParseCsvChecked(text, 3));
+  if (rows.empty()) {
+    return Status::Corruption("missing features CSV header");
   }
   std::vector<FeatureSpec> out;
   for (size_t r = 1; r < rows.size(); ++r) {
-    if (rows[r].size() != 3) {
-      return Status::Corruption("bad features CSV row");
-    }
     FeatureSpec f;
     TAXITRACE_ASSIGN_OR_RETURN(f.type, ParseFeatureType(rows[r][0]));
     TAXITRACE_ASSIGN_OR_RETURN(f.position.x, ParseDouble(rows[r][1]));

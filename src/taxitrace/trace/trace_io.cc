@@ -1,5 +1,6 @@
 #include "taxitrace/trace/trace_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -14,6 +15,71 @@ constexpr const char* kHeader[] = {"trip_id",     "car_id", "point_id",
                                    "timestamp_s", "lat",    "lon",
                                    "speed_kmh",   "fuel_delta_ml"};
 constexpr size_t kNumColumns = sizeof(kHeader) / sizeof(kHeader[0]);
+
+/// Parses one data row into a point + its car id. On failure the status
+/// carries the row number and column name of the offending field.
+Status ParseRow(const CsvRow& row, size_t row_index, RoutePoint* point,
+                int64_t* car_id) {
+  struct Field {
+    const char* name;
+    bool is_int;
+    void* dest;
+  };
+  int64_t trip_id = 0;
+  const Field fields[] = {
+      {"trip_id", true, &trip_id},
+      {"car_id", true, car_id},
+      {"point_id", true, &point->point_id},
+      {"timestamp_s", false, &point->timestamp_s},
+      {"lat", false, &point->position.lat_deg},
+      {"lon", false, &point->position.lon_deg},
+      {"speed_kmh", false, &point->speed_kmh},
+      {"fuel_delta_ml", false, &point->fuel_delta_ml}};
+  for (size_t c = 0; c < kNumColumns; ++c) {
+    if (fields[c].is_int) {
+      Result<int64_t> v = ParseInt64(row[c]);
+      if (!v.ok()) {
+        return Status::Corruption(
+            StrFormat("row %zu, column %s: %s", row_index, fields[c].name,
+                      v.status().message().c_str()));
+      }
+      *static_cast<int64_t*>(fields[c].dest) = *v;
+    } else {
+      Result<double> v = ParseDouble(row[c]);
+      if (!v.ok()) {
+        return Status::Corruption(
+            StrFormat("row %zu, column %s: %s", row_index, fields[c].name,
+                      v.status().message().c_str()));
+      }
+      *static_cast<double*>(fields[c].dest) = *v;
+    }
+  }
+  point->trip_id = trip_id;
+  return Status::OK();
+}
+
+/// True when the row contains bytes that cannot appear in this format
+/// (anything outside printable ASCII — the writer emits numbers only).
+bool HasNonTextBytes(const CsvRow& row) {
+  for (const std::string& field : row) {
+    for (const char c : field) {
+      const auto u = static_cast<unsigned char>(c);
+      if (u < 0x20 || u > 0x7E) return true;
+    }
+  }
+  return false;
+}
+
+void AppendPoint(std::vector<Trip>* trips, const RoutePoint& p,
+                 int64_t car_id) {
+  if (trips->empty() || trips->back().trip_id != p.trip_id) {
+    Trip t;
+    t.trip_id = p.trip_id;
+    t.car_id = static_cast<int>(car_id);
+    trips->push_back(std::move(t));
+  }
+  trips->back().points.push_back(p);
+}
 
 }  // namespace
 
@@ -37,36 +103,47 @@ std::string TripsToCsv(const std::vector<Trip>& trips) {
 }
 
 Result<std::vector<Trip>> TripsFromCsv(const std::string& text) {
-  TAXITRACE_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ParseCsv(text));
+  TAXITRACE_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                             ParseCsvChecked(text, kNumColumns));
   if (rows.empty()) return Status::Corruption("missing CSV header");
-  if (rows[0].size() != kNumColumns) {
-    return Status::Corruption("unexpected CSV header width");
+  std::vector<Trip> trips;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    RoutePoint p;
+    int64_t car_id = 0;
+    TAXITRACE_RETURN_IF_ERROR(ParseRow(rows[r], r, &p, &car_id));
+    AppendPoint(&trips, p, car_id);
+  }
+  for (Trip& t : trips) t.RecomputeTotals();
+  return trips;
+}
+
+Result<std::vector<Trip>> TripsFromCsvLenient(const std::string& text,
+                                              TraceIoStats* stats) {
+  const std::vector<CsvRow> rows = ParseCsvLenient(text);
+  if (rows.empty()) return Status::Corruption("missing CSV header");
+  if (rows[0].size() != kNumColumns ||
+      !std::equal(rows[0].begin(), rows[0].end(), kHeader)) {
+    return Status::Corruption("unexpected CSV header");
   }
   std::vector<Trip> trips;
   for (size_t r = 1; r < rows.size(); ++r) {
     const CsvRow& row = rows[r];
+    ++stats->rows_total;
+    if (HasNonTextBytes(row)) {
+      ++stats->rows_dropped_non_utf8;
+      continue;
+    }
     if (row.size() != kNumColumns) {
-      return Status::Corruption(StrFormat("row %zu has %zu fields", r,
-                                          row.size()));
+      ++stats->rows_dropped_malformed;
+      continue;
     }
-    TAXITRACE_ASSIGN_OR_RETURN(const int64_t trip_id, ParseInt64(row[0]));
-    TAXITRACE_ASSIGN_OR_RETURN(const int64_t car_id, ParseInt64(row[1]));
     RoutePoint p;
-    p.trip_id = trip_id;
-    TAXITRACE_ASSIGN_OR_RETURN(p.point_id, ParseInt64(row[2]));
-    TAXITRACE_ASSIGN_OR_RETURN(p.timestamp_s, ParseDouble(row[3]));
-    TAXITRACE_ASSIGN_OR_RETURN(p.position.lat_deg, ParseDouble(row[4]));
-    TAXITRACE_ASSIGN_OR_RETURN(p.position.lon_deg, ParseDouble(row[5]));
-    TAXITRACE_ASSIGN_OR_RETURN(p.speed_kmh, ParseDouble(row[6]));
-    TAXITRACE_ASSIGN_OR_RETURN(p.fuel_delta_ml, ParseDouble(row[7]));
-
-    if (trips.empty() || trips.back().trip_id != trip_id) {
-      Trip t;
-      t.trip_id = trip_id;
-      t.car_id = static_cast<int>(car_id);
-      trips.push_back(std::move(t));
+    int64_t car_id = 0;
+    if (!ParseRow(row, r, &p, &car_id).ok()) {
+      ++stats->rows_dropped_malformed;
+      continue;
     }
-    trips.back().points.push_back(p);
+    AppendPoint(&trips, p, car_id);
   }
   for (Trip& t : trips) t.RecomputeTotals();
   return trips;

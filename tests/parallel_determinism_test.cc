@@ -12,9 +12,11 @@
 namespace taxitrace {
 namespace {
 
-core::StudyResults RunWithThreads(int num_threads) {
+core::StudyResults RunWithThreads(int num_threads,
+                                  const fault::FaultPlan& faults = {}) {
   core::StudyConfig config = core::StudyConfig::SmallStudy();
   config.num_threads = num_threads;
+  config.faults = faults;
   core::Pipeline pipeline(config);
   auto run = pipeline.Run();
   TT_CHECK_OK(run.status());
@@ -59,6 +61,11 @@ void ExpectIdenticalResults(const core::StudyResults& a,
   EXPECT_EQ(ca.filter.kept, cb.filter.kept);
   EXPECT_EQ(ca.clean_segments, cb.clean_segments);
   EXPECT_EQ(ca.clean_points, cb.clean_points);
+
+  // Fault accounting (all counters; ToString prints every nonzero one).
+  EXPECT_EQ(ca.faults.TotalInjected(), cb.faults.TotalInjected());
+  EXPECT_EQ(ca.faults.TotalDropped(), cb.faults.TotalDropped());
+  EXPECT_EQ(ca.faults.ToString(), cb.faults.ToString());
 
   // Table 3 funnel.
   ASSERT_EQ(a.table3.size(), b.table3.size());
@@ -153,6 +160,37 @@ TEST(ParallelDeterminismTest, TwoWorkersMatchSerial) {
 
 TEST(ParallelDeterminismTest, EightWorkersMatchSerial) {
   ExpectIdenticalResults(SerialReference(), RunWithThreads(8));
+}
+
+// The same contract holds with fault injection on: the injector draws
+// from per-trip / per-row MixSeed streams, so the corrupted input — and
+// everything downstream of it — is a pure function of the plan.
+const core::StudyResults& FaultedSerialReference() {
+  static const core::StudyResults reference =
+      RunWithThreads(0, fault::FaultPlan::Uniform(0.02));
+  return reference;
+}
+
+TEST(ParallelDeterminismTest, FaultedStudyInjectsAndDrops) {
+  const fault::FaultReport& faults =
+      FaultedSerialReference().cleaning_report.faults;
+  EXPECT_GT(faults.TotalInjected(), 0);
+  EXPECT_GT(faults.TotalDropped(), 0);
+}
+
+TEST(ParallelDeterminismTest, FaultedOneWorkerMatchesSerial) {
+  ExpectIdenticalResults(FaultedSerialReference(),
+                         RunWithThreads(1, fault::FaultPlan::Uniform(0.02)));
+}
+
+TEST(ParallelDeterminismTest, FaultedTwoWorkersMatchSerial) {
+  ExpectIdenticalResults(FaultedSerialReference(),
+                         RunWithThreads(2, fault::FaultPlan::Uniform(0.02)));
+}
+
+TEST(ParallelDeterminismTest, FaultedEightWorkersMatchSerial) {
+  ExpectIdenticalResults(FaultedSerialReference(),
+                         RunWithThreads(8, fault::FaultPlan::Uniform(0.02)));
 }
 
 TEST(ParallelDeterminismTest, ThreadCountsAreRecorded) {

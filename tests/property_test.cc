@@ -295,17 +295,191 @@ TEST(CleaningInterpolationTest, FlagRestoresPoints) {
 
   clean::CleaningOptions off;
   clean::CleaningReport report_off;
-  const auto plain = clean::CleanTrips(store, off, &report_off);
+  const std::vector<trace::Trip> plain =
+      clean::CleanTrips(store, off, &report_off).value();
   clean::CleaningOptions on = off;
   on.restore_lost_points = true;
   clean::CleaningReport report_on;
-  const auto restored = clean::CleanTrips(store, on, &report_on);
+  const std::vector<trace::Trip> restored =
+      clean::CleanTrips(store, on, &report_on).value();
 
   EXPECT_EQ(report_off.interpolation.points_inserted, 0);
   EXPECT_GT(report_on.interpolation.points_inserted, 0);
   ASSERT_EQ(plain.size(), 1u);
   ASSERT_EQ(restored.size(), 1u);
   EXPECT_GT(restored[0].points.size(), plain[0].points.size());
+}
+
+// --- Cleaning-stage properties over random messy traces ---------------------
+
+constexpr uint64_t kTraceSweepSeed = 0x74726163;  // "trac"
+constexpr int kTraceSweepSize = 200;
+
+// A deliberately messy trace: a random walk with stand pauses, GPS
+// spikes, duplicated points and shuffled arrival order — the same
+// defect classes the cleaning stages exist for, each drawn from the
+// trace's own MixSeed substream so the sweep is reproducible.
+trace::Trip RandomMessyTrace(int index) {
+  Rng rng(MixSeed(kTraceSweepSeed, static_cast<uint64_t>(index), 0));
+  trace::Trip trip;
+  trip.trip_id = index + 1;
+  trip.car_id = 1 + index % 7;
+
+  double t = rng.Uniform(0.0, 3600.0);
+  geo::LatLon pos{65.0 + rng.Uniform(-0.01, 0.01),
+                  25.47 + rng.Uniform(-0.01, 0.01)};
+  int64_t id = 1;
+  const int blocks = static_cast<int>(rng.UniformInt(2, 6));
+  for (int block = 0; block < blocks; ++block) {
+    // Driving stretch.
+    const int drive_points = static_cast<int>(rng.UniformInt(5, 25));
+    for (int k = 0; k < drive_points; ++k) {
+      trace::RoutePoint p;
+      p.point_id = id++;
+      p.trip_id = trip.trip_id;
+      p.timestamp_s = t;
+      p.position = pos;
+      p.speed_kmh = rng.Uniform(5.0, 60.0);
+      trip.points.push_back(p);
+      t += rng.Uniform(5.0, 45.0);
+      pos.lat_deg += rng.Gaussian(0.0, 8e-4);
+      pos.lon_deg += rng.Gaussian(0.0, 8e-4);
+    }
+    // Stand pause: stationary points over a window of minutes.
+    if (rng.Bernoulli(0.7)) {
+      const int pause_points = static_cast<int>(rng.UniformInt(2, 8));
+      for (int k = 0; k < pause_points; ++k) {
+        trace::RoutePoint p;
+        p.point_id = id++;
+        p.trip_id = trip.trip_id;
+        p.timestamp_s = t;
+        p.position = geo::LatLon{pos.lat_deg + rng.Uniform(-5e-5, 5e-5),
+                                 pos.lon_deg + rng.Uniform(-5e-5, 5e-5)};
+        p.speed_kmh = 0.0;
+        trip.points.push_back(p);
+        t += rng.Uniform(60.0, 240.0);
+      }
+    }
+  }
+
+  // GPS spikes.
+  for (trace::RoutePoint& p : trip.points) {
+    if (rng.Bernoulli(0.03)) p.position.lat_deg += rng.Uniform(0.02, 0.05);
+  }
+  // Duplicated uploads: same id and timestamp stored twice.
+  if (rng.Bernoulli(0.5) && trip.points.size() > 2) {
+    const size_t at = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(trip.points.size()) - 1));
+    trip.points.insert(trip.points.begin() + static_cast<ptrdiff_t>(at),
+                       trip.points[at]);
+  }
+  // Out-of-order arrival: a few random swaps.
+  const int swaps = static_cast<int>(rng.UniformInt(0, 6));
+  for (int s = 0; s < swaps; ++s) {
+    const size_t a = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(trip.points.size()) - 1));
+    const size_t b = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(trip.points.size()) - 1));
+    std::swap(trip.points[a], trip.points[b]);
+  }
+  trip.RecomputeTotals();
+  return trip;
+}
+
+// Flattened view of the cleaned output that ignores the segment ids
+// (re-segmenting renames trip_id*1000+k to (trip_id*1000+k)*1000+0).
+std::vector<std::tuple<int64_t, double, double, double, double>>
+FlattenPoints(const std::vector<trace::Trip>& trips) {
+  std::vector<std::tuple<int64_t, double, double, double, double>> out;
+  for (const trace::Trip& t : trips) {
+    for (const trace::RoutePoint& p : t.points) {
+      out.emplace_back(p.point_id, p.timestamp_s, p.position.lat_deg,
+                       p.position.lon_deg, p.speed_kmh);
+    }
+  }
+  return out;
+}
+
+TEST(CleaningSweepTest, CleaningIsIdempotent) {
+  trace::TraceStore store;
+  for (int i = 0; i < kTraceSweepSize; ++i) {
+    ASSERT_TRUE(store.AddTrip(RandomMessyTrace(i)).ok());
+  }
+  clean::CleaningReport first_report;
+  const std::vector<trace::Trip> once =
+      clean::CleanTrips(store, {}, &first_report).value();
+  ASSERT_GT(once.size(), 0u);
+
+  trace::TraceStore cleaned_store;
+  for (const trace::Trip& t : once) {
+    ASSERT_TRUE(cleaned_store.AddTrip(t).ok());
+  }
+  clean::CleaningReport second_report;
+  const std::vector<trace::Trip> twice =
+      clean::CleanTrips(cleaned_store, {}, &second_report).value();
+
+  // Already-clean input: nothing repaired, filtered or re-split.
+  EXPECT_EQ(second_report.order.trips_repaired_by_id, 0);
+  EXPECT_EQ(second_report.order.trips_repaired_by_timestamp, 0);
+  EXPECT_EQ(second_report.outliers.duplicates_removed, 0);
+  EXPECT_EQ(second_report.outliers.spikes_removed, 0);
+  EXPECT_EQ(second_report.outliers.implied_speed_removed, 0);
+  EXPECT_EQ(twice.size(), once.size());
+  EXPECT_EQ(FlattenPoints(twice), FlattenPoints(once));
+}
+
+TEST(CleaningSweepTest, OrderRepairOutputIsMonotoneInTimestamp) {
+  for (int i = 0; i < kTraceSweepSize; ++i) {
+    trace::Trip trip = RandomMessyTrace(i);
+    clean::OrderRepairStats stats;
+    clean::RepairTripOrder(&trip, &stats);
+    for (size_t k = 1; k < trip.points.size(); ++k) {
+      ASSERT_LE(trip.points[k - 1].timestamp_s, trip.points[k].timestamp_s)
+          << "trace " << i << " not monotone at point " << k;
+      ASSERT_LE(trip.points[k - 1].point_id, trip.points[k].point_id)
+          << "trace " << i << " ids not monotone at point " << k;
+    }
+  }
+}
+
+TEST(CleaningSweepTest, SegmentationNeverKeepsAStopGapInsideASegment) {
+  const clean::SegmentationOptions opt;
+  for (int i = 0; i < kTraceSweepSize; ++i) {
+    trace::Trip trip = RandomMessyTrace(i);
+    clean::RepairTripOrder(&trip);  // segmentation expects monotone time
+    const std::vector<trace::Trip> segments = clean::SegmentTrip(trip, opt);
+    for (const trace::Trip& seg : segments) {
+      // No rule-1 stop gap survives in an emitted segment. Replay the
+      // splitter's anchor semantics: the anchor moves whenever a point
+      // drifts beyond the tolerance, so only time spent near the
+      // *current* anchor counts towards the stand-still window.
+      if (!seg.points.empty()) {
+        trace::RoutePoint anchor = seg.points.front();
+        for (size_t k = 1; k < seg.points.size(); ++k) {
+          const trace::RoutePoint& p = seg.points[k];
+          if (geo::HaversineMeters(anchor.position, p.position) >
+              opt.no_change_tolerance_m) {
+            anchor = p;
+            continue;
+          }
+          ASSERT_LT(p.timestamp_s - anchor.timestamp_s, opt.rule1_window_s)
+              << "trace " << i << ": stationary run of the rule-1 window "
+              << "length kept inside segment " << seg.trip_id;
+        }
+      }
+      // And re-segmenting an emitted segment is a no-op (the segment
+      // contains no remaining split point under any rule).
+      if (trace::PathLengthMeters(seg.points) <= opt.rule5_length_m) {
+        const std::vector<trace::Trip> again =
+            clean::SegmentTrip(seg, opt);
+        ASSERT_EQ(again.size(), 1u)
+            << "trace " << i << ": segment " << seg.trip_id
+            << " split again on re-segmentation";
+        EXPECT_EQ(FlattenPoints(again),
+                  FlattenPoints(std::vector<trace::Trip>{seg}));
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "taxitrace/analysis/route_stats.h"
 #include "taxitrace/core/pipeline.h"
+#include "taxitrace/core/reports.h"
 
 namespace taxitrace {
 namespace core {
@@ -133,6 +137,36 @@ TEST(FullStudyRegressionTest, CellModelCentreVolumeTimings) {
   CheckCellModel();
   CheckCentre();
   CheckVolumeAndTimings();
+}
+
+// Exact golden digest of the seed (SmallStudy) configuration. Unlike
+// the band checks above, any change to a count or a model double fails
+// here — an intentional change must regenerate the golden file via
+// scripts/update_golden.py (which sets TAXITRACE_UPDATE_GOLDEN=1).
+TEST(GoldenDigestTest, SmallStudyDigestMatchesGolden) {
+  Pipeline pipeline(StudyConfig::SmallStudy());
+  auto run = pipeline.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const std::string digest = StudyDigestJson(*run);
+
+  const std::string path =
+      std::string(TAXITRACE_GOLDEN_DIR) + "/study_small.json";
+  if (std::getenv("TAXITRACE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << digest;
+    ASSERT_TRUE(out.good()) << "write failed: " << path;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with scripts/update_golden.py";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), digest)
+      << "study digest drifted from tests/golden/study_small.json; if the "
+         "change is intended, regenerate with scripts/update_golden.py";
 }
 
 }  // namespace
