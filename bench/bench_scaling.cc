@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "taxitrace/model/one_way_reml.h"
+#include "taxitrace/obs/observability.h"
 #include "taxitrace/roadnet/router.h"
 
 namespace taxitrace {
@@ -87,6 +88,16 @@ void PrintScaling() {
   benchutil::EmitFigureFile("BENCH_pipeline.json", json);
   std::printf("  parallel speedup (total wall-clock): %.2fx on %d workers\n\n",
               speedup, parallel.timings.simulation_threads);
+
+  // Metrics snapshot from a separate observability-enabled small study.
+  // The two timed full-study runs above keep observability off, so the
+  // wall times of record always benchmark the disabled (no-op) path.
+  core::StudyConfig metrics_config = core::StudyConfig::SmallStudy();
+  metrics_config.observability.enabled = true;
+  const core::StudyResults observed =
+      benchutil::RunStudyOrExit(metrics_config, "metrics small study");
+  benchutil::EmitFigureFile("BENCH_metrics.json",
+                            obs::SnapshotJson(observed.observability));
 }
 
 void BM_PipelineByThreads(benchmark::State& state) {

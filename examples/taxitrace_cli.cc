@@ -9,6 +9,12 @@
 //   taxitrace_cli match <elements.csv> <features.csv> <segments.csv>
 //                 <routes.geojson> [max_trips]
 //   taxitrace_cli analyze <segments.csv>
+//   taxitrace_cli study [--metrics-json <out.json>] [cars] [days]
+//
+// `study` runs the end-to-end synthetic study (SmallStudy scale unless
+// cars/days are given) with observability enabled and prints the stage
+// funnel and span tree; --metrics-json additionally writes the full
+// metrics snapshot (funnel, counters, gauges, histograms, spans).
 
 #include <cmath>
 #include <cstdio>
@@ -23,7 +29,9 @@
 #include "taxitrace/common/histogram.h"
 #include "taxitrace/common/strings.h"
 #include "taxitrace/core/figures.h"
+#include "taxitrace/core/pipeline.h"
 #include "taxitrace/core/reports.h"
+#include "taxitrace/obs/observability.h"
 #include "taxitrace/geo/simplify.h"
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/model/significance.h"
@@ -227,6 +235,45 @@ int Analyze(int argc, char** argv) {
   return 0;
 }
 
+int Study(int argc, char** argv) {
+  const char* metrics_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      if (i + 1 >= argc) return 2;
+      metrics_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  core::StudyConfig config = core::StudyConfig::SmallStudy();
+  config.observability.enabled = true;
+  if (!positional.empty()) config.fleet.num_cars = std::atoi(positional[0]);
+  if (positional.size() > 1) {
+    config.fleet.num_days = std::atoi(positional[1]);
+  }
+  if (config.fleet.num_cars <= 0 || config.fleet.num_days <= 0) return 2;
+
+  const core::Pipeline pipeline(config);
+  const Result<core::StudyResults> results = pipeline.Run();
+  if (!results.ok()) return Fail(results.status());
+
+  std::printf("study: %d cars x %d days, %lld raw trips, "
+              "%zu matched transitions, mean speed %.1f km/h\n\n",
+              config.fleet.num_cars, config.fleet.num_days,
+              static_cast<long long>(results->raw_trips),
+              results->transitions.size(),
+              results->overall_mean_speed_kmh);
+  std::printf("%s", obs::SnapshotText(results->observability).c_str());
+  if (metrics_path != nullptr) {
+    const Status st = core::WriteTextFile(
+        metrics_path, obs::SnapshotJson(results->observability));
+    if (!st.ok()) return Fail(st);
+    std::printf("metrics snapshot -> %s\n", metrics_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,7 +281,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: taxitrace_cli "
-        "generate-map|simulate|clean|match|analyze ...\n");
+        "generate-map|simulate|clean|match|analyze|study ...\n");
     return 2;
   }
   int rc = 2;
@@ -248,6 +295,8 @@ int main(int argc, char** argv) {
     rc = Match(argc, argv);
   } else if (std::strcmp(argv[1], "analyze") == 0) {
     rc = Analyze(argc, argv);
+  } else if (std::strcmp(argv[1], "study") == 0) {
+    rc = Study(argc, argv);
   }
   if (rc == 2) {
     std::fprintf(stderr, "bad arguments; see the header comment\n");

@@ -19,6 +19,11 @@ Greps src/taxitrace/ for patterns the codebase has banned:
                     taxitrace/common/executor.*. All parallelism goes
                     through the Executor so the determinism contract
                     (ordered merges, derived RNG streams) holds.
+  adhoc-timing      std::chrono outside taxitrace/common/executor.* and
+                    taxitrace/obs/. All wall-clock measurement goes
+                    through obs::StageSpan (or the executor's queue
+                    accounting) so stage costs land in one uniform,
+                    dumpable record instead of scattered stopwatches.
   unregistered-test A tests/*.cc file that tests/CMakeLists.txt never
                     references: the test compiles on nobody's machine
                     and silently never runs. (Repo-level rule; not
@@ -43,6 +48,7 @@ ALLOW_RE = re.compile(r"//\s*tt-lint:\s*allow\(([a-z-]+)\)")
 
 BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
 RAW_THREAD_RE = re.compile(r"std::(thread|jthread|async)\b")
+ADHOC_TIMING_RE = re.compile(r"std::chrono\b")
 RESULT_OK_RE = re.compile(r"Result<[^;]*Status::OK\(\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
@@ -90,6 +96,10 @@ def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
         "src/taxitrace/common/executor.h",
         "src/taxitrace/common/executor.cc",
     )
+    # Timing is sanctioned only where it is the module's job: the
+    # executor's queue accounting and the obs/ span layer.
+    timing_exempt = is_executor or \
+        rel.as_posix().startswith("src/taxitrace/obs/")
     for lineno, raw in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
         allowed = set(ALLOW_RE.findall(raw))
@@ -122,6 +132,12 @@ def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
                    "raw std::thread/std::async; use the Executor "
                    "(taxitrace/common/executor.h) so parallel stages "
                    "stay deterministic")
+
+        if ADHOC_TIMING_RE.search(line) and not timing_exempt:
+            report("adhoc-timing",
+                   "ad-hoc std::chrono timing; use obs::StageSpan "
+                   "(taxitrace/obs/stage_span.h) so the cost shows up "
+                   "in the stage trace")
 
         if RESULT_OK_RE.search(line):
             report("result-ok-status",

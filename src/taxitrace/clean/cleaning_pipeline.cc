@@ -10,6 +10,8 @@ namespace {
 // the serial pipeline's output exactly.
 struct TripCleanOutput {
   std::vector<trace::Trip> segments;
+  int64_t points_after_sanitize = 0;
+  int64_t points_after_outliers = 0;
   OrderRepairStats order;
   OutlierFilterStats outliers;
   InterpolationStats interpolation;
@@ -23,6 +25,7 @@ TripCleanOutput CleanOneTrip(const trace::Trip& raw,
   TripCleanOutput out;
   trace::Trip trip = raw;
   SanitizeTrip(&trip, options.sanitize, &out.faults);
+  out.points_after_sanitize = static_cast<int64_t>(trip.points.size());
   if (options.sanitize.enabled && trip.points.empty()) {
     // Injected empty trips (and trips whose every point was dropped)
     // end here; the regular stages would only pass the emptiness along.
@@ -31,6 +34,7 @@ TripCleanOutput CleanOneTrip(const trace::Trip& raw,
   }
   RepairTripOrder(&trip, &out.order);
   FilterTripOutliers(&trip, options.outliers, &out.outliers);
+  out.points_after_outliers = static_cast<int64_t>(trip.points.size());
   if (options.restore_lost_points) {
     RestoreTripLostPoints(&trip, options.interpolation,
                           &out.interpolation);
@@ -47,7 +51,8 @@ TripCleanOutput CleanOneTrip(const trace::Trip& raw,
 Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
                                             const CleaningOptions& options,
                                             CleaningReport* report,
-                                            const Executor* executor) {
+                                            const Executor* executor,
+                                            obs::MetricsRegistry* metrics) {
   CleaningReport local;
   local.raw_trips = static_cast<int64_t>(store.NumTrips());
   local.raw_points = static_cast<int64_t>(store.NumPoints());
@@ -64,6 +69,8 @@ Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
 
   std::vector<trace::Trip> cleaned;
   for (TripCleanOutput& out : outputs) {
+    local.points_after_sanitize += out.points_after_sanitize;
+    local.points_after_outliers += out.points_after_outliers;
     local.order.trips_consistent += out.order.trips_consistent;
     local.order.trips_repaired_by_id += out.order.trips_repaired_by_id;
     local.order.trips_repaired_by_timestamp +=
@@ -94,6 +101,27 @@ Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
   local.clean_segments = static_cast<int64_t>(cleaned.size());
   for (const trace::Trip& t : cleaned) {
     local.clean_points += static_cast<int64_t>(t.points.size());
+  }
+  if (metrics != nullptr) {
+    metrics->counter("clean.raw_trips")->Add(local.raw_trips);
+    metrics->counter("clean.raw_points")->Add(local.raw_points);
+    metrics->counter("clean.points_after_sanitize")
+        ->Add(local.points_after_sanitize);
+    metrics->counter("clean.points_after_outliers")
+        ->Add(local.points_after_outliers);
+    metrics->counter("clean.duplicates_removed")
+        ->Add(local.outliers.duplicates_removed);
+    metrics->counter("clean.spikes_removed")
+        ->Add(local.outliers.spikes_removed);
+    metrics->counter("clean.implied_speed_removed")
+        ->Add(local.outliers.implied_speed_removed);
+    metrics->counter("clean.segments_out")->Add(local.clean_segments);
+    metrics->counter("clean.points_out")->Add(local.clean_points);
+    obs::HistogramMetric* seg_points =
+        metrics->histogram("clean.points_per_segment", 0.0, 400.0, 40);
+    for (const trace::Trip& t : cleaned) {
+      seg_points->Record(static_cast<double>(t.points.size()));
+    }
   }
   if (report != nullptr) *report = local;
   return cleaned;

@@ -13,6 +13,7 @@
 #include "taxitrace/clean/trip_filter.h"
 #include "taxitrace/common/result.h"
 #include "taxitrace/fault/fault_report.h"
+#include "taxitrace/obs/metrics.h"
 #include "taxitrace/trace/trace_store.h"
 
 namespace taxitrace {
@@ -38,6 +39,13 @@ struct CleaningOptions {
 struct CleaningReport {
   int64_t raw_trips = 0;
   int64_t raw_points = 0;
+  /// Points surviving the sanitiser (== raw_points minus the point
+  /// drops in `faults`; == raw_points on a fault-free run).
+  int64_t points_after_sanitize = 0;
+  /// Points surviving the outlier filter (== points_after_sanitize
+  /// minus the three OutlierFilterStats removals). Interpolation, when
+  /// enabled, adds points *after* this count.
+  int64_t points_after_outliers = 0;
   OrderRepairStats order;
   OutlierFilterStats outliers;
   InterpolationStats interpolation;
@@ -61,9 +69,14 @@ struct CleaningReport {
 ///
 /// Fails only on executor errors; malformed input never fails the call
 /// — the sanitiser drops it and accounts for it in `report->faults`.
+///
+/// When `metrics` is given, the merged report is also published as
+/// `clean.*` counters plus a points-per-segment histogram. All of them
+/// are deterministic data counts, never timings.
 Result<std::vector<trace::Trip>> CleanTrips(
     const trace::TraceStore& store, const CleaningOptions& options = {},
-    CleaningReport* report = nullptr, const Executor* executor = nullptr);
+    CleaningReport* report = nullptr, const Executor* executor = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace clean
 }  // namespace taxitrace

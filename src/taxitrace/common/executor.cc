@@ -23,10 +23,14 @@ struct LoopState {
   int64_t error_index = -1;   // lowest failing index so far
   Status error;
 
-  void RunOneClaimLoop() {
+  // Returns how many indices this claim loop executed, so the worker
+  // can attribute them to itself in the executor's load stats.
+  int64_t RunOneClaimLoop() {
+    int64_t claimed = 0;
     for (;;) {
       const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= end) return;
+      if (i >= end) return claimed;
+      ++claimed;
       Status st = (*fn)(i);
       std::lock_guard<std::mutex> lock(mu);
       if (!st.ok() && (error_index < 0 || i < error_index)) {
@@ -42,9 +46,18 @@ struct LoopState {
 
 Executor::Executor(int num_threads) {
   if (num_threads < 0) num_threads = 0;
+  if (num_threads > 0) {
+    worker_items_ = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      worker_items_[static_cast<size_t>(t)].store(
+          0, std::memory_order_relaxed);
+    }
+  }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, t] { WorkerLoop(static_cast<size_t>(t)); });
   }
 }
 
@@ -57,9 +70,9 @@ Executor::~Executor() {
   for (std::thread& w : workers_) w.join();
 }
 
-void Executor::WorkerLoop() {
+void Executor::WorkerLoop(size_t worker_index) {
   for (;;) {
-    std::function<void()> job;
+    QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -67,7 +80,16 @@ void Executor::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    // One now() per dequeued batch job (at most one job per worker per
+    // batch), charged as the time the job sat queued.
+    queue_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - job.enqueued)
+            .count(),
+        std::memory_order_relaxed);
+    const int64_t items = job.fn();
+    worker_items_[worker_index].fetch_add(items,
+                                          std::memory_order_relaxed);
   }
 }
 
@@ -75,9 +97,11 @@ Status Executor::ParallelFor(
     int64_t begin, int64_t end,
     const std::function<Status(int64_t)>& fn) const {
   if (begin >= end) return Status::OK();
+  batches_.fetch_add(1, std::memory_order_relaxed);
 
   if (workers_.empty()) {
     // Serial fallback: same index order, same error contract.
+    serial_items_.fetch_add(end - begin, std::memory_order_relaxed);
     int64_t error_index = -1;
     Status error;
     for (int64_t i = begin; i < end; ++i) {
@@ -101,9 +125,11 @@ Status Executor::ParallelFor(
   const int64_t jobs = std::min<int64_t>(
       static_cast<int64_t>(workers_.size()), end - begin);
   {
+    const auto enqueued = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t j = 0; j < jobs; ++j) {
-      queue_.emplace_back([state] { state->RunOneClaimLoop(); });
+      queue_.push_back(QueuedJob{
+          [state] { return state->RunOneClaimLoop(); }, enqueued});
     }
   }
   work_cv_.notify_all();
@@ -141,6 +167,21 @@ int Executor::ResolveThreadCount(int requested) {
 const Executor& Executor::Serial() {
   static const Executor serial(0);
   return serial;
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.serial_items = serial_items_.load(std::memory_order_relaxed);
+  s.items_per_worker.reserve(workers_.size());
+  for (size_t t = 0; t < workers_.size(); ++t) {
+    s.items_per_worker.push_back(
+        worker_items_[t].load(std::memory_order_relaxed));
+  }
+  s.queue_wait_ms =
+      static_cast<double>(queue_wait_ns_.load(std::memory_order_relaxed)) /
+      1e6;
+  return s;
 }
 
 }  // namespace taxitrace

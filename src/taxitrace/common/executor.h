@@ -12,10 +12,12 @@
 #define TAXITRACE_COMMON_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,6 +25,19 @@
 #include "taxitrace/common/status.h"
 
 namespace taxitrace {
+
+/// Load accounting for one Executor, readable via Executor::stats().
+/// Worker attribution and queue wait depend on scheduling, so these
+/// values are run-dependent — publish them as observability *gauges*,
+/// never into anything that must be deterministic.
+struct ExecutorStats {
+  int64_t batches = 0;       ///< ParallelFor / RunTasks calls.
+  int64_t serial_items = 0;  ///< Indices run inline (0-thread mode).
+  /// Indices executed by each pool worker.
+  std::vector<int64_t> items_per_worker;
+  /// Total time batch jobs spent queued before a worker picked them up.
+  double queue_wait_ms = 0.0;
+};
 
 /// A fixed pool of worker threads with an index-loop and task-batch API.
 ///
@@ -67,14 +82,30 @@ class Executor {
   /// optional `const Executor*` and received none.
   static const Executor& Serial();
 
+  /// Snapshot of the load counters accumulated so far.
+  [[nodiscard]] ExecutorStats stats() const;
+
  private:
-  void WorkerLoop();
+  struct QueuedJob {
+    /// Runs the job and returns how many work items it executed (for
+    /// per-worker load attribution).
+    std::function<int64_t()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   mutable std::mutex mu_;
   mutable std::condition_variable work_cv_;
-  mutable std::deque<std::function<void()>> queue_;
+  mutable std::deque<QueuedJob> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Load accounting; relaxed atomics, a handful of adds per batch/job.
+  mutable std::atomic<int64_t> batches_{0};
+  mutable std::atomic<int64_t> serial_items_{0};
+  mutable std::atomic<int64_t> queue_wait_ns_{0};
+  mutable std::unique_ptr<std::atomic<int64_t>[]> worker_items_;
 };
 
 }  // namespace taxitrace

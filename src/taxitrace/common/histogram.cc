@@ -16,6 +16,12 @@ Histogram::Histogram(double lo, double hi, int num_bins)
 }
 
 void Histogram::Add(double value) {
+  if (!std::isfinite(value)) {
+    // floor(NaN/Inf) cast to int is UB; keep such values out of the
+    // bins (and out of every quantile) but keep them countable.
+    ++nonfinite_;
+    return;
+  }
   int bin = static_cast<int>(std::floor((value - lo_) / bin_width_));
   bin = std::clamp(bin, 0, num_bins() - 1);
   ++counts_[static_cast<size_t>(bin)];
@@ -49,7 +55,9 @@ double Histogram::Quantile(double q) const {
                                       static_cast<double>(
                                           counts_[static_cast<size_t>(bin)])
                                 : 0.0;
-      return BinLow(bin) + in_bin * bin_width_;
+      // BinLow(bin) + bin_width_ can land one ulp above hi_ for the
+      // last bin; the quantile contract is a value within [lo_, hi_].
+      return std::min(BinLow(bin) + in_bin * bin_width_, hi_);
     }
     cumulative = next;
   }

@@ -10,15 +10,19 @@
 
 namespace taxitrace {
 
-/// Equal-width histogram over [lo, hi); values outside clamp into the
-/// edge bins.
+/// Equal-width histogram over [lo, hi); finite values outside clamp
+/// into the edge bins. Non-finite values (NaN, +-Inf) are tallied
+/// separately and never enter a bin — std::floor on them would be
+/// undefined behaviour on the int cast, and fault-injected traces
+/// legitimately carry such values.
 class Histogram {
  public:
   /// Creates `num_bins` equal-width bins spanning [lo, hi). Requires
   /// lo < hi and num_bins >= 1 (asserted).
   Histogram(double lo, double hi, int num_bins);
 
-  /// Adds one observation.
+  /// Adds one observation. Non-finite values go to the `nonfinite`
+  /// tally instead of a bin.
   void Add(double value);
 
   /// Adds many observations.
@@ -27,7 +31,10 @@ class Histogram {
   [[nodiscard]] int num_bins() const {
     return static_cast<int>(counts_.size());
   }
+  /// Binned (finite) observations; excludes the non-finite tally.
   [[nodiscard]] int64_t total() const { return total_; }
+  /// Observations rejected as NaN/Inf.
+  [[nodiscard]] int64_t nonfinite() const { return nonfinite_; }
   [[nodiscard]] int64_t count(int bin) const {
     return counts_[static_cast<size_t>(bin)];
   }
@@ -52,6 +59,7 @@ class Histogram {
   double bin_width_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t nonfinite_ = 0;
 };
 
 }  // namespace taxitrace

@@ -1,12 +1,14 @@
 #include "taxitrace/core/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "taxitrace/analysis/grid.h"
 #include "taxitrace/clean/cleaning_pipeline.h"
 #include "taxitrace/common/executor.h"
+#include "taxitrace/common/strings.h"
 #include "taxitrace/fault/fault_injector.h"
 #include "taxitrace/odselect/transition_extractor.h"
 #include "taxitrace/trace/trace_io.h"
@@ -24,36 +26,38 @@ std::vector<analysis::TransitionRecord> StudyResults::Records() const {
 Pipeline::Pipeline(StudyConfig config) : config_(std::move(config)) {}
 
 Result<StudyResults> Pipeline::Run() const {
-  using Clock = std::chrono::steady_clock;
-  const auto elapsed_ms = [](Clock::time_point since) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - since)
-        .count();
-  };
-  StageTimings timings;
-  auto stage_start = Clock::now();
+  const bool collect = config_.observability.enabled;
+  // The span trace is always kept — it is a handful of records per run
+  // and is what StageTimings is derived from now. The registry and the
+  // funnel ledger only come to life on an observability run; with
+  // `collect` false no metric is ever touched and
+  // StudyResults::observability stays default-empty.
+  obs::Trace trace;
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = collect ? &registry : nullptr;
+  obs::FunnelLedger funnel_ledger;
 
   // One worker pool for every parallel stage. 0 threads = serial
   // inline execution; either way the merged outputs are byte-identical.
   const Executor executor(Executor::ResolveThreadCount(config_.num_threads));
-  timings.simulation_threads = executor.num_threads();
-  timings.cleaning_threads = executor.num_threads();
-  timings.selection_matching_threads = executor.num_threads();
 
   // 1. Substrates: city map and weather.
+  obs::StageSpan map_span(&trace, "map_generation");
   TAXITRACE_ASSIGN_OR_RETURN(synth::CityMap map,
                              synth::GenerateCityMap(config_.map));
   synth::WeatherModel weather(config_.weather_seed, config_.fleet.num_days);
-
-  timings.map_generation_ms = elapsed_ms(stage_start);
-  stage_start = Clock::now();
+  map_span.AddItems(static_cast<int64_t>(map.network.edges().size()));
+  map_span.Finish();
 
   // 2. Raw traces.
+  obs::StageSpan sim_span(&trace, "simulation");
   synth::PedestrianModel pedestrians(config_.fleet.seed + 17,
                                      map.hotspots,
                                      config_.fleet.num_days);
   const synth::FleetSimulator fleet(&map, &weather, config_.fleet,
                                     &pedestrians);
   TAXITRACE_ASSIGN_OR_RETURN(synth::FleetResult raw, fleet.Run(&executor));
+  const int64_t trips_simulated = static_cast<int64_t>(raw.store.NumTrips());
 
   StudyResults results(std::move(map), std::move(weather),
                        std::move(pedestrians));
@@ -64,7 +68,10 @@ Result<StudyResults> Pipeline::Run() const {
   // the corrupted store is identical at any thread count.
   clean::CleaningOptions cleaning_options = config_.cleaning;
   fault::FaultReport injected;
+  trace::TraceIoStats io_stats;
+  int64_t trips_before_rebuild = trips_simulated;
   if (config_.faults.Any()) {
+    obs::StageSpan fault_span(&trace, "fault_injection");
     const fault::FaultInjector injector(config_.faults);
     std::vector<trace::Trip> trips = raw.store.trips();
     injector.CorruptTrips(&trips, &injected);
@@ -74,12 +81,12 @@ Result<StudyResults> Pipeline::Run() const {
       // cannot understand.
       const std::string csv =
           injector.CorruptCsv(trace::TripsToCsv(trips), &injected);
-      trace::TraceIoStats io_stats;
       TAXITRACE_ASSIGN_OR_RETURN(trips,
                                  trace::TripsFromCsvLenient(csv, &io_stats));
       injected.rows_dropped_malformed += io_stats.rows_dropped_malformed;
       injected.rows_dropped_non_utf8 += io_stats.rows_dropped_non_utf8;
     }
+    trips_before_rebuild = static_cast<int64_t>(trips.size());
     TAXITRACE_ASSIGN_OR_RETURN(
         raw.store,
         fault::RebuildStoreDroppingDuplicates(std::move(trips), &injected));
@@ -104,23 +111,29 @@ Result<StudyResults> Pipeline::Run() const {
     sanitize.lat_max_deg = std::max(lo.lat_deg, hi.lat_deg);
     sanitize.lon_min_deg = std::min(lo.lon_deg, hi.lon_deg);
     sanitize.lon_max_deg = std::max(lo.lon_deg, hi.lon_deg);
+    fault_span.AddItems(injected.TotalInjected());
   }
 
   results.raw_trips = static_cast<int64_t>(raw.store.NumTrips());
-  timings.simulation_ms = elapsed_ms(stage_start);
-  stage_start = Clock::now();
+  sim_span.AddItems(trips_simulated);
+  sim_span.Finish();
 
   // 3. Cleaning: sanitiser (when faulted), order repair, error filters,
   // segmentation, filters.
+  obs::StageSpan clean_span(&trace, "cleaning");
   TAXITRACE_ASSIGN_OR_RETURN(
       std::vector<trace::Trip> cleaned,
       clean::CleanTrips(raw.store, cleaning_options,
-                        &results.cleaning_report, &executor));
+                        &results.cleaning_report, &executor, metrics));
+  // The cleaning stage's own drop counters, before the injection
+  // report is merged in — the funnel below needs the unmixed values.
+  const fault::FaultReport clean_faults = results.cleaning_report.faults;
   results.cleaning_report.faults.Add(injected);
-  timings.cleaning_ms = elapsed_ms(stage_start);
-  stage_start = Clock::now();
+  clean_span.AddItems(results.cleaning_report.raw_trips);
+  clean_span.Finish();
 
   // 4. OD gates and transition extraction.
+  obs::StageSpan match_span(&trace, "selection_matching");
   std::vector<odselect::OdGate> gates;
   for (const synth::GateRoad& g : results.map.gates) {
     gates.emplace_back(g.name, g.geometry, config_.gate);
@@ -154,6 +167,15 @@ Result<StudyResults> Pipeline::Run() const {
     int64_t transitions_total = 0;
     int64_t transitions_central = 0;
     int64_t post_filtered = 0;
+    // Explicit drop accounting for the transition funnel stage: every
+    // examined transition lands in exactly one bucket, so
+    // examined == post_filtered + the five drop counters.
+    int64_t transitions_examined = 0;
+    int64_t dropped_direction = 0;
+    int64_t dropped_outside_central = 0;
+    int64_t dropped_match_failed = 0;
+    int64_t dropped_unknown_gate = 0;
+    int64_t dropped_endpoint_filter = 0;
     std::vector<MatchedTransition> transitions;
   };
   std::vector<SegmentMatchOutput> match_outputs(cleaned.size());
@@ -172,8 +194,10 @@ Result<StudyResults> Pipeline::Run() const {
         ++out.filtered_cleaned;
 
         for (const odselect::Transition& transition : analysis.transitions) {
+          ++out.transitions_examined;
           if (!odselect::IsSelectedDirection(transition,
                                              config_.transition_filter)) {
+            ++out.dropped_direction;
             continue;
           }
           ++out.transitions_total;
@@ -181,6 +205,7 @@ Result<StudyResults> Pipeline::Run() const {
                                              results.map.central_area,
                                              region, proj,
                                              config_.transition_filter)) {
+            ++out.dropped_outside_central;
             continue;
           }
           ++out.transitions_central;
@@ -189,17 +214,22 @@ Result<StudyResults> Pipeline::Run() const {
           // are matched, as in the paper).
           Result<mapmatch::MatchedRoute> route =
               matcher.Match(transition.segment);
-          if (!route.ok()) continue;
+          if (!route.ok()) {
+            ++out.dropped_match_failed;
+            continue;
+          }
 
           const auto origin_it = gate_by_name.find(transition.origin);
           const auto dest_it = gate_by_name.find(transition.destination);
           if (origin_it == gate_by_name.end() ||
               dest_it == gate_by_name.end()) {
+            ++out.dropped_unknown_gate;
             continue;
           }
           if (!odselect::PassesEndpointPostFilter(
                   route->geometry, *origin_it->second, *dest_it->second,
                   config_.transition_filter)) {
+            ++out.dropped_endpoint_filter;
             continue;
           }
           ++out.post_filtered;
@@ -229,7 +259,16 @@ Result<StudyResults> Pipeline::Run() const {
         return Status::OK();
       }));
 
-  // Per-car funnel rows (Table 3), folded in cleaned order.
+  // Per-car funnel rows (Table 3), folded in cleaned order, plus the
+  // fleet-wide totals for the study funnel ledger.
+  int64_t segments_selected = 0;
+  int64_t transitions_examined = 0;
+  int64_t transitions_post_filtered = 0;
+  int64_t dropped_direction = 0;
+  int64_t dropped_outside_central = 0;
+  int64_t dropped_match_failed = 0;
+  int64_t dropped_unknown_gate = 0;
+  int64_t dropped_endpoint_filter = 0;
   std::unordered_map<int, odselect::Table3Row> funnel;
   for (size_t i = 0; i < cleaned.size(); ++i) {
     odselect::Table3Row& row = funnel[cleaned[i].car_id];
@@ -240,6 +279,14 @@ Result<StudyResults> Pipeline::Run() const {
     row.transitions_total += out.transitions_total;
     row.transitions_central += out.transitions_central;
     row.post_filtered += out.post_filtered;
+    segments_selected += out.filtered_cleaned;
+    transitions_examined += out.transitions_examined;
+    transitions_post_filtered += out.post_filtered;
+    dropped_direction += out.dropped_direction;
+    dropped_outside_central += out.dropped_outside_central;
+    dropped_match_failed += out.dropped_match_failed;
+    dropped_unknown_gate += out.dropped_unknown_gate;
+    dropped_endpoint_filter += out.dropped_endpoint_filter;
     for (MatchedTransition& mt : out.transitions) {
       results.match_report.Add(mt.route);
       results.transitions.push_back(std::move(mt));
@@ -252,10 +299,11 @@ Result<StudyResults> Pipeline::Run() const {
     results.table3.push_back(row);
   }
 
-  timings.selection_matching_ms = elapsed_ms(stage_start);
-  stage_start = Clock::now();
+  match_span.AddItems(static_cast<int64_t>(cleaned.size()));
+  match_span.Finish();
 
   // 7. Grid statistics over all transition point speeds.
+  obs::StageSpan analysis_span(&trace, "analysis");
   results.grid_cell_m = config_.grid_cell_m;
   const analysis::Grid grid(config_.grid_cell_m);
   analysis::CellSpeedAccumulator all_speeds(grid);
@@ -267,6 +315,10 @@ Result<StudyResults> Pipeline::Run() const {
   double speed_sum = 0.0;
   double season_sum[analysis::kNumSeasons] = {};
   int64_t season_n[analysis::kNumSeasons] = {};
+  obs::HistogramMetric* speed_hist =
+      metrics != nullptr
+          ? metrics->histogram("analysis.point_speed_kmh", 0.0, 120.0, 60)
+          : nullptr;
 
   for (const MatchedTransition& mt : results.transitions) {
     auto dir_it = by_direction.find(mt.record.direction);
@@ -289,6 +341,7 @@ Result<StudyResults> Pipeline::Run() const {
 
       ++results.total_point_speeds;
       speed_sum += p.speed_kmh;
+      if (speed_hist != nullptr) speed_hist->Record(p.speed_kmh);
       const int season =
           static_cast<int>(analysis::SeasonOfTimestamp(p.timestamp_s));
       season_sum[season] += p.speed_kmh;
@@ -322,7 +375,159 @@ Result<StudyResults> Pipeline::Run() const {
     TAXITRACE_ASSIGN_OR_RETURN(results.geography_lrt,
                                model::TestRandomEffect(cell_model));
   }
-  timings.analysis_ms = elapsed_ms(stage_start);
+  analysis_span.AddItems(results.total_point_speeds);
+  analysis_span.Finish();
+
+  if (collect) {
+    // Funnel ledger: one reconciled row per stage, every drop named.
+    // Every value is a deterministic data count merged in index order,
+    // so the ledger is byte-identical at any worker count.
+    const clean::CleaningReport& cr = results.cleaning_report;
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("trips.simulated", "trips");
+      s.in = trips_simulated;
+      s.out = trips_simulated;
+    }
+    if (config_.faults.Any()) {
+      if (config_.faults.AnyFileFaults()) {
+        obs::FunnelStage& s =
+            funnel_ledger.AddStage("rows.csv_lenient_parse", "rows");
+        s.in = io_stats.rows_total;
+        s.Drop("malformed", io_stats.rows_dropped_malformed);
+        s.Drop("non_utf8", io_stats.rows_dropped_non_utf8);
+        s.out = s.in - s.TotalDropped();
+      }
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("trips.store_rebuild", "trips");
+      s.in = trips_before_rebuild;
+      s.Drop("duplicate_id", injected.trips_dropped_duplicate_id);
+      s.out = results.raw_trips;
+    }
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("trips.cleaning", "trips");
+      s.in = cr.raw_trips;
+      s.Drop("empty", clean_faults.trips_dropped_empty);
+      s.out = cr.segmentation.trips_in;
+    }
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("points.sanitize", "points");
+      s.in = cr.raw_points;
+      s.Drop("nonfinite", clean_faults.points_dropped_nonfinite);
+      s.Drop("foreign_trip", clean_faults.points_dropped_foreign);
+      s.Drop("negative_speed", clean_faults.points_dropped_negative_speed);
+      s.Drop("out_of_region", clean_faults.points_dropped_out_of_region);
+      s.Drop("clock_jump", clean_faults.points_dropped_clock_jump);
+      s.out = cr.points_after_sanitize;
+    }
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("points.outlier_filter", "points");
+      s.in = cr.points_after_sanitize;
+      s.Drop("duplicate", cr.outliers.duplicates_removed);
+      s.Drop("spike", cr.outliers.spikes_removed);
+      s.Drop("implied_speed", cr.outliers.implied_speed_removed);
+      s.out = cr.points_after_outliers;
+    }
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("segments.filter", "segments");
+      s.in = cr.segmentation.segments_out;
+      s.Drop("too_few_points", cr.filter.removed_too_few_points);
+      s.Drop("too_long", cr.filter.removed_too_long);
+      s.out = cr.filter.kept;
+    }
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("segments.gate_selection", "segments");
+      s.in = static_cast<int64_t>(cleaned.size());
+      s.Drop("no_gate_crossing",
+             static_cast<int64_t>(cleaned.size()) - segments_selected);
+      s.out = segments_selected;
+    }
+    {
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("transitions.selection", "transitions");
+      s.in = transitions_examined;
+      s.Drop("direction_not_selected", dropped_direction);
+      s.Drop("outside_central_area", dropped_outside_central);
+      s.Drop("match_failed", dropped_match_failed);
+      s.Drop("unknown_gate", dropped_unknown_gate);
+      s.Drop("endpoint_filter", dropped_endpoint_filter);
+      s.out = transitions_post_filtered;
+    }
+    TAXITRACE_RETURN_IF_ERROR(funnel_ledger.CheckReconciles());
+
+    // Deterministic work counters from the matching machinery and the
+    // funnel endpoints. These feed the determinism tests; gauges below
+    // do not.
+    const roadnet::SpatialIndexStats idx = index.stats();
+    registry.counter("roadnet.spatial_index.queries")->Add(idx.queries);
+    registry.counter("roadnet.spatial_index.cells_probed")
+        ->Add(idx.cells_probed);
+    registry.counter("roadnet.spatial_index.candidates")
+        ->Add(idx.candidates);
+    registry.counter("roadnet.spatial_index.hits")->Add(idx.hits);
+    registry.counter("roadnet.spatial_index.empty_geometry_edges")
+        ->Add(idx.empty_geometry_edges);
+    const roadnet::RouterStats rt = matcher.gap_filler().router().stats();
+    registry.counter("roadnet.router.searches")->Add(rt.searches);
+    registry.counter("roadnet.router.heap_pops")->Add(rt.heap_pops);
+    registry.counter("roadnet.router.settled_vertices")
+        ->Add(rt.settled_vertices);
+    registry.counter("pipeline.trips_simulated")->Add(trips_simulated);
+    registry.counter("pipeline.segments_selected")->Add(segments_selected);
+    registry.counter("pipeline.transitions_matched")
+        ->Add(transitions_post_filtered);
+    registry.counter("pipeline.point_speeds")
+        ->Add(results.total_point_speeds);
+    if (config_.faults.Any()) {
+      registry.counter("fault.injected_total")
+          ->Add(injected.TotalInjected());
+      registry.counter("fault.dropped_total")
+          ->Add(results.cleaning_report.faults.TotalDropped());
+    }
+
+    // Executor load: scheduling-dependent by nature, hence gauges.
+    const ExecutorStats ex = executor.stats();
+    registry.gauge("executor.batches")->Set(static_cast<double>(ex.batches));
+    registry.gauge("executor.serial_items")
+        ->Set(static_cast<double>(ex.serial_items));
+    registry.gauge("executor.queue_wait_ms")->Set(ex.queue_wait_ms);
+    for (size_t w = 0; w < ex.items_per_worker.size(); ++w) {
+      registry.gauge(StrFormat("executor.worker%02d.items",
+                               static_cast<int>(w)))
+          ->Set(static_cast<double>(ex.items_per_worker[w]));
+    }
+
+    results.observability.enabled = true;
+    results.observability.funnel = funnel_ledger;
+    results.observability.counters = registry.Counters();
+    results.observability.gauges = registry.Gauges();
+    results.observability.histograms = registry.Histograms();
+    results.observability.spans = trace.records();
+  }
+
+  // Back-compat StageTimings, derived from the top-level stage spans.
+  StageTimings timings;
+  timings.simulation_threads = executor.num_threads();
+  timings.cleaning_threads = executor.num_threads();
+  timings.selection_matching_threads = executor.num_threads();
+  for (const obs::SpanRecord& r : trace.records()) {
+    if (r.name == "map_generation") {
+      timings.map_generation_ms = r.duration_ms;
+    } else if (r.name == "simulation") {
+      timings.simulation_ms = r.duration_ms;
+    } else if (r.name == "cleaning") {
+      timings.cleaning_ms = r.duration_ms;
+    } else if (r.name == "selection_matching") {
+      timings.selection_matching_ms = r.duration_ms;
+    } else if (r.name == "analysis") {
+      timings.analysis_ms = r.duration_ms;
+    }
+  }
   results.timings = timings;
   return results;
 }

@@ -17,6 +17,7 @@
 #include "taxitrace/mapmatch/match_report.h"
 #include "taxitrace/model/one_way_reml.h"
 #include "taxitrace/model/significance.h"
+#include "taxitrace/obs/observability.h"
 
 namespace taxitrace {
 namespace core {
@@ -30,6 +31,8 @@ struct MatchedTransition {
 
 /// Wall-clock cost of each pipeline stage, milliseconds, plus the
 /// worker-thread count each parallel stage ran with (0 = serial).
+/// Derived from the run's obs::Trace stage spans; kept as a flat
+/// struct for the existing report/bench call sites.
 struct StageTimings {
   double map_generation_ms = 0.0;
   double simulation_ms = 0.0;
@@ -108,6 +111,12 @@ struct StudyResults {
 
   /// Wall-clock cost of each stage of this run.
   StageTimings timings;
+
+  /// Metrics, funnel ledger and stage spans, populated only when
+  /// StudyConfig::observability.enabled; default-empty otherwise. The
+  /// funnel and counters are deterministic in the config seeds; gauges,
+  /// histograms of timings, and spans are observations of the run.
+  obs::StudySnapshot observability;
 
   /// All transition records (convenience view over `transitions`).
   [[nodiscard]] std::vector<analysis::TransitionRecord> Records() const;

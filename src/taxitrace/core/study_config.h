@@ -9,6 +9,7 @@
 #include "taxitrace/fault/fault_plan.h"
 #include "taxitrace/mapattr/attribute_fetcher.h"
 #include "taxitrace/mapmatch/incremental_matcher.h"
+#include "taxitrace/obs/observability.h"
 #include "taxitrace/odselect/od_gate.h"
 #include "taxitrace/odselect/transition_filter.h"
 #include "taxitrace/synth/city_map_generator.h"
@@ -36,6 +37,11 @@ struct StudyConfig {
   /// extra work); any nonzero probability also enables the cleaning
   /// sanitiser so the corrupted study still runs end to end.
   fault::FaultPlan faults;
+
+  /// Metrics / tracing / funnel collection. Off by default: a disabled
+  /// run takes the exact pre-observability code paths (no registry, no
+  /// funnel, empty StudyResults::observability).
+  obs::ObservabilityOptions observability;
 
   /// Worker threads for the parallel stages (simulation, cleaning,
   /// selection + matching): 0 = serial, -1 = resolve from the

@@ -49,6 +49,9 @@ class GapFiller {
 
   [[nodiscard]] const GapFillOptions& options() const { return options_; }
 
+  /// The underlying router, for reading its Dijkstra work counters.
+  [[nodiscard]] const roadnet::Router& router() const { return router_; }
+
  private:
   const roadnet::RoadNetwork* network_;
   roadnet::Router router_;

@@ -58,6 +58,9 @@ class IncrementalMatcher {
 
   [[nodiscard]] const MatcherOptions& options() const { return options_; }
 
+  /// The gap filler, for reading its router's Dijkstra work counters.
+  [[nodiscard]] const GapFiller& gap_filler() const { return gap_filler_; }
+
  private:
   const roadnet::RoadNetwork* network_;
   const roadnet::SpatialIndex* index_;

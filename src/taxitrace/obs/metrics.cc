@@ -1,0 +1,73 @@
+#include "taxitrace/obs/metrics.h"
+
+namespace taxitrace {
+namespace obs {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name,
+                                            double lo, double hi,
+                                            int num_bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<HistogramMetric>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>(lo, hi, num_bins);
+  }
+  return slot.get();
+}
+
+std::vector<CounterSample> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSample{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSample{name, gauge->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    const Histogram h = metric->snapshot();
+    HistogramSample sample;
+    sample.name = name;
+    sample.lo = h.BinLow(0);
+    // BinLow is pure arithmetic (lo + bin * width), so the one-past-
+    // the-end bin yields the histogram's upper bound.
+    sample.hi = h.BinLow(h.num_bins());
+    sample.counts.reserve(static_cast<size_t>(h.num_bins()));
+    for (int b = 0; b < h.num_bins(); ++b) sample.counts.push_back(h.count(b));
+    sample.total = h.total();
+    sample.nonfinite = h.nonfinite();
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace taxitrace

@@ -1,0 +1,145 @@
+// Named metrics for the pipeline's hot paths: counters, gauges and
+// fixed-bin value histograms, owned by a MetricsRegistry.
+//
+// The split encodes the repo's determinism contract:
+//   - Counter   totals of deterministic per-item work (probe counts,
+//               drop reasons, items processed). Increments are relaxed
+//               atomic adds, so counters may be bumped from worker
+//               threads; because each work unit contributes a fixed
+//               amount, the totals are identical at any thread count.
+//   - Gauge     point-in-time doubles (wall times, per-worker load).
+//               These are *observations of the run*, not of the data,
+//               and are allowed to differ between runs and thread
+//               counts. Nothing downstream of StudyResults may depend
+//               on a gauge.
+//   - HistogramMetric  a mutex-guarded common Histogram. Record from
+//               merge loops or the main thread for hot data.
+//
+// Registration (name -> metric) takes a lock; call sites resolve their
+// metric once and keep the returned pointer, which stays valid for the
+// registry's lifetime.
+
+#ifndef TAXITRACE_OBS_METRICS_H_
+#define TAXITRACE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/histogram.h"
+
+namespace taxitrace {
+namespace obs {
+
+/// Monotone event count. Thread-safe; increments are relaxed.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written double. Thread-safe but last-write-wins; intended for
+/// main-thread observations (timings, worker loads).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A mutex-guarded fixed-bin histogram (the common Histogram, which
+/// tallies non-finite values separately instead of hitting UB).
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, int num_bins)
+      : histogram_(lo, hi, num_bins) {}
+
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Add(value);
+  }
+
+  /// Copy of the current state.
+  [[nodiscard]] Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+/// One counter in a snapshot.
+struct CounterSample {
+  std::string name;
+  int64_t value = 0;
+  friend bool operator==(const CounterSample&, const CounterSample&) =
+      default;
+};
+
+/// One gauge in a snapshot.
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One histogram in a snapshot: bin edges via (lo, hi, counts.size()).
+struct HistogramSample {
+  std::string name;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<int64_t> counts;
+  int64_t total = 0;
+  int64_t nonfinite = 0;
+};
+
+/// Owns every metric of one study run. Lookup registers on first use;
+/// returned pointers stay valid until the registry is destroyed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The counter named `name`, created on first use.
+  Counter* counter(const std::string& name);
+
+  /// The gauge named `name`, created on first use.
+  Gauge* gauge(const std::string& name);
+
+  /// The histogram named `name`; `lo`/`hi`/`num_bins` apply on first
+  /// use and are ignored (TT_DCHECK-compatible no-op) afterwards.
+  HistogramMetric* histogram(const std::string& name, double lo, double hi,
+                             int num_bins);
+
+  /// Snapshots, sorted by metric name (std::map iteration order), so
+  /// two registries fed the same deterministic counts compare equal.
+  [[nodiscard]] std::vector<CounterSample> Counters() const;
+  [[nodiscard]] std::vector<GaugeSample> Gauges() const;
+  [[nodiscard]] std::vector<HistogramSample> Histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_OBS_METRICS_H_

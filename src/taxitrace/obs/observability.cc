@@ -1,0 +1,66 @@
+#include "taxitrace/obs/observability.h"
+
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace obs {
+
+std::string SnapshotJson(const StudySnapshot& snapshot) {
+  std::string out = "{\n";
+  out += StrFormat("  \"schema\": \"taxitrace-metrics/1\",\n");
+  out += StrFormat("  \"enabled\": %s,\n",
+                   snapshot.enabled ? "true" : "false");
+
+  out += "  \"funnel\": " + snapshot.funnel.Json() + ",\n";
+
+  out += "  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("\n    \"%s\": %lld", snapshot.counters[i].name.c_str(),
+                     static_cast<long long>(snapshot.counters[i].value));
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("\n    \"%s\": %.6g", snapshot.gauges[i].name.c_str(),
+                     snapshot.gauges[i].value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "\n    \"%s\": {\"lo\": %.6g, \"hi\": %.6g, \"total\": %lld, "
+        "\"nonfinite\": %lld, \"counts\": [",
+        h.name.c_str(), h.lo, h.hi, static_cast<long long>(h.total),
+        static_cast<long long>(h.nonfinite));
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ",";
+      out += StrFormat("%lld", static_cast<long long>(h.counts[b]));
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": " + TraceJson(snapshot.spans) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string SnapshotText(const StudySnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.funnel.empty()) {
+    out += "Funnel:\n" + snapshot.funnel.Table() + "\n";
+  }
+  if (!snapshot.spans.empty()) {
+    out += "Stage spans:\n" + TraceTree(snapshot.spans);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace taxitrace

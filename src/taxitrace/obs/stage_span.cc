@@ -1,0 +1,142 @@
+#include "taxitrace/obs/stage_span.h"
+
+#include <atomic>
+#include <iterator>
+#include <utility>
+
+#include "taxitrace/common/check.h"
+#include "taxitrace/common/strings.h"
+
+namespace taxitrace {
+namespace obs {
+namespace {
+
+// Small stable per-thread ids (first thread to trace gets 0), instead
+// of hashing std::thread::id — readable in dumps and keeps <thread>
+// out of the observability layer.
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{0};
+  thread_local const uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Per-thread stack of open spans, used to derive parent/depth. Entries
+// are (trace, record index); a thread may interleave spans of several
+// traces, so Begin links only to the innermost span of the same trace.
+thread_local std::vector<std::pair<const Trace*, int>> tls_open_spans;
+
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Trace::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Trace::Begin(std::string name) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.thread_id = ThisThreadId();
+  record.start_ms = NowMs();
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend();
+       ++it) {
+    if (it->first == this) {
+      record.parent = it->second;
+      break;
+    }
+  }
+  int index = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (record.parent >= 0) {
+      record.depth =
+          records_[static_cast<size_t>(record.parent)].depth + 1;
+    }
+    index = static_cast<int>(records_.size());
+    records_.push_back(std::move(record));
+  }
+  tls_open_spans.emplace_back(this, index);
+  return index;
+}
+
+void Trace::End(int index, int64_t items) {
+  TT_CHECK(index >= 0);
+  const double end_ms = NowMs();
+  // Spans close in RAII order, so the entry is the thread's innermost
+  // span of this trace; erase it wherever it sits to stay robust.
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend();
+       ++it) {
+    if (it->first == this && it->second == index) {
+      tls_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TT_CHECK(static_cast<size_t>(index) < records_.size());
+  SpanRecord& record = records_[static_cast<size_t>(index)];
+  record.duration_ms = end_ms - record.start_ms;
+  record.items = items;
+}
+
+std::vector<SpanRecord> Trace::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+StageSpan::StageSpan(Trace* trace, std::string name) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  index_ = trace_->Begin(std::move(name));
+  begin_ms_ = trace_->NowMs();
+}
+
+StageSpan::~StageSpan() { Finish(); }
+
+double StageSpan::ElapsedMs() const {
+  if (trace_ == nullptr) return 0.0;
+  return trace_->NowMs() - begin_ms_;
+}
+
+void StageSpan::Finish() {
+  if (trace_ == nullptr || index_ < 0) return;
+  trace_->End(index_, items_);
+  index_ = -1;
+}
+
+std::string TraceJson(const std::vector<SpanRecord>& records) {
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "\n    {\"name\": \"%s\", \"parent\": %d, \"depth\": %d, "
+        "\"thread\": %llu, \"start_ms\": %.3f, \"duration_ms\": %.3f, "
+        "\"items\": %lld}",
+        r.name.c_str(), r.parent, r.depth,
+        static_cast<unsigned long long>(r.thread_id), r.start_ms,
+        r.duration_ms, static_cast<long long>(r.items));
+  }
+  out += records.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+std::string TraceTree(const std::vector<SpanRecord>& records) {
+  std::string out;
+  // Records are in begin order, which for single-rooted stage traces is
+  // also pre-order; render each with its nesting indentation.
+  for (const SpanRecord& r : records) {
+    out += StrFormat("%*s%-*s %9.1f ms", r.depth * 2, "",
+                     28 - r.depth * 2, r.name.c_str(), r.duration_ms);
+    if (r.items > 0) {
+      out += StrFormat("  %lld items", static_cast<long long>(r.items));
+    }
+    out += StrFormat("  [t%llu]\n",
+                     static_cast<unsigned long long>(r.thread_id));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace taxitrace

@@ -1,0 +1,97 @@
+// RAII stage tracing: a Trace collects SpanRecords (name, nesting,
+// thread, wall time, items processed) and renders them as JSON or as a
+// flame-style text tree. Spans nest per thread: a StageSpan opened
+// while another span of the same Trace is open on the same thread
+// becomes its child.
+//
+// This is the only sanctioned home for wall-clock timing in the
+// library besides the Executor's queue accounting — the tt_lint
+// `adhoc-timing` rule bans std::chrono elsewhere in src/ so every
+// stage cost flows through one uniform record.
+
+#ifndef TAXITRACE_OBS_STAGE_SPAN_H_
+#define TAXITRACE_OBS_STAGE_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace taxitrace {
+namespace obs {
+
+/// One finished (or still-open) span.
+struct SpanRecord {
+  std::string name;
+  int parent = -1;  ///< Index of the enclosing span in the trace, -1 = root.
+  int depth = 0;
+  uint64_t thread_id = 0;    ///< Hash of the opening thread's id.
+  double start_ms = 0.0;     ///< Offset from the trace's construction.
+  double duration_ms = 0.0;  ///< 0 while the span is still open.
+  int64_t items = 0;         ///< Caller-reported items processed.
+};
+
+/// Collects spans for one study run. Thread-safe; span begin/end from
+/// worker threads is allowed (each thread keeps its own nesting stack).
+class Trace {
+ public:
+  Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span and returns its record index.
+  int Begin(std::string name);
+
+  /// Closes the span opened by `Begin` and stores its duration/items.
+  void End(int index, int64_t items);
+
+  /// Milliseconds since the trace was constructed.
+  [[nodiscard]] double NowMs() const;
+
+  /// Copy of every record, in begin order.
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+};
+
+/// RAII handle over Trace::Begin/End. A null trace makes every method a
+/// no-op, so call sites need no `if (enabled)` guards.
+class StageSpan {
+ public:
+  StageSpan(Trace* trace, std::string name);
+  ~StageSpan();
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// Adds to the span's items-processed tally.
+  void AddItems(int64_t n) { items_ += n; }
+
+  /// Wall time since the span opened (0 on a null trace).
+  [[nodiscard]] double ElapsedMs() const;
+
+  /// Closes the span early (the destructor then does nothing).
+  void Finish();
+
+ private:
+  Trace* trace_;
+  int index_ = -1;
+  int64_t items_ = 0;
+  double begin_ms_ = 0.0;
+};
+
+/// JSON array of span objects, in begin order.
+std::string TraceJson(const std::vector<SpanRecord>& records);
+
+/// Flame-style text tree: indentation = nesting, with per-span wall
+/// time and item counts.
+std::string TraceTree(const std::vector<SpanRecord>& records);
+
+}  // namespace obs
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_OBS_STAGE_SPAN_H_

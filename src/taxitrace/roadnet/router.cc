@@ -21,7 +21,8 @@ struct QueueEntry {
 
 }  // namespace
 
-Router::Router(const RoadNetwork* network) : network_(network) {}
+Router::Router(const RoadNetwork* network)
+    : network_(network), search_stats_(std::make_shared<AtomicStats>()) {}
 
 Router::VertexSearchResult Router::Search(
     const std::vector<std::pair<VertexId, double>>& seeds,
@@ -45,11 +46,15 @@ Router::VertexSearchResult Router::Search(
 
   bool settled_a = stop_at_both_a == kInvalidVertex;
   bool settled_b = stop_at_both_b == kInvalidVertex;
+  int64_t heap_pops = 0;
+  int64_t settled = 0;
   while (!queue.empty()) {
     const QueueEntry top = queue.top();
     queue.pop();
+    ++heap_pops;
     const size_t u = static_cast<size_t>(top.vertex);
     if (top.dist > res.dist[u]) continue;  // stale entry
+    ++settled;
     if (top.vertex == stop_at_both_a) settled_a = true;
     if (top.vertex == stop_at_both_b) settled_b = true;
     if (settled_a && settled_b) break;
@@ -72,7 +77,21 @@ Router::VertexSearchResult Router::Search(
       }
     }
   }
+  // Batched tallies: three relaxed adds per search, nothing per pop.
+  search_stats_->searches.fetch_add(1, std::memory_order_relaxed);
+  search_stats_->heap_pops.fetch_add(heap_pops, std::memory_order_relaxed);
+  search_stats_->settled_vertices.fetch_add(settled,
+                                            std::memory_order_relaxed);
   return res;
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.searches = search_stats_->searches.load(std::memory_order_relaxed);
+  s.heap_pops = search_stats_->heap_pops.load(std::memory_order_relaxed);
+  s.settled_vertices =
+      search_stats_->settled_vertices.load(std::memory_order_relaxed);
+  return s;
 }
 
 Result<Path> Router::ShortestPath(

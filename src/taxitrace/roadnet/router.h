@@ -5,6 +5,8 @@
 #ifndef TAXITRACE_ROADNET_ROUTER_H_
 #define TAXITRACE_ROADNET_ROUTER_H_
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "taxitrace/common/result.h"
@@ -12,6 +14,15 @@
 
 namespace taxitrace {
 namespace roadnet {
+
+/// Dijkstra work accounting, readable via Router::stats(). Each search
+/// does deterministic work, so the totals are identical at any thread
+/// count.
+struct RouterStats {
+  int64_t searches = 0;          ///< Dijkstra runs.
+  int64_t heap_pops = 0;         ///< Priority-queue pops, stale included.
+  int64_t settled_vertices = 0;  ///< Vertices finalised (non-stale pops).
+};
 
 /// A traversal of one edge within a path.
 struct PathStep {
@@ -55,6 +66,9 @@ class Router {
 
   [[nodiscard]] const RoadNetwork& network() const { return *network_; }
 
+  /// Snapshot of the search counters accumulated so far.
+  [[nodiscard]] RouterStats stats() const;
+
  private:
   struct VertexSearchResult {
     std::vector<double> dist;
@@ -69,7 +83,16 @@ class Router {
       VertexId stop_at_both_b = kInvalidVertex,
       const std::vector<double>* edge_cost_multiplier = nullptr) const;
 
+  // Search counters behind a shared_ptr so the router stays copyable;
+  // each Search() batches its local tallies into three relaxed adds.
+  struct AtomicStats {
+    std::atomic<int64_t> searches{0};
+    std::atomic<int64_t> heap_pops{0};
+    std::atomic<int64_t> settled_vertices{0};
+  };
+
   const RoadNetwork* network_;
+  std::shared_ptr<AtomicStats> search_stats_;
 };
 
 }  // namespace roadnet

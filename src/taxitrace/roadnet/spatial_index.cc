@@ -8,10 +8,35 @@ namespace taxitrace {
 namespace roadnet {
 
 SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
-    : network_(network), cell_size_m_(cell_size_m) {
+    : network_(network),
+      cell_size_m_(cell_size_m),
+      query_stats_(std::make_shared<AtomicStats>()) {
   for (const Edge& e : network_->edges()) {
     const std::vector<geo::EnPoint>& pts = e.geometry.points();
+    if (pts.empty()) {
+      // An edge with no geometry has no position to index; dropping it
+      // here would make Nearby/Nearest silently blind to it, so the
+      // drop is counted and surfaced through stats().
+      ++empty_geometry_edges_;
+      continue;
+    }
     std::unordered_set<uint64_t> edge_cells;
+    const auto insert_cell = [&](const geo::EnPoint& p) {
+      const CellKey key = KeyFor(p);
+      const uint64_t packed =
+          (static_cast<uint64_t>(static_cast<uint32_t>(key.cx)) << 32) |
+          static_cast<uint32_t>(key.cy);
+      if (edge_cells.insert(packed).second) {
+        cells_[key].push_back(e.id);
+      }
+    };
+    if (pts.size() == 1) {
+      // Single-point (zero-length) geometry: the old segment loop
+      // skipped these edges entirely and queries near them missed a
+      // real edge. Index the lone point's cell instead.
+      insert_cell(pts[0]);
+      continue;
+    }
     for (size_t i = 0; i + 1 < pts.size(); ++i) {
       // Walk the segment at sub-cell steps so no crossed cell is missed.
       const double len = geo::Distance(pts[i], pts[i + 1]);
@@ -19,14 +44,7 @@ SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
           std::max(1, static_cast<int>(std::ceil(len / (cell_size_m_ / 2))));
       for (int k = 0; k <= steps; ++k) {
         const double t = static_cast<double>(k) / steps;
-        const geo::EnPoint p = pts[i] + t * (pts[i + 1] - pts[i]);
-        const CellKey key = KeyFor(p);
-        const uint64_t packed =
-            (static_cast<uint64_t>(static_cast<uint32_t>(key.cx)) << 32) |
-            static_cast<uint32_t>(key.cy);
-        if (edge_cells.insert(packed).second) {
-          cells_[key].push_back(e.id);
-        }
+        insert_cell(pts[i] + t * (pts[i + 1] - pts[i]));
       }
     }
   }
@@ -45,9 +63,11 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
   const int reach =
       static_cast<int>(std::ceil(radius_m / cell_size_m_)) + 1;
   const CellKey center = KeyFor(p);
+  int64_t cells_probed = 0;
   std::unordered_set<EdgeId> candidate_edges;
   for (int dx = -reach; dx <= reach; ++dx) {
     for (int dy = -reach; dy <= reach; ++dy) {
+      ++cells_probed;
       const auto it =
           cells_.find(CellKey{center.cx + dx, center.cy + dy});
       if (it == cells_.end()) continue;
@@ -69,6 +89,17 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
               }
               return a.edge < b.edge;
             });
+
+  // Counters are batched into a few relaxed adds per query; sums over
+  // deterministic per-query work, so totals are thread-count-invariant.
+  query_stats_->queries.fetch_add(1, std::memory_order_relaxed);
+  query_stats_->cells_probed.fetch_add(cells_probed,
+                                       std::memory_order_relaxed);
+  query_stats_->candidates.fetch_add(
+      static_cast<int64_t>(candidate_edges.size()),
+      std::memory_order_relaxed);
+  query_stats_->hits.fetch_add(static_cast<int64_t>(out.size()),
+                               std::memory_order_relaxed);
   return out;
 }
 
@@ -83,6 +114,16 @@ std::optional<EdgeCandidate> SpatialIndex::Nearest(
     radius *= 2;
   }
   return std::nullopt;
+}
+
+SpatialIndexStats SpatialIndex::stats() const {
+  SpatialIndexStats s;
+  s.queries = query_stats_->queries.load(std::memory_order_relaxed);
+  s.cells_probed = query_stats_->cells_probed.load(std::memory_order_relaxed);
+  s.candidates = query_stats_->candidates.load(std::memory_order_relaxed);
+  s.hits = query_stats_->hits.load(std::memory_order_relaxed);
+  s.empty_geometry_edges = empty_geometry_edges_;
+  return s;
 }
 
 }  // namespace roadnet

@@ -4,6 +4,8 @@
 #ifndef TAXITRACE_ROADNET_SPATIAL_INDEX_H_
 #define TAXITRACE_ROADNET_SPATIAL_INDEX_H_
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +19,17 @@ namespace roadnet {
 struct EdgeCandidate {
   EdgeId edge = kInvalidEdge;
   geo::PolylineProjection projection;  ///< Nearest point on the edge.
+};
+
+/// Probe accounting, readable at any time via SpatialIndex::stats().
+/// The counters are sums over deterministic per-query work, so their
+/// totals are identical at any thread count.
+struct SpatialIndexStats {
+  int64_t queries = 0;        ///< Nearby() calls (Nearest() makes several).
+  int64_t cells_probed = 0;   ///< grid-cell lookups performed.
+  int64_t candidates = 0;     ///< distinct edges distance-checked.
+  int64_t hits = 0;           ///< candidates returned within the radius.
+  int64_t empty_geometry_edges = 0;  ///< edges dropped at build time.
 };
 
 /// Uniform grid over the bounding box of a network's edges. Each cell
@@ -41,6 +54,9 @@ class SpatialIndex {
   /// The network this index was built over.
   [[nodiscard]] const RoadNetwork& network() const { return *network_; }
 
+  /// Snapshot of the probe counters accumulated so far.
+  [[nodiscard]] SpatialIndexStats stats() const;
+
  private:
   struct CellKey {
     int32_t cx;
@@ -57,9 +73,21 @@ class SpatialIndex {
 
   [[nodiscard]] CellKey KeyFor(const geo::EnPoint& p) const;
 
+  // Query counters live behind a shared_ptr so the index stays
+  // copyable; queries batch their increments (a handful of relaxed
+  // atomic adds per call) to keep the hot path unchanged.
+  struct AtomicStats {
+    std::atomic<int64_t> queries{0};
+    std::atomic<int64_t> cells_probed{0};
+    std::atomic<int64_t> candidates{0};
+    std::atomic<int64_t> hits{0};
+  };
+
   const RoadNetwork* network_;
   double cell_size_m_;
   std::unordered_map<CellKey, std::vector<EdgeId>, CellKeyHash> cells_;
+  std::shared_ptr<AtomicStats> query_stats_;
+  int64_t empty_geometry_edges_ = 0;
 };
 
 }  // namespace roadnet

@@ -27,6 +27,13 @@ grep -q "LineString" routes.geojson
 
 "$CLI" analyze segments.csv | grep -q "Mixed model"
 
+# The observability-enabled study prints a reconciled funnel and writes
+# the snapshot JSON when asked.
+"$CLI" study --metrics-json metrics.json 2 7 | grep -q "transitions.selection"
+test -s metrics.json
+grep -q '"funnel"' metrics.json
+grep -q '"counters"' metrics.json
+
 # Unknown commands fail cleanly.
 if "$CLI" frobnicate 2>/dev/null; then
   echo "expected failure for unknown command" >&2

@@ -1,0 +1,268 @@
+// Unit tests for the observability layer: metrics registry, funnel
+// ledger reconciliation, and stage-span tracing.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "taxitrace/obs/funnel.h"
+#include "taxitrace/obs/metrics.h"
+#include "taxitrace/obs/observability.h"
+#include "taxitrace/obs/stage_span.h"
+
+namespace taxitrace {
+namespace obs {
+namespace {
+
+// --- MetricsRegistry ----------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterRegistersOnFirstUseAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("clean.raw_trips");
+  c->Add();
+  c->Add(41);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(registry.counter("clean.raw_trips"), c);
+  EXPECT_EQ(c->value(), 42);
+
+  const std::vector<CounterSample> samples = registry.Counters();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0], (CounterSample{"clean.raw_trips", 42}));
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zeta")->Add(1);
+  registry.counter("alpha")->Add(2);
+  registry.counter("mid")->Add(3);
+  const std::vector<CounterSample> samples = registry.Counters();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[1].name, "mid");
+  EXPECT_EQ(samples[2].name, "zeta");
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("executor.queue_wait_ms");
+  g->Set(1.5);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  const auto gauges = registry.Gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].name, "executor.queue_wait_ms");
+  EXPECT_DOUBLE_EQ(gauges[0].value, 2.5);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotCarriesBinsAndNonFinite) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("speeds", 0.0, 10.0, 5);
+  h->Record(1.0);
+  h->Record(9.0);
+  h->Record(std::numeric_limits<double>::infinity());
+  const auto histograms = registry.Histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  const HistogramSample& sample = histograms[0];
+  EXPECT_EQ(sample.name, "speeds");
+  EXPECT_DOUBLE_EQ(sample.lo, 0.0);
+  EXPECT_DOUBLE_EQ(sample.hi, 10.0);
+  ASSERT_EQ(sample.counts.size(), 5u);
+  EXPECT_EQ(sample.total, 2);
+  EXPECT_EQ(sample.nonfinite, 1);
+  int64_t binned = 0;
+  for (int64_t c : sample.counts) binned += c;
+  EXPECT_EQ(binned, 2);
+}
+
+TEST(MetricsRegistryTest, TwoRegistriesFedTheSameCountsCompareEqual) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  // Registration order differs; snapshots must not.
+  a.counter("x")->Add(7);
+  a.counter("y")->Add(9);
+  b.counter("y")->Add(9);
+  b.counter("x")->Add(7);
+  EXPECT_EQ(a.Counters(), b.Counters());
+}
+
+// --- FunnelLedger -------------------------------------------------------------
+
+TEST(FunnelTest, DropAccumulatesByReasonPreservingOrder) {
+  FunnelStage stage;
+  stage.Drop("spike", 3);
+  stage.Drop("duplicate", 2);
+  stage.Drop("spike", 4);
+  ASSERT_EQ(stage.drops.size(), 2u);
+  EXPECT_EQ(stage.drops[0], (FunnelDrop{"spike", 7}));
+  EXPECT_EQ(stage.drops[1], (FunnelDrop{"duplicate", 2}));
+  EXPECT_EQ(stage.TotalDropped(), 9);
+}
+
+TEST(FunnelTest, CheckReconcilesAcceptsBalancedStages) {
+  FunnelLedger ledger;
+  FunnelStage& clean = ledger.AddStage("points.sanitize", "points");
+  clean.in = 100;
+  clean.Drop("bad_coordinate", 4);
+  clean.out = 96;
+  FunnelStage& filter = ledger.AddStage("segments.filter", "segments");
+  filter.in = 10;
+  filter.out = 10;
+  EXPECT_TRUE(ledger.CheckReconciles().ok());
+}
+
+TEST(FunnelTest, CheckReconcilesNamesTheViolatingStage) {
+  FunnelLedger ledger;
+  FunnelStage& ok = ledger.AddStage("trips.cleaning", "trips");
+  ok.in = 5;
+  ok.out = 5;
+  FunnelStage& bad = ledger.AddStage("points.sanitize", "points");
+  bad.in = 100;
+  bad.Drop("spike", 1);
+  bad.out = 96;  // 3 points unaccounted for.
+  const Status status = ledger.CheckReconciles();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("points.sanitize"), std::string::npos);
+}
+
+TEST(FunnelTest, FindLocatesStagesByName) {
+  FunnelLedger ledger;
+  ledger.AddStage("a", "trips").in = 1;
+  EXPECT_NE(ledger.Find("a"), nullptr);
+  EXPECT_EQ(ledger.Find("missing"), nullptr);
+}
+
+TEST(FunnelTest, TableAndJsonRenderEveryStage) {
+  FunnelLedger ledger;
+  FunnelStage& stage = ledger.AddStage("transitions.selection", "transitions");
+  stage.in = 32;
+  stage.Drop("direction_not_selected", 12);
+  stage.Drop("endpoint_filter", 1);
+  stage.out = 19;
+  const std::string table = ledger.Table();
+  EXPECT_NE(table.find("transitions.selection"), std::string::npos);
+  EXPECT_NE(table.find("direction_not_selected"), std::string::npos);
+  const std::string json = ledger.Json();
+  EXPECT_NE(json.find("\"transitions.selection\""), std::string::npos);
+  EXPECT_NE(json.find("\"endpoint_filter\""), std::string::npos);
+}
+
+// --- Trace / StageSpan --------------------------------------------------------
+
+TEST(StageSpanTest, SpansNestOnOneThread) {
+  Trace trace;
+  {
+    StageSpan outer(&trace, "cleaning");
+    outer.AddItems(10);
+    {
+      StageSpan inner(&trace, "outlier_filter");
+      inner.AddItems(3);
+    }
+  }
+  const std::vector<SpanRecord> records = trace.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "cleaning");
+  EXPECT_EQ(records[0].parent, -1);
+  EXPECT_EQ(records[0].depth, 0);
+  EXPECT_EQ(records[0].items, 10);
+  EXPECT_EQ(records[1].name, "outlier_filter");
+  EXPECT_EQ(records[1].parent, 0);
+  EXPECT_EQ(records[1].depth, 1);
+  EXPECT_EQ(records[1].items, 3);
+  EXPECT_EQ(records[0].thread_id, records[1].thread_id);
+  // Both spans closed, so both carry a duration.
+  EXPECT_GE(records[0].duration_ms, records[1].duration_ms);
+}
+
+TEST(StageSpanTest, FinishClosesEarlyAndDestructorIsIdempotent) {
+  Trace trace;
+  StageSpan span(&trace, "simulation");
+  span.AddItems(5);
+  span.Finish();
+  const auto after_finish = trace.records();
+  ASSERT_EQ(after_finish.size(), 1u);
+  EXPECT_EQ(after_finish[0].items, 5);
+  // Items added after Finish, and the destructor, change nothing.
+  span.AddItems(100);
+  EXPECT_EQ(trace.records()[0].items, 5);
+}
+
+TEST(StageSpanTest, NullTraceIsANoOp) {
+  StageSpan span(nullptr, "disabled");
+  span.AddItems(7);
+  EXPECT_DOUBLE_EQ(span.ElapsedMs(), 0.0);
+  span.Finish();  // Must not crash.
+}
+
+TEST(StageSpanTest, SiblingSpansShareAParent) {
+  Trace trace;
+  StageSpan parent(&trace, "pipeline");
+  { StageSpan a(&trace, "first"); }
+  { StageSpan b(&trace, "second"); }
+  parent.Finish();
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1].parent, 0);
+  EXPECT_EQ(records[2].parent, 0);
+}
+
+TEST(StageSpanTest, RenderersCoverEveryRecord) {
+  Trace trace;
+  {
+    StageSpan outer(&trace, "analysis");
+    StageSpan inner(&trace, "grid");
+    inner.Finish();
+  }
+  const auto records = trace.records();
+  const std::string json = TraceJson(records);
+  EXPECT_NE(json.find("\"analysis\""), std::string::npos);
+  EXPECT_NE(json.find("\"grid\""), std::string::npos);
+  const std::string tree = TraceTree(records);
+  EXPECT_NE(tree.find("analysis"), std::string::npos);
+  EXPECT_NE(tree.find("grid"), std::string::npos);
+}
+
+// --- Snapshot rendering -------------------------------------------------------
+
+StudySnapshot MakeSnapshot() {
+  StudySnapshot snapshot;
+  snapshot.enabled = true;
+  FunnelStage& stage = snapshot.funnel.AddStage("trips.cleaning", "trips");
+  stage.in = 4;
+  stage.Drop("empty", 1);
+  stage.out = 3;
+  snapshot.counters.push_back({"roadnet.router.searches", 11});
+  snapshot.gauges.push_back({"executor.queue_wait_ms", 0.25});
+  HistogramSample sample;
+  sample.name = "clean.points_per_segment";
+  sample.lo = 0.0;
+  sample.hi = 10.0;
+  sample.counts = {1, 0};
+  sample.total = 1;
+  snapshot.histograms.push_back(sample);
+  SpanRecord span;
+  span.name = "cleaning";
+  span.duration_ms = 1.0;
+  snapshot.spans.push_back(span);
+  return snapshot;
+}
+
+TEST(SnapshotTest, JsonMentionsEverySection) {
+  const std::string json = SnapshotJson(MakeSnapshot());
+  EXPECT_NE(json.find("\"trips.cleaning\""), std::string::npos);
+  EXPECT_NE(json.find("\"roadnet.router.searches\""), std::string::npos);
+  EXPECT_NE(json.find("\"executor.queue_wait_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean.points_per_segment\""), std::string::npos);
+  EXPECT_NE(json.find("\"cleaning\""), std::string::npos);
+}
+
+TEST(SnapshotTest, TextShowsFunnelAndSpans) {
+  const std::string text = SnapshotText(MakeSnapshot());
+  EXPECT_NE(text.find("trips.cleaning"), std::string::npos);
+  EXPECT_NE(text.find("cleaning"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace taxitrace

@@ -13,10 +13,12 @@ namespace taxitrace {
 namespace {
 
 core::StudyResults RunWithThreads(int num_threads,
-                                  const fault::FaultPlan& faults = {}) {
+                                  const fault::FaultPlan& faults = {},
+                                  bool observability = false) {
   core::StudyConfig config = core::StudyConfig::SmallStudy();
   config.num_threads = num_threads;
   config.faults = faults;
+  config.observability.enabled = observability;
   core::Pipeline pipeline(config);
   auto run = pipeline.Run();
   TT_CHECK_OK(run.status());
@@ -191,6 +193,78 @@ TEST(ParallelDeterminismTest, FaultedTwoWorkersMatchSerial) {
 TEST(ParallelDeterminismTest, FaultedEightWorkersMatchSerial) {
   ExpectIdenticalResults(FaultedSerialReference(),
                          RunWithThreads(8, fault::FaultPlan::Uniform(0.02)));
+}
+
+// Observability legs. Two contracts at once: collecting metrics must
+// not perturb StudyResults (a metrics-on run equals the metrics-off
+// serial reference, field for field), and the deterministic half of the
+// snapshot — the funnel ledger and the counters — must be identical at
+// any worker count. Gauges and spans are run-dependent by design and
+// are deliberately not compared.
+const core::StudyResults& ObservedSerialReference() {
+  static const core::StudyResults reference =
+      RunWithThreads(0, {}, /*observability=*/true);
+  return reference;
+}
+
+void ExpectIdenticalObservability(const core::StudyResults& a,
+                                  const core::StudyResults& b) {
+  ASSERT_TRUE(a.observability.enabled);
+  ASSERT_TRUE(b.observability.enabled);
+  EXPECT_EQ(a.observability.funnel, b.observability.funnel);
+  EXPECT_EQ(a.observability.counters, b.observability.counters);
+}
+
+TEST(ParallelDeterminismTest, MetricsOffRunHasEmptySnapshot) {
+  const core::StudyResults& r = SerialReference();
+  EXPECT_FALSE(r.observability.enabled);
+  EXPECT_TRUE(r.observability.funnel.empty());
+  EXPECT_TRUE(r.observability.counters.empty());
+  EXPECT_TRUE(r.observability.spans.empty());
+}
+
+TEST(ParallelDeterminismTest, MetricsDoNotPerturbSerialResults) {
+  ExpectIdenticalResults(SerialReference(), ObservedSerialReference());
+  const Status reconciles =
+      ObservedSerialReference().observability.funnel.CheckReconciles();
+  EXPECT_TRUE(reconciles.ok()) << reconciles.ToString();
+}
+
+TEST(ParallelDeterminismTest, MetricsOnOneWorkerMatchesSerial) {
+  const core::StudyResults run = RunWithThreads(1, {}, true);
+  ExpectIdenticalResults(SerialReference(), run);
+  ExpectIdenticalObservability(ObservedSerialReference(), run);
+}
+
+TEST(ParallelDeterminismTest, MetricsOnTwoWorkersMatchSerial) {
+  const core::StudyResults run = RunWithThreads(2, {}, true);
+  ExpectIdenticalResults(SerialReference(), run);
+  ExpectIdenticalObservability(ObservedSerialReference(), run);
+}
+
+TEST(ParallelDeterminismTest, MetricsOnEightWorkersMatchSerial) {
+  const core::StudyResults run = RunWithThreads(8, {}, true);
+  ExpectIdenticalResults(SerialReference(), run);
+  ExpectIdenticalObservability(ObservedSerialReference(), run);
+}
+
+// With fault injection on, the funnel gains the store-rebuild (and,
+// with file faults, the CSV parse) stages — and still reconciles
+// exactly, in == out + dropped, at every stage.
+TEST(ParallelDeterminismTest, FaultedFunnelReconcilesAcrossWorkers) {
+  const core::StudyResults serial =
+      RunWithThreads(0, fault::FaultPlan::Uniform(0.02), true);
+  ExpectIdenticalResults(FaultedSerialReference(), serial);
+  const Status reconciles =
+      serial.observability.funnel.CheckReconciles();
+  EXPECT_TRUE(reconciles.ok()) << reconciles.ToString();
+  EXPECT_NE(serial.observability.funnel.Find("trips.store_rebuild"),
+            nullptr);
+
+  const core::StudyResults parallel =
+      RunWithThreads(8, fault::FaultPlan::Uniform(0.02), true);
+  ExpectIdenticalResults(FaultedSerialReference(), parallel);
+  ExpectIdenticalObservability(serial, parallel);
 }
 
 TEST(ParallelDeterminismTest, ThreadCountsAreRecorded) {

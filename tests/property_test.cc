@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "taxitrace/clean/cleaning_pipeline.h"
+#include "taxitrace/common/histogram.h"
 #include "taxitrace/common/random.h"
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/mapmatch/match_quality.h"
@@ -481,6 +483,60 @@ TEST(CleaningSweepTest, SegmentationNeverKeepsAStopGapInsideASegment) {
     }
   }
 }
+
+// --- Histogram invariants across seeds and shapes -----------------------------
+
+class HistogramSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(HistogramSweepTest, QuantilesAreMonotoneAndBounded) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const double lo = rng.Uniform(-50.0, 0.0);
+  const double hi = lo + rng.Uniform(1.0, 100.0);
+  Histogram h(lo, hi, 1 + static_cast<int>(rng.UniformInt(1, 64)));
+  for (int i = 0; i < 500; ++i) {
+    // Deliberately overshoot the range so clamping is exercised too.
+    h.Add(rng.Gaussian((lo + hi) / 2.0, (hi - lo)));
+  }
+  // Quantile is non-decreasing in q and never leaves [lo, hi].
+  double prev = h.Quantile(0.0);
+  EXPECT_GE(prev, lo);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.Quantile(q);
+    EXPECT_GE(cur, prev) << "seed " << seed << " q " << q;
+    prev = cur;
+  }
+  EXPECT_LE(h.Quantile(1.0), hi);
+  // The mode is the low edge of some bin, so it lies in [lo, hi).
+  EXPECT_GE(h.Mode(), lo);
+  EXPECT_LT(h.Mode(), hi);
+}
+
+TEST_P(HistogramSweepTest, NonFiniteMassNeverMovesQuantiles) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Histogram clean(0.0, 50.0, 25);
+  Histogram dirty(0.0, 50.0, 25);
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.Gaussian(25.0, 10.0);
+    clean.Add(v);
+    dirty.Add(v);
+    if (i % 7 == 0) {
+      dirty.Add(std::numeric_limits<double>::quiet_NaN());
+      dirty.Add(std::numeric_limits<double>::infinity());
+    }
+  }
+  EXPECT_EQ(dirty.total(), clean.total());
+  EXPECT_GT(dirty.nonfinite(), 0);
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    EXPECT_DOUBLE_EQ(dirty.Quantile(q), clean.Quantile(q))
+        << "seed " << seed << " q " << q;
+  }
+  EXPECT_DOUBLE_EQ(dirty.Mode(), clean.Mode());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramSweepTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21));
 
 }  // namespace
 }  // namespace taxitrace

@@ -291,6 +291,77 @@ TEST_F(SpatialIndexTest, NearestRespectsCap) {
   EXPECT_FALSE(index_.Nearest(EnPoint{5000, 5000}, 100.0).has_value());
 }
 
+TEST_F(SpatialIndexTest, CountsProbeWork) {
+  (void)index_.Nearby(EnPoint{2, 2}, 10.0);
+  (void)index_.Nearby(EnPoint{500, 500}, 30.0);
+  const SpatialIndexStats stats = index_.stats();
+  EXPECT_EQ(stats.queries, 2);
+  EXPECT_GT(stats.cells_probed, 0);
+  EXPECT_GE(stats.candidates, 4);  // the four arms at the junction
+  EXPECT_EQ(stats.hits, 4);        // the far query returned nothing
+  EXPECT_EQ(stats.empty_geometry_edges, 0);
+}
+
+// Regression: the index build walked geometry segments (i, i+1), so an
+// edge whose polyline had fewer than two points was never inserted into
+// any cell and could not be found by Nearby/Nearest at all. A
+// single-point geometry is now indexed at its lone point; an empty
+// geometry has no location to index and is dropped with a counted
+// reason instead of silently.
+TEST(SpatialIndexDegenerateTest, SinglePointGeometryIsFindable) {
+  RoadNetwork net(kOrigin);
+  const VertexId a = net.AddVertex({0, 0}, false);
+  const VertexId b = net.AddVertex({200, 0}, false);
+  Edge normal;
+  normal.from = a;
+  normal.to = b;
+  normal.geometry = geo::Polyline({{0, 0}, {200, 0}});
+  net.AddEdge(std::move(normal));
+
+  const VertexId c = net.AddVertex({500, 500}, false);
+  Edge lone;
+  lone.from = c;
+  lone.to = c;
+  lone.geometry = geo::Polyline({{500, 500}});
+  const EdgeId lone_id = net.AddEdge(std::move(lone));
+
+  const SpatialIndex index(&net);
+  const std::vector<EdgeCandidate> found =
+      index.Nearby(EnPoint{497, 496}, 10.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].edge, lone_id);
+  EXPECT_NEAR(found[0].projection.distance, 5.0, 1e-9);
+  EXPECT_EQ(index.stats().empty_geometry_edges, 0);
+
+  const auto nearest = index.Nearest(EnPoint{520, 500}, 100.0);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->edge, lone_id);
+}
+
+TEST(SpatialIndexDegenerateTest, EmptyGeometryIsDroppedWithReason) {
+  RoadNetwork net(kOrigin);
+  const VertexId a = net.AddVertex({0, 0}, false);
+  const VertexId b = net.AddVertex({100, 0}, false);
+  Edge normal;
+  normal.from = a;
+  normal.to = b;
+  normal.geometry = geo::Polyline({{0, 0}, {100, 0}});
+  const EdgeId normal_id = net.AddEdge(std::move(normal));
+  Edge hollow;
+  hollow.from = a;
+  hollow.to = b;
+  hollow.geometry = geo::Polyline();
+  net.AddEdge(std::move(hollow));
+
+  const SpatialIndex index(&net);
+  EXPECT_EQ(index.stats().empty_geometry_edges, 1);
+  // The well-formed edge is unaffected.
+  const std::vector<EdgeCandidate> found =
+      index.Nearby(EnPoint{50, 2}, 10.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].edge, normal_id);
+}
+
 // --- Router -----------------------------------------------------------------------
 
 // A 3x3 grid network with 100 m spacing.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "taxitrace/analysis/temporal.h"
 #include "taxitrace/common/histogram.h"
@@ -176,6 +177,35 @@ TEST(HistogramTest, RenderShape) {
 TEST(HistogramTest, EmptyHistogram) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.Mode(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+// Regression: Add() used to floor the value straight into a bin index,
+// which is undefined behaviour for NaN/Inf (the int cast) — and
+// fault-injected traces legitimately carry such values. They now land
+// in a dedicated tally, outside every bin and quantile.
+TEST(HistogramTest, NonFiniteValuesAreTalliedNotBinned) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({1.0, std::nan(""), std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity(), 9.0});
+  EXPECT_EQ(h.total(), 2);  // finite observations only
+  EXPECT_EQ(h.nonfinite(), 3);
+  int64_t binned = 0;
+  for (int b = 0; b < h.num_bins(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned, 2);
+  // Quantiles see only the finite mass: the median sits between the
+  // two finite values, not at an infinity.
+  EXPECT_GE(h.Quantile(0.0), 0.0);
+  EXPECT_LE(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, AllNonFiniteBehavesLikeEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(std::nan(""));
+  h.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_EQ(h.nonfinite(), 2);
   EXPECT_DOUBLE_EQ(h.Mode(), 0.0);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
 }
