@@ -2,10 +2,13 @@
 // network extent and model size — the systems-side companion to the
 // reproduction benches.
 
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "bench_util.h"
+#include "taxitrace/mapmatch/gap_filler.h"
 #include "taxitrace/model/one_way_reml.h"
 #include "taxitrace/obs/observability.h"
 #include "taxitrace/roadnet/router.h"
@@ -46,9 +49,145 @@ std::string RunJson(const core::StudyResults& r, int configured_threads) {
   return buf;
 }
 
+// The stage timings the routing overhaul started from, copied verbatim
+// from the schema/1 BENCH_pipeline.json committed before it (hash-map
+// spatial index, O(|V|) per-search resets, no route cache). Kept inline
+// so the /2 file always carries its own before/after comparison.
+constexpr const char* kBaselineRunsJson =
+    "    {\"threads\": 0, \"workers\": 0,\n"
+    "     \"map_generation_ms\": 5.47, \"simulation_ms\": 3654.88,\n"
+    "     \"cleaning_ms\": 1175.51, \"selection_matching_ms\": 854.72,\n"
+    "     \"analysis_ms\": 4.24, \"total_ms\": 5694.80},\n"
+    "    {\"threads\": -1, \"workers\": 1,\n"
+    "     \"map_generation_ms\": 5.75, \"simulation_ms\": 3678.48,\n"
+    "     \"cleaning_ms\": 1168.42, \"selection_matching_ms\": 718.62,\n"
+    "     \"analysis_ms\": 3.58, \"total_ms\": 5574.85}";
+constexpr double kBaselineSerialMatchingMs = 854.72;
+
+double NowMs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() /
+         1e6;
+}
+
+// Routing microbench of record: ShortestPath over sampled OD vertex
+// pairs, then the same pairs as edge positions through GapFiller with a
+// cold and then a warm route cache, so search cost and cache payoff are
+// both visible.
+void PrintRoutingBench() {
+  synth::CityMapOptions map_options;
+  const synth::CityMap map = synth::GenerateCityMap(map_options).value();
+  const roadnet::Router router(&map.network);
+  const mapmatch::GapFiller filler(&map.network);
+
+  constexpr int kPairs = 256;
+  const auto num_vertices =
+      static_cast<int64_t>(map.network.vertices().size());
+  const auto num_edges = static_cast<int64_t>(map.network.edges().size());
+  Rng rng(42);
+  std::vector<std::pair<roadnet::VertexId, roadnet::VertexId>> od;
+  std::vector<std::pair<roadnet::EdgePosition, roadnet::EdgePosition>> od_pos;
+  for (int i = 0; i < kPairs; ++i) {
+    od.emplace_back(
+        static_cast<roadnet::VertexId>(rng.UniformInt(0, num_vertices - 1)),
+        static_cast<roadnet::VertexId>(rng.UniformInt(0, num_vertices - 1)));
+    const auto ea =
+        static_cast<roadnet::EdgeId>(rng.UniformInt(0, num_edges - 1));
+    const auto eb =
+        static_cast<roadnet::EdgeId>(rng.UniformInt(0, num_edges - 1));
+    od_pos.emplace_back(
+        roadnet::EdgePosition{ea, 0.5 * map.network.edge(ea).length_m},
+        roadnet::EdgePosition{eb, 0.5 * map.network.edge(eb).length_m});
+  }
+
+  int found = 0;
+  const double sp_t0 = NowMs();
+  for (const auto& [a, b] : od) {
+    if (router.ShortestPath(a, b).ok()) ++found;
+  }
+  const double sp_ms = NowMs() - sp_t0;
+
+  mapmatch::RouteCache cache(kPairs);
+  int connected = 0;
+  const double cold_t0 = NowMs();
+  for (const auto& [a, b] : od_pos) {
+    if (filler.Connect(a, b, &cache).ok()) ++connected;
+  }
+  const double cold_ms = NowMs() - cold_t0;
+  const mapmatch::RouteCache::Stats cold_stats = cache.stats();
+
+  const double warm_t0 = NowMs();
+  for (const auto& [a, b] : od_pos) {
+    (void)filler.Connect(a, b, &cache);
+  }
+  const double warm_ms = NowMs() - warm_t0;
+  const mapmatch::RouteCache::Stats warm_stats = cache.stats();
+
+  const roadnet::RouterStats rt = router.stats();
+  std::string json;
+  char line[512];
+  json += "{\n";
+  json += "  \"schema\": \"taxitrace-bench-routing/1\",\n";
+  std::snprintf(line, sizeof line,
+                "  \"network\": {\"vertices\": %lld, \"edges\": %lld},\n",
+                static_cast<long long>(num_vertices),
+                static_cast<long long>(num_edges));
+  json += line;
+  std::snprintf(line, sizeof line, "  \"od_pairs\": %d,\n", kPairs);
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"shortest_path\": {\"total_ms\": %.2f, "
+                "\"per_query_us\": %.1f, \"found\": %d,\n"
+                "    \"heap_pops\": %lld, \"settled_vertices\": %lld, "
+                "\"goal_directed_searches\": %lld},\n",
+                sp_ms, sp_ms * 1000.0 / kPairs, found,
+                static_cast<long long>(rt.heap_pops),
+                static_cast<long long>(rt.settled_vertices),
+                static_cast<long long>(rt.goal_directed_searches));
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"connect_cold_cache\": {\"total_ms\": %.2f, "
+                "\"per_query_us\": %.1f, \"connected\": %d, "
+                "\"hits\": %lld, \"misses\": %lld},\n",
+                cold_ms, cold_ms * 1000.0 / kPairs, connected,
+                static_cast<long long>(cold_stats.hits),
+                static_cast<long long>(cold_stats.misses));
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"connect_warm_cache\": {\"total_ms\": %.2f, "
+                "\"per_query_us\": %.1f, "
+                "\"hits\": %lld, \"misses\": %lld},\n",
+                warm_ms, warm_ms * 1000.0 / kPairs,
+                static_cast<long long>(warm_stats.hits - cold_stats.hits),
+                static_cast<long long>(warm_stats.misses - cold_stats.misses));
+  json += line;
+  std::snprintf(line, sizeof line, "  \"warm_speedup\": %.2f\n",
+                warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  json += line;
+  json += "}\n";
+  benchutil::EmitFigureFile("BENCH_routing.json", json);
+  std::printf(
+      "  routing microbench: %d OD pairs, ShortestPath %.1f us/query, "
+      "Connect cold %.1f us / warm %.1f us per query\n\n",
+      kPairs, sp_ms * 1000.0 / kPairs, cold_ms * 1000.0 / kPairs,
+      warm_ms * 1000.0 / kPairs);
+}
+
 // The perf trajectory of record: serial vs parallel full-study stage
 // timings, machine-readable so successive PRs can be compared.
 void PrintScaling() {
+  // CI smoke mode: swap the two multi-second full-study runs for one
+  // small study so the bench-smoke step stays cheap. The routing
+  // microbench still runs in full and emits BENCH_routing.json; the
+  // pipeline JSON of record is only rewritten by full runs.
+  const char* smoke = std::getenv("TAXITRACE_BENCH_SMOKE");
+  if (smoke != nullptr && smoke[0] != '\0' && smoke[0] != '0') {
+    PrintStageTimings("small study, bench smoke", benchutil::SmallResults());
+    PrintRoutingBench();
+    return;
+  }
+
   core::StudyConfig serial_config = core::StudyConfig::FullStudy();
   serial_config.num_threads = 0;
   const core::StudyResults serial =
@@ -67,7 +206,7 @@ void PrintScaling() {
           : 0.0;
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"taxitrace-bench-pipeline/1\",\n";
+  json += "  \"schema\": \"taxitrace-bench-pipeline/2\",\n";
   json += "  \"study\": {\"cars\": 7, \"days\": 365},\n";
   char line[256];
   std::snprintf(
@@ -77,17 +216,37 @@ void PrintScaling() {
   std::snprintf(line, sizeof line, "  \"raw_points\": %lld,\n",
                 static_cast<long long>(serial.cleaning_report.raw_points));
   json += line;
+  json += "  \"baseline\": {\n";
+  json += "    \"note\": \"schema/1 numbers from before the routing & "
+          "matching overhaul\",\n";
+  json += "    \"runs\": [\n  ";
+  json += kBaselineRunsJson;
+  json += "\n    ]\n  },\n";
   json += "  \"runs\": [\n";
   json += RunJson(serial, 0) + ",\n";
   json += RunJson(parallel, -1) + "\n";
   json += "  ],\n";
   std::snprintf(line, sizeof line,
-                "  \"parallel_speedup_total\": %.3f\n", speedup);
+                "  \"parallel_speedup_total\": %.3f,\n", speedup);
+  json += line;
+  const double matching_speedup =
+      serial.timings.selection_matching_ms > 0.0
+          ? kBaselineSerialMatchingMs / serial.timings.selection_matching_ms
+          : 0.0;
+  std::snprintf(line, sizeof line,
+                "  \"serial_matching_speedup_vs_baseline\": %.2f\n",
+                matching_speedup);
   json += line;
   json += "}\n";
   benchutil::EmitFigureFile("BENCH_pipeline.json", json);
-  std::printf("  parallel speedup (total wall-clock): %.2fx on %d workers\n\n",
+  std::printf("  parallel speedup (total wall-clock): %.2fx on %d workers\n",
               speedup, parallel.timings.simulation_threads);
+  std::printf("  serial selection+matching vs pre-overhaul baseline: "
+              "%.2fx (%.1f ms -> %.1f ms)\n\n",
+              matching_speedup, kBaselineSerialMatchingMs,
+              serial.timings.selection_matching_ms);
+
+  PrintRoutingBench();
 
   // Metrics snapshot from a separate observability-enabled small study.
   // The two timed full-study runs above keep observability off, so the

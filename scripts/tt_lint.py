@@ -24,6 +24,13 @@ Greps src/taxitrace/ for patterns the codebase has banned:
                     through obs::StageSpan (or the executor's queue
                     accounting) so stage costs land in one uniform,
                     dumpable record instead of scattered stopwatches.
+  linear-reset      Resetting whole-graph search state (dist / prev /
+                    seen / stamp arrays) with .assign or std::fill
+                    outside a scratch type. Per-search O(|V|) clears are
+                    exactly what the generation-stamped scratch types
+                    (roadnet/search_scratch.h, the spatial index's
+                    QueryScratch) exist to avoid; search code must reuse
+                    them so a search costs O(visited), not O(|V|).
   unregistered-test A tests/*.cc file that tests/CMakeLists.txt never
                     references: the test compiles on nobody's machine
                     and silently never runs. (Repo-level rule; not
@@ -50,6 +57,15 @@ BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
 RAW_THREAD_RE = re.compile(r"std::(thread|jthread|async)\b")
 ADHOC_TIMING_RE = re.compile(r"std::chrono\b")
 RESULT_OK_RE = re.compile(r"Result<[^;]*Status::OK\(\)")
+# Whole-array clears of search-state vectors: dist_.assign(n, inf),
+# std::fill(seen.begin(), ...). Growth-only resize() is fine — the
+# scratch types use it — and lines that go through a scratch object
+# (or live in a *scratch* file) are the sanctioned implementation.
+LINEAR_RESET_RE = re.compile(
+    r"\b(?:dist|prev(?:_edge|_vertex)?|visited|settled|seen(?:_stamp)?|stamp)"
+    r"_?\s*(?:\.|->)\s*assign\s*\(|"
+    r"std::fill\s*\(\s*(?:\w+\s*(?:\.|->)\s*)*"
+    r"(?:dist|prev|visited|settled|seen|stamp)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 # Declarations like:  Status Foo(...  /  [[nodiscard]] Status Foo(...
@@ -138,6 +154,14 @@ def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
                    "ad-hoc std::chrono timing; use obs::StageSpan "
                    "(taxitrace/obs/stage_span.h) so the cost shows up "
                    "in the stage trace")
+
+        if (LINEAR_RESET_RE.search(line) and "scratch" not in path.name
+                and "scratch" not in line):
+            report("linear-reset",
+                   "O(|V|) per-search reset of search state; keep it in "
+                   "a generation-stamped scratch "
+                   "(taxitrace/roadnet/search_scratch.h) so each search "
+                   "costs O(visited)")
 
         if RESULT_OK_RE.search(line):
             report("result-ok-status",

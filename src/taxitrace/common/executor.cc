@@ -4,7 +4,19 @@
 #include <cstdlib>
 #include <limits>
 
+#include "taxitrace/common/check.h"
+
 namespace taxitrace {
+namespace {
+
+// The calling thread's pool-worker index; -1 on every thread that is
+// not an executor worker. Set once per worker thread at pool startup.
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
+int Executor::CurrentWorkerIndex() { return t_worker_index; }
+
 namespace {
 
 // Shared state of one ParallelFor batch. Workers claim indices from
@@ -46,6 +58,8 @@ struct LoopState {
 
 Executor::Executor(int num_threads) {
   if (num_threads < 0) num_threads = 0;
+  TT_CHECK_MSG(num_threads <= kMaxExecutorWorkers,
+               "executor pool larger than kMaxExecutorWorkers");
   if (num_threads > 0) {
     worker_items_ = std::make_unique<std::atomic<int64_t>[]>(
         static_cast<size_t>(num_threads));
@@ -71,6 +85,7 @@ Executor::~Executor() {
 }
 
 void Executor::WorkerLoop(size_t worker_index) {
+  t_worker_index = static_cast<int>(worker_index);
   for (;;) {
     QueuedJob job;
     {

@@ -11,6 +11,7 @@
 #ifndef TAXITRACE_COMMON_EXECUTOR_H_
 #define TAXITRACE_COMMON_EXECUTOR_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -25,6 +26,11 @@
 #include "taxitrace/common/status.h"
 
 namespace taxitrace {
+
+/// Upper bound on pool workers (enforced by the Executor constructor).
+/// WorkerLocal sizes its slot table from this, so every worker thread —
+/// plus the one off-pool slot — has a private, race-free slot.
+inline constexpr int kMaxExecutorWorkers = 256;
 
 /// Load accounting for one Executor, readable via Executor::stats().
 /// Worker attribution and queue wait depend on scheduling, so these
@@ -82,6 +88,12 @@ class Executor {
   /// optional `const Executor*` and received none.
   static const Executor& Serial();
 
+  /// Index of the calling pool worker thread in [0, num_threads), or -1
+  /// when called from any thread outside an executor pool (the main
+  /// thread, the serial fallback, tests). This is the worker context
+  /// that WorkerLocal keys its slots on.
+  static int CurrentWorkerIndex();
+
   /// Snapshot of the load counters accumulated so far.
   [[nodiscard]] ExecutorStats stats() const;
 
@@ -106,6 +118,54 @@ class Executor {
   mutable std::atomic<int64_t> serial_items_{0};
   mutable std::atomic<int64_t> queue_wait_ns_{0};
   mutable std::unique_ptr<std::atomic<int64_t>[]> worker_items_;
+};
+
+/// Per-worker mutable scratch, keyed on the executor's worker context.
+///
+/// `Local()` hands every thread a slot of its own: pool worker w gets
+/// slot w + 1, any off-pool thread (main thread, serial fallback) gets
+/// slot 0. Within one executor's batch each slot is touched by exactly
+/// one thread, so access after the first-use allocation is lock-free
+/// and race-free. Slots are created on first use and live until the
+/// WorkerLocal is destroyed, which is what makes repeated use (e.g. one
+/// search scratch per worker across thousands of searches)
+/// allocation-free in steady state.
+///
+/// The scratch must never influence *what* is computed — only how much
+/// allocation/initialisation it costs — or the executor's determinism
+/// contract ("same results at any worker count") breaks.
+template <typename T>
+class WorkerLocal {
+ public:
+  WorkerLocal() = default;
+  ~WorkerLocal() {
+    for (auto& slot : slots_) delete slot.load(std::memory_order_acquire);
+  }
+  WorkerLocal(const WorkerLocal&) = delete;
+  WorkerLocal& operator=(const WorkerLocal&) = delete;
+
+  /// The calling thread's slot, default-constructed on first use.
+  T& Local() const {
+    const size_t slot =
+        static_cast<size_t>(Executor::CurrentWorkerIndex() + 1);
+    std::atomic<T*>& cell = slots_[slot];
+    T* p = cell.load(std::memory_order_acquire);
+    if (p == nullptr) {
+      T* fresh = new T();
+      // Only this thread writes this slot, but CAS keeps the invariant
+      // checkable and the failure path leak-free.
+      if (cell.compare_exchange_strong(p, fresh,
+                                       std::memory_order_acq_rel)) {
+        p = fresh;
+      } else {
+        delete fresh;
+      }
+    }
+    return *p;
+  }
+
+ private:
+  mutable std::array<std::atomic<T*>, kMaxExecutorWorkers + 1> slots_{};
 };
 
 }  // namespace taxitrace

@@ -176,6 +176,12 @@ Result<StudyResults> Pipeline::Run() const {
     int64_t dropped_match_failed = 0;
     int64_t dropped_unknown_gate = 0;
     int64_t dropped_endpoint_filter = 0;
+    // Final tallies of this trip's route cache. Folding them in cleaned
+    // order gives worker-count-independent totals because each cache
+    // lives and dies inside one work item.
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t cache_evictions = 0;
     std::vector<MatchedTransition> transitions;
   };
   std::vector<SegmentMatchOutput> match_outputs(cleaned.size());
@@ -184,6 +190,10 @@ Result<StudyResults> Pipeline::Run() const {
       0, static_cast<int64_t>(cleaned.size()), [&](int64_t i) -> Status {
         const trace::Trip& segment = cleaned[static_cast<size_t>(i)];
         SegmentMatchOutput& out = match_outputs[static_cast<size_t>(i)];
+        // One route memo per cleaned trip, shared by all its matched
+        // transitions and never by other work items.
+        mapmatch::RouteCache route_cache(
+            config_.matcher.gap.route_cache_capacity);
 
         const odselect::TripGateAnalysis analysis =
             extractor.Analyze(segment);
@@ -213,7 +223,7 @@ Result<StudyResults> Pipeline::Run() const {
           // Map matching (only cleared transitions through the centre
           // are matched, as in the paper).
           Result<mapmatch::MatchedRoute> route =
-              matcher.Match(transition.segment);
+              matcher.Match(transition.segment, &route_cache);
           if (!route.ok()) {
             ++out.dropped_match_failed;
             continue;
@@ -256,6 +266,9 @@ Result<StudyResults> Pipeline::Run() const {
           mt.record.attributes = fetcher.Fetch(mt.route);
           out.transitions.push_back(std::move(mt));
         }
+        out.cache_hits = route_cache.stats().hits;
+        out.cache_misses = route_cache.stats().misses;
+        out.cache_evictions = route_cache.stats().evictions;
         return Status::OK();
       }));
 
@@ -269,6 +282,9 @@ Result<StudyResults> Pipeline::Run() const {
   int64_t dropped_match_failed = 0;
   int64_t dropped_unknown_gate = 0;
   int64_t dropped_endpoint_filter = 0;
+  int64_t route_cache_hits = 0;
+  int64_t route_cache_misses = 0;
+  int64_t route_cache_evictions = 0;
   std::unordered_map<int, odselect::Table3Row> funnel;
   for (size_t i = 0; i < cleaned.size(); ++i) {
     odselect::Table3Row& row = funnel[cleaned[i].car_id];
@@ -287,6 +303,9 @@ Result<StudyResults> Pipeline::Run() const {
     dropped_match_failed += out.dropped_match_failed;
     dropped_unknown_gate += out.dropped_unknown_gate;
     dropped_endpoint_filter += out.dropped_endpoint_filter;
+    route_cache_hits += out.cache_hits;
+    route_cache_misses += out.cache_misses;
+    route_cache_evictions += out.cache_evictions;
     for (MatchedTransition& mt : out.transitions) {
       results.match_report.Add(mt.route);
       results.transitions.push_back(std::move(mt));
@@ -477,6 +496,13 @@ Result<StudyResults> Pipeline::Run() const {
     registry.counter("roadnet.router.heap_pops")->Add(rt.heap_pops);
     registry.counter("roadnet.router.settled_vertices")
         ->Add(rt.settled_vertices);
+    registry.counter("roadnet.router.goal_directed_searches")
+        ->Add(rt.goal_directed_searches);
+    registry.counter("mapmatch.route_cache.hits")->Add(route_cache_hits);
+    registry.counter("mapmatch.route_cache.misses")
+        ->Add(route_cache_misses);
+    registry.counter("mapmatch.route_cache.evictions")
+        ->Add(route_cache_evictions);
     registry.counter("pipeline.trips_simulated")->Add(trips_simulated);
     registry.counter("pipeline.segments_selected")->Add(segments_selected);
     registry.counter("pipeline.transitions_matched")

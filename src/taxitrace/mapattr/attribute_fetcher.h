@@ -49,6 +49,11 @@ class AttributeFetcher {
  private:
   const roadnet::RoadNetwork* network_;
   AttributeFetcherOptions options_;
+  // Traffic lights only, extracted once: Fetch scans lights against
+  // every route, and walking the full feature table per route wastes
+  // most of the scan on crossings and stops that are counted from edge
+  // attachment instead.
+  std::vector<geo::EnPoint> traffic_lights_;
 };
 
 }  // namespace mapattr

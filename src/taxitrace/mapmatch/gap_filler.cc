@@ -1,5 +1,7 @@
 #include "taxitrace/mapmatch/gap_filler.h"
 
+#include <limits>
+
 namespace taxitrace {
 namespace mapmatch {
 
@@ -7,15 +9,24 @@ GapFiller::GapFiller(const roadnet::RoadNetwork* network,
                      GapFillOptions options)
     : network_(network), router_(network), options_(options) {}
 
-Result<roadnet::Path> GapFiller::Connect(
-    const roadnet::EdgePosition& from,
-    const roadnet::EdgePosition& to) const {
-  return router_.ShortestPathBetween(from, to);
+Result<roadnet::Path> GapFiller::Connect(const roadnet::EdgePosition& from,
+                                         const roadnet::EdgePosition& to,
+                                         RouteCache* cache) const {
+  if (cache == nullptr) return router_.ShortestPathBetween(from, to);
+  if (const Result<roadnet::Path>* cached = cache->Find(from, to)) {
+    return *cached;
+  }
+  Result<roadnet::Path> path = router_.ShortestPathBetween(from, to);
+  cache->Insert(from, to, path);
+  return path;
 }
 
 double GapFiller::NetworkDistance(const roadnet::EdgePosition& from,
-                                  const roadnet::EdgePosition& to) const {
-  return router_.NetworkDistance(from, to);
+                                  const roadnet::EdgePosition& to,
+                                  RouteCache* cache) const {
+  const Result<roadnet::Path> path = Connect(from, to, cache);
+  return path.ok() ? path->length_m
+                   : std::numeric_limits<double>::infinity();
 }
 
 bool GapFiller::IsPlausible(double network_length_m,

@@ -6,6 +6,7 @@
 #define TAXITRACE_MAPMATCH_GAP_FILLER_H_
 
 #include "taxitrace/common/result.h"
+#include "taxitrace/mapmatch/route_cache.h"
 #include "taxitrace/roadnet/router.h"
 
 namespace taxitrace {
@@ -20,6 +21,10 @@ struct GapFillOptions {
   /// network length exceeds detour_factor * straight-line + slack.
   double detour_factor = 1.8;
   double detour_slack_m = 120.0;
+  /// Entry capacity of the per-trip route cache the matchers thread
+  /// through Connect/NetworkDistance; 0 disables caching. Results are
+  /// identical either way — the cache only skips repeat searches.
+  size_t route_cache_capacity = 128;
 };
 
 /// Connects two matched positions through the network.
@@ -28,14 +33,18 @@ class GapFiller {
   GapFiller(const roadnet::RoadNetwork* network,
             GapFillOptions options = {});
 
-  /// Shortest drivable connection between two on-edge positions.
+  /// Shortest drivable connection between two on-edge positions. When
+  /// `cache` is given, repeats of a pair return the memoized result
+  /// instead of re-searching.
   Result<roadnet::Path> Connect(const roadnet::EdgePosition& from,
-                                const roadnet::EdgePosition& to) const;
+                                const roadnet::EdgePosition& to,
+                                RouteCache* cache = nullptr) const;
 
   /// Network distance between two positions, metres; infinity when
   /// unreachable.
   double NetworkDistance(const roadnet::EdgePosition& from,
-                         const roadnet::EdgePosition& to) const;
+                         const roadnet::EdgePosition& to,
+                         RouteCache* cache = nullptr) const;
 
   /// True when a connection of `network_length_m` between points
   /// `straight_line_m` apart is a plausible continuation of the drive.

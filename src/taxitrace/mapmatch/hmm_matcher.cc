@@ -31,6 +31,10 @@ Result<MatchedRoute> HmmMatcher::Match(const trace::Trip& trip) const {
     return Status::InvalidArgument("trip has fewer than two points");
   }
   const geo::LocalProjection& proj = network_->projection();
+  // Per-call memo: the stitching pass (step 5) re-queries transitions
+  // the Viterbi pass already routed. Function-local, so results cannot
+  // depend on scheduling.
+  RouteCache route_cache(gap_filler_.options().route_cache_capacity);
 
   // 1. Keep one point per >=10 m of movement (stationary clusters carry
   //    no routing information and blow up the DP).
@@ -126,7 +130,7 @@ Result<MatchedRoute> HmmMatcher::Match(const trace::Trip& trip) const {
       for (size_t a = 0; a < states[prev].size(); ++a) {
         if (logp[prev][a] == kNegInf) continue;
         const double net = gap_filler_.NetworkDistance(
-            states[prev][a].position, states[i][b].position);
+            states[prev][a].position, states[i][b].position, &route_cache);
         if (!(net < options_.max_detour_factor * straight +
                         options_.detour_slack_m)) {
           continue;
@@ -240,7 +244,7 @@ Result<MatchedRoute> HmmMatcher::Match(const trace::Trip& trip) const {
     route.points.push_back(
         MatchedPoint{kept[chain[k].layer], cur.position, cur.distance});
     Result<roadnet::Path> path =
-        gap_filler_.Connect(prev.position, cur.position);
+        gap_filler_.Connect(prev.position, cur.position, &route_cache);
     if (!path.ok()) continue;
     if (gap_filler_.IsGap(path->length_m)) ++route.gaps_filled;
     for (const roadnet::PathStep& s : path->steps) {

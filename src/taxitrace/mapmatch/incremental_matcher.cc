@@ -60,8 +60,8 @@ IncrementalMatcher::IncrementalMatcher(const roadnet::RoadNetwork* network,
       gap_filler_(network, options.gap),
       options_(options) {}
 
-Result<MatchedRoute> IncrementalMatcher::Match(
-    const trace::Trip& trip) const {
+Result<MatchedRoute> IncrementalMatcher::Match(const trace::Trip& trip,
+                                               RouteCache* cache) const {
   if (trip.points.size() < 2) {
     return Status::InvalidArgument("trip has fewer than two points");
   }
@@ -111,7 +111,8 @@ Result<MatchedRoute> IncrementalMatcher::Match(
     for (const MatchCandidate& cand : candidates) {
       const roadnet::EdgePosition cand_pos{cand.edge,
                                            cand.projection.arc_length};
-      Result<roadnet::Path> path = gap_filler_.Connect(current, cand_pos);
+      Result<roadnet::Path> path =
+          gap_filler_.Connect(current, cand_pos, cache);
       if (!path.ok()) continue;
       if (gap_filler_.IsPlausible(path->length_m, straight)) {
         chosen = &cand;

@@ -53,8 +53,12 @@ class IncrementalMatcher {
                      MatcherOptions options = {});
 
   /// Matches a trip's points onto the network. Fails when fewer than two
-  /// points can be matched at all.
-  Result<MatchedRoute> Match(const trace::Trip& trip) const;
+  /// points can be matched at all. `cache`, when given, memoizes this
+  /// trip's gap-fill routes; pass one cache per trip (never shared
+  /// across parallel work items) so results and cache counters stay
+  /// independent of worker count.
+  Result<MatchedRoute> Match(const trace::Trip& trip,
+                             RouteCache* cache = nullptr) const;
 
   [[nodiscard]] const MatcherOptions& options() const { return options_; }
 

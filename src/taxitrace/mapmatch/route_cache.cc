@@ -1,0 +1,63 @@
+#include "taxitrace/mapmatch/route_cache.h"
+
+#include <bit>
+
+namespace taxitrace {
+namespace mapmatch {
+namespace {
+
+// splitmix64 finaliser: enough diffusion that edge ids and arc-length
+// bit patterns spread over the table.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t RouteCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix(static_cast<uint64_t>(static_cast<uint32_t>(k.from_edge)) |
+                   (static_cast<uint64_t>(static_cast<uint32_t>(k.to_edge))
+                    << 32));
+  h = Mix(h ^ std::bit_cast<uint64_t>(k.from_arc));
+  h = Mix(h ^ std::bit_cast<uint64_t>(k.to_arc));
+  return static_cast<size_t>(h);
+}
+
+const Result<roadnet::Path>* RouteCache::Find(
+    const roadnet::EdgePosition& from, const roadnet::EdgePosition& to) {
+  if (capacity_ == 0) return nullptr;
+  const Key key{from.edge, to.edge, from.arc_length_m, to.arc_length_m};
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return &entries_.front().path;
+}
+
+void RouteCache::Insert(const roadnet::EdgePosition& from,
+                        const roadnet::EdgePosition& to,
+                        Result<roadnet::Path> path) {
+  if (capacity_ == 0) return;
+  const Key key{from.edge, to.edge, from.arc_length_m, to.arc_length_m};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->path = std::move(path);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{key, std::move(path)});
+  index_.emplace(key, entries_.begin());
+}
+
+}  // namespace mapmatch
+}  // namespace taxitrace

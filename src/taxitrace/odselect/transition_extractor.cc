@@ -8,19 +8,53 @@ namespace odselect {
 
 TransitionExtractor::TransitionExtractor(
     std::vector<OdGate> gates, const geo::LocalProjection& projection)
-    : gates_(std::move(gates)), projection_(projection) {}
+    : gates_(std::move(gates)), projection_(projection) {
+  gate_bounds_.reserve(gates_.size());
+  for (const OdGate& g : gates_) gate_bounds_.push_back(g.polygon().Bounds());
+}
 
 std::vector<GateCrossing> TransitionExtractor::FindCrossings(
     const trace::Trip& trip) const {
   std::vector<GateCrossing> crossings;
   if (trip.points.size() < 2) return crossings;
 
+  // Trajectory bounds, computed in lat/lon before paying to project
+  // every point: Forward() is affine with positive scales, so min/max
+  // commute with it exactly and projecting the two corners yields the
+  // same box as projecting every point first.
+  geo::LatLon lo = trip.points.front().position;
+  geo::LatLon hi = lo;
+  for (const trace::RoutePoint& rp : trip.points) {
+    lo.lat_deg = std::min(lo.lat_deg, rp.position.lat_deg);
+    lo.lon_deg = std::min(lo.lon_deg, rp.position.lon_deg);
+    hi.lat_deg = std::max(hi.lat_deg, rp.position.lat_deg);
+    hi.lon_deg = std::max(hi.lon_deg, rp.position.lon_deg);
+  }
+  geo::Bbox trip_box = geo::Bbox::Empty();
+  trip_box.Extend(projection_.Forward(lo));
+  trip_box.Extend(projection_.Forward(hi));
+  // Gates the trip can reach at all: a gate whose polygon bounds miss
+  // the whole trajectory's bounds can never classify any of its steps.
+  std::vector<size_t> reachable;
+  for (size_t g = 0; g < gates_.size(); ++g) {
+    if (gate_bounds_[g].Intersects(trip_box)) reachable.push_back(g);
+  }
+  if (reachable.empty()) return crossings;
+
   std::vector<geo::EnPoint> local(trip.points.size());
   for (size_t i = 0; i < trip.points.size(); ++i) {
     local[i] = projection_.Forward(trip.points[i].position);
   }
+
   for (size_t i = 0; i + 1 < local.size(); ++i) {
-    for (size_t g = 0; g < gates_.size(); ++g) {
+    // Movement bbox, built once per step: almost every step is far from
+    // every gate, and the bbox-vs-bbox reject below answers those steps
+    // without touching gate geometry.
+    geo::Bbox move_box = geo::Bbox::Empty();
+    move_box.Extend(local[i]);
+    move_box.Extend(local[i + 1]);
+    for (const size_t g : reachable) {
+      if (!gate_bounds_[g].Intersects(move_box)) continue;
       const OdGate::Crossing c = gates_[g].Classify(local[i], local[i + 1]);
       if (c == OdGate::Crossing::kNone) continue;
       // Collapse consecutive detections of the same traversal (several

@@ -64,6 +64,11 @@ class TransitionExtractor {
 
  private:
   std::vector<OdGate> gates_;
+  // Per-gate polygon bounds, cached so the per-movement scan can reject
+  // a gate with four comparisons instead of a Classify call. The test is
+  // the same bbox overlap Polygon::IntersectsSegment starts with, so
+  // skipping a gate here never changes a classification.
+  std::vector<geo::Bbox> gate_bounds_;
   geo::LocalProjection projection_;
 };
 

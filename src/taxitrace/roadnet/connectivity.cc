@@ -11,13 +11,10 @@ namespace {
 std::vector<VertexId> OutNeighbours(const RoadNetwork& network, VertexId v,
                                     bool reversed) {
   std::vector<VertexId> out;
-  for (EdgeId eid : network.IncidentEdges(v)) {
-    const Edge& e = network.edge(eid);
-    const bool forward = e.from == v;
+  for (const HalfEdge& arc : network.OutArcs(v)) {
     const bool traversable =
-        reversed ? network.CanTraverse(eid, !forward)
-                 : network.CanTraverse(eid, forward);
-    if (traversable) out.push_back(forward ? e.to : e.from);
+        reversed ? arc.traversable_in : arc.traversable_out;
+    if (traversable) out.push_back(arc.head);
   }
   return out;
 }
@@ -59,8 +56,8 @@ std::vector<int> WeakComponents(const RoadNetwork& network) {
     while (!stack.empty()) {
       const VertexId v = stack.back();
       stack.pop_back();
-      for (EdgeId eid : network.IncidentEdges(v)) {
-        const VertexId w = network.Opposite(eid, v);
+      for (const HalfEdge& arc : network.OutArcs(v)) {
+        const VertexId w = arc.head;
         if (label[static_cast<size_t>(w)] < 0) {
           label[static_cast<size_t>(w)] = next_label;
           stack.push_back(w);

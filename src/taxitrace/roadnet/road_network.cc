@@ -32,6 +32,43 @@ const std::vector<EdgeId>& RoadNetwork::IncidentEdges(VertexId v) const {
   return incident_[static_cast<size_t>(v)];
 }
 
+void RoadNetwork::WarmAdjacency() const {
+  if (csr_vertex_count_ != vertices_.size() ||
+      csr_edge_count_ != edges_.size()) {
+    RebuildAdjacency();
+  }
+}
+
+void RoadNetwork::RebuildAdjacency() const {
+  const size_t n = vertices_.size();
+  csr_offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    csr_offsets_[v + 1] =
+        csr_offsets_[v] + static_cast<int32_t>(incident_[v].size());
+  }
+  csr_arcs_.resize(static_cast<size_t>(csr_offsets_[n]));
+  size_t next = 0;
+  for (size_t v = 0; v < n; ++v) {
+    for (const EdgeId eid : incident_[v]) {
+      const Edge& e = edges_[static_cast<size_t>(eid)];
+      // A self-loop appears twice in the incidence list; both copies
+      // leave along the edge orientation, matching Opposite()'s
+      // from-first resolution.
+      const bool forward = e.from == static_cast<VertexId>(v);
+      HalfEdge arc;
+      arc.edge = eid;
+      arc.head = forward ? e.to : e.from;
+      arc.length_m = e.length_m;
+      arc.traversable_out = CanTraverse(eid, forward);
+      arc.traversable_in = CanTraverse(eid, !forward);
+      arc.forward = forward;
+      csr_arcs_[next++] = arc;
+    }
+  }
+  csr_vertex_count_ = n;
+  csr_edge_count_ = edges_.size();
+}
+
 bool RoadNetwork::CanTraverse(EdgeId e, bool forward) const {
   const TravelDirection d = edge(e).direction;
   if (d == TravelDirection::kBoth) return true;

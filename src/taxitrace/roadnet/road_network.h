@@ -7,6 +7,7 @@
 #define TAXITRACE_ROADNET_ROAD_NETWORK_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,23 @@ struct EdgePosition {
   double arc_length_m = 0.0;
 };
 
+/// One incident half-edge in the flattened (CSR) adjacency: everything
+/// a graph traversal needs about leaving a base vertex through one
+/// edge, precomputed so the hot loops never chase Edge pointers for
+/// topology. 24 bytes, cache-line friendly: a degree-4 junction's whole
+/// neighbourhood fits in two lines.
+struct HalfEdge {
+  EdgeId edge = kInvalidEdge;
+  VertexId head = kInvalidVertex;  ///< Far endpoint seen from the base.
+  double length_m = 0.0;
+  /// base -> head is drivable (the router's out-arc test).
+  bool traversable_out = false;
+  /// head -> base is drivable (the reversed-graph arc test).
+  bool traversable_in = false;
+  /// Leaving the base vertex follows the edge orientation (from -> to).
+  bool forward = false;
+};
+
 /// The prepared road network. Construct through `PrepareRoadNetwork()`
 /// (map_preparation.h) or the builder API below.
 class RoadNetwork {
@@ -91,6 +109,21 @@ class RoadNetwork {
 
   /// Edges incident to `v` (regardless of traversability).
   [[nodiscard]] const std::vector<EdgeId>& IncidentEdges(VertexId v) const;
+
+  /// Flattened (CSR) adjacency of `v`: one HalfEdge per entry of
+  /// IncidentEdges(v), in the same order, with head vertex, length and
+  /// per-direction traversability precomputed. Rebuilt lazily after the
+  /// last builder mutation; the rebuild mutates shared state, so the
+  /// first call on a finished network must happen before the network is
+  /// shared across threads (Router's constructor and WarmAdjacency()
+  /// both do this). Concurrent calls are race-free once warmed.
+  /// Defined inline below the class: it sits in every search's hot loop.
+  [[nodiscard]] std::span<const HalfEdge> OutArcs(VertexId v) const;
+
+  /// Builds the CSR adjacency now if it is stale (idempotent). Call
+  /// after the last builder mutation when the network is about to be
+  /// read from multiple threads.
+  void WarmAdjacency() const;
 
   /// True when the edge may be driven in the given orientation
   /// (forward = from -> to).
@@ -132,13 +165,35 @@ class RoadNetwork {
   Status Validate() const;
 
  private:
+  void RebuildAdjacency() const;
+
   geo::LatLon origin_;
   geo::LocalProjection projection_;
   std::vector<Vertex> vertices_;
   std::vector<Edge> edges_;
   std::vector<MapFeature> features_;
   std::vector<std::vector<EdgeId>> incident_;
+
+  // CSR mirror of `incident_`, rebuilt lazily when the builder grows the
+  // graph (see OutArcs() for the threading contract). `mutable` because
+  // the cache is semantically part of the const read API.
+  mutable std::vector<int32_t> csr_offsets_;
+  mutable std::vector<HalfEdge> csr_arcs_;
+  mutable size_t csr_vertex_count_ = 0;  ///< vertices_ size at last build
+  mutable size_t csr_edge_count_ = 0;    ///< edges_ size at last build
 };
+
+inline std::span<const HalfEdge> RoadNetwork::OutArcs(VertexId v) const {
+  if (csr_vertex_count_ != vertices_.size() ||
+      csr_edge_count_ != edges_.size()) {
+    RebuildAdjacency();
+  }
+  const auto begin =
+      static_cast<size_t>(csr_offsets_[static_cast<size_t>(v)]);
+  const auto end =
+      static_cast<size_t>(csr_offsets_[static_cast<size_t>(v) + 1]);
+  return {csr_arcs_.data() + begin, end - begin};
+}
 
 }  // namespace roadnet
 }  // namespace taxitrace

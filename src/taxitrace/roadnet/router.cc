@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
-#include <queue>
+#include <utility>
 
 #include "taxitrace/common/strings.h"
+#include "taxitrace/geo/geometry.h"
 
 namespace taxitrace {
 namespace roadnet {
@@ -13,76 +15,116 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct QueueEntry {
-  double dist;
-  VertexId vertex;
-  bool operator>(const QueueEntry& other) const { return dist > other.dist; }
-};
-
 }  // namespace
 
 Router::Router(const RoadNetwork* network)
-    : network_(network), search_stats_(std::make_shared<AtomicStats>()) {}
+    : network_(network),
+      search_stats_(std::make_shared<AtomicStats>()),
+      scratch_(std::make_shared<WorkerLocal<SearchScratch>>()) {
+  // First CSR touch happens here, on the constructing thread, so the
+  // network can be read concurrently afterwards.
+  network_->WarmAdjacency();
+}
 
-Router::VertexSearchResult Router::Search(
+SearchScratch& Router::Search(
     const std::vector<std::pair<VertexId, double>>& seeds,
     VertexId stop_at_both_a, VertexId stop_at_both_b,
     const std::vector<double>* edge_cost_multiplier) const {
-  const size_t n = network_->vertices().size();
-  VertexSearchResult res;
-  res.dist.assign(n, kInf);
-  res.prev_edge.assign(n, kInvalidEdge);
-  res.prev_vertex.assign(n, kInvalidVertex);
+  const std::vector<Vertex>& vertices = network_->vertices();
+  SearchScratch& scratch = scratch_->Local();
+  scratch.BeginSearch(vertices.size());
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue;
-  for (const auto& [v, cost] : seeds) {
-    if (cost < res.dist[static_cast<size_t>(v)]) {
-      res.dist[static_cast<size_t>(v)] = cost;
-      queue.push(QueueEntry{cost, v});
+  // Goal-directed (A*) needs known targets and an admissible heuristic:
+  // every edge's cost must be >= its straight-line endpoint distance,
+  // which holds exactly when no multiplier shrinks a length. The scan
+  // exits on the first shrinking entry, so the common simulated-driver
+  // vectors (noise around 1.0) reject in a handful of reads.
+  bool goal_directed =
+      stop_at_both_a != kInvalidVertex && stop_at_both_b != kInvalidVertex;
+  if (goal_directed && edge_cost_multiplier != nullptr) {
+    for (const double m : *edge_cost_multiplier) {
+      if (m < 1.0) {
+        goal_directed = false;
+        break;
+      }
     }
+  }
+  geo::EnPoint goal_a{};
+  geo::EnPoint goal_b{};
+  if (goal_directed) {
+    goal_a = vertices[static_cast<size_t>(stop_at_both_a)].position;
+    goal_b = vertices[static_cast<size_t>(stop_at_both_b)].position;
+  }
+  // Lower bound on the remaining cost to the nearer goal; the minimum
+  // of two consistent heuristics, hence itself consistent: vertices
+  // settle with final distances, in non-decreasing key order.
+  const auto heuristic = [&](VertexId v) {
+    const geo::EnPoint& p = vertices[static_cast<size_t>(v)].position;
+    return std::min(geo::Distance(p, goal_a), geo::Distance(p, goal_b));
+  };
+
+  // Seed phase. Two seeds can name the same vertex (e.g. both ends of a
+  // self-loop edge); keep the cheaper cost and push one heap entry per
+  // distinct vertex instead of queueing a doomed stale duplicate.
+  for (const auto& [v, cost] : seeds) {
+    if (!scratch.Visited(v) || cost < scratch.RawDist(v)) {
+      scratch.Relax(v, cost, kInvalidEdge, kInvalidVertex);
+    }
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const VertexId v = seeds[i].first;
+    bool duplicate = false;
+    for (size_t j = 0; j < i; ++j) duplicate |= seeds[j].first == v;
+    if (duplicate) continue;
+    const double cost = scratch.RawDist(v);
+    scratch.heap.push_back(SearchHeapEntry{
+        goal_directed ? cost + heuristic(v) : cost, cost, v});
+    std::push_heap(scratch.heap.begin(), scratch.heap.end(),
+                   std::greater<SearchHeapEntry>{});
   }
 
   bool settled_a = stop_at_both_a == kInvalidVertex;
   bool settled_b = stop_at_both_b == kInvalidVertex;
   int64_t heap_pops = 0;
   int64_t settled = 0;
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
+  while (!scratch.heap.empty()) {
+    std::pop_heap(scratch.heap.begin(), scratch.heap.end(),
+                  std::greater<SearchHeapEntry>{});
+    const SearchHeapEntry top = scratch.heap.back();
+    scratch.heap.pop_back();
     ++heap_pops;
-    const size_t u = static_cast<size_t>(top.vertex);
-    if (top.dist > res.dist[u]) continue;  // stale entry
+    if (top.dist > scratch.RawDist(top.vertex)) continue;  // stale entry
     ++settled;
     if (top.vertex == stop_at_both_a) settled_a = true;
     if (top.vertex == stop_at_both_b) settled_b = true;
     if (settled_a && settled_b) break;
 
-    for (EdgeId eid : network_->IncidentEdges(top.vertex)) {
-      const Edge& e = network_->edge(eid);
-      const bool forward = e.from == top.vertex;
-      if (!network_->CanTraverse(eid, forward)) continue;
-      const VertexId w = forward ? e.to : e.from;
+    for (const HalfEdge& arc : network_->OutArcs(top.vertex)) {
+      if (!arc.traversable_out) continue;
       const double mult =
           edge_cost_multiplier == nullptr
               ? 1.0
-              : (*edge_cost_multiplier)[static_cast<size_t>(eid)];
-      const double nd = top.dist + e.length_m * mult;
-      if (nd < res.dist[static_cast<size_t>(w)]) {
-        res.dist[static_cast<size_t>(w)] = nd;
-        res.prev_edge[static_cast<size_t>(w)] = eid;
-        res.prev_vertex[static_cast<size_t>(w)] = top.vertex;
-        queue.push(QueueEntry{nd, w});
+              : (*edge_cost_multiplier)[static_cast<size_t>(arc.edge)];
+      const double nd = top.dist + arc.length_m * mult;
+      if (nd < scratch.Dist(arc.head)) {
+        scratch.Relax(arc.head, nd, arc.edge, top.vertex);
+        scratch.heap.push_back(SearchHeapEntry{
+            goal_directed ? nd + heuristic(arc.head) : nd, nd, arc.head});
+        std::push_heap(scratch.heap.begin(), scratch.heap.end(),
+                       std::greater<SearchHeapEntry>{});
       }
     }
   }
-  // Batched tallies: three relaxed adds per search, nothing per pop.
+  // Batched tallies: a few relaxed adds per search, nothing per pop.
   search_stats_->searches.fetch_add(1, std::memory_order_relaxed);
   search_stats_->heap_pops.fetch_add(heap_pops, std::memory_order_relaxed);
   search_stats_->settled_vertices.fetch_add(settled,
                                             std::memory_order_relaxed);
-  return res;
+  if (goal_directed) {
+    search_stats_->goal_directed_searches.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return scratch;
 }
 
 RouterStats Router::stats() const {
@@ -91,6 +133,8 @@ RouterStats Router::stats() const {
   s.heap_pops = search_stats_->heap_pops.load(std::memory_order_relaxed);
   s.settled_vertices =
       search_stats_->settled_vertices.load(std::memory_order_relaxed);
+  s.goal_directed_searches =
+      search_stats_->goal_directed_searches.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -106,9 +150,9 @@ Result<Path> Router::ShortestPath(
       edge_cost_multiplier->size() != network_->edges().size()) {
     return Status::InvalidArgument("edge cost multiplier size mismatch");
   }
-  const VertexSearchResult res =
+  const SearchScratch& res =
       Search({{from, 0.0}}, to, to, edge_cost_multiplier);
-  if (!(res.dist[static_cast<size_t>(to)] < kInf)) {
+  if (!(res.Dist(to) < kInf)) {
     return Status::NotFound(
         StrFormat("no path from vertex %d to %d", from, to));
   }
@@ -118,8 +162,8 @@ Result<Path> Router::ShortestPath(
   std::vector<std::pair<EdgeId, bool>> rev;
   VertexId v = to;
   while (v != from) {
-    const EdgeId e = res.prev_edge[static_cast<size_t>(v)];
-    const VertexId p = res.prev_vertex[static_cast<size_t>(v)];
+    const EdgeId e = res.PrevEdge(v);
+    const VertexId p = res.PrevVertex(v);
     rev.emplace_back(e, network_->edge(e).from == p);
     v = p;
   }
@@ -176,12 +220,12 @@ Result<Path> Router::ShortestPathBetween(const EdgePosition& from,
     seeds.emplace_back(fe.from, from_arc);
   }
 
-  VertexSearchResult res;
-  if (!seeds.empty()) res = Search(seeds, te.from, te.to);
+  const SearchScratch* res = nullptr;
+  if (!seeds.empty()) res = &Search(seeds, te.from, te.to);
 
   const auto arrival_cost = [&](VertexId entry) {
-    if (res.dist.empty()) return kInf;
-    const double base = res.dist[static_cast<size_t>(entry)];
+    if (res == nullptr) return kInf;
+    const double base = res->Dist(entry);
     if (!(base < kInf)) return kInf;
     if (entry == te.from) {
       return network_->CanTraverse(to.edge, true) ? base + to_arc : kInf;
@@ -211,9 +255,9 @@ Result<Path> Router::ShortestPathBetween(const EdgePosition& from,
   // Reconstruct the vertex chain back to whichever seed it started from.
   std::vector<std::pair<EdgeId, bool>> rev;
   VertexId v = entry;
-  while (res.prev_edge[static_cast<size_t>(v)] != kInvalidEdge) {
-    const EdgeId e = res.prev_edge[static_cast<size_t>(v)];
-    const VertexId p = res.prev_vertex[static_cast<size_t>(v)];
+  while (res->PrevEdge(v) != kInvalidEdge) {
+    const EdgeId e = res->PrevEdge(v);
+    const VertexId p = res->PrevVertex(v);
     rev.emplace_back(e, network_->edge(e).from == p);
     v = p;
   }

@@ -1,6 +1,17 @@
-// Dijkstra shortest-path routing over the prepared road network — the
-// stand-in for pgRouting's Dijkstra used by the paper for filling
-// map-matching gaps when consecutive GPS points are far apart.
+// Shortest-path routing over the prepared road network — the stand-in
+// for pgRouting's Dijkstra used by the paper for filling map-matching
+// gaps when consecutive GPS points are far apart.
+//
+// The search runs over the network's CSR adjacency with per-thread
+// reusable scratch (see search_scratch.h) and goes goal-directed (A*
+// ordered by dist + straight-line lower bound) whenever the target
+// vertices are known and every edge cost multiplier is >= 1, which
+// keeps the straight-line heuristic admissible; otherwise it falls back
+// to plain Dijkstra with the exact heap order of the historical
+// implementation. Both modes relax edges with a strict improvement
+// test, so computed distances — and, whenever shortest paths are unique
+// at full double precision, the paths themselves — are identical
+// between the two.
 
 #ifndef TAXITRACE_ROADNET_ROUTER_H_
 #define TAXITRACE_ROADNET_ROUTER_H_
@@ -9,19 +20,25 @@
 #include <memory>
 #include <vector>
 
+#include "taxitrace/common/executor.h"
 #include "taxitrace/common/result.h"
 #include "taxitrace/roadnet/road_network.h"
+#include "taxitrace/roadnet/search_scratch.h"
 
 namespace taxitrace {
 namespace roadnet {
 
-/// Dijkstra work accounting, readable via Router::stats(). Each search
-/// does deterministic work, so the totals are identical at any thread
-/// count.
+/// Search work accounting, readable via Router::stats(). Each search
+/// does deterministic work — goal-directed or not is decided by the
+/// arguments alone, and the heap/settle trace of one search never
+/// depends on other searches — so the totals are identical at any
+/// executor worker count.
 struct RouterStats {
-  int64_t searches = 0;          ///< Dijkstra runs.
+  int64_t searches = 0;          ///< Search runs (either mode).
   int64_t heap_pops = 0;         ///< Priority-queue pops, stale included.
   int64_t settled_vertices = 0;  ///< Vertices finalised (non-stale pops).
+  /// Searches that ran goal-directed (A*); the rest were plain Dijkstra.
+  int64_t goal_directed_searches = 0;
 };
 
 /// A traversal of one edge within a path.
@@ -37,8 +54,10 @@ struct Path {
   geo::Polyline geometry;  ///< Concatenated driving geometry.
 };
 
-/// Length-minimising Dijkstra router honouring one-way constraints. Holds
-/// a pointer to the network, which must outlive it.
+/// Length-minimising router honouring one-way constraints. Holds a
+/// pointer to the network, which must outlive it. Constructing a Router
+/// warms the network's CSR adjacency, so build Routers before sharing
+/// the network across threads.
 class Router {
  public:
   explicit Router(const RoadNetwork* network);
@@ -70,29 +89,30 @@ class Router {
   [[nodiscard]] RouterStats stats() const;
 
  private:
-  struct VertexSearchResult {
-    std::vector<double> dist;
-    std::vector<EdgeId> prev_edge;       // edge used to reach the vertex
-    std::vector<VertexId> prev_vertex;
-  };
-
-  /// Runs Dijkstra from the given seed vertices (with initial costs).
-  VertexSearchResult Search(
+  /// Runs one search from the given seed vertices (with initial costs),
+  /// stopping once both stop vertices are settled. Returns the calling
+  /// thread's scratch holding the result; it stays valid until this
+  /// thread's next search through the same Router (or a copy of it).
+  SearchScratch& Search(
       const std::vector<std::pair<VertexId, double>>& seeds,
       VertexId stop_at_both_a = kInvalidVertex,
       VertexId stop_at_both_b = kInvalidVertex,
       const std::vector<double>* edge_cost_multiplier = nullptr) const;
 
   // Search counters behind a shared_ptr so the router stays copyable;
-  // each Search() batches its local tallies into three relaxed adds.
+  // each Search() batches its local tallies into a few relaxed adds.
   struct AtomicStats {
     std::atomic<int64_t> searches{0};
     std::atomic<int64_t> heap_pops{0};
     std::atomic<int64_t> settled_vertices{0};
+    std::atomic<int64_t> goal_directed_searches{0};
   };
 
   const RoadNetwork* network_;
   std::shared_ptr<AtomicStats> search_stats_;
+  // Shared across copies: distinct worker threads use distinct slots,
+  // and one thread never runs two searches concurrently.
+  std::shared_ptr<WorkerLocal<SearchScratch>> scratch_;
 };
 
 }  // namespace roadnet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace taxitrace {
@@ -10,7 +11,13 @@ namespace roadnet {
 SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
     : network_(network),
       cell_size_m_(cell_size_m),
+      scratch_(std::make_shared<WorkerLocal<QueryScratch>>()),
       query_stats_(std::make_shared<AtomicStats>()) {
+  // Build pass: collect each edge's cells into a keyed map first (the
+  // set of cells is sparse and unknown up front), then flatten into the
+  // dense grid below.
+  std::unordered_map<CellKey, std::vector<EdgeId>, CellKeyHash> cells;
+  edge_bounds_.resize(network_->edges().size(), geo::Bbox::Empty());
   for (const Edge& e : network_->edges()) {
     const std::vector<geo::EnPoint>& pts = e.geometry.points();
     if (pts.empty()) {
@@ -20,6 +27,8 @@ SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
       ++empty_geometry_edges_;
       continue;
     }
+    geo::Bbox& bounds = edge_bounds_[static_cast<size_t>(e.id)];
+    for (const geo::EnPoint& p : pts) bounds.Extend(p);
     std::unordered_set<uint64_t> edge_cells;
     const auto insert_cell = [&](const geo::EnPoint& p) {
       const CellKey key = KeyFor(p);
@@ -27,7 +36,7 @@ SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
           (static_cast<uint64_t>(static_cast<uint32_t>(key.cx)) << 32) |
           static_cast<uint32_t>(key.cy);
       if (edge_cells.insert(packed).second) {
-        cells_[key].push_back(e.id);
+        cells[key].push_back(e.id);
       }
     };
     if (pts.size() == 1) {
@@ -48,6 +57,46 @@ SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
       }
     }
   }
+
+  // Flatten to a dense row-major CSR grid spanning the occupied cells.
+  if (!cells.empty()) {
+    int32_t min_cx = cells.begin()->first.cx;
+    int32_t max_cx = min_cx;
+    int32_t min_cy = cells.begin()->first.cy;
+    int32_t max_cy = min_cy;
+    for (const auto& [key, edges] : cells) {
+      min_cx = std::min(min_cx, key.cx);
+      max_cx = std::max(max_cx, key.cx);
+      min_cy = std::min(min_cy, key.cy);
+      max_cy = std::max(max_cy, key.cy);
+    }
+    grid_min_cx_ = min_cx;
+    grid_min_cy_ = min_cy;
+    grid_cols_ = max_cx - min_cx + 1;
+    grid_rows_ = max_cy - min_cy + 1;
+    const size_t num_cells =
+        static_cast<size_t>(grid_cols_) * static_cast<size_t>(grid_rows_);
+    cell_offsets_.assign(num_cells + 1, 0);
+    for (const auto& [key, edges] : cells) {
+      const size_t i =
+          static_cast<size_t>(key.cy - grid_min_cy_) *
+              static_cast<size_t>(grid_cols_) +
+          static_cast<size_t>(key.cx - grid_min_cx_);
+      cell_offsets_[i + 1] = static_cast<int32_t>(edges.size());
+    }
+    for (size_t i = 1; i < cell_offsets_.size(); ++i) {
+      cell_offsets_[i] += cell_offsets_[i - 1];
+    }
+    cell_edges_.resize(static_cast<size_t>(cell_offsets_.back()));
+    for (const auto& [key, edges] : cells) {
+      const size_t i =
+          static_cast<size_t>(key.cy - grid_min_cy_) *
+              static_cast<size_t>(grid_cols_) +
+          static_cast<size_t>(key.cx - grid_min_cx_);
+      std::copy(edges.begin(), edges.end(),
+                cell_edges_.begin() + cell_offsets_[i]);
+    }
+  }
 }
 
 SpatialIndex::CellKey SpatialIndex::KeyFor(const geo::EnPoint& p) const {
@@ -64,18 +113,53 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
       static_cast<int>(std::ceil(radius_m / cell_size_m_)) + 1;
   const CellKey center = KeyFor(p);
   int64_t cells_probed = 0;
-  std::unordered_set<EdgeId> candidate_edges;
+  QueryScratch& scratch = scratch_->Local();
+  if (scratch.seen_stamp.size() < edge_bounds_.size()) {
+    scratch.seen_stamp.assign(edge_bounds_.size(), 0);
+    scratch.generation = 0;
+  }
+  if (++scratch.generation == 0) {  // stamp wrap: invalidate everything
+    std::fill(scratch.seen_stamp.begin(), scratch.seen_stamp.end(), 0);
+    scratch.generation = 1;
+  }
+  const uint32_t gen = scratch.generation;
+  std::vector<EdgeId>& gathered = scratch.gathered;
+  gathered.clear();
   for (int dx = -reach; dx <= reach; ++dx) {
     for (int dy = -reach; dy <= reach; ++dy) {
       ++cells_probed;
-      const auto it =
-          cells_.find(CellKey{center.cx + dx, center.cy + dy});
-      if (it == cells_.end()) continue;
-      candidate_edges.insert(it->second.begin(), it->second.end());
+      const int64_t cx = static_cast<int64_t>(center.cx) + dx - grid_min_cx_;
+      const int64_t cy = static_cast<int64_t>(center.cy) + dy - grid_min_cy_;
+      if (cx < 0 || cx >= grid_cols_ || cy < 0 || cy >= grid_rows_) continue;
+      const size_t i = static_cast<size_t>(cy) *
+                           static_cast<size_t>(grid_cols_) +
+                       static_cast<size_t>(cx);
+      for (int32_t k = cell_offsets_[i]; k < cell_offsets_[i + 1]; ++k) {
+        const EdgeId id = cell_edges_[static_cast<size_t>(k)];
+        uint32_t& stamp = scratch.seen_stamp[static_cast<size_t>(id)];
+        if (stamp != gen) {
+          stamp = gen;
+          gathered.push_back(id);
+        }
+      }
     }
   }
+
+  // Pre-projection reject against the edge's geometry bounds. The slack
+  // keeps the reject strictly conservative against floating-point
+  // rounding of the squared distance: an edge is only skipped when its
+  // whole bounding box - and therefore its polyline - is beyond the
+  // radius, so the surviving projections produce exactly the candidates
+  // the unfiltered loop would.
+  const double limit = radius_m + 1e-6;
+  const double limit_sq = limit * limit;
   std::vector<EdgeCandidate> out;
-  for (EdgeId id : candidate_edges) {
+  out.reserve(8);
+  for (EdgeId id : gathered) {
+    const geo::Bbox& b = edge_bounds_[static_cast<size_t>(id)];
+    const double ddx = std::max({b.min_x - p.x, 0.0, p.x - b.max_x});
+    const double ddy = std::max({b.min_y - p.y, 0.0, p.y - b.max_y});
+    if (ddx * ddx + ddy * ddy > limit_sq) continue;
     const geo::PolylineProjection proj =
         network_->edge(id).geometry.Project(p);
     if (proj.distance <= radius_m) {
@@ -96,7 +180,7 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
   query_stats_->cells_probed.fetch_add(cells_probed,
                                        std::memory_order_relaxed);
   query_stats_->candidates.fetch_add(
-      static_cast<int64_t>(candidate_edges.size()),
+      static_cast<int64_t>(gathered.size()),
       std::memory_order_relaxed);
   query_stats_->hits.fetch_add(static_cast<int64_t>(out.size()),
                                std::memory_order_relaxed);

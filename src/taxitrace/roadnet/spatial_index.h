@@ -5,11 +5,12 @@
 #define TAXITRACE_ROADNET_SPATIAL_INDEX_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "taxitrace/common/executor.h"
 #include "taxitrace/roadnet/road_network.h"
 
 namespace taxitrace {
@@ -36,6 +37,14 @@ struct SpatialIndexStats {
 /// stores the edges whose geometry passes through it. The index is
 /// immutable after construction and holds a pointer to the network, which
 /// must outlive it.
+///
+/// Storage is a dense row-major grid flattened CSR-style
+/// (cell_offsets_/cell_edges_), so a query probe is an array load rather
+/// than a hash lookup, and per-edge geometry bounds let a query reject
+/// most gathered candidates with four comparisons before paying for a
+/// polyline projection. Both are pure layout changes: the candidate set,
+/// the returned hits, and every stats() counter are identical to the
+/// hash-map implementation this replaced.
 class SpatialIndex {
  public:
   /// Builds the index. `cell_size_m` trades memory for query precision;
@@ -85,7 +94,32 @@ class SpatialIndex {
 
   const RoadNetwork* network_;
   double cell_size_m_;
-  std::unordered_map<CellKey, std::vector<EdgeId>, CellKeyHash> cells_;
+  // Dense grid over [grid_min_cx_, grid_min_cx_ + grid_cols_) x
+  // [grid_min_cy_, grid_min_cy_ + grid_rows_): cell (cx, cy) owns the
+  // edge ids cell_edges_[cell_offsets_[i] .. cell_offsets_[i + 1]) with
+  // i = (cy - grid_min_cy_) * grid_cols_ + (cx - grid_min_cx_).
+  int32_t grid_min_cx_ = 0;
+  int32_t grid_min_cy_ = 0;
+  int32_t grid_cols_ = 0;
+  int32_t grid_rows_ = 0;
+  std::vector<int32_t> cell_offsets_;
+  std::vector<EdgeId> cell_edges_;
+  // Bounding box of each edge's geometry, indexed by edge id. The box
+  // encloses the polyline, so a point farther than `r` from the box is
+  // farther than `r` from the edge — a safe pre-projection reject.
+  std::vector<geo::Bbox> edge_bounds_;
+  // Per-worker query scratch: the gathered-candidate list and a
+  // generation-stamped seen marker per edge (same trick as the router's
+  // SearchScratch), so a query deduplicates with one array read per
+  // gathered id and allocates nothing in steady state. Purely an
+  // execution detail — the deduplicated set is what the old per-query
+  // sort produced, and the output is fully re-ordered afterwards.
+  struct QueryScratch {
+    std::vector<EdgeId> gathered;
+    std::vector<uint32_t> seen_stamp;
+    uint32_t generation = 0;
+  };
+  std::shared_ptr<WorkerLocal<QueryScratch>> scratch_;
   std::shared_ptr<AtomicStats> query_stats_;
   int64_t empty_geometry_edges_ = 0;
 };

@@ -6,6 +6,7 @@
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/mapmatch/match_quality.h"
 #include "taxitrace/mapmatch/nearest_edge_matcher.h"
+#include "taxitrace/mapmatch/route_cache.h"
 #include "taxitrace/roadnet/router.h"
 #include "taxitrace/synth/city_map_generator.h"
 #include "taxitrace/synth/driver_model.h"
@@ -279,6 +280,72 @@ TEST(MatchQualityTest, RouteLengthError) {
   EXPECT_DOUBLE_EQ(RouteLengthError(110.0, 100.0), 0.1);
   EXPECT_DOUBLE_EQ(RouteLengthError(90.0, 100.0), 0.1);
   EXPECT_TRUE(std::isinf(RouteLengthError(10.0, 0.0)));
+}
+
+// --- Route cache ------------------------------------------------------------
+
+roadnet::EdgePosition Pos(roadnet::EdgeId edge, double arc) {
+  return roadnet::EdgePosition{edge, arc};
+}
+
+Result<roadnet::Path> PathOfLength(double length_m) {
+  roadnet::Path p;
+  p.length_m = length_m;
+  return p;
+}
+
+TEST(RouteCacheTest, HitMissAndRefresh) {
+  RouteCache cache(4);
+  EXPECT_EQ(cache.Find(Pos(1, 0.0), Pos(2, 5.0)), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1);
+  cache.Insert(Pos(1, 0.0), Pos(2, 5.0), PathOfLength(42.0));
+
+  const Result<roadnet::Path>* hit = cache.Find(Pos(1, 0.0), Pos(2, 5.0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ((*hit)->length_m, 42.0);
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  // The key is the exact bit pattern of both positions: a different arc
+  // length is a different entry.
+  EXPECT_EQ(cache.Find(Pos(1, 0.0), Pos(2, 5.5)), nullptr);
+  // Re-inserting an existing key refreshes the value in place.
+  cache.Insert(Pos(1, 0.0), Pos(2, 5.0), PathOfLength(43.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ((*cache.Find(Pos(1, 0.0), Pos(2, 5.0)))->length_m, 43.0);
+}
+
+TEST(RouteCacheTest, CachesNotFoundOutcomes) {
+  RouteCache cache(2);
+  cache.Insert(Pos(3, 0.0), Pos(4, 0.0), Status::NotFound("unreachable"));
+  const Result<roadnet::Path>* hit = cache.Find(Pos(3, 0.0), Pos(4, 0.0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->status().IsNotFound());
+}
+
+TEST(RouteCacheTest, EvictsLeastRecentlyUsed) {
+  RouteCache cache(2);
+  cache.Insert(Pos(1, 0.0), Pos(9, 0.0), PathOfLength(1.0));
+  cache.Insert(Pos(2, 0.0), Pos(9, 0.0), PathOfLength(2.0));
+  // Touch entry 1 so entry 2 becomes the eviction victim.
+  ASSERT_NE(cache.Find(Pos(1, 0.0), Pos(9, 0.0)), nullptr);
+  cache.Insert(Pos(3, 0.0), Pos(9, 0.0), PathOfLength(3.0));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.Find(Pos(1, 0.0), Pos(9, 0.0)), nullptr);
+  EXPECT_EQ(cache.Find(Pos(2, 0.0), Pos(9, 0.0)), nullptr);
+  EXPECT_NE(cache.Find(Pos(3, 0.0), Pos(9, 0.0)), nullptr);
+}
+
+TEST(RouteCacheTest, CapacityZeroDisables) {
+  RouteCache cache(0);
+  cache.Insert(Pos(1, 0.0), Pos(2, 0.0), PathOfLength(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find(Pos(1, 0.0), Pos(2, 0.0)), nullptr);
+  // A disabled cache is transparent in the metrics too: no tallies.
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.stats().evictions, 0);
 }
 
 }  // namespace

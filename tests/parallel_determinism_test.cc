@@ -8,6 +8,7 @@
 
 #include "taxitrace/common/check.h"
 #include "taxitrace/core/pipeline.h"
+#include "taxitrace/core/reports.h"
 
 namespace taxitrace {
 namespace {
@@ -265,6 +266,64 @@ TEST(ParallelDeterminismTest, FaultedFunnelReconcilesAcrossWorkers) {
       RunWithThreads(8, fault::FaultPlan::Uniform(0.02), true);
   ExpectIdenticalResults(FaultedSerialReference(), parallel);
   ExpectIdenticalObservability(serial, parallel);
+}
+
+// Route-cache legs. The gap-fill memo only skips repeat searches, so a
+// cache-off run (capacity 0) must reproduce the cache-on results
+// exactly — field for field and down to the golden digest — at every
+// worker count. (The cache-on legs are the default-config tests above.)
+core::StudyResults RunWithCacheOff(int num_threads) {
+  core::StudyConfig config = core::StudyConfig::SmallStudy();
+  config.num_threads = num_threads;
+  config.matcher.gap.route_cache_capacity = 0;
+  core::Pipeline pipeline(config);
+  auto run = pipeline.Run();
+  TT_CHECK_OK(run.status());
+  return std::move(run).value();
+}
+
+TEST(ParallelDeterminismTest, CacheOffSerialMatchesSerial) {
+  const core::StudyResults run = RunWithCacheOff(0);
+  ExpectIdenticalResults(SerialReference(), run);
+  EXPECT_EQ(core::StudyDigestJson(SerialReference()),
+            core::StudyDigestJson(run));
+}
+
+TEST(ParallelDeterminismTest, CacheOffOneWorkerMatchesSerial) {
+  ExpectIdenticalResults(SerialReference(), RunWithCacheOff(1));
+}
+
+TEST(ParallelDeterminismTest, CacheOffTwoWorkersMatchSerial) {
+  ExpectIdenticalResults(SerialReference(), RunWithCacheOff(2));
+}
+
+TEST(ParallelDeterminismTest, CacheOffEightWorkersMatchSerial) {
+  const core::StudyResults run = RunWithCacheOff(8);
+  ExpectIdenticalResults(SerialReference(), run);
+  EXPECT_EQ(core::StudyDigestJson(SerialReference()),
+            core::StudyDigestJson(run));
+}
+
+// The router's work counters are sums of per-search deterministic work
+// (goal-directed or not is decided by the search arguments alone), and
+// the route-cache tallies fold per trip in cleaned order, so the whole
+// counter snapshot — including the Dijkstra-vs-A* mix — is identical at
+// any worker count.
+TEST(ParallelDeterminismTest, RouterCountersDeterministicAcrossWorkers) {
+  const std::vector<obs::CounterSample>& counters =
+      ObservedSerialReference().observability.counters;
+  for (const char* name :
+       {"roadnet.router.searches", "roadnet.router.heap_pops",
+        "roadnet.router.settled_vertices",
+        "roadnet.router.goal_directed_searches",
+        "mapmatch.route_cache.hits", "mapmatch.route_cache.misses",
+        "mapmatch.route_cache.evictions"}) {
+    bool found = false;
+    for (const obs::CounterSample& c : counters) found |= c.name == name;
+    EXPECT_TRUE(found) << "missing counter " << name;
+  }
+  const core::StudyResults run = RunWithThreads(8, {}, true);
+  EXPECT_EQ(counters, run.observability.counters);
 }
 
 TEST(ParallelDeterminismTest, ThreadCountsAreRecorded) {

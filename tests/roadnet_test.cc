@@ -582,6 +582,99 @@ TEST(RouterOneWayTest, PositionRoutingRespectsOneWay) {
                   .IsNotFound());
 }
 
+// --- CSR adjacency ----------------------------------------------------------
+
+// OutArcs is a flattened mirror of IncidentEdges: same edges in the
+// same order, with head/length/traversability/orientation agreeing
+// with the Edge records they were precomputed from.
+TEST(RoadNetworkCsrTest, OutArcsMirrorsIncidentEdges) {
+  const RoadNetwork net =
+      PrepareRoadNetwork(GridElements(), {}, kOrigin).value();
+  for (const Vertex& v : net.vertices()) {
+    const std::vector<EdgeId>& incident = net.IncidentEdges(v.id);
+    const std::span<const HalfEdge> arcs = net.OutArcs(v.id);
+    ASSERT_EQ(incident.size(), arcs.size()) << "vertex " << v.id;
+    for (size_t k = 0; k < arcs.size(); ++k) {
+      const HalfEdge& arc = arcs[k];
+      EXPECT_EQ(arc.edge, incident[k]) << "vertex " << v.id;
+      const Edge& e = net.edge(arc.edge);
+      EXPECT_EQ(arc.forward, e.from == v.id);
+      EXPECT_EQ(arc.head, net.Opposite(arc.edge, v.id));
+      EXPECT_EQ(arc.length_m, e.length_m);
+      EXPECT_EQ(arc.traversable_out, net.CanTraverse(arc.edge, arc.forward));
+      EXPECT_EQ(arc.traversable_in, net.CanTraverse(arc.edge, !arc.forward));
+    }
+  }
+}
+
+// The CSR cache follows builder growth: arcs added after a first read
+// appear on the next read.
+TEST(RoadNetworkCsrTest, OutArcsFollowsBuilderGrowth) {
+  RoadNetwork net(kOrigin);
+  const VertexId a = net.AddVertex({0, 0}, false);
+  const VertexId b = net.AddVertex({100, 0}, false);
+  Edge e;
+  e.from = a;
+  e.to = b;
+  e.geometry = geo::Polyline({{0, 0}, {100, 0}});
+  e.length_m = 100.0;
+  net.AddEdge(std::move(e));
+  EXPECT_EQ(net.OutArcs(a).size(), 1u);
+
+  const VertexId c = net.AddVertex({0, 100}, false);
+  Edge e2;
+  e2.from = a;
+  e2.to = c;
+  e2.geometry = geo::Polyline({{0, 0}, {0, 100}});
+  e2.length_m = 100.0;
+  net.AddEdge(std::move(e2));
+  EXPECT_EQ(net.OutArcs(a).size(), 2u);
+  EXPECT_EQ(net.OutArcs(c).size(), 1u);
+  EXPECT_EQ(net.OutArcs(c)[0].head, a);
+}
+
+// --- Seed dedupe ------------------------------------------------------------
+
+// Regression: a loop edge hands Search two seeds naming the same vertex
+// (both endpoints are the hub). The seed phase must keep the cheaper
+// cost and push one heap entry — with the old duplicate push the search
+// still answered correctly but popped a guaranteed-stale entry, so
+// heap_pops exceeded settled_vertices on this two-vertex graph.
+TEST(RouterSeedDedupeTest, CoincidentSeedsOnLoopEdge) {
+  RoadNetwork net(kOrigin);
+  const VertexId hub = net.AddVertex({0, 0}, true);
+  const VertexId out = net.AddVertex({100, 0}, false);
+  Edge loop;
+  loop.from = hub;
+  loop.to = hub;
+  loop.geometry =
+      geo::Polyline({{0, 0}, {50, 50}, {0, 100}, {-50, 50}, {0, 0}});
+  loop.length_m = loop.geometry.Length();
+  const EdgeId loop_id = net.AddEdge(std::move(loop));
+  Edge spur;
+  spur.from = hub;
+  spur.to = out;
+  spur.geometry = geo::Polyline({{0, 0}, {100, 0}});
+  spur.length_m = 100.0;
+  const EdgeId spur_id = net.AddEdge(std::move(spur));
+
+  const Router router(&net);
+  const double loop_len = net.edge(loop_id).length_m;
+  // Start 30 m into the loop: leaving backwards (30 m to the hub) beats
+  // leaving forwards (loop_len - 30 m), and the kept seed must be the
+  // cheaper of the two coincident ones.
+  const Result<Path> path = router.ShortestPathBetween(
+      EdgePosition{loop_id, 30.0}, EdgePosition{spur_id, 40.0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_NEAR(path->length_m, 30.0 + 40.0, 1e-9);
+  EXPECT_GT(loop_len - 30.0, 30.0);  // the discarded seed was dearer
+
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.searches, 1);
+  // No stale pops on this graph once the duplicate seed is gone.
+  EXPECT_EQ(stats.heap_pops, stats.settled_vertices);
+}
+
 TEST(RoadNetworkValidateTest, DetectsBadFeatureReference) {
   RoadNetwork net(kOrigin);
   const VertexId a = net.AddVertex({0, 0}, false);

@@ -1,0 +1,179 @@
+// Property test for the routing overhaul: the production Router (CSR
+// adjacency, generation-stamped scratch, goal-directed A* with Dijkstra
+// fallback) must return the same paths as a plain textbook Dijkstra —
+// identical step sequences and lengths, not just equal costs — across
+// hundreds of random OD pairs, with and without edge cost multipliers.
+//
+// The reference below is deliberately the naive historical algorithm:
+// freshly allocated O(|V|) arrays, a (dist, vertex)-keyed binary heap,
+// strict-improvement relaxation in OutArcs order. A* explores in a
+// different heap order, but relaxation is strict in both, so prev
+// pointers — and therefore reconstructed paths — agree whenever
+// shortest paths are unique at full double precision, which random
+// geometric lengths make overwhelmingly likely.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "taxitrace/common/random.h"
+#include "taxitrace/roadnet/router.h"
+#include "taxitrace/synth/city_map_generator.h"
+
+namespace taxitrace {
+namespace roadnet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ReferencePath {
+  bool found = false;
+  std::vector<PathStep> steps;
+  double cost = 0.0;
+};
+
+// Textbook Dijkstra from `from`, stopping when `to` settles.
+ReferencePath ReferenceDijkstra(
+    const RoadNetwork& net, VertexId from, VertexId to,
+    const std::vector<double>* edge_cost_multiplier = nullptr) {
+  const size_t n = net.vertices().size();
+  std::vector<double> dist(n, kInf);
+  std::vector<EdgeId> prev_edge(n, kInvalidEdge);
+  std::vector<VertexId> prev_vertex(n, kInvalidVertex);
+  using HeapEntry = std::pair<double, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  dist[static_cast<size_t>(from)] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(v)]) continue;  // stale
+    if (v == to) break;
+    for (const HalfEdge& arc : net.OutArcs(v)) {
+      if (!arc.traversable_out) continue;
+      const double mult =
+          edge_cost_multiplier == nullptr
+              ? 1.0
+              : (*edge_cost_multiplier)[static_cast<size_t>(arc.edge)];
+      const double nd = d + arc.length_m * mult;
+      if (nd < dist[static_cast<size_t>(arc.head)]) {
+        dist[static_cast<size_t>(arc.head)] = nd;
+        prev_edge[static_cast<size_t>(arc.head)] = arc.edge;
+        prev_vertex[static_cast<size_t>(arc.head)] = v;
+        heap.emplace(nd, arc.head);
+      }
+    }
+  }
+
+  ReferencePath result;
+  if (!(dist[static_cast<size_t>(to)] < kInf)) return result;
+  result.found = true;
+  result.cost = dist[static_cast<size_t>(to)];
+  std::vector<PathStep> rev;
+  VertexId v = to;
+  while (v != from) {
+    const EdgeId e = prev_edge[static_cast<size_t>(v)];
+    const VertexId p = prev_vertex[static_cast<size_t>(v)];
+    rev.push_back(PathStep{e, net.edge(e).from == p});
+    v = p;
+  }
+  result.steps.assign(rev.rbegin(), rev.rend());
+  return result;
+}
+
+const synth::CityMap& TestMap() {
+  static const synth::CityMap map = [] {
+    synth::CityMapOptions options;
+    return synth::GenerateCityMap(options).value();
+  }();
+  return map;
+}
+
+void ExpectSamePath(const ReferencePath& ref, const Result<Path>& got,
+                    VertexId from, VertexId to) {
+  ASSERT_EQ(ref.found, got.ok())
+      << "reachability disagrees for " << from << " -> " << to;
+  if (!ref.found) return;
+  const RoadNetwork& net = TestMap().network;
+  ASSERT_EQ(ref.steps.size(), got->steps.size())
+      << "step count disagrees for " << from << " -> " << to;
+  double real_length = 0.0;
+  for (size_t i = 0; i < ref.steps.size(); ++i) {
+    EXPECT_EQ(ref.steps[i].edge, got->steps[i].edge)
+        << "step " << i << " of " << from << " -> " << to;
+    EXPECT_EQ(ref.steps[i].forward, got->steps[i].forward)
+        << "step " << i << " of " << from << " -> " << to;
+    real_length += net.edge(ref.steps[i].edge).length_m;
+  }
+  // ShortestPath reports the real geometric length regardless of the
+  // multiplier used for route choice.
+  EXPECT_EQ(real_length, got->length_m) << from << " -> " << to;
+}
+
+// 200+ random OD pairs, no multiplier: goal-directed A* throughout.
+TEST(RouterEquivalenceTest, MatchesReferenceDijkstraOnRandomPairs) {
+  const RoadNetwork& net = TestMap().network;
+  const Router router(&net);
+  const auto n = static_cast<int64_t>(net.vertices().size());
+  Rng rng(1234);
+  int reachable = 0;
+  for (int i = 0; i < 220; ++i) {
+    const auto from = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const auto to = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const ReferencePath ref = ReferenceDijkstra(net, from, to);
+    ExpectSamePath(ref, router.ShortestPath(from, to), from, to);
+    reachable += ref.found ? 1 : 0;
+  }
+  // The generated city core is strongly connected; if nearly every pair
+  // were unreachable the test would be vacuous.
+  EXPECT_GT(reachable, 150);
+  EXPECT_EQ(router.stats().goal_directed_searches, router.stats().searches);
+}
+
+// Multipliers >= 1 keep the straight-line heuristic admissible: the
+// router must stay goal-directed and still agree with the reference.
+TEST(RouterEquivalenceTest, MatchesReferenceWithInflatingMultipliers) {
+  const RoadNetwork& net = TestMap().network;
+  const Router router(&net);
+  const auto n = static_cast<int64_t>(net.vertices().size());
+  Rng rng(5678);
+  std::vector<double> multiplier(net.edges().size());
+  for (double& m : multiplier) m = rng.Uniform(1.0, 1.8);
+  for (int i = 0; i < 110; ++i) {
+    const auto from = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const auto to = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    ExpectSamePath(ReferenceDijkstra(net, from, to, &multiplier),
+                   router.ShortestPath(from, to, &multiplier), from, to);
+  }
+  EXPECT_EQ(router.stats().goal_directed_searches, router.stats().searches);
+}
+
+// A single multiplier below 1 breaks admissibility; the router must
+// fall back to plain Dijkstra (goal_directed_searches stays 0) and the
+// paths must still match the reference run with the same costs.
+TEST(RouterEquivalenceTest, MatchesReferenceUnderDijkstraFallback) {
+  const RoadNetwork& net = TestMap().network;
+  const Router router(&net);
+  const auto n = static_cast<int64_t>(net.vertices().size());
+  Rng rng(9876);
+  std::vector<double> multiplier(net.edges().size());
+  for (double& m : multiplier) m = rng.Uniform(0.6, 1.5);
+  for (int i = 0; i < 110; ++i) {
+    const auto from = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const auto to = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    ExpectSamePath(ReferenceDijkstra(net, from, to, &multiplier),
+                   router.ShortestPath(from, to, &multiplier), from, to);
+  }
+  EXPECT_GT(router.stats().searches, 0);
+  EXPECT_EQ(router.stats().goal_directed_searches, 0);
+}
+
+}  // namespace
+}  // namespace roadnet
+}  // namespace taxitrace
