@@ -211,7 +211,8 @@ void PrintScaling() {
   char line[256];
   std::snprintf(
       line, sizeof line, "  \"hardware_threads\": %u,\n",
-      std::thread::hardware_concurrency());  // tt-lint: allow(raw-thread)
+      // tt-lint: allow(raw-thread): thread-count probe for the report header
+      std::thread::hardware_concurrency());
   json += line;
   std::snprintf(line, sizeof line, "  \"raw_points\": %lld,\n",
                 static_cast<long long>(serial.cleaning_report.raw_points));

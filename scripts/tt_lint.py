@@ -1,260 +1,16 @@
 #!/usr/bin/env python3
-"""Repo-idiom linter for the taxitrace tree.
+"""Entry shim: the linter lives in the tt_lint package next to this
+file (scripts/tt_lint/). Kept so `python3 scripts/tt_lint.py` — the
+invocation ctest and CI use — stays stable across the regex-to-engine
+rewrite. See `--list-rules` for the catalogue and docs/ARCHITECTURE.md
+"Static analysis" for the rule reference and suppression policy."""
 
-Greps src/taxitrace/ for patterns the codebase has banned:
-
-  bare-assert       assert( in library code. Asserts compile away in
-                    Release; invariants must use TT_CHECK / TT_DCHECK
-                    from taxitrace/common/check.h.
-  result-ok-status  Constructing a Result from Status::OK(). A Result
-                    either holds a value or a *non-OK* status; this is
-                    a TT_CHECK abort at runtime — catch it in review.
-  ignored-status    Calling a Status-returning function as a bare
-                    statement. [[nodiscard]] catches this at compile
-                    time for by-value returns; the linter also covers
-                    code that is not compiled on every platform.
-  include-path      #include "..." in src/ that does not use the
-                    canonical taxitrace/... path form.
-  raw-thread        std::thread / std::jthread / std::async outside
-                    taxitrace/common/executor.*. All parallelism goes
-                    through the Executor so the determinism contract
-                    (ordered merges, derived RNG streams) holds.
-  adhoc-timing      std::chrono outside taxitrace/common/executor.* and
-                    taxitrace/obs/. All wall-clock measurement goes
-                    through obs::StageSpan (or the executor's queue
-                    accounting) so stage costs land in one uniform,
-                    dumpable record instead of scattered stopwatches.
-  linear-reset      Resetting whole-graph search state (dist / prev /
-                    seen / stamp arrays) with .assign or std::fill
-                    outside a scratch type. Per-search O(|V|) clears are
-                    exactly what the generation-stamped scratch types
-                    (roadnet/search_scratch.h, the spatial index's
-                    QueryScratch) exist to avoid; search code must reuse
-                    them so a search costs O(visited), not O(|V|).
-  unregistered-test A tests/*.cc file that tests/CMakeLists.txt never
-                    references: the test compiles on nobody's machine
-                    and silently never runs. (Repo-level rule; not
-                    suppressable on a line.)
-
-A finding can be suppressed on its line with: // tt-lint: allow(<rule>)
-
-Exit status: 0 when clean, 1 when findings were printed, 2 on usage
-errors. Runs as a ctest entry (tt_lint) and as a CI step.
-"""
-
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-SRC_SUFFIXES = {".h", ".cc"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-ALLOW_RE = re.compile(r"//\s*tt-lint:\s*allow\(([a-z-]+)\)")
-
-BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
-RAW_THREAD_RE = re.compile(r"std::(thread|jthread|async)\b")
-ADHOC_TIMING_RE = re.compile(r"std::chrono\b")
-RESULT_OK_RE = re.compile(r"Result<[^;]*Status::OK\(\)")
-# Whole-array clears of search-state vectors: dist_.assign(n, inf),
-# std::fill(seen.begin(), ...). Growth-only resize() is fine — the
-# scratch types use it — and lines that go through a scratch object
-# (or live in a *scratch* file) are the sanctioned implementation.
-LINEAR_RESET_RE = re.compile(
-    r"\b(?:dist|prev(?:_edge|_vertex)?|visited|settled|seen(?:_stamp)?|stamp)"
-    r"_?\s*(?:\.|->)\s*assign\s*\(|"
-    r"std::fill\s*\(\s*(?:\w+\s*(?:\.|->)\s*)*"
-    r"(?:dist|prev|visited|settled|seen|stamp)")
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-
-# Declarations like:  Status Foo(...  /  [[nodiscard]] Status Foo(...
-STATUS_DECL_RE = re.compile(
-    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+)?Status\s+(\w+)\s*\(")
-# Call statement:  optional receiver chain, then Name(...);  with no
-# assignment, return, or macro wrapping on the line.
-CALL_STMT_TEMPLATE = r"^\s*(?:[\w\]\)]+(?:\.|->|::))*{name}\s*\("
-
-
-def strip_comments_and_strings(line: str) -> str:
-    """Best-effort removal of // comments and string literals so the
-    pattern rules do not fire on prose or log messages."""
-    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
-    line = re.sub(r"//.*", "", line)
-    return line
-
-
-def collect_status_functions(files: list[Path]) -> set[str]:
-    """Names of functions declared to return Status in src/ headers."""
-    names: set[str] = set()
-    for path in files:
-        if path.suffix != ".h":
-            continue
-        # Status's own factory functions (OK, NotFound, ...) are value
-        # producers, not fallible calls.
-        if path.name == "status.h" and path.parent.name == "common":
-            continue
-        for line in path.read_text(encoding="utf-8").splitlines():
-            m = STATUS_DECL_RE.match(line)
-            if m:
-                names.add(m.group(1))
-    names -= {"OK", "Status"}
-    return names
-
-
-def lint_file(path: Path, status_fns: set[str], repo_root: Path) -> list[str]:
-    findings = []
-    rel = path.relative_to(repo_root)
-    in_block_comment = False
-    prev_code_line = ""
-    is_check_header = rel.as_posix() == "src/taxitrace/common/check.h"
-    is_executor = rel.as_posix() in (
-        "src/taxitrace/common/executor.h",
-        "src/taxitrace/common/executor.cc",
-    )
-    # Timing is sanctioned only where it is the module's job: the
-    # executor's queue accounting and the obs/ span layer.
-    timing_exempt = is_executor or \
-        rel.as_posix().startswith("src/taxitrace/obs/")
-    for lineno, raw in enumerate(
-            path.read_text(encoding="utf-8").splitlines(), start=1):
-        allowed = set(ALLOW_RE.findall(raw))
-
-        # Track /* ... */ blocks coarsely (the tree uses // comments).
-        if in_block_comment:
-            if "*/" in raw:
-                in_block_comment = False
-            continue
-        # The include rule needs the quoted path, so it runs on the raw
-        # line before string literals are stripped.
-        include_m = INCLUDE_RE.match(raw)
-        line = strip_comments_and_strings(raw)
-        if "/*" in line and "*/" not in line:
-            in_block_comment = True
-            line = line.split("/*")[0]
-
-        def report(rule: str, message: str) -> None:
-            if rule not in allowed:
-                findings.append(f"{rel}:{lineno}: [{rule}] {message}")
-
-        if (BARE_ASSERT_RE.search(line) and "static_assert" not in line
-                and not is_check_header):
-            report("bare-assert",
-                   "bare assert() in library code; use TT_CHECK or "
-                   "TT_DCHECK (taxitrace/common/check.h)")
-
-        if RAW_THREAD_RE.search(line) and not is_executor:
-            report("raw-thread",
-                   "raw std::thread/std::async; use the Executor "
-                   "(taxitrace/common/executor.h) so parallel stages "
-                   "stay deterministic")
-
-        if ADHOC_TIMING_RE.search(line) and not timing_exempt:
-            report("adhoc-timing",
-                   "ad-hoc std::chrono timing; use obs::StageSpan "
-                   "(taxitrace/obs/stage_span.h) so the cost shows up "
-                   "in the stage trace")
-
-        if (LINEAR_RESET_RE.search(line) and "scratch" not in path.name
-                and "scratch" not in line):
-            report("linear-reset",
-                   "O(|V|) per-search reset of search state; keep it in "
-                   "a generation-stamped scratch "
-                   "(taxitrace/roadnet/search_scratch.h) so each search "
-                   "costs O(visited)")
-
-        if RESULT_OK_RE.search(line):
-            report("result-ok-status",
-                   "Result constructed from Status::OK(); a Result holds "
-                   "a value or a non-OK status")
-
-        if include_m and not include_m.group(1).startswith("taxitrace/"):
-            report("include-path",
-                   f'#include "{include_m.group(1)}" does not use the '
-                   'taxitrace/... path form')
-
-        stripped = line.strip()
-        # A line continuing a previous expression (assignment, argument
-        # list, ternary, ...) is not a bare statement.
-        is_continuation = bool(prev_code_line) and \
-            prev_code_line[-1] in "=(,?:+-|&<>"
-        if stripped.endswith(";") and "=" not in stripped \
-                and not is_continuation \
-                and not stripped.startswith("return") \
-                and "TT_CHECK_OK" not in stripped \
-                and "RETURN_IF_ERROR" not in stripped \
-                and "(void)" not in stripped:
-            for name in status_fns:
-                if re.match(CALL_STMT_TEMPLATE.format(name=re.escape(name)),
-                            stripped):
-                    report("ignored-status",
-                           f"return value of Status-returning {name}() "
-                           "is ignored")
-                    break
-        if stripped:
-            prev_code_line = stripped
-
-    return findings
-
-
-def check_test_registration(repo_root: Path) -> list[str]:
-    """Every tests/*.cc must be referenced by tests/CMakeLists.txt."""
-    tests_dir = repo_root / "tests"
-    cmake = tests_dir / "CMakeLists.txt"
-    if not cmake.is_file():
-        return []
-    cmake_text = cmake.read_text(encoding="utf-8")
-    findings = []
-    for source in sorted(tests_dir.glob("*.cc")):
-        if source.name not in cmake_text:
-            findings.append(
-                f"tests/{source.name}: [unregistered-test] test source is "
-                "not referenced by tests/CMakeLists.txt, so it never "
-                "builds or runs")
-    return findings
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("paths", nargs="*",
-                        help="files or directories to lint "
-                             "(default: src/taxitrace under the repo root)")
-    parser.add_argument("--root", type=Path,
-                        default=Path(__file__).resolve().parent.parent,
-                        help="repository root (default: inferred)")
-    args = parser.parse_args()
-
-    repo_root = args.root.resolve()
-    targets = [Path(p).resolve() for p in args.paths] or \
-        [repo_root / "src" / "taxitrace"]
-
-    files: list[Path] = []
-    for target in targets:
-        if target.is_dir():
-            files.extend(p for p in sorted(target.rglob("*"))
-                         if p.suffix in SRC_SUFFIXES)
-        elif target.is_file():
-            files.append(target)
-        else:
-            print(f"tt_lint: no such path: {target}", file=sys.stderr)
-            return 2
-
-    status_fns = collect_status_functions(files)
-
-    findings: list[str] = []
-    for path in files:
-        findings.extend(lint_file(path, status_fns, repo_root))
-    findings.extend(check_test_registration(repo_root))
-
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"tt_lint: {len(findings)} finding(s) in {len(files)} files",
-              file=sys.stderr)
-        return 1
-    print(f"tt_lint: clean ({len(files)} files)", file=sys.stderr)
-    return 0
-
+from tt_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,8 @@
+"""`python3 -m tt_lint` entry point (with scripts/ on sys.path)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the analyzer gate CI on *new* findings while known
+debt is burned down deliberately. Entries are fingerprinted by rule,
+path, and the whitespace-normalized source line (plus an ordinal for
+identical lines), so they survive unrelated line-number drift but die
+with the code they describe.
+
+Format (scripts/tt_lint_baseline.json):
+
+  {"version": 1,
+   "findings": [{"rule": ..., "path": ..., "fingerprint": ...,
+                 "line": ..., "note": ...}, ...]}
+
+`line` and `note` are documentation for humans; matching uses only
+(rule, path, fingerprint). Regenerate with --write-baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .engine import Finding, SourceFile
+
+VERSION = 1
+
+
+class BaselineError(Exception):
+    pass
+
+
+def fingerprint(finding: Finding, line_text: str, ordinal: int) -> str:
+    normalized = " ".join(line_text.split())
+    blob = f"{finding.rule}|{finding.path}|{normalized}|{ordinal}"
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprints(findings: list[Finding],
+                  files_by_rel: dict[str, SourceFile]) -> list[str]:
+    """Fingerprint per finding, ordinal-disambiguated for findings of
+    the same rule on identical source lines."""
+    seen: dict[str, int] = {}
+    out: list[str] = []
+    for f in findings:
+        sf = files_by_rel.get(f.path)
+        line_text = sf.line_text(f.line) if sf is not None else ""
+        base = f"{f.rule}|{f.path}|{' '.join(line_text.split())}"
+        ordinal = seen.get(base, 0)
+        seen[base] = ordinal + 1
+        out.append(fingerprint(f, line_text, ordinal))
+    return out
+
+
+def load(path: Path) -> dict[tuple[str, str, str], int]:
+    """Baseline as a multiset keyed by (rule, path, fingerprint)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise BaselineError(f"cannot read baseline {path}: {e}") from e
+    if not isinstance(data, dict) or data.get("version") != VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format/version")
+    entries: dict[tuple[str, str, str], int] = {}
+    for item in data.get("findings", []):
+        key = (item["rule"], item["path"], item["fingerprint"])
+        entries[key] = entries.get(key, 0) + 1
+    return entries
+
+
+def apply(findings: list[Finding],
+          files_by_rel: dict[str, SourceFile],
+          entries: dict[tuple[str, str, str], int],
+          ) -> tuple[list[Finding], int, int]:
+    """Split findings into (new, baselined_count, stale_count)."""
+    remaining = dict(entries)
+    new: list[Finding] = []
+    baselined = 0
+    prints = _fingerprints(findings, files_by_rel)
+    for f, fp in zip(findings, prints):
+        key = (f.rule, f.path, fp)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            new.append(f)
+    stale = sum(remaining.values())
+    return new, baselined, stale
+
+
+def write(path: Path, findings: list[Finding],
+          files_by_rel: dict[str, SourceFile]) -> None:
+    prints = _fingerprints(findings, files_by_rel)
+    items = []
+    for f, fp in sorted(zip(findings, prints),
+                        key=lambda p: (p[0].path, p[0].line, p[0].rule)):
+        items.append({
+            "rule": f.rule,
+            "path": f.path,
+            "fingerprint": fp,
+            "line": f.line,
+            "note": f.message,
+        })
+    payload = {"version": VERSION, "findings": items}
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")

@@ -1,0 +1,142 @@
+"""tt_lint command line.
+
+Exit status: 0 when clean (including findings covered by suppressions
+or the baseline), 1 when non-baselined findings were reported, 2 on
+usage errors (bad paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import baseline as baseline_mod
+from . import sarif as sarif_mod
+from .engine import SRC_SUFFIXES, SourceFile, run_analysis
+from .rules import all_rules, rule_catalogue
+
+DEFAULT_BASELINE = "scripts/tt_lint_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tt_lint",
+        description="Repo-idiom and determinism-contract linter for "
+                    "the taxitrace tree.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/taxitrace under the root)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: inferred)")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text",
+                        help="report format (default: text; sarif also "
+                             "prints the text summary to stderr)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report to this file instead of "
+                             "stdout")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE} under the "
+                             "root, when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, short in rule_catalogue():
+            print(f"{rule_id:24} {short}")
+        return 0
+
+    repo_root = args.root.resolve()
+    targets = [Path(p).resolve() for p in args.paths] or \
+        [repo_root / "src" / "taxitrace"]
+
+    paths: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            paths.extend(p for p in sorted(target.rglob("*"))
+                         if p.suffix in SRC_SUFFIXES)
+        elif target.is_file():
+            paths.append(target)
+        else:
+            print(f"tt_lint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    files = [SourceFile(p, repo_root) for p in paths]
+    file_rules, repo_rules = all_rules()
+    findings, suppressed = run_analysis(files, repo_root,
+                                        file_rules, repo_rules)
+    files_by_rel = {f.rel: f for f in files}
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = repo_root / DEFAULT_BASELINE
+        if candidate.is_file():
+            baseline_path = candidate
+
+    if args.write_baseline:
+        out_path = baseline_path or repo_root / DEFAULT_BASELINE
+        baseline_mod.write(out_path, findings, files_by_rel)
+        print(f"tt_lint: wrote {len(findings)} baseline entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to {out_path}",
+              file=sys.stderr)
+        return 0
+
+    baselined = stale = 0
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            entries = baseline_mod.load(baseline_path)
+        except baseline_mod.BaselineError as e:
+            print(f"tt_lint: {e}", file=sys.stderr)
+            return 2
+        findings, baselined, stale = baseline_mod.apply(
+            findings, files_by_rel, entries)
+        if stale:
+            print(f"tt_lint: warning: {stale} stale baseline entr"
+                  f"{'y' if stale == 1 else 'ies'} in {baseline_path} "
+                  "no longer fire; regenerate with --write-baseline",
+                  file=sys.stderr)
+
+    if args.format == "sarif":
+        report = sarif_mod.to_sarif(findings, rule_catalogue())
+    else:
+        report = "".join(
+            f"{f.path}:{f.line}: [{f.rule}] {f.message}\n"
+            for f in findings)
+
+    if args.output is not None:
+        args.output.write_text(report, encoding="utf-8")
+    elif report:
+        sys.stdout.write(report)
+        sys.stdout.flush()
+
+    extras = []
+    if suppressed:
+        extras.append(f"{suppressed} suppressed")
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    detail = f" ({', '.join(extras)})" if extras else ""
+
+    if findings:
+        if args.format == "sarif":
+            for f in findings:
+                print(f"{f.path}:{f.line}: [{f.rule}] {f.message}",
+                      file=sys.stderr)
+        print(f"tt_lint: {len(findings)} finding(s) in {len(files)} "
+              f"files{detail}", file=sys.stderr)
+        return 1
+    print(f"tt_lint: clean ({len(files)} files{detail})",
+          file=sys.stderr)
+    return 0

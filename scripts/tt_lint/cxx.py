@@ -1,0 +1,411 @@
+"""Structural helpers over the tt_lint token stream.
+
+Rules reason about constructs regex cannot see: matched bracket spans,
+range-for loop headers and bodies, lambda captures, statement
+boundaries, declared-local scans. All helpers work on token index
+ranges into a file's flat token list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tokenizer import ID, PUNCT, Token
+
+_OPEN = {"(": ")", "[": "]", "{": "}"}
+_CLOSE = {")": "(", "]": "[", "}": "{"}
+
+CXX_KEYWORDS = frozenset({
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "constexpr", "consteval", "constinit",
+    "continue", "decltype", "default", "delete", "do", "double", "else",
+    "enum", "explicit", "extern", "false", "float", "for", "friend",
+    "goto", "if", "inline", "int", "long", "mutable", "namespace",
+    "new", "noexcept", "nullptr", "operator", "private", "protected",
+    "public", "return", "short", "signed", "sizeof", "static",
+    "static_assert", "struct", "switch", "template", "this", "throw",
+    "true", "try", "typedef", "typeid", "typename", "union", "unsigned",
+    "using", "virtual", "void", "volatile", "while",
+})
+
+
+def match_forward(tokens: list[Token], i: int) -> int:
+    """Index of the token matching the bracket at `i`, or len(tokens).
+
+    `tokens[i]` must be one of ( [ {. Angle brackets are handled by
+    match_angle below because < is ambiguous.
+    """
+    opener = tokens[i].value
+    closer = _OPEN[opener]
+    depth = 0
+    for j in range(i, len(tokens)):
+        v = tokens[j].value
+        if tokens[j].kind != PUNCT:
+            continue
+        if v == opener:
+            depth += 1
+        elif v == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def match_angle(tokens: list[Token], i: int) -> int:
+    """Index just past the `>` closing the `<` at `i`, or len(tokens).
+
+    Treats `>>` as two closers (template context), and bails out on
+    tokens that make a template-argument-list reading impossible
+    (`;`, `{`, `&&` as logical and, ...), returning -1 for "this `<`
+    was a comparison, not a template bracket".
+    """
+    depth = 0
+    j = i
+    n = len(tokens)
+    while j < n:
+        t = tokens[j]
+        if t.kind == PUNCT:
+            v = t.value
+            if v == "<":
+                depth += 1
+            elif v == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif v == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif v in (";", "{", "}") or v in ("&&", "||"):
+                return -1
+            elif v in ("(", "["):
+                j = match_forward(tokens, j)
+                continue
+        j += 1
+    return -1
+
+
+@dataclass
+class RangeFor:
+    """A range-based for: for (<decl> : <range>) <body>."""
+    for_index: int           # index of the `for` token
+    decl: tuple[int, int]    # token span [a, b) of the declaration part
+    range_expr: tuple[int, int]  # token span of the range expression
+    body: tuple[int, int]    # token span of the loop body (inside {})
+    line: int
+    loop_vars: list[str] = field(default_factory=list)
+
+
+def find_range_fors(tokens: list[Token]) -> list[RangeFor]:
+    out: list[RangeFor] = []
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != ID or t.value != "for":
+            continue
+        j = i + 1
+        if j >= n or tokens[j].value != "(":
+            continue
+        close = match_forward(tokens, j)
+        if close >= n:
+            continue
+        # A top-level `:` (not `::`) makes it a range-for.
+        colon = -1
+        depth = 0
+        for k in range(j + 1, close):
+            v = tokens[k].value
+            if tokens[k].kind == PUNCT:
+                if v in "([{":
+                    depth += 1
+                elif v in ")]}":
+                    depth -= 1
+                elif v == ":" and depth == 0:
+                    colon = k
+                    break
+                elif v == "?" and depth == 0:
+                    break  # ternary; its : is not ours
+        if colon < 0:
+            continue
+        body = _body_span(tokens, close + 1)
+        rf = RangeFor(for_index=i, decl=(j + 1, colon),
+                      range_expr=(colon + 1, close), body=body,
+                      line=t.line)
+        rf.loop_vars = _decl_names(tokens, j + 1, colon)
+        out.append(rf)
+    return out
+
+
+@dataclass
+class IterFor:
+    """A classic for whose init grabs an iterator: for (auto it = x.begin();"""
+    for_index: int
+    receiver: tuple[int, int]  # token span of the .begin() receiver
+    body: tuple[int, int]
+    line: int
+    loop_vars: list[str] = field(default_factory=list)
+
+
+def find_iterator_fors(tokens: list[Token]) -> list[IterFor]:
+    out: list[IterFor] = []
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != ID or t.value != "for":
+            continue
+        j = i + 1
+        if j >= n or tokens[j].value != "(":
+            continue
+        close = match_forward(tokens, j)
+        if close >= n:
+            continue
+        # Look for `= <recv> . begin ( )` or cbegin inside the header.
+        recv = None
+        for k in range(j + 1, close - 1):
+            if (tokens[k].kind == ID
+                    and tokens[k].value in ("begin", "cbegin")
+                    and k + 1 < close and tokens[k + 1].value == "("
+                    and k >= 1 and tokens[k - 1].value in (".", "->")):
+                a = _chain_start(tokens, k - 1)
+                recv = (a, k - 1)
+                break
+        if recv is None:
+            continue
+        body = _body_span(tokens, close + 1)
+        f = IterFor(for_index=i, receiver=recv, body=body, line=t.line)
+        f.loop_vars = _decl_names(tokens, j + 1, close)
+        out.append(f)
+    return out
+
+
+def _body_span(tokens: list[Token], i: int) -> tuple[int, int]:
+    """Span of a statement body starting at token i: a braced block's
+    interior, or the single statement up to `;`."""
+    n = len(tokens)
+    if i < n and tokens[i].value == "{":
+        return (i + 1, match_forward(tokens, i))
+    j = i
+    depth = 0
+    while j < n:
+        v = tokens[j].value
+        if tokens[j].kind == PUNCT:
+            if v in "([{":
+                depth += 1
+            elif v in ")]}":
+                depth -= 1
+            elif v == ";" and depth == 0:
+                return (i, j)
+        j += 1
+    return (i, n)
+
+
+def _decl_names(tokens: list[Token], a: int, b: int) -> list[str]:
+    """Declared names in a loop header: the last identifier of the decl,
+    or all names of a structured binding [x, y]."""
+    names: list[str] = []
+    for k in range(a, b):
+        if tokens[k].value == "[" and tokens[k].kind == PUNCT:
+            close = match_forward(tokens, k)
+            for m in range(k + 1, min(close, b)):
+                if tokens[m].kind == ID:
+                    names.append(tokens[m].value)
+            return names
+    last = None
+    for k in range(a, b):
+        t = tokens[k]
+        if t.kind == ID and t.value not in CXX_KEYWORDS:
+            last = t.value
+        elif t.kind == PUNCT and t.value in ("=", ";"):
+            if last:
+                names.append(last)
+            last = None
+    if last:
+        names.append(last)
+    return names
+
+
+def _chain_start(tokens: list[Token], i: int) -> int:
+    """Walk back from a `.`/`->` at i to the start of the member chain:
+    `results.map.network` <- from the last dot, returns index of
+    `results`. Stops at anything that is not id/./->/::/()/[]."""
+    j = i
+    while j > 0:
+        prev = tokens[j - 1]
+        if prev.kind == ID or (prev.kind == PUNCT
+                               and prev.value in (".", "->", "::")):
+            j -= 1
+            continue
+        if prev.kind == PUNCT and prev.value in (")", "]"):
+            # step over the bracketed group
+            j = _match_backward(tokens, j - 1)
+            continue
+        break
+    return j
+
+
+def _match_backward(tokens: list[Token], i: int) -> int:
+    closer = tokens[i].value
+    opener = _CLOSE[closer]
+    depth = 0
+    for j in range(i, -1, -1):
+        if tokens[j].kind != PUNCT:
+            continue
+        if tokens[j].value == closer:
+            depth += 1
+        elif tokens[j].value == opener:
+            depth -= 1
+            if depth == 0:
+                return j
+    return 0
+
+
+def chain_root(tokens: list[Token], i: int) -> str | None:
+    """Root identifier of the member chain containing token i.
+
+    For `results.transitions.push_back` with i at `push_back`, returns
+    "results"."""
+    if tokens[i].kind != ID:
+        return None
+    j = i
+    if j > 0 and tokens[j - 1].kind == PUNCT \
+            and tokens[j - 1].value in (".", "->"):
+        j = _chain_start(tokens, j - 1)
+    if tokens[j].kind == ID:
+        return tokens[j].value
+    return None
+
+
+def lhs_chain(tokens: list[Token], i: int) -> tuple[str, int] | None:
+    """(root, chain_start_index) of the expression chain ending at
+    token i-1 — the LHS of an operator at i. Steps back over ()/[]
+    groups and member links, so `counts[key].second +=` resolves to
+    ("counts", <index of counts>). None when the operand is not an
+    identifier chain."""
+    j = i - 1
+    while j >= 0 and tokens[j].kind == PUNCT \
+            and tokens[j].value in (")", "]"):
+        j = _match_backward(tokens, j) - 1
+    if j < 0 or tokens[j].kind != ID:
+        return None
+    if j > 0 and tokens[j - 1].kind == PUNCT \
+            and tokens[j - 1].value in (".", "->", "::"):
+        j = _chain_start(tokens, j - 1)
+    if tokens[j].kind != ID:
+        return None
+    return tokens[j].value, j
+
+
+def forward_chain_end(tokens: list[Token], j: int) -> int:
+    """Index just past the id/member/index/call chain starting at j:
+    `out[i].counts` -> index after `counts`."""
+    n = len(tokens)
+    while j < n:
+        t = tokens[j]
+        if t.kind == ID and t.value not in CXX_KEYWORDS:
+            j += 1
+            continue
+        if t.kind == PUNCT and t.value in (".", "->", "::"):
+            j += 1
+            continue
+        if t.kind == PUNCT and t.value in ("[", "("):
+            j = match_forward(tokens, j) + 1
+            continue
+        break
+    return j
+
+
+def statement_start(tokens: list[Token], i: int) -> int:
+    """Index of the first token of the statement containing token i."""
+    depth = 0
+    j = i
+    while j > 0:
+        t = tokens[j - 1]
+        if t.kind == PUNCT:
+            v = t.value
+            if v in ")]}":
+                depth += 1
+            elif v in "([{":
+                if depth == 0:
+                    return j
+                depth -= 1
+            elif v == ";" and depth == 0:
+                return j
+        j -= 1
+    return 0
+
+
+def collect_locals(tokens: list[Token], a: int, b: int) -> set[str]:
+    """Best-effort set of names declared inside the token span [a, b).
+
+    Recognizes `Type name = ...;`, `Type name;`, `Type& name(...)`,
+    `auto [x, y] = ...`, and for/if-scoped declarations. A declaration
+    is "identifier preceded by a type-ish token (identifier, >, &, *,
+    ], or const) at a position where an expression could not continue".
+    """
+    names: set[str] = set()
+    for k in range(a + 1, b):
+        t = tokens[k]
+        if t.kind != ID or t.value in CXX_KEYWORDS:
+            # structured bindings: auto [x, y] = ...
+            if t.kind == PUNCT and t.value == "[" and k > a \
+                    and tokens[k - 1].kind == ID \
+                    and tokens[k - 1].value == "auto":
+                close = match_forward(tokens, k)
+                for m in range(k + 1, min(close, b)):
+                    if tokens[m].kind == ID:
+                        names.add(tokens[m].value)
+            continue
+        nxt = tokens[k + 1].value if k + 1 < b else ""
+        if nxt not in ("=", ";", "(", "{", ",", ")", ":"):
+            continue
+        prev = tokens[k - 1]
+        prev_ok = (
+            (prev.kind == ID and prev.value not in
+             (CXX_KEYWORDS - {"auto", "const", "unsigned", "signed",
+                              "long", "short", "int", "char", "bool",
+                              "float", "double"}))
+            or (prev.kind == PUNCT and prev.value in (">", "&", "*",
+                                                      "&&", "]")))
+        if not prev_ok:
+            continue
+        # `foo = bar` where foo is a plain assignment target would need
+        # prev to be type-ish; `x) = ...` etc. already excluded above.
+        # Exclude `a.b` member access and function-call names.
+        if prev.kind == PUNCT and prev.value == "]" \
+                and tokens[_match_backward(tokens, k - 1)].value == "[":
+            # could be `arr[i] = ...`: index write, not a declaration
+            m = _match_backward(tokens, k - 1)
+            if m > 0 and tokens[m - 1].kind == ID:
+                continue
+        if nxt == "(":
+            # Constructor-style decl `Type name(args);` vs a call
+            # `name(args)`: require the previous token to be a type-ish
+            # identifier (not ./->/::-qualified).
+            if not (prev.kind == ID and prev.value not in CXX_KEYWORDS):
+                continue
+            if k >= 2 and tokens[k - 2].kind == PUNCT \
+                    and tokens[k - 2].value in (".", "->", "::"):
+                continue
+        if k >= 1 and prev.kind == ID and k >= 2 \
+                and tokens[k - 2].kind == PUNCT \
+                and tokens[k - 2].value in (".", "->"):
+            continue
+        names.add(t.value)
+    return names
+
+
+def camel_words(name: str) -> set[str]:
+    """Lower-cased word segments of an identifier: AddVertex ->
+    {add, vertex}; fetch_add -> {fetch, add}."""
+    words: list[str] = []
+    cur = ""
+    for ch in name:
+        if ch == "_":
+            if cur:
+                words.append(cur)
+            cur = ""
+        elif ch.isupper() and cur and not cur[-1].isupper():
+            words.append(cur)
+            cur = ch
+        else:
+            cur += ch
+    if cur:
+        words.append(cur)
+    return {w.lower() for w in words}

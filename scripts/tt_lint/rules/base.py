@@ -1,0 +1,34 @@
+"""Rule base classes."""
+
+from __future__ import annotations
+
+from ..engine import Finding, RepoContext, SourceFile
+
+
+class FileRule:
+    """A rule evaluated per file over its token stream."""
+
+    name: str = ""
+    short: str = ""
+
+    def finding(self, sf: SourceFile, line: int, message: str,
+                col: int = 1) -> Finding:
+        return Finding(path=sf.rel, line=line, rule=self.name,
+                       message=message, col=col)
+
+    def check_file(self, sf: SourceFile, ctx: RepoContext):
+        raise NotImplementedError
+
+
+class RepoRule:
+    """A rule evaluated once over the whole repository."""
+
+    name: str = ""
+    short: str = ""
+
+    def check_repo(self, ctx: RepoContext):
+        raise NotImplementedError
+
+
+def path_is_under(rel: str, prefixes: tuple[str, ...]) -> bool:
+    return any(rel == p or rel.startswith(p) for p in prefixes)

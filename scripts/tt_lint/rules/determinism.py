@@ -1,0 +1,492 @@
+"""Determinism-contract rules.
+
+The repo's core guarantee since the parallel-pipeline PR is that
+StudyResults are byte-identical at any worker count (and, for the
+graph build, across platforms). These rules make the patterns that
+break that guarantee visible in review instead of in an
+0/1/2/8-worker bisect:
+
+  unordered-iteration   iterating an unordered container while feeding
+                        an order-sensitive sink (emitter, accumulator,
+                        id-allocating builder),
+  ambient-entropy       entropy/wall-clock reads outside the sanctioned
+                        modules (common/random, common/executor, obs/),
+  pointer-keyed-order   ordered containers keyed by pointer value,
+  parallel-accumulation accumulating through reference-captured shared
+                        state inside ParallelFor lambdas,
+  relaxed-atomic        relaxed memory-order atomics outside obs/.
+
+Every heuristic here errs toward reporting; a justified pattern gets a
+`// tt-lint: allow(<rule>): <reason>` with the reason explaining why
+the order cannot leak into results.
+"""
+
+from __future__ import annotations
+
+from ..cxx import (CXX_KEYWORDS, _chain_start, camel_words, chain_root,
+                   collect_locals, find_iterator_fors, find_range_fors,
+                   forward_chain_end, lhs_chain, match_angle,
+                   match_forward, statement_start)
+from ..engine import RepoContext, SourceFile
+from ..tokenizer import ID, PUNCT
+from .base import FileRule, path_is_under
+
+_ENTROPY_EXEMPT = (
+    "src/taxitrace/common/random",
+    "src/taxitrace/common/executor",
+    "src/taxitrace/obs/",
+)
+_RELAXED_EXEMPT = ("src/taxitrace/obs/",)
+
+# Method names that append to an ordered sequence.
+_SEQUENCE_SINKS = frozenset({
+    "push_back", "emplace_back", "push_front", "append",
+})
+# Identifier word segments that mark a mutating call (AddVertex,
+# Record, EmitRow, WriteCell, ...).
+_MUTATOR_WORDS = frozenset({
+    "add", "emit", "record", "write", "push", "append",
+})
+
+
+def _is_macro_name(name: str) -> bool:
+    return name.isupper() or name.startswith("TT_") \
+        or name.startswith("TAXITRACE_")
+
+
+class UnorderedIteration(FileRule):
+    name = "unordered-iteration"
+    short = ("iteration over an unordered container feeding an "
+             "order-sensitive sink; take a sorted snapshot or use an "
+             "ordered fold")
+
+    def check_file(self, sf: SourceFile, ctx: RepoContext):
+        toks = sf.tokens
+        bare_names = ctx.unordered_names_for(sf)
+        loops = [(rf.range_expr, rf.body, rf.loop_vars, rf.line)
+                 for rf in find_range_fors(toks)]
+        loops += [(it.receiver, it.body, it.loop_vars, it.line)
+                  for it in find_iterator_fors(toks)]
+        for expr_span, body_span, loop_vars, line in loops:
+            if not self._expr_is_unordered(toks, expr_span, bare_names,
+                                           ctx):
+                continue
+            sink = self._order_sensitive_sink(toks, body_span,
+                                              loop_vars)
+            if sink is None:
+                continue
+            yield self.finding(
+                sf, line,
+                "iteration over an unordered container "
+                f"({self._expr_text(toks, expr_span)}) {sink}; iterate "
+                "a sorted snapshot, or fold into a keyed/commutative "
+                "accumulator", toks[expr_span[0]].col
+                if expr_span[0] < len(toks) else 1)
+
+    @staticmethod
+    def _expr_text(toks, span) -> str:
+        return "".join(
+            t.value if t.kind != PUNCT or t.value in (".", "->", "::")
+            else t.value
+            for t in toks[span[0]:span[1]])[:48]
+
+    @staticmethod
+    def _expr_is_unordered(toks, span, bare_names, ctx) -> bool:
+        a, b = span
+        expr = toks[a:b]
+        if not expr:
+            return False
+        ids = [t for t in expr if t.kind == ID]
+        if not ids:
+            return False
+        # Call form: `recv.cells()` / `ComputeCellFeatures(...)`.
+        if expr[-1].kind == PUNCT and expr[-1].value == ")":
+            for k in range(len(expr) - 1):
+                if expr[k].kind == ID and k + 1 < len(expr) \
+                        and expr[k + 1].value == "(" \
+                        and expr[k].value in ctx.unordered_fns:
+                    return True
+            return False
+        # Identifier chain: last identifier is the container name.
+        last = ids[-1]
+        qualified = any(t.kind == PUNCT and t.value in (".", "->")
+                        for t in expr)
+        if qualified:
+            return last.value in ctx.unordered_member_vars
+        if last.value not in bare_names:
+            return False
+        # bare_names is file/repo-granular; the nearest in-scope
+        # declaration wins — a `std::vector<...>& flows` parameter must
+        # not inherit unordered-ness from a local of the same name in
+        # another function.
+        return not _nearest_decl_is_ordered(toks, a, last.value)
+
+    @staticmethod
+    def _order_sensitive_sink(toks, body_span, loop_vars):
+        """Returns a description of the first order-sensitive sink in
+        the loop body, or None. Safe shapes: targets local to the body,
+        receivers indexed by a loop variable (per-key slots), sinks
+        whose target is std::sort-ed after the loop."""
+        a, b = body_span
+        locals_ = collect_locals(toks, a - 1, b) | set(loop_vars)
+        n = len(toks)
+        for i in range(a, b):
+            t = toks[i]
+            if t.kind == PUNCT and t.value in ("+=", "<<"):
+                lhs = lhs_chain(toks, i)
+                if lhs is None:
+                    continue
+                root, cs = lhs
+                if root in locals_ or root in CXX_KEYWORDS \
+                        or _is_macro_name(root):
+                    continue
+                if _indexed_by(toks, cs, i, loop_vars):
+                    continue  # per-key slot: out[key] += ...
+                if t.value == "+=" and _sorted_after(toks, b, root):
+                    continue
+                op = ("accumulates with += into"
+                      if t.value == "+=" else "streams << into")
+                return f"{op} non-local '{root}'"
+            if t.kind != ID or i + 1 >= n:
+                continue
+            nxt = toks[i + 1]
+            is_call = nxt.kind == PUNCT and nxt.value == "("
+            if not is_call:
+                continue
+            preceded_by_member = i > 0 and toks[i - 1].kind == PUNCT \
+                and toks[i - 1].value in (".", "->")
+            # Index-safety is judged on the receiver chain only: in
+            # `slot[key] = network.AddVertex(...)` the keyed write on
+            # the LHS does not make AddVertex's side effect (id
+            # allocation in hash order) safe.
+            if t.value in _SEQUENCE_SINKS and preceded_by_member:
+                root = chain_root(toks, i)
+                if root is None or root in locals_:
+                    continue
+                cs = _chain_start(toks, i - 1)
+                if _indexed_by(toks, cs, i, loop_vars):
+                    continue
+                if _sorted_after(toks, b, root):
+                    continue
+                return f"appends into non-local '{root}' via {t.value}"
+            if preceded_by_member \
+                    and camel_words(t.value) & _MUTATOR_WORDS \
+                    and t.value not in ("fetch_add",):
+                root = chain_root(toks, i)
+                if root is None or root in locals_ \
+                        or _is_macro_name(root):
+                    continue
+                cs = _chain_start(toks, i - 1)
+                if _indexed_by(toks, cs, i, loop_vars):
+                    continue
+                return (f"calls mutator '{root}."
+                        f"{t.value}()' whose effect order follows the "
+                        "hash order")
+            if not preceded_by_member and not _is_macro_name(t.value) \
+                    and t.value not in CXX_KEYWORDS \
+                    and t.value not in ("static_cast", "const_cast",
+                                        "reinterpret_cast",
+                                        "dynamic_cast") \
+                    and t.value not in locals_:
+                # Bare call statement with discarded result: a pure
+                # function call would be dead code, so this is a side
+                # effect sequenced in hash order. std::-qualified
+                # algorithms writing through keyed offsets are exempt.
+                prev = toks[i - 1] if i > 0 else None
+                if prev is not None and not (
+                        prev.kind == PUNCT
+                        and prev.value in (";", "{", "}", ")")):
+                    continue  # part of a larger expression
+                close = match_forward(toks, i + 1)
+                if close + 1 < n and toks[close + 1].value == ";":
+                    return (f"calls '{t.value}(...)' for its side "
+                            "effects in hash order")
+        return None
+
+
+def _nearest_decl_is_ordered(toks, before_idx, name) -> bool:
+    """True when the declaration of `name` nearest above token
+    before_idx (a local or parameter) has no unordered_* type — i.e.
+    the name is shadowed by an ordered container or scalar."""
+    for k in range(before_idx - 1, -1, -1):
+        t = toks[k]
+        if t.kind != ID or t.value != name:
+            continue
+        nxt = toks[k + 1].value if k + 1 < len(toks) else ""
+        prev = toks[k - 1] if k > 0 else None
+        decl_like = (
+            nxt in (";", "=", ",", ")", "{")
+            and prev is not None
+            and (prev.kind == ID
+                 or (prev.kind == PUNCT
+                     and prev.value in (">", "&", "*", "&&"))))
+        if not decl_like:
+            continue
+        sa = statement_start(toks, k)
+        return not any(s.kind == ID and s.value.startswith("unordered_")
+                       for s in toks[sa:k])
+    return False
+
+
+def _indexed_by(toks, a, b, loop_vars) -> bool:
+    """True if tokens[a:b] contain `[ ... v ... ]` with v a loop var."""
+    i = a
+    while i < b:
+        if toks[i].kind == PUNCT and toks[i].value == "[":
+            close = match_forward(toks, i)
+            for k in range(i + 1, min(close, b)):
+                if toks[k].kind == ID and toks[k].value in loop_vars:
+                    return True
+            i = close + 1
+            continue
+        i += 1
+    return False
+
+
+def _sorted_after(toks, from_idx, root) -> bool:
+    """True if `std::sort/stable_sort(root.begin(), ...)` (or
+    `sort(root...)`) appears after token index from_idx."""
+    n = len(toks)
+    for i in range(from_idx, n):
+        if toks[i].kind == ID and toks[i].value in ("sort",
+                                                    "stable_sort"):
+            if i + 1 < n and toks[i + 1].value == "(":
+                close = match_forward(toks, i + 1)
+                for k in range(i + 2, close):
+                    if toks[k].kind == ID and toks[k].value == root:
+                        return True
+    return False
+
+
+class AmbientEntropy(FileRule):
+    name = "ambient-entropy"
+    short = ("ambient entropy (random_device, rand, time, ::now) "
+             "outside common/random, common/executor, and obs/")
+
+    def check_file(self, sf: SourceFile, ctx: RepoContext):
+        if path_is_under(sf.rel, _ENTROPY_EXEMPT):
+            return
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != ID:
+                continue
+            if t.value == "random_device":
+                yield self.finding(
+                    sf, t.line,
+                    "std::random_device is ambient entropy; derive "
+                    "streams from MixSeed (taxitrace/common/random.h)",
+                    t.col)
+                continue
+            if t.value in ("rand", "srand", "time"):
+                if i + 1 >= n or toks[i + 1].value != "(":
+                    continue
+                prev = toks[i - 1] if i > 0 else None
+                if prev is not None and prev.kind == PUNCT \
+                        and prev.value in (".", "->", "::"):
+                    continue  # member/qualified call, not the libc one
+                if prev is not None and prev.kind == ID \
+                        and prev.value not in ("return", "else", "do",
+                                               "case"):
+                    continue  # declaration `time_t time(...)` etc.
+                yield self.finding(
+                    sf, t.line,
+                    f"{t.value}() reads ambient entropy/wall-clock; "
+                    "use MixSeed streams (common/random.h) or "
+                    "obs::StageSpan", t.col)
+                continue
+            if t.value == "now" and i >= 1 \
+                    and toks[i - 1].kind == PUNCT \
+                    and toks[i - 1].value == "::" \
+                    and i + 1 < n and toks[i + 1].value == "(":
+                yield self.finding(
+                    sf, t.line,
+                    "::now() is ambient wall-clock; timing goes "
+                    "through obs::StageSpan, simulated time through "
+                    "the synth models", t.col)
+
+
+class PointerKeyedOrder(FileRule):
+    name = "pointer-keyed-order"
+    short = ("container ordered by pointer value; iteration order is "
+             "the allocator's, not the program's")
+
+    _ORDERED = frozenset({"map", "set", "multimap", "multiset",
+                          "priority_queue"})
+
+    def check_file(self, sf: SourceFile, ctx: RepoContext):
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != ID:
+                continue
+            if t.value in self._ORDERED and i >= 2 \
+                    and toks[i - 1].value == "::" \
+                    and toks[i - 2].value == "std" \
+                    and i + 1 < n and toks[i + 1].value == "<":
+                close = match_angle(toks, i + 1)
+                if close < 0:
+                    continue
+                key = self._first_template_arg(toks, i + 1, close - 1)
+                if key and key[-1].kind == PUNCT \
+                        and key[-1].value == "*":
+                    yield self.finding(
+                        sf, t.line,
+                        f"std::{t.value} keyed by pointer value: "
+                        "iteration/pop order is the address order, "
+                        "which varies run to run; key by a stable id",
+                        t.col)
+            if t.value == "less" and i >= 2 \
+                    and toks[i - 1].value == "::" \
+                    and toks[i - 2].value == "std" \
+                    and i + 1 < n and toks[i + 1].value == "<":
+                close = match_angle(toks, i + 1)
+                if close < 0:
+                    continue
+                inner = toks[i + 2:close - 1]
+                if inner and inner[-1].kind == PUNCT \
+                        and inner[-1].value == "*":
+                    yield self.finding(
+                        sf, t.line,
+                        "std::less over a pointer type orders by "
+                        "address; compare a stable id instead", t.col)
+
+    @staticmethod
+    def _first_template_arg(toks, open_idx, close_idx):
+        depth = 0
+        out = []
+        for k in range(open_idx + 1, close_idx):
+            t = toks[k]
+            if t.kind == PUNCT:
+                if t.value in ("<", "(", "["):
+                    depth += 1
+                elif t.value in (">", ")", "]"):
+                    depth -= 1
+                elif t.value == "," and depth == 0:
+                    break
+            out.append(t)
+        return out
+
+
+class ParallelAccumulation(FileRule):
+    name = "parallel-accumulation"
+    short = ("accumulation through reference-captured shared state "
+             "inside a ParallelFor lambda; use per-index slots")
+
+    _SINKS = frozenset({"push_back", "emplace_back", "push_front",
+                        "append", "insert", "emplace"})
+
+    def check_file(self, sf: SourceFile, ctx: RepoContext):
+        toks = sf.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != ID or t.value != "ParallelFor":
+                continue
+            if i == 0 or toks[i - 1].kind != PUNCT \
+                    or toks[i - 1].value not in (".", "->"):
+                continue  # definition or declaration, not a call
+            if i + 1 >= n or toks[i + 1].value != "(":
+                continue
+            close = match_forward(toks, i + 1)
+            lam = self._find_lambda(toks, i + 2, close)
+            if lam is None:
+                continue
+            cap_span, params, body_span = lam
+            if not any(toks[k].kind == PUNCT and "&" in toks[k].value
+                       for k in range(*cap_span)):
+                continue  # no by-reference captures
+            index_vars = params[:1]  # ParallelFor(begin, end, f(i))
+            yield from self._check_body(sf, toks, body_span, index_vars)
+
+    @staticmethod
+    def _find_lambda(toks, a, b):
+        """First lambda in tokens[a:b): ([caps], [params], (body))."""
+        i = a
+        while i < b:
+            if toks[i].kind == PUNCT and toks[i].value == "[":
+                cap_close = match_forward(toks, i)
+                j = cap_close + 1
+                params: list[str] = []
+                if j < b and toks[j].value == "(":
+                    pclose = match_forward(toks, j)
+                    k = j + 1
+                    while k < pclose:
+                        if toks[k].kind == ID \
+                                and toks[k + 1].value in (",", ")"):
+                            params.append(toks[k].value)
+                        k += 1
+                    j = pclose + 1
+                # skip -> ReturnType, mutable, noexcept
+                while j < b and toks[j].value != "{":
+                    j += 1
+                if j < b and toks[j].value == "{":
+                    return ((i + 1, cap_close), params,
+                            (j + 1, match_forward(toks, j)))
+            i += 1
+        return None
+
+    def _check_body(self, sf, toks, body_span, index_vars):
+        a, b = body_span
+        locals_ = collect_locals(toks, a - 1, b) | set(index_vars)
+        for i in range(a, b):
+            t = toks[i]
+            if t.kind == PUNCT and t.value in ("+=", "-=", "++", "--"):
+                # `++x` iff an identifier follows; `x++`/`x[i]++` have
+                # `;`-like punctuation after the operator instead.
+                prefix = t.value in ("++", "--") \
+                    and i + 1 < b and toks[i + 1].kind == ID
+                if prefix:
+                    if i + 1 >= b or toks[i + 1].kind != ID:
+                        continue
+                    root = toks[i + 1].value
+                    span = (i + 1, forward_chain_end(toks, i + 1))
+                else:
+                    lhs = lhs_chain(toks, i)
+                    if lhs is None:
+                        continue
+                    root, cs = lhs
+                    span = (cs, i)
+                if root in locals_ or root in CXX_KEYWORDS \
+                        or _is_macro_name(root):
+                    continue
+                if _indexed_by(toks, span[0], span[1], index_vars):
+                    continue  # per-index slot: out[i] += ...
+                yield self.finding(
+                    sf, t.line,
+                    f"'{t.value}' on reference-captured '{root}' "
+                    "inside a ParallelFor lambda races and merges in "
+                    "completion order; write into a per-index slot "
+                    "and fold after the join", t.col)
+            elif t.kind == ID and t.value in self._SINKS \
+                    and i > a and toks[i - 1].kind == PUNCT \
+                    and toks[i - 1].value in (".", "->") \
+                    and i + 1 < b and toks[i + 1].value == "(":
+                root = chain_root(toks, i)
+                if root is None or root in locals_:
+                    continue
+                cs = _chain_start(toks, i - 1)
+                if _indexed_by(toks, cs, i, index_vars):
+                    continue
+                yield self.finding(
+                    sf, t.line,
+                    f"'{root}.{t.value}()' on reference-captured "
+                    "shared state inside a ParallelFor lambda; use a "
+                    "per-index slot and merge in index order", t.col)
+
+
+class RelaxedAtomic(FileRule):
+    name = "relaxed-atomic"
+    short = ("relaxed memory-order atomics outside obs/; justify why "
+             "the count cannot leak into results")
+
+    def check_file(self, sf: SourceFile, ctx: RepoContext):
+        if path_is_under(sf.rel, _RELAXED_EXEMPT):
+            return
+        for i, t in enumerate(sf.tokens):
+            if t.kind == ID and t.value == "memory_order_relaxed":
+                yield self.finding(
+                    sf, t.line,
+                    "relaxed memory-order atomic outside obs/: relaxed "
+                    "counters must never feed StudyResults; either move "
+                    "the tally into obs/ or justify why its value is "
+                    "order-insensitive", t.col)

@@ -1,0 +1,79 @@
+"""SARIF 2.1.0 serialization, for GitHub code-scanning PR annotations.
+
+Only the subset GitHub consumes is emitted: tool.driver with a rule
+catalogue, one result per finding with a physical location relative to
+SRCROOT. Validated structurally by the lint self-test corpus run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import __version__
+from .engine import Finding
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+_INFO_URI = "https://github.com/taxitrace/taxitrace"
+_HELP_URI = (_INFO_URI +
+             "/blob/main/docs/ARCHITECTURE.md#static-analysis")
+
+
+def to_sarif(findings: list[Finding], catalogue) -> str:
+    """catalogue: [(rule_id, short_description)]."""
+    rules = [
+        {
+            "id": rule_id,
+            "name": _pascal(rule_id),
+            "shortDescription": {"text": short},
+            "helpUri": _HELP_URI,
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, short in catalogue
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": max(1, f.col),
+                    },
+                },
+            }],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "tt_lint",
+                    "version": __version__,
+                    "informationUri": _INFO_URI,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def _pascal(rule_id: str) -> str:
+    return "".join(part.capitalize() for part in rule_id.split("-"))

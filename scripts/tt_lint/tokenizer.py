@@ -1,0 +1,247 @@
+"""C++ tokenizer for tt_lint.
+
+Produces a flat token stream with source positions, stripping comments
+and collapsing string/char literals so rules never fire on prose. The
+tokenizer is deliberately lossy where lint rules do not care (it does
+not distinguish keywords from identifiers, and numbers are one kind),
+but it is exact about the things regex cannot be:
+
+  * // and /* */ comments, including comment text capture so the
+    engine can parse `tt-lint: allow(...)` suppressions,
+  * string literals with escapes, raw strings R"delim(...)delim",
+    char literals, and encoding prefixes (u8, L, ...),
+  * preprocessor directives (one `pp` token per logical line,
+    backslash continuations folded in),
+  * maximal-munch punctuators (`::`, `->`, `+=`, `<<`, ...).
+
+Unterminated constructs are tolerated (consumed to end of input): lint
+must degrade gracefully on in-progress edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+# Token kinds.
+ID = "id"
+NUM = "num"
+STR = "str"
+CHAR = "char"
+PUNCT = "punct"
+PP = "pp"
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+_ID_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+_STR_PREFIXES = frozenset({"u8", "u", "U", "L"})
+_RAW_PREFIXES = frozenset({"R", "u8R", "uR", "UR", "LR"})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str
+    line: int  # line the comment starts on
+
+
+class _Scanner:
+    """Cursor over the source text with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.n = len(text)
+        self.i = 0
+        self.line = 1
+        self.col = 1
+
+    def eof(self) -> bool:
+        return self.i >= self.n
+
+    def peek(self, offset: int = 0) -> str:
+        j = self.i + offset
+        return self.text[j] if j < self.n else ""
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.i < self.n and self.text[self.i] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.i += 1
+            if self.i > self.n:
+                self.i = self.n
+                return
+
+    def advance_to(self, target: int) -> None:
+        while self.i < target and self.i < self.n:
+            self.advance(1)
+
+    def at_line_start(self) -> bool:
+        j = self.i - 1
+        while j >= 0 and self.text[j] in " \t":
+            j -= 1
+        return j < 0 or self.text[j] == "\n"
+
+
+def tokenize(text: str) -> tuple[list[Token], list[Comment]]:
+    """Tokenize C++ source. Returns (tokens, comments)."""
+    s = _Scanner(text)
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+
+    while not s.eof():
+        c = s.peek()
+        if c in " \t\r\n\v\f":
+            s.advance()
+            continue
+
+        # Comments.
+        if c == "/" and s.peek(1) == "/":
+            start, start_line = s.i, s.line
+            while not s.eof() and s.peek() != "\n":
+                s.advance()
+            comments.append(Comment(text[start:s.i], start_line))
+            continue
+        if c == "/" and s.peek(1) == "*":
+            start, start_line = s.i, s.line
+            s.advance(2)
+            while not s.eof() and not (s.peek() == "*"
+                                       and s.peek(1) == "/"):
+                s.advance()
+            s.advance(2)
+            comments.append(Comment(text[start:min(s.i, s.n)], start_line))
+            continue
+
+        # Preprocessor directive: whole logical line as one token.
+        if c == "#" and s.at_line_start():
+            start, start_line, start_col = s.i, s.line, s.col
+            while not s.eof():
+                if s.peek() == "\\" and s.peek(1) == "\n":
+                    s.advance(2)
+                    continue
+                if s.peek() == "\n":
+                    break
+                if s.peek() == "/" and s.peek(1) == "/":
+                    break
+                s.advance()
+            tokens.append(Token(PP, text[start:s.i], start_line, start_col))
+            continue
+
+        # Identifier (or string/char-literal prefix).
+        if c in _ID_START:
+            start, start_line, start_col = s.i, s.line, s.col
+            while not s.eof() and s.peek() in _ID_CONT:
+                s.advance()
+            word = text[start:s.i]
+            if s.peek() == '"' and word in _RAW_PREFIXES:
+                _consume_raw_string(s)
+                tokens.append(Token(STR, '""', start_line, start_col))
+                continue
+            if s.peek() == '"' and word in _STR_PREFIXES:
+                _consume_quoted(s, '"')
+                tokens.append(Token(STR, '""', start_line, start_col))
+                continue
+            if s.peek() == "'" and word in _STR_PREFIXES:
+                _consume_quoted(s, "'")
+                tokens.append(Token(CHAR, "''", start_line, start_col))
+                continue
+            tokens.append(Token(ID, word, start_line, start_col))
+            continue
+
+        # String / char literals.
+        if c == '"':
+            start_line, start_col = s.line, s.col
+            _consume_quoted(s, '"')
+            tokens.append(Token(STR, '""', start_line, start_col))
+            continue
+        if c == "'":
+            start_line, start_col = s.line, s.col
+            _consume_quoted(s, "'")
+            tokens.append(Token(CHAR, "''", start_line, start_col))
+            continue
+
+        # Number (pp-number: hex, digit separators, exponents).
+        if c in _DIGITS or (c == "." and s.peek(1) in _DIGITS):
+            start, start_line, start_col = s.i, s.line, s.col
+            s.advance()
+            while not s.eof():
+                ch = s.peek()
+                if ch in _ID_CONT or ch == "." or ch == "'":
+                    s.advance()
+                elif ch in "+-" and text[s.i - 1] in "eEpP":
+                    s.advance()
+                else:
+                    break
+            tokens.append(Token(NUM, text[start:s.i],
+                                start_line, start_col))
+            continue
+
+        # Punctuators, maximal munch.
+        start_line, start_col = s.line, s.col
+        three = text[s.i:s.i + 3]
+        two = text[s.i:s.i + 2]
+        if three in _PUNCT3:
+            tokens.append(Token(PUNCT, three, start_line, start_col))
+            s.advance(3)
+        elif two in _PUNCT2:
+            tokens.append(Token(PUNCT, two, start_line, start_col))
+            s.advance(2)
+        else:
+            tokens.append(Token(PUNCT, c, start_line, start_col))
+            s.advance()
+
+    return tokens, comments
+
+
+def _consume_quoted(s: _Scanner, quote: str) -> None:
+    """Consume a quoted literal; the cursor sits on the opening quote."""
+    s.advance()
+    while not s.eof():
+        ch = s.peek()
+        if ch == "\\":
+            s.advance(2)
+        elif ch == quote:
+            s.advance()
+            return
+        elif ch == "\n":
+            return  # unterminated on this line; keep going
+        else:
+            s.advance()
+
+
+def _consume_raw_string(s: _Scanner) -> None:
+    """Consume R"delim( ... )delim"; the cursor sits on the quote."""
+    j = s.i + 1
+    while j < s.n and s.text[j] not in "(\n" and j - s.i <= 17:
+        j += 1
+    delim = s.text[s.i + 1:j]
+    terminator = ")" + delim + '"'
+    end = s.text.find(terminator, j)
+    if end < 0:
+        s.advance_to(s.n)
+    else:
+        s.advance_to(end + len(terminator))
+
+
+def iter_lines(tokens: list[Token]) -> Iterator[tuple[int, list[Token]]]:
+    """Group tokens by source line (for line-oriented rules)."""
+    by_line: dict[int, list[Token]] = {}
+    for t in tokens:
+        by_line.setdefault(t.line, []).append(t)
+    for ln in sorted(by_line):
+        yield ln, by_line[ln]

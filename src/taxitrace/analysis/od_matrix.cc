@@ -54,10 +54,17 @@ std::vector<OdFlow> BuildOdMatrix(
     acc.flow.mean_duration_min = acc.time_sum / n;
     out.push_back(acc.flow);
   }
+  // Tie-break on the cell coordinates themselves: comparing hashes is
+  // not a total order (same-origin flows and hash collisions compare
+  // equal both ways) and ties the row order to the hash function.
   std::sort(out.begin(), out.end(), [](const OdFlow& a, const OdFlow& b) {
     if (a.trips != b.trips) return a.trips > b.trips;
-    const CellIdHash h;
-    return h(a.origin) < h(b.origin);  // deterministic tie break
+    if (a.origin.cx != b.origin.cx) return a.origin.cx < b.origin.cx;
+    if (a.origin.cy != b.origin.cy) return a.origin.cy < b.origin.cy;
+    if (a.destination.cx != b.destination.cx) {
+      return a.destination.cx < b.destination.cx;
+    }
+    return a.destination.cy < b.destination.cy;
   });
   return out;
 }

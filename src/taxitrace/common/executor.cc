@@ -1,5 +1,10 @@
 #include "taxitrace/common/executor.h"
 
+// tt-lint: allow-file(relaxed-atomic): the relaxed RMWs here are the
+// work-claiming counter (each index claimed exactly once, results land
+// in per-index slots) and load-stat tallies exported for obs metrics;
+// neither can change StudyResults at any worker count.
+
 #include <cerrno>
 #include <cstdlib>
 #include <limits>

@@ -1,5 +1,8 @@
 #include "taxitrace/common/logging.h"
 
+// tt-lint: allow-file(relaxed-atomic): the log-level gate and message
+// tallies are diagnostics on stderr; they never feed StudyResults.
+
 #include <atomic>
 #include <cstdio>
 

@@ -17,6 +17,7 @@ struct PointKey {
   int64_t qx;
   int64_t qy;
   friend bool operator==(const PointKey&, const PointKey&) = default;
+  friend auto operator<=>(const PointKey&, const PointKey&) = default;
 };
 
 struct PointKeyHash {
@@ -77,13 +78,24 @@ Result<RoadNetwork> PrepareRoadNetwork(
         ElementEnd{i, false});
   }
 
+  // Vertex and edge ids are allocated while walking the incidence
+  // table, so the walk order must not be the hash order: that would tie
+  // the graph numbering (and every golden artifact downstream) to the
+  // standard library's hash and load factors. Iterate a sorted key
+  // snapshot instead.
+  std::vector<PointKey> sorted_keys;
+  sorted_keys.reserve(incidence.size());
+  for (const auto& [key, ends] : incidence) sorted_keys.push_back(key);
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+
   // 2. Classify endpoints and create graph vertices for junctions and
   //    terminals.
   MapPreparationStats local_stats;
   local_stats.num_elements = static_cast<int>(elements.size());
   RoadNetwork network(origin);
   std::unordered_map<PointKey, VertexId, PointKeyHash> vertex_at;
-  for (const auto& [key, ends] : incidence) {
+  for (const PointKey& key : sorted_keys) {
+    const std::vector<ElementEnd>& ends = incidence.at(key);
     EndpointType type;
     if (ends.size() >= 3) {
       type = EndpointType::kJunction;
@@ -186,10 +198,11 @@ Result<RoadNetwork> PrepareRoadNetwork(
     ++local_stats.num_edges;
   };
 
-  // Chains anchored at vertices.
-  for (const auto& [key, ends] : incidence) {
+  // Chains anchored at vertices, in sorted key order for the same
+  // reason as vertex creation above.
+  for (const PointKey& key : sorted_keys) {
     if (!vertex_at.contains(key)) continue;
-    for (const ElementEnd& end : ends) {
+    for (const ElementEnd& end : incidence.at(key)) {
       if (!visited[end.element_index]) walk_chain(key, end);
     }
   }

@@ -1,5 +1,10 @@
 #include "taxitrace/roadnet/router.h"
 
+// tt-lint: allow-file(relaxed-atomic): search tallies batched into a
+// few relaxed adds per search and exported via stats() for obs
+// metrics; sums of deterministic per-search work, so the totals are
+// worker-count-invariant and never feed StudyResults.
+
 #include <algorithm>
 #include <cmath>
 #include <functional>

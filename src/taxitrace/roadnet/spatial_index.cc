@@ -1,5 +1,9 @@
 #include "taxitrace/roadnet/spatial_index.h"
 
+// tt-lint: allow-file(relaxed-atomic): query tallies batched into a
+// few relaxed adds per query and exported via stats() for obs metrics;
+// sums of deterministic per-query work, never fed into StudyResults.
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>

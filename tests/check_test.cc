@@ -97,7 +97,7 @@ TEST(ResultDeathTest, ConstructionFromOkStatusAborts) {
   // leave it claiming failure with no explanation.
   EXPECT_DEATH(
       {
-        Status ok = Status::OK();  // tt-lint: allow(result-ok-status)
+        Status ok = Status::OK();
         Result<int> r(std::move(ok));
       },
       "Result constructed from OK status");

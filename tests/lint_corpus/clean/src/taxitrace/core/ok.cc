@@ -1,0 +1,9 @@
+// A clean file: tt_lint must exit 0 with no findings on this root.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+int Add(int a, int b) { return a + b; }
+
+}  // namespace taxitrace

@@ -1,0 +1,13 @@
+// Known-good: common/random is the sanctioned entropy module; the
+// same constructs that fire elsewhere must stay silent here.
+
+#include "taxitrace/common/random.h"
+
+namespace taxitrace {
+
+unsigned HardwareSeed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,17 @@
+// Known-bad ambient-entropy shapes in a non-exempt module.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+unsigned BadEntropy() {
+  std::random_device rd;  // expect(ambient-entropy)
+  srand(rd());            // expect(ambient-entropy)
+  return rand();          // expect(ambient-entropy)
+}
+
+long BadWallClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect(ambient-entropy) expect(adhoc-timing)
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,29 @@
+// Known-bad: accumulation through reference-captured shared state in
+// ParallelFor lambdas merges in completion order.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+Status BadSharedAccumulate(const Executor& ex, std::vector<int>& out) {
+  int total = 0;
+  Status st = ex.ParallelFor(0, 100, [&](int64_t i) -> Status {
+    total += static_cast<int>(i);         // expect(parallel-accumulation)
+    out.push_back(static_cast<int>(i));   // expect(parallel-accumulation)
+    return Status::OK();
+  });
+  (void)total;
+  return st;
+}
+
+Status BadSharedCounter(const Executor& ex) {
+  long hits = 0;
+  Status st = ex.ParallelFor(0, 10, [&](int64_t i) -> Status {
+    if (i % 2 == 0) ++hits;               // expect(parallel-accumulation)
+    return Status::OK();
+  });
+  (void)hits;
+  return st;
+}
+
+}  // namespace taxitrace

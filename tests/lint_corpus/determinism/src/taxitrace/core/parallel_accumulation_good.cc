@@ -1,0 +1,33 @@
+// Known-good: per-index slots, body-local state, and value captures
+// inside ParallelFor lambdas are schedule-invariant.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+Status GoodPerIndexSlot(const Executor& ex, std::vector<int>& out) {
+  return ex.ParallelFor(0, 100, [&](int64_t i) -> Status {
+    out[i] += 1;
+    return Status::OK();
+  });
+}
+
+Status GoodBodyLocal(const Executor& ex, std::vector<int>& out) {
+  return ex.ParallelFor(0, 100, [&out](int64_t i) -> Status {
+    int local = 0;
+    ++local;
+    out[i] = local;
+    return Status::OK();
+  });
+}
+
+Status GoodValueCapture(const Executor& ex) {
+  int snapshot = 5;
+  return ex.ParallelFor(0, 10, [snapshot](int64_t i) -> Status {
+    int x = snapshot + static_cast<int>(i);
+    (void)x;
+    return Status::OK();
+  });
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,21 @@
+// Known-bad: ordered containers keyed or sorted by pointer value.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+struct Vertex;
+struct Item;
+
+void BadPointerKeys() {
+  std::map<const Vertex*, int> by_vertex;  // expect(pointer-keyed-order)
+  std::set<Vertex*> visited;               // expect(pointer-keyed-order)
+  std::priority_queue<Item*> queue;        // expect(pointer-keyed-order)
+  std::set<int, std::less<int*>> weird;    // expect(pointer-keyed-order)
+  (void)by_vertex;
+  (void)visited;
+  (void)queue;
+  (void)weird;
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,21 @@
+// Known-good: pointers as mapped VALUES are fine; only pointer keys
+// and pointer comparators order by address.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+struct Vertex;
+
+void GoodValueTypes() {
+  std::map<int, Vertex*> by_id;
+  std::set<std::pair<int, int>> pairs;
+  std::map<std::string, int> by_name;
+  std::priority_queue<std::pair<double, int>> heap;
+  (void)by_id;
+  (void)pairs;
+  (void)by_name;
+  (void)heap;
+}
+
+}  // namespace taxitrace

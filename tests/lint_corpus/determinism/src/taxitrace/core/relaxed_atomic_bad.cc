@@ -1,0 +1,15 @@
+// Known-bad: relaxed atomics outside obs/ need a reasoned suppression.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void BadRelaxedAdd(std::atomic<int>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);  // expect(relaxed-atomic)
+}
+
+void BadRelaxedStore(std::atomic<int>& c) {
+  c.store(0, std::memory_order_relaxed);      // expect(relaxed-atomic)
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,18 @@
+// Known-good: default (seq_cst) atomics carry no relaxed-order risk;
+// obs/ relaxed tallies are covered in obs/wall_clock.cc.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void GoodSeqCst(std::atomic<int>& c) {
+  c.fetch_add(1);
+  c.store(0);
+}
+
+int GoodAcquireRelease(std::atomic<int>& c) {
+  c.store(1, std::memory_order_release);
+  return c.load(std::memory_order_acquire);
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,42 @@
+// Known-bad shapes for unordered-iteration: hash-order loops feeding
+// order-sensitive sinks. Never compiled; linted by tt_lint_selftest.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void BadAppend(std::vector<int>& out) {
+  std::unordered_map<int, int> counts;
+  for (const auto& [key, value] : counts) {  // expect(unordered-iteration)
+    out.push_back(value);
+  }
+}
+
+void BadMutator(GraphBuilder& builder) {
+  std::unordered_set<int> ids;
+  for (int id : ids) {  // expect(unordered-iteration)
+    builder.AddVertex(id);
+  }
+}
+
+void BadIteratorFor(std::vector<int>& out) {
+  std::unordered_map<int, int> counts;
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // expect(unordered-iteration)
+    out.push_back(it->second);
+  }
+}
+
+void BadAccumulate(double& total) {
+  std::unordered_map<int, double> weights;
+  for (const auto& [k, w] : weights) {  // expect(unordered-iteration)
+    total += w;
+  }
+}
+
+void BadDiscardedCall(std::unordered_map<int, int>& pending) {
+  for (const auto& [k, v] : pending) {  // expect(unordered-iteration)
+    flush_entry(k, v);
+  }
+}
+
+}  // namespace taxitrace

@@ -1,0 +1,44 @@
+// Known-good shapes the unordered-iteration rule must NOT flag: the
+// sorted-snapshot fix, per-key slots, body-local sinks, and ordered
+// containers shadowing an unordered name from elsewhere in the file.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void DeclaresUnorderedFlows() {
+  std::unordered_map<int, int> flows;
+  flows[1] = 2;
+}
+
+void GoodSortedSnapshot(std::vector<int>& out) {
+  std::unordered_map<int, int> counts;
+  for (const auto& [key, value] : counts) {
+    out.push_back(value);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+void GoodPerKeySlot(std::vector<std::vector<int>>& out) {
+  std::unordered_map<int, int> counts;
+  for (const auto& [key, value] : counts) {
+    out[key].push_back(value);
+  }
+}
+
+void GoodBodyLocalSink(std::unordered_map<int, int>& counts) {
+  for (const auto& [key, value] : counts) {
+    std::vector<int> scratch;
+    scratch.push_back(value);
+  }
+}
+
+// `flows` is an unordered name elsewhere in this file; here the
+// nearest declaration is a vector parameter, which must win.
+long GoodShadowedByVector(const std::vector<int>& flows) {
+  long total = 0;
+  for (int f : flows) total += f;
+  return total;
+}
+
+}  // namespace taxitrace

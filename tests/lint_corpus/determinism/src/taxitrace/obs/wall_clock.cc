@@ -1,0 +1,18 @@
+// Known-good: obs/ owns wall-clock reads and relaxed tallies; neither
+// ambient-entropy, adhoc-timing, nor relaxed-atomic may fire here.
+
+#include "taxitrace/obs/wall_clock.h"
+
+namespace taxitrace {
+namespace obs {
+
+long NowNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void Bump(std::atomic<long>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace taxitrace

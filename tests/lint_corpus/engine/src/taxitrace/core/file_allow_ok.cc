@@ -1,0 +1,17 @@
+// A reasoned file-scope suppression covering two findings at once.
+
+// tt-lint: allow-file(relaxed-atomic): whole-file fixture counters, never read by results
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void BumpA(std::atomic<int>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BumpB(std::atomic<int>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace taxitrace

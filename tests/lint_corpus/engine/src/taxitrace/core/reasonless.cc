@@ -1,0 +1,12 @@
+// A suppression without a reason still suppresses its target but
+// raises suppression-reason in its place.
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void Meh(std::atomic<int>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);  // tt-lint: allow(relaxed-atomic) expect(suppression-reason)
+}
+
+}  // namespace taxitrace

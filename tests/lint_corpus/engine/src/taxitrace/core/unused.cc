@@ -1,0 +1,9 @@
+// tt-lint: allow-file(raw-thread): nothing here uses threads expect(unused-suppression)
+
+#include "taxitrace/core/fake.h"
+
+namespace taxitrace {
+
+void Nothing();
+
+}  // namespace taxitrace

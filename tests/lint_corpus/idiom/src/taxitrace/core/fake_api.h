@@ -1,0 +1,12 @@
+// Declarations backing the idiom corpus: Status-returning functions
+// are collected from headers in pass 1, so ignored-status can fire on
+// the .cc call sites.
+
+#pragma once
+
+namespace taxitrace {
+
+Status WriteThing(int x);
+Status ReadThing(int x);
+
+}  // namespace taxitrace

@@ -1,0 +1,31 @@
+// Known-bad shapes for the ported repo-idiom rules.
+
+#include "util.h"  // expect(include-path)
+#include "taxitrace/core/fake_api.h"
+
+namespace taxitrace {
+
+void BadAssert(int x) {
+  assert(x > 0);  // expect(bare-assert)
+}
+
+void BadThread() {
+  std::thread t([] {});  // expect(raw-thread)
+  t.join();
+}
+
+void BadIgnoredStatus() {
+  WriteThing(1);  // expect(ignored-status)
+}
+
+Result<int> BadResultOk() {
+  return Result<int>(Status::OK());  // expect(result-ok-status)
+}
+
+void BadLinearReset(std::vector<double>& dist,
+                    std::vector<bool>& visited) {
+  dist.assign(dist.size(), 1e18);  // expect(linear-reset)
+  std::fill(visited.begin(), visited.end(), false);  // expect(linear-reset)
+}
+
+}  // namespace taxitrace

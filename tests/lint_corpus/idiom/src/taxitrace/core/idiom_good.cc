@@ -1,0 +1,22 @@
+// Known-good shapes the idiom rules must not flag: propagated or
+// consumed Status, a valued Result, and scratch-owned search state.
+
+#include "taxitrace/core/fake_api.h"
+
+namespace taxitrace {
+
+Status GoodPropagated() {
+  TAXITRACE_RETURN_IF_ERROR(WriteThing(1));
+  Status st = ReadThing(2);
+  return st;
+}
+
+Result<int> GoodResult() {
+  return Result<int>(42);
+}
+
+void GoodScratchReset(SearchScratch& scratch) {
+  scratch.dist.assign(scratch.dist.size(), 1e18);
+}
+
+}  // namespace taxitrace

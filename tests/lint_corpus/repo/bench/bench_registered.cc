@@ -1,0 +1,1 @@
+// Declared via taxitrace_bench(bench_registered); must not be flagged.

@@ -1,0 +1,1 @@
+// Referenced by tests/CMakeLists.txt; must not be flagged.
