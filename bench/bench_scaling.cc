@@ -49,20 +49,22 @@ std::string RunJson(const core::StudyResults& r, int configured_threads) {
   return buf;
 }
 
-// The stage timings the routing overhaul started from, copied verbatim
-// from the schema/1 BENCH_pipeline.json committed before it (hash-map
-// spatial index, O(|V|) per-search resets, no route cache). Kept inline
-// so the /2 file always carries its own before/after comparison.
+// The stage timings the simulation overhaul started from, copied
+// verbatim from the schema/2 BENCH_pipeline.json committed before it
+// (per-drive |E|-sized multiplier refills, per-drive buffer churn, full
+// ShortestPath repositioning probes, copy-based cleaning sweeps). Kept
+// inline so the /3 file always carries its own before/after comparison.
 constexpr const char* kBaselineRunsJson =
     "    {\"threads\": 0, \"workers\": 0,\n"
-    "     \"map_generation_ms\": 5.47, \"simulation_ms\": 3654.88,\n"
-    "     \"cleaning_ms\": 1175.51, \"selection_matching_ms\": 854.72,\n"
-    "     \"analysis_ms\": 4.24, \"total_ms\": 5694.80},\n"
+    "     \"map_generation_ms\": 10.87, \"simulation_ms\": 3937.76,\n"
+    "     \"cleaning_ms\": 1602.54, \"selection_matching_ms\": 349.61,\n"
+    "     \"analysis_ms\": 5.10, \"total_ms\": 5905.89},\n"
     "    {\"threads\": -1, \"workers\": 1,\n"
-    "     \"map_generation_ms\": 5.75, \"simulation_ms\": 3678.48,\n"
-    "     \"cleaning_ms\": 1168.42, \"selection_matching_ms\": 718.62,\n"
-    "     \"analysis_ms\": 3.58, \"total_ms\": 5574.85}";
-constexpr double kBaselineSerialMatchingMs = 854.72;
+    "     \"map_generation_ms\": 6.04, \"simulation_ms\": 3663.44,\n"
+    "     \"cleaning_ms\": 1214.07, \"selection_matching_ms\": 375.81,\n"
+    "     \"analysis_ms\": 4.47, \"total_ms\": 5263.84}";
+constexpr double kBaselineSerialSimulationMs = 3937.76;
+constexpr double kBaselineSerialCleaningMs = 1602.54;
 
 double NowMs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -174,17 +176,117 @@ void PrintRoutingBench() {
       warm_ms * 1000.0 / kPairs);
 }
 
+// Sink for simulation-only benches: counts what streams past and keeps
+// nothing, so the run's resident raw-trip state is exactly the
+// simulator's reorder buffer.
+struct CountingSink final : public trace::TripSink {
+  int64_t trips = 0;
+  int64_t points = 0;
+  Status Consume(trace::Trip trip) override {
+    ++trips;
+    points += static_cast<int64_t>(trip.points.size());
+    return Status::OK();
+  }
+};
+
+// Simulation bench of record, two legs emitted to BENCH_simulation.json:
+// the paper-scale 7x365 fleet simulated serially (the sim-only cousin
+// of the pipeline bench's simulation_ms), and a 1000-car x 30-day run
+// through the streaming TripSink interface, where the only raw-trip
+// state alive at any moment is the reorder buffer — its high-water mark
+// (`peak_buffered_shards`, ~worker count) is the bounded-memory number,
+// against 30 000 shards total. Smoke mode shrinks both legs and tags
+// the file so the JSON of record is only rewritten by full runs.
+void PrintSimulationBench(bool smoke) {
+  synth::CityMapOptions map_options;
+  const synth::CityMap map = synth::GenerateCityMap(map_options).value();
+
+  synth::FleetOptions serial_options;  // 7 cars x 365 days
+  if (smoke) serial_options.num_days = 30;
+  const synth::WeatherModel weather(19121, serial_options.num_days);
+  const synth::FleetSimulator fleet(&map, &weather, serial_options);
+  CountingSink serial_sink;
+  const double serial_t0 = NowMs();
+  const auto serial_stats = fleet.Run(nullptr, &serial_sink);
+  const double serial_ms = NowMs() - serial_t0;
+  if (!serial_stats.ok()) {
+    std::fprintf(stderr, "[bench] serial simulation failed: %s\n",
+                 serial_stats.status().ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+
+  synth::FleetOptions big_options;
+  big_options.num_cars = smoke ? 50 : 1000;
+  big_options.num_days = smoke ? 5 : 30;
+  const synth::WeatherModel big_weather(19121, big_options.num_days);
+  const synth::FleetSimulator big_fleet(&map, &big_weather, big_options);
+  const Executor pool(Executor::ResolveThreadCount(-1));
+  CountingSink big_sink;
+  const double big_t0 = NowMs();
+  const auto big_stats = big_fleet.Run(&pool, &big_sink);
+  const double big_ms = NowMs() - big_t0;
+  if (!big_stats.ok()) {
+    std::fprintf(stderr, "[bench] streaming simulation failed: %s\n",
+                 big_stats.status().ToString().c_str());
+    std::exit(EXIT_FAILURE);
+  }
+  const int64_t big_shards =
+      static_cast<int64_t>(big_options.num_cars) * big_options.num_days;
+
+  std::string json;
+  char line[512];
+  json += "{\n";
+  json += "  \"schema\": \"taxitrace-bench-simulation/1\",\n";
+  std::snprintf(line, sizeof line, "  \"smoke\": %s,\n",
+                smoke ? "true" : "false");
+  json += line;
+  std::snprintf(
+      line, sizeof line,
+      "  \"serial\": {\"cars\": %d, \"days\": %d, "
+      "\"simulation_ms\": %.2f,\n"
+      "    \"trips\": %lld, \"points\": %lld, "
+      "\"peak_buffered_shards\": %lld},\n",
+      serial_options.num_cars, serial_options.num_days, serial_ms,
+      static_cast<long long>(serial_sink.trips),
+      static_cast<long long>(serial_sink.points),
+      static_cast<long long>(serial_stats->peak_buffered_shards));
+  json += line;
+  std::snprintf(
+      line, sizeof line,
+      "  \"streaming\": {\"cars\": %d, \"days\": %d, \"workers\": %d,\n"
+      "    \"wall_ms\": %.2f, \"trips\": %lld, \"points\": %lld,\n"
+      "    \"shards\": %lld, \"peak_buffered_shards\": %lld}\n",
+      big_options.num_cars, big_options.num_days, pool.num_threads(),
+      big_ms, static_cast<long long>(big_sink.trips),
+      static_cast<long long>(big_sink.points),
+      static_cast<long long>(big_shards),
+      static_cast<long long>(big_stats->peak_buffered_shards));
+  json += line;
+  json += "}\n";
+  benchutil::EmitFigureFile("BENCH_simulation.json", json);
+  std::printf(
+      "  simulation bench: %dx%d serial %.1f ms (%lld points); "
+      "%dx%d streamed %.1f ms, peak %lld/%lld shards buffered\n\n",
+      serial_options.num_cars, serial_options.num_days, serial_ms,
+      static_cast<long long>(serial_sink.points), big_options.num_cars,
+      big_options.num_days, big_ms,
+      static_cast<long long>(big_stats->peak_buffered_shards),
+      static_cast<long long>(big_shards));
+}
+
 // The perf trajectory of record: serial vs parallel full-study stage
 // timings, machine-readable so successive PRs can be compared.
 void PrintScaling() {
   // CI smoke mode: swap the two multi-second full-study runs for one
-  // small study so the bench-smoke step stays cheap. The routing
-  // microbench still runs in full and emits BENCH_routing.json; the
+  // small study so the bench-smoke step stays cheap. The routing and
+  // simulation microbenches still run (the latter shrunk and tagged
+  // "smoke") and emit BENCH_routing.json / BENCH_simulation.json; the
   // pipeline JSON of record is only rewritten by full runs.
   const char* smoke = std::getenv("TAXITRACE_BENCH_SMOKE");
   if (smoke != nullptr && smoke[0] != '\0' && smoke[0] != '0') {
     PrintStageTimings("small study, bench smoke", benchutil::SmallResults());
     PrintRoutingBench();
+    PrintSimulationBench(/*smoke=*/true);
     return;
   }
 
@@ -206,7 +308,7 @@ void PrintScaling() {
           : 0.0;
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"taxitrace-bench-pipeline/2\",\n";
+  json += "  \"schema\": \"taxitrace-bench-pipeline/3\",\n";
   json += "  \"study\": {\"cars\": 7, \"days\": 365},\n";
   char line[256];
   std::snprintf(
@@ -218,8 +320,8 @@ void PrintScaling() {
                 static_cast<long long>(serial.cleaning_report.raw_points));
   json += line;
   json += "  \"baseline\": {\n";
-  json += "    \"note\": \"schema/1 numbers from before the routing & "
-          "matching overhaul\",\n";
+  json += "    \"note\": \"schema/2 numbers from before the simulation "
+          "& cleaning streaming overhaul\",\n";
   json += "    \"runs\": [\n  ";
   json += kBaselineRunsJson;
   json += "\n    ]\n  },\n";
@@ -230,24 +332,37 @@ void PrintScaling() {
   std::snprintf(line, sizeof line,
                 "  \"parallel_speedup_total\": %.3f,\n", speedup);
   json += line;
-  const double matching_speedup =
-      serial.timings.selection_matching_ms > 0.0
-          ? kBaselineSerialMatchingMs / serial.timings.selection_matching_ms
+  const double simulation_speedup =
+      serial.timings.simulation_ms > 0.0
+          ? kBaselineSerialSimulationMs / serial.timings.simulation_ms
           : 0.0;
   std::snprintf(line, sizeof line,
-                "  \"serial_matching_speedup_vs_baseline\": %.2f\n",
-                matching_speedup);
+                "  \"serial_simulation_speedup_vs_baseline\": %.2f,\n",
+                simulation_speedup);
+  json += line;
+  const double cleaning_speedup =
+      serial.timings.cleaning_ms > 0.0
+          ? kBaselineSerialCleaningMs / serial.timings.cleaning_ms
+          : 0.0;
+  std::snprintf(line, sizeof line,
+                "  \"serial_cleaning_speedup_vs_baseline\": %.2f\n",
+                cleaning_speedup);
   json += line;
   json += "}\n";
   benchutil::EmitFigureFile("BENCH_pipeline.json", json);
   std::printf("  parallel speedup (total wall-clock): %.2fx on %d workers\n",
               speedup, parallel.timings.simulation_threads);
-  std::printf("  serial selection+matching vs pre-overhaul baseline: "
+  std::printf("  serial simulation vs pre-overhaul baseline: "
+              "%.2fx (%.1f ms -> %.1f ms)\n",
+              simulation_speedup, kBaselineSerialSimulationMs,
+              serial.timings.simulation_ms);
+  std::printf("  serial cleaning vs pre-overhaul baseline: "
               "%.2fx (%.1f ms -> %.1f ms)\n\n",
-              matching_speedup, kBaselineSerialMatchingMs,
-              serial.timings.selection_matching_ms);
+              cleaning_speedup, kBaselineSerialCleaningMs,
+              serial.timings.cleaning_ms);
 
   PrintRoutingBench();
+  PrintSimulationBench(/*smoke=*/false);
 
   // Metrics snapshot from a separate observability-enabled small study.
   // The two timed full-study runs above keep observability off, so the
@@ -337,6 +452,34 @@ BENCHMARK(BM_RemlByObservations)
     ->Arg(10000)
     ->Arg(100000)
     ->Unit(benchmark::kMicrosecond);
+
+// Simulation hot path in isolation: one fleet streamed through a
+// counting sink per iteration, scaled by fleet size. This is the bench
+// that moves when drive/observe scratch reuse, lazy route noise, or the
+// bounded repositioning probe regress.
+void BM_FleetSimulator(benchmark::State& state) {
+  static const synth::CityMap map =
+      synth::GenerateCityMap(synth::CityMapOptions{}).value();
+  constexpr int kDays = 7;
+  static const synth::WeatherModel weather(19121, kDays);
+  synth::FleetOptions options;
+  options.num_cars = static_cast<int>(state.range(0));
+  options.num_days = kDays;
+  const synth::FleetSimulator fleet(&map, &weather, options);
+  int64_t points = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    auto stats = fleet.Run(nullptr, &sink);
+    benchmark::DoNotOptimize(stats);
+    points = sink.points;
+  }
+  state.counters["points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_FleetSimulator)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SpatialIndexBuild(benchmark::State& state) {
   const core::StudyResults& r = benchutil::SmallResults();

@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import re
 
-from ..cxx import match_forward, statement_start
+from ..cxx import find_range_fors, match_forward, statement_start
 from ..engine import RepoContext, SourceFile
 from ..tokenizer import ID, PP, PUNCT
 from .base import FileRule, path_is_under
@@ -105,11 +105,16 @@ class LinearReset(FileRule):
             "(taxitrace/roadnet/search_scratch.h) so each search costs "
             "O(visited)")
 
+    _RNG_MSG = ("per-call full-vector RNG refill; derive each element "
+                "lazily from MixSeed(...) (taxitrace/common/rng.h) so a "
+                "call costs O(elements actually read)")
+
     def check_file(self, sf: SourceFile, ctx: RepoContext):
         if "scratch" in sf.path.name:
             return
         toks = sf.tokens
         n = len(toks)
+        yield from self._check_rng_refills(sf, toks)
         for i, t in enumerate(toks):
             if t.kind != ID:
                 continue
@@ -137,6 +142,49 @@ class LinearReset(FileRule):
                                     and "scratch" in a.value.lower()
                                     for a in args):
                     yield self.finding(sf, t.line, self._MSG, t.col)
+
+    def _check_rng_refills(self, sf: SourceFile, toks):
+        """A range-for that reassigns every element of a non-scratch
+        vector from an RNG is the |E|/|V|-sized cousin of the assign()
+        reset: the whole buffer is refilled per call even though the
+        caller touches a fraction of it. The sanctioned shapes are a
+        scratch-owned buffer (reused, not reallocated) or — better — a
+        counter-derived draw per element at its point of use."""
+        for rf in find_range_fors(toks):
+            decl = toks[rf.decl[0]:rf.decl[1]]
+            # Only a mutable reference loop variable can refill the
+            # container; by-value and const loops read, never reset.
+            if not any(t.kind == PUNCT and t.value == "&" for t in decl):
+                continue
+            if any(t.kind == ID and t.value == "const" for t in decl):
+                continue
+            if not rf.loop_vars:
+                continue
+            var = rf.loop_vars[-1]
+            # Scratch-owned buffers are the sanctioned reuse home.
+            if any(t.kind == ID and "scratch" in t.value.lower()
+                   for t in toks[rf.range_expr[0]:rf.range_expr[1]]):
+                continue
+            a, b = rf.body
+            for k in range(a, b):
+                t = toks[k]
+                if t.kind != ID or t.value != var:
+                    continue
+                if k + 1 >= b or toks[k + 1].kind != PUNCT \
+                        or toks[k + 1].value != "=":
+                    continue
+                stmt_end = k
+                while stmt_end < b and toks[stmt_end].value != ";":
+                    stmt_end += 1
+                stmt = toks[statement_start(toks, k):stmt_end]
+                if any(s.kind == ID
+                       and ("rng" in s.value.lower()
+                            or "random" in s.value.lower())
+                       for s in stmt):
+                    yield self.finding(sf, toks[rf.for_index].line,
+                                       self._RNG_MSG,
+                                       toks[rf.for_index].col)
+                    break
 
     @staticmethod
     def _statement_mentions_scratch(toks, i) -> bool:

@@ -1,29 +1,13 @@
 #include "taxitrace/clean/cleaning_pipeline.h"
 
+#include <utility>
+
 namespace taxitrace {
 namespace clean {
-namespace {
 
-// What cleaning one raw trip produced: its surviving segments plus the
-// per-stage counter deltas. Deltas are summed (all counters are plain
-// integers) and segments concatenated in store order, which reproduces
-// the serial pipeline's output exactly.
-struct TripCleanOutput {
-  std::vector<trace::Trip> segments;
-  int64_t points_after_sanitize = 0;
-  int64_t points_after_outliers = 0;
-  OrderRepairStats order;
-  OutlierFilterStats outliers;
-  InterpolationStats interpolation;
-  SegmentationStats segmentation;
-  TripFilterStats filter;
-  fault::FaultReport faults;
-};
-
-TripCleanOutput CleanOneTrip(const trace::Trip& raw,
+TripCleanOutput CleanOneTrip(trace::Trip trip,
                              const CleaningOptions& options) {
   TripCleanOutput out;
-  trace::Trip trip = raw;
   SanitizeTrip(&trip, options.sanitize, &out.faults);
   out.points_after_sanitize = static_cast<int64_t>(trip.points.size());
   if (options.sanitize.enabled && trip.points.empty()) {
@@ -46,7 +30,58 @@ TripCleanOutput CleanOneTrip(const trace::Trip& raw,
   return out;
 }
 
-}  // namespace
+void FoldTripCleanOutput(const TripCleanOutput& out,
+                         CleaningReport* report) {
+  CleaningReport& local = *report;
+  local.points_after_sanitize += out.points_after_sanitize;
+  local.points_after_outliers += out.points_after_outliers;
+  local.order.trips_consistent += out.order.trips_consistent;
+  local.order.trips_repaired_by_id += out.order.trips_repaired_by_id;
+  local.order.trips_repaired_by_timestamp +=
+      out.order.trips_repaired_by_timestamp;
+  local.outliers.duplicates_removed += out.outliers.duplicates_removed;
+  local.outliers.spikes_removed += out.outliers.spikes_removed;
+  local.outliers.implied_speed_removed +=
+      out.outliers.implied_speed_removed;
+  local.interpolation.gaps_restored += out.interpolation.gaps_restored;
+  local.interpolation.points_inserted +=
+      out.interpolation.points_inserted;
+  for (int r = 0; r < 5; ++r) {
+    local.segmentation.splits_by_rule[r] +=
+        out.segmentation.splits_by_rule[r];
+  }
+  local.segmentation.trips_in += out.segmentation.trips_in;
+  local.segmentation.segments_out += out.segmentation.segments_out;
+  local.filter.removed_too_few_points +=
+      out.filter.removed_too_few_points;
+  local.filter.removed_too_long += out.filter.removed_too_long;
+  local.filter.kept += out.filter.kept;
+  local.faults.Add(out.faults);
+}
+
+void PublishCleaningMetrics(const CleaningReport& report,
+                            const std::vector<trace::Trip>& cleaned,
+                            obs::MetricsRegistry* metrics) {
+  metrics->counter("clean.raw_trips")->Add(report.raw_trips);
+  metrics->counter("clean.raw_points")->Add(report.raw_points);
+  metrics->counter("clean.points_after_sanitize")
+      ->Add(report.points_after_sanitize);
+  metrics->counter("clean.points_after_outliers")
+      ->Add(report.points_after_outliers);
+  metrics->counter("clean.duplicates_removed")
+      ->Add(report.outliers.duplicates_removed);
+  metrics->counter("clean.spikes_removed")
+      ->Add(report.outliers.spikes_removed);
+  metrics->counter("clean.implied_speed_removed")
+      ->Add(report.outliers.implied_speed_removed);
+  metrics->counter("clean.segments_out")->Add(report.clean_segments);
+  metrics->counter("clean.points_out")->Add(report.clean_points);
+  obs::HistogramMetric* seg_points =
+      metrics->histogram("clean.points_per_segment", 0.0, 400.0, 40);
+  for (const trace::Trip& t : cleaned) {
+    seg_points->Record(static_cast<double>(t.points.size()));
+  }
+}
 
 Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
                                             const CleaningOptions& options,
@@ -69,30 +104,7 @@ Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
 
   std::vector<trace::Trip> cleaned;
   for (TripCleanOutput& out : outputs) {
-    local.points_after_sanitize += out.points_after_sanitize;
-    local.points_after_outliers += out.points_after_outliers;
-    local.order.trips_consistent += out.order.trips_consistent;
-    local.order.trips_repaired_by_id += out.order.trips_repaired_by_id;
-    local.order.trips_repaired_by_timestamp +=
-        out.order.trips_repaired_by_timestamp;
-    local.outliers.duplicates_removed += out.outliers.duplicates_removed;
-    local.outliers.spikes_removed += out.outliers.spikes_removed;
-    local.outliers.implied_speed_removed +=
-        out.outliers.implied_speed_removed;
-    local.interpolation.gaps_restored += out.interpolation.gaps_restored;
-    local.interpolation.points_inserted +=
-        out.interpolation.points_inserted;
-    for (int r = 0; r < 5; ++r) {
-      local.segmentation.splits_by_rule[r] +=
-          out.segmentation.splits_by_rule[r];
-    }
-    local.segmentation.trips_in += out.segmentation.trips_in;
-    local.segmentation.segments_out += out.segmentation.segments_out;
-    local.filter.removed_too_few_points +=
-        out.filter.removed_too_few_points;
-    local.filter.removed_too_long += out.filter.removed_too_long;
-    local.filter.kept += out.filter.kept;
-    local.faults.Add(out.faults);
+    FoldTripCleanOutput(out, &local);
     for (trace::Trip& seg : out.segments) {
       cleaned.push_back(std::move(seg));
     }
@@ -103,25 +115,7 @@ Result<std::vector<trace::Trip>> CleanTrips(const trace::TraceStore& store,
     local.clean_points += static_cast<int64_t>(t.points.size());
   }
   if (metrics != nullptr) {
-    metrics->counter("clean.raw_trips")->Add(local.raw_trips);
-    metrics->counter("clean.raw_points")->Add(local.raw_points);
-    metrics->counter("clean.points_after_sanitize")
-        ->Add(local.points_after_sanitize);
-    metrics->counter("clean.points_after_outliers")
-        ->Add(local.points_after_outliers);
-    metrics->counter("clean.duplicates_removed")
-        ->Add(local.outliers.duplicates_removed);
-    metrics->counter("clean.spikes_removed")
-        ->Add(local.outliers.spikes_removed);
-    metrics->counter("clean.implied_speed_removed")
-        ->Add(local.outliers.implied_speed_removed);
-    metrics->counter("clean.segments_out")->Add(local.clean_segments);
-    metrics->counter("clean.points_out")->Add(local.clean_points);
-    obs::HistogramMetric* seg_points =
-        metrics->histogram("clean.points_per_segment", 0.0, 400.0, 40);
-    for (const trace::Trip& t : cleaned) {
-      seg_points->Record(static_cast<double>(t.points.size()));
-    }
+    PublishCleaningMetrics(local, cleaned, metrics);
   }
   if (report != nullptr) *report = local;
   return cleaned;

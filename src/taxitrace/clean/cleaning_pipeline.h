@@ -59,6 +59,38 @@ struct CleaningReport {
   int64_t clean_points = 0;
 };
 
+/// What cleaning one raw trip produced: its surviving segments plus the
+/// per-stage counter deltas. Deltas are summed (all counters are plain
+/// integers) and segments concatenated in raw-trip order, which
+/// reproduces the serial pipeline's output exactly — the contract both
+/// CleanTrips and the streaming pipeline build on.
+struct TripCleanOutput {
+  std::vector<trace::Trip> segments;
+  int64_t points_after_sanitize = 0;
+  int64_t points_after_outliers = 0;
+  OrderRepairStats order;
+  OutlierFilterStats outliers;
+  InterpolationStats interpolation;
+  SegmentationStats segmentation;
+  TripFilterStats filter;
+  fault::FaultReport faults;
+};
+
+/// Runs every per-trip stage on a single raw trip. Takes the trip by
+/// value: batch callers pass a copy, streaming callers move the trip in
+/// and the raw points die with it — the point of streaming.
+TripCleanOutput CleanOneTrip(trace::Trip raw, const CleaningOptions& options);
+
+/// Folds one trip's counter deltas into `report` (raw_trips/raw_points
+/// and the clean_* totals are the caller's; segments are untouched).
+void FoldTripCleanOutput(const TripCleanOutput& out, CleaningReport* report);
+
+/// Publishes a merged report and the cleaned segments as `clean.*`
+/// counters plus the points-per-segment histogram.
+void PublishCleaningMetrics(const CleaningReport& report,
+                            const std::vector<trace::Trip>& cleaned,
+                            obs::MetricsRegistry* metrics);
+
 /// Runs the pipeline over all trips of a store and returns the cleaned
 /// trip segments.
 ///

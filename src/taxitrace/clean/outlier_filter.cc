@@ -40,18 +40,20 @@ void FilterOutliers(std::vector<trace::RoutePoint>* points,
   std::vector<trace::RoutePoint>& pts = *points;
 
   // Pass 1: duplicates (identical id and timestamp as the predecessor).
+  // In-place compaction; pts[kept - 1] is the last survivor, exactly
+  // the out.back() of the historical copy-based pass.
   {
-    std::vector<trace::RoutePoint> out;
-    out.reserve(pts.size());
-    for (const trace::RoutePoint& p : pts) {
-      if (!out.empty() && out.back().point_id == p.point_id &&
-          out.back().timestamp_s == p.timestamp_s) {
+    size_t kept = 0;
+    for (size_t r = 0; r < pts.size(); ++r) {
+      if (kept > 0 && pts[kept - 1].point_id == pts[r].point_id &&
+          pts[kept - 1].timestamp_s == pts[r].timestamp_s) {
         ++local.duplicates_removed;
         continue;
       }
-      out.push_back(p);
+      if (kept != r) pts[kept] = pts[r];
+      ++kept;
     }
-    pts = std::move(out);
+    pts.resize(kept);
   }
 
   // Passes 2+3 iterate to a joint fixpoint: dropping an implied-speed
@@ -62,17 +64,22 @@ void FilterOutliers(std::vector<trace::RoutePoint>* points,
   while (round_changed) {
     round_changed = false;
 
-    // Spikes — iterate because removing a spike may expose another.
-    bool changed = true;
-    while (changed && pts.size() >= 3) {
-      changed = false;
-      for (size_t i = 1; i + 1 < pts.size(); ++i) {
+    // Spikes. The historical pass restarted the scan from index 1 after
+    // every removal (removing the lowest-indexed spike each time);
+    // backing up one position is enough to see the same sequence: every
+    // triple left of i - 1 was just re-checked unchanged, so after
+    // erasing at i the lowest-indexed spike is at i - 1 or later.
+    // Identical removals and counts at O(n) scans instead of O(n^2).
+    {
+      size_t i = 1;
+      while (pts.size() >= 3 && i + 1 < pts.size()) {
         if (IsSpike(pts[i - 1], pts[i], pts[i + 1], options)) {
           pts.erase(pts.begin() + static_cast<ptrdiff_t>(i));
           ++local.spikes_removed;
-          changed = true;
           round_changed = true;
-          break;
+          if (i > 1) --i;
+        } else {
+          ++i;
         }
       }
     }
@@ -80,18 +87,20 @@ void FilterOutliers(std::vector<trace::RoutePoint>* points,
     // Impossible implied speeds (drop the later point of the pair; a bad
     // first fix surfaces as its successor looking too fast, so also
     // check and drop a leading offender against its two successors).
+    // Same in-place compaction shape as the duplicate pass.
     {
-      std::vector<trace::RoutePoint> out;
-      out.reserve(pts.size());
-      for (const trace::RoutePoint& p : pts) {
-        if (!out.empty() && ImpliedSpeedTooHigh(out.back(), p, options)) {
+      size_t kept = 0;
+      for (size_t r = 0; r < pts.size(); ++r) {
+        if (kept > 0 &&
+            ImpliedSpeedTooHigh(pts[kept - 1], pts[r], options)) {
           ++local.implied_speed_removed;
           round_changed = true;
           continue;
         }
-        out.push_back(p);
+        if (kept != r) pts[kept] = pts[r];
+        ++kept;
       }
-      pts = std::move(out);
+      pts.resize(kept);
     }
   }
 

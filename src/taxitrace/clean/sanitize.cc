@@ -15,12 +15,16 @@ bool AllFieldsFinite(const trace::RoutePoint& p) {
          std::isfinite(p.fuel_delta_ml);
 }
 
-double MedianTimestamp(const std::vector<trace::RoutePoint>& points) {
-  std::vector<double> ts;
-  ts.reserve(points.size());
-  for (const trace::RoutePoint& p : points) ts.push_back(p.timestamp_s);
-  const auto mid = ts.begin() + static_cast<ptrdiff_t>(ts.size() / 2);
-  std::nth_element(ts.begin(), mid, ts.end());
+// Median of the first `count` timestamps; `ts` is a reusable buffer.
+double MedianTimestamp(const std::vector<trace::RoutePoint>& points,
+                       size_t count, std::vector<double>* ts) {
+  ts->clear();
+  ts->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ts->push_back(points[i].timestamp_s);
+  }
+  const auto mid = ts->begin() + static_cast<ptrdiff_t>(ts->size() / 2);
+  std::nth_element(ts->begin(), mid, ts->end());
   return *mid;
 }
 
@@ -30,10 +34,14 @@ void SanitizeTrip(trace::Trip* trip, const SanitizeOptions& options,
                   fault::FaultReport* report) {
   if (!options.enabled || trip->points.empty()) return;
 
-  const size_t before = trip->points.size();
-  std::vector<trace::RoutePoint> kept;
-  kept.reserve(before);
-  for (const trace::RoutePoint& p : trip->points) {
+  // Both gates compact in place (two-pointer sweeps); the checks, their
+  // order, and the dropped-point counters are those of the historical
+  // copy-based version.
+  std::vector<trace::RoutePoint>& pts = trip->points;
+  const size_t before = pts.size();
+  size_t kept = 0;
+  for (size_t r = 0; r < before; ++r) {
+    const trace::RoutePoint& p = pts[r];
     if (!AllFieldsFinite(p)) {
       ++report->points_dropped_nonfinite;
       continue;
@@ -54,28 +62,31 @@ void SanitizeTrip(trace::Trip* trip, const SanitizeOptions& options,
       ++report->points_dropped_out_of_region;
       continue;
     }
-    kept.push_back(p);
+    if (kept != r) pts[kept] = p;
+    ++kept;
   }
 
   // The clock-jump gate needs a reference time, so it runs on the
   // survivors of the field checks: the median of a mostly-sane trip is
   // robust to the jumped minority.
-  if (options.max_median_offset_s > 0.0 && !kept.empty()) {
-    const double median = MedianTimestamp(kept);
-    std::vector<trace::RoutePoint> in_window;
-    in_window.reserve(kept.size());
-    for (const trace::RoutePoint& p : kept) {
-      if (std::fabs(p.timestamp_s - median) > options.max_median_offset_s) {
+  if (options.max_median_offset_s > 0.0 && kept > 0) {
+    std::vector<double> ts;
+    const double median = MedianTimestamp(pts, kept, &ts);
+    size_t in_window = 0;
+    for (size_t r = 0; r < kept; ++r) {
+      if (std::fabs(pts[r].timestamp_s - median) >
+          options.max_median_offset_s) {
         ++report->points_dropped_clock_jump;
         continue;
       }
-      in_window.push_back(p);
+      if (in_window != r) pts[in_window] = pts[r];
+      ++in_window;
     }
-    kept = std::move(in_window);
+    kept = in_window;
   }
 
-  if (kept.size() != before) {
-    trip->points = std::move(kept);
+  if (kept != before) {
+    pts.resize(kept);
     trip->RecomputeTotals();
   }
 }

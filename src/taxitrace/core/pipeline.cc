@@ -49,15 +49,58 @@ Result<StudyResults> Pipeline::Run() const {
   map_span.AddItems(static_cast<int64_t>(map.network.edges().size()));
   map_span.Finish();
 
-  // 2. Raw traces.
+  // 2. Raw traces. Two shapes of the same computation: the in-memory
+  // path materialises every raw trip in a store and cleans the store as
+  // its own stage; the streaming path chains cleaning onto each trip as
+  // it leaves the simulator's ordered merge, so raw points never all
+  // exist at once. Trips arrive at the cleaner in the identical
+  // (car, day, trip) order either way, and every cleaning counter is
+  // folded per trip in that order, so the results are byte-identical.
+  // Fault plans force the in-memory path: file-level faults corrupt a
+  // CSV view of the whole store, which has no per-trip equivalent.
   obs::StageSpan sim_span(&trace, "simulation");
   synth::PedestrianModel pedestrians(config_.fleet.seed + 17,
                                      map.hotspots,
                                      config_.fleet.num_days);
   const synth::FleetSimulator fleet(&map, &weather, config_.fleet,
                                     &pedestrians);
-  TAXITRACE_ASSIGN_OR_RETURN(synth::FleetResult raw, fleet.Run(&executor));
-  const int64_t trips_simulated = static_cast<int64_t>(raw.store.NumTrips());
+  const bool streaming = config_.stream_simulation && !config_.faults.Any();
+
+  synth::FleetResult raw;
+  int64_t trips_simulated = 0;
+  int64_t points_simulated = 0;
+  clean::CleaningReport streamed_report;
+  std::vector<trace::Trip> streamed_cleaned;
+  if (streaming) {
+    struct CleaningSink final : public trace::TripSink {
+      const clean::CleaningOptions* options = nullptr;
+      clean::CleaningReport* report = nullptr;
+      std::vector<trace::Trip>* cleaned = nullptr;
+      Status Consume(trace::Trip trip) override {
+        clean::TripCleanOutput out =
+            clean::CleanOneTrip(std::move(trip), *options);
+        clean::FoldTripCleanOutput(out, report);
+        for (trace::Trip& seg : out.segments) {
+          cleaned->push_back(std::move(seg));
+        }
+        return Status::OK();
+      }
+    };
+    CleaningSink sink;
+    sink.options = &config_.cleaning;
+    sink.report = &streamed_report;
+    sink.cleaned = &streamed_cleaned;
+    TAXITRACE_ASSIGN_OR_RETURN(const synth::FleetRunStats stats,
+                               fleet.Run(&executor, &sink));
+    raw.num_customer_drives = stats.num_customer_drives;
+    raw.num_reposition_drives = stats.num_reposition_drives;
+    trips_simulated = stats.trips_simulated;
+    points_simulated = stats.points_simulated;
+  } else {
+    TAXITRACE_ASSIGN_OR_RETURN(raw, fleet.Run(&executor));
+    trips_simulated = static_cast<int64_t>(raw.store.NumTrips());
+    points_simulated = static_cast<int64_t>(raw.store.NumPoints());
+  }
 
   StudyResults results(std::move(map), std::move(weather),
                        std::move(pedestrians));
@@ -114,17 +157,36 @@ Result<StudyResults> Pipeline::Run() const {
     fault_span.AddItems(injected.TotalInjected());
   }
 
-  results.raw_trips = static_cast<int64_t>(raw.store.NumTrips());
+  results.raw_trips =
+      streaming ? trips_simulated : static_cast<int64_t>(raw.store.NumTrips());
   sim_span.AddItems(trips_simulated);
   sim_span.Finish();
 
   // 3. Cleaning: sanitiser (when faulted), order repair, error filters,
-  // segmentation, filters.
+  // segmentation, filters. On a streaming run the per-trip work already
+  // happened inside the simulation merge; what remains here is folding
+  // the totals, so the cleaning span is (by design) near-empty.
   obs::StageSpan clean_span(&trace, "cleaning");
-  TAXITRACE_ASSIGN_OR_RETURN(
-      std::vector<trace::Trip> cleaned,
-      clean::CleanTrips(raw.store, cleaning_options,
-                        &results.cleaning_report, &executor, metrics));
+  std::vector<trace::Trip> cleaned;
+  if (streaming) {
+    streamed_report.raw_trips = trips_simulated;
+    streamed_report.raw_points = points_simulated;
+    cleaned = std::move(streamed_cleaned);
+    streamed_report.clean_segments = static_cast<int64_t>(cleaned.size());
+    for (const trace::Trip& t : cleaned) {
+      streamed_report.clean_points += static_cast<int64_t>(t.points.size());
+    }
+    results.cleaning_report = streamed_report;
+    if (metrics != nullptr) {
+      clean::PublishCleaningMetrics(results.cleaning_report, cleaned,
+                                    metrics);
+    }
+  } else {
+    TAXITRACE_ASSIGN_OR_RETURN(
+        cleaned, clean::CleanTrips(raw.store, cleaning_options,
+                                   &results.cleaning_report, &executor,
+                                   metrics));
+  }
   // The cleaning stage's own drop counters, before the injection
   // report is merged in — the funnel below needs the unmixed values.
   const fault::FaultReport clean_faults = results.cleaning_report.faults;
@@ -407,6 +469,17 @@ Result<StudyResults> Pipeline::Run() const {
           funnel_ledger.AddStage("trips.simulated", "trips");
       s.in = trips_simulated;
       s.out = trips_simulated;
+    }
+    {
+      // Identity source stage: the raw point volume entering the
+      // pipeline (counted before any fault injection), so the point
+      // funnel has an upstream anchor like the trip funnel does. The
+      // count comes from the store in memory or from FleetRunStats on
+      // a streaming run — identical by construction.
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("points.simulated", "points");
+      s.in = points_simulated;
+      s.out = points_simulated;
     }
     if (config_.faults.Any()) {
       if (config_.faults.AnyFileFaults()) {

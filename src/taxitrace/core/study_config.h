@@ -43,6 +43,19 @@ struct StudyConfig {
   /// funnel, empty StudyResults::observability).
   obs::ObservabilityOptions observability;
 
+  /// Chain simulation -> cleaning per raw trip instead of materialising
+  /// the whole raw trace store first. Each finished trip is cleaned as
+  /// it leaves the simulator's ordered merge and only its surviving
+  /// segments are kept, so peak memory is bounded by per-(car, day)
+  /// state rather than the campaign's full point count — what makes
+  /// 1000-car studies fit. StudyResults are byte-identical to the
+  /// in-memory path at any worker count; only StageTimings shift
+  /// (cleaning work lands inside the simulation span). When a
+  /// FaultPlan is active the pipeline falls back to the in-memory path:
+  /// file-level faults corrupt one CSV view of the whole store, which
+  /// has no per-trip equivalent.
+  bool stream_simulation = false;
+
   /// Worker threads for the parallel stages (simulation, cleaning,
   /// selection + matching): 0 = serial, -1 = resolve from the
   /// TAXITRACE_THREADS environment variable (else all hardware

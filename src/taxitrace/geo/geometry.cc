@@ -2,53 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 namespace taxitrace {
 namespace geo {
-
-EnPoint operator+(const EnPoint& a, const EnPoint& b) {
-  return EnPoint{a.x + b.x, a.y + b.y};
-}
-
-EnPoint operator-(const EnPoint& a, const EnPoint& b) {
-  return EnPoint{a.x - b.x, a.y - b.y};
-}
-
-EnPoint operator*(double s, const EnPoint& p) {
-  return EnPoint{s * p.x, s * p.y};
-}
-
-double Dot(const EnPoint& a, const EnPoint& b) { return a.x * b.x + a.y * b.y; }
-
-double Cross(const EnPoint& a, const EnPoint& b) {
-  return a.x * b.y - a.y * b.x;
-}
-
-double Norm(const EnPoint& p) { return std::hypot(p.x, p.y); }
-
-double Distance(const EnPoint& a, const EnPoint& b) { return Norm(b - a); }
-
-double Segment::Heading() const {
-  const EnPoint d = b - a;
-  if (d.x == 0.0 && d.y == 0.0) return 0.0;
-  return std::atan2(d.y, d.x);
-}
-
-PointProjection ProjectOntoSegment(const EnPoint& p, const Segment& s) {
-  const EnPoint d = s.b - s.a;
-  const double len2 = Dot(d, d);
-  PointProjection out;
-  if (len2 == 0.0) {
-    out.point = s.a;
-    out.t = 0.0;
-  } else {
-    out.t = std::clamp(Dot(p - s.a, d) / len2, 0.0, 1.0);
-    out.point = s.a + out.t * d;
-  }
-  out.distance = Distance(p, out.point);
-  return out;
-}
 
 std::optional<EnPoint> SegmentIntersection(const Segment& s1,
                                            const Segment& s2) {
@@ -84,51 +40,6 @@ std::optional<EnPoint> SegmentIntersection(const Segment& s1,
     return std::nullopt;
   }
   return s1.a + std::clamp(t, 0.0, 1.0) * r;
-}
-
-double AngleBetweenHeadings(double h1, double h2) {
-  double d = std::fmod(std::abs(h1 - h2), 2.0 * M_PI);
-  if (d > M_PI) d = 2.0 * M_PI - d;
-  return d;
-}
-
-double UndirectedAngleBetweenHeadings(double h1, double h2) {
-  const double d = AngleBetweenHeadings(h1, h2);
-  return d > M_PI / 2.0 ? M_PI - d : d;
-}
-
-Bbox Bbox::Empty() {
-  constexpr double inf = std::numeric_limits<double>::infinity();
-  return Bbox{inf, inf, -inf, -inf};
-}
-
-void Bbox::Extend(const EnPoint& p) {
-  min_x = std::min(min_x, p.x);
-  min_y = std::min(min_y, p.y);
-  max_x = std::max(max_x, p.x);
-  max_y = std::max(max_y, p.y);
-}
-
-void Bbox::Extend(const Bbox& other) {
-  if (!other.IsValid()) return;
-  min_x = std::min(min_x, other.min_x);
-  min_y = std::min(min_y, other.min_y);
-  max_x = std::max(max_x, other.max_x);
-  max_y = std::max(max_y, other.max_y);
-}
-
-Bbox Bbox::Inflated(double margin) const {
-  return Bbox{min_x - margin, min_y - margin, max_x + margin,
-              max_y + margin};
-}
-
-bool Bbox::Contains(const EnPoint& p) const {
-  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
-}
-
-bool Bbox::Intersects(const Bbox& other) const {
-  return min_x <= other.max_x && other.min_x <= max_x &&
-         min_y <= other.max_y && other.min_y <= max_y;
 }
 
 }  // namespace geo

@@ -6,14 +6,24 @@ namespace taxitrace {
 namespace geo {
 namespace {
 
-// Distance from p to the ring boundary.
-double BoundaryDistance(const std::vector<EnPoint>& ring, const EnPoint& p) {
-  double best = std::numeric_limits<double>::infinity();
+// True when p lies within tol metres of the ring boundary. Squared
+// distances throughout (no sqrt), and the scan exits on the first
+// segment close enough.
+bool NearBoundary(const std::vector<EnPoint>& ring, const EnPoint& p,
+                  double tol) {
+  const double tol2 = tol * tol;
   for (size_t i = 0; i < ring.size(); ++i) {
-    const Segment s{ring[i], ring[(i + 1) % ring.size()]};
-    best = std::min(best, ProjectOntoSegment(p, s).distance);
+    const EnPoint& a = ring[i];
+    const EnPoint& b = ring[(i + 1) % ring.size()];
+    const EnPoint d = b - a;
+    const double len2 = Dot(d, d);
+    const double t =
+        len2 == 0.0 ? 0.0 : std::clamp(Dot(p - a, d) / len2, 0.0, 1.0);
+    const EnPoint closest = a + t * d;
+    const EnPoint gap = p - closest;
+    if (Dot(gap, gap) < tol2) return true;
   }
-  return best;
+  return false;
 }
 
 }  // namespace
@@ -24,8 +34,9 @@ Polygon::Polygon(std::vector<EnPoint> ring) : ring_(std::move(ring)) {
 
 bool Polygon::Contains(const EnPoint& p) const {
   if (empty() || !bounds_.Contains(p)) return false;
-  // Ray casting with boundary tolerance.
-  if (BoundaryDistance(ring_, p) < 1e-9) return true;
+  // Ray casting first: the boundary tolerance can only turn an
+  // "outside" verdict into "inside", so interior points (the common hot
+  // query) never pay for the boundary scan.
   bool inside = false;
   for (size_t i = 0, j = ring_.size() - 1; i < ring_.size(); j = i++) {
     const EnPoint& a = ring_[i];
@@ -35,7 +46,7 @@ bool Polygon::Contains(const EnPoint& p) const {
       if (p.x < x_at) inside = !inside;
     }
   }
-  return inside;
+  return inside || NearBoundary(ring_, p, 1e-9);
 }
 
 bool Polygon::IntersectsSegment(const Segment& s) const {

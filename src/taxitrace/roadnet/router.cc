@@ -35,10 +35,6 @@ SearchScratch& Router::Search(
     const std::vector<std::pair<VertexId, double>>& seeds,
     VertexId stop_at_both_a, VertexId stop_at_both_b,
     const std::vector<double>* edge_cost_multiplier) const {
-  const std::vector<Vertex>& vertices = network_->vertices();
-  SearchScratch& scratch = scratch_->Local();
-  scratch.BeginSearch(vertices.size());
-
   // Goal-directed (A*) needs known targets and an admissible heuristic:
   // every edge's cost must be >= its straight-line endpoint distance,
   // which holds exactly when no multiplier shrinks a length. The scan
@@ -54,6 +50,24 @@ SearchScratch& Router::Search(
       }
     }
   }
+  return SearchImpl(seeds, stop_at_both_a, stop_at_both_b, goal_directed,
+                    /*heuristic_scale=*/1.0, [&](EdgeId edge) {
+                      return edge_cost_multiplier == nullptr
+                                 ? 1.0
+                                 : (*edge_cost_multiplier)[static_cast<size_t>(
+                                       edge)];
+                    });
+}
+
+template <typename MultiplierFn>
+SearchScratch& Router::SearchImpl(
+    const std::vector<std::pair<VertexId, double>>& seeds,
+    VertexId stop_at_both_a, VertexId stop_at_both_b, bool goal_directed,
+    double heuristic_scale, MultiplierFn multiplier) const {
+  const std::vector<Vertex>& vertices = network_->vertices();
+  SearchScratch& scratch = scratch_->Local();
+  scratch.BeginSearch(vertices.size());
+
   geo::EnPoint goal_a{};
   geo::EnPoint goal_b{};
   if (goal_directed) {
@@ -61,11 +75,15 @@ SearchScratch& Router::Search(
     goal_b = vertices[static_cast<size_t>(stop_at_both_b)].position;
   }
   // Lower bound on the remaining cost to the nearer goal; the minimum
-  // of two consistent heuristics, hence itself consistent: vertices
-  // settle with final distances, in non-decreasing key order.
+  // of two consistent heuristics scaled by a constant <= the smallest
+  // multiplier, hence itself consistent: vertices settle with final
+  // distances, in non-decreasing key order. heuristic_scale == 1 (the
+  // multiplier-free and >=1-vector cases) multiplies exactly, so the
+  // historical heap order is preserved bit for bit.
   const auto heuristic = [&](VertexId v) {
     const geo::EnPoint& p = vertices[static_cast<size_t>(v)].position;
-    return std::min(geo::Distance(p, goal_a), geo::Distance(p, goal_b));
+    return heuristic_scale *
+           std::min(geo::Distance(p, goal_a), geo::Distance(p, goal_b));
   };
 
   // Seed phase. Two seeds can name the same vertex (e.g. both ends of a
@@ -106,10 +124,7 @@ SearchScratch& Router::Search(
 
     for (const HalfEdge& arc : network_->OutArcs(top.vertex)) {
       if (!arc.traversable_out) continue;
-      const double mult =
-          edge_cost_multiplier == nullptr
-              ? 1.0
-              : (*edge_cost_multiplier)[static_cast<size_t>(arc.edge)];
+      const double mult = multiplier(arc.edge);
       const double nd = top.dist + arc.length_m * mult;
       if (nd < scratch.Dist(arc.head)) {
         scratch.Relax(arc.head, nd, arc.edge, top.vertex);
@@ -143,20 +158,8 @@ RouterStats Router::stats() const {
   return s;
 }
 
-Result<Path> Router::ShortestPath(
-    VertexId from, VertexId to,
-    const std::vector<double>* edge_cost_multiplier) const {
-  const size_t n = network_->vertices().size();
-  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
-      static_cast<size_t>(to) >= n) {
-    return Status::InvalidArgument("vertex id out of range");
-  }
-  if (edge_cost_multiplier != nullptr &&
-      edge_cost_multiplier->size() != network_->edges().size()) {
-    return Status::InvalidArgument("edge cost multiplier size mismatch");
-  }
-  const SearchScratch& res =
-      Search({{from, 0.0}}, to, to, edge_cost_multiplier);
+Result<Path> Router::BuildVertexPath(const SearchScratch& res, VertexId from,
+                                     VertexId to) const {
   if (!(res.Dist(to) < kInf)) {
     return Status::NotFound(
         StrFormat("no path from vertex %d to %d", from, to));
@@ -184,6 +187,100 @@ Result<Path> Router::ShortestPath(
     path.geometry = geo::Polyline({p, p});
   }
   return path;
+}
+
+Result<Path> Router::ShortestPath(
+    VertexId from, VertexId to,
+    const std::vector<double>* edge_cost_multiplier) const {
+  const size_t n = network_->vertices().size();
+  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
+      static_cast<size_t>(to) >= n) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  if (edge_cost_multiplier != nullptr &&
+      edge_cost_multiplier->size() != network_->edges().size()) {
+    return Status::InvalidArgument("edge cost multiplier size mismatch");
+  }
+  const SearchScratch& res =
+      Search({{from, 0.0}}, to, to, edge_cost_multiplier);
+  return BuildVertexPath(res, from, to);
+}
+
+Result<Path> Router::ShortestPath(VertexId from, VertexId to,
+                                  const EdgeCostModel& cost) const {
+  const size_t n = network_->vertices().size();
+  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
+      static_cast<size_t>(to) >= n) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  const double min_mult = cost.MinMultiplier();
+  // min_mult > 0 keeps the scaled straight-line bound admissible; the
+  // scale never exceeds 1 so multiplier-free models keep the exact
+  // historical A* order.
+  const bool goal_directed = min_mult > 0.0;
+  const double heuristic_scale = std::min(1.0, min_mult);
+  const SearchScratch& res = SearchImpl(
+      {{from, 0.0}}, to, to, goal_directed, heuristic_scale,
+      [&cost](EdgeId edge) { return cost.Multiplier(edge); });
+  return BuildVertexPath(res, from, to);
+}
+
+double Router::BoundedVertexDistance(VertexId from, VertexId to,
+                                     double limit_m) const {
+  const std::vector<Vertex>& vertices = network_->vertices();
+  const size_t n = vertices.size();
+  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
+      static_cast<size_t>(to) >= n) {
+    return kInf;
+  }
+  SearchScratch& scratch = scratch_->Local();
+  scratch.BeginSearch(n);
+  const geo::EnPoint goal = vertices[static_cast<size_t>(to)].position;
+  const auto heuristic = [&](VertexId v) {
+    return geo::Distance(vertices[static_cast<size_t>(v)].position, goal);
+  };
+
+  scratch.Relax(from, 0.0, kInvalidEdge, kInvalidVertex);
+  scratch.heap.push_back(SearchHeapEntry{heuristic(from), 0.0, from});
+
+  double found = kInf;
+  int64_t heap_pops = 0;
+  int64_t settled = 0;
+  while (!scratch.heap.empty()) {
+    std::pop_heap(scratch.heap.begin(), scratch.heap.end(),
+                  std::greater<SearchHeapEntry>{});
+    const SearchHeapEntry top = scratch.heap.back();
+    scratch.heap.pop_back();
+    ++heap_pops;
+    // The heuristic is consistent, so popped keys never decrease and
+    // key <= true remaining distance of any future settle: once the
+    // frontier passes limit_m the target cannot be closer than that.
+    if (top.key > limit_m) break;
+    if (top.dist > scratch.RawDist(top.vertex)) continue;  // stale entry
+    ++settled;
+    if (top.vertex == to) {
+      found = top.dist;
+      break;
+    }
+    for (const HalfEdge& arc : network_->OutArcs(top.vertex)) {
+      if (!arc.traversable_out) continue;
+      const double nd = top.dist + arc.length_m;
+      if (nd < scratch.Dist(arc.head)) {
+        scratch.Relax(arc.head, nd, arc.edge, top.vertex);
+        scratch.heap.push_back(
+            SearchHeapEntry{nd + heuristic(arc.head), nd, arc.head});
+        std::push_heap(scratch.heap.begin(), scratch.heap.end(),
+                       std::greater<SearchHeapEntry>{});
+      }
+    }
+  }
+  search_stats_->searches.fetch_add(1, std::memory_order_relaxed);
+  search_stats_->heap_pops.fetch_add(heap_pops, std::memory_order_relaxed);
+  search_stats_->settled_vertices.fetch_add(settled,
+                                            std::memory_order_relaxed);
+  search_stats_->goal_directed_searches.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  return found;
 }
 
 Result<Path> Router::ShortestPathBetween(const EdgePosition& from,

@@ -54,6 +54,27 @@ struct Path {
   geo::Polyline geometry;  ///< Concatenated driving geometry.
 };
 
+/// Per-edge cost multipliers computed on demand, so a search only pays
+/// for the edges it actually relaxes — the alternative to materialising
+/// an |E|-sized vector per query. Implementations must be pure:
+/// Multiplier(e) returns the same value every time it is asked within
+/// one search (the relax loop may query an edge more than once), and
+/// must be safe to call from any worker thread.
+class EdgeCostModel {
+ public:
+  virtual ~EdgeCostModel() = default;
+
+  /// Cost scale for one edge; must be > 0.
+  [[nodiscard]] virtual double Multiplier(EdgeId edge) const = 0;
+
+  /// A lower bound over all edges' multipliers. When it is > 0 the
+  /// router runs goal-directed with the straight-line heuristic scaled
+  /// by min(1, MinMultiplier()), which keeps the heuristic admissible
+  /// and consistent: every edge costs at least MinMultiplier() times
+  /// its length, hence at least that times the straight-line gap.
+  [[nodiscard]] virtual double MinMultiplier() const = 0;
+};
+
 /// Length-minimising router honouring one-way constraints. Holds a
 /// pointer to the network, which must outlive it. Constructing a Router
 /// warms the network's CSR adjacency, so build Routers before sharing
@@ -70,6 +91,23 @@ class Router {
   Result<Path> ShortestPath(
       VertexId from, VertexId to,
       const std::vector<double>* edge_cost_multiplier = nullptr) const;
+
+  /// Same contract, with edge multipliers supplied lazily by `cost`
+  /// instead of a materialised |E|-vector. Runs goal-directed whenever
+  /// cost.MinMultiplier() > 0 (heuristic scaled accordingly), so the
+  /// common "noise around 1" models stay A* instead of falling back to
+  /// a full Dijkstra sweep.
+  Result<Path> ShortestPath(VertexId from, VertexId to,
+                            const EdgeCostModel& cost) const;
+
+  /// Distance (metres, real edge lengths, no multipliers) from `from`
+  /// to `to`, searching only as far as `limit_m`: returns +infinity as
+  /// soon as every frontier key exceeds the limit. Decision-equivalent
+  /// to ShortestPath(from, to)->length_m compared against limit_m, at a
+  /// fraction of the cost — the goal-directed search touches only the
+  /// ball of radius limit_m around the endpoints.
+  double BoundedVertexDistance(VertexId from, VertexId to,
+                               double limit_m) const;
 
   /// Shortest drivable path between two positions on edges (as produced
   /// by map matching). Includes the partial first and last edges in the
@@ -98,6 +136,21 @@ class Router {
       VertexId stop_at_both_a = kInvalidVertex,
       VertexId stop_at_both_b = kInvalidVertex,
       const std::vector<double>* edge_cost_multiplier = nullptr) const;
+
+  /// Shared search loop behind both ShortestPath overloads:
+  /// `multiplier(edge)` supplies the cost scale, `goal_directed` (with
+  /// `heuristic_scale` applied to the straight-line bound) was decided
+  /// by the caller. Instantiated only in router.cc.
+  template <typename MultiplierFn>
+  SearchScratch& SearchImpl(
+      const std::vector<std::pair<VertexId, double>>& seeds,
+      VertexId stop_at_both_a, VertexId stop_at_both_b, bool goal_directed,
+      double heuristic_scale, MultiplierFn multiplier) const;
+
+  /// Same vertex reconstruction as ShortestPath once a search settled
+  /// `to`; factored out of the two overloads.
+  Result<Path> BuildVertexPath(const SearchScratch& res, VertexId from,
+                               VertexId to) const;
 
   // Search counters behind a shared_ptr so the router stays copyable;
   // each Search() batches its local tallies into a few relaxed adds.

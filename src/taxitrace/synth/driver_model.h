@@ -28,6 +28,36 @@ struct DriveSample {
   double fuel_delta_ml = 0.0;  ///< Fuel burnt since the previous sample.
 };
 
+/// Reusable buffers for one worker's drives. A fleet run calls Drive
+/// hundreds of thousands of times; routing the sample/zone/event
+/// storage through one of these per worker makes steady-state drives
+/// allocation-free. One instance serves one thread at a time; the
+/// filled `samples` stay valid until the next Drive through the same
+/// instance.
+struct DriveScratch {
+  /// Speed-limit zone along a path, one per path step.
+  struct Zone {
+    double end_arc = 0.0;
+    double limit_ms = 0.0;
+  };
+  /// A concrete incident along one drive.
+  struct Event {
+    double arc_m = 0.0;
+    bool is_stop = false;      ///< full stop with a wait
+    double wait_s = 0.0;       ///< for stops
+    double slow_to_ms = 99.0;  ///< for slowdowns
+    bool done = false;
+  };
+
+  std::vector<DriveSample> samples;  ///< Drive output.
+  std::vector<double> cursor_cum;    ///< Geometry prefix sums.
+  std::vector<Zone> zones;
+  std::vector<Event> events;
+  std::vector<Event> merged_events;
+  /// Hotspots whose influence circle meets the drive's bounding box.
+  std::vector<size_t> hotspot_candidates;
+};
+
 /// Behaviour and vehicle parameters.
 struct DriverOptions {
   double accel_ms2 = 1.6;
@@ -84,10 +114,23 @@ class DriverModel {
                                  double start_time_s, double driver_factor,
                                  Rng* rng) const;
 
+  /// As Drive, but reusing `scratch`'s buffers instead of allocating.
+  /// Returns scratch->samples, filled with the drive; draws the exact
+  /// same RNG sequence and produces the exact same samples as the
+  /// allocating overload.
+  const std::vector<DriveSample>& Drive(const roadnet::Path& path,
+                                        double start_time_s,
+                                        double driver_factor, Rng* rng,
+                                        DriveScratch* scratch) const;
+
   /// Engine-on idling at a fixed position (taxi stand / customer wait).
   /// Samples are spaced ~10 s apart.
   std::vector<DriveSample> Idle(const geo::EnPoint& position,
                                 double start_time_s, double duration_s) const;
+
+  /// As Idle, writing into `*out` (cleared first) instead of allocating.
+  void Idle(const geo::EnPoint& position, double start_time_s,
+            double duration_s, std::vector<DriveSample>* out) const;
 
   /// Multiplier (< 1 inside hotspots) applied to target speed at `p`.
   [[nodiscard]] double HotspotFactor(const geo::EnPoint& p) const;
@@ -100,6 +143,31 @@ class DriverModel {
   /// time-varying level when present, else the static profile.
   [[nodiscard]]
   double CrowdIntensity(const geo::EnPoint& p, double timestamp_s) const;
+
+  /// As CrowdIntensity, consulting only the hotspots in `candidates`
+  /// (indices into the list this model reads crowding from). Exact when
+  /// `candidates` came from FillHotspotCandidates over a box containing
+  /// `p` — skipped hotspots would have contributed nothing.
+  [[nodiscard]] double CrowdIntensity(
+      const geo::EnPoint& p, double timestamp_s,
+      const std::vector<size_t>& candidates) const;
+
+  /// As the candidate overload with the timestamp pre-decomposed into
+  /// its CrowdWindow: bit-identical results for any timestamp inside
+  /// `window`. The drive loop queries once per simulated second, so it
+  /// refreshes the window only at diurnal/day boundaries instead of
+  /// re-deriving day, weekend flag and diurnal level every step.
+  [[nodiscard]] double CrowdIntensity(
+      const geo::EnPoint& p, const CrowdWindow& window,
+      const std::vector<size_t>& candidates) const;
+
+  /// Fills `*candidates` (cleared first, ascending) with every hotspot
+  /// whose influence circle can reach the axis-aligned box [lo, hi].
+  /// Conservative: a hotspot is kept whenever its centre lies within
+  /// its radius of the box, so the candidate CrowdIntensity overload is
+  /// exact for any query point inside the box.
+  void FillHotspotCandidates(const geo::EnPoint& lo, const geo::EnPoint& hi,
+                             std::vector<size_t>* candidates) const;
 
   /// Seasonal speed multiplier for a timestamp (autumn fastest, winter
   /// slowest — the ordering the paper reports).

@@ -1,7 +1,17 @@
 #include "taxitrace/synth/fleet_simulator.h"
 
+// tt-lint: allow-file(parallel-accumulation): the streaming Run's
+// shared state (reorder buffer, flush cursor, fleet counters) is only
+// touched under merge_mu, and the flush loop drains it in ascending
+// shard order — a per-index-slot merge is exactly what the buffer
+// replaces, because holding every slot until the join is the unbounded
+// memory this overload exists to avoid.
+
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "taxitrace/common/check.h"
 #include "taxitrace/trace/time_util.h"
@@ -11,6 +21,49 @@ namespace synth {
 namespace {
 
 using roadnet::VertexId;
+
+// Reusable per-worker buffers threaded through every drive/observe of
+// the shards a worker runs. Never shared between threads: each worker
+// gets its own slot via WorkerLocal.
+struct SimScratch {
+  DriveScratch drive;
+  SensorScratch sensor;
+  std::vector<DriveSample> idle_samples;
+};
+
+// Route-choice preference noise, derived lazily per edge instead of
+// materialising an |E|-sized vector per drive. The multiplier of edge e
+// during drive d is a pure function of (day_seed, d, e): independent of
+// relax order (an edge queried twice yields the same value), of worker
+// count, and of every other drive — so routes are exactly as
+// deterministic as the old per-drive refill, at O(edges relaxed) cost.
+// MinMultiplier() = 1 - noise keeps the router goal-directed (scaled
+// A*) as long as noise < 1.
+class LazyRouteNoise final : public roadnet::EdgeCostModel {
+ public:
+  LazyRouteNoise(uint64_t day_seed, double noise)
+      : day_seed_(day_seed), noise_(noise) {}
+
+  void BeginDrive(uint64_t drive_index) { drive_index_ = drive_index; }
+
+  double Multiplier(roadnet::EdgeId edge) const override {
+    // MixSeed's output is already a full splitmix64 finalisation of
+    // (day_seed, drive, edge); mapping its top 53 bits straight to
+    // [0, 1) (the same mapping Rng::NextDouble uses) gives a uniform
+    // draw without paying for a full generator seed + step per edge.
+    const uint64_t bits =
+        MixSeed(day_seed_, drive_index_, static_cast<uint64_t>(edge));
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    return (1.0 - noise_) + 2.0 * noise_ * u;
+  }
+
+  double MinMultiplier() const override { return 1.0 - noise_; }
+
+ private:
+  uint64_t day_seed_;
+  double noise_;
+  uint64_t drive_index_ = 0;
+};
 
 // Id allocation strides. Each (car, day) shard draws its trip ids from
 // [shard * kTripIdStride, ...) and its point ids (per car) from
@@ -29,8 +82,8 @@ struct CarState {
   trace::Trip current_trip;  // engine-on run being accumulated
 };
 
-// Everything a shard needs; all pointees are shared, read-only, and
-// outlive the simulation.
+// Everything a shard needs; the models are shared, read-only, and
+// outlive the simulation; `scratch` hands each worker its own buffers.
 struct ShardContext {
   const CityMap* map;
   const roadnet::RoadNetwork* network;
@@ -38,6 +91,7 @@ struct ShardContext {
   const DriverModel* driver;
   const SensorModel* sensor;
   const FleetOptions* options;
+  WorkerLocal<SimScratch>* scratch;
 };
 
 // What one (car, day) shard produces; merged in shard order.
@@ -53,6 +107,7 @@ struct ShardOutput {
 ShardOutput SimulateCarDay(const ShardContext& ctx, int car, int day) {
   const FleetOptions& options = *ctx.options;
   const roadnet::RoadNetwork& network = *ctx.network;
+  SimScratch& scratch = ctx.scratch->Local();
   ShardOutput out;
 
   // Car-level traits must not vary by day: they come from the car's own
@@ -61,8 +116,13 @@ ShardOutput SimulateCarDay(const ShardContext& ctx, int car, int day) {
   const double activity = car_rng.Uniform(0.6, 1.45);
   const double car_driver_skill = car_rng.Uniform(0.9, 1.06);
 
-  Rng rng(MixSeed(options.seed, static_cast<uint64_t>(car),
-                  static_cast<uint64_t>(day) + 1));
+  const uint64_t day_seed = MixSeed(options.seed, static_cast<uint64_t>(car),
+                                    static_cast<uint64_t>(day) + 1);
+  Rng rng(day_seed);
+  // Per-drive route noise, lazily derived from (day_seed, drive, edge)
+  // inside the router's cost callback — no draws from `rng`, no |E|
+  // refill per drive.
+  LazyRouteNoise route_noise(day_seed, options.route_weight_noise);
 
   const int64_t shard =
       static_cast<int64_t>(car - 1) * options.num_days + day;
@@ -99,25 +159,23 @@ ShardOutput SimulateCarDay(const ShardContext& ctx, int car, int day) {
     state.current_trip = trace::Trip{};
   };
   const auto observe = [&](const std::vector<DriveSample>& samples) {
-    std::vector<trace::RoutePoint> points = ctx.sensor->Observe(
+    const std::vector<trace::RoutePoint>& points = ctx.sensor->Observe(
         samples, state.current_trip.trip_id, &state.next_point_id,
-        network.projection(), &rng);
+        network.projection(), &rng, &scratch.sensor);
     auto& dst = state.current_trip.points;
+    dst.reserve(dst.size() + points.size());
     dst.insert(dst.end(), points.begin(), points.end());
   };
   // Drives from the current position to `dest`; returns false when no
   // route exists (should not happen on a connected map).
-  std::vector<double> multipliers(network.edges().size(), 1.0);
+  uint64_t drive_index = 0;
   const auto drive_to = [&](VertexId dest, double driver_factor) {
-    for (double& m : multipliers) {
-      m = rng.Uniform(1.0 - options.route_weight_noise,
-                      1.0 + options.route_weight_noise);
-    }
+    route_noise.BeginDrive(++drive_index);
     Result<roadnet::Path> path =
-        ctx.router->ShortestPath(state.position, dest, &multipliers);
+        ctx.router->ShortestPath(state.position, dest, route_noise);
     if (!path.ok() || path->length_m < 1.0) return false;
-    const std::vector<DriveSample> samples =
-        ctx.driver->Drive(*path, state.time_s, driver_factor, &rng);
+    const std::vector<DriveSample>& samples = ctx.driver->Drive(
+        *path, state.time_s, driver_factor, &rng, &scratch.drive);
     if (samples.empty()) return false;
     observe(samples);
     state.time_s = samples.back().t_s;
@@ -170,17 +228,20 @@ ShardOutput SimulateCarDay(const ShardContext& ctx, int car, int day) {
       begin_trip(state.time_s);
     } else {
       const double wait_s = rng.Uniform(180.0, 1800.0) / demand;
-      observe(ctx.driver->Idle(
+      ctx.driver->Idle(
           network.vertex(state.position).position, state.time_s,
-          std::min(wait_s, std::max(0.0, shift_end - state.time_s))));
+          std::min(wait_s, std::max(0.0, shift_end - state.time_s)),
+          &scratch.idle_samples);
+      observe(scratch.idle_samples);
       state.time_s += wait_s;
       if (rng.Bernoulli(options.reposition_prob)) {
-        // Short hop to a nearby stand.
+        // Short hop to a nearby stand. The radius-bounded probe decides
+        // "is there a route under 900 m" without running the full
+        // shortest-path search an actual drive would need.
         const VertexId hop = random_vertex(&rng);
-        Result<roadnet::Path> probe =
-            ctx.router->ShortestPath(state.position, hop);
-        if (probe.ok() && probe->length_m < 900.0 &&
-            probe->length_m > 1.0 &&
+        const double probe_m =
+            ctx.router->BoundedVertexDistance(state.position, hop, 900.0);
+        if (probe_m < 900.0 && probe_m > 1.0 &&
             drive_to(hop, car_driver_skill)) {
           ++out.num_reposition_drives;
         }
@@ -221,6 +282,17 @@ FleetSimulator::FleetSimulator(const CityMap* map,
       options_(options) {}
 
 Result<FleetResult> FleetSimulator::Run(const Executor* executor) const {
+  FleetResult result;
+  trace::StoreTripSink sink(&result.store);
+  const Result<FleetRunStats> stats = Run(executor, &sink);
+  if (!stats.ok()) return stats.status();
+  result.num_customer_drives = stats->num_customer_drives;
+  result.num_reposition_drives = stats->num_reposition_drives;
+  return result;
+}
+
+Result<FleetRunStats> FleetSimulator::Run(const Executor* executor,
+                                          trace::TripSink* sink) const {
   if (options_.num_cars <= 0 || options_.num_days <= 0) {
     return Status::InvalidArgument("fleet needs at least one car and day");
   }
@@ -234,33 +306,61 @@ Result<FleetResult> FleetSimulator::Run(const Executor* executor) const {
   const DriverModel driver(map_, weather_, options_.driver,
                            &own_pedestrians);
   const SensorModel sensor(options_.sensor);
-  const ShardContext ctx{map_, &network, &router, &driver, &sensor,
-                         &options_};
+  WorkerLocal<SimScratch> scratch;
+  const ShardContext ctx{map_,    &network,  &router,  &driver,
+                         &sensor, &options_, &scratch};
 
   const int64_t num_shards =
       static_cast<int64_t>(options_.num_cars) * options_.num_days;
-  std::vector<ShardOutput> outputs(static_cast<size_t>(num_shards));
   const Executor& ex = executor != nullptr ? *executor : Executor::Serial();
+
+  // Deterministic streaming merge: shards finish in any order, but
+  // trips reach the sink in strict shard order (car-major,
+  // day-ascending). A shard that completes early waits in `pending`;
+  // whenever the next shard in line lands, the contiguous run behind it
+  // flushes. The buffer's size tracks scheduler skew (~worker count),
+  // never the whole study — that is the bounded-memory property.
+  FleetRunStats stats;
+  std::mutex merge_mu;
+  std::map<int64_t, ShardOutput> pending;
+  int64_t next_flush = 0;
+  // Once a sink call fails, stop flushing: the failed shard stays at
+  // the head half-consumed, and re-flushing it from another worker
+  // would hand moved-from trips to the sink.
+  bool merge_failed = false;
+
   TAXITRACE_RETURN_IF_ERROR(ex.ParallelFor(
       0, num_shards, [&](int64_t shard) -> Status {
         const int car = 1 + static_cast<int>(shard / options_.num_days);
         const int day = static_cast<int>(shard % options_.num_days);
-        outputs[static_cast<size_t>(shard)] = SimulateCarDay(ctx, car, day);
+        ShardOutput out = SimulateCarDay(ctx, car, day);
+
+        std::lock_guard<std::mutex> lock(merge_mu);
+        pending.emplace(shard, std::move(out));
+        stats.peak_buffered_shards =
+            std::max(stats.peak_buffered_shards,
+                     static_cast<int64_t>(pending.size()));
+        while (!merge_failed && !pending.empty() &&
+               pending.begin()->first == next_flush) {
+          ShardOutput& head = pending.begin()->second;
+          stats.num_customer_drives += head.num_customer_drives;
+          stats.num_reposition_drives += head.num_reposition_drives;
+          for (trace::Trip& trip : head.trips) {
+            ++stats.trips_simulated;
+            stats.points_simulated +=
+                static_cast<int64_t>(trip.points.size());
+            Status consumed = sink->Consume(std::move(trip));
+            if (!consumed.ok()) {
+              merge_failed = true;
+              return consumed;
+            }
+          }
+          pending.erase(pending.begin());
+          ++next_flush;
+        }
         return Status::OK();
       }));
-
-  // Deterministic merge in shard order (car-major, day-ascending): the
-  // store's insertion order, trip ids, and counters are independent of
-  // how the shards were scheduled.
-  FleetResult result;
-  for (ShardOutput& out : outputs) {
-    result.num_customer_drives += out.num_customer_drives;
-    result.num_reposition_drives += out.num_reposition_drives;
-    for (trace::Trip& trip : out.trips) {
-      TAXITRACE_RETURN_IF_ERROR(result.store.AddTrip(std::move(trip)));
-    }
-  }
-  return result;
+  return stats;
 }
 
 }  // namespace synth

@@ -19,6 +19,7 @@
 #include "taxitrace/synth/sensor_model.h"
 #include "taxitrace/synth/weather_model.h"
 #include "taxitrace/trace/trace_store.h"
+#include "taxitrace/trace/trip_sink.h"
 
 namespace taxitrace {
 namespace synth {
@@ -60,6 +61,21 @@ struct FleetResult {
   int64_t num_reposition_drives = 0;
 };
 
+/// Counters from a streaming simulation run. The drive and trip/point
+/// totals are deterministic in the seed; `peak_buffered_shards` is the
+/// reorder buffer's high-water mark — the only simulation state that
+/// scales with parallelism rather than with one shard, and the number
+/// the bounded-memory benchmark reports.
+struct FleetRunStats {
+  int64_t num_customer_drives = 0;
+  int64_t num_reposition_drives = 0;
+  int64_t trips_simulated = 0;   ///< Trips delivered to the sink.
+  int64_t points_simulated = 0;  ///< Raw points across those trips.
+  /// Most (car, day) shard outputs ever held back waiting for an
+  /// earlier shard to finish (1 on a serial run).
+  int64_t peak_buffered_shards = 0;
+};
+
 /// Simulates the fleet. Holds pointers to the map and weather model,
 /// which must outlive it.
 class FleetSimulator {
@@ -83,7 +99,23 @@ class FleetSimulator {
   /// (car, day)-ascending ranges: trip ids are unique fleet-wide and
   /// point ids stay strictly increasing per car across the whole
   /// campaign, as the real device counters would be.
+  ///
+  /// Accumulates every trip into the returned store — a thin wrapper
+  /// over the streaming overload below with a StoreTripSink.
   Result<FleetResult> Run(const Executor* executor = nullptr) const;
+
+  /// Streaming form: finished trips are handed to `sink` one at a time,
+  /// in strict (car, day, trip) order regardless of worker count, and
+  /// never accumulate inside the simulator. Out-of-order shard
+  /// completions wait in a reorder buffer whose high-water mark is
+  /// reported in the returned stats; with W workers it stays around W,
+  /// so peak memory is bounded by per-shard state — the property that
+  /// makes 1000-car × multi-day runs feasible. Sink calls happen under
+  /// the simulator's merge lock: they are serialised and need no
+  /// synchronisation in the sink, but long sink work throttles the
+  /// pipeline. A sink error aborts the run and is returned.
+  Result<FleetRunStats> Run(const Executor* executor,
+                            trace::TripSink* sink) const;
 
   [[nodiscard]] const FleetOptions& options() const { return options_; }
 

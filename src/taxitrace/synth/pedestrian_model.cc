@@ -62,6 +62,56 @@ double PedestrianModel::CrowdIntensityAt(const geo::EnPoint& position,
   return std::min(intensity, 1.0);
 }
 
+double PedestrianModel::CrowdIntensityAt(
+    const geo::EnPoint& position, double timestamp_s,
+    const std::vector<size_t>& candidates) const {
+  return CrowdIntensityAt(position, MakeCrowdWindow(timestamp_s),
+                          candidates);
+}
+
+double PedestrianModel::CrowdIntensityAt(
+    const geo::EnPoint& position, const CrowdWindow& window,
+    const std::vector<size_t>& candidates) const {
+  double intensity = 0.0;
+  for (const size_t i : candidates) {
+    const Hotspot& h = hotspots_[i];
+    const double d = geo::Distance(position, h.center);
+    if (d >= h.radius_m) continue;
+    const double depth = 1.0 - d / h.radius_m;
+    // Same product shape as `h.intensity * depth * ActivityAt(i, t)`:
+    // ActivityAt is series[day] * diurnal, both hoisted constants here.
+    const std::vector<double>& series = daily_factor_[i];
+    if (series.empty()) continue;
+    const int day = std::clamp(window.day, 0,
+                               static_cast<int>(series.size()) - 1);
+    intensity = std::max(
+        intensity, h.intensity * depth *
+                       (series[static_cast<size_t>(day)] * window.diurnal));
+  }
+  return std::min(intensity, 1.0);
+}
+
+CrowdWindow MakeCrowdWindow(double timestamp_s) {
+  CrowdWindow w;
+  w.day = trace::DayOfStudy(timestamp_s);
+  w.day_start_s = static_cast<double>(w.day) * trace::kSecondsPerDay;
+  w.weekend = trace::IsWeekend(timestamp_s);
+  const double hour = trace::HourOfDay(timestamp_s);
+  w.diurnal = PedestrianDiurnalCurve(hour, w.weekend);
+  // Breakpoints of PedestrianDiurnalCurve, plus midnight (where the
+  // day index and weekend flag roll over).
+  constexpr double kBreaksH[] = {6.0, 9.0, 12.0, 15.0, 18.0, 22.0, 24.0};
+  double next = 24.0;
+  for (const double b : kBreaksH) {
+    if (hour < b) {
+      next = b;
+      break;
+    }
+  }
+  w.valid_until_s = w.day_start_s + next * 3600.0;
+  return w;
+}
+
 double PedestrianModel::MeanDaytimeActivity(size_t index) const {
   if (index >= daily_factor_.size()) return 0.0;
   const std::vector<double>& series = daily_factor_[index];

@@ -16,6 +16,25 @@
 namespace taxitrace {
 namespace synth {
 
+/// One constancy window of the time-dependent crowd factors. Between
+/// `MakeCrowdWindow(t).valid_until_s` boundaries the study day, the
+/// weekend flag and the diurnal curve value are all constant, so a
+/// caller stepping time forward (the drive loop queries crowd intensity
+/// every simulated second) can decompose the timestamp once per window
+/// instead of once per query — the window-based overloads below return
+/// bit-identical intensities to the timestamp-based ones.
+struct CrowdWindow {
+  int day = 0;                ///< DayOfStudy of every t in the window.
+  double day_start_s = 0.0;   ///< day * kSecondsPerDay.
+  bool weekend = false;       ///< IsWeekend of every t in the window.
+  double diurnal = 0.0;       ///< PedestrianDiurnalCurve over the window.
+  double valid_until_s = 0.0;  ///< First timestamp past the window.
+};
+
+/// The window containing `timestamp_s` (which must be >= 0; simulated
+/// study time always is).
+CrowdWindow MakeCrowdWindow(double timestamp_s);
+
 /// Deterministic pedestrian activity per hotspot. Owns a copy of the
 /// hotspot list, so it has no lifetime coupling to the map.
 class PedestrianModel {
@@ -32,6 +51,23 @@ class PedestrianModel {
   /// by the current activity (replaces the static intensity).
   double CrowdIntensityAt(const geo::EnPoint& position,
                           double timestamp_s) const;
+
+  /// As CrowdIntensityAt, consulting only the hotspots named in
+  /// `candidates` (ascending indices into hotspots()). Exact — not an
+  /// approximation — whenever `candidates` is a superset of the
+  /// hotspots within their radius of `position`: every skipped hotspot
+  /// would have contributed nothing. Lets a caller that queries many
+  /// positions inside a known bounding box prefilter the hotspot list
+  /// once instead of scanning all of them per query.
+  double CrowdIntensityAt(const geo::EnPoint& position, double timestamp_s,
+                          const std::vector<size_t>& candidates) const;
+
+  /// As above with the timestamp pre-decomposed into its constancy
+  /// window; returns exactly CrowdIntensityAt(position, t, candidates)
+  /// for every t inside `window`.
+  double CrowdIntensityAt(const geo::EnPoint& position,
+                          const CrowdWindow& window,
+                          const std::vector<size_t>& candidates) const;
 
   /// Mean activity of hotspot `index` over the daytime hours (09-21) of
   /// the whole study — what a WiFi census would report.

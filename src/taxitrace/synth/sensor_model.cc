@@ -5,6 +5,52 @@
 
 namespace taxitrace {
 namespace synth {
+namespace {
+
+// Transport-defect pass with a caller-owned rebuild buffer, so the
+// per-drive hot path allocates nothing in steady state. Same RNG draws
+// and output as the historical in-place version.
+void ApplyDefectsWithBuffer(const SensorOptions& options,
+                            std::vector<trace::RoutePoint>* points,
+                            Rng* rng,
+                            std::vector<trace::RoutePoint>* tmp) {
+  std::vector<trace::RoutePoint>& pts = *points;
+  if (pts.size() < 4) return;
+
+  // Latency scrambling: swap the timestamps (or the ids) of a few
+  // adjacent pairs, so exactly one of the two orderings reconstructs the
+  // true sequence.
+  if (rng->Bernoulli(options.timestamp_glitch_prob)) {
+    for (int k = 0; k < options.glitch_swaps; ++k) {
+      const size_t i = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
+      std::swap(pts[i].timestamp_s, pts[i + 1].timestamp_s);
+    }
+  } else if (rng->Bernoulli(options.id_glitch_prob)) {
+    for (int k = 0; k < options.glitch_swaps; ++k) {
+      const size_t i = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
+      std::swap(pts[i].point_id, pts[i + 1].point_id);
+    }
+  }
+
+  // Drops and duplicates (interior points only, so trips keep their
+  // endpoints).
+  std::vector<trace::RoutePoint>& out = *tmp;
+  out.clear();
+  out.reserve(pts.size() + 2);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const bool interior = i > 0 && i + 1 < pts.size();
+    if (interior && rng->Bernoulli(options.drop_prob)) continue;
+    out.push_back(pts[i]);
+    if (interior && rng->Bernoulli(options.dup_prob)) {
+      out.push_back(pts[i]);  // duplicated record (same id, timestamp)
+    }
+  }
+  pts.swap(out);
+}
+
+}  // namespace
 
 SensorModel::SensorModel(SensorOptions options) : options_(options) {}
 
@@ -12,8 +58,21 @@ std::vector<trace::RoutePoint> SensorModel::Observe(
     const std::vector<DriveSample>& samples, int64_t trip_id,
     int64_t* next_point_id, const geo::LocalProjection& projection,
     Rng* rng) const {
-  std::vector<trace::RoutePoint> points;
+  SensorScratch scratch;
+  Observe(samples, trip_id, next_point_id, projection, rng, &scratch);
+  return std::move(scratch.points);
+}
+
+const std::vector<trace::RoutePoint>& SensorModel::Observe(
+    const std::vector<DriveSample>& samples, int64_t trip_id,
+    int64_t* next_point_id, const geo::LocalProjection& projection,
+    Rng* rng, SensorScratch* scratch) const {
+  std::vector<trace::RoutePoint>& points = scratch->points;
+  points.clear();
   if (samples.empty()) return points;
+  // Threshold emission keeps a fraction of the samples; sizing from the
+  // sample count caps the reallocation ladder without overshooting.
+  points.reserve(samples.size() / 4 + 8);
 
   double pending_fuel = 0.0;
   const DriveSample* last_emitted = nullptr;
@@ -66,45 +125,14 @@ std::vector<trace::RoutePoint> SensorModel::Observe(
       pending_fuel += s.fuel_delta_ml;
     }
   }
-  ApplyTransportDefects(&points, rng);
+  ApplyDefectsWithBuffer(options_, &points, rng, &scratch->defect_tmp);
   return points;
 }
 
 void SensorModel::ApplyTransportDefects(
     std::vector<trace::RoutePoint>* points, Rng* rng) const {
-  std::vector<trace::RoutePoint>& pts = *points;
-  if (pts.size() < 4) return;
-
-  // Latency scrambling: swap the timestamps (or the ids) of a few
-  // adjacent pairs, so exactly one of the two orderings reconstructs the
-  // true sequence.
-  if (rng->Bernoulli(options_.timestamp_glitch_prob)) {
-    for (int k = 0; k < options_.glitch_swaps; ++k) {
-      const size_t i = static_cast<size_t>(
-          rng->UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
-      std::swap(pts[i].timestamp_s, pts[i + 1].timestamp_s);
-    }
-  } else if (rng->Bernoulli(options_.id_glitch_prob)) {
-    for (int k = 0; k < options_.glitch_swaps; ++k) {
-      const size_t i = static_cast<size_t>(
-          rng->UniformInt(1, static_cast<int64_t>(pts.size()) - 2));
-      std::swap(pts[i].point_id, pts[i + 1].point_id);
-    }
-  }
-
-  // Drops and duplicates (interior points only, so trips keep their
-  // endpoints).
-  std::vector<trace::RoutePoint> out;
-  out.reserve(pts.size() + 2);
-  for (size_t i = 0; i < pts.size(); ++i) {
-    const bool interior = i > 0 && i + 1 < pts.size();
-    if (interior && rng->Bernoulli(options_.drop_prob)) continue;
-    out.push_back(pts[i]);
-    if (interior && rng->Bernoulli(options_.dup_prob)) {
-      out.push_back(pts[i]);  // duplicated record (same id, timestamp)
-    }
-  }
-  pts = std::move(out);
+  std::vector<trace::RoutePoint> tmp;
+  ApplyDefectsWithBuffer(options_, points, rng, &tmp);
 }
 
 }  // namespace synth

@@ -46,6 +46,15 @@ struct SensorOptions {
   double dup_prob = 0.004;
 };
 
+/// Reusable buffers for one worker's observations: the emitted points
+/// and the defect pass's rebuild buffer. One instance serves one thread
+/// at a time; `points` stays valid until the next Observe through the
+/// same instance.
+struct SensorScratch {
+  std::vector<trace::RoutePoint> points;      ///< Observe output.
+  std::vector<trace::RoutePoint> defect_tmp;  ///< Drop/dup rebuild.
+};
+
 /// Stateless observer; all randomness flows through the caller's Rng.
 class SensorModel {
  public:
@@ -60,6 +69,14 @@ class SensorModel {
       const std::vector<DriveSample>& samples, int64_t trip_id,
       int64_t* next_point_id, const geo::LocalProjection& projection,
       Rng* rng) const;
+
+  /// As Observe, but reusing `scratch`'s buffers instead of allocating.
+  /// Returns scratch->points; draws the exact same RNG sequence and
+  /// produces the exact same points as the allocating overload.
+  const std::vector<trace::RoutePoint>& Observe(
+      const std::vector<DriveSample>& samples, int64_t trip_id,
+      int64_t* next_point_id, const geo::LocalProjection& projection,
+      Rng* rng, SensorScratch* scratch) const;
 
   /// Applies only the transport defects (id/timestamp scrambling, drops,
   /// duplicates) to already-emitted points. Exposed for targeted tests

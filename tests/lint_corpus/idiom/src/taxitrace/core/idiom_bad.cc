@@ -28,4 +28,14 @@ void BadLinearReset(std::vector<double>& dist,
   std::fill(visited.begin(), visited.end(), false);  // expect(linear-reset)
 }
 
+void BadRngRefill(std::vector<double>& multipliers, Rng& rng) {
+  for (double& m : multipliers) {  // expect(linear-reset)
+    m = rng.Uniform(0.75, 1.25);
+  }
+}
+
+void BadRngRefillPtr(std::vector<double>& edge_weights, Rng* noise_rng) {
+  for (auto& w : edge_weights) w = noise_rng->Uniform(0.6, 1.5);  // expect(linear-reset)
+}
+
 }  // namespace taxitrace

@@ -19,4 +19,14 @@ void GoodScratchReset(SearchScratch& scratch) {
   scratch.dist.assign(scratch.dist.size(), 1e18);
 }
 
+void GoodScratchRefill(SearchScratch& scratch, Rng& rng) {
+  for (double& m : scratch.multipliers) m = rng.Uniform(0.75, 1.25);
+}
+
+double GoodReadOnlySweep(const std::vector<double>& multipliers) {
+  double total = 0.0;
+  for (const double m : multipliers) total += m;
+  return total;
+}
+
 }  // namespace taxitrace

@@ -174,6 +174,61 @@ TEST(RouterEquivalenceTest, MatchesReferenceUnderDijkstraFallback) {
   EXPECT_EQ(router.stats().goal_directed_searches, 0);
 }
 
+// The same multipliers served through the EdgeCostModel interface (the
+// lazy-noise hook the simulator uses) must reproduce the vector
+// overload's paths step for step. With inflating multipliers both
+// overloads run the identical unscaled A*; with sub-unity multipliers
+// the vector overload falls back to Dijkstra while the model overload
+// keeps a MinMultiplier()-scaled (still admissible) heuristic — the
+// costs are the same either way, so so are the shortest paths.
+class VectorCostModel final : public EdgeCostModel {
+ public:
+  explicit VectorCostModel(const std::vector<double>* mult)
+      : mult_(mult),
+        min_(*std::min_element(mult->begin(), mult->end())) {}
+  double Multiplier(EdgeId edge) const override {
+    return (*mult_)[static_cast<size_t>(edge)];
+  }
+  double MinMultiplier() const override { return min_; }
+
+ private:
+  const std::vector<double>* mult_;
+  double min_;
+};
+
+TEST(RouterEquivalenceTest, CostModelMatchesVectorOverload) {
+  const RoadNetwork& net = TestMap().network;
+  const Router router(&net);
+  const auto n = static_cast<int64_t>(net.vertices().size());
+  Rng rng(24680);
+  std::vector<double> multiplier(net.edges().size());
+  for (const auto& [lo, hi] : {std::pair<double, double>{1.0, 1.8},
+                               std::pair<double, double>{0.6, 1.5}}) {
+    for (double& m : multiplier) m = rng.Uniform(lo, hi);
+    const VectorCostModel model(&multiplier);
+    for (int i = 0; i < 60; ++i) {
+      const auto from = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+      const auto to = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+      const Result<Path> via_vector =
+          router.ShortestPath(from, to, &multiplier);
+      const Result<Path> via_model = router.ShortestPath(from, to, model);
+      ASSERT_EQ(via_vector.ok(), via_model.ok()) << from << "->" << to;
+      if (!via_vector.ok()) continue;
+      ASSERT_EQ(via_vector->steps.size(), via_model->steps.size())
+          << from << "->" << to;
+      for (size_t s = 0; s < via_vector->steps.size(); ++s) {
+        EXPECT_EQ(via_vector->steps[s].edge, via_model->steps[s].edge);
+        EXPECT_EQ(via_vector->steps[s].forward,
+                  via_model->steps[s].forward);
+      }
+      EXPECT_EQ(via_vector->length_m, via_model->length_m);
+    }
+  }
+  // The model overload never fell back to plain Dijkstra: sub-unity
+  // multipliers only scaled its heuristic.
+  EXPECT_GT(router.stats().goal_directed_searches, 0);
+}
+
 }  // namespace
 }  // namespace roadnet
 }  // namespace taxitrace
