@@ -9,12 +9,19 @@
 //   taxitrace_cli match <elements.csv> <features.csv> <segments.csv>
 //                 <routes.geojson> [max_trips]
 //   taxitrace_cli analyze <segments.csv>
-//   taxitrace_cli study [--metrics-json <out.json>] [cars] [days]
+//   taxitrace_cli study [--metrics-json <out.json>] [--stream-ingest]
+//                 [--ingest-lag <slots>] [--ingest-shuffle <slots>]
+//                 [cars] [days]
 //
 // `study` runs the end-to-end synthetic study (SmallStudy scale unless
 // cars/days are given) with observability enabled and prints the stage
 // funnel and span tree; --metrics-json additionally writes the full
 // metrics snapshot (funnel, counters, gauges, histograms, spans).
+// --stream-ingest replays every car's trace through the online
+// ingestion path (bounded-lag order repair, per-window clean + match)
+// instead of the batch stages and prints the ingest latency summary;
+// --ingest-lag and --ingest-shuffle set the watermark lag and the
+// adversarial arrival shuffle, both in arrival slots.
 
 #include <cmath>
 #include <cstdio>
@@ -36,6 +43,7 @@
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/model/significance.h"
 #include "taxitrace/roadnet/map_io.h"
+#include "taxitrace/stream/ingest_session.h"
 #include "taxitrace/synth/city_map_generator.h"
 #include "taxitrace/synth/fleet_simulator.h"
 #include "taxitrace/trace/trace_io.h"
@@ -237,17 +245,33 @@ int Analyze(int argc, char** argv) {
 
 int Study(int argc, char** argv) {
   const char* metrics_path = nullptr;
+  bool stream_ingest = false;
+  int64_t ingest_lag = -1;
+  int64_t ingest_shuffle = -1;
   std::vector<const char*> positional;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
       if (i + 1 >= argc) return 2;
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stream-ingest") == 0) {
+      stream_ingest = true;
+    } else if (std::strcmp(argv[i], "--ingest-lag") == 0) {
+      if (i + 1 >= argc) return 2;
+      ingest_lag = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ingest-shuffle") == 0) {
+      if (i + 1 >= argc) return 2;
+      ingest_shuffle = std::atoll(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
   }
   core::StudyConfig config = core::StudyConfig::SmallStudy();
   config.observability.enabled = true;
+  config.stream_ingestion = stream_ingest;
+  if (ingest_lag >= 0) config.ingest.reorder_lag = ingest_lag;
+  if (ingest_shuffle >= 0) {
+    config.ingest.arrival_shuffle_window = ingest_shuffle;
+  }
   if (!positional.empty()) config.fleet.num_cars = std::atoi(positional[0]);
   if (positional.size() > 1) {
     config.fleet.num_days = std::atoi(positional[1]);
@@ -264,6 +288,25 @@ int Study(int argc, char** argv) {
               static_cast<long long>(results->raw_trips),
               results->transitions.size(),
               results->overall_mean_speed_kmh);
+  if (stream_ingest) {
+    const stream::IngestStats& ing = results->ingest_stats;
+    std::printf(
+        "online ingestion: lag %lld slots, shuffle window %lld, "
+        "%lld points released / %lld offered (%lld late), "
+        "%lld windows closed, latency p50/p90/p99/max = "
+        "%lld/%lld/%lld/%lld slots, peak buffer %lld\n\n",
+        static_cast<long long>(config.ingest.reorder_lag),
+        static_cast<long long>(config.ingest.arrival_shuffle_window),
+        static_cast<long long>(ing.points_released),
+        static_cast<long long>(ing.points_offered),
+        static_cast<long long>(ing.points_dropped_late),
+        static_cast<long long>(ing.windows_closed),
+        static_cast<long long>(stream::IngestLatencyQuantile(ing, 0.5)),
+        static_cast<long long>(stream::IngestLatencyQuantile(ing, 0.9)),
+        static_cast<long long>(stream::IngestLatencyQuantile(ing, 0.99)),
+        static_cast<long long>(stream::IngestLatencyMax(ing)),
+        static_cast<long long>(ing.peak_buffered_records));
+  }
   std::printf("%s", obs::SnapshotText(results->observability).c_str());
   if (metrics_path != nullptr) {
     const Status st = core::WriteTextFile(

@@ -8,10 +8,15 @@
 #include "taxitrace/analysis/grid.h"
 #include "taxitrace/clean/cleaning_pipeline.h"
 #include "taxitrace/common/executor.h"
+#include "taxitrace/common/random.h"
 #include "taxitrace/common/strings.h"
+#include "taxitrace/core/segment_match.h"
 #include "taxitrace/fault/fault_injector.h"
 #include "taxitrace/odselect/transition_extractor.h"
+#include "taxitrace/stream/ingest_session.h"
+#include "taxitrace/stream/stream_source.h"
 #include "taxitrace/trace/trace_io.h"
+#include "taxitrace/trace/trip_sink.h"
 
 namespace taxitrace {
 namespace core {
@@ -64,7 +69,12 @@ Result<StudyResults> Pipeline::Run() const {
                                      config_.fleet.num_days);
   const synth::FleetSimulator fleet(&map, &weather, config_.fleet,
                                     &pedestrians);
-  const bool streaming = config_.stream_simulation && !config_.faults.Any();
+  // Online ingestion consumes the materialised store (it rebuilds each
+  // car's arrival stream from it), so it forces the in-memory
+  // simulation path, exactly like an active fault plan does.
+  const bool stream_ingest = config_.stream_ingestion;
+  const bool streaming =
+      config_.stream_simulation && !config_.faults.Any() && !stream_ingest;
 
   synth::FleetResult raw;
   int64_t trips_simulated = 0;
@@ -162,13 +172,175 @@ Result<StudyResults> Pipeline::Run() const {
   sim_span.AddItems(trips_simulated);
   sim_span.Finish();
 
-  // 3. Cleaning: sanitiser (when faulted), order repair, error filters,
+  // 3. OD gates, transition extraction and matching machinery — built
+  // before the cleaning stage because the online ingestion path fuses
+  // cleaning and matching into one per-window unit of work. Everything
+  // here is shared read-only state for MatchSegment.
+  std::vector<odselect::OdGate> gates;
+  for (const synth::GateRoad& g : results.map.gates) {
+    gates.emplace_back(g.name, g.geometry, config_.gate);
+  }
+  const geo::LocalProjection& proj = results.map.network.projection();
+  const odselect::TransitionExtractor extractor(gates, proj);
+  const geo::Bbox region =
+      results.map.network.Bounds().Inflated(300.0);
+  const roadnet::SpatialIndex index(&results.map.network);
+  const mapmatch::IncrementalMatcher matcher(&results.map.network, &index,
+                                             config_.matcher);
+  const mapattr::AttributeFetcher fetcher(&results.map.network,
+                                          config_.attributes);
+  // Gate lookup by name, built once (the per-transition linear scan over
+  // gates was O(gates x transitions)).
+  std::unordered_map<std::string, const odselect::OdGate*> gate_by_name;
+  for (const odselect::OdGate& g : gates) gate_by_name.emplace(g.name(), &g);
+  SegmentMatchContext match_context;
+  match_context.extractor = &extractor;
+  match_context.gate_by_name = &gate_by_name;
+  match_context.matcher = &matcher;
+  match_context.fetcher = &fetcher;
+  match_context.network = &results.map.network;
+  match_context.central_area = &results.map.central_area;
+  match_context.projection = &proj;
+  match_context.region = region;
+  match_context.transition_filter = &config_.transition_filter;
+  match_context.speed = &config_.speed;
+  match_context.route_cache_capacity =
+      config_.matcher.gap.route_cache_capacity;
+
+  // 3.5. Online ingestion (stream_ingestion): every car's raw trace is
+  // replayed as an arrival stream — optionally shuffled by a bounded
+  // displacement — through an IngestSession that undoes the reordering
+  // under the watermark and flushes each window (container trip) into
+  // the fused clean + match chain the moment it is complete. One
+  // session per car, one car per work item: sessions share no state,
+  // and the per-car outputs are merged below in store order, so the
+  // results are byte-identical to batch at any worker count whenever
+  // the displacement fits the lossless bound.
+  struct TripIngestOutput {
+    int64_t trip_id = 0;
+    clean::TripCleanOutput clean;
+    std::vector<SegmentMatchOutput> matches;
+  };
+  struct CarIngestOutput {
+    int car_id = 0;
+    std::vector<TripIngestOutput> trips;
+    stream::IngestStats stats;
+    size_t next = 0;  ///< Merge cursor for the store-order fold.
+  };
+  std::vector<CarIngestOutput> car_ingest;
+  if (stream_ingest) {
+    obs::StageSpan ingest_span(&trace, "stream_ingestion");
+    const std::vector<int> car_ids = raw.store.CarIds();
+    car_ingest.resize(car_ids.size());
+    const Status ingest_status = executor.ParallelFor(
+        0, static_cast<int64_t>(car_ids.size()),
+        [&](int64_t ci) -> Status {
+          const int car_id = car_ids[static_cast<size_t>(ci)];
+          CarIngestOutput& out = car_ingest[static_cast<size_t>(ci)];
+          out.car_id = car_id;
+          stream::CarStream arrivals =
+              stream::BuildCarStream(raw.store, car_id);
+          if (config_.ingest.arrival_shuffle_window > 0) {
+            stream::ShuffleArrivals(
+                &arrivals.records,
+                MixSeed(config_.ingest.arrival_shuffle_seed,
+                        static_cast<uint64_t>(car_id), 0),
+                config_.ingest.arrival_shuffle_window);
+          }
+          // Each closed window runs the same per-trip cleaning and
+          // per-segment matching units the batch stages run, in the
+          // same per-car order.
+          struct WindowSink final : public trace::TripSink {
+            const clean::CleaningOptions* options = nullptr;
+            const SegmentMatchContext* context = nullptr;
+            std::vector<TripIngestOutput>* out = nullptr;
+            Status Consume(trace::Trip trip) override {
+              TripIngestOutput rec;
+              rec.trip_id = trip.trip_id;
+              rec.clean = clean::CleanOneTrip(std::move(trip), *options);
+              rec.matches.reserve(rec.clean.segments.size());
+              for (const trace::Trip& seg : rec.clean.segments) {
+                rec.matches.push_back(MatchSegment(seg, *context));
+              }
+              out->push_back(std::move(rec));
+              return Status::OK();
+            }
+          };
+          WindowSink sink;
+          sink.options = &cleaning_options;
+          sink.context = &match_context;
+          sink.out = &out.trips;
+          stream::IngestSession session(car_id, config_.ingest, &sink);
+          for (const stream::StreamRecord& rec : arrivals.records) {
+            TAXITRACE_RETURN_IF_ERROR(session.Ingest(rec));
+          }
+          TAXITRACE_RETURN_IF_ERROR(session.FinishStream());
+          out.stats = session.stats();
+          return Status::OK();
+        });
+    if (!ingest_status.ok()) return ingest_status;
+    for (const CarIngestOutput& c : car_ingest) {
+      results.ingest_stats.Add(c.stats);
+    }
+    ingest_span.AddItems(results.ingest_stats.points_offered +
+                         results.ingest_stats.trip_markers_offered);
+    ingest_span.Finish();
+  }
+
+  // 4. Cleaning: sanitiser (when faulted), order repair, error filters,
   // segmentation, filters. On a streaming run the per-trip work already
-  // happened inside the simulation merge; what remains here is folding
-  // the totals, so the cleaning span is (by design) near-empty.
+  // happened inside the simulation merge, and on an online-ingestion
+  // run inside the window flushes; what remains here is folding the
+  // totals, so the cleaning span is (by design) near-empty on both.
   obs::StageSpan clean_span(&trace, "cleaning");
   std::vector<trace::Trip> cleaned;
-  if (streaming) {
+  std::vector<SegmentMatchOutput> match_outputs;
+  if (stream_ingest) {
+    // Merge the per-car window outputs in store order: walk the store's
+    // trips and pull the matching window from its car's queue (each
+    // queue is already in per-car store order — release order equals
+    // canonical order). A store trip lost wholesale in ingestion is
+    // skipped; its records are accounted in the funnel's ingest drops.
+    clean::CleaningReport& report = results.cleaning_report;
+    std::unordered_map<int, CarIngestOutput*> outputs_by_car;
+    for (CarIngestOutput& c : car_ingest) {
+      outputs_by_car.emplace(c.car_id, &c);
+    }
+    const auto fold_window = [&](TripIngestOutput& window) {
+      clean::FoldTripCleanOutput(window.clean, &report);
+      for (size_t k = 0; k < window.clean.segments.size(); ++k) {
+        cleaned.push_back(std::move(window.clean.segments[k]));
+        match_outputs.push_back(std::move(window.matches[k]));
+      }
+    };
+    for (const trace::Trip& store_trip : raw.store.trips()) {
+      const auto it = outputs_by_car.find(store_trip.car_id);
+      if (it == outputs_by_car.end()) continue;
+      CarIngestOutput& c = *it->second;
+      if (c.next < c.trips.size() &&
+          c.trips[c.next].trip_id == store_trip.trip_id) {
+        fold_window(c.trips[c.next]);
+        ++c.next;
+      }
+    }
+    // Windows whose container id matches no store trip cannot arise
+    // from the canonical source, but work is never dropped silently:
+    // fold any leftovers in car order.
+    for (CarIngestOutput& c : car_ingest) {
+      for (; c.next < c.trips.size(); ++c.next) {
+        fold_window(c.trips[c.next]);
+      }
+    }
+    report.raw_trips = results.ingest_stats.windows_closed;
+    report.raw_points = results.ingest_stats.points_released;
+    report.clean_segments = static_cast<int64_t>(cleaned.size());
+    for (const trace::Trip& t : cleaned) {
+      report.clean_points += static_cast<int64_t>(t.points.size());
+    }
+    if (metrics != nullptr) {
+      clean::PublishCleaningMetrics(report, cleaned, metrics);
+    }
+  } else if (streaming) {
     streamed_report.raw_trips = trips_simulated;
     streamed_report.raw_points = points_simulated;
     cleaned = std::move(streamed_cleaned);
@@ -194,145 +366,25 @@ Result<StudyResults> Pipeline::Run() const {
   clean_span.AddItems(results.cleaning_report.raw_trips);
   clean_span.Finish();
 
-  // 4. OD gates and transition extraction.
+  // 5. Selection + matching fans out over the cleaned trips: every
+  // segment is independent given the shared read-only machinery built
+  // in stage 3. Each worker fills its segment's slot (MatchSegment)
+  // with ordered matched transitions plus Table 3 funnel deltas; the
+  // slots are then merged in cleaned order (== trip id order), so the
+  // funnel, the match report's running mean, and the transition list
+  // are byte-identical at any thread count. On an online-ingestion run
+  // the slots were already produced at window flush and merged into
+  // cleaned order above; only the fold below runs.
   obs::StageSpan match_span(&trace, "selection_matching");
-  std::vector<odselect::OdGate> gates;
-  for (const synth::GateRoad& g : results.map.gates) {
-    gates.emplace_back(g.name, g.geometry, config_.gate);
-  }
-  const geo::LocalProjection& proj = results.map.network.projection();
-  const odselect::TransitionExtractor extractor(gates, proj);
-  const geo::Bbox region =
-      results.map.network.Bounds().Inflated(300.0);
-
-  // 5. Matching machinery.
-  const roadnet::SpatialIndex index(&results.map.network);
-  const mapmatch::IncrementalMatcher matcher(&results.map.network, &index,
-                                             config_.matcher);
-  const mapattr::AttributeFetcher fetcher(&results.map.network,
-                                          config_.attributes);
-
-  // Gate lookup by name, built once (the per-transition linear scan over
-  // gates was O(gates x transitions)).
-  std::unordered_map<std::string, const odselect::OdGate*> gate_by_name;
-  for (const odselect::OdGate& g : gates) gate_by_name.emplace(g.name(), &g);
-
-  // Selection + matching fans out over the cleaned trips: every segment
-  // is independent given the shared read-only machinery above. Each
-  // worker fills its segment's slot with ordered matched transitions
-  // plus Table 3 funnel deltas; the slots are then merged in cleaned
-  // order (== trip id order), so the funnel, the match report's running
-  // mean, and the transition list are byte-identical at any thread
-  // count.
-  struct SegmentMatchOutput {
-    int64_t filtered_cleaned = 0;
-    int64_t transitions_total = 0;
-    int64_t transitions_central = 0;
-    int64_t post_filtered = 0;
-    // Explicit drop accounting for the transition funnel stage: every
-    // examined transition lands in exactly one bucket, so
-    // examined == post_filtered + the five drop counters.
-    int64_t transitions_examined = 0;
-    int64_t dropped_direction = 0;
-    int64_t dropped_outside_central = 0;
-    int64_t dropped_match_failed = 0;
-    int64_t dropped_unknown_gate = 0;
-    int64_t dropped_endpoint_filter = 0;
-    // Final tallies of this trip's route cache. Folding them in cleaned
-    // order gives worker-count-independent totals because each cache
-    // lives and dies inside one work item.
-    int64_t cache_hits = 0;
-    int64_t cache_misses = 0;
-    int64_t cache_evictions = 0;
-    std::vector<MatchedTransition> transitions;
-  };
-  std::vector<SegmentMatchOutput> match_outputs(cleaned.size());
-
-  TAXITRACE_RETURN_IF_ERROR(executor.ParallelFor(
-      0, static_cast<int64_t>(cleaned.size()), [&](int64_t i) -> Status {
-        const trace::Trip& segment = cleaned[static_cast<size_t>(i)];
-        SegmentMatchOutput& out = match_outputs[static_cast<size_t>(i)];
-        // One route memo per cleaned trip, shared by all its matched
-        // transitions and never by other work items.
-        mapmatch::RouteCache route_cache(
-            config_.matcher.gap.route_cache_capacity);
-
-        const odselect::TripGateAnalysis analysis =
-            extractor.Analyze(segment);
-        if (!analysis.crosses_gate_at_angle ||
-            analysis.distinct_gates_crossed < 2) {
+  if (!stream_ingest) {
+    match_outputs.resize(cleaned.size());
+    TAXITRACE_RETURN_IF_ERROR(executor.ParallelFor(
+        0, static_cast<int64_t>(cleaned.size()), [&](int64_t i) -> Status {
+          match_outputs[static_cast<size_t>(i)] =
+              MatchSegment(cleaned[static_cast<size_t>(i)], match_context);
           return Status::OK();
-        }
-        ++out.filtered_cleaned;
-
-        for (const odselect::Transition& transition : analysis.transitions) {
-          ++out.transitions_examined;
-          if (!odselect::IsSelectedDirection(transition,
-                                             config_.transition_filter)) {
-            ++out.dropped_direction;
-            continue;
-          }
-          ++out.transitions_total;
-          if (!odselect::IsWithinCentralArea(transition,
-                                             results.map.central_area,
-                                             region, proj,
-                                             config_.transition_filter)) {
-            ++out.dropped_outside_central;
-            continue;
-          }
-          ++out.transitions_central;
-
-          // Map matching (only cleared transitions through the centre
-          // are matched, as in the paper).
-          Result<mapmatch::MatchedRoute> route =
-              matcher.Match(transition.segment, &route_cache);
-          if (!route.ok()) {
-            ++out.dropped_match_failed;
-            continue;
-          }
-
-          const auto origin_it = gate_by_name.find(transition.origin);
-          const auto dest_it = gate_by_name.find(transition.destination);
-          if (origin_it == gate_by_name.end() ||
-              dest_it == gate_by_name.end()) {
-            ++out.dropped_unknown_gate;
-            continue;
-          }
-          if (!odselect::PassesEndpointPostFilter(
-                  route->geometry, *origin_it->second, *dest_it->second,
-                  config_.transition_filter)) {
-            ++out.dropped_endpoint_filter;
-            continue;
-          }
-          ++out.post_filtered;
-
-          // 6. Attributes and the per-transition record.
-          MatchedTransition mt{transition, std::move(*route), {}};
-          mt.record.trip_id = transition.segment.trip_id;
-          mt.record.car_id = transition.segment.car_id;
-          mt.record.direction = transition.Label();
-          mt.record.start_time_s = transition.segment.StartTime();
-          mt.record.route_time_h =
-              trace::TimeSpanSeconds(transition.segment.points) / 3600.0;
-          mt.record.route_distance_km = mt.route.length_m / 1000.0;
-          mt.record.low_speed_share =
-              analysis::LowSpeedShare(transition.segment, config_.speed);
-          mt.record.normal_speed_share = analysis::NormalSpeedShare(
-              transition.segment, mt.route, results.map.network,
-              config_.speed);
-          double fuel = 0.0;
-          for (size_t k = 1; k < transition.segment.points.size(); ++k) {
-            fuel += transition.segment.points[k].fuel_delta_ml;
-          }
-          mt.record.fuel_ml = fuel;
-          mt.record.attributes = fetcher.Fetch(mt.route);
-          out.transitions.push_back(std::move(mt));
-        }
-        out.cache_hits = route_cache.stats().hits;
-        out.cache_misses = route_cache.stats().misses;
-        out.cache_evictions = route_cache.stats().evictions;
-        return Status::OK();
-      }));
+        }));
+  }
 
   // Per-car funnel rows (Table 3), folded in cleaned order, plus the
   // fleet-wide totals for the study funnel ledger.
@@ -496,6 +548,29 @@ Result<StudyResults> Pipeline::Run() const {
       s.Drop("duplicate_id", injected.trips_dropped_duplicate_id);
       s.out = results.raw_trips;
     }
+    if (stream_ingest) {
+      const stream::IngestStats& ing = results.ingest_stats;
+      {
+        // in == out + drops exactly: every point record the source
+        // offered is either released into a window or dropped as a
+        // counted late arrival — nothing is silently lost.
+        obs::FunnelStage& s =
+            funnel_ledger.AddStage("points.ingested", "points");
+        s.in = ing.points_offered;
+        s.Drop("late_arrival", ing.points_dropped_late);
+        s.out = ing.points_released;
+      }
+      {
+        // Window lifecycle: markers offered plus implicitly opened
+        // containers, minus late markers, equals windows closed (every
+        // opened window closes by end of stream).
+        obs::FunnelStage& s =
+            funnel_ledger.AddStage("windows.closed", "windows");
+        s.in = ing.trip_markers_offered + ing.windows_opened_implicit;
+        s.Drop("marker_late_arrival", ing.trip_markers_dropped_late);
+        s.out = ing.windows_closed;
+      }
+    }
     {
       obs::FunnelStage& s =
           funnel_ledger.AddStage("trips.cleaning", "trips");
@@ -530,6 +605,15 @@ Result<StudyResults> Pipeline::Run() const {
       s.Drop("too_few_points", cr.filter.removed_too_few_points);
       s.Drop("too_long", cr.filter.removed_too_long);
       s.out = cr.filter.kept;
+    }
+    if (stream_ingest) {
+      // The online path's emission point: every segment surviving the
+      // cleaning filters inside a window flush was handed straight to
+      // the matcher (no buffering between), hence in == out.
+      obs::FunnelStage& s =
+          funnel_ledger.AddStage("segments.emitted_online", "segments");
+      s.in = cr.clean_segments;
+      s.out = cr.clean_segments;
     }
     {
       obs::FunnelStage& s =
@@ -588,6 +672,21 @@ Result<StudyResults> Pipeline::Run() const {
       registry.counter("fault.dropped_total")
           ->Add(results.cleaning_report.faults.TotalDropped());
     }
+    if (stream_ingest) {
+      const stream::IngestStats& ing = results.ingest_stats;
+      registry.counter("stream.points_ingested")->Add(ing.points_released);
+      registry.counter("stream.points_dropped_late")
+          ->Add(ing.points_dropped_late);
+      registry.counter("stream.windows_closed")->Add(ing.windows_closed);
+      registry.counter("stream.windows_opened_implicit")
+          ->Add(ing.windows_opened_implicit);
+      registry.counter("stream.slots_declared_lost")
+          ->Add(ing.slots_declared_lost);
+      // Deterministic too (a max of per-car deterministic values), but
+      // a high-water mark is a level, not a flow — hence a gauge.
+      registry.gauge("stream.peak_buffered_records")
+          ->Set(static_cast<double>(ing.peak_buffered_records));
+    }
 
     // Executor load: scheduling-dependent by nature, hence gauges.
     const ExecutorStats ex = executor.stats();
@@ -623,6 +722,8 @@ Result<StudyResults> Pipeline::Run() const {
       timings.cleaning_ms = r.duration_ms;
     } else if (r.name == "selection_matching") {
       timings.selection_matching_ms = r.duration_ms;
+    } else if (r.name == "stream_ingestion") {
+      timings.stream_ingest_ms = r.duration_ms;
     } else if (r.name == "analysis") {
       timings.analysis_ms = r.duration_ms;
     }

@@ -13,21 +13,16 @@
 #include "taxitrace/analysis/cell_stats.h"
 #include "taxitrace/analysis/route_stats.h"
 #include "taxitrace/analysis/seasons.h"
+#include "taxitrace/core/segment_match.h"
 #include "taxitrace/core/study_config.h"
 #include "taxitrace/mapmatch/match_report.h"
 #include "taxitrace/model/one_way_reml.h"
 #include "taxitrace/model/significance.h"
 #include "taxitrace/obs/observability.h"
+#include "taxitrace/stream/ingest_session.h"
 
 namespace taxitrace {
 namespace core {
-
-/// A transition with everything computed about it.
-struct MatchedTransition {
-  odselect::Transition transition;
-  mapmatch::MatchedRoute route;
-  analysis::TransitionRecord record;
-};
 
 /// Wall-clock cost of each pipeline stage, milliseconds, plus the
 /// worker-thread count each parallel stage ran with (0 = serial).
@@ -39,6 +34,10 @@ struct StageTimings {
   double cleaning_ms = 0.0;
   double selection_matching_ms = 0.0;
   double analysis_ms = 0.0;
+  /// Online ingestion (stream_ingestion runs only): the fused
+  /// clean + match work that replaces the cleaning and
+  /// selection_matching stages, whose spans are then near-empty.
+  double stream_ingest_ms = 0.0;
 
   int simulation_threads = 0;
   int cleaning_threads = 0;
@@ -46,7 +45,7 @@ struct StageTimings {
 
   [[nodiscard]] double TotalMs() const {
     return map_generation_ms + simulation_ms + cleaning_ms +
-           selection_matching_ms + analysis_ms;
+           selection_matching_ms + analysis_ms + stream_ingest_ms;
   }
 };
 
@@ -108,6 +107,12 @@ struct StudyResults {
 
   /// Matching health across the analysed transitions.
   mapmatch::MatchReport match_report;
+
+  /// Online ingestion accounting (folded over every car's session in
+  /// car order), populated only on a stream_ingestion run;
+  /// default-empty otherwise. Deterministic in the config seeds at any
+  /// worker count, like the funnel.
+  stream::IngestStats ingest_stats;
 
   /// Wall-clock cost of each stage of this run.
   StageTimings timings;

@@ -12,6 +12,7 @@
 #include "taxitrace/obs/observability.h"
 #include "taxitrace/odselect/od_gate.h"
 #include "taxitrace/odselect/transition_filter.h"
+#include "taxitrace/stream/ingest_session.h"
 #include "taxitrace/synth/city_map_generator.h"
 #include "taxitrace/synth/fleet_simulator.h"
 
@@ -55,6 +56,21 @@ struct StudyConfig {
   /// file-level faults corrupt one CSV view of the whole store, which
   /// has no per-trip equivalent.
   bool stream_simulation = false;
+
+  /// Online ingestion: rebuild each car's raw trace as an arrival
+  /// stream (stream/stream_source.h), undo bounded reordering with a
+  /// watermark that trails the stream head by `ingest.reorder_lag`
+  /// slots, and run cleaning + matching per window as it closes —
+  /// point-in, matched-segment-out with bounded latency instead of
+  /// per-trip batches. StudyResults are byte-identical to the batch
+  /// path at any worker count whenever every arrival displacement fits
+  /// the lossless bound (reorder_lag / 2); records beyond it become
+  /// counted funnel drops (`points.ingested`), never silent losses.
+  /// Takes precedence over stream_simulation: ingestion consumes the
+  /// materialised (and possibly fault-corrupted) store, exactly what
+  /// batch cleaning would have seen.
+  bool stream_ingestion = false;
+  stream::IngestOptions ingest;
 
   /// Worker threads for the parallel stages (simulation, cleaning,
   /// selection + matching): 0 = serial, -1 = resolve from the

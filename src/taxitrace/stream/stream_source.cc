@@ -1,0 +1,73 @@
+#include "taxitrace/stream/stream_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "taxitrace/common/random.h"
+
+namespace taxitrace {
+namespace stream {
+
+CarStream BuildCarStream(const trace::TraceStore& store, int car_id) {
+  CarStream out;
+  out.car_id = car_id;
+  int64_t seq = 0;
+  for (const trace::Trip& trip : store.trips()) {
+    if (trip.car_id != car_id) continue;
+    StreamRecord begin;
+    begin.kind = StreamRecord::Kind::kTripBegin;
+    begin.seq = seq++;
+    begin.car_id = car_id;
+    begin.trip_id = trip.trip_id;
+    begin.total_time_s = trip.total_time_s;
+    begin.total_distance_m = trip.total_distance_m;
+    begin.total_fuel_ml = trip.total_fuel_ml;
+    out.records.push_back(begin);
+    for (const trace::RoutePoint& p : trip.points) {
+      StreamRecord rec;
+      rec.kind = StreamRecord::Kind::kPoint;
+      rec.seq = seq++;
+      rec.car_id = car_id;
+      rec.trip_id = trip.trip_id;
+      rec.point = p;
+      out.records.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<CarStream> BuildCarStreams(const trace::TraceStore& store) {
+  std::vector<CarStream> out;
+  for (const int car_id : store.CarIds()) {
+    out.push_back(BuildCarStream(store, car_id));
+  }
+  return out;
+}
+
+void ShuffleArrivals(std::vector<StreamRecord>* records, uint64_t seed,
+                     int64_t max_displacement) {
+  if (max_displacement <= 0 || records->size() < 2) return;
+  Rng rng(seed);
+  // Sort key: canonical position plus a bounded jitter. With keys at
+  // most `max_displacement` apart from their positions, a record j more
+  // than `max_displacement` slots after i always keeps a larger key, so
+  // the stable sort displaces nothing further than the bound.
+  std::vector<std::pair<int64_t, size_t>> keyed(records->size());
+  for (size_t i = 0; i < records->size(); ++i) {
+    keyed[i] = {static_cast<int64_t>(i) + rng.UniformInt(0, max_displacement),
+                i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<StreamRecord> shuffled;
+  shuffled.reserve(records->size());
+  for (const auto& [key, index] : keyed) {
+    shuffled.push_back(std::move((*records)[index]));
+  }
+  *records = std::move(shuffled);
+}
+
+}  // namespace stream
+}  // namespace taxitrace

@@ -1,0 +1,82 @@
+// The arrival-ordered record stream feeding online ingestion. A
+// production deployment receives one record stream per car (begin-trip
+// markers and GPS fixes, roughly in upload order); this module gives
+// the same shape to an in-memory TraceStore so the batch and online
+// paths can be run on *identical* input and proven equivalent.
+//
+// Every record carries a per-car arrival sequence number `seq`. The
+// canonical stream enumerates a car's trips in store order (marker,
+// then points in trip order) with seq 0, 1, 2, ...; ShuffleArrivals
+// then perturbs the *arrival* order by a bounded displacement while
+// the seq values keep naming the canonical slots — exactly the
+// transport-reordering model a bounded-lag ingester must undo.
+
+#ifndef TAXITRACE_STREAM_STREAM_SOURCE_H_
+#define TAXITRACE_STREAM_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "taxitrace/trace/route_point.h"
+#include "taxitrace/trace/trace_store.h"
+
+namespace taxitrace {
+namespace stream {
+
+/// One record of a per-car arrival stream.
+struct StreamRecord {
+  enum class Kind {
+    kTripBegin,  ///< Device signalled engine-on: a new upload session.
+    kPoint,      ///< One GPS fix inside the current session.
+  };
+
+  Kind kind = Kind::kPoint;
+  /// Canonical per-car arrival slot. Contiguous from 0 in the canonical
+  /// stream; reordering changes arrival positions, never seq values.
+  int64_t seq = 0;
+  int car_id = 0;
+  /// The upload session (container trip) this record belongs to. For
+  /// points this is the *containing* trip's id, which under interleave
+  /// faults differs from point.trip_id — the ingester groups by the
+  /// container, like the batch store does, and leaves foreign-id points
+  /// for the cleaning sanitiser.
+  int64_t trip_id = 0;
+
+  /// Valid when kind == kPoint.
+  trace::RoutePoint point;
+
+  /// Device-reported trip totals, valid when kind == kTripBegin.
+  double total_time_s = 0.0;
+  double total_distance_m = 0.0;
+  double total_fuel_ml = 0.0;
+};
+
+/// One car's arrival stream.
+struct CarStream {
+  int car_id = 0;
+  std::vector<StreamRecord> records;  ///< In arrival order.
+};
+
+/// Builds the canonical arrival stream of one car from a store: its
+/// trips in store insertion order, each as a kTripBegin marker followed
+/// by its points, with seq numbering the records 0..n-1.
+CarStream BuildCarStream(const trace::TraceStore& store, int car_id);
+
+/// Canonical streams for every car in the store, ascending car id.
+std::vector<CarStream> BuildCarStreams(const trace::TraceStore& store);
+
+/// Deterministically perturbs the arrival order so that no record lands
+/// more than `max_displacement` positions away from its canonical slot
+/// (each record's sort key is its position plus a uniform draw in
+/// [0, max_displacement]; keys within `max_displacement` of each other
+/// bound the displacement of a stable sort by `max_displacement`).
+/// `max_displacement <= 0` leaves the stream untouched. Equal seeds
+/// produce equal shuffles at any thread count — callers derive the seed
+/// per car via MixSeed.
+void ShuffleArrivals(std::vector<StreamRecord>* records, uint64_t seed,
+                     int64_t max_displacement);
+
+}  // namespace stream
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_STREAM_STREAM_SOURCE_H_

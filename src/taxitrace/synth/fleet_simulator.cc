@@ -191,8 +191,9 @@ ShardOutput SimulateCarDay(const ShardContext& ctx, int car, int day) {
   double t = day * trace::kSecondsPerDay + shift_start_h * 3600.0;
   const double shift_end = t + shift_len_h * 3600.0;
 
-  const int customers = std::max(
-      1, rng.Poisson(options.mean_customers_per_day * activity));
+  const int customers =
+      std::max(options.min_customers_per_day,
+               rng.Poisson(options.mean_customers_per_day * activity));
   begin_trip(t);
 
   for (int c = 0; c < customers && state.time_s < shift_end; ++c) {

@@ -33,6 +33,11 @@ struct FleetOptions {
   /// Mean customer drives per car-day (scaled per car by an activity
   /// factor in [0.6, 1.45]).
   double mean_customers_per_day = 11.0;
+  /// Floor on the per-day customer draw. The default keeps every
+  /// car-day active (the study model); 0 lets a near-idle fleet
+  /// produce genuinely empty (car, day) shards, which the streaming
+  /// reorder merge must release past without stalling.
+  int min_customers_per_day = 1;
   /// Probability the engine is switched off after a drop-off (ends the
   /// raw trip); otherwise the engine keeps running through the wait.
   double engine_off_prob = 0.72;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "taxitrace/common/random.h"
 #include "taxitrace/mapmatch/hmm_matcher.h"
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/mapmatch/match_quality.h"
@@ -149,6 +154,64 @@ TEST_F(HmmMatcherTest, AgreesWithIncrementalOnCleanTraces) {
   const MatchedRoute inc = incremental.Match(trip).value();
   // The two matchers substantially agree on clean data.
   EXPECT_GT(EdgeJaccard(hmm.DistinctEdges(), inc.DistinctEdges()), 0.5);
+}
+
+// --- A/B harness: global inference vs greedy on reorder faults --------------
+
+// Bounded transport reorder applied directly to a trip's points: each
+// point lands at most `max_displacement` slots from where the device
+// emitted it (the ShuffleArrivals model, at trip granularity).
+void ReorderPoints(trace::Trip* trip, uint64_t seed,
+                   int64_t max_displacement) {
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, size_t>> keys;
+  keys.reserve(trip->points.size());
+  for (size_t i = 0; i < trip->points.size(); ++i) {
+    keys.emplace_back(static_cast<int64_t>(i) +
+                          rng.UniformInt(0, max_displacement),
+                      i);
+  }
+  std::stable_sort(keys.begin(), keys.end());
+  std::vector<trace::RoutePoint> shuffled;
+  shuffled.reserve(trip->points.size());
+  for (const auto& [key, index] : keys) {
+    shuffled.push_back(trip->points[index]);
+  }
+  trip->points = std::move(shuffled);
+}
+
+// The simulator's ground-truth route makes segment-level accuracy an
+// exact measurement (edge Jaccard against the driven path). On traces
+// with a bounded reorder fault the HMM's global inference must do at
+// least as well as the greedy incremental matcher — the justification
+// for paying its cost on the online path, where bounded reordering is
+// the expected failure mode. A matcher that rejects the faulted trace
+// outright scores zero on it.
+TEST_F(HmmMatcherTest, AtLeastAsAccurateAsIncrementalOnReorderFaults) {
+  const IncrementalMatcher incremental(&TestMap().network, &TestIndex());
+  double hmm_sum = 0.0;
+  double inc_sum = 0.0;
+  int n = 0;
+  for (uint64_t seed : {151, 153, 155, 157, 159, 161}) {
+    auto [trip, truth] = SimulatedTrip(seed);
+    ReorderPoints(&trip, MixSeed(seed, 77, 0), /*max_displacement=*/6);
+
+    std::vector<roadnet::EdgeId> truth_edges;
+    for (const roadnet::PathStep& s : truth.steps) {
+      truth_edges.push_back(s.edge);
+    }
+    const Result<MatchedRoute> hmm = matcher_.Match(trip);
+    const Result<MatchedRoute> inc = incremental.Match(trip);
+    ASSERT_TRUE(hmm.ok()) << "seed " << seed;
+    hmm_sum += EdgeJaccard(hmm->DistinctEdges(), truth_edges);
+    if (inc.ok()) {
+      inc_sum += EdgeJaccard(inc->DistinctEdges(), truth_edges);
+    }
+    ++n;
+  }
+  EXPECT_GE(hmm_sum, inc_sum);
+  // And the HMM's accuracy stays useful in absolute terms.
+  EXPECT_GT(hmm_sum / n, 0.5);
 }
 
 }  // namespace

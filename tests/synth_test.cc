@@ -5,6 +5,7 @@
 #include <set>
 
 #include "taxitrace/clean/order_repair.h"
+#include "taxitrace/common/executor.h"
 #include "taxitrace/roadnet/router.h"
 #include "taxitrace/roadnet/connectivity.h"
 #include "taxitrace/synth/city_map_generator.h"
@@ -13,6 +14,7 @@
 #include "taxitrace/synth/sensor_model.h"
 #include "taxitrace/synth/weather_model.h"
 #include "taxitrace/trace/time_util.h"
+#include "taxitrace/trace/trip_sink.h"
 
 namespace taxitrace {
 namespace synth {
@@ -576,6 +578,57 @@ TEST(FleetSimulatorTest, TripIdsUniqueAndPointIdsPerCarMonotone) {
       EXPECT_GT(p.point_id, last_id_per_car[trip.car_id]);
       last_id_per_car[trip.car_id] = p.point_id;
     }
+  }
+}
+
+// Regression: a (car, day) shard that simulates zero trips must still
+// advance the streaming reorder buffer's release index. With a
+// near-idle fleet most shards are empty; an 8-worker run has to drain
+// every shard (not deadlock or stall on an empty one) and hand the
+// sink exactly the serial trip sequence.
+TEST(FleetSimulatorTest, EmptyShardsStillAdvanceStreamingReleaseOrder) {
+  const WeatherModel weather(3, 10);
+  FleetOptions options;
+  options.num_cars = 3;
+  options.num_days = 10;
+  // Near-idle: with the activity floor off, most car-days draw zero
+  // customers and their shards emit no trips at all.
+  options.mean_customers_per_day = 0.15;
+  options.min_customers_per_day = 0;
+  const FleetSimulator fleet(&TestMap(), &weather, options);
+
+  class CollectSink final : public trace::TripSink {
+   public:
+    Status Consume(trace::Trip trip) override {
+      trips.push_back(std::move(trip));
+      return Status::OK();
+    }
+    std::vector<trace::Trip> trips;
+  };
+
+  const Executor serial(0);
+  CollectSink serial_sink;
+  const auto serial_stats = fleet.Run(&serial, &serial_sink);
+  ASSERT_TRUE(serial_stats.ok()) << serial_stats.status().ToString();
+
+  // The premise of the regression: some shards really were empty.
+  ASSERT_LT(serial_stats->trips_simulated,
+            static_cast<int64_t>(options.num_cars) * options.num_days);
+  ASSERT_GT(serial_stats->trips_simulated, 0);
+
+  const Executor parallel(8);
+  CollectSink parallel_sink;
+  const auto parallel_stats = fleet.Run(&parallel, &parallel_sink);
+  ASSERT_TRUE(parallel_stats.ok()) << parallel_stats.status().ToString();
+
+  EXPECT_EQ(parallel_stats->trips_simulated, serial_stats->trips_simulated);
+  EXPECT_EQ(parallel_stats->points_simulated, serial_stats->points_simulated);
+  ASSERT_EQ(parallel_sink.trips.size(), serial_sink.trips.size());
+  for (size_t i = 0; i < serial_sink.trips.size(); ++i) {
+    EXPECT_EQ(parallel_sink.trips[i].trip_id, serial_sink.trips[i].trip_id);
+    EXPECT_EQ(parallel_sink.trips[i].car_id, serial_sink.trips[i].car_id);
+    EXPECT_EQ(parallel_sink.trips[i].points.size(),
+              serial_sink.trips[i].points.size());
   }
 }
 
