@@ -12,6 +12,8 @@
 //   taxitrace_cli study [--metrics-json <out.json>] [--stream-ingest]
 //                 [--ingest-lag <slots>] [--ingest-shuffle <slots>]
 //                 [cars] [days]
+//   taxitrace_cli serve [--bench] [--queries <n>] [--full]
+//                 [--bench-json <out.json>] [cars] [days]
 //
 // `study` runs the end-to-end synthetic study (SmallStudy scale unless
 // cars/days are given) with observability enabled and prints the stage
@@ -22,7 +24,16 @@
 // instead of the batch stages and prints the ingest latency summary;
 // --ingest-lag and --ingest-shuffle set the watermark lag and the
 // adversarial arrival shuffle, both in arrival slots.
+//
+// `serve` runs a study, freezes it into a taxitrace-snapshot/1 buffer,
+// and answers demonstration point/bbox/scenario-slice queries over it.
+// --bench replays a hot-cell Zipf workload (1M queries unless
+// --queries overrides it) through the executor and writes QPS and
+// latency percentiles to BENCH_serve.json (--full benches the
+// paper-scale study; TAXITRACE_BENCH_SMOKE=1 tags the JSON so smoke
+// runs never pass for full numbers).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +54,9 @@
 #include "taxitrace/mapmatch/incremental_matcher.h"
 #include "taxitrace/model/significance.h"
 #include "taxitrace/roadnet/map_io.h"
+#include "taxitrace/serve/query_engine.h"
+#include "taxitrace/serve/replay.h"
+#include "taxitrace/serve/snapshot.h"
 #include "taxitrace/stream/ingest_session.h"
 #include "taxitrace/synth/city_map_generator.h"
 #include "taxitrace/synth/fleet_simulator.h"
@@ -317,6 +331,188 @@ int Study(int argc, char** argv) {
   return 0;
 }
 
+int Serve(int argc, char** argv) {
+  bool bench = false;
+  bool full = false;
+  int64_t queries = 1'000'000;
+  const char* bench_json = "BENCH_serve.json";
+  std::vector<const char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench") == 0) {
+      bench = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      if (i + 1 >= argc) return 2;
+      queries = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      if (i + 1 >= argc) return 2;
+      bench_json = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  core::StudyConfig config = full ? core::StudyConfig::FullStudy()
+                                  : core::StudyConfig::SmallStudy();
+  if (!positional.empty()) config.fleet.num_cars = std::atoi(positional[0]);
+  if (positional.size() > 1) {
+    config.fleet.num_days = std::atoi(positional[1]);
+  }
+  if (config.fleet.num_cars <= 0 || config.fleet.num_days <= 0 ||
+      queries <= 0) {
+    return 2;
+  }
+  const char* smoke_env = std::getenv("TAXITRACE_BENCH_SMOKE");
+  const bool smoke =
+      smoke_env != nullptr && smoke_env[0] != '\0' && smoke_env[0] != '0';
+
+  const core::Pipeline pipeline(config);
+  const Result<core::StudyResults> results = pipeline.Run();
+  if (!results.ok()) return Fail(results.status());
+
+  const Executor executor(Executor::ResolveThreadCount(config.num_threads));
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point build_begin = Clock::now();
+  const Result<std::string> bytes =
+      serve::SnapshotBuilder().Build(*results, &executor);
+  if (!bytes.ok()) return Fail(bytes.status());
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - build_begin)
+          .count();
+  const Result<serve::Snapshot> snapshot = serve::Snapshot::FromBytes(*bytes);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  const serve::SnapshotMeta& meta = snapshot->meta();
+  std::printf(
+      "serve: %d cars x %d days -> taxitrace-snapshot/1, %zu bytes\n"
+      "  %lld cells in [%d,%d]x[%d,%d], %lld slices, %lld points, "
+      "built in %.1f ms\n\n",
+      config.fleet.num_cars, config.fleet.num_days, snapshot->bytes().size(),
+      static_cast<long long>(meta.num_cells), meta.min_cx, meta.max_cx,
+      meta.min_cy, meta.max_cy, static_cast<long long>(meta.num_slices),
+      static_cast<long long>(meta.total_points), build_ms);
+
+  // Demonstration queries: the busiest cell as a point lookup, its
+  // weekend slice, and a 3x3 bbox around it.
+  int64_t hottest = -1;
+  int64_t hottest_n = 0;
+  for (int64_t i = 0; i < snapshot->num_cells(); ++i) {
+    const int64_t n = snapshot->moments(0, i).n;
+    if (n > hottest_n) {
+      hottest_n = n;
+      hottest = i;
+    }
+  }
+  if (hottest >= 0) {
+    serve::QueryEngine engine(&*snapshot);
+    const analysis::Grid grid(meta.cell_size_m);
+    const analysis::CellId cell = snapshot->cell(hottest);
+    const geo::EnPoint center = grid.CellCenter(cell);
+    serve::CellStats stats;
+    if (engine.PointQuery(center, 0, &stats) ==
+        serve::QueryOutcome::kAnswered) {
+      std::printf(
+          "  point (%.0f, %.0f) -> cell (%d,%d): n %lld, "
+          "%.1f +/- %.1f km/h, blup %+.2f (model n %lld)\n",
+          center.x, center.y, stats.cell.cx, stats.cell.cy,
+          static_cast<long long>(stats.n), stats.mean_speed_kmh,
+          std::sqrt(stats.speed_variance), stats.model.blup,
+          static_cast<long long>(stats.model.n));
+    }
+    if (engine.SliceQuery(center, serve::SliceKind::kDayType, 1, &stats) ==
+        serve::QueryOutcome::kAnswered) {
+      std::printf("  weekend slice          -> n %lld, %.1f km/h\n",
+                  static_cast<long long>(stats.n), stats.mean_speed_kmh);
+    }
+    const geo::Bbox cell_bounds = grid.CellBounds(cell);
+    const geo::Bbox box{cell_bounds.min_x - meta.cell_size_m,
+                        cell_bounds.min_y - meta.cell_size_m,
+                        cell_bounds.max_x + meta.cell_size_m,
+                        cell_bounds.max_y + meta.cell_size_m};
+    std::vector<serve::CellStats> box_stats;
+    if (engine.BboxQuery(box, 0, &box_stats) ==
+        serve::QueryOutcome::kAnswered) {
+      int64_t box_n = 0;
+      for (const serve::CellStats& s : box_stats) box_n += s.n;
+      std::printf("  3x3 bbox               -> %zu cells, %lld points\n\n",
+                  box_stats.size(), static_cast<long long>(box_n));
+    }
+  }
+  if (!bench) return 0;
+
+  serve::WorkloadOptions workload;
+  workload.num_queries = queries;
+  obs::MetricsRegistry metrics;
+  obs::FunnelLedger funnel;
+  const Result<serve::ReplayResult> replay = serve::ReplayWorkload(
+      *snapshot, workload, &executor, &metrics, &funnel);
+  if (!replay.ok()) return Fail(replay.status());
+  std::printf("%s\n", funnel.Table().c_str());
+  std::printf(
+      "replay: %lld queries (%d workers), %.1f ms wall -> %.0f qps\n"
+      "  latency p50/p90/p99/max = %.2f/%.2f/%.2f/%.2f us, "
+      "digest 0x%016llx\n",
+      static_cast<long long>(replay->num_queries), executor.num_threads(),
+      replay->wall_ms, replay->qps, replay->p50_us, replay->p90_us,
+      replay->p99_us, replay->max_us,
+      static_cast<unsigned long long>(replay->digest));
+
+  std::string json;
+  char line[512];
+  json += "{\n";
+  json += "  \"schema\": \"taxitrace-bench-serve/1\",\n";
+  std::snprintf(line, sizeof line, "  \"smoke\": %s,\n",
+                smoke ? "true" : "false");
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"study\": {\"cars\": %d, \"days\": %d},\n",
+                config.fleet.num_cars, config.fleet.num_days);
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"snapshot\": {\"bytes\": %zu, \"cells\": %lld, "
+                "\"slices\": %lld, \"build_ms\": %.2f},\n",
+                snapshot->bytes().size(),
+                static_cast<long long>(meta.num_cells),
+                static_cast<long long>(meta.num_slices), build_ms);
+  json += line;
+  std::snprintf(
+      line, sizeof line,
+      "  \"workload\": {\"queries\": %lld, \"zipf_exponent\": %.2f,\n"
+      "    \"point_share\": %.2f, \"bbox_share\": %.2f, "
+      "\"slice_share\": %.2f, \"shards\": %d},\n",
+      static_cast<long long>(workload.num_queries), workload.zipf_exponent,
+      workload.point_share, workload.bbox_share, workload.slice_share,
+      workload.num_shards);
+  json += line;
+  std::snprintf(
+      line, sizeof line,
+      "  \"funnel\": {\"offered\": %lld, \"answered\": %lld,\n"
+      "    \"out_of_bounds\": %lld, \"empty_cell\": %lld},\n",
+      static_cast<long long>(replay->stats.offered),
+      static_cast<long long>(replay->stats.answered),
+      static_cast<long long>(replay->stats.out_of_bounds),
+      static_cast<long long>(replay->stats.empty_cell));
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"latency_us\": {\"p50\": %.2f, \"p90\": %.2f, "
+                "\"p99\": %.2f, \"max\": %.2f},\n",
+                replay->p50_us, replay->p90_us, replay->p99_us,
+                replay->max_us);
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"throughput\": {\"wall_ms\": %.2f, \"qps\": %.0f, "
+                "\"workers\": %d},\n",
+                replay->wall_ms, replay->qps, executor.num_threads());
+  json += line;
+  std::snprintf(line, sizeof line, "  \"digest\": \"0x%016llx\"\n",
+                static_cast<unsigned long long>(replay->digest));
+  json += line;
+  json += "}\n";
+  const Status st = core::WriteTextFile(bench_json, json);
+  if (!st.ok()) return Fail(st);
+  std::printf("bench data -> %s\n", bench_json);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,7 +520,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: taxitrace_cli "
-        "generate-map|simulate|clean|match|analyze|study ...\n");
+        "generate-map|simulate|clean|match|analyze|study|serve ...\n");
     return 2;
   }
   int rc = 2;
@@ -340,6 +536,8 @@ int main(int argc, char** argv) {
     rc = Analyze(argc, argv);
   } else if (std::strcmp(argv[1], "study") == 0) {
     rc = Study(argc, argv);
+  } else if (std::strcmp(argv[1], "serve") == 0) {
+    rc = Serve(argc, argv);
   }
   if (rc == 2) {
     std::fprintf(stderr, "bad arguments; see the header comment\n");

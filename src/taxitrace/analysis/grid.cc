@@ -32,6 +32,28 @@ void CellSpeedAccumulator::Add(const geo::EnPoint& position,
   ++total_points_;
 }
 
+void CellSpeedAccumulator::Merge(const CellSpeedAccumulator& other) {
+  // Per-cell-slot writes: each key is combined exactly once, so the
+  // result is independent of the other map's iteration order.
+  for (const auto& [cell, theirs] : other.cells_) {
+    Moments& ours = cells_[cell];
+    if (ours.n == 0) {
+      ours = theirs;
+      continue;
+    }
+    const int64_t n_total = ours.n + theirs.n;
+    const double delta = theirs.mean - ours.mean;
+    ours.m2 += theirs.m2 + delta * delta *
+                               (static_cast<double>(ours.n) *
+                                static_cast<double>(theirs.n) /
+                                static_cast<double>(n_total));
+    ours.mean += delta * (static_cast<double>(theirs.n) /
+                          static_cast<double>(n_total));
+    ours.n = n_total;
+  }
+  total_points_ += other.total_points_;
+}
+
 std::unordered_map<CellId, CellFeatureCounts, CellIdHash>
 ComputeCellFeatures(const roadnet::RoadNetwork& network, const Grid& grid) {
   std::unordered_map<CellId, CellFeatureCounts, CellIdHash> out;

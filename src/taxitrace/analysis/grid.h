@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "taxitrace/common/hash.h"
 #include "taxitrace/geo/geometry.h"
 #include "taxitrace/roadnet/road_network.h"
 
@@ -22,11 +23,16 @@ struct CellId {
   friend bool operator==(const CellId&, const CellId&) = default;
 };
 
+// Packs both signed coordinates into one word and runs the shared
+// splitmix64 finaliser. The previous ad-hoc `cx * phi32 ^ (cy << 16)`
+// mix left the low 16 output bits a function of cx alone, so every
+// power-of-two bucket count collapsed whole grid columns into one
+// bucket on real (structured, signed) grids.
 struct CellIdHash {
   size_t operator()(const CellId& c) const {
-    return static_cast<size_t>(
-        static_cast<uint64_t>(static_cast<uint32_t>(c.cx)) * 0x9E3779B1U ^
-        (static_cast<uint64_t>(static_cast<uint32_t>(c.cy)) << 16));
+    return static_cast<size_t>(SplitMix64(
+        (static_cast<uint64_t>(static_cast<uint32_t>(c.cx)) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(c.cy))));
   }
 };
 
@@ -57,6 +63,15 @@ class CellSpeedAccumulator {
 
   /// Adds one measured point speed at a position.
   void Add(const geo::EnPoint& position, double speed_kmh);
+
+  /// Folds another accumulator (over the same grid) into this one with
+  /// the Chan et al. pairwise moment combination. Each cell's combined
+  /// moments depend only on the two inputs, never on traversal order,
+  /// but floating-point combination is not associative across *merge
+  /// trees*: callers that want byte-identical results at any worker
+  /// count must build the same fixed shards and fold them in the same
+  /// canonical order regardless of how many threads computed them.
+  void Merge(const CellSpeedAccumulator& other);
 
   /// Accumulated moments of one cell.
   struct Moments {

@@ -2,27 +2,17 @@
 
 #include <bit>
 
+#include "taxitrace/common/hash.h"
+
 namespace taxitrace {
 namespace mapmatch {
-namespace {
-
-// splitmix64 finaliser: enough diffusion that edge ids and arc-length
-// bit patterns spread over the table.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 size_t RouteCache::KeyHash::operator()(const Key& k) const {
-  uint64_t h = Mix(static_cast<uint64_t>(static_cast<uint32_t>(k.from_edge)) |
-                   (static_cast<uint64_t>(static_cast<uint32_t>(k.to_edge))
-                    << 32));
-  h = Mix(h ^ std::bit_cast<uint64_t>(k.from_arc));
-  h = Mix(h ^ std::bit_cast<uint64_t>(k.to_arc));
+  uint64_t h = SplitMix64(
+      static_cast<uint64_t>(static_cast<uint32_t>(k.from_edge)) |
+      (static_cast<uint64_t>(static_cast<uint32_t>(k.to_edge)) << 32));
+  h = SplitMix64(h ^ std::bit_cast<uint64_t>(k.from_arc));
+  h = SplitMix64(h ^ std::bit_cast<uint64_t>(k.to_arc));
   return static_cast<size_t>(h);
 }
 

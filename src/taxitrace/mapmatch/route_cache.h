@@ -17,6 +17,7 @@
 #ifndef TAXITRACE_MAPMATCH_ROUTE_CACHE_H_
 #define TAXITRACE_MAPMATCH_ROUTE_CACHE_H_
 
+#include <bit>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -64,7 +65,19 @@ class RouteCache {
     roadnet::EdgeId to_edge = roadnet::kInvalidEdge;
     double from_arc = 0.0;
     double to_arc = 0.0;
-    bool operator==(const Key& other) const = default;
+    // Equality compares the arc *bit patterns*, exactly like KeyHash
+    // hashes them. Value comparison would break the unordered_map
+    // contract (equal keys must hash equally): -0.0 == +0.0 but their
+    // bit patterns hash differently, and a NaN arc would never equal
+    // itself, duplicating entries and turning guaranteed hits into
+    // misses.
+    bool operator==(const Key& other) const {
+      return from_edge == other.from_edge && to_edge == other.to_edge &&
+             std::bit_cast<uint64_t>(from_arc) ==
+                 std::bit_cast<uint64_t>(other.from_arc) &&
+             std::bit_cast<uint64_t>(to_arc) ==
+                 std::bit_cast<uint64_t>(other.to_arc);
+    }
   };
   struct KeyHash {
     size_t operator()(const Key& k) const;

@@ -1,0 +1,263 @@
+// The immutable grid-statistics snapshot (`taxitrace-snapshot/1`): the
+// study's Section V information layer — per-cell speed moments, map
+// feature counts, and BLUP random intercepts — frozen into one flat
+// byte buffer a query service can load and answer from without ever
+// touching StudyResults again.
+//
+// Layout. A fixed header (magic, version, section count, total size)
+// is followed by a section table of (id, offset, size) entries and then
+// the section payloads, each 8-byte aligned, all little-endian:
+//
+//   kMeta            one SnapshotMeta record (grid size, cell-id
+//                    bounds, totals, model hyper-parameters).
+//   kCellIndex       num_cells CellEntry records sorted by (cx, cy) —
+//                    the binary-search index every lookup goes through.
+//                    No hash order anywhere in the file.
+//   kSliceDirectory  num_slices SliceInfo records naming each scenario
+//                    slice (all, weekday/weekend, temperature class,
+//                    crowd activity).
+//   kSliceMoments    num_slices x num_cells CellMoments records, cell
+//                    order matching kCellIndex.
+//   kCellFeatures    num_cells CellFeatureRow records (traffic lights,
+//                    bus stops, crossings, junctions).
+//   kCellModel       num_cells CellModelRow records (BLUP intercept,
+//                    prediction SE, shrinkage, group n; n == 0 marks a
+//                    cell the model excluded).
+//
+// Versioning: readers reject unknown magic/version outright; unknown
+// *section ids* are skipped, so a taxitrace-snapshot/1 reader stays
+// forward-compatible with files that append new sections. Any change
+// to an existing section's record layout bumps the version.
+//
+// Determinism: SnapshotBuilder shards the transitions into a fixed
+// number of contiguous shards (independent of worker count), folds the
+// per-shard accumulators in shard order, and emits cells in sorted
+// order — the bytes are identical at 0/1/2/8 workers, which the
+// parallel-determinism suite pins.
+
+#ifndef TAXITRACE_SERVE_SNAPSHOT_H_
+#define TAXITRACE_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "taxitrace/analysis/grid.h"
+#include "taxitrace/common/executor.h"
+#include "taxitrace/common/result.h"
+#include "taxitrace/core/pipeline.h"
+
+namespace taxitrace {
+namespace serve {
+
+/// File magic: "TTSNAP" + the two-digit format version.
+inline constexpr char kSnapshotMagic[8] = {'T', 'T', 'S', 'N',
+                                           'A', 'P', '0', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Section ids of taxitrace-snapshot/1. Ids are append-only.
+enum class SectionId : uint32_t {
+  kMeta = 1,
+  kCellIndex = 2,
+  kSliceDirectory = 3,
+  kSliceMoments = 4,
+  kCellFeatures = 5,
+  kCellModel = 6,
+};
+
+/// Fixed header at offset 0.
+struct SnapshotHeader {
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  uint64_t file_size = 0;  ///< Total bytes, for truncation checks.
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(SnapshotHeader) == 32);
+
+/// One section-table entry, immediately after the header.
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;  ///< Absolute byte offset, 8-aligned.
+  uint64_t size = 0;    ///< Payload bytes.
+};
+static_assert(sizeof(SectionEntry) == 24);
+
+/// The kMeta payload.
+struct SnapshotMeta {
+  double cell_size_m = 0.0;
+  int64_t num_cells = 0;
+  int64_t num_slices = 0;
+  int64_t total_points = 0;
+  double overall_mean_speed_kmh = 0.0;
+  /// Inclusive cell-id bounds of the index (0/−1 when empty).
+  int32_t min_cx = 0;
+  int32_t min_cy = 0;
+  int32_t max_cx = -1;
+  int32_t max_cy = -1;
+  int32_t reserved0 = 0;
+  int32_t reserved1 = 0;
+  int64_t reserved2 = 0;
+  /// Eq. (3) model hyper-parameters (zero when the fit was skipped).
+  double model_mu = 0.0;
+  double model_sigma2_group = 0.0;
+  double model_sigma2_residual = 0.0;
+  double model_lambda = 0.0;
+};
+static_assert(sizeof(SnapshotMeta) == 104);
+
+/// One kCellIndex record.
+struct CellEntry {
+  int32_t cx = 0;
+  int32_t cy = 0;
+};
+static_assert(sizeof(CellEntry) == 8);
+
+/// Scenario-slice families. kAll is always slice 0.
+enum class SliceKind : uint32_t {
+  kAll = 0,
+  kDayType = 1,      ///< param: 0 = weekday, 1 = weekend.
+  kTemperature = 2,  ///< param: synth::TemperatureClass value.
+  kCrowd = 3,        ///< param: 0 quiet, 1 active, 2 busy.
+};
+
+/// One kSliceDirectory record.
+struct SliceInfo {
+  uint32_t kind = 0;
+  int32_t param = 0;
+  char label[24] = {};  ///< NUL-terminated display label.
+};
+static_assert(sizeof(SliceInfo) == 32);
+
+/// One kSliceMoments record: Welford moments of one (slice, cell).
+struct CellMoments {
+  int64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  [[nodiscard]] double Variance() const { return n > 1 ? m2 / (n - 1) : 0.0; }
+};
+static_assert(sizeof(CellMoments) == 24);
+
+/// One kCellFeatures record.
+struct CellFeatureRow {
+  int32_t traffic_lights = 0;
+  int32_t bus_stops = 0;
+  int32_t pedestrian_crossings = 0;
+  int32_t junctions = 0;
+};
+static_assert(sizeof(CellFeatureRow) == 16);
+
+/// One kCellModel record. n == 0 means the cell has no intercept.
+struct CellModelRow {
+  double blup = 0.0;
+  double blup_se = 0.0;
+  double shrinkage = 0.0;
+  int64_t n = 0;
+};
+static_assert(sizeof(CellModelRow) == 32);
+
+/// A loaded, validated snapshot. Owns its bytes; every accessor reads
+/// straight out of the flat buffer (memcpy, so alignment-safe), which
+/// keeps the type trivially shareable across query threads.
+class Snapshot {
+ public:
+  /// Validates and adopts a serialized snapshot. Rejects wrong magic or
+  /// version, truncated files, out-of-bounds or misaligned sections,
+  /// missing required sections, size/meta mismatches, and an unsorted
+  /// cell index.
+  static Result<Snapshot> FromBytes(std::string bytes);
+
+  [[nodiscard]] const SnapshotMeta& meta() const { return meta_; }
+  [[nodiscard]] int64_t num_cells() const { return meta_.num_cells; }
+  [[nodiscard]] int64_t num_slices() const { return meta_.num_slices; }
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+
+  /// The index-th cell of the sorted index, 0 <= index < num_cells().
+  [[nodiscard]] analysis::CellId cell(int64_t index) const {
+    const CellEntry e = ReadAt<CellEntry>(
+        cell_index_offset_ + index * static_cast<int64_t>(sizeof(CellEntry)));
+    return analysis::CellId{e.cx, e.cy};
+  }
+
+  /// Position of `cell` in the sorted index (binary search on (cx, cy)),
+  /// or -1 when absent.
+  [[nodiscard]] int64_t FindCell(const analysis::CellId& cell) const;
+
+  [[nodiscard]] SliceInfo slice(int64_t s) const {
+    return ReadAt<SliceInfo>(slice_dir_offset_ +
+                             s * static_cast<int64_t>(sizeof(SliceInfo)));
+  }
+
+  /// Slice index of (kind, param), or -1 when the directory lacks it.
+  [[nodiscard]] int64_t FindSlice(SliceKind kind, int32_t param) const;
+
+  [[nodiscard]] CellMoments moments(int64_t s, int64_t cell_index) const {
+    return ReadAt<CellMoments>(
+        moments_offset_ + (s * meta_.num_cells + cell_index) *
+                              static_cast<int64_t>(sizeof(CellMoments)));
+  }
+
+  [[nodiscard]] CellFeatureRow features(int64_t cell_index) const {
+    return ReadAt<CellFeatureRow>(
+        features_offset_ +
+        cell_index * static_cast<int64_t>(sizeof(CellFeatureRow)));
+  }
+
+  [[nodiscard]] CellModelRow model(int64_t cell_index) const {
+    return ReadAt<CellModelRow>(
+        model_offset_ +
+        cell_index * static_cast<int64_t>(sizeof(CellModelRow)));
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T ReadAt(int64_t offset) const {
+    T value;
+    std::memcpy(&value, bytes_.data() + offset, sizeof(T));
+    return value;
+  }
+
+  std::string bytes_;
+  SnapshotMeta meta_;
+  int64_t cell_index_offset_ = 0;
+  int64_t slice_dir_offset_ = 0;
+  int64_t moments_offset_ = 0;
+  int64_t features_offset_ = 0;
+  int64_t model_offset_ = 0;
+};
+
+/// Snapshot construction knobs. The shard count is part of the output
+/// contract: it fixes the floating-point fold tree, so changing it
+/// changes snapshot bytes (never their statistical meaning).
+struct SnapshotBuildOptions {
+  /// Contiguous transition shards; independent of worker count.
+  int num_shards = 32;
+  /// Crowd-activity class edges over synth::PedestrianModel's
+  /// CrowdIntensityAt: quiet < active_threshold <= active <
+  /// busy_threshold <= busy.
+  double crowd_active_threshold = 0.05;
+  double crowd_busy_threshold = 0.5;
+};
+
+/// Builds taxitrace-snapshot/1 bytes from a finished study.
+class SnapshotBuilder {
+ public:
+  explicit SnapshotBuilder(SnapshotBuildOptions options = {})
+      : options_(options) {}
+
+  /// Serializes `results` into snapshot bytes. Byte-identical at any
+  /// worker count of `executor` (nullptr = serial).
+  [[nodiscard]] Result<std::string> Build(const core::StudyResults& results,
+                                          const Executor* executor) const;
+
+ private:
+  SnapshotBuildOptions options_;
+};
+
+}  // namespace serve
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SERVE_SNAPSHOT_H_

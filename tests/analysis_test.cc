@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
 
 #include "taxitrace/analysis/cell_stats.h"
 #include "taxitrace/analysis/grid.h"
@@ -43,6 +48,59 @@ TEST(GridTest, CustomCellSize) {
   EXPECT_EQ(grid.CellOf(EnPoint{51, 0}), (CellId{1, 0}));
 }
 
+// CellOf -> CellBounds must round-trip in every quadrant: each cell's
+// min corner and interior belong to the cell (half-open boxes), the max
+// corner belongs to the next cell, and CellCenter lands back in the
+// cell. Exercises negative coordinates where flooring (not truncation)
+// is the difference between a correct grid and an off-by-one around 0.
+TEST(GridTest, CellBoundsRoundTripAllQuadrants) {
+  const Grid grid(200.0);
+  const int32_t coords[] = {-7, -1, 0, 1, 6};
+  for (const int32_t cx : coords) {
+    for (const int32_t cy : coords) {
+      const CellId c{cx, cy};
+      const geo::Bbox b = grid.CellBounds(c);
+      EXPECT_DOUBLE_EQ(b.max_x - b.min_x, 200.0);
+      EXPECT_DOUBLE_EQ(b.max_y - b.min_y, 200.0);
+      // Min corner and interior points round-trip to the same cell.
+      EXPECT_EQ(grid.CellOf(EnPoint{b.min_x, b.min_y}), c);
+      EXPECT_EQ(grid.CellOf(EnPoint{b.min_x + 0.5, b.max_y - 0.5}), c);
+      EXPECT_EQ(grid.CellOf(EnPoint{b.max_x - 0.5, b.min_y + 0.5}), c);
+      EXPECT_EQ(grid.CellOf(grid.CellCenter(c)), c);
+      // The max corner is the min corner of the diagonal neighbour.
+      EXPECT_EQ(grid.CellOf(EnPoint{b.max_x, b.max_y}),
+                (CellId{cx + 1, cy + 1}));
+    }
+  }
+}
+
+// Regression for the old ad-hoc CellIdHash (cx * phi32 ^ (cy << 16)):
+// its low 16 output bits were a function of cx alone, so any power-of-
+// two bucket count <= 65536 collapsed whole columns into one bucket.
+// The splitmix64-based hash must (a) be injective over a dense signed
+// range — splitmix64 is a bijection of the packed (cx, cy) word — and
+// (b) spread that range over 1024 buckets with near-uniform load.
+TEST(GridTest, CellIdHashInjectiveAndWellDistributed) {
+  constexpr int32_t kHalf = 64;  // cx, cy in [-64, 64): 16384 cells
+  constexpr size_t kBuckets = 1024;
+  const CellIdHash hash;
+  std::unordered_set<uint64_t> seen;
+  std::vector<int> load(kBuckets, 0);
+  for (int32_t cx = -kHalf; cx < kHalf; ++cx) {
+    for (int32_t cy = -kHalf; cy < kHalf; ++cy) {
+      const uint64_t h = hash(CellId{cx, cy});
+      EXPECT_TRUE(seen.insert(h).second)
+          << "collision at (" << cx << ", " << cy << ")";
+      ++load[h % kBuckets];
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * kHalf * kHalf);
+  // Expected load is 16 per bucket; the old hash packed 128 cells into
+  // each used bucket. Allow generous slack over a true uniform draw.
+  const int max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(max_load, 48) << "bucket distribution is badly skewed";
+}
+
 TEST(CellSpeedAccumulatorTest, WelfordMatchesDirectComputation) {
   const Grid grid(200.0);
   CellSpeedAccumulator acc(grid);
@@ -66,6 +124,82 @@ TEST(CellSpeedAccumulatorTest, SeparatesCells) {
   acc.Add(EnPoint{10, 10}, 10.0);
   acc.Add(EnPoint{310, 10}, 50.0);
   EXPECT_EQ(acc.cells().size(), 2u);
+}
+
+// Merge() implements the Chan et al. pairwise combine: folding sharded
+// accumulators must agree with feeding every point into one
+// accumulator, for overlapping and disjoint cells alike.
+TEST(CellSpeedAccumulatorTest, MergeMatchesDirectAccumulation) {
+  const Grid grid(200.0);
+  CellSpeedAccumulator direct(grid);
+  CellSpeedAccumulator shard_a(grid);
+  CellSpeedAccumulator shard_b(grid);
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    // Three cells: one only in shard a, one only in shard b, one shared.
+    const EnPoint points[] = {EnPoint{50, 50}, EnPoint{450, 50},
+                              EnPoint{50, 450}};
+    const EnPoint p = points[i % 3];
+    const double v = rng.Uniform(0, 80);
+    direct.Add(p, v);
+    if (i % 3 == 0) {
+      shard_a.Add(p, v);
+    } else if (i % 3 == 1) {
+      shard_b.Add(p, v);
+    } else {
+      (i % 2 == 0 ? shard_a : shard_b).Add(p, v);
+    }
+  }
+
+  shard_a.Merge(shard_b);
+  EXPECT_EQ(shard_a.total_points(), direct.total_points());
+  ASSERT_EQ(shard_a.cells().size(), direct.cells().size());
+  for (const auto& [cell, expected] : direct.cells()) {
+    const auto it = shard_a.cells().find(cell);
+    ASSERT_NE(it, shard_a.cells().end());
+    EXPECT_EQ(it->second.n, expected.n);
+    EXPECT_NEAR(it->second.mean, expected.mean, 1e-9);
+    EXPECT_NEAR(it->second.Variance(), expected.Variance(), 1e-9);
+  }
+}
+
+// Merging an identical shard sequence twice must be bit-identical —
+// this is what lets the snapshot builder promise byte-identical output
+// at any worker count, as long as shard count and fold order are fixed.
+TEST(CellSpeedAccumulatorTest, MergeIsBitwiseRepeatable) {
+  const Grid grid(200.0);
+  auto build_shard = [&grid](uint64_t seed, int points) {
+    CellSpeedAccumulator acc(grid);
+    Rng rng(seed);
+    for (int i = 0; i < points; ++i) {
+      acc.Add(EnPoint{rng.Uniform(-400, 400), rng.Uniform(-400, 400)},
+              rng.Uniform(0, 80));
+    }
+    return acc;
+  };
+  auto fold = [&] {
+    // Start from an empty accumulator: the empty-this fast path must
+    // also reproduce the first shard's moments bit-for-bit.
+    CellSpeedAccumulator total(grid);
+    for (uint64_t s = 1; s <= 4; ++s) total.Merge(build_shard(s, 200));
+    return total;
+  };
+
+  const CellSpeedAccumulator a = fold();
+  const CellSpeedAccumulator b = fold();
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  EXPECT_EQ(a.total_points(), b.total_points());
+  for (const auto& [cell, lhs] : a.cells()) {
+    const auto it = b.cells().find(cell);
+    ASSERT_NE(it, b.cells().end());
+    EXPECT_EQ(lhs.n, it->second.n);
+    // Bit-level equality, not tolerance: identical fold order must give
+    // identical floating-point state.
+    EXPECT_EQ(std::bit_cast<uint64_t>(lhs.mean),
+              std::bit_cast<uint64_t>(it->second.mean));
+    EXPECT_EQ(std::bit_cast<uint64_t>(lhs.m2),
+              std::bit_cast<uint64_t>(it->second.m2));
+  }
 }
 
 // --- Summary stats ---------------------------------------------------------------

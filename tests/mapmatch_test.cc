@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "taxitrace/mapmatch/candidates.h"
 #include "taxitrace/mapmatch/incremental_matcher.h"
@@ -338,6 +339,44 @@ TEST(RouteCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_NE(cache.Find(Pos(1, 0.0), Pos(9, 0.0)), nullptr);
   EXPECT_EQ(cache.Find(Pos(2, 0.0), Pos(9, 0.0)), nullptr);
   EXPECT_NE(cache.Find(Pos(3, 0.0), Pos(9, 0.0)), nullptr);
+}
+
+// Regression for the equal-implies-equal-hash violation: Key used a
+// defaulted operator== over the arc doubles while KeyHash hashed their
+// bit patterns, so -0.0 and +0.0 compared equal but hashed apart —
+// unordered_map UB territory. Equality now compares bit patterns too:
+// the signed zeros are two distinct, individually retrievable entries.
+TEST(RouteCacheTest, SignedZeroArcsAreDistinctKeys) {
+  RouteCache cache(4);
+  cache.Insert(Pos(1, +0.0), Pos(2, 0.0), PathOfLength(1.0));
+  cache.Insert(Pos(1, -0.0), Pos(2, 0.0), PathOfLength(2.0));
+  EXPECT_EQ(cache.size(), 2u);
+
+  const Result<roadnet::Path>* pos = cache.Find(Pos(1, +0.0), Pos(2, 0.0));
+  ASSERT_NE(pos, nullptr);
+  EXPECT_DOUBLE_EQ((*pos)->length_m, 1.0);
+  const Result<roadnet::Path>* neg = cache.Find(Pos(1, -0.0), Pos(2, 0.0));
+  ASSERT_NE(neg, nullptr);
+  EXPECT_DOUBLE_EQ((*neg)->length_m, 2.0);
+  EXPECT_EQ(cache.stats().hits, 2);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
+// With value equality a NaN arc never equalled itself, so re-inserting
+// the same key duplicated the entry and Find could never hit. Bit-
+// pattern equality makes NaN keys behave like any other bit pattern.
+TEST(RouteCacheTest, NanArcKeysAreWellBehaved) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RouteCache cache(4);
+  cache.Insert(Pos(1, nan), Pos(2, 0.0), PathOfLength(1.0));
+  cache.Insert(Pos(1, nan), Pos(2, 0.0), PathOfLength(2.0));
+  // Same bit pattern: the second Insert refreshed, not duplicated.
+  EXPECT_EQ(cache.size(), 1u);
+
+  const Result<roadnet::Path>* hit = cache.Find(Pos(1, nan), Pos(2, 0.0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ((*hit)->length_m, 2.0);
+  EXPECT_EQ(cache.stats().hits, 1);
 }
 
 TEST(RouteCacheTest, CapacityZeroDisables) {

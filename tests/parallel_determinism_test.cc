@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "taxitrace/common/check.h"
+#include "taxitrace/common/executor.h"
 #include "taxitrace/core/pipeline.h"
 #include "taxitrace/core/reports.h"
+#include "taxitrace/serve/replay.h"
+#include "taxitrace/serve/snapshot.h"
 
 namespace taxitrace {
 namespace {
@@ -324,6 +329,48 @@ TEST(ParallelDeterminismTest, RouterCountersDeterministicAcrossWorkers) {
   }
   const core::StudyResults run = RunWithThreads(8, {}, true);
   EXPECT_EQ(counters, run.observability.counters);
+}
+
+// Serve-layer legs. The snapshot builder shards the matched points over
+// a fixed shard count and folds the shards in shard order, so the
+// serialized snapshot — one flat byte string — must be byte-identical
+// at every worker count. The replay harness makes the same promise for
+// its funnel tallies and result digest: queries live in fixed shards,
+// every random choice is counter-derived, and per-shard engine stats
+// fold in shard order.
+std::string SnapshotBytesWithThreads(int num_threads) {
+  const Executor executor(num_threads);
+  auto bytes = serve::SnapshotBuilder().Build(SerialReference(), &executor);
+  TT_CHECK_OK(bytes.status());
+  return std::move(bytes).value();
+}
+
+TEST(ParallelDeterminismTest, SnapshotBytesIdenticalAcrossWorkers) {
+  const std::string serial = SnapshotBytesWithThreads(0);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, SnapshotBytesWithThreads(1));
+  EXPECT_EQ(serial, SnapshotBytesWithThreads(2));
+  EXPECT_EQ(serial, SnapshotBytesWithThreads(8));
+}
+
+TEST(ParallelDeterminismTest, ReplayStatsAndDigestIdenticalAcrossWorkers) {
+  auto snapshot = serve::Snapshot::FromBytes(SnapshotBytesWithThreads(0));
+  TT_CHECK_OK(snapshot.status());
+  serve::WorkloadOptions options;
+  options.num_queries = 20000;
+  auto replay_with = [&](int num_threads) {
+    const Executor executor(num_threads);
+    auto replayed = serve::ReplayWorkload(*snapshot, options, &executor);
+    TT_CHECK_OK(replayed.status());
+    return std::move(replayed).value();
+  };
+  const serve::ReplayResult serial = replay_with(0);
+  EXPECT_EQ(serial.stats.offered, options.num_queries);
+  for (const int num_threads : {1, 2, 8}) {
+    const serve::ReplayResult run = replay_with(num_threads);
+    EXPECT_EQ(run.stats, serial.stats) << num_threads << " workers";
+    EXPECT_EQ(run.digest, serial.digest) << num_threads << " workers";
+  }
 }
 
 TEST(ParallelDeterminismTest, ThreadCountsAreRecorded) {

@@ -1,0 +1,330 @@
+// The serve layer: snapshot format round-trip and validation, query
+// semantics against brute-force ground truth, the query funnel, and the
+// replay harness's determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "taxitrace/common/check.h"
+#include "taxitrace/common/executor.h"
+#include "taxitrace/core/pipeline.h"
+#include "taxitrace/obs/funnel.h"
+#include "taxitrace/obs/metrics.h"
+#include "taxitrace/serve/query_engine.h"
+#include "taxitrace/serve/replay.h"
+#include "taxitrace/serve/snapshot.h"
+
+namespace taxitrace {
+namespace serve {
+namespace {
+
+const core::StudyResults& SmallStudy() {
+  static const core::StudyResults* results = [] {
+    core::StudyConfig config = core::StudyConfig::SmallStudy();
+    config.num_threads = 0;
+    core::Pipeline pipeline(config);
+    auto run = pipeline.Run();
+    TT_CHECK_OK(run.status());
+    return new core::StudyResults(std::move(run).value());
+  }();
+  return *results;
+}
+
+const std::string& SmallSnapshotBytes() {
+  static const std::string* bytes = [] {
+    auto built = SnapshotBuilder().Build(SmallStudy(), &Executor::Serial());
+    TT_CHECK_OK(built.status());
+    return new std::string(std::move(built).value());
+  }();
+  return *bytes;
+}
+
+const Snapshot& SmallSnapshot() {
+  static const Snapshot* snapshot = [] {
+    auto loaded = Snapshot::FromBytes(SmallSnapshotBytes());
+    TT_CHECK_OK(loaded.status());
+    return new Snapshot(std::move(loaded).value());
+  }();
+  return *snapshot;
+}
+
+TEST(SnapshotTest, RoundTripPreservesStructure) {
+  const Snapshot& snap = SmallSnapshot();
+  const SnapshotMeta& meta = snap.meta();
+  EXPECT_EQ(meta.cell_size_m, 200.0);
+  EXPECT_GT(meta.num_cells, 0);
+  EXPECT_EQ(meta.num_slices, 12);
+  EXPECT_GT(meta.total_points, 0);
+  EXPECT_LE(meta.min_cx, meta.max_cx);
+  EXPECT_LE(meta.min_cy, meta.max_cy);
+
+  // The index is strictly sorted by (cx, cy) and FindCell inverts it.
+  for (int64_t i = 0; i < snap.num_cells(); ++i) {
+    const analysis::CellId c = snap.cell(i);
+    if (i > 0) {
+      const analysis::CellId prev = snap.cell(i - 1);
+      EXPECT_TRUE(prev.cx < c.cx || (prev.cx == c.cx && prev.cy < c.cy));
+    }
+    EXPECT_GE(c.cx, meta.min_cx);
+    EXPECT_LE(c.cx, meta.max_cx);
+    EXPECT_EQ(snap.FindCell(c), i);
+  }
+  EXPECT_EQ(snap.FindCell(analysis::CellId{meta.max_cx + 5, 0}), -1);
+
+  // Slice 0 is the all slice; the directory names every slice.
+  EXPECT_EQ(snap.slice(0).kind, static_cast<uint32_t>(SliceKind::kAll));
+  EXPECT_STREQ(snap.slice(0).label, "all");
+  EXPECT_EQ(snap.FindSlice(SliceKind::kAll, 0), 0);
+  EXPECT_EQ(snap.FindSlice(SliceKind::kDayType, 1),
+            snap.FindSlice(SliceKind::kDayType, 1));
+  EXPECT_EQ(snap.FindSlice(SliceKind::kCrowd, 99), -1);
+
+  // The all slice's point counts sum to the meta total.
+  int64_t total = 0;
+  for (int64_t i = 0; i < snap.num_cells(); ++i) total += snap.moments(0, i).n;
+  EXPECT_EQ(total, meta.total_points);
+}
+
+TEST(SnapshotTest, AllSliceAgreesWithStudyCellRecords) {
+  const Snapshot& snap = SmallSnapshot();
+  const core::StudyResults& results = SmallStudy();
+  ASSERT_FALSE(results.cells.empty());
+  EXPECT_EQ(snap.num_cells(), static_cast<int64_t>(results.cells.size()));
+  for (const analysis::CellRecord& record : results.cells) {
+    const int64_t index = snap.FindCell(record.cell);
+    ASSERT_GE(index, 0) << "(" << record.cell.cx << ", " << record.cell.cy
+                        << ")";
+    const CellMoments m = snap.moments(0, index);
+    EXPECT_EQ(m.n, record.num_points);
+    EXPECT_NEAR(m.mean, record.mean_speed_kmh, 1e-9);
+    EXPECT_NEAR(m.Variance(), record.speed_variance, 1e-9);
+  }
+}
+
+// Every scenario family partitions the all slice: per cell, the family
+// members' point counts sum exactly to the all-slice count.
+TEST(SnapshotTest, SliceFamiliesPartitionTheAllSlice) {
+  const Snapshot& snap = SmallSnapshot();
+  for (int64_t i = 0; i < snap.num_cells(); ++i) {
+    const int64_t all_n = snap.moments(0, i).n;
+    int64_t day_n = 0;
+    int64_t temp_n = 0;
+    int64_t crowd_n = 0;
+    for (int64_t s = 1; s < snap.num_slices(); ++s) {
+      const SliceInfo info = snap.slice(s);
+      const int64_t n = snap.moments(s, i).n;
+      switch (static_cast<SliceKind>(info.kind)) {
+        case SliceKind::kDayType:
+          day_n += n;
+          break;
+        case SliceKind::kTemperature:
+          temp_n += n;
+          break;
+        case SliceKind::kCrowd:
+          crowd_n += n;
+          break;
+        case SliceKind::kAll:
+          ADD_FAILURE() << "duplicate all slice at " << s;
+          break;
+      }
+    }
+    EXPECT_EQ(day_n, all_n) << "cell index " << i;
+    EXPECT_EQ(temp_n, all_n) << "cell index " << i;
+    EXPECT_EQ(crowd_n, all_n) << "cell index " << i;
+  }
+}
+
+TEST(SnapshotTest, RejectsCorruptBytes) {
+  // Too short for a header.
+  EXPECT_FALSE(Snapshot::FromBytes("short").ok());
+
+  // Wrong magic.
+  std::string bad_magic = SmallSnapshotBytes();
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(Snapshot::FromBytes(bad_magic).ok());
+
+  // Unknown version.
+  std::string bad_version = SmallSnapshotBytes();
+  const uint32_t version = 99;
+  std::memcpy(bad_version.data() + 8, &version, sizeof(version));
+  EXPECT_FALSE(Snapshot::FromBytes(bad_version).ok());
+
+  // Truncation: file_size in the header no longer matches.
+  std::string truncated = SmallSnapshotBytes();
+  truncated.resize(truncated.size() - 16);
+  EXPECT_FALSE(Snapshot::FromBytes(truncated).ok());
+
+  // A section offset pointing past the end of the file.
+  std::string bad_section = SmallSnapshotBytes();
+  const uint64_t huge = 1u << 30;
+  std::memcpy(bad_section.data() + sizeof(SnapshotHeader) +
+                  offsetof(SectionEntry, offset),
+              &huge, sizeof(huge));
+  EXPECT_FALSE(Snapshot::FromBytes(bad_section).ok());
+}
+
+TEST(QueryEngineTest, PointAndCellQueriesAgree) {
+  const Snapshot& snap = SmallSnapshot();
+  const analysis::Grid grid(snap.meta().cell_size_m);
+  QueryEngine engine(&snap);
+  for (int64_t i = 0; i < snap.num_cells(); ++i) {
+    const analysis::CellId cell = snap.cell(i);
+    CellStats by_point;
+    CellStats by_cell;
+    const QueryOutcome a =
+        engine.PointQuery(grid.CellCenter(cell), 0, &by_point);
+    const QueryOutcome b = engine.CellQuery(cell, 0, &by_cell);
+    EXPECT_EQ(a, b);
+    if (a == QueryOutcome::kAnswered) {
+      EXPECT_EQ(by_point.cell, by_cell.cell);
+      EXPECT_EQ(by_point.n, by_cell.n);
+      EXPECT_EQ(by_point.mean_speed_kmh, by_cell.mean_speed_kmh);
+    }
+  }
+  EXPECT_EQ(engine.stats().offered, 2 * snap.num_cells());
+  EXPECT_EQ(engine.stats().offered, engine.stats().answered +
+                                        engine.stats().out_of_bounds +
+                                        engine.stats().empty_cell);
+}
+
+TEST(QueryEngineTest, BboxMatchesBruteForce) {
+  const Snapshot& snap = SmallSnapshot();
+  const analysis::Grid grid(snap.meta().cell_size_m);
+  const SnapshotMeta& meta = snap.meta();
+  QueryEngine engine(&snap);
+
+  // Sweep a window of boxes across the observed rectangle, including
+  // boxes that hang off every edge.
+  for (int32_t cx = meta.min_cx - 1; cx <= meta.max_cx + 1; ++cx) {
+    for (int32_t cy = meta.min_cy - 1; cy <= meta.max_cy + 1; ++cy) {
+      const geo::Bbox lo_cell = grid.CellBounds(analysis::CellId{cx, cy});
+      const geo::Bbox hi_cell =
+          grid.CellBounds(analysis::CellId{cx + 2, cy + 1});
+      geo::Bbox box;
+      box.min_x = lo_cell.min_x;
+      box.min_y = lo_cell.min_y;
+      box.max_x = hi_cell.min_x + 1.0;  // Reaches into cell (cx+2, cy+1).
+      box.max_y = hi_cell.min_y + 1.0;
+
+      std::vector<CellStats> got;
+      const QueryOutcome outcome = engine.BboxQuery(box, 0, &got);
+
+      std::vector<analysis::CellId> want;
+      for (int64_t i = 0; i < snap.num_cells(); ++i) {
+        const analysis::CellId c = snap.cell(i);
+        if (c.cx >= cx && c.cx <= cx + 2 && c.cy >= cy && c.cy <= cy + 1 &&
+            snap.moments(0, i).n > 0) {
+          want.push_back(c);
+        }
+      }
+      ASSERT_EQ(got.size(), want.size()) << "box at (" << cx << ", " << cy
+                                         << ")";
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].cell, want[i]);
+      }
+      if (!want.empty()) {
+        EXPECT_EQ(outcome, QueryOutcome::kAnswered);
+      } else {
+        EXPECT_NE(outcome, QueryOutcome::kAnswered);
+      }
+    }
+  }
+  EXPECT_EQ(engine.stats().offered, engine.stats().answered +
+                                        engine.stats().out_of_bounds +
+                                        engine.stats().empty_cell);
+}
+
+TEST(QueryEngineTest, OutOfBoundsAndEmptyCellBuckets) {
+  const Snapshot& snap = SmallSnapshot();
+  const analysis::Grid grid(snap.meta().cell_size_m);
+  const SnapshotMeta& meta = snap.meta();
+  QueryEngine engine(&snap);
+
+  // Far outside the observed rectangle: out_of_bounds.
+  CellStats stats;
+  EXPECT_EQ(engine.CellQuery(analysis::CellId{meta.max_cx + 10,
+                                              meta.max_cy + 10},
+                             0, &stats),
+            QueryOutcome::kOutOfBounds);
+
+  // Inside the rectangle but not indexed (or indexed with an empty
+  // slice): empty_cell. The rectangle is the bounding box of a sparse
+  // road network, so such a cell exists in any realistic study; fall
+  // back to an unknown slice id on a real cell otherwise.
+  bool found_hole = false;
+  for (int32_t cx = meta.min_cx; cx <= meta.max_cx && !found_hole; ++cx) {
+    for (int32_t cy = meta.min_cy; cy <= meta.max_cy && !found_hole; ++cy) {
+      const analysis::CellId c{cx, cy};
+      if (snap.FindCell(c) < 0) {
+        EXPECT_EQ(engine.CellQuery(c, 0, &stats), QueryOutcome::kEmptyCell);
+        found_hole = true;
+      }
+    }
+  }
+  EXPECT_EQ(engine.CellQuery(snap.cell(0), snap.num_slices() + 3, &stats),
+            QueryOutcome::kEmptyCell);
+
+  // SliceQuery with a slice the directory lacks: empty_cell in bounds.
+  EXPECT_EQ(engine.SliceQuery(grid.CellCenter(snap.cell(0)), SliceKind::kCrowd,
+                              77, &stats),
+            QueryOutcome::kEmptyCell);
+
+  EXPECT_EQ(engine.stats().offered, engine.stats().answered +
+                                        engine.stats().out_of_bounds +
+                                        engine.stats().empty_cell);
+}
+
+TEST(ReplayTest, FunnelReconcilesAndMetricsPublished) {
+  obs::MetricsRegistry metrics;
+  obs::FunnelLedger funnel;
+  WorkloadOptions options;
+  options.num_queries = 20000;
+  auto replayed =
+      ReplayWorkload(SmallSnapshot(), options, &Executor::Serial(), &metrics,
+                     &funnel);
+  TT_CHECK_OK(replayed.status());
+  const ReplayResult& r = *replayed;
+
+  EXPECT_EQ(r.num_queries, options.num_queries);
+  EXPECT_EQ(r.stats.offered, options.num_queries);
+  EXPECT_EQ(r.stats.offered,
+            r.stats.answered + r.stats.out_of_bounds + r.stats.empty_cell);
+  // The Zipf mix aims most queries at hot cells, and the OOB share is
+  // nonzero by construction.
+  EXPECT_GT(r.stats.answered, 0);
+  EXPECT_GT(r.stats.out_of_bounds, 0);
+  EXPECT_NE(r.digest, 0u);
+  EXPECT_GT(r.qps, 0.0);
+  EXPECT_LE(r.p50_us, r.p90_us);
+  EXPECT_LE(r.p90_us, r.p99_us);
+  EXPECT_LE(r.p99_us, r.max_us);
+
+  const Status reconciles = funnel.CheckReconciles();
+  EXPECT_TRUE(reconciles.ok()) << reconciles.ToString();
+  EXPECT_NE(funnel.Find("serve.queries"), nullptr);
+}
+
+TEST(ReplayTest, DeterministicAcrossWorkerCounts) {
+  WorkloadOptions options;
+  options.num_queries = 20000;
+  auto replay_with = [&](int threads) {
+    const Executor executor(threads);
+    auto r = ReplayWorkload(SmallSnapshot(), options, &executor);
+    TT_CHECK_OK(r.status());
+    return std::move(r).value();
+  };
+  const ReplayResult serial = replay_with(0);
+  for (const int threads : {1, 2, 8}) {
+    const ReplayResult run = replay_with(threads);
+    EXPECT_EQ(run.stats, serial.stats) << threads << " workers";
+    EXPECT_EQ(run.digest, serial.digest) << threads << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace taxitrace
