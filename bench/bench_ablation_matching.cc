@@ -37,9 +37,9 @@ const World& TestWorld() {
     Rng rng(7);
     while (w->cases.size() < 60) {
       const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-          0, static_cast<int64_t>(w->map.network.vertices().size()) - 1));
+          0, static_cast<int64_t>(w->map.network.num_vertices()) - 1));
       const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-          0, static_cast<int64_t>(w->map.network.vertices().size()) - 1));
+          0, static_cast<int64_t>(w->map.network.num_vertices()) - 1));
       auto path = router.ShortestPath(a, b);
       if (!path.ok() || path->length_m < 1000.0) continue;
       const auto samples = driver.Drive(*path, 7200.0, 1.0, &rng);

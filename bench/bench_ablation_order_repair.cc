@@ -37,9 +37,9 @@ std::vector<GlitchedTrip> MakeGlitchedTrips(int count) {
   std::vector<GlitchedTrip> out;
   while (static_cast<int>(out.size()) < count) {
     const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(map.network.vertices().size()) - 1));
+        0, static_cast<int64_t>(map.network.num_vertices()) - 1));
     const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(map.network.vertices().size()) - 1));
+        0, static_cast<int64_t>(map.network.num_vertices()) - 1));
     const auto path = router.ShortestPath(a, b);
     if (!path.ok() || path->length_m < 800.0) continue;
     const auto samples = driver.Drive(*path, 3600.0, 1.0, &rng);

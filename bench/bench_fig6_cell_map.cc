@@ -40,9 +40,9 @@ void PrintFig6() {
   }
   const roadnet::RoadNetwork& net = r.map.network;
   int junctions = 0;
-  for (const roadnet::Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const roadnet::Vertex& v) {
     if (v.is_junction) ++junctions;
-  }
+  });
   std::printf(
       "\nStudy-area census {lights, bus stops, ped. crossings, other "
       "junctions} = {%d,%d,%d,%d}; paper: {67,48,293,271}.\n",

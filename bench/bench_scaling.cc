@@ -85,8 +85,8 @@ void PrintRoutingBench() {
 
   constexpr int kPairs = 256;
   const auto num_vertices =
-      static_cast<int64_t>(map.network.vertices().size());
-  const auto num_edges = static_cast<int64_t>(map.network.edges().size());
+      static_cast<int64_t>(map.network.num_vertices());
+  const auto num_edges = static_cast<int64_t>(map.network.num_edges());
   Rng rng(42);
   std::vector<std::pair<roadnet::VertexId, roadnet::VertexId>> od;
   std::vector<std::pair<roadnet::EdgePosition, roadnet::EdgePosition>> od_pos;
@@ -419,14 +419,14 @@ void BM_DijkstraByNetworkExtent(benchmark::State& state) {
   Rng rng(5);
   for (auto _ : state) {
     const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(map.network.vertices().size()) - 1));
+        0, static_cast<int64_t>(map.network.num_vertices()) - 1));
     const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(map.network.vertices().size()) - 1));
+        0, static_cast<int64_t>(map.network.num_vertices()) - 1));
     auto path = router.ShortestPath(a, b);
     benchmark::DoNotOptimize(path);
   }
   state.counters["edges"] =
-      static_cast<double>(map.network.edges().size());
+      static_cast<double>(map.network.num_edges());
 }
 BENCHMARK(BM_DijkstraByNetworkExtent)
     ->Arg(600)

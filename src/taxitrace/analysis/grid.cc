@@ -71,9 +71,9 @@ ComputeCellFeatures(const roadnet::RoadNetwork& network, const Grid& grid) {
         break;
     }
   }
-  for (const roadnet::Vertex& v : network.vertices()) {
+  network.ForEachVertex([&](const roadnet::Vertex& v) {
     if (v.is_junction) ++out[grid.CellOf(v.position)].junctions;
-  }
+  });
   return out;
 }
 

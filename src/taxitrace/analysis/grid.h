@@ -30,9 +30,7 @@ struct CellId {
 // bucket on real (structured, signed) grids.
 struct CellIdHash {
   size_t operator()(const CellId& c) const {
-    return static_cast<size_t>(SplitMix64(
-        (static_cast<uint64_t>(static_cast<uint32_t>(c.cx)) << 32) |
-        static_cast<uint64_t>(static_cast<uint32_t>(c.cy))));
+    return static_cast<size_t>(HashCell2D(c.cx, c.cy));
   }
 };
 

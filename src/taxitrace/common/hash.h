@@ -24,6 +24,16 @@ inline uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Hash of a signed 2-D lattice coordinate (analysis grid cells,
+/// spatial-index cells, road-graph tiles). Packs both 32-bit words into
+/// one SplitMix64 input so the pair is injective before mixing and no
+/// low-bit structure survives power-of-two bucket masking.
+inline uint64_t HashCell2D(int32_t cx, int32_t cy) {
+  return SplitMix64(
+      (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(cy)));
+}
+
 }  // namespace taxitrace
 
 #endif  // TAXITRACE_COMMON_HASH_H_

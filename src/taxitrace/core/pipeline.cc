@@ -51,7 +51,7 @@ Result<StudyResults> Pipeline::Run() const {
   TAXITRACE_ASSIGN_OR_RETURN(synth::CityMap map,
                              synth::GenerateCityMap(config_.map));
   synth::WeatherModel weather(config_.weather_seed, config_.fleet.num_days);
-  map_span.AddItems(static_cast<int64_t>(map.network.edges().size()));
+  map_span.AddItems(static_cast<int64_t>(map.network.num_edges()));
   map_span.Finish();
 
   // 2. Raw traces. Two shapes of the same computation: the in-memory

@@ -163,9 +163,9 @@ std::string FormatTextAggregates(const StudyResults& results) {
   }
   const roadnet::RoadNetwork& net = results.map.network;
   int junctions = 0;
-  for (const roadnet::Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const roadnet::Vertex& v) {
     if (v.is_junction) ++junctions;
-  }
+  });
   out += StrFormat(
       "Feature census {lights, bus stops, ped. crossings, junctions}: "
       "{%d,%d,%d,%d} (paper {67,48,293,271})\n",

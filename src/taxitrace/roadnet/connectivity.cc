@@ -19,21 +19,22 @@ std::vector<VertexId> OutNeighbours(const RoadNetwork& network, VertexId v,
   return out;
 }
 
-// Iterative DFS collecting vertices in postorder.
+// Iterative DFS collecting vertices in postorder. `visited` is indexed
+// by vertex ordinal (ids are packed and non-dense on tiled maps).
 void PostorderDfs(const RoadNetwork& network, VertexId start,
                   std::vector<bool>* visited,
                   std::vector<VertexId>* postorder) {
   std::vector<std::pair<VertexId, size_t>> stack;
   stack.emplace_back(start, 0);
-  (*visited)[static_cast<size_t>(start)] = true;
+  (*visited)[network.VertexOrdinal(start)] = true;
   while (!stack.empty()) {
     auto& [v, next] = stack.back();
     const std::vector<VertexId> neighbours =
         OutNeighbours(network, v, false);
     if (next < neighbours.size()) {
       const VertexId w = neighbours[next++];
-      if (!(*visited)[static_cast<size_t>(w)]) {
-        (*visited)[static_cast<size_t>(w)] = true;
+      if (!(*visited)[network.VertexOrdinal(w)]) {
+        (*visited)[network.VertexOrdinal(w)] = true;
         stack.emplace_back(w, 0);
       }
     } else {
@@ -46,20 +47,20 @@ void PostorderDfs(const RoadNetwork& network, VertexId start,
 }  // namespace
 
 std::vector<int> WeakComponents(const RoadNetwork& network) {
-  const size_t n = network.vertices().size();
+  const size_t n = network.num_vertices();
   std::vector<int> label(n, -1);
   int next_label = 0;
   for (size_t start = 0; start < n; ++start) {
     if (label[start] >= 0) continue;
-    std::vector<VertexId> stack{static_cast<VertexId>(start)};
+    std::vector<VertexId> stack{network.VertexIdAt(start)};
     label[start] = next_label;
     while (!stack.empty()) {
       const VertexId v = stack.back();
       stack.pop_back();
       for (const HalfEdge& arc : network.OutArcs(v)) {
         const VertexId w = arc.head;
-        if (label[static_cast<size_t>(w)] < 0) {
-          label[static_cast<size_t>(w)] = next_label;
+        if (label[network.VertexOrdinal(w)] < 0) {
+          label[network.VertexOrdinal(w)] = next_label;
           stack.push_back(w);
         }
       }
@@ -78,7 +79,7 @@ int CountWeakComponents(const RoadNetwork& network) {
 
 std::vector<VertexId> LargestStronglyConnectedComponent(
     const RoadNetwork& network) {
-  const size_t n = network.vertices().size();
+  const size_t n = network.num_vertices();
   if (n == 0) return {};
   // Kosaraju pass 1: postorder of the forward graph.
   std::vector<bool> visited(n, false);
@@ -86,23 +87,22 @@ std::vector<VertexId> LargestStronglyConnectedComponent(
   postorder.reserve(n);
   for (size_t v = 0; v < n; ++v) {
     if (!visited[v]) {
-      PostorderDfs(network, static_cast<VertexId>(v), &visited,
-                   &postorder);
+      PostorderDfs(network, network.VertexIdAt(v), &visited, &postorder);
     }
   }
   // Pass 2: traverse the reversed graph in reverse postorder.
   std::vector<int> component(n, -1);
   int next_component = 0;
   for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
-    if (component[static_cast<size_t>(*it)] >= 0) continue;
+    if (component[network.VertexOrdinal(*it)] >= 0) continue;
     std::vector<VertexId> stack{*it};
-    component[static_cast<size_t>(*it)] = next_component;
+    component[network.VertexOrdinal(*it)] = next_component;
     while (!stack.empty()) {
       const VertexId v = stack.back();
       stack.pop_back();
       for (VertexId w : OutNeighbours(network, v, true)) {
-        if (component[static_cast<size_t>(w)] < 0) {
-          component[static_cast<size_t>(w)] = next_component;
+        if (component[network.VertexOrdinal(w)] < 0) {
+          component[network.VertexOrdinal(w)] = next_component;
           stack.push_back(w);
         }
       }
@@ -116,14 +116,14 @@ std::vector<VertexId> LargestStronglyConnectedComponent(
       std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
   std::vector<VertexId> out;
   for (size_t v = 0; v < n; ++v) {
-    if (component[v] == best) out.push_back(static_cast<VertexId>(v));
+    if (component[v] == best) out.push_back(network.VertexIdAt(v));
   }
   return out;
 }
 
 ConnectivityReport AnalyzeConnectivity(const RoadNetwork& network) {
   ConnectivityReport report;
-  report.num_vertices = static_cast<int>(network.vertices().size());
+  report.num_vertices = static_cast<int>(network.num_vertices());
   report.weak_components = CountWeakComponents(network);
   report.largest_scc_size =
       static_cast<int>(LargestStronglyConnectedComponent(network).size());

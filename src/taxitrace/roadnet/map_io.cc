@@ -159,7 +159,7 @@ std::string NetworkToGeoJson(const RoadNetwork& network) {
   const geo::LocalProjection& proj = network.projection();
   std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
   bool first = true;
-  for (const Edge& e : network.edges()) {
+  network.ForEachEdge([&](const Edge& e) {
     if (!first) out += ",";
     first = false;
     out +=
@@ -185,7 +185,7 @@ std::string NetworkToGeoJson(const RoadNetwork& network) {
         e.speed_limit_kmh,
         std::string(TravelDirectionName(e.direction)).c_str(),
         elements.c_str());
-  }
+  });
   for (const MapFeature& f : network.features()) {
     if (!first) out += ",";
     first = false;

@@ -92,7 +92,7 @@ Result<RoadNetwork> PrepareRoadNetwork(
   //    terminals.
   MapPreparationStats local_stats;
   local_stats.num_elements = static_cast<int>(elements.size());
-  RoadNetwork network(origin);
+  RoadNetwork network(origin, options.tiling);
   std::unordered_map<PointKey, VertexId, PointKeyHash> vertex_at;
   for (const PointKey& key : sorted_keys) {
     const std::vector<ElementEnd>& ends = incidence.at(key);
@@ -227,13 +227,13 @@ Result<RoadNetwork> PrepareRoadNetwork(
 
 std::vector<JunctionPairRow> JunctionPairTable(const RoadNetwork& network) {
   std::vector<JunctionPairRow> rows;
-  rows.reserve(network.edges().size());
+  rows.reserve(network.num_edges());
   const geo::LocalProjection& proj = network.projection();
-  for (const Edge& e : network.edges()) {
+  network.ForEachEdge([&](const Edge& e) {
     rows.push_back(JunctionPairRow{
         proj.Inverse(network.vertex(e.from).position), e.element_ids,
         proj.Inverse(network.vertex(e.to).position)});
-  }
+  });
   return rows;
 }
 

@@ -31,6 +31,9 @@ struct MapPreparationOptions {
   double endpoint_snap_m = 0.05;
   /// Maximum feature-to-edge attachment distance, metres.
   double feature_attach_radius_m = 40.0;
+  /// Tile partition of the produced network (default: single tile, the
+  /// historical dense-id layout).
+  TilingOptions tiling;
 };
 
 /// One row of the junction-pair table (Table 1).

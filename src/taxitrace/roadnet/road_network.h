@@ -2,6 +2,14 @@
 // (or terminal dead-ends), edges are maximal chains of traffic elements
 // between two vertices (Section IV-A of the paper). Point features are
 // attached to the edge they lie on.
+//
+// Storage is tiled (tile.h): vertices and edges live in fixed-size
+// spatial tiles keyed by the position of the vertex (edges belong to
+// the tile of their `from` endpoint), and every id packs (tile index,
+// local ordinal) into the historical 32-bit VertexId / EdgeId. With the
+// default TilingOptions (tile_size_m == 0) the whole map is one tile
+// and packed ids equal the old dense ids bit-for-bit, so existing maps,
+// serialised snapshots, and id-seeded RNG streams are unchanged.
 
 #ifndef TAXITRACE_ROADNET_ROAD_NETWORK_H_
 #define TAXITRACE_ROADNET_ROAD_NETWORK_H_
@@ -9,20 +17,24 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "taxitrace/common/hash.h"
 #include "taxitrace/common/result.h"
 #include "taxitrace/geo/coordinates.h"
 #include "taxitrace/geo/polyline.h"
 #include "taxitrace/roadnet/map_features.h"
+#include "taxitrace/roadnet/tile.h"
 #include "taxitrace/roadnet/traffic_element.h"
 
 namespace taxitrace {
 namespace roadnet {
 
-/// Index of a vertex within a RoadNetwork.
+/// Index of a vertex within a RoadNetwork (packed tile/local, tile.h).
 using VertexId = int32_t;
-/// Index of an edge within a RoadNetwork.
+/// Index of an edge within a RoadNetwork (packed tile/local, tile.h).
 using EdgeId = int32_t;
 
 inline constexpr VertexId kInvalidVertex = -1;
@@ -79,12 +91,49 @@ struct HalfEdge {
   bool forward = false;
 };
 
+/// One arc crossing a tile boundary, recorded in the owning tile's
+/// boundary table during the CSR build: traversals leaving the tile go
+/// through these, and the invariant tests check every such arc is
+/// visible (with symmetric traversability) from both sides.
+struct BoundaryArc {
+  VertexId from = kInvalidVertex;  ///< Base vertex, inside this tile.
+  VertexId head = kInvalidVertex;  ///< Far endpoint, in another tile.
+  EdgeId edge = kInvalidEdge;
+};
+
+/// How the builder partitions the map into tiles. The default (0) keeps
+/// the whole network in one tile, reproducing the historical flat
+/// layout exactly.
+struct TilingOptions {
+  /// Edge length of the square tiles, metres. 0 disables tiling.
+  double tile_size_m = 0.0;
+};
+
+/// One fixed-size spatial tile: a self-contained slab of vertices,
+/// edges, incidence lists and CSR adjacency. Local ordinals index the
+/// vectors directly; globals are packed via tile.h.
+struct GraphTile {
+  TileCoord coord;
+  std::vector<Vertex> vertices;
+  std::vector<Edge> edges;
+  /// Incident edge ids (global) per local vertex, insertion order.
+  std::vector<std::vector<EdgeId>> incident;
+
+  // CSR mirror of `incident`, rebuilt lazily by the owning network
+  // (see RoadNetwork::OutArcs for the threading contract).
+  std::vector<int32_t> csr_offsets;
+  std::vector<HalfEdge> csr_arcs;
+  /// Arcs whose head vertex lies in a different tile, in CSR order.
+  std::vector<BoundaryArc> boundary;
+};
+
 /// The prepared road network. Construct through `PrepareRoadNetwork()`
 /// (map_preparation.h) or the builder API below.
 class RoadNetwork {
  public:
   /// Creates an empty network whose local frame is anchored at `origin`.
-  explicit RoadNetwork(const geo::LatLon& origin);
+  explicit RoadNetwork(const geo::LatLon& origin,
+                       const TilingOptions& tiling = TilingOptions{});
 
   /// WGS84 anchor of the local east/north frame.
   [[nodiscard]] const geo::LatLon& origin() const { return origin_; }
@@ -92,20 +141,86 @@ class RoadNetwork {
   [[nodiscard]] const geo::LocalProjection& projection() const {
     return projection_;
   }
+  /// The tiling this network was built with.
+  [[nodiscard]] const TilingOptions& tiling() const { return tiling_; }
 
-  [[nodiscard]] const std::vector<Vertex>& vertices() const {
-    return vertices_;
+  // --- Sizes and id enumeration ------------------------------------------
+  //
+  // Ids are packed (tile, local) pairs and are NOT dense when the map
+  // has more than one tile; code that needs a dense [0, n) range (CSV
+  // columns, scratch arrays, multiplier tables) must go through the
+  // ordinal mapping below. In single-tile maps id == ordinal.
+
+  [[nodiscard]] size_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] size_t num_edges() const { return num_edges_; }
+  [[nodiscard]] size_t num_tiles() const { return tiles_.size(); }
+
+  [[nodiscard]] bool HasVertex(VertexId id) const {
+    if (id < 0) return false;
+    const auto t = static_cast<size_t>(TileIndexOf(id));
+    return t < tiles_.size() &&
+           static_cast<size_t>(LocalIdOf(id)) < tiles_[t].vertices.size();
   }
-  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] bool HasEdge(EdgeId id) const {
+    if (id < 0) return false;
+    const auto t = static_cast<size_t>(TileIndexOf(id));
+    return t < tiles_.size() &&
+           static_cast<size_t>(LocalIdOf(id)) < tiles_[t].edges.size();
+  }
+
+  /// Dense ordinal of a vertex / edge in tile-major order: tile index
+  /// first, local ordinal second. Stable for a finished network; equal
+  /// to the id itself in single-tile maps.
+  [[nodiscard]] size_t VertexOrdinal(VertexId id) const;
+  [[nodiscard]] size_t EdgeOrdinal(EdgeId id) const;
+
+  /// Inverse of the ordinal mapping.
+  [[nodiscard]] VertexId VertexIdAt(size_t ordinal) const;
+  [[nodiscard]] EdgeId EdgeIdAt(size_t ordinal) const;
+
+  /// Visits every vertex / edge in tile-major (== ordinal, == insertion
+  /// for single-tile maps) order. Deterministic.
+  template <typename Fn>
+  void ForEachVertex(Fn&& fn) const {
+    for (const GraphTile& t : tiles_) {
+      for (const Vertex& v : t.vertices) fn(v);
+    }
+  }
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const GraphTile& t : tiles_) {
+      for (const Edge& e : t.edges) fn(e);
+    }
+  }
+
   [[nodiscard]] const std::vector<MapFeature>& features() const {
     return features_;
   }
 
-  /// The vertex / edge / feature with the given id. Ids index the vectors
-  /// above; passing an invalid id is a programming error (TT_DCHECK'd).
+  /// The vertex / edge / feature with the given id. Passing an invalid
+  /// id is a programming error (TT_DCHECK'd).
   [[nodiscard]] const Vertex& vertex(VertexId id) const;
   [[nodiscard]] const Edge& edge(EdgeId id) const;
   [[nodiscard]] const MapFeature& feature(FeatureId id) const;
+
+  // --- Tiles -------------------------------------------------------------
+
+  /// The tile with the given dense index.
+  [[nodiscard]] const GraphTile& tile(TileIndex t) const;
+
+  /// Cross-tile arcs leaving tile `t`, in CSR order. Empty until the
+  /// adjacency is built; empty forever on single-tile maps.
+  [[nodiscard]] std::span<const BoundaryArc> BoundaryArcs(TileIndex t) const;
+
+  /// Dense index of the tile whose lattice cell contains `p`, or -1 if
+  /// no vertex was ever added there. Single-tile maps always return 0.
+  [[nodiscard]] TileIndex TileAt(const geo::EnPoint& p) const;
+
+  /// Approximate resident bytes of the graph storage (vertices, edges
+  /// incl. geometry, incidence, CSR slabs, boundary tables, directory).
+  [[nodiscard]] size_t ApproxMemoryBytes() const;
+
+  // --- Topology ----------------------------------------------------------
 
   /// Edges incident to `v` (regardless of traversability).
   [[nodiscard]] const std::vector<EdgeId>& IncidentEdges(VertexId v) const;
@@ -147,11 +262,13 @@ class RoadNetwork {
 
   // --- Builder API -------------------------------------------------------
 
-  /// Adds a vertex and returns its id.
+  /// Adds a vertex and returns its id (packed to the tile containing
+  /// `position` under the network's tiling).
   VertexId AddVertex(const geo::EnPoint& position, bool is_junction);
 
-  /// Adds an edge; `edge.id` is ignored and assigned. `from`/`to` must be
-  /// valid. Returns the assigned id.
+  /// Adds an edge; `edge.id` is ignored and assigned (the edge belongs
+  /// to the tile of its `from` vertex). `from`/`to` must be valid.
+  /// Returns the assigned id.
   EdgeId AddEdge(Edge edge);
 
   /// Adds a point feature, attaching it to the nearest edge within
@@ -161,38 +278,55 @@ class RoadNetwork {
                        double attach_radius_m = 40.0);
 
   /// Structural validation: endpoint/geometry agreement, positive
-  /// lengths, monotone ids, feature attachment consistency.
+  /// lengths, id packing consistency, feature attachment consistency.
   Status Validate() const;
 
  private:
   void RebuildAdjacency() const;
+  void RebuildOrdinalBases() const;
+  [[nodiscard]] bool adjacency_stale() const {
+    return csr_vertex_count_ != num_vertices_ ||
+           csr_edge_count_ != num_edges_;
+  }
+  // Ordinal bases go stale with the CSR but rebuild in O(tiles), so
+  // builder code may interleave mutations with ordinal lookups without
+  // paying a full adjacency rebuild each time.
+  [[nodiscard]] bool ordinals_stale() const {
+    return ordinal_vertex_count_ != num_vertices_ ||
+           ordinal_edge_count_ != num_edges_;
+  }
+  /// Dense index of the tile containing `position`, creating it if new.
+  TileIndex TileForPosition(const geo::EnPoint& position);
 
   geo::LatLon origin_;
   geo::LocalProjection projection_;
-  std::vector<Vertex> vertices_;
-  std::vector<Edge> edges_;
-  std::vector<MapFeature> features_;
-  std::vector<std::vector<EdgeId>> incident_;
+  TilingOptions tiling_;
 
-  // CSR mirror of `incident_`, rebuilt lazily when the builder grows the
-  // graph (see OutArcs() for the threading contract). `mutable` because
-  // the cache is semantically part of the const read API.
-  mutable std::vector<int32_t> csr_offsets_;
-  mutable std::vector<HalfEdge> csr_arcs_;
-  mutable size_t csr_vertex_count_ = 0;  ///< vertices_ size at last build
-  mutable size_t csr_edge_count_ = 0;    ///< edges_ size at last build
+  // `mutable` members are lazily rebuilt caches, semantically part of
+  // the const read API (same contract as the CSR before tiling).
+  mutable std::vector<GraphTile> tiles_;
+  std::unordered_map<TileCoord, TileIndex, TileCoordHash> tile_directory_;
+  std::vector<MapFeature> features_;
+  size_t num_vertices_ = 0;
+  size_t num_edges_ = 0;
+
+  // Cumulative vertex/edge counts per tile for the ordinal mapping,
+  // rebuilt alongside the CSR (same staleness check).
+  mutable std::vector<size_t> vertex_base_;
+  mutable std::vector<size_t> edge_base_;
+  mutable size_t csr_vertex_count_ = 0;  ///< num_vertices_ at last build
+  mutable size_t csr_edge_count_ = 0;    ///< num_edges_ at last build
+  mutable size_t ordinal_vertex_count_ = 0;  ///< at last ordinal rebuild
+  mutable size_t ordinal_edge_count_ = 0;    ///< at last ordinal rebuild
 };
 
 inline std::span<const HalfEdge> RoadNetwork::OutArcs(VertexId v) const {
-  if (csr_vertex_count_ != vertices_.size() ||
-      csr_edge_count_ != edges_.size()) {
-    RebuildAdjacency();
-  }
-  const auto begin =
-      static_cast<size_t>(csr_offsets_[static_cast<size_t>(v)]);
-  const auto end =
-      static_cast<size_t>(csr_offsets_[static_cast<size_t>(v) + 1]);
-  return {csr_arcs_.data() + begin, end - begin};
+  if (adjacency_stale()) RebuildAdjacency();
+  const GraphTile& t = tiles_[static_cast<size_t>(TileIndexOf(v))];
+  const auto local = static_cast<size_t>(LocalIdOf(v));
+  const auto begin = static_cast<size_t>(t.csr_offsets[local]);
+  const auto end = static_cast<size_t>(t.csr_offsets[local + 1]);
+  return {t.csr_arcs.data() + begin, end - begin};
 }
 
 }  // namespace roadnet

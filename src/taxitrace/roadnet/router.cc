@@ -52,10 +52,12 @@ SearchScratch& Router::Search(
   }
   return SearchImpl(seeds, stop_at_both_a, stop_at_both_b, goal_directed,
                     /*heuristic_scale=*/1.0, [&](EdgeId edge) {
+                      // Multiplier vectors are dense over edge ordinals
+                      // (== ids on single-tile maps).
                       return edge_cost_multiplier == nullptr
                                  ? 1.0
-                                 : (*edge_cost_multiplier)[static_cast<size_t>(
-                                       edge)];
+                                 : (*edge_cost_multiplier)[network_
+                                       ->EdgeOrdinal(edge)];
                     });
 }
 
@@ -64,15 +66,14 @@ SearchScratch& Router::SearchImpl(
     const std::vector<std::pair<VertexId, double>>& seeds,
     VertexId stop_at_both_a, VertexId stop_at_both_b, bool goal_directed,
     double heuristic_scale, MultiplierFn multiplier) const {
-  const std::vector<Vertex>& vertices = network_->vertices();
   SearchScratch& scratch = scratch_->Local();
-  scratch.BeginSearch(vertices.size());
+  scratch.BeginSearch(*network_);
 
   geo::EnPoint goal_a{};
   geo::EnPoint goal_b{};
   if (goal_directed) {
-    goal_a = vertices[static_cast<size_t>(stop_at_both_a)].position;
-    goal_b = vertices[static_cast<size_t>(stop_at_both_b)].position;
+    goal_a = network_->vertex(stop_at_both_a).position;
+    goal_b = network_->vertex(stop_at_both_b).position;
   }
   // Lower bound on the remaining cost to the nearer goal; the minimum
   // of two consistent heuristics scaled by a constant <= the smallest
@@ -81,7 +82,7 @@ SearchScratch& Router::SearchImpl(
   // multiplier-free and >=1-vector cases) multiplies exactly, so the
   // historical heap order is preserved bit for bit.
   const auto heuristic = [&](VertexId v) {
-    const geo::EnPoint& p = vertices[static_cast<size_t>(v)].position;
+    const geo::EnPoint& p = network_->vertex(v).position;
     return heuristic_scale *
            std::min(geo::Distance(p, goal_a), geo::Distance(p, goal_b));
   };
@@ -140,6 +141,9 @@ SearchScratch& Router::SearchImpl(
   search_stats_->heap_pops.fetch_add(heap_pops, std::memory_order_relaxed);
   search_stats_->settled_vertices.fetch_add(settled,
                                             std::memory_order_relaxed);
+  search_stats_->tiles_touched.fetch_add(
+      static_cast<int64_t>(scratch.tiles_touched()),
+      std::memory_order_relaxed);
   if (goal_directed) {
     search_stats_->goal_directed_searches.fetch_add(
         1, std::memory_order_relaxed);
@@ -155,6 +159,8 @@ RouterStats Router::stats() const {
       search_stats_->settled_vertices.load(std::memory_order_relaxed);
   s.goal_directed_searches =
       search_stats_->goal_directed_searches.load(std::memory_order_relaxed);
+  s.tiles_touched =
+      search_stats_->tiles_touched.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -192,13 +198,11 @@ Result<Path> Router::BuildVertexPath(const SearchScratch& res, VertexId from,
 Result<Path> Router::ShortestPath(
     VertexId from, VertexId to,
     const std::vector<double>* edge_cost_multiplier) const {
-  const size_t n = network_->vertices().size();
-  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
-      static_cast<size_t>(to) >= n) {
+  if (!network_->HasVertex(from) || !network_->HasVertex(to)) {
     return Status::InvalidArgument("vertex id out of range");
   }
   if (edge_cost_multiplier != nullptr &&
-      edge_cost_multiplier->size() != network_->edges().size()) {
+      edge_cost_multiplier->size() != network_->num_edges()) {
     return Status::InvalidArgument("edge cost multiplier size mismatch");
   }
   const SearchScratch& res =
@@ -208,9 +212,7 @@ Result<Path> Router::ShortestPath(
 
 Result<Path> Router::ShortestPath(VertexId from, VertexId to,
                                   const EdgeCostModel& cost) const {
-  const size_t n = network_->vertices().size();
-  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
-      static_cast<size_t>(to) >= n) {
+  if (!network_->HasVertex(from) || !network_->HasVertex(to)) {
     return Status::InvalidArgument("vertex id out of range");
   }
   const double min_mult = cost.MinMultiplier();
@@ -227,17 +229,14 @@ Result<Path> Router::ShortestPath(VertexId from, VertexId to,
 
 double Router::BoundedVertexDistance(VertexId from, VertexId to,
                                      double limit_m) const {
-  const std::vector<Vertex>& vertices = network_->vertices();
-  const size_t n = vertices.size();
-  if (from < 0 || static_cast<size_t>(from) >= n || to < 0 ||
-      static_cast<size_t>(to) >= n) {
+  if (!network_->HasVertex(from) || !network_->HasVertex(to)) {
     return kInf;
   }
   SearchScratch& scratch = scratch_->Local();
-  scratch.BeginSearch(n);
-  const geo::EnPoint goal = vertices[static_cast<size_t>(to)].position;
+  scratch.BeginSearch(*network_);
+  const geo::EnPoint goal = network_->vertex(to).position;
   const auto heuristic = [&](VertexId v) {
-    return geo::Distance(vertices[static_cast<size_t>(v)].position, goal);
+    return geo::Distance(network_->vertex(v).position, goal);
   };
 
   scratch.Relax(from, 0.0, kInvalidEdge, kInvalidVertex);
@@ -278,6 +277,9 @@ double Router::BoundedVertexDistance(VertexId from, VertexId to,
   search_stats_->heap_pops.fetch_add(heap_pops, std::memory_order_relaxed);
   search_stats_->settled_vertices.fetch_add(settled,
                                             std::memory_order_relaxed);
+  search_stats_->tiles_touched.fetch_add(
+      static_cast<int64_t>(scratch.tiles_touched()),
+      std::memory_order_relaxed);
   search_stats_->goal_directed_searches.fetch_add(1,
                                                   std::memory_order_relaxed);
   return found;
@@ -285,9 +287,7 @@ double Router::BoundedVertexDistance(VertexId from, VertexId to,
 
 Result<Path> Router::ShortestPathBetween(const EdgePosition& from,
                                          const EdgePosition& to) const {
-  const size_t ne = network_->edges().size();
-  if (from.edge < 0 || static_cast<size_t>(from.edge) >= ne || to.edge < 0 ||
-      static_cast<size_t>(to.edge) >= ne) {
+  if (!network_->HasEdge(from.edge) || !network_->HasEdge(to.edge)) {
     return Status::InvalidArgument("edge id out of range");
   }
   const Edge& fe = network_->edge(from.edge);

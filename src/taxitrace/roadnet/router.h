@@ -39,6 +39,9 @@ struct RouterStats {
   int64_t settled_vertices = 0;  ///< Vertices finalised (non-stale pops).
   /// Searches that ran goal-directed (A*); the rest were plain Dijkstra.
   int64_t goal_directed_searches = 0;
+  /// Sum over searches of the distinct graph tiles each one relaxed a
+  /// vertex in (always == searches on single-tile maps).
+  int64_t tiles_touched = 0;
 };
 
 /// A traversal of one edge within a path.
@@ -159,6 +162,7 @@ class Router {
     std::atomic<int64_t> heap_pops{0};
     std::atomic<int64_t> settled_vertices{0};
     std::atomic<int64_t> goal_directed_searches{0};
+    std::atomic<int64_t> tiles_touched{0};
   };
 
   const RoadNetwork* network_;

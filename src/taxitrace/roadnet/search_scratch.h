@@ -9,6 +9,12 @@
 // storage is reused the same way, making steady-state searches
 // allocation-free.
 //
+// Storage mirrors the network's tiling (tile.h): one slab of
+// dist/prev/stamp arrays per tile, allocated the first time a search
+// relaxes a vertex of that tile. A thread's resident scratch is
+// therefore bounded by the working set of tiles its searches actually
+// touch, not |V| — the point of tiled storage at city scale.
+//
 // One instance serves one thread at a time (the Router hands each
 // executor worker its own via WorkerLocal); results read through the
 // accessors stay valid until the next BeginSearch on the same instance.
@@ -16,11 +22,13 @@
 #ifndef TAXITRACE_ROADNET_SEARCH_SCRATCH_H_
 #define TAXITRACE_ROADNET_SEARCH_SCRATCH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "taxitrace/roadnet/road_network.h"
+#include "taxitrace/roadnet/tile.h"
 
 namespace taxitrace {
 namespace roadnet {
@@ -39,48 +47,63 @@ struct SearchHeapEntry {
 
 class SearchScratch {
  public:
-  /// Starts a new search over a graph of `vertex_count` vertices: sizes
-  /// the arrays (only when the graph grew), advances the generation so
-  /// every previous entry becomes stale, and clears the heap storage.
-  void BeginSearch(size_t vertex_count) {
-    if (stamp_.size() < vertex_count) {
-      stamp_.resize(vertex_count, 0);
-      dist_.resize(vertex_count, 0.0);
-      prev_edge_.resize(vertex_count, kInvalidEdge);
-      prev_vertex_.resize(vertex_count, kInvalidVertex);
+  /// Starts a new search over `network`: binds the tile layout (sizing
+  /// the slab table, invalidating slabs if the graph grew), advances
+  /// the generation so every previous entry becomes stale, and clears
+  /// the heap storage.
+  void BeginSearch(const RoadNetwork& network) {
+    if (network_ != &network || bound_vertices_ != network.num_vertices() ||
+        slabs_.size() != network.num_tiles()) {
+      network_ = &network;
+      bound_vertices_ = network.num_vertices();
+      // Tile-local vertex counts may have changed; drop every slab so
+      // first touch re-sizes against the current tile. Rebinding is
+      // rare (graph mutation or a different network on this thread).
+      slabs_.assign(network.num_tiles(), TileSlab{});
     }
     if (++generation_ == 0) {
       // uint32 wrap: every stored stamp could now alias a live search,
       // so reset them all once per ~4 billion searches.
-      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      for (TileSlab& s : slabs_) {
+        std::fill(s.stamp.begin(), s.stamp.end(), 0u);
+        s.touched_generation = 0;
+      }
       generation_ = 1;
     }
+    tiles_touched_ = 0;
     heap.clear();
   }
 
   /// True when `v` was reached by the current search.
   [[nodiscard]] bool Visited(VertexId v) const {
-    return stamp_[static_cast<size_t>(v)] == generation_;
+    const TileSlab& s = slabs_[static_cast<size_t>(TileIndexOf(v))];
+    const auto i = static_cast<size_t>(LocalIdOf(v));
+    // An untouched tile has an empty slab; the size check doubles as
+    // its unvisited test (a touched slab always spans the whole tile).
+    return i < s.stamp.size() && s.stamp[i] == generation_;
   }
 
   /// Tentative (final once settled) cost of `v`; +infinity if the
   /// current search never reached it.
   [[nodiscard]] double Dist(VertexId v) const {
-    return Visited(v) ? dist_[static_cast<size_t>(v)]
-                      : std::numeric_limits<double>::infinity();
+    return Visited(v) ? RawDist(v) : std::numeric_limits<double>::infinity();
   }
   /// Unchecked cost read; valid only when Visited(v).
   [[nodiscard]] double RawDist(VertexId v) const {
-    return dist_[static_cast<size_t>(v)];
+    return slabs_[static_cast<size_t>(TileIndexOf(v))]
+        .dist[static_cast<size_t>(LocalIdOf(v))];
   }
 
   /// Edge / vertex the search reached `v` through; kInvalidEdge /
   /// kInvalidVertex for seeds and unreached vertices.
   [[nodiscard]] EdgeId PrevEdge(VertexId v) const {
-    return Visited(v) ? prev_edge_[static_cast<size_t>(v)] : kInvalidEdge;
+    return Visited(v) ? slabs_[static_cast<size_t>(TileIndexOf(v))]
+                            .prev_edge[static_cast<size_t>(LocalIdOf(v))]
+                      : kInvalidEdge;
   }
   [[nodiscard]] VertexId PrevVertex(VertexId v) const {
-    return Visited(v) ? prev_vertex_[static_cast<size_t>(v)]
+    return Visited(v) ? slabs_[static_cast<size_t>(TileIndexOf(v))]
+                            .prev_vertex[static_cast<size_t>(LocalIdOf(v))]
                       : kInvalidVertex;
   }
 
@@ -88,12 +111,23 @@ class SearchScratch {
   /// current generation. Seeds pass kInvalidEdge / kInvalidVertex.
   void Relax(VertexId v, double dist, EdgeId prev_edge,
              VertexId prev_vertex) {
-    const auto i = static_cast<size_t>(v);
-    stamp_[i] = generation_;
-    dist_[i] = dist;
-    prev_edge_[i] = prev_edge;
-    prev_vertex_[i] = prev_vertex;
+    const auto t = static_cast<size_t>(TileIndexOf(v));
+    TileSlab& s = slabs_[t];
+    if (s.stamp.empty()) AllocateSlab(s, static_cast<TileIndex>(t));
+    if (s.touched_generation != generation_) {
+      s.touched_generation = generation_;
+      ++tiles_touched_;
+    }
+    const auto i = static_cast<size_t>(LocalIdOf(v));
+    s.stamp[i] = generation_;
+    s.dist[i] = dist;
+    s.prev_edge[i] = prev_edge;
+    s.prev_vertex[i] = prev_vertex;
   }
+
+  /// Number of distinct tiles the current search has relaxed a vertex
+  /// in — the working-set metric surfaced through RouterStats.
+  [[nodiscard]] size_t tiles_touched() const { return tiles_touched_; }
 
   /// Reusable heap storage for the search loop (cleared by
   /// BeginSearch). Exposed directly: the Router drives it with
@@ -101,11 +135,28 @@ class SearchScratch {
   std::vector<SearchHeapEntry> heap;
 
  private:
-  // Valid for vertex v only when stamp_[v] == generation_.
-  std::vector<double> dist_;
-  std::vector<EdgeId> prev_edge_;
-  std::vector<VertexId> prev_vertex_;
-  std::vector<uint32_t> stamp_;
+  // Per-tile arrays; entry i is valid only when stamp[i] == generation_.
+  // Empty vectors mean the tile was never touched by this scratch.
+  struct TileSlab {
+    std::vector<double> dist;
+    std::vector<EdgeId> prev_edge;
+    std::vector<VertexId> prev_vertex;
+    std::vector<uint32_t> stamp;
+    uint32_t touched_generation = 0;
+  };
+
+  void AllocateSlab(TileSlab& s, TileIndex t) {
+    const size_t n = network_->tile(t).vertices.size();
+    s.stamp.assign(n, 0u);
+    s.dist.assign(n, 0.0);
+    s.prev_edge.assign(n, kInvalidEdge);
+    s.prev_vertex.assign(n, kInvalidVertex);
+  }
+
+  const RoadNetwork* network_ = nullptr;
+  size_t bound_vertices_ = 0;
+  std::vector<TileSlab> slabs_;
+  size_t tiles_touched_ = 0;
   uint32_t generation_ = 0;
 };
 

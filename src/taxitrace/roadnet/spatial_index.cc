@@ -15,23 +15,32 @@ namespace roadnet {
 SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
     : network_(network),
       cell_size_m_(cell_size_m),
+      tile_size_m_(network->tiling().tile_size_m),
       scratch_(std::make_shared<WorkerLocal<QueryScratch>>()),
       query_stats_(std::make_shared<AtomicStats>()) {
+  // Queries translate edge ids to ordinals; warm the mapping (and the
+  // CSR it shares staleness with) on the constructing thread.
+  network_->WarmAdjacency();
+
   // Build pass: collect each edge's cells into a keyed map first (the
   // set of cells is sparse and unknown up front), then flatten into the
-  // dense grid below.
+  // per-tile dense grids below.
   std::unordered_map<CellKey, std::vector<EdgeId>, CellKeyHash> cells;
-  edge_bounds_.resize(network_->edges().size(), geo::Bbox::Empty());
-  for (const Edge& e : network_->edges()) {
+  edge_bounds_.assign(network_->num_edges(), geo::Bbox::Empty());
+  size_t next_ordinal = 0;
+  network_->ForEachEdge([&](const Edge& e) {
+    // ForEachEdge runs in tile-major order, so this counter IS the
+    // edge's ordinal (RoadNetwork::EdgeOrdinal).
+    const size_t ordinal = next_ordinal++;
     const std::vector<geo::EnPoint>& pts = e.geometry.points();
     if (pts.empty()) {
       // An edge with no geometry has no position to index; dropping it
       // here would make Nearby/Nearest silently blind to it, so the
       // drop is counted and surfaced through stats().
       ++empty_geometry_edges_;
-      continue;
+      return;
     }
-    geo::Bbox& bounds = edge_bounds_[static_cast<size_t>(e.id)];
+    geo::Bbox& bounds = edge_bounds_[ordinal];
     for (const geo::EnPoint& p : pts) bounds.Extend(p);
     std::unordered_set<uint64_t> edge_cells;
     const auto insert_cell = [&](const geo::EnPoint& p) {
@@ -48,7 +57,7 @@ SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
       // skipped these edges entirely and queries near them missed a
       // real edge. Index the lone point's cell instead.
       insert_cell(pts[0]);
-      continue;
+      return;
     }
     for (size_t i = 0; i + 1 < pts.size(); ++i) {
       // Walk the segment at sub-cell steps so no crossed cell is missed.
@@ -60,52 +69,95 @@ SpatialIndex::SpatialIndex(const RoadNetwork* network, double cell_size_m)
         insert_cell(pts[i] + t * (pts[i + 1] - pts[i]));
       }
     }
-  }
+  });
 
-  // Flatten to a dense row-major CSR grid spanning the occupied cells.
-  if (!cells.empty()) {
-    int32_t min_cx = cells.begin()->first.cx;
-    int32_t max_cx = min_cx;
-    int32_t min_cy = cells.begin()->first.cy;
-    int32_t max_cy = min_cy;
-    for (const auto& [key, edges] : cells) {
-      min_cx = std::min(min_cx, key.cx);
-      max_cx = std::max(max_cx, key.cx);
-      min_cy = std::min(min_cy, key.cy);
-      max_cy = std::max(max_cy, key.cy);
+  if (cells.empty()) return;
+
+  // Group the occupied cells by owning tile, tracking each tile's cell
+  // extent (hash-map iteration only feeds mins/maxes and counts, so the
+  // result is iteration-order independent).
+  struct Extent {
+    int32_t min_cx = 0;
+    int32_t max_cx = 0;
+    int32_t min_cy = 0;
+    int32_t max_cy = 0;
+    bool init = false;
+  };
+  std::unordered_map<TileCoord, Extent, TileCoordHash> extents;
+  for (const auto& [key, edge_list] : cells) {
+    Extent& ex = extents[OwnerTileOf(key.cx, key.cy)];
+    if (!ex.init) {
+      ex = Extent{key.cx, key.cx, key.cy, key.cy, true};
+    } else {
+      ex.min_cx = std::min(ex.min_cx, key.cx);
+      ex.max_cx = std::max(ex.max_cx, key.cx);
+      ex.min_cy = std::min(ex.min_cy, key.cy);
+      ex.max_cy = std::max(ex.max_cy, key.cy);
     }
-    grid_min_cx_ = min_cx;
-    grid_min_cy_ = min_cy;
-    grid_cols_ = max_cx - min_cx + 1;
-    grid_rows_ = max_cy - min_cy + 1;
+  }
+  std::vector<TileCoord> coords;
+  coords.reserve(extents.size());
+  for (const auto& [coord, ex] : extents) coords.push_back(coord);
+  std::sort(coords.begin(), coords.end(),
+            [](const TileCoord& a, const TileCoord& b) {
+              return a.ty != b.ty ? a.ty < b.ty : a.tx < b.tx;
+            });
+
+  grids_.resize(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const Extent& ex = extents.at(coords[i]);
+    TileGrid& g = grids_[i];
+    g.coord = coords[i];
+    g.min_cx = ex.min_cx;
+    g.min_cy = ex.min_cy;
+    g.cols = ex.max_cx - ex.min_cx + 1;
+    g.rows = ex.max_cy - ex.min_cy + 1;
     const size_t num_cells =
-        static_cast<size_t>(grid_cols_) * static_cast<size_t>(grid_rows_);
-    cell_offsets_.assign(num_cells + 1, 0);
-    for (const auto& [key, edges] : cells) {
-      const size_t i =
-          static_cast<size_t>(key.cy - grid_min_cy_) *
-              static_cast<size_t>(grid_cols_) +
-          static_cast<size_t>(key.cx - grid_min_cx_);
-      cell_offsets_[i + 1] = static_cast<int32_t>(edges.size());
+        static_cast<size_t>(g.cols) * static_cast<size_t>(g.rows);
+    g.cell_offsets.assign(num_cells + 1, 0);
+    tile_directory_.emplace(coords[i], static_cast<int32_t>(i));
+  }
+  for (const auto& [key, edge_list] : cells) {
+    TileGrid& g =
+        grids_[static_cast<size_t>(tile_directory_.at(OwnerTileOf(
+            key.cx, key.cy)))];
+    const size_t i = static_cast<size_t>(key.cy - g.min_cy) *
+                         static_cast<size_t>(g.cols) +
+                     static_cast<size_t>(key.cx - g.min_cx);
+    g.cell_offsets[i + 1] = static_cast<int32_t>(edge_list.size());
+  }
+  for (TileGrid& g : grids_) {
+    for (size_t i = 1; i < g.cell_offsets.size(); ++i) {
+      g.cell_offsets[i] += g.cell_offsets[i - 1];
     }
-    for (size_t i = 1; i < cell_offsets_.size(); ++i) {
-      cell_offsets_[i] += cell_offsets_[i - 1];
-    }
-    cell_edges_.resize(static_cast<size_t>(cell_offsets_.back()));
-    for (const auto& [key, edges] : cells) {
-      const size_t i =
-          static_cast<size_t>(key.cy - grid_min_cy_) *
-              static_cast<size_t>(grid_cols_) +
-          static_cast<size_t>(key.cx - grid_min_cx_);
-      std::copy(edges.begin(), edges.end(),
-                cell_edges_.begin() + cell_offsets_[i]);
-    }
+    g.cell_edges.resize(static_cast<size_t>(g.cell_offsets.back()));
+  }
+  for (const auto& [key, edge_list] : cells) {
+    TileGrid& g =
+        grids_[static_cast<size_t>(tile_directory_.at(OwnerTileOf(
+            key.cx, key.cy)))];
+    const size_t i = static_cast<size_t>(key.cy - g.min_cy) *
+                         static_cast<size_t>(g.cols) +
+                     static_cast<size_t>(key.cx - g.min_cx);
+    std::copy(edge_list.begin(), edge_list.end(),
+              g.cell_edges.begin() + g.cell_offsets[i]);
   }
 }
 
 SpatialIndex::CellKey SpatialIndex::KeyFor(const geo::EnPoint& p) const {
   return CellKey{static_cast<int32_t>(std::floor(p.x / cell_size_m_)),
                  static_cast<int32_t>(std::floor(p.y / cell_size_m_))};
+}
+
+TileCoord SpatialIndex::OwnerTileOf(int32_t cx, int32_t cy) const {
+  if (tile_size_m_ <= 0.0) return TileCoord{0, 0};
+  // Owner of a cell = tile containing the cell's min corner; computed
+  // from the lattice coordinate so build and query always agree.
+  return TileCoord{
+      static_cast<int32_t>(
+          std::floor(static_cast<double>(cx) * cell_size_m_ / tile_size_m_)),
+      static_cast<int32_t>(
+          std::floor(static_cast<double>(cy) * cell_size_m_ / tile_size_m_))};
 }
 
 std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
@@ -116,7 +168,8 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
   const int reach =
       static_cast<int>(std::ceil(radius_m / cell_size_m_)) + 1;
   const CellKey center = KeyFor(p);
-  int64_t cells_probed = 0;
+  const int64_t span = 2 * static_cast<int64_t>(reach) + 1;
+  const int64_t cells_probed = span * span;
   QueryScratch& scratch = scratch_->Local();
   if (scratch.seen_stamp.size() < edge_bounds_.size()) {
     scratch.seen_stamp.assign(edge_bounds_.size(), 0);
@@ -129,21 +182,43 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
   const uint32_t gen = scratch.generation;
   std::vector<EdgeId>& gathered = scratch.gathered;
   gathered.clear();
-  for (int dx = -reach; dx <= reach; ++dx) {
-    for (int dy = -reach; dy <= reach; ++dy) {
-      ++cells_probed;
-      const int64_t cx = static_cast<int64_t>(center.cx) + dx - grid_min_cx_;
-      const int64_t cy = static_cast<int64_t>(center.cy) + dy - grid_min_cy_;
-      if (cx < 0 || cx >= grid_cols_ || cy < 0 || cy >= grid_rows_) continue;
-      const size_t i = static_cast<size_t>(cy) *
-                           static_cast<size_t>(grid_cols_) +
-                       static_cast<size_t>(cx);
-      for (int32_t k = cell_offsets_[i]; k < cell_offsets_[i + 1]; ++k) {
-        const EdgeId id = cell_edges_[static_cast<size_t>(k)];
-        uint32_t& stamp = scratch.seen_stamp[static_cast<size_t>(id)];
-        if (stamp != gen) {
-          stamp = gen;
-          gathered.push_back(id);
+
+  const int32_t lo_cx = center.cx - reach;
+  const int32_t hi_cx = center.cx + reach;
+  const int32_t lo_cy = center.cy - reach;
+  const int32_t hi_cy = center.cy + reach;
+  const TileCoord lo_t = OwnerTileOf(lo_cx, lo_cy);
+  const TileCoord hi_t = OwnerTileOf(hi_cx, hi_cy);
+  int64_t tiles_probed = 0;
+  for (int32_t tty = lo_t.ty; tty <= hi_t.ty; ++tty) {
+    for (int32_t ttx = lo_t.tx; ttx <= hi_t.tx; ++ttx) {
+      ++tiles_probed;
+      const auto it = tile_directory_.find(TileCoord{ttx, tty});
+      if (it == tile_directory_.end()) continue;
+      const TileGrid& g = grids_[static_cast<size_t>(it->second)];
+      // Clip the query window to this tile grid's occupied extent.
+      const int32_t scan_lo_cx = std::max(lo_cx, g.min_cx);
+      const int32_t scan_hi_cx = std::min(hi_cx, g.min_cx + g.cols - 1);
+      const int32_t scan_lo_cy = std::max(lo_cy, g.min_cy);
+      const int32_t scan_hi_cy = std::min(hi_cy, g.min_cy + g.rows - 1);
+      // Every cell in the clipped rectangle is owned by this tile:
+      // ownership is a per-axis floor, so a grid's occupied extent
+      // never reaches into a neighbouring tile's cell range.
+      for (int32_t cy = scan_lo_cy; cy <= scan_hi_cy; ++cy) {
+        for (int32_t cx = scan_lo_cx; cx <= scan_hi_cx; ++cx) {
+          const size_t i = static_cast<size_t>(cy - g.min_cy) *
+                               static_cast<size_t>(g.cols) +
+                           static_cast<size_t>(cx - g.min_cx);
+          for (int32_t k = g.cell_offsets[i]; k < g.cell_offsets[i + 1];
+               ++k) {
+            const EdgeId id = g.cell_edges[static_cast<size_t>(k)];
+            uint32_t& stamp =
+                scratch.seen_stamp[network_->EdgeOrdinal(id)];
+            if (stamp != gen) {
+              stamp = gen;
+              gathered.push_back(id);
+            }
+          }
         }
       }
     }
@@ -160,7 +235,7 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
   std::vector<EdgeCandidate> out;
   out.reserve(8);
   for (EdgeId id : gathered) {
-    const geo::Bbox& b = edge_bounds_[static_cast<size_t>(id)];
+    const geo::Bbox& b = edge_bounds_[network_->EdgeOrdinal(id)];
     const double ddx = std::max({b.min_x - p.x, 0.0, p.x - b.max_x});
     const double ddy = std::max({b.min_y - p.y, 0.0, p.y - b.max_y});
     if (ddx * ddx + ddy * ddy > limit_sq) continue;
@@ -183,6 +258,8 @@ std::vector<EdgeCandidate> SpatialIndex::Nearby(const geo::EnPoint& p,
   query_stats_->queries.fetch_add(1, std::memory_order_relaxed);
   query_stats_->cells_probed.fetch_add(cells_probed,
                                        std::memory_order_relaxed);
+  query_stats_->tiles_probed.fetch_add(tiles_probed,
+                                       std::memory_order_relaxed);
   query_stats_->candidates.fetch_add(
       static_cast<int64_t>(gathered.size()),
       std::memory_order_relaxed);
@@ -204,10 +281,24 @@ std::optional<EdgeCandidate> SpatialIndex::Nearest(
   return std::nullopt;
 }
 
+size_t SpatialIndex::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(SpatialIndex);
+  bytes += edge_bounds_.capacity() * sizeof(geo::Bbox);
+  bytes += tile_directory_.size() *
+           (sizeof(TileCoord) + sizeof(int32_t) + 2 * sizeof(void*));
+  for (const TileGrid& g : grids_) {
+    bytes += sizeof(TileGrid);
+    bytes += g.cell_offsets.capacity() * sizeof(int32_t);
+    bytes += g.cell_edges.capacity() * sizeof(EdgeId);
+  }
+  return bytes;
+}
+
 SpatialIndexStats SpatialIndex::stats() const {
   SpatialIndexStats s;
   s.queries = query_stats_->queries.load(std::memory_order_relaxed);
   s.cells_probed = query_stats_->cells_probed.load(std::memory_order_relaxed);
+  s.tiles_probed = query_stats_->tiles_probed.load(std::memory_order_relaxed);
   s.candidates = query_stats_->candidates.load(std::memory_order_relaxed);
   s.hits = query_stats_->hits.load(std::memory_order_relaxed);
   s.empty_geometry_edges = empty_geometry_edges_;

@@ -8,10 +8,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "taxitrace/common/executor.h"
+#include "taxitrace/common/hash.h"
 #include "taxitrace/roadnet/road_network.h"
+#include "taxitrace/roadnet/tile.h"
 
 namespace taxitrace {
 namespace roadnet {
@@ -28,6 +31,7 @@ struct EdgeCandidate {
 struct SpatialIndexStats {
   int64_t queries = 0;        ///< Nearby() calls (Nearest() makes several).
   int64_t cells_probed = 0;   ///< grid-cell lookups performed.
+  int64_t tiles_probed = 0;   ///< tile-directory lookups performed.
   int64_t candidates = 0;     ///< distinct edges distance-checked.
   int64_t hits = 0;           ///< candidates returned within the radius.
   int64_t empty_geometry_edges = 0;  ///< edges dropped at build time.
@@ -38,13 +42,16 @@ struct SpatialIndexStats {
 /// immutable after construction and holds a pointer to the network, which
 /// must outlive it.
 ///
-/// Storage is a dense row-major grid flattened CSR-style
-/// (cell_offsets_/cell_edges_), so a query probe is an array load rather
-/// than a hash lookup, and per-edge geometry bounds let a query reject
-/// most gathered candidates with four comparisons before paying for a
-/// polyline projection. Both are pure layout changes: the candidate set,
-/// the returned hits, and every stats() counter are identical to the
-/// hash-map implementation this replaced.
+/// Storage follows the network's tiling (tile.h): one dense row-major
+/// CSR cell grid per occupied tile, found through a top-level tile
+/// directory, so resident index memory scales with the tiles geometry
+/// actually crosses and a probe inside a tile stays an array load. Cell
+/// ownership is decided by the cell's lattice position alone, so every
+/// cell lives in exactly one tile grid; a query walks the (usually one,
+/// at most four) tiles overlapping its search square. On single-tile
+/// networks there is exactly one grid and the layout, candidate set,
+/// returned hits and stats() counters reproduce the historical flat
+/// implementation exactly.
 class SpatialIndex {
  public:
   /// Builds the index. `cell_size_m` trades memory for query precision;
@@ -63,6 +70,12 @@ class SpatialIndex {
   /// The network this index was built over.
   [[nodiscard]] const RoadNetwork& network() const { return *network_; }
 
+  /// Number of per-tile cell grids (1 on single-tile networks).
+  [[nodiscard]] size_t num_tile_grids() const { return grids_.size(); }
+
+  /// Approximate resident bytes of the index storage.
+  [[nodiscard]] size_t ApproxMemoryBytes() const;
+
   /// Snapshot of the probe counters accumulated so far.
   [[nodiscard]] SpatialIndexStats stats() const;
 
@@ -74,13 +87,32 @@ class SpatialIndex {
   };
   struct CellKeyHash {
     size_t operator()(const CellKey& k) const {
-      return static_cast<size_t>(
-          static_cast<uint64_t>(static_cast<uint32_t>(k.cx)) * 0x9E3779B1U ^
-          (static_cast<uint64_t>(static_cast<uint32_t>(k.cy)) << 17));
+      // Shared splitmix64 mix (common/hash.h): the previous ad-hoc
+      // multiply/xor left low-bit column structure that collapsed
+      // buckets at power-of-two table sizes.
+      return static_cast<size_t>(HashCell2D(k.cx, k.cy));
     }
   };
 
+  /// One tile's dense row-major cell grid, flattened CSR-style: cell
+  /// (cx, cy) owns the edge ids cell_edges[cell_offsets[i] ..
+  /// cell_offsets[i + 1]) with i = (cy - min_cy) * cols + (cx - min_cx).
+  /// The extent spans only this tile's occupied cells.
+  struct TileGrid {
+    TileCoord coord;
+    int32_t min_cx = 0;
+    int32_t min_cy = 0;
+    int32_t cols = 0;
+    int32_t rows = 0;
+    std::vector<int32_t> cell_offsets;
+    std::vector<EdgeId> cell_edges;
+  };
+
   [[nodiscard]] CellKey KeyFor(const geo::EnPoint& p) const;
+
+  /// Tile owning cell (cx, cy): the tile containing the cell's min
+  /// corner. All tiles when tiling is off is the single {0, 0}.
+  [[nodiscard]] TileCoord OwnerTileOf(int32_t cx, int32_t cy) const;
 
   // Query counters live behind a shared_ptr so the index stays
   // copyable; queries batch their increments (a handful of relaxed
@@ -88,32 +120,29 @@ class SpatialIndex {
   struct AtomicStats {
     std::atomic<int64_t> queries{0};
     std::atomic<int64_t> cells_probed{0};
+    std::atomic<int64_t> tiles_probed{0};
     std::atomic<int64_t> candidates{0};
     std::atomic<int64_t> hits{0};
   };
 
   const RoadNetwork* network_;
   double cell_size_m_;
-  // Dense grid over [grid_min_cx_, grid_min_cx_ + grid_cols_) x
-  // [grid_min_cy_, grid_min_cy_ + grid_rows_): cell (cx, cy) owns the
-  // edge ids cell_edges_[cell_offsets_[i] .. cell_offsets_[i + 1]) with
-  // i = (cy - grid_min_cy_) * grid_cols_ + (cx - grid_min_cx_).
-  int32_t grid_min_cx_ = 0;
-  int32_t grid_min_cy_ = 0;
-  int32_t grid_cols_ = 0;
-  int32_t grid_rows_ = 0;
-  std::vector<int32_t> cell_offsets_;
-  std::vector<EdgeId> cell_edges_;
-  // Bounding box of each edge's geometry, indexed by edge id. The box
+  double tile_size_m_;  ///< 0 when the network is single-tile.
+  std::vector<TileGrid> grids_;
+  /// Top-level directory: tile lattice coordinate -> index into grids_.
+  std::unordered_map<TileCoord, int32_t, TileCoordHash> tile_directory_;
+  // Bounding box of each edge's geometry, indexed by edge *ordinal*
+  // (RoadNetwork::EdgeOrdinal; == id on single-tile maps). The box
   // encloses the polyline, so a point farther than `r` from the box is
   // farther than `r` from the edge — a safe pre-projection reject.
   std::vector<geo::Bbox> edge_bounds_;
   // Per-worker query scratch: the gathered-candidate list and a
-  // generation-stamped seen marker per edge (same trick as the router's
-  // SearchScratch), so a query deduplicates with one array read per
-  // gathered id and allocates nothing in steady state. Purely an
-  // execution detail — the deduplicated set is what the old per-query
-  // sort produced, and the output is fully re-ordered afterwards.
+  // generation-stamped seen marker per edge ordinal (same trick as the
+  // router's SearchScratch), so a query deduplicates with one array
+  // read per gathered id and allocates nothing in steady state. Purely
+  // an execution detail — the deduplicated set is what the old
+  // per-query sort produced, and the output is fully re-ordered
+  // afterwards.
   struct QueryScratch {
     std::vector<EdgeId> gathered;
     std::vector<uint32_t> seen_stamp;

@@ -1,0 +1,98 @@
+// Tile-local id packing for the road graph (the valhalla
+// midgard/tiles + baldr/graphtile idiom): every VertexId / EdgeId is a
+// 31-bit payload split into a dense tile index (high bits) and a
+// tile-local ordinal (low bits). The sign bit is never set, so
+// kInvalidVertex / kInvalidEdge (-1) survive unchanged and ids stay
+// ordinary int32_t at every call site.
+//
+// Layout (bit 31 = sign, always 0 for valid ids):
+//
+//   31 30........20 19..............0
+//   [0][ tile index ][ local ordinal ]
+//
+// A tile index is NOT a spatial coordinate: tiles are numbered densely
+// in first-touch order by the builder, and a separate directory maps
+// the spatial TileCoord of each tile to its index. Single-tile maps
+// (tile_size_m == 0, the default) put everything in tile 0, so packed
+// ids equal the historical dense ids bit-for-bit — golden digests and
+// id-seeded RNG streams are unaffected unless tiling is requested.
+
+#ifndef TAXITRACE_ROADNET_TILE_H_
+#define TAXITRACE_ROADNET_TILE_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "taxitrace/common/check.h"
+#include "taxitrace/common/hash.h"
+#include "taxitrace/geo/coordinates.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+/// Dense index of a tile within a RoadNetwork (assignment order).
+using TileIndex = int32_t;
+
+/// Bits reserved for the tile-local ordinal: up to 2^20 (~1M) vertices
+/// or edges per tile, and 2^11 = 2048 tiles per network.
+inline constexpr int kTileLocalBits = 20;
+inline constexpr int32_t kMaxLocalId = (INT32_C(1) << kTileLocalBits) - 1;
+inline constexpr TileIndex kMaxTiles = INT32_C(1)
+                                       << (31 - kTileLocalBits);  // 2048
+
+static_assert(kTileLocalBits > 0 && kTileLocalBits < 31,
+              "local ordinal and tile index must both fit below the sign bit");
+
+/// Packs a (tile, local) pair into a 31-bit id. Both components must be
+/// in range; the result is always non-negative.
+[[nodiscard]] inline constexpr int32_t PackTiledId(TileIndex tile,
+                                                   int32_t local) {
+  return (tile << kTileLocalBits) | local;
+}
+
+/// Tile index of a packed id (id must be valid, i.e. >= 0).
+[[nodiscard]] inline constexpr TileIndex TileIndexOf(int32_t id) {
+  return id >> kTileLocalBits;
+}
+
+/// Tile-local ordinal of a packed id (id must be valid, i.e. >= 0).
+[[nodiscard]] inline constexpr int32_t LocalIdOf(int32_t id) {
+  return id & kMaxLocalId;
+}
+
+/// Spatial coordinate of a tile on the fixed-size tile lattice: floor
+/// division of the local east/north frame by the tile edge length.
+/// Negative coordinates are legal (the frame origin is mid-map).
+struct TileCoord {
+  int32_t tx = 0;
+  int32_t ty = 0;
+
+  friend bool operator==(const TileCoord& a, const TileCoord& b) {
+    return a.tx == b.tx && a.ty == b.ty;
+  }
+  friend bool operator!=(const TileCoord& a, const TileCoord& b) {
+    return !(a == b);
+  }
+};
+
+/// Hasher for TileCoord-keyed directories (shared splitmix64 mix, so
+/// lattice structure never survives power-of-two bucket masking).
+struct TileCoordHash {
+  size_t operator()(const TileCoord& c) const {
+    return static_cast<size_t>(HashCell2D(c.tx, c.ty));
+  }
+};
+
+/// The tile containing `p` on a lattice of `tile_size_m`-sized squares.
+/// `tile_size_m` must be positive; single-tile networks never call this.
+[[nodiscard]] inline TileCoord TileCoordOfPoint(const geo::EnPoint& p,
+                                                double tile_size_m) {
+  TT_DCHECK(tile_size_m > 0.0);
+  return TileCoord{static_cast<int32_t>(std::floor(p.x / tile_size_m)),
+                   static_cast<int32_t>(std::floor(p.y / tile_size_m))};
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_ROADNET_TILE_H_

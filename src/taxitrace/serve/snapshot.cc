@@ -1,8 +1,14 @@
 #include "taxitrace/serve/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -298,12 +304,54 @@ Result<std::string> SnapshotBuilder::Build(const core::StudyResults& results,
 }
 
 Result<Snapshot> Snapshot::FromBytes(std::string bytes) {
+  // Park the buffer on the heap so the view survives Snapshot moves
+  // (a small std::string member would relocate its inline storage).
+  auto owned = std::make_shared<const std::string>(std::move(bytes));
   Snapshot snapshot;
-  if (bytes.size() < sizeof(SnapshotHeader)) {
+  snapshot.data_ = owned->data();
+  snapshot.size_ = owned->size();
+  snapshot.storage_ = std::move(owned);
+  return Validate(std::move(snapshot));
+}
+
+Result<Snapshot> Snapshot::FromFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("snapshot: cannot open " + path);
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("snapshot: cannot stat " + path);
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length maps; an empty file is just a truncated
+    // snapshot, so report it with the same message Validate would use.
+    ::close(fd);
+    return Status::InvalidArgument("snapshot: truncated header");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping holds its own reference to the file.
+  if (addr == MAP_FAILED) {
+    return Status::IOError("snapshot: mmap failed for " + path);
+  }
+  Snapshot snapshot;
+  snapshot.data_ = static_cast<const char*>(addr);
+  snapshot.size_ = size;
+  snapshot.storage_ = std::shared_ptr<const void>(
+      addr, [size](const void* p) { ::munmap(const_cast<void*>(p), size); });
+  return Validate(std::move(snapshot));
+}
+
+Result<Snapshot> Snapshot::Validate(Snapshot snapshot) {
+  const char* const data = snapshot.data_;
+  const size_t total_size = snapshot.size_;
+  if (total_size < sizeof(SnapshotHeader)) {
     return Status::InvalidArgument("snapshot: truncated header");
   }
   SnapshotHeader header;
-  std::memcpy(&header, bytes.data(), sizeof header);
+  std::memcpy(&header, data, sizeof header);
   if (std::memcmp(header.magic, kSnapshotMagic, sizeof header.magic) != 0) {
     return Status::InvalidArgument("snapshot: bad magic");
   }
@@ -311,16 +359,15 @@ Result<Snapshot> Snapshot::FromBytes(std::string bytes) {
     return Status::InvalidArgument("snapshot: unsupported version " +
                                    std::to_string(header.version));
   }
-  if (header.file_size != bytes.size()) {
+  if (header.file_size != total_size) {
     return Status::InvalidArgument("snapshot: size mismatch (header says " +
                                    std::to_string(header.file_size) +
-                                   ", have " + std::to_string(bytes.size()) +
-                                   ")");
+                                   ", have " + std::to_string(total_size) + ")");
   }
   const uint64_t table_end =
       sizeof(SnapshotHeader) +
       static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
-  if (table_end > bytes.size()) {
+  if (table_end > total_size) {
     return Status::InvalidArgument("snapshot: truncated section table");
   }
 
@@ -335,11 +382,11 @@ Result<Snapshot> Snapshot::FromBytes(std::string bytes) {
           snapshot.model_offset_ = -1;
   for (uint32_t i = 0; i < header.section_count; ++i) {
     SectionEntry entry;
-    std::memcpy(&entry, bytes.data() + sizeof(SnapshotHeader) +
-                            i * sizeof(SectionEntry),
+    std::memcpy(&entry,
+                data + sizeof(SnapshotHeader) + i * sizeof(SectionEntry),
                 sizeof entry);
-    if (entry.offset % 8 != 0 || entry.offset > bytes.size() ||
-        entry.size > bytes.size() - entry.offset) {
+    if (entry.offset % 8 != 0 || entry.offset > total_size ||
+        entry.size > total_size - entry.offset) {
       return Status::InvalidArgument("snapshot: section " +
                                      std::to_string(entry.id) +
                                      " out of bounds");
@@ -382,8 +429,7 @@ Result<Snapshot> Snapshot::FromBytes(std::string bytes) {
       snapshot.features_offset_ < 0 || snapshot.model_offset_ < 0) {
     return Status::InvalidArgument("snapshot: missing required section");
   }
-  std::memcpy(&snapshot.meta_, bytes.data() + meta_offset,
-              sizeof snapshot.meta_);
+  std::memcpy(&snapshot.meta_, data + meta_offset, sizeof snapshot.meta_);
   const SnapshotMeta& meta = snapshot.meta_;
   if (meta.num_cells < 0 || meta.num_slices < 0 ||
       !(meta.cell_size_m > 0.0)) {
@@ -402,7 +448,6 @@ Result<Snapshot> Snapshot::FromBytes(std::string bytes) {
     return Status::InvalidArgument(
         "snapshot: section sizes disagree with meta counts");
   }
-  snapshot.bytes_ = std::move(bytes);
   for (int64_t i = 1; i < meta.num_cells; ++i) {
     const analysis::CellId prev = snapshot.cell(i - 1);
     const analysis::CellId cur = snapshot.cell(i);

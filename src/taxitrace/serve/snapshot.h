@@ -40,7 +40,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "taxitrace/analysis/grid.h"
@@ -159,9 +161,12 @@ struct CellModelRow {
 };
 static_assert(sizeof(CellModelRow) == 32);
 
-/// A loaded, validated snapshot. Owns its bytes; every accessor reads
-/// straight out of the flat buffer (memcpy, so alignment-safe), which
-/// keeps the type trivially shareable across query threads.
+/// A loaded, validated snapshot. Holds its backing storage behind a
+/// shared handle — either an adopted in-memory buffer (FromBytes) or a
+/// read-only mmap of the snapshot file (FromFile) — and every accessor
+/// reads straight out of the flat view (memcpy, so alignment-safe),
+/// which keeps the type cheaply copyable and shareable across query
+/// threads regardless of which loader produced it.
 class Snapshot {
  public:
   /// Validates and adopts a serialized snapshot. Rejects wrong magic or
@@ -170,10 +175,18 @@ class Snapshot {
   /// cell index.
   static Result<Snapshot> FromBytes(std::string bytes);
 
+  /// Maps `path` read-only (mmap, private) and validates it exactly as
+  /// FromBytes does: the two loaders answer every query identically on
+  /// the same bytes. The mapping lives for as long as any copy of the
+  /// returned Snapshot does; the file is never written through.
+  static Result<Snapshot> FromFile(const std::string& path);
+
   [[nodiscard]] const SnapshotMeta& meta() const { return meta_; }
   [[nodiscard]] int64_t num_cells() const { return meta_.num_cells; }
   [[nodiscard]] int64_t num_slices() const { return meta_.num_slices; }
-  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+  [[nodiscard]] std::string_view bytes() const {
+    return std::string_view(data_, size_);
+  }
 
   /// The index-th cell of the sorted index, 0 <= index < num_cells().
   [[nodiscard]] analysis::CellId cell(int64_t index) const {
@@ -213,14 +226,25 @@ class Snapshot {
   }
 
  private:
+  /// Runs the full format validation over `snapshot`'s (data_, size_)
+  /// view; shared by FromBytes and FromFile so both loaders enforce the
+  /// identical contract.
+  static Result<Snapshot> Validate(Snapshot snapshot);
+
   template <typename T>
   [[nodiscard]] T ReadAt(int64_t offset) const {
     T value;
-    std::memcpy(&value, bytes_.data() + offset, sizeof(T));
+    std::memcpy(&value, data_ + offset, sizeof(T));
     return value;
   }
 
-  std::string bytes_;
+  /// Keeps the backing bytes alive: a heap std::string for FromBytes,
+  /// an munmap-on-destroy region for FromFile. Because the payload
+  /// lives behind this shared handle (never inline in the Snapshot),
+  /// data_ stays valid across copies and moves of the Snapshot itself.
+  std::shared_ptr<const void> storage_;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
   SnapshotMeta meta_;
   int64_t cell_index_offset_ = 0;
   int64_t slice_dir_offset_ = 0;

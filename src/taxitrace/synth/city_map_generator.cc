@@ -481,14 +481,14 @@ Result<CityMap> GenerateCityMap(const CityMapOptions& opt) {
     gate.name = gate_specs[g].name;
     gate.geometry = geo::Polyline(gate_geometry[static_cast<size_t>(g)]);
     double best = std::numeric_limits<double>::infinity();
-    for (const roadnet::Vertex& v : map.network.vertices()) {
+    map.network.ForEachVertex([&](const roadnet::Vertex& v) {
       const double dist =
           geo::Distance(v.position, gate_external[static_cast<size_t>(g)]);
       if (dist < best) {
         best = dist;
         gate.terminal_vertex = v.id;
       }
-    }
+    });
     map.gates.push_back(std::move(gate));
   }
 

@@ -1,0 +1,375 @@
+#include "taxitrace/synth/metro_map_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "taxitrace/common/check.h"
+#include "taxitrace/common/random.h"
+#include "taxitrace/geo/polyline.h"
+
+namespace taxitrace {
+namespace synth {
+namespace {
+
+using geo::EnPoint;
+using roadnet::Edge;
+using roadnet::FunctionalClass;
+using roadnet::RoadNetwork;
+using roadnet::TravelDirection;
+using roadnet::VertexId;
+
+// Union-find over vertex ordinals for the connectivity repair pass.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// A street segment waiting to be added to the network.
+struct PendingEdge {
+  VertexId a = roadnet::kInvalidVertex;
+  VertexId b = roadnet::kInvalidVertex;
+  double speed_kmh = 40.0;
+  FunctionalClass fclass = FunctionalClass::kLocalStreet;
+  TravelDirection direction = TravelDirection::kBoth;
+};
+
+Edge MakeStreet(const RoadNetwork& net, const PendingEdge& p) {
+  Edge e;
+  e.from = p.a;
+  e.to = p.b;
+  e.geometry = geo::Polyline(
+      {net.vertex(p.a).position, net.vertex(p.b).position});
+  e.length_m = e.geometry.Length();
+  e.speed_limit_kmh = p.speed_kmh;
+  e.functional_class = p.fclass;
+  e.direction = p.direction;
+  return e;
+}
+
+}  // namespace
+
+Result<MetroMap> GenerateMetroMap(const MetroMapOptions& options) {
+  if (options.districts_x < 1 || options.districts_y < 1) {
+    return Status::InvalidArgument("metro needs at least one district");
+  }
+  if (options.district_nodes_x < 2 || options.district_nodes_y < 2) {
+    return Status::InvalidArgument("district grid needs >= 2x2 nodes");
+  }
+  if (options.node_spacing_m <= 0.0 || options.district_gap_m <= 0.0) {
+    return Status::InvalidArgument("spacings must be positive");
+  }
+
+  const int nx = options.district_nodes_x;
+  const int ny = options.district_nodes_y;
+  const double span_x = (nx - 1) * options.node_spacing_m;
+  const double span_y = (ny - 1) * options.node_spacing_m;
+  const double pitch_x = span_x + options.district_gap_m;
+  const double pitch_y = span_y + options.district_gap_m;
+  // Centre the metro on the local origin so negative coordinates (and
+  // negative tile coordinates) are part of every generated map.
+  const double x0 =
+      -(options.districts_x * pitch_x - options.district_gap_m) / 2.0;
+  const double y0 =
+      -(options.districts_y * pitch_y - options.district_gap_m) / 2.0;
+
+  MetroMap out{RoadNetwork(options.origin, options.tiling)};
+  RoadNetwork& net = out.network;
+  out.num_districts = options.districts_x * options.districts_y;
+
+  // --- District street grids --------------------------------------------
+  // vid[r][c] holds the district's node ids in j-major order.
+  std::vector<std::vector<std::vector<VertexId>>> vid(
+      static_cast<size_t>(options.districts_y));
+  for (int r = 0; r < options.districts_y; ++r) {
+    vid[static_cast<size_t>(r)].resize(static_cast<size_t>(options.districts_x));
+    for (int c = 0; c < options.districts_x; ++c) {
+      auto& ids = vid[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      ids.resize(static_cast<size_t>(nx) * static_cast<size_t>(ny));
+      const double dx0 = x0 + c * pitch_x;
+      const double dy0 = y0 + r * pitch_y;
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const EnPoint p{dx0 + i * options.node_spacing_m,
+                          dy0 + j * options.node_spacing_m};
+          // Grid nodes with three or more lattice neighbours are
+          // junctions; only the four district corners have two.
+          const bool corner = (i == 0 || i == nx - 1) && (j == 0 || j == ny - 1);
+          ids[static_cast<size_t>(j) * static_cast<size_t>(nx) +
+              static_cast<size_t>(i)] = net.AddVertex(p, !corner);
+        }
+      }
+    }
+  }
+
+  // Segments removed for irregularity, kept aside for the repair pass.
+  std::vector<PendingEdge> removed;
+  std::vector<PendingEdge> kept;
+
+  for (int r = 0; r < options.districts_y; ++r) {
+    for (int c = 0; c < options.districts_x; ++c) {
+      // Each district draws from its own stream: maps stay reproducible
+      // and districts are independent of generation order.
+      Rng rng(MixSeed(options.seed, static_cast<uint64_t>(r),
+                      static_cast<uint64_t>(c)));
+      const auto& ids = vid[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      const auto at = [&](int i, int j) {
+        return ids[static_cast<size_t>(j) * static_cast<size_t>(nx) +
+                   static_cast<size_t>(i)];
+      };
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          // Horizontal segment (i,j)-(i+1,j), then vertical (i,j)-(i,j+1).
+          for (int axis = 0; axis < 2; ++axis) {
+            const bool horizontal = axis == 0;
+            if (horizontal && i + 1 >= nx) continue;
+            if (!horizontal && j + 1 >= ny) continue;
+            PendingEdge p;
+            p.a = at(i, j);
+            p.b = horizontal ? at(i + 1, j) : at(i, j + 1);
+            const bool arterial = horizontal ? (j == 0 || j == ny - 1)
+                                             : (i == 0 || i == nx - 1);
+            if (arterial) {
+              // The district perimeter is the arterial frame: faster,
+              // never removed, never one-way (connectors land on it).
+              p.speed_kmh = 60.0;
+              p.fclass = FunctionalClass::kConnectingRoad;
+              kept.push_back(p);
+              continue;
+            }
+            const double remove_draw = rng.NextDouble();
+            const double one_way_draw = rng.NextDouble();
+            const double flip_draw = rng.NextDouble();
+            if (remove_draw < options.street_removal_fraction) {
+              removed.push_back(p);
+              continue;
+            }
+            if (one_way_draw < options.one_way_fraction) {
+              p.direction = flip_draw < 0.5 ? TravelDirection::kForward
+                                            : TravelDirection::kBackward;
+            }
+            kept.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Inter-district connectors ----------------------------------------
+  // Rivers occupy the gaps after chosen district rows; a vertical
+  // connector crossing a river survives only as a bridge.
+  std::vector<int> river_rows;
+  if (options.num_rivers > 0 && options.districts_y > 1) {
+    const int gaps = options.districts_y - 1;
+    const int rivers = std::min(options.num_rivers, gaps);
+    for (int m = 0; m < rivers; ++m) {
+      const int row = ((m + 1) * options.districts_y) / (rivers + 1);
+      river_rows.push_back(std::clamp(row - 1, 0, gaps - 1));
+    }
+    std::sort(river_rows.begin(), river_rows.end());
+    river_rows.erase(std::unique(river_rows.begin(), river_rows.end()),
+                     river_rows.end());
+  }
+  const auto is_river_gap = [&](int row) {
+    return std::binary_search(river_rows.begin(), river_rows.end(), row);
+  };
+
+  const int kconn = std::max(1, options.connectors_per_side);
+  // Horizontal connectors: (c, r) east side -> (c+1, r) west side.
+  for (int r = 0; r < options.districts_y; ++r) {
+    for (int c = 0; c + 1 < options.districts_x; ++c) {
+      for (int k = 0; k < kconn; ++k) {
+        const int j = std::clamp(((k + 1) * ny) / (kconn + 1), 0, ny - 1);
+        PendingEdge p;
+        p.a = vid[static_cast<size_t>(r)][static_cast<size_t>(c)]
+                 [static_cast<size_t>(j) * static_cast<size_t>(nx) +
+                  static_cast<size_t>(nx - 1)];
+        p.b = vid[static_cast<size_t>(r)][static_cast<size_t>(c + 1)]
+                 [static_cast<size_t>(j) * static_cast<size_t>(nx)];
+        p.speed_kmh = 70.0;
+        p.fclass = FunctionalClass::kRegionalRoad;
+        kept.push_back(p);
+      }
+    }
+  }
+  // Vertical connectors: (c, r) north side -> (c, r+1) south side. On
+  // river gaps only one connector per `bridge_every_m` of width
+  // survives — the bridge choke points.
+  for (int r = 0; r + 1 < options.districts_y; ++r) {
+    const bool river = is_river_gap(r);
+    double last_bridge_band = -1.0;
+    for (int c = 0; c < options.districts_x; ++c) {
+      for (int k = 0; k < kconn; ++k) {
+        const int i = std::clamp(((k + 1) * nx) / (kconn + 1), 0, nx - 1);
+        PendingEdge p;
+        p.a = vid[static_cast<size_t>(r)][static_cast<size_t>(c)]
+                 [static_cast<size_t>(ny - 1) * static_cast<size_t>(nx) +
+                  static_cast<size_t>(i)];
+        p.b = vid[static_cast<size_t>(r + 1)][static_cast<size_t>(c)]
+                 [static_cast<size_t>(i)];
+        p.speed_kmh = 70.0;
+        p.fclass = FunctionalClass::kRegionalRoad;
+        if (river) {
+          const double x = net.vertex(p.a).position.x;
+          const double band = std::floor((x - x0) / options.bridge_every_m);
+          if (band == last_bridge_band) continue;  // river, no bridge
+          last_bridge_band = band;
+          ++out.num_bridges;
+        }
+        kept.push_back(p);
+      }
+    }
+  }
+
+  // --- Ring roads --------------------------------------------------------
+  const double metro_min_x = x0;
+  const double metro_max_x = x0 + options.districts_x * pitch_x -
+                             options.district_gap_m;
+  const double metro_min_y = y0;
+  const double metro_max_y = y0 + options.districts_y * pitch_y -
+                             options.district_gap_m;
+  for (int ring = 0; ring < options.num_ring_roads; ++ring) {
+    const double off = options.ring_offset_m * (ring + 1);
+    const double lo_x = metro_min_x - off, hi_x = metro_max_x + off;
+    const double lo_y = metro_min_y - off, hi_y = metro_max_y + off;
+    const double step = std::max(options.node_spacing_m * 4.0, 480.0);
+    // Walk the rectangle clockwise from the south-west corner, placing
+    // ring vertices every `step` metres.
+    std::vector<EnPoint> loop;
+    const auto walk = [&](EnPoint from, EnPoint to) {
+      const double len = geo::Distance(from, to);
+      const int steps = std::max(1, static_cast<int>(len / step));
+      for (int s = 0; s < steps; ++s) {
+        const double t = static_cast<double>(s) / steps;
+        loop.push_back(EnPoint{from.x + (to.x - from.x) * t,
+                               from.y + (to.y - from.y) * t});
+      }
+    };
+    walk({lo_x, lo_y}, {hi_x, lo_y});
+    walk({hi_x, lo_y}, {hi_x, hi_y});
+    walk({hi_x, hi_y}, {lo_x, hi_y});
+    walk({lo_x, hi_y}, {lo_x, lo_y});
+    std::vector<VertexId> ring_ids;
+    ring_ids.reserve(loop.size());
+    for (const EnPoint& p : loop) ring_ids.push_back(net.AddVertex(p, false));
+    out.num_ring_vertices += static_cast<int>(ring_ids.size());
+    for (size_t s = 0; s < ring_ids.size(); ++s) {
+      PendingEdge p;
+      p.a = ring_ids[s];
+      p.b = ring_ids[(s + 1) % ring_ids.size()];
+      p.speed_kmh = 80.0;
+      p.fclass = FunctionalClass::kRegionalRoad;
+      kept.push_back(p);
+    }
+    // Ramps: one per side, from the ring vertex nearest the side's
+    // midpoint down to the matching outermost district corner.
+    const EnPoint anchors[4] = {
+        {(metro_min_x + metro_max_x) / 2.0, metro_min_y},   // south
+        {metro_max_x, (metro_min_y + metro_max_y) / 2.0},   // east
+        {(metro_min_x + metro_max_x) / 2.0, metro_max_y},   // north
+        {metro_min_x, (metro_min_y + metro_max_y) / 2.0}};  // west
+    for (const EnPoint& anchor : anchors) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < ring_ids.size(); ++s) {
+        const double d = geo::Distance(loop[s], anchor);
+        if (d < best_d) {
+          best_d = d;
+          best = s;
+        }
+      }
+      // Nearest district grid node to the anchor.
+      VertexId gate = roadnet::kInvalidVertex;
+      double gate_d = std::numeric_limits<double>::infinity();
+      for (const auto& row : vid) {
+        for (const auto& district : row) {
+          for (const VertexId v : district) {
+            const double d = geo::Distance(net.vertex(v).position, anchor);
+            if (d < gate_d) {
+              gate_d = d;
+              gate = v;
+            }
+          }
+        }
+      }
+      PendingEdge ramp;
+      ramp.a = ring_ids[best];
+      ramp.b = gate;
+      ramp.speed_kmh = 70.0;
+      ramp.fclass = FunctionalClass::kRegionalRoad;
+      kept.push_back(ramp);
+    }
+  }
+
+  // --- Materialise + connectivity repair --------------------------------
+  UnionFind uf(net.num_vertices());
+  for (const PendingEdge& p : kept) {
+    net.AddEdge(MakeStreet(net, p));
+    uf.Union(net.VertexOrdinal(p.a), net.VertexOrdinal(p.b));
+  }
+  // Re-add removed segments whose endpoints fell into different
+  // components, in generation order: the result is as connected as the
+  // full lattice, with the irregularity kept everywhere it is safe.
+  for (const PendingEdge& p : removed) {
+    if (!uf.Union(net.VertexOrdinal(p.a), net.VertexOrdinal(p.b))) continue;
+    net.AddEdge(MakeStreet(net, p));
+    ++out.num_repair_edges;
+  }
+
+  net.WarmAdjacency();
+  const Status valid = net.Validate();
+  if (!valid.ok()) return valid;
+  return out;
+}
+
+MetroMapOptions MetroPreset(int level) {
+  TT_CHECK(level >= 0);
+  MetroMapOptions opt;
+  switch (level) {
+    case 0:  // ~1k vertices: 2x2 districts of 16x16.
+      break;
+    case 1:  // ~10k vertices.
+      opt.districts_x = opt.districts_y = 6;
+      opt.district_nodes_x = opt.district_nodes_y = 17;
+      opt.num_rivers = 2;
+      break;
+    case 2:  // ~26k vertices.
+      opt.districts_x = opt.districts_y = 10;
+      opt.district_nodes_x = opt.district_nodes_y = 16;
+      opt.num_rivers = 2;
+      opt.num_ring_roads = 2;
+      break;
+    default:  // level 3: >= 100k vertices; beyond: keep growing.
+      opt.districts_x = opt.districts_y = 16 + 4 * (level - 3);
+      opt.district_nodes_x = opt.district_nodes_y = 20;
+      opt.num_rivers = 3;
+      opt.num_ring_roads = 2;
+      break;
+  }
+  return opt;
+}
+
+}  // namespace synth
+}  // namespace taxitrace

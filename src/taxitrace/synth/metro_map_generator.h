@@ -1,0 +1,93 @@
+// Synthetic metro-scale road network: the stress-test companion to the
+// study-area generator (city_map_generator.h). Where the city map
+// reproduces the paper's downtown with calibrated feature censuses, the
+// metro generator produces *structure at scale* — a coarse lattice of
+// districts, each with its own arterial street grid, stitched together
+// by inter-district connectors, wrapped in ring roads, and cut by
+// rivers that funnel traffic through bridge choke points. The largest
+// preset exceeds 100k vertices, enough to exercise the tiled graph
+// storage (roadnet/tile.h) with hundreds of populated tiles.
+//
+// Deterministic in the seed: each district draws from its own
+// Rng(MixSeed(seed, row, col)) stream, so maps are reproducible and
+// districts are independent of generation order.
+
+#ifndef TAXITRACE_SYNTH_METRO_MAP_GENERATOR_H_
+#define TAXITRACE_SYNTH_METRO_MAP_GENERATOR_H_
+
+#include <cstdint>
+
+#include "taxitrace/common/result.h"
+#include "taxitrace/geo/coordinates.h"
+#include "taxitrace/roadnet/road_network.h"
+
+namespace taxitrace {
+namespace synth {
+
+/// Generator knobs. Defaults give a small (~1k vertex) metro.
+struct MetroMapOptions {
+  uint64_t seed = 20121001;
+
+  /// District lattice (coarse grid of neighbourhoods).
+  int districts_x = 2;
+  int districts_y = 2;
+  /// Street-grid nodes per district, per axis.
+  int district_nodes_x = 16;
+  int district_nodes_y = 16;
+  /// Spacing between street-grid nodes inside a district, metres.
+  double node_spacing_m = 120.0;
+  /// Gap between neighbouring district grids, metres (the length of
+  /// the inter-district connector roads).
+  double district_gap_m = 360.0;
+  /// Arterial connectors between each pair of adjacent districts.
+  int connectors_per_side = 3;
+
+  /// Concentric rectangular ring roads around the whole metro, with
+  /// ramps down to the outermost district corners.
+  int num_ring_roads = 1;
+  /// Offset of ring r from the metro bounding box, metres.
+  double ring_offset_m = 400.0;
+
+  /// Horizontal rivers cutting the metro. Rivers run through the gaps
+  /// between district rows; only connectors surviving as bridges cross
+  /// them. 0 disables rivers.
+  int num_rivers = 1;
+  /// Approximate spacing between bridges along a river, metres.
+  double bridge_every_m = 3000.0;
+
+  /// Fraction of interior (non-arterial) street segments removed per
+  /// district for irregularity. Connectivity is repaired afterwards.
+  double street_removal_fraction = 0.06;
+  /// Fraction of interior street segments made one-way.
+  double one_way_fraction = 0.10;
+
+  /// Tiling of the produced network. The default 2000 m tiles give a
+  /// multi-tile map at every preset; set tile_size_m = 0 for the flat
+  /// single-tile layout (used by the tiled-vs-flat equivalence tests).
+  roadnet::TilingOptions tiling{2000.0};
+
+  /// WGS84 anchor of the local frame.
+  geo::LatLon origin{65.0121, 25.4682};
+};
+
+/// A generated metro map plus its structural census.
+struct MetroMap {
+  roadnet::RoadNetwork network;
+  int num_districts = 0;
+  int num_bridges = 0;       ///< Connector edges crossing a river.
+  int num_ring_vertices = 0; ///< Vertices on ring-road loops.
+  int num_repair_edges = 0;  ///< Edges re-added by connectivity repair.
+};
+
+/// Generates a metro map. Deterministic in `options.seed`.
+Result<MetroMap> GenerateMetroMap(const MetroMapOptions& options = {});
+
+/// Size presets for scale sweeps: level 0 ~ 1k vertices, 1 ~ 10k,
+/// 2 ~ 26k, 3 >= 100k. Levels above 3 keep growing the district
+/// lattice. All presets share the default 2000 m tiling.
+MetroMapOptions MetroPreset(int level);
+
+}  // namespace synth
+}  // namespace taxitrace
+
+#endif  // TAXITRACE_SYNTH_METRO_MAP_GENERATOR_H_

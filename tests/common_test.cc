@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "taxitrace/common/csv.h"
+#include "taxitrace/common/hash.h"
 #include "taxitrace/common/logging.h"
 #include "taxitrace/common/random.h"
 #include "taxitrace/common/result.h"
@@ -386,6 +389,40 @@ TEST(CsvTest, ReadMissingFileFails) {
 }
 
 // --- Logging -----------------------------------------------------------------
+
+// HashCell2D is the blessed mixer for every signed-2D-coordinate hash
+// in the codebase (analysis grid cells, spatial-index cells, road-graph
+// tile coords). Like the grid test that first caught the ad-hoc-mix
+// column collapse, this checks injectivity over a dense signed range
+// and near-uniform load under power-of-two bucket masking — the
+// regime where low-bit structure is fatal.
+TEST(HashTest, HashCell2DInjectiveAndWellDistributed) {
+  constexpr int32_t kHalf = 64;  // cx, cy in [-64, 64): 16384 cells
+  constexpr size_t kBuckets = 1024;
+  std::set<uint64_t> seen;
+  std::vector<int> load(kBuckets, 0);
+  for (int32_t cx = -kHalf; cx < kHalf; ++cx) {
+    for (int32_t cy = -kHalf; cy < kHalf; ++cy) {
+      const uint64_t h = HashCell2D(cx, cy);
+      EXPECT_TRUE(seen.insert(h).second)
+          << "collision at (" << cx << ", " << cy << ")";
+      ++load[h % kBuckets];
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * kHalf * kHalf);
+  // Expected load is 16 per bucket; allow generous slack over a true
+  // uniform draw.
+  const int max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(max_load, 48) << "bucket distribution is badly skewed";
+}
+
+TEST(HashTest, SplitMix64IsNotIdentityLike) {
+  // Neighbouring inputs must not produce neighbouring outputs: the
+  // avalanche is what the cell hashes above rely on.
+  EXPECT_NE(SplitMix64(0), 0u);
+  EXPECT_NE(SplitMix64(1) - SplitMix64(0), 1u);
+  EXPECT_NE(SplitMix64(2) - SplitMix64(1), SplitMix64(1) - SplitMix64(0));
+}
 
 TEST(LoggingTest, LevelFilterRoundTrip) {
   const LogLevel before = GetLogLevel();

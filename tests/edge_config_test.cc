@@ -141,14 +141,14 @@ TEST(ScenarioTest, NoRiverHasMoreCrossings) {
       synth::GenerateCityMap(without.map).value();
   const auto crossings = [&](const synth::CityMap& map, double river_y) {
     int n = 0;
-    for (const roadnet::Edge& e : map.network.edges()) {
+    map.network.ForEachEdge([&](const roadnet::Edge& e) {
       const double y0 = e.geometry.front().y;
       const double y1 = e.geometry.back().y;
       if ((y0 - river_y) * (y1 - river_y) < 0.0 &&
           std::abs(y1 - y0) > 50.0) {
         ++n;
       }
-    }
+    });
     return n;
   };
   EXPECT_GT(crossings(free_map, with.map.river_y_m),

@@ -1,0 +1,34 @@
+// Known-bad shapes for flat-graph-index: graph storage subscripted
+// outside the tiled accessor layer (this file is core/, not roadnet/).
+
+#include "taxitrace/core/fake_api.h"
+
+namespace taxitrace {
+
+void BadTileVectorSubscript(const Tile& tile) {
+  const auto& v = tile.vertices[3];  // expect(flat-graph-index)
+  const auto& e = tile.edges[0];  // expect(flat-graph-index)
+  Use(v, e);
+}
+
+void BadTileVectorThroughPointer(const Tile* tile) {
+  Use(tile->vertices[1]);  // expect(flat-graph-index)
+  Use(tile->edges[2]);  // expect(flat-graph-index)
+}
+
+struct BadOwner {
+  void Touch(int i) {
+    Use(vertices_[i]);  // expect(flat-graph-index)
+    Use(edges_[i]);  // expect(flat-graph-index)
+  }
+  std::vector<int> vertices_;
+  std::vector<int> edges_;
+};
+
+void BadRetiredFlatAccessor(const RoadNetwork& net) {
+  const auto& v = net.vertices()[0];  // expect(flat-graph-index)
+  const auto& e = net.edges()[1];  // expect(flat-graph-index)
+  Use(v, e);
+}
+
+}  // namespace taxitrace

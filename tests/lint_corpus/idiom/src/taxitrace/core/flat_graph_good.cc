@@ -1,0 +1,25 @@
+// Known-good shapes the flat-graph-index rule must NOT flag: the
+// blessed tiled accessors, size queries, and unrelated members.
+
+#include "taxitrace/core/fake_api.h"
+
+namespace taxitrace {
+
+void GoodTiledAccessors(const RoadNetwork& net, int id) {
+  Use(net.vertex(id));
+  Use(net.edge(id));
+  Use(net.VertexIdAt(0));
+  net.ForEachVertex([](const auto& v) { Use(v); });
+}
+
+void GoodNonSubscriptUses(const Tile& tile) {
+  Use(tile.vertices.size());  // member access without a subscript
+  for (const auto& v : tile.vertices) Use(v);
+}
+
+void GoodUnrelatedNames(const Mesh& mesh, int i) {
+  Use(mesh.wedges[i]);     // not the graph members
+  Use(mesh.vertices2[i]);  // different identifier entirely
+}
+
+}  // namespace taxitrace

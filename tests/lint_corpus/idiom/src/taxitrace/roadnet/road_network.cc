@@ -1,0 +1,19 @@
+// The tiled accessor layer itself: the ONLY place allowed to
+// subscript the per-tile storage vectors. No expect markers — if
+// flat-graph-index ever fires here, the self-test fails.
+
+#include "taxitrace/core/fake_api.h"
+
+namespace taxitrace {
+namespace roadnet {
+
+const Vertex& RoadNetwork::vertex(VertexId id) const {
+  return tiles_[TileIndexOf(id)].vertices[LocalIdOf(id)];
+}
+
+const Edge& RoadNetwork::edge(EdgeId id) const {
+  return tiles_[TileIndexOf(id)].edges[LocalIdOf(id)];
+}
+
+}  // namespace roadnet
+}  // namespace taxitrace

@@ -92,8 +92,8 @@ TEST(MapIoTest, GeneratedCityRoundTripsThroughFiles) {
       PrepareRoadNetwork(elements, features, map.network.origin(), {},
                          &stats)
           .value();
-  EXPECT_EQ(reloaded.edges().size(), map.network.edges().size());
-  EXPECT_EQ(reloaded.vertices().size(), map.network.vertices().size());
+  EXPECT_EQ(reloaded.num_edges(), map.network.num_edges());
+  EXPECT_EQ(reloaded.num_vertices(), map.network.num_vertices());
   EXPECT_EQ(reloaded.features().size(), map.network.features().size());
   std::remove(elements_path.c_str());
   std::remove(features_path.c_str());

@@ -52,13 +52,13 @@ class AttributeFetcherTest : public testing::Test {
   // The matched route driving the main street west -> east.
   mapmatch::MatchedRoute MainStreetRoute() const {
     mapmatch::MatchedRoute route;
-    for (const roadnet::Edge& e : net_->edges()) {
+    net_->ForEachEdge([&](const roadnet::Edge& e) {
       // Main-street edges are horizontal at y ~ 0.
       if (std::abs(e.geometry.front().y) < 1.0 &&
           std::abs(e.geometry.back().y) < 1.0) {
         route.steps.push_back(roadnet::PathStep{e.id, true});
       }
-    }
+    });
     route.geometry = geo::Polyline({{0, 0}, {600, 0}});
     route.length_m = 600.0;
     return route;
@@ -94,12 +94,12 @@ TEST_F(AttributeFetcherTest, BusStopsCounted) {
 
 TEST_F(AttributeFetcherTest, SideStreetRouteSeesItsOwnFeatures) {
   mapmatch::MatchedRoute route;
-  for (const roadnet::Edge& e : net_->edges()) {
+  net_->ForEachEdge([&](const roadnet::Edge& e) {
     if (std::abs(e.geometry.front().x - 200.0) < 1.0 &&
         std::abs(e.geometry.back().x - 200.0) < 1.0) {
       route.steps.push_back(roadnet::PathStep{e.id, true});
     }
-  }
+  });
   ASSERT_EQ(route.steps.size(), 2u);
   route.geometry = geo::Polyline({{200, -150}, {200, 150}});
   const RouteAttributes attrs = fetcher_->Fetch(route);

@@ -121,9 +121,9 @@ class MatcherTest : public testing::Test {
     roadnet::Path path;
     while (true) {
       const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-          0, static_cast<int64_t>(net.vertices().size()) - 1));
+          0, static_cast<int64_t>(net.num_vertices()) - 1));
       const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-          0, static_cast<int64_t>(net.vertices().size()) - 1));
+          0, static_cast<int64_t>(net.num_vertices()) - 1));
       const auto result = router_.ShortestPath(a, b);
       if (result.ok() && result->length_m > 800.0) {
         path = *result;

@@ -77,11 +77,11 @@ TEST(RouterPropertyTest, SymmetricOnTwoWayPairsAndTriangleInequality) {
   int checked = 0;
   for (int trial = 0; trial < 60 && checked < 20; ++trial) {
     const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(net.vertices().size()) - 1));
+        0, static_cast<int64_t>(net.num_vertices()) - 1));
     const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(net.vertices().size()) - 1));
+        0, static_cast<int64_t>(net.num_vertices()) - 1));
     const auto c = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(net.vertices().size()) - 1));
+        0, static_cast<int64_t>(net.num_vertices()) - 1));
     const auto ab = router.ShortestPath(a, b);
     const auto ba = router.ShortestPath(b, a);
     const auto ac = router.ShortestPath(a, c);
@@ -102,9 +102,9 @@ TEST(RouterPropertyTest, PathLengthMatchesGeometryLength) {
   Rng rng(17);
   for (int trial = 0; trial < 20; ++trial) {
     const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(net.vertices().size()) - 1));
+        0, static_cast<int64_t>(net.num_vertices()) - 1));
     const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(net.vertices().size()) - 1));
+        0, static_cast<int64_t>(net.num_vertices()) - 1));
     const auto path = router.ShortestPath(a, b);
     if (!path.ok()) continue;
     EXPECT_NEAR(path->geometry.Length(), path->length_m,
@@ -251,9 +251,9 @@ TEST_P(MatcherNoiseTest, RecoveryDegradesGracefully) {
   int n = 0;
   while (n < 6) {
     const auto a = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(TestMap().network.vertices().size()) - 1));
+        0, static_cast<int64_t>(TestMap().network.num_vertices()) - 1));
     const auto b = static_cast<roadnet::VertexId>(rng.UniformInt(
-        0, static_cast<int64_t>(TestMap().network.vertices().size()) - 1));
+        0, static_cast<int64_t>(TestMap().network.num_vertices()) - 1));
     const auto path = router.ShortestPath(a, b);
     if (!path.ok() || path->length_m < 900.0) continue;
     const auto samples = driver.Drive(*path, 3600.0, 1.0, &rng);

@@ -60,10 +60,11 @@ TEST(MapPreparationTest, PlusMakesOneJunctionFourEdges) {
   EXPECT_EQ(stats.num_junctions, 1);
   EXPECT_EQ(stats.num_terminals, 4);
   EXPECT_EQ(stats.num_edges, 4);
-  EXPECT_EQ(net.vertices().size(), 5u);
-  EXPECT_EQ(net.edges().size(), 4u);
+  EXPECT_EQ(net.num_vertices(), 5u);
+  EXPECT_EQ(net.num_edges(), 4u);
   int junctions = 0;
-  for (const Vertex& v : net.vertices()) junctions += v.is_junction ? 1 : 0;
+  net.ForEachVertex(
+      [&](const Vertex& v) { junctions += v.is_junction ? 1 : 0; });
   EXPECT_EQ(junctions, 1);
 }
 
@@ -78,8 +79,8 @@ TEST(MapPreparationTest, ChainOfElementsMergesIntoOneEdge) {
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin, {}, &stats).value();
   EXPECT_EQ(stats.num_intermediate_points, 2);
-  ASSERT_EQ(net.edges().size(), 1u);
-  const Edge& e = net.edges()[0];
+  ASSERT_EQ(net.num_edges(), 1u);
+  const Edge& e = net.edge(0);
   EXPECT_EQ(e.element_ids.size(), 3u);
   EXPECT_NEAR(e.length_m, 150.0, 1e-6);
   // Element ids appear in chain order (either direction).
@@ -97,8 +98,8 @@ TEST(MapPreparationTest, ReversedDigitisationStillMerges) {
   };
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin).value();
-  ASSERT_EQ(net.edges().size(), 1u);
-  EXPECT_NEAR(net.edges()[0].length_m, 150.0, 1e-6);
+  ASSERT_EQ(net.num_edges(), 1u);
+  EXPECT_NEAR(net.edge(0).length_m, 150.0, 1e-6);
 }
 
 TEST(MapPreparationTest, OneWayChainOrientation) {
@@ -110,8 +111,8 @@ TEST(MapPreparationTest, OneWayChainOrientation) {
   };
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin).value();
-  ASSERT_EQ(net.edges().size(), 1u);
-  const Edge& e = net.edges()[0];
+  ASSERT_EQ(net.num_edges(), 1u);
+  const Edge& e = net.edge(0);
   // The merged edge is one-way from the (0,0) end to the (100,0) end.
   EXPECT_NE(e.direction, TravelDirection::kBoth);
   const EnPoint start = net.vertex(e.from).position;
@@ -131,7 +132,7 @@ TEST(MapPreparationTest, ConflictingOneWaysFallBackToTwoWay) {
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin, {}, &stats).value();
   EXPECT_EQ(stats.num_direction_conflicts, 1);
-  EXPECT_EQ(net.edges()[0].direction, TravelDirection::kBoth);
+  EXPECT_EQ(net.edge(0).direction, TravelDirection::kBoth);
 }
 
 TEST(MapPreparationTest, MergedEdgeTakesMinSpeedLimit) {
@@ -141,7 +142,7 @@ TEST(MapPreparationTest, MergedEdgeTakesMinSpeedLimit) {
   };
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin).value();
-  EXPECT_DOUBLE_EQ(net.edges()[0].speed_limit_kmh, 40.0);
+  EXPECT_DOUBLE_EQ(net.edge(0).speed_limit_kmh, 40.0);
 }
 
 TEST(MapPreparationTest, PureCycleIsHandled) {
@@ -153,9 +154,9 @@ TEST(MapPreparationTest, PureCycleIsHandled) {
   };
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin).value();
-  EXPECT_GE(net.edges().size(), 1u);
+  EXPECT_GE(net.num_edges(), 1u);
   double total = 0.0;
-  for (const Edge& e : net.edges()) total += e.length_m;
+  net.ForEachEdge([&](const Edge& e) { total += e.length_m; });
   EXPECT_NEAR(total, 100.0 + 2 * std::hypot(50.0, 80.0), 1e-6);
   EXPECT_TRUE(net.Validate().ok());
 }
@@ -192,9 +193,9 @@ TEST(MapPreparationTest, FeatureAttachesToNearestEdge) {
       PrepareRoadNetwork(PlusElements(), features, kOrigin).value();
   EXPECT_EQ(net.features().size(), 2u);
   int attached = 0;
-  for (const Edge& e : net.edges()) {
+  net.ForEachEdge([&](const Edge& e) {
     attached += static_cast<int>(e.feature_ids.size());
-  }
+  });
   EXPECT_EQ(attached, 1);  // the far light attaches nowhere
   EXPECT_EQ(net.CountFeatures(FeatureType::kBusStop), 1);
   EXPECT_EQ(net.CountFeatures(FeatureType::kTrafficLight), 1);
@@ -204,13 +205,13 @@ TEST(MapPreparationTest, JunctionPairTableMatchesEdges) {
   const RoadNetwork net =
       PrepareRoadNetwork(PlusElements(), {}, kOrigin).value();
   const std::vector<JunctionPairRow> rows = JunctionPairTable(net);
-  ASSERT_EQ(rows.size(), net.edges().size());
+  ASSERT_EQ(rows.size(), net.num_edges());
   for (size_t i = 0; i < rows.size(); ++i) {
-    EXPECT_EQ(rows[i].element_ids, net.edges()[i].element_ids);
+    const Edge& e = net.edge(net.EdgeIdAt(i));
+    EXPECT_EQ(rows[i].element_ids, e.element_ids);
     const EnPoint j1 = net.projection().Forward(rows[i].junction1);
-    EXPECT_NEAR(
-        geo::Distance(j1, net.vertex(net.edges()[i].from).position), 0.0,
-        0.5);
+    EXPECT_NEAR(geo::Distance(j1, net.vertex(e.from).position), 0.0,
+                0.5);
   }
 }
 
@@ -222,7 +223,7 @@ TEST(RoadNetworkTest, OppositeAndTraverse) {
   };
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin).value();
-  const Edge& e = net.edges()[0];
+  const Edge& e = net.edge(0);
   EXPECT_EQ(net.Opposite(e.id, e.from), e.to);
   EXPECT_EQ(net.Opposite(e.id, e.to), e.from);
   EXPECT_NE(net.CanTraverse(e.id, true), net.CanTraverse(e.id, false));
@@ -232,7 +233,7 @@ TEST(RoadNetworkTest, PointAt) {
   const RoadNetwork net =
       PrepareRoadNetwork({MakeElement(1, {{0, 0}, {100, 0}})}, {}, kOrigin)
           .value();
-  const Edge& e = net.edges()[0];
+  const Edge& e = net.edge(0);
   const EnPoint from_pos = net.vertex(e.from).position;
   const EnPoint mid = net.PointAt(EdgePosition{e.id, 50.0});
   EXPECT_NEAR(geo::Distance(from_pos, mid), 50.0, 1e-6);
@@ -241,10 +242,10 @@ TEST(RoadNetworkTest, PointAt) {
 TEST(RoadNetworkTest, IncidentEdges) {
   const RoadNetwork net =
       PrepareRoadNetwork(PlusElements(), {}, kOrigin).value();
-  for (const Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const Vertex& v) {
     const size_t expected = v.is_junction ? 4u : 1u;
     EXPECT_EQ(net.IncidentEdges(v.id).size(), expected);
-  }
+  });
 }
 
 // --- Spatial index ---------------------------------------------------------------
@@ -391,10 +392,13 @@ class RouterTest : public testing::Test {
         router_(&net_) {}
 
   VertexId VertexAt(const EnPoint& p) const {
-    for (const Vertex& v : net_.vertices()) {
-      if (geo::Distance(v.position, p) < 1.0) return v.id;
-    }
-    return kInvalidVertex;
+    VertexId found = kInvalidVertex;
+    net_.ForEachVertex([&](const Vertex& v) {
+      if (found == kInvalidVertex && geo::Distance(v.position, p) < 1.0) {
+        found = v.id;
+      }
+    });
+    return found;
   }
 
   RoadNetwork net_;
@@ -444,12 +448,12 @@ TEST_F(RouterTest, InvalidVertexRejected) {
 TEST_F(RouterTest, CostMultiplierChangesRoute) {
   // Make the direct north-south street prohibitively expensive; the
   // route must detour but report its true geometric length.
-  std::vector<double> mult(net_.edges().size(), 1.0);
+  std::vector<double> mult(net_.num_edges(), 1.0);
   const Result<Path> direct =
       router_.ShortestPath(VertexAt({100, 0}), VertexAt({100, 200}));
   ASSERT_TRUE(direct.ok());
   for (const PathStep& s : direct->steps) {
-    mult[static_cast<size_t>(s.edge)] = 10.0;
+    mult[net_.EdgeOrdinal(s.edge)] = 10.0;
   }
   const Result<Path> detour = router_.ShortestPath(
       VertexAt({100, 0}), VertexAt({100, 200}), &mult);
@@ -465,7 +469,7 @@ TEST_F(RouterTest, MultiplierSizeMismatchRejected) {
 }
 
 TEST_F(RouterTest, PositionToPositionSameEdge) {
-  const Edge& e = net_.edges()[0];
+  const Edge& e = net_.edge(0);
   const Result<Path> path = router_.ShortestPathBetween(
       EdgePosition{e.id, 10.0}, EdgePosition{e.id, 60.0});
   ASSERT_TRUE(path.ok());
@@ -475,7 +479,7 @@ TEST_F(RouterTest, PositionToPositionSameEdge) {
 }
 
 TEST_F(RouterTest, PositionToPositionBackwardOnTwoWayEdge) {
-  const Edge& e = net_.edges()[0];
+  const Edge& e = net_.edge(0);
   const Result<Path> path = router_.ShortestPathBetween(
       EdgePosition{e.id, 60.0}, EdgePosition{e.id, 10.0});
   ASSERT_TRUE(path.ok());
@@ -485,16 +489,16 @@ TEST_F(RouterTest, PositionToPositionBackwardOnTwoWayEdge) {
 
 TEST_F(RouterTest, PositionToPositionAcrossGraph) {
   // From the middle of one edge to the middle of a distant edge.
-  const EdgePosition from{net_.edges()[0].id, 50.0};
+  const EdgePosition from{net_.edge(0).id, 50.0};
   EdgeId far_edge = kInvalidEdge;
-  for (const Edge& e : net_.edges()) {
+  net_.ForEachEdge([&](const Edge& e) {
     const EnPoint mid = e.geometry.Interpolate(e.length_m / 2);
-    if (geo::Distance(mid, net_.edges()[0].geometry.Interpolate(50.0)) >
-        150.0) {
+    if (far_edge == kInvalidEdge &&
+        geo::Distance(mid, net_.edge(0).geometry.Interpolate(50.0)) >
+            150.0) {
       far_edge = e.id;
-      break;
     }
-  }
+  });
   ASSERT_NE(far_edge, kInvalidEdge);
   const Result<Path> path =
       router_.ShortestPathBetween(from, EdgePosition{far_edge, 30.0});
@@ -504,8 +508,8 @@ TEST_F(RouterTest, PositionToPositionAcrossGraph) {
 }
 
 TEST_F(RouterTest, NetworkDistanceMatchesPathLength) {
-  const EdgePosition a{net_.edges()[0].id, 20.0};
-  const EdgePosition b{net_.edges()[3].id, 40.0};
+  const EdgePosition a{net_.edge(0).id, 20.0};
+  const EdgePosition b{net_.edge(3).id, 40.0};
   const Result<Path> path = router_.ShortestPathBetween(a, b);
   ASSERT_TRUE(path.ok());
   EXPECT_NEAR(router_.NetworkDistance(a, b), path->length_m, 1e-9);
@@ -527,10 +531,10 @@ TEST(RouterOneWayTest, OneWayForcesDetour) {
       PrepareRoadNetwork(elements, {}, kOrigin).value();
   const Router router(&net);
   VertexId a = kInvalidVertex, b = kInvalidVertex;
-  for (const Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const Vertex& v) {
     if (geo::Distance(v.position, {0, 0}) < 1.0) a = v.id;
     if (geo::Distance(v.position, {100, 0}) < 1.0) b = v.id;
-  }
+  });
   const Result<Path> forward = router.ShortestPath(a, b);
   ASSERT_TRUE(forward.ok());
   EXPECT_NEAR(forward->length_m, 200.0, 1e-6);  // detour via (0,50)
@@ -551,10 +555,10 @@ TEST(RouterDisconnectedTest, UnreachableIsNotFound) {
   // Vertices 0 and 2 may or may not be on the same component depending
   // on creation order, so locate definitely-disconnected endpoints.
   VertexId a = kInvalidVertex, b = kInvalidVertex;
-  for (const Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const Vertex& v) {
     if (v.position.x < 500) a = v.id;
     if (v.position.x > 500) b = v.id;
-  }
+  });
   EXPECT_TRUE(router.ShortestPath(a, b).status().IsNotFound());
   (void)path;
 }
@@ -566,7 +570,7 @@ TEST(RouterOneWayTest, PositionRoutingRespectsOneWay) {
   const RoadNetwork net =
       PrepareRoadNetwork(elements, {}, kOrigin).value();
   const Router router(&net);
-  const Edge& e = net.edges()[0];
+  const Edge& e = net.edge(0);
   // Forward travel is fine; backward on the isolated one-way edge is
   // impossible.
   const double arc0 = e.direction == TravelDirection::kForward ? 10.0 : 90.0;
@@ -590,7 +594,7 @@ TEST(RouterOneWayTest, PositionRoutingRespectsOneWay) {
 TEST(RoadNetworkCsrTest, OutArcsMirrorsIncidentEdges) {
   const RoadNetwork net =
       PrepareRoadNetwork(GridElements(), {}, kOrigin).value();
-  for (const Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const Vertex& v) {
     const std::vector<EdgeId>& incident = net.IncidentEdges(v.id);
     const std::span<const HalfEdge> arcs = net.OutArcs(v.id);
     ASSERT_EQ(incident.size(), arcs.size()) << "vertex " << v.id;
@@ -604,7 +608,7 @@ TEST(RoadNetworkCsrTest, OutArcsMirrorsIncidentEdges) {
       EXPECT_EQ(arc.traversable_out, net.CanTraverse(arc.edge, arc.forward));
       EXPECT_EQ(arc.traversable_in, net.CanTraverse(arc.edge, !arc.forward));
     }
-  }
+  });
 }
 
 // The CSR cache follows builder growth: arcs added after a first read

@@ -40,7 +40,7 @@ struct ReferencePath {
 ReferencePath ReferenceDijkstra(
     const RoadNetwork& net, VertexId from, VertexId to,
     const std::vector<double>* edge_cost_multiplier = nullptr) {
-  const size_t n = net.vertices().size();
+  const size_t n = net.num_vertices();
   std::vector<double> dist(n, kInf);
   std::vector<EdgeId> prev_edge(n, kInvalidEdge);
   std::vector<VertexId> prev_vertex(n, kInvalidVertex);
@@ -120,7 +120,7 @@ void ExpectSamePath(const ReferencePath& ref, const Result<Path>& got,
 TEST(RouterEquivalenceTest, MatchesReferenceDijkstraOnRandomPairs) {
   const RoadNetwork& net = TestMap().network;
   const Router router(&net);
-  const auto n = static_cast<int64_t>(net.vertices().size());
+  const auto n = static_cast<int64_t>(net.num_vertices());
   Rng rng(1234);
   int reachable = 0;
   for (int i = 0; i < 220; ++i) {
@@ -141,9 +141,9 @@ TEST(RouterEquivalenceTest, MatchesReferenceDijkstraOnRandomPairs) {
 TEST(RouterEquivalenceTest, MatchesReferenceWithInflatingMultipliers) {
   const RoadNetwork& net = TestMap().network;
   const Router router(&net);
-  const auto n = static_cast<int64_t>(net.vertices().size());
+  const auto n = static_cast<int64_t>(net.num_vertices());
   Rng rng(5678);
-  std::vector<double> multiplier(net.edges().size());
+  std::vector<double> multiplier(net.num_edges());
   for (double& m : multiplier) m = rng.Uniform(1.0, 1.8);
   for (int i = 0; i < 110; ++i) {
     const auto from = static_cast<VertexId>(rng.UniformInt(0, n - 1));
@@ -160,9 +160,9 @@ TEST(RouterEquivalenceTest, MatchesReferenceWithInflatingMultipliers) {
 TEST(RouterEquivalenceTest, MatchesReferenceUnderDijkstraFallback) {
   const RoadNetwork& net = TestMap().network;
   const Router router(&net);
-  const auto n = static_cast<int64_t>(net.vertices().size());
+  const auto n = static_cast<int64_t>(net.num_vertices());
   Rng rng(9876);
-  std::vector<double> multiplier(net.edges().size());
+  std::vector<double> multiplier(net.num_edges());
   for (double& m : multiplier) m = rng.Uniform(0.6, 1.5);
   for (int i = 0; i < 110; ++i) {
     const auto from = static_cast<VertexId>(rng.UniformInt(0, n - 1));
@@ -199,9 +199,9 @@ class VectorCostModel final : public EdgeCostModel {
 TEST(RouterEquivalenceTest, CostModelMatchesVectorOverload) {
   const RoadNetwork& net = TestMap().network;
   const Router router(&net);
-  const auto n = static_cast<int64_t>(net.vertices().size());
+  const auto n = static_cast<int64_t>(net.num_vertices());
   Rng rng(24680);
-  std::vector<double> multiplier(net.edges().size());
+  std::vector<double> multiplier(net.num_edges());
   for (const auto& [lo, hi] : {std::pair<double, double>{1.0, 1.8},
                                std::pair<double, double>{0.6, 1.5}}) {
     for (double& m : multiplier) m = rng.Uniform(lo, hi);

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -165,6 +167,81 @@ TEST(SnapshotTest, RejectsCorruptBytes) {
                   offsetof(SectionEntry, offset),
               &huge, sizeof(huge));
   EXPECT_FALSE(Snapshot::FromBytes(bad_section).ok());
+}
+
+TEST(SnapshotTest, FromFileMatchesFromBytesByteForByte) {
+  const std::string path = ::testing::TempDir() + "/tt_snapshot_mmap.ttsnap";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    out.write(SmallSnapshotBytes().data(),
+              static_cast<std::streamsize>(SmallSnapshotBytes().size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  auto mapped = Snapshot::FromFile(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  const Snapshot& mm = mapped.value();
+  const Snapshot& heap = SmallSnapshot();
+
+  // The mapped view is the same bytes, not a re-serialization.
+  ASSERT_EQ(mm.bytes().size(), heap.bytes().size());
+  EXPECT_EQ(mm.bytes(), heap.bytes());
+  EXPECT_EQ(std::memcmp(&mm.meta(), &heap.meta(), sizeof(SnapshotMeta)), 0);
+
+  // Every record both loaders expose decodes identically.
+  ASSERT_EQ(mm.num_cells(), heap.num_cells());
+  ASSERT_EQ(mm.num_slices(), heap.num_slices());
+  for (int64_t i = 0; i < heap.num_cells(); ++i) {
+    EXPECT_EQ(mm.cell(i), heap.cell(i));
+    const CellFeatureRow mf = mm.features(i);
+    const CellFeatureRow hf = heap.features(i);
+    EXPECT_EQ(std::memcmp(&mf, &hf, sizeof mf), 0);
+    const CellModelRow mr = mm.model(i);
+    const CellModelRow hr = heap.model(i);
+    EXPECT_EQ(std::memcmp(&mr, &hr, sizeof mr), 0);
+    for (int64_t s = 0; s < heap.num_slices(); ++s) {
+      const CellMoments ms = mm.moments(s, i);
+      const CellMoments hs = heap.moments(s, i);
+      EXPECT_EQ(std::memcmp(&ms, &hs, sizeof ms), 0);
+    }
+  }
+  for (int64_t s = 0; s < heap.num_slices(); ++s) {
+    const SliceInfo mi = mm.slice(s);
+    const SliceInfo hi = heap.slice(s);
+    EXPECT_EQ(std::memcmp(&mi, &hi, sizeof mi), 0);
+  }
+
+  // A Snapshot copy outlives the original without re-mapping.
+  Snapshot copy = mm;
+  EXPECT_EQ(copy.FindCell(heap.cell(0)), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FromFileRejectsMissingTruncatedAndCorruptFiles) {
+  EXPECT_FALSE(Snapshot::FromFile("/nonexistent/tt_snapshot.ttsnap").ok());
+
+  const std::string dir = ::testing::TempDir();
+  const std::string empty_path = dir + "/tt_snapshot_empty.ttsnap";
+  { std::ofstream out(empty_path, std::ios::binary | std::ios::trunc); }
+  EXPECT_FALSE(Snapshot::FromFile(empty_path).ok());
+  std::remove(empty_path.c_str());
+
+  // FromFile runs the identical validation: flipping the magic on disk
+  // is rejected with the same error FromBytes reports.
+  std::string bad = SmallSnapshotBytes();
+  bad[0] = 'X';
+  const std::string bad_path = dir + "/tt_snapshot_bad.ttsnap";
+  {
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+  }
+  auto from_file = Snapshot::FromFile(bad_path);
+  auto from_bytes = Snapshot::FromBytes(bad);
+  ASSERT_FALSE(from_file.ok());
+  ASSERT_FALSE(from_bytes.ok());
+  EXPECT_EQ(from_file.status().message(), from_bytes.status().message());
+  std::remove(bad_path.c_str());
 }
 
 TEST(QueryEngineTest, PointAndCellQueriesAgree) {

@@ -106,9 +106,9 @@ TEST(CityMapTest, FeatureCensusMatchesPaper) {
   EXPECT_EQ(net.CountFeatures(roadnet::FeatureType::kPedestrianCrossing),
             293);
   int junctions = 0;
-  for (const roadnet::Vertex& v : net.vertices()) {
+  net.ForEachVertex([&](const roadnet::Vertex& v) {
     if (v.is_junction) ++junctions;
-  }
+  });
   // Paper: 271 non-pedestrian crossings; tolerance for grid randomness.
   EXPECT_GT(junctions, 180);
   EXPECT_LT(junctions, 360);
@@ -162,19 +162,19 @@ TEST(CityMapTest, GatesMutuallyReachable) {
 
 TEST(CityMapTest, ContainsOneWayEdges) {
   int one_way = 0;
-  for (const roadnet::Edge& e : TestMap().network.edges()) {
+  TestMap().network.ForEachEdge([&](const roadnet::Edge& e) {
     if (e.direction != roadnet::TravelDirection::kBoth) ++one_way;
-  }
+  });
   EXPECT_GT(one_way, 4);
 }
 
 TEST(CityMapTest, ContainsDeadEndAccessRoads) {
   int access = 0;
-  for (const roadnet::Edge& e : TestMap().network.edges()) {
+  TestMap().network.ForEachEdge([&](const roadnet::Edge& e) {
     if (e.functional_class == roadnet::FunctionalClass::kAccessRoad) {
       ++access;
     }
-  }
+  });
   EXPECT_GE(access, 10);
 }
 
@@ -197,11 +197,11 @@ TEST(CityMapTest, DeterministicInSeed) {
   options.seed = 42;
   const CityMap a = GenerateCityMap(options).value();
   const CityMap b = GenerateCityMap(options).value();
-  EXPECT_EQ(a.network.edges().size(), b.network.edges().size());
-  EXPECT_EQ(a.network.vertices().size(), b.network.vertices().size());
-  ASSERT_FALSE(a.network.edges().empty());
-  EXPECT_EQ(a.network.edges()[7].element_ids,
-            b.network.edges()[7].element_ids);
+  EXPECT_EQ(a.network.num_edges(), b.network.num_edges());
+  EXPECT_EQ(a.network.num_vertices(), b.network.num_vertices());
+  ASSERT_FALSE(a.network.num_edges() == 0);
+  EXPECT_EQ(a.network.edge(a.network.EdgeIdAt(7)).element_ids,
+            b.network.edge(b.network.EdgeIdAt(7)).element_ids);
 }
 
 TEST(CityMapTest, DifferentSeedsDiffer) {
@@ -210,7 +210,7 @@ TEST(CityMapTest, DifferentSeedsDiffer) {
   b_options.seed = 2;
   const CityMap a = GenerateCityMap(a_options).value();
   const CityMap b = GenerateCityMap(b_options).value();
-  EXPECT_NE(a.network.edges().size(), b.network.edges().size());
+  EXPECT_NE(a.network.num_edges(), b.network.num_edges());
 }
 
 TEST(CityMapTest, RejectsBadOptions) {
@@ -223,10 +223,10 @@ TEST(CityMapTest, RejectsBadOptions) {
 }
 
 TEST(CityMapTest, SpeedLimitsPlausible) {
-  for (const roadnet::Edge& e : TestMap().network.edges()) {
+  TestMap().network.ForEachEdge([&](const roadnet::Edge& e) {
     EXPECT_GE(e.speed_limit_kmh, 30.0);
     EXPECT_LE(e.speed_limit_kmh, 60.0);
-  }
+  });
 }
 
 
@@ -234,14 +234,14 @@ TEST(CityMapTest, RiverFunnelsThroughBridges) {
   // Count edges crossing the river band: only the bridges remain.
   const CityMapOptions opt;
   int crossings = 0;
-  for (const roadnet::Edge& e : TestMap().network.edges()) {
+  TestMap().network.ForEachEdge([&](const roadnet::Edge& e) {
     const double y0 = e.geometry.front().y;
     const double y1 = e.geometry.back().y;
     if ((y0 - opt.river_y_m) * (y1 - opt.river_y_m) < 0.0 &&
         std::abs(y1 - y0) > 50.0) {
       ++crossings;
     }
-  }
+  });
   EXPECT_GE(crossings, 2);  // bridges exist (T corridor + others)
   EXPECT_LE(crossings, 6);  // but the bank is not a grid
   // Both banks stay mutually drivable.
@@ -257,14 +257,14 @@ TEST(CityMapTest, RiverCanBeDisabled) {
   options.seed = 5;
   const CityMap map = GenerateCityMap(options).value();
   int crossings = 0;
-  for (const roadnet::Edge& e : map.network.edges()) {
+  map.network.ForEachEdge([&](const roadnet::Edge& e) {
     const double y0 = e.geometry.front().y;
     const double y1 = e.geometry.back().y;
     if ((y0 - options.river_y_m) * (y1 - options.river_y_m) < 0.0 &&
         std::abs(y1 - y0) > 50.0) {
       ++crossings;
     }
-  }
+  });
   EXPECT_GT(crossings, 8);  // a full grid of crossings
 }
 
